@@ -1,0 +1,101 @@
+// Ablation — failure-aware scheduling (the paper's Section 3 suggestion:
+// "tasks can be migrated to phones that are less likely to fail at the
+// time of consideration").
+//
+// Setup: the 18-phone testbed where six phones belong to restless owners
+// with unplug probability p during the batch window. Each trial samples
+// actual unplugs from p and runs the batch with (a) the plain greedy
+// scheduler and (b) the failure-aware wrapper that knows the risks.
+// Failures come in both of the paper's flavours: online (the phone
+// reports, partial work is banked, the remainder migrates) and offline
+// (the phone vanishes; the server burns the 90 s keep-alive budget and
+// restarts everything it held).
+//
+// The interesting question is *when* risk-avoidance pays: CWC's migration
+// machinery makes online failures cheap, so dodging risky phones must
+// beat the capacity lost by avoiding them.
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "core/failure_aware.h"
+#include "core/greedy.h"
+#include "core/testbed.h"
+#include "sim/simulator.h"
+
+using namespace cwc;
+
+namespace {
+
+Millis run_trial(std::unique_ptr<core::Scheduler> scheduler,
+                 const std::vector<core::PhoneSpec>& phones,
+                 const std::vector<sim::FailureEvent>& failures, std::uint64_t seed) {
+  sim::SimOptions options;
+  options.scheduling_period = seconds(60.0);
+  sim::TestbedSimulation simulation(std::move(scheduler), core::paper_prediction(), phones,
+                                    options, seed);
+  Rng workload_rng(4242);
+  for (const auto& job : core::paper_workload(workload_rng, 0.5)) simulation.submit(job);
+  for (const auto& event : failures) simulation.inject(event);
+  const sim::SimResult result = simulation.run();
+  return result.completed ? result.makespan : hours(24.0);
+}
+
+}  // namespace
+
+int main() {
+  using namespace cwc::bench;
+  header("Ablation", "does failure-aware scheduling pay? 15 trials per cell");
+
+  Rng rng(42);
+  const auto phones = core::paper_testbed(rng);
+  const std::vector<PhoneId> risky_phones = {3, 5, 8, 11, 14, 16};
+  const int trials = 15;
+
+  std::printf("\n%-8s %-9s %-10s %12s %14s %10s\n", "risk", "failure", "avoidance",
+              "plain greedy", "failure-aware", "aware wins");
+  for (const double risk : {0.6, 0.9}) {
+    for (const bool offline : {false, true}) {
+      for (const double loss_fraction : {0.25, 1.0}) {
+        std::map<PhoneId, double> risk_map;
+        for (PhoneId id : risky_phones) risk_map[id] = risk;
+        core::FailureAwareScheduler::Options options;
+        options.expected_loss_fraction = loss_fraction;
+
+        OnlineStats plain, aware;
+        for (int trial = 0; trial < trials; ++trial) {
+          Rng trial_rng(static_cast<std::uint64_t>(trial) * 7919 + (offline ? 101 : 0) +
+                        static_cast<std::uint64_t>(risk * 100));
+          std::vector<sim::FailureEvent> failures;
+          for (const auto& [phone, p] : risk_map) {
+            if (trial_rng.chance(p)) {
+              failures.push_back({seconds(trial_rng.uniform(30.0, 500.0)), phone,
+                                  offline ? sim::FailureKind::kUnplugOffline
+                                          : sim::FailureKind::kUnplugOnline});
+            }
+          }
+          plain.add(to_seconds(run_trial(std::make_unique<core::GreedyScheduler>(), phones,
+                                         failures, static_cast<std::uint64_t>(trial))));
+          aware.add(to_seconds(
+              run_trial(std::make_unique<core::FailureAwareScheduler>(
+                            std::make_unique<core::GreedyScheduler>(), risk_map, options),
+                        phones, failures, static_cast<std::uint64_t>(trial))));
+        }
+        const double delta = 100.0 * (1.0 - aware.mean() / plain.mean());
+        std::printf("%-8.1f %-9s %-10s %9.1f s %11.1f s %+9.1f%%\n", risk,
+                    offline ? "offline" : "online", loss_fraction < 0.5 ? "mild" : "aggressive",
+                    plain.mean(), aware.mean(), delta);
+      }
+    }
+  }
+
+  std::printf(
+      "\ntakeaway: CWC's checkpoint-and-migrate machinery makes failures so\n"
+      "cheap that only *mild* deprioritization of risky phones (expected-loss\n"
+      "fraction ~0.25, no exclusion) breaks even or wins — and only clearly\n"
+      "for *offline* failures (silent loss + 90 s keep-alive detection + full\n"
+      "restart of held work). Aggressive avoidance throws away more capacity\n"
+      "than the failures it dodges. This quantifies why the paper built\n"
+      "migration first and left failure prediction as an optimization.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation — when does CWC's breakable-task partitioning actually matter?
+//
+// The Fig. 12 workload (150 small jobs over 18 phones) can be balanced by
+// whole-job placement alone: our LPT baseline ties the CWC greedy there.
+// Partitioning earns its keep when jobs are few and large relative to the
+// fleet — the "render a movie scene" / "analyze one huge log" regime the
+// paper's introduction motivates. This bench sweeps the job-count/job-size
+// trade-off at constant total work and reports greedy vs LPT makespans,
+// plus how many partitions the greedy actually used.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/greedy.h"
+#include "core/testbed.h"
+
+using namespace cwc;
+
+int main() {
+  using namespace cwc::bench;
+  header("Ablation", "partitioning value: few large jobs vs many small jobs");
+
+  Rng rng(42);
+  const auto prediction = core::paper_prediction();
+  const auto phones = core::paper_testbed(rng);
+  const Kilobytes total_work = megabytes(360.0);  // constant across rows
+
+  std::printf("\n%-10s %-12s %12s %12s %9s %12s\n", "jobs", "MB each", "greedy", "lpt",
+              "lpt/greedy", "partitions");
+  for (const int job_count : {1, 2, 4, 9, 18, 36, 75, 150}) {
+    std::vector<core::JobSpec> jobs;
+    const Kilobytes each = total_work / job_count;
+    for (JobId id = 0; id < job_count; ++id) {
+      jobs.push_back({id, core::kPrimeTask, JobKind::kBreakable, 38.0, each});
+    }
+    const core::Schedule greedy = core::GreedyScheduler().build(jobs, phones, prediction);
+    const core::Schedule lpt = core::LptScheduler().build(jobs, phones, prediction);
+    std::size_t partitions = 0;
+    for (const auto& [job, parts] : greedy.partitions_per_job()) partitions += parts;
+    std::printf("%-10d %-12.1f %10.1f s %10.1f s %9.2f %12zu\n", job_count, each / 1024.0,
+                to_seconds(greedy.predicted_makespan), to_seconds(lpt.predicted_makespan),
+                lpt.predicted_makespan / greedy.predicted_makespan, partitions);
+  }
+
+  std::printf("\ntakeaway: at <= |P| jobs, whole-job placement strands phones and LPT\n"
+              "loses by up to the fleet-size factor; once jobs outnumber phones\n"
+              "several times over, partitioning stops mattering and the greedy\n"
+              "packs (almost) everything whole — which is also why ~90%% of the\n"
+              "Fig. 12 workload stays unpartitioned.\n");
+  return 0;
+}

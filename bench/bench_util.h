@@ -1,0 +1,33 @@
+// Shared output helpers for the figure-reproduction benches. Every bench
+// prints self-describing text: a header naming the paper figure, the
+// series the figure plots (as rows), and a short ASCII sketch.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace cwc::bench {
+
+inline void header(const char* figure, const char* caption) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", figure, caption);
+  std::printf("================================================================\n");
+}
+
+inline void subhead(const char* text) { std::printf("\n--- %s ---\n", text); }
+
+/// Prints a CDF as rows of (x, F(x)) plus a sketch.
+inline void print_cdf(const char* label, const Cdf& cdf, const char* unit,
+                      std::size_t points = 11) {
+  std::printf("\n%s (n=%zu, median=%.1f %s, p90=%.1f %s)\n", label, cdf.size(),
+              cdf.median(), unit, cdf.quantile(0.9), unit);
+  for (const auto& [x, f] : cdf.series(points)) {
+    std::printf("  %10.2f %-6s | %4.0f%% %s\n", x, unit, 100.0 * f,
+                ascii_bar(f, 0.025, 40).c_str());
+  }
+}
+
+}  // namespace cwc::bench

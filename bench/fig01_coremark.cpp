@@ -1,0 +1,152 @@
+// Figure 1 — "Benchmarking smartphone CPUs against the Intel Core 2 Duo."
+//
+// The paper's figure plots published CoreMark scores (from coremark.org /
+// NVIDIA's Variable-SMP whitepaper): the quad-core Tegra 3 edges out the
+// Core 2 Duo, while the previous smartphone generation (Tegra 2,
+// Snapdragon S3, TI OMAP4) lands at roughly half the Core 2 Duo's score.
+//
+// Since we cannot run those chips, this bench does two things:
+//   1. executes a mini-CoreMark (the same workload classes CoreMark uses:
+//      linked-list operations, matrix arithmetic, a CRC-checked state
+//      machine) natively, to ground the score methodology on real work;
+//   2. regenerates the figure's series from the published per-chip scores,
+//      so the shape — who beats the Core 2 Duo, by how much — is preserved.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace {
+
+// --- mini-CoreMark workloads -------------------------------------------------
+
+/// CRC16 step, as CoreMark uses to validate its state machine results.
+std::uint16_t crc16_update(std::uint8_t byte, std::uint16_t crc) {
+  crc ^= byte;
+  for (int i = 0; i < 8; ++i) {
+    crc = (crc & 1) ? static_cast<std::uint16_t>((crc >> 1) ^ 0xA001)
+                    : static_cast<std::uint16_t>(crc >> 1);
+  }
+  return crc;
+}
+
+/// Linked-list find/reverse pass over a small pool (CoreMark's list bench).
+std::uint16_t list_workload(std::uint16_t crc) {
+  struct Node {
+    int value;
+    int next;
+  };
+  std::vector<Node> pool(256);
+  for (int i = 0; i < 256; ++i) pool[static_cast<std::size_t>(i)] = {i * 7 % 101, (i + 1) % 256};
+  // Find the max value by walking the list, then "reverse" it by index math.
+  int cursor = 0;
+  int best = -1;
+  for (int steps = 0; steps < 256; ++steps) {
+    best = std::max(best, pool[static_cast<std::size_t>(cursor)].value);
+    cursor = pool[static_cast<std::size_t>(cursor)].next;
+  }
+  return crc16_update(static_cast<std::uint8_t>(best), crc);
+}
+
+/// Fixed-point 16x16 matrix multiply-accumulate (CoreMark's matrix bench).
+std::uint16_t matrix_workload(std::uint16_t crc) {
+  constexpr int n = 16;
+  static std::int32_t a[n][n], b[n][n], c[n][n];
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      a[i][j] = i + j;
+      b[i][j] = i - j;
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      std::int32_t acc = 0;
+      for (int k = 0; k < n; ++k) acc += a[i][k] * b[k][j];
+      c[i][j] = acc;
+    }
+  }
+  return crc16_update(static_cast<std::uint8_t>(c[n - 1][n - 1] & 0xFF), crc);
+}
+
+/// Input-driven state machine (CoreMark's third workload class).
+std::uint16_t state_machine_workload(std::uint16_t crc) {
+  static const char* inputs = "0129x,87+1.4e2,invalid,0x42,777";
+  enum State { kStart, kInt, kFloat, kHex, kInvalid } state = kStart;
+  int transitions = 0;
+  for (const char* p = inputs; *p; ++p) {
+    const char ch = *p;
+    switch (state) {
+      case kStart:
+        state = ch == '0' ? kHex : (ch >= '1' && ch <= '9' ? kInt : kInvalid);
+        break;
+      case kInt:
+        if (ch == '.') state = kFloat;
+        else if (ch == ',') state = kStart;
+        else if (ch < '0' || ch > '9') state = kInvalid;
+        break;
+      case kFloat:
+      case kHex:
+        if (ch == ',') state = kStart;
+        break;
+      case kInvalid:
+        if (ch == ',') state = kStart;
+        break;
+    }
+    ++transitions;
+    crc = crc16_update(static_cast<std::uint8_t>(state * 31 + ch), crc);
+  }
+  return crc16_update(static_cast<std::uint8_t>(transitions), crc);
+}
+
+}  // namespace
+
+int main() {
+  using namespace cwc::bench;
+  header("Figure 1", "CoreMark: smartphone CPUs vs the Intel Core 2 Duo");
+
+  // 1. Ground the methodology: iterations/second of the mini-CoreMark mix.
+  subhead("mini-CoreMark on this host (methodology grounding)");
+  const auto start = std::chrono::steady_clock::now();
+  std::uint16_t crc = 0xFFFF;
+  std::size_t iterations = 0;
+  while (std::chrono::steady_clock::now() - start < std::chrono::milliseconds(300)) {
+    crc = list_workload(crc);
+    crc = matrix_workload(crc);
+    crc = state_machine_workload(crc);
+    ++iterations;
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  std::printf("host executes %.0f iterations/s (crc=0x%04X, one core)\n",
+              static_cast<double>(iterations) / secs, crc);
+
+  // 2. The figure itself: published whole-chip CoreMark scores.
+  subhead("published chip scores (series of Fig. 1)");
+  struct Chip {
+    const char* name;
+    double coremark;  // whole-chip score, all cores
+  };
+  // Sources: coremark.org submissions and the NVIDIA Variable-SMP
+  // whitepaper the paper cites ([8], [30]).
+  const Chip chips[] = {
+      {"NVIDIA Tegra 3 (4x Cortex-A9 @ 1.3 GHz)", 11354.0},
+      {"Intel Core 2 Duo T7500 (2x @ 2.2 GHz)", 10162.0},
+      {"NVIDIA Tegra 2 (2x Cortex-A9 @ 1.0 GHz)", 5866.0},
+      {"Qualcomm Snapdragon S3 (2x Scorpion @ 1.5 GHz)", 6046.0},
+      {"TI OMAP 4430 (2x Cortex-A9 @ 1.0 GHz)", 5034.0},
+  };
+  const double reference = chips[1].coremark;  // Core 2 Duo
+  for (const Chip& chip : chips) {
+    std::printf("  %-48s %8.0f  (%.2fx Core2Duo) %s\n", chip.name, chip.coremark,
+                chip.coremark / reference,
+                cwc::ascii_bar(chip.coremark, 300.0, 45).c_str());
+  }
+
+  std::printf("\nshape check: Tegra 3 outperforms the Core 2 Duo (%.2fx) while the\n"
+              "older phone chips reach roughly half its score — a phone replaces a\n"
+              "single-core server, and 2-3 older phones replace one typical server.\n",
+              chips[0].coremark / reference);
+  return 0;
+}

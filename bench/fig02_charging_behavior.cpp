@@ -1,0 +1,51 @@
+// Figure 2 — charging behaviour of the 15-user study.
+//   (a) CDF of charging interval lengths, day vs night
+//       (paper: night median ~7 h, day median ~30 min, fewer night
+//       intervals than day intervals);
+//   (b) CDF of data transferred during night charging intervals
+//       (paper: < ~2 MB for 80% of night intervals);
+//   (c) mean +/- sd idle night charging hours per user
+//       (paper: >= 3 h on average; users 3, 4, 8 regular at 8-9 h).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "trace/behavior.h"
+#include "trace/stats.h"
+
+int main() {
+  using namespace cwc;
+  using namespace cwc::bench;
+  header("Figure 2", "charging behaviour of 15 users over a 60-day study");
+
+  Rng rng(42);
+  const trace::StudyLog log = trace::generate_study(rng, 15, 60);
+  const trace::ChargingStats stats(log);
+
+  subhead("(a) CDF of charging interval lengths, day vs night");
+  std::printf("night intervals: %zu, day intervals: %zu (fewer at night, as in the paper)\n",
+              stats.night_interval_count(), stats.day_interval_count());
+  print_cdf("night intervals", stats.night_interval_hours(), "h");
+  print_cdf("day intervals", stats.day_interval_hours(), "h");
+
+  subhead("(b) CDF of data transferred in night charging intervals");
+  const Cdf data = stats.night_data_mb();
+  print_cdf("night transfer", data, "MB");
+  std::printf("\nfraction of night intervals below 2 MB: %.0f%% (paper: ~80%%)\n",
+              100.0 * data.at(2.0));
+
+  subhead("(c) idle night charging hours per user (idle = < 2 MB transferred)");
+  const auto idle = stats.idle_night_hours(2.0);
+  double population_mean = 0.0;
+  for (const auto& user : idle) {
+    std::printf("  user %2d: %5.2f h/night +/- %4.2f %s%s\n", user.user, user.mean_hours,
+                user.sd_hours, ascii_bar(user.mean_hours, 0.25, 40).c_str(),
+                (user.user == 3 || user.user == 4 || user.user == 8) ? "  <- regular" : "");
+    population_mean += user.mean_hours;
+  }
+  std::printf("\npopulation mean: %.2f h idle night charging (paper: at least 3 h)\n",
+              population_mean / static_cast<double>(idle.size()));
+  std::printf("shutdown state fraction: %.1f%% of intervals (paper: ~3%%)\n",
+              100.0 * stats.shutdown_fraction());
+  return 0;
+}

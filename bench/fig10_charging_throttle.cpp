@@ -1,0 +1,77 @@
+// Figure 10 — charging times under different schemes (HTC Sensation).
+//
+// Three charging runs from 0% to 100%:
+//   - no task          (the ideal linear charging profile, ~100 min);
+//   - heavy CPU task   (continuous execution, ~135 min: +35%);
+//   - MIMD throttling  (the paper's adaptive duty cycle: charge time close
+//                       to ideal while still delivering most of the CPU;
+//                       the paper reports ~24.5% extra computation time
+//                       versus continuous execution).
+//
+// Also reproduced: the HTC G2 shows no significant effect, and charging
+// from USB (half the supply power) stretches everything proportionally.
+#include <cstdio>
+
+#include "battery/throttler.h"
+#include "bench_util.h"
+
+int main() {
+  using namespace cwc;
+  using namespace cwc::bench;
+  header("Figure 10", "charging curves: no task vs heavy task vs MIMD throttling");
+
+  const battery::PowerProfile sensation = battery::PowerProfile::htc_sensation();
+
+  const battery::ChargeRun idle = battery::charge_at_constant_load(sensation, 0.0, 0.0);
+  const battery::ChargeRun heavy = battery::charge_at_constant_load(sensation, 0.0, 1.0);
+  battery::SimulatedChargeEnvironment mimd_env(battery::BatteryModel(sensation, 0.0));
+  const battery::ThrottleReport mimd = battery::run_mimd_throttler(mimd_env);
+
+  subhead("HTC Sensation, wall charger, 0% -> 100%");
+  std::printf("  no task:         %6.1f min to full\n", to_minutes(idle.charge_time));
+  std::printf("  heavy CPU task:  %6.1f min to full (+%.0f%%; paper: +35%%)\n",
+              to_minutes(heavy.charge_time),
+              100.0 * (heavy.charge_time / idle.charge_time - 1.0));
+  std::printf("  MIMD throttled:  %6.1f min to full (+%.0f%%; paper: almost ideal)\n",
+              to_minutes(mimd.elapsed), 100.0 * (mimd.elapsed / idle.charge_time - 1.0));
+
+  subhead("compute delivered during the charge");
+  const double duty = mimd.compute_time / mimd.elapsed;
+  std::printf("  heavy:           %6.1f min busy (duty 100%%)\n",
+              to_minutes(heavy.compute_time));
+  std::printf("  MIMD throttled:  %6.1f min busy (duty %.0f%%)\n",
+              to_minutes(mimd.compute_time), 100.0 * duty);
+  std::printf("  -> a fixed computation takes %.1f%% longer under MIMD than under\n"
+              "     continuous execution (paper: ~24.5%%)\n",
+              100.0 * (1.0 / duty - 1.0));
+  std::printf("  MIMD adaptation: %zu sleep increases, %zu decreases, %zu delta refreshes\n",
+              mimd.mimd_increases, mimd.mimd_decreases, mimd.delta_refreshes);
+
+  subhead("charging curve samples (minutes at each 10%)");
+  std::printf("  %-10s %-8s %-8s %-8s\n", "percent", "no-task", "heavy", "mimd");
+  // Reconstruct curves from traces.
+  auto at_percent = [](const std::vector<battery::ChargeSample>& trace, int percent) {
+    for (const auto& sample : trace) {
+      if (sample.percent >= percent) return to_minutes(sample.time);
+    }
+    return to_minutes(trace.empty() ? 0.0 : trace.back().time);
+  };
+  for (int p = 10; p <= 100; p += 10) {
+    std::printf("  %-10d %-8.1f %-8.1f %-8.1f\n", p, at_percent(idle.trace, p),
+                at_percent(heavy.trace, p), at_percent(mimd_env.trace(), p));
+  }
+
+  subhead("control cases");
+  const battery::PowerProfile g2 = battery::PowerProfile::htc_g2();
+  const battery::ChargeRun g2_idle = battery::charge_at_constant_load(g2, 0.0, 0.0);
+  const battery::ChargeRun g2_heavy = battery::charge_at_constant_load(g2, 0.0, 1.0);
+  std::printf("  HTC G2: idle %.1f min vs heavy %.1f min (+%.1f%%; paper: no significant "
+              "effect)\n",
+              to_minutes(g2_idle.charge_time), to_minutes(g2_heavy.charge_time),
+              100.0 * (g2_heavy.charge_time / g2_idle.charge_time - 1.0));
+  const battery::ChargeRun usb = battery::charge_at_constant_load(sensation.on_usb(), 0.0, 0.0);
+  std::printf("  USB supply: idle charge stretches to %.1f min (input power matters,\n"
+              "  which is why delta is re-measured every 5%% of charge)\n",
+              to_minutes(usb.charge_time));
+  return 0;
+}

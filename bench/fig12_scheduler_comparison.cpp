@@ -1,0 +1,160 @@
+// Figure 12 — the paper's headline evaluation on the 18-phone testbed with
+// the 150-task workload (50 prime-count + 50 word-count + 50 atomic
+// photo-blur instances).
+//
+//   (a) task-execution timeline: CWC's greedy scheduler balances load; the
+//       makespan is ~1100 s, the predicted makespan within ~2%, and the
+//       spread between first and last phone to finish is ~20%. Equal-split
+//       finishes in ~1720 s and round-robin in ~1805 s (greedy ~1.6x
+//       faster).
+//   (b) CDF of input partitions per task: ~90% of tasks stay unpartitioned.
+//   (c) failure run: three phones unplugged mid-batch; failed tasks are
+//       re-scheduled at the next instant onto (mostly fast) remaining
+//       phones, costing ~113 s beyond the original makespan.
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "core/greedy.h"
+#include "core/testbed.h"
+#include "sim/simulator.h"
+#include "sim/timeline_svg.h"
+
+using namespace cwc;
+
+namespace {
+
+sim::SimResult run_once(std::unique_ptr<core::Scheduler> scheduler,
+                        const std::vector<core::PhoneSpec>& phones, std::uint64_t seed,
+                        std::vector<sim::FailureEvent> failures = {}) {
+  sim::SimOptions options;
+  options.scheduling_period = seconds(120.0);
+  sim::TestbedSimulation simulation(std::move(scheduler), core::paper_prediction(), phones,
+                                    options, seed);
+  Rng workload_rng(4242);
+  for (const auto& job : core::paper_workload(workload_rng, 1.0)) simulation.submit(job);
+  for (const auto& event : failures) simulation.inject(event);
+  return simulation.run();
+}
+
+void print_timeline(const sim::SimResult& result, const std::vector<PhoneId>& phones_to_show) {
+  // One row per phone: 80 columns spanning [0, makespan]; '#' = executing,
+  // '=' = receiving, '.' = idle, 'r' = executing re-scheduled work.
+  const double scale = result.makespan / 78.0;
+  for (PhoneId id : phones_to_show) {
+    std::string row(79, '.');
+    for (const auto& segment : result.timeline) {
+      if (segment.phone != id) continue;
+      const auto from = static_cast<std::size_t>(segment.start / scale);
+      const auto to = static_cast<std::size_t>(segment.end / scale);
+      for (std::size_t col = from; col <= to && col < row.size(); ++col) {
+        char mark = segment.kind == sim::TimelineSegment::Kind::kTransfer ? '=' : '#';
+        if (segment.rescheduled && mark == '#') mark = 'r';
+        row[col] = mark;
+      }
+    }
+    std::printf("  phone %2d |%s|\n", id, row.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace cwc::bench;
+  header("Figure 12", "prototype evaluation: 18 phones, 150 tasks");
+
+  Rng testbed_rng(42);
+  const auto phones = core::paper_testbed(testbed_rng);
+
+  // ---- (a) scheduler comparison -------------------------------------------
+  const sim::SimResult greedy = run_once(std::make_unique<core::GreedyScheduler>(), phones, 1);
+  const sim::SimResult equal =
+      run_once(std::make_unique<core::EqualSplitScheduler>(), phones, 1);
+  const sim::SimResult rr = run_once(std::make_unique<core::RoundRobinScheduler>(), phones, 1);
+  const sim::SimResult lpt = run_once(std::make_unique<core::LptScheduler>(), phones, 1);
+
+  subhead("(a) makespans");
+  std::printf("  cwc-greedy:   %7.1f s (predicted %.1f s, within %.1f%%)\n",
+              to_seconds(greedy.makespan), to_seconds(greedy.predicted_makespan),
+              100.0 * std::abs(greedy.makespan / greedy.predicted_makespan - 1.0));
+  std::printf("  equal-split:  %7.1f s (%.2fx greedy; paper: 1720 s vs 1100 s)\n",
+              to_seconds(equal.makespan), equal.makespan / greedy.makespan);
+  std::printf("  round-robin:  %7.1f s (%.2fx greedy; paper: 1805 s vs 1100 s)\n",
+              to_seconds(rr.makespan), rr.makespan / greedy.makespan);
+  std::printf("  lpt (extra):  %7.1f s (%.2fx greedy; our added baseline: with 150\n"
+              "                small jobs, heterogeneity-aware whole-job placement\n"
+              "                nearly matches — CWC's partitioning pays off when jobs\n"
+              "                are few and large, see the ablation benches)\n",
+              to_seconds(lpt.makespan), lpt.makespan / greedy.makespan);
+
+  // Finish-time spread (paper: earliest ~900 s vs last ~1100 s, ~20%).
+  std::map<PhoneId, Millis> finish;
+  for (const auto& segment : greedy.timeline) {
+    finish[segment.phone] = std::max(finish[segment.phone], segment.end);
+  }
+  Millis earliest = greedy.makespan;
+  PhoneId earliest_phone = kInvalidPhone;
+  for (const auto& [id, t] : finish) {
+    if (t < earliest) {
+      earliest = t;
+      earliest_phone = id;
+    }
+  }
+  std::printf("  earliest finisher: phone %d at %.1f s (%.0f%% of makespan; fast hidden\n"
+              "  efficiency, like the paper's phones 2 and 9)\n",
+              earliest_phone, to_seconds(earliest), 100.0 * earliest / greedy.makespan);
+
+  subhead("(a) execution timeline, greedy (# execute, = receive, . idle)");
+  print_timeline(greedy, {0, 2, 4, 9, 12, 13, 14, 17});
+
+  // ---- (b) partitions CDF ---------------------------------------------------
+  subhead("(b) input partitions per task");
+  const auto partitions = greedy.first_schedule.partitions_per_job();
+  std::map<std::size_t, int> histogram;
+  for (const auto& [job, parts] : partitions) ++histogram[parts];
+  int cumulative = 0;
+  for (const auto& [parts, count] : histogram) {
+    cumulative += count;
+    std::printf("  %zu partitions: %3d tasks (cum %5.1f%%) %s\n", parts, count,
+                100.0 * cumulative / 150.0, ascii_bar(count, 2.0, 40).c_str());
+  }
+  std::printf("  unpartitioned tasks: %.0f%% (paper: ~90%%; 33%% are atomic by definition)\n",
+              100.0 * static_cast<double>(histogram[0]) / 150.0);
+  const auto equal_partitions = equal.first_schedule.partitions_per_job();
+  std::size_t equal_total = 0;
+  for (const auto& [job, parts] : equal_partitions) equal_total += parts;
+  std::size_t greedy_total = 0;
+  for (const auto& [job, parts] : partitions) greedy_total += parts;
+  std::printf("  total partitions: greedy %zu vs equal-split %zu (aggregation cost)\n",
+              greedy_total, equal_total);
+
+  // ---- (c) failure run ------------------------------------------------------
+  subhead("(c) failure run: phones 1, 6, 17 unplugged mid-batch");
+  // Unplug instants at 30/50/70% of the expected makespan (the paper used
+  // random instants during execution).
+  const Millis span = greedy.makespan;
+  const sim::SimResult failed = run_once(
+      std::make_unique<core::GreedyScheduler>(), phones, 1,
+      {{0.3 * span, 1, sim::FailureKind::kUnplugOnline},
+       {0.5 * span, 6, sim::FailureKind::kUnplugOnline},
+       {0.7 * span, 17, sim::FailureKind::kUnplugOnline}});
+  std::printf("  completed: %s in %.1f s over %zu scheduling rounds\n",
+              failed.completed ? "yes" : "NO", to_seconds(failed.makespan),
+              failed.scheduling_rounds);
+  std::printf("  failure-free makespan was %.1f s -> recovering three failed phones'\n"
+              "  work cost %.1f s extra (%.1f%% of the makespan; paper: 113 s on 1100 s,\n"
+              "  ~10%%)\n",
+              to_seconds(greedy.makespan), to_seconds(failed.makespan - greedy.makespan),
+              100.0 * (failed.makespan - greedy.makespan) / greedy.makespan);
+  subhead("(c) timeline with failures ('r' = re-scheduled work)");
+  print_timeline(failed, {0, 1, 6, 7, 8, 13, 14, 17});
+
+  // Graphical versions of both timelines (the actual Fig. 12 artifacts).
+  sim::SvgOptions svg;
+  svg.title = "Fig 12(a): CWC greedy, 18 phones, 150 tasks";
+  sim::write_timeline_svg(greedy, "fig12a_timeline.svg", svg);
+  svg.title = "Fig 12(c): failure run (orange = re-scheduled work)";
+  sim::write_timeline_svg(failed, "fig12c_timeline.svg", svg);
+  std::printf("\nwrote fig12a_timeline.svg and fig12c_timeline.svg\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Microbenchmarks (google-benchmark) for the scheduling stack: greedy
+// packing cost vs fleet/workload size, the capacity binary search, the LP
+// relaxation solve, and the prediction model's hot paths. These quantify
+// the paper's claim that "the scheduling algorithms executed on the server
+// are lightweight, and thus, a rudimentary low cost PC will suffice".
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/greedy.h"
+#include "core/relaxation.h"
+#include "core/testbed.h"
+#include "lp/simplex.h"
+
+namespace {
+
+using namespace cwc;
+
+struct Instance {
+  std::vector<core::PhoneSpec> phones;
+  std::vector<core::JobSpec> jobs;
+  core::PredictionModel prediction = core::paper_prediction();
+};
+
+Instance make_instance(std::size_t phone_count, std::size_t job_count) {
+  Rng rng(17);
+  Instance instance;
+  auto base = core::paper_testbed(rng);
+  for (std::size_t i = 0; i < phone_count; ++i) {
+    core::PhoneSpec phone = base[i % base.size()];
+    phone.id = static_cast<PhoneId>(i);
+    phone.b = rng.uniform(1.0, 70.0);
+    instance.phones.push_back(phone);
+  }
+  const auto workload = core::paper_workload(rng, 0.1);
+  for (std::size_t j = 0; j < job_count; ++j) {
+    core::JobSpec job = workload[j % workload.size()];
+    job.id = static_cast<JobId>(j);
+    instance.jobs.push_back(job);
+  }
+  return instance;
+}
+
+void BM_GreedyBuild(benchmark::State& state) {
+  const auto instance =
+      make_instance(static_cast<std::size_t>(state.range(0)),
+                    static_cast<std::size_t>(state.range(1)));
+  const core::GreedyScheduler scheduler;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        scheduler.build(instance.jobs, instance.phones, instance.prediction));
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " phones, " +
+                 std::to_string(state.range(1)) + " jobs");
+}
+BENCHMARK(BM_GreedyBuild)
+    ->Args({6, 30})
+    ->Args({18, 150})
+    ->Args({36, 300})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SinglePacking(benchmark::State& state) {
+  const auto instance = make_instance(18, 150);
+  const core::GreedyScheduler scheduler;
+  const auto [lb, ub] =
+      scheduler.capacity_bounds(instance.jobs, instance.phones, instance.prediction);
+  const Millis capacity = (lb + ub) / 2.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.pack_with_capacity(instance.jobs, instance.phones,
+                                                          instance.prediction, capacity));
+  }
+}
+BENCHMARK(BM_SinglePacking)->Unit(benchmark::kMillisecond);
+
+void BM_Baselines(benchmark::State& state) {
+  const auto instance = make_instance(18, 150);
+  const core::EqualSplitScheduler equal;
+  const core::RoundRobinScheduler rr;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(equal.build(instance.jobs, instance.phones, instance.prediction));
+    benchmark::DoNotOptimize(rr.build(instance.jobs, instance.phones, instance.prediction));
+  }
+}
+BENCHMARK(BM_Baselines)->Unit(benchmark::kMillisecond);
+
+void BM_LpRelaxation(benchmark::State& state) {
+  const auto instance = make_instance(static_cast<std::size_t>(state.range(0)),
+                                      static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::relaxed_lower_bound(instance.jobs, instance.phones, instance.prediction));
+  }
+}
+BENCHMARK(BM_LpRelaxation)->Args({6, 30})->Args({18, 150})->Unit(benchmark::kMillisecond);
+
+void BM_PredictionPredict(benchmark::State& state) {
+  const auto instance = make_instance(18, 150);
+  std::size_t phone = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(instance.prediction.predict(
+        core::kPrimeTask, instance.phones[phone++ % instance.phones.size()]));
+  }
+}
+BENCHMARK(BM_PredictionPredict);
+
+void BM_PredictionObserve(benchmark::State& state) {
+  auto instance = make_instance(18, 150);
+  PhoneId phone = 0;
+  for (auto _ : state) {
+    instance.prediction.observe(core::kPrimeTask, phone, 100.0, 720.0);
+    phone = (phone + 1) % 18;
+  }
+}
+BENCHMARK(BM_PredictionObserve);
+
+}  // namespace
+
+BENCHMARK_MAIN();

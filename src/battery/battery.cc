@@ -1,0 +1,105 @@
+#include "battery/battery.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cwc::battery {
+
+PowerProfile PowerProfile::htc_sensation() {
+  PowerProfile p;
+  p.capacity_joules = 20160.0;  // 5.6 Wh (1520 mAh @ 3.7 V)
+  p.charger_watts = 5.0;
+  p.idle_watts = 0.4;
+  p.cpu_watts = 1.0;
+  // Idle calibration: 100-minute full charge -> 3.36 W charge limit.
+  p.max_charge_watts = p.capacity_joules / (100.0 * 60.0);
+  // Continuous-load calibration: ~135-minute full charge once hot.
+  p.derate_factor = (p.capacity_joules / (135.0 * 60.0)) / p.max_charge_watts;
+  p.delta_t_max_c = 17.0;       // sustained 100% CPU settles at 42 C
+  p.derate_threshold_c = 40.0;  // so duty cycles below ~88% stay cool
+  p.thermal_tau_s = 90.0;
+  return p;
+}
+
+PowerProfile PowerProfile::htc_g2() {
+  PowerProfile p;
+  p.capacity_joules = 14760.0;  // 4.1 Wh
+  p.charger_watts = 4.0;
+  p.idle_watts = 0.35;
+  p.cpu_watts = 0.35;           // older, cooler CPU
+  p.max_charge_watts = p.capacity_joules / (90.0 * 60.0);  // 90-minute charge
+  p.delta_t_max_c = 8.0;        // never reaches the derate threshold
+  p.derate_threshold_c = 40.0;
+  p.derate_factor = 0.8;        // irrelevant below threshold
+  p.thermal_tau_s = 90.0;
+  return p;
+}
+
+PowerProfile PowerProfile::on_usb() const {
+  PowerProfile p = *this;
+  p.charger_watts *= 0.5;
+  return p;
+}
+
+double PowerProfile::charge_watts(double utilization, double temperature_c) const {
+  double power = std::min(max_charge_watts, charger_watts - idle_watts - cpu_watts * utilization);
+  if (temperature_c >= derate_threshold_c) power *= derate_factor;
+  return power;
+}
+
+Millis PowerProfile::idle_full_charge_time() const {
+  const double watts = charge_watts(0.0, ambient_c);
+  if (watts <= 0.0) return hours(24 * 365);  // effectively never
+  return seconds(capacity_joules / watts);
+}
+
+BatteryModel::BatteryModel(PowerProfile profile, double initial_percent)
+    : profile_(profile),
+      percent_(std::clamp(initial_percent, 0.0, 100.0)),
+      temperature_(profile.ambient_c) {
+  if (profile_.capacity_joules <= 0.0) {
+    throw std::invalid_argument("BatteryModel: non-positive capacity");
+  }
+  if (profile_.thermal_tau_s <= 0.0) {
+    throw std::invalid_argument("BatteryModel: non-positive thermal time constant");
+  }
+}
+
+void BatteryModel::advance(Millis dt, double utilization) {
+  if (dt < 0.0) throw std::invalid_argument("BatteryModel::advance: negative dt");
+  utilization = std::clamp(utilization, 0.0, 1.0);
+  elapsed_ += dt;
+  const double dt_s = to_seconds(dt);
+
+  // First-order thermal response toward the utilization's equilibrium.
+  const double equilibrium = profile_.ambient_c + profile_.delta_t_max_c * utilization;
+  const double alpha = 1.0 - std::exp(-dt_s / profile_.thermal_tau_s);
+  temperature_ += (equilibrium - temperature_) * alpha;
+
+  if (full()) return;  // outlet powers the CPU directly; no battery change
+  const double joules = profile_.charge_watts(utilization, temperature_) * dt_s;
+  percent_ = std::clamp(percent_ + 100.0 * joules / profile_.capacity_joules, 0.0, 100.0);
+}
+
+ChargeRun charge_at_constant_load(const PowerProfile& profile, double initial_percent,
+                                  double utilization, Millis max_time) {
+  BatteryModel battery(profile, initial_percent);
+  ChargeRun run;
+  run.trace.push_back({0.0, battery.reported_percent()});
+  const Millis tick = seconds(1.0);
+  int last_reported = battery.reported_percent();
+  while (!battery.full() && battery.elapsed() < max_time) {
+    battery.advance(tick, utilization);
+    run.compute_time += tick * utilization;
+    if (battery.reported_percent() != last_reported) {
+      last_reported = battery.reported_percent();
+      run.trace.push_back({battery.elapsed(), last_reported});
+    }
+  }
+  run.charge_time = battery.elapsed();
+  run.reached_full = battery.full();
+  return run;
+}
+
+}  // namespace cwc::battery

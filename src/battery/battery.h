@@ -1,0 +1,115 @@
+// Battery charging model (Section 4.3 of the paper).
+//
+// The paper's observations, which this model is calibrated to reproduce:
+//   - residual battery percentage grows linearly in time while charging
+//     with no load (the "charging profile"; HTC Sensation: ~100 minutes
+//     from 0% to 100%);
+//   - a *continuously* CPU-intensive task stretches the Sensation's full
+//     charge to ~135 minutes (+35%);
+//   - the MIMD duty-cycling throttler charges in almost the ideal time
+//     while still delivering most of the CPU (the paper measured only a
+//     24.5% increase in computation time versus continuous execution);
+//   - the HTC G2 shows no significant charging impact under load;
+//   - once full, outlet power feeds the CPU directly with no penalty.
+//
+// A pure power-balance model cannot reproduce the Sensation numbers: a 5 W
+// wall charger has enough headroom to feed ~1 W of CPU *and* the battery's
+// ~3.4 W charge limit, yet continuous load demonstrably slows charging by
+// 35%. The mechanism consistent with all of the paper's observations is
+// thermal: sustained CPU load heats the pack and the charging circuit
+// derates the charge current above a temperature threshold, while
+// duty-cycled load (even at high average utilization) stays below the
+// threshold. We therefore model:
+//
+//   - power balance: charge power = min(max_charge_watts,
+//         charger_watts - idle_watts - cpu_watts * utilization), and
+//   - a first-order thermal state T with time constant `thermal_tau`,
+//     heated by CPU utilization; when T exceeds `derate_threshold_c` the
+//     charge power is multiplied by `derate_factor` (< 1).
+//
+// This is the behaviour the MIMD throttler actually exploits: its sleep
+// slots keep the pack cool, so it sustains a high duty cycle at the ideal
+// charging rate — exactly the curve in Fig. 10.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace cwc::battery {
+
+/// Device power/thermal characteristics. Factory presets are calibrated to
+/// the paper's measurements.
+struct PowerProfile {
+  double capacity_joules = 20160.0;   ///< 5.6 Wh battery
+  double charger_watts = 5.0;         ///< supply power
+  double idle_watts = 0.4;            ///< platform draw while idle on charge
+  double cpu_watts = 1.0;             ///< extra draw at 100% CPU
+  double max_charge_watts = 3.36;     ///< battery charge-current limit
+
+  double ambient_c = 25.0;            ///< ambient / initial temperature
+  double delta_t_max_c = 17.0;        ///< steady-state heat-up at 100% CPU
+  double thermal_tau_s = 90.0;        ///< first-order thermal time constant
+  double derate_threshold_c = 40.0;   ///< charge derating kicks in above this
+  double derate_factor = 0.7407;      ///< charge-power multiplier when hot
+
+  /// HTC Sensation on a wall charger: 100 min idle charge, ~135 min under
+  /// continuous load, near-ideal under MIMD duty-cycling (Fig. 10).
+  static PowerProfile htc_sensation();
+  /// HTC G2: cooler CPU and ample headroom; "no significant effect".
+  static PowerProfile htc_g2();
+  /// USB supply: roughly half the wall charger's power (the paper notes
+  /// input power fluctuates with the source).
+  PowerProfile on_usb() const;
+
+  /// Instantaneous charge power (W) at the given utilization/temperature.
+  double charge_watts(double utilization, double temperature_c) const;
+  /// Idle full-charge duration from empty (the linear profile's length).
+  Millis idle_full_charge_time() const;
+};
+
+/// Evolves residual charge and pack temperature over simulated time.
+class BatteryModel {
+ public:
+  BatteryModel(PowerProfile profile, double initial_percent);
+
+  /// Advances simulated time by `dt` at CPU `utilization` in [0, 1]. Keep
+  /// `dt` at or below ~1 s; the thermal integration is first-order Euler.
+  /// While full, outlet power feeds the CPU and nothing changes.
+  void advance(Millis dt, double utilization);
+
+  double exact_percent() const { return percent_; }
+  /// Truncated integer percent, as Android's BatteryManager reports it.
+  int reported_percent() const { return static_cast<int>(percent_); }
+  double temperature_c() const { return temperature_; }
+  bool full() const { return percent_ >= 100.0; }
+  Millis elapsed() const { return elapsed_; }
+  const PowerProfile& profile() const { return profile_; }
+
+ private:
+  PowerProfile profile_;
+  double percent_;
+  double temperature_;
+  Millis elapsed_ = 0.0;
+};
+
+/// One (time, reported percent) sample of a charging run.
+struct ChargeSample {
+  Millis time = 0.0;
+  int percent = 0;
+};
+
+/// Result of simulating a charging scenario (see the Fig. 10 bench).
+struct ChargeRun {
+  std::vector<ChargeSample> trace;   ///< percent transitions only
+  Millis charge_time = 0.0;          ///< time to reach 100% (or give-up time)
+  Millis compute_time = 0.0;         ///< total CPU-busy time delivered
+  bool reached_full = false;
+};
+
+/// Charges from `initial_percent` to full at constant utilization, sampling
+/// the reported percent. `max_time` bounds scenarios that cannot finish.
+ChargeRun charge_at_constant_load(const PowerProfile& profile, double initial_percent,
+                                  double utilization, Millis max_time = hours(12));
+
+}  // namespace cwc::battery

@@ -1,0 +1,139 @@
+#include "battery/throttler.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace cwc::battery {
+
+void SimulatedChargeEnvironment::record() {
+  if (model_.reported_percent() != last_percent_) {
+    last_percent_ = model_.reported_percent();
+    trace_.push_back({model_.elapsed(), last_percent_});
+  }
+}
+
+void SimulatedChargeEnvironment::run_task(Millis duration) {
+  // Advance in small ticks so percent transitions land on accurate times.
+  Millis remaining = duration;
+  while (remaining > 0.0) {
+    const Millis step = std::min(remaining, seconds(1.0));
+    model_.advance(step, 1.0);
+    compute_time_ += step;
+    remaining -= step;
+    record();
+  }
+}
+
+void SimulatedChargeEnvironment::idle(Millis duration) {
+  Millis remaining = duration;
+  while (remaining > 0.0) {
+    const Millis step = std::min(remaining, seconds(1.0));
+    model_.advance(step, 0.0);
+    remaining -= step;
+    record();
+  }
+}
+
+namespace {
+
+/// Runs one duty-cycle phase (busy or idle) in one-second slices, stopping
+/// early when the reported percent reaches `target_percent` or the battery
+/// fills — the analog of Android's BATTERY_CHANGED broadcast interrupting
+/// the cycle. Returns the CPU-busy time spent.
+Millis tick_phase(ChargeEnvironment& env, bool busy, Millis duration, int target_percent) {
+  Millis compute = 0.0;
+  Millis remaining = duration;
+  while (remaining > 0.0 && env.battery_percent() < target_percent && !env.battery_full()) {
+    const Millis step = std::min(remaining, seconds(1.0));
+    if (busy) {
+      env.run_task(step);
+      compute += step;
+    } else {
+      env.idle(step);
+    }
+    remaining -= step;
+  }
+  return compute;
+}
+
+/// Idles until the reported percent rises by one; returns the time taken,
+/// or a negative value on timeout / battery-full.
+Millis measure_delta(ChargeEnvironment& env, const ThrottlerConfig& config) {
+  const int start_percent = env.battery_percent();
+  const Millis start = env.now();
+  while (env.battery_percent() < start_percent + 1) {
+    if (env.battery_full()) return -1.0;
+    if (env.now() - start > config.measurement_timeout) return -1.0;
+    env.idle(seconds(1.0));
+  }
+  return env.now() - start;
+}
+
+}  // namespace
+
+ThrottleReport run_mimd_throttler(ChargeEnvironment& env, const ThrottlerConfig& config) {
+  ThrottleReport report;
+  const Millis t0 = env.now();
+
+  Millis delta = measure_delta(env, config);
+  if (delta < 0.0) {
+    report.elapsed = env.now() - t0;
+    report.completed = env.battery_full();
+    return report;
+  }
+  ++report.delta_refreshes;
+  int percent_at_delta = env.battery_percent();
+  Millis sleep_time = delta / 2.0;
+
+  while (!env.battery_full()) {
+    // The charging profile drifts (other tasks, supply changes); re-measure
+    // the target parameter every `delta_refresh_percent` of charge.
+    if (env.battery_percent() >= percent_at_delta + config.delta_refresh_percent) {
+      const Millis fresh = measure_delta(env, config);
+      if (fresh < 0.0) break;
+      delta = fresh;
+      sleep_time = std::clamp(sleep_time, config.min_sleep, config.max_sleep);
+      percent_at_delta = env.battery_percent();
+      ++report.delta_refreshes;
+      continue;
+    }
+
+    // One adaptation round: duty-cycle until the residual gains 1%.
+    const int round_start_percent = env.battery_percent();
+    const Millis round_start = env.now();
+    bool timed_out = false;
+    while (env.battery_percent() < round_start_percent + 1 && !env.battery_full()) {
+      if (env.now() - round_start > config.measurement_timeout) {
+        timed_out = true;
+        break;
+      }
+      report.compute_time += tick_phase(env, /*busy=*/true, delta / 2.0, round_start_percent + 1);
+      tick_phase(env, /*busy=*/false, sleep_time, round_start_percent + 1);
+    }
+    if (env.battery_full()) break;
+    if (timed_out) {
+      // Charging stalled even with the duty cycle; back off hard and retry.
+      sleep_time = std::min(sleep_time * config.sleep_increase, config.max_sleep);
+      ++report.mimd_increases;
+      continue;
+    }
+
+    const Millis beta = env.now() - round_start;
+    if (beta > delta * config.beta_tolerance) {
+      // The task is visibly delaying the charge: idle more (MI).
+      sleep_time = std::min(sleep_time * config.sleep_increase, config.max_sleep);
+      ++report.mimd_increases;
+    } else {
+      // Charging on profile: there may be headroom, idle less (MD).
+      sleep_time = std::max(sleep_time * config.sleep_decrease, config.min_sleep);
+      ++report.mimd_decreases;
+    }
+  }
+
+  report.elapsed = env.now() - t0;
+  report.completed = env.battery_full();
+  return report;
+}
+
+}  // namespace cwc::battery

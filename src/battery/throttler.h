@@ -1,0 +1,91 @@
+// MIMD CPU throttler (Section 4.3) — CWC's mechanism for running tasks on a
+// charging phone without stretching its charging profile.
+//
+// Algorithm, exactly as in the paper:
+//   1. Measure the *target charging parameter* δ: the time for the residual
+//      charge to rise 1% with no task running.
+//   2. Duty-cycle the task: run for δ/2, sleep for `s` (initially δ/2),
+//      repeating until the residual rises 1%; call that time β (>= δ).
+//   3. If β = δ (within tolerance), there is headroom: decrease the sleep
+//      time by a factor of 0.75. If β > δ, the CPU is eating into the
+//      charging profile: increase the sleep time by a factor of 2.
+//      (Multiplicative increase / multiplicative decrease.)
+//   4. Re-measure δ every time the residual charge has moved 5% (other
+//      tasks and supply fluctuations change the profile over time).
+//
+// The throttler only observes integer battery percentages and wall-clock
+// time, through the ChargeEnvironment interface — the same observables the
+// Android implementation has. The simulator provides one implementation
+// (battery-model backed); tests provide adversarial ones.
+#pragma once
+
+#include <vector>
+
+#include "battery/battery.h"
+#include "common/types.h"
+
+namespace cwc::battery {
+
+/// What the throttler can do on a phone: burn CPU, sleep, read the battery.
+class ChargeEnvironment {
+ public:
+  virtual ~ChargeEnvironment() = default;
+  /// Runs the task at full CPU for `duration`.
+  virtual void run_task(Millis duration) = 0;
+  /// Leaves the CPU idle for `duration`.
+  virtual void idle(Millis duration) = 0;
+  /// OS-reported residual battery percent (truncated integer).
+  virtual int battery_percent() = 0;
+  /// Monotonic time since the environment started.
+  virtual Millis now() = 0;
+  /// True when charging is complete (throttling no longer needed).
+  virtual bool battery_full() = 0;
+};
+
+/// ChargeEnvironment over a BatteryModel (simulated time).
+class SimulatedChargeEnvironment final : public ChargeEnvironment {
+ public:
+  explicit SimulatedChargeEnvironment(BatteryModel model) : model_(model) {}
+
+  void run_task(Millis duration) override;
+  void idle(Millis duration) override;
+  int battery_percent() override { return model_.reported_percent(); }
+  Millis now() override { return model_.elapsed(); }
+  bool battery_full() override { return model_.full(); }
+
+  Millis compute_time() const { return compute_time_; }
+  const std::vector<ChargeSample>& trace() const { return trace_; }
+  const BatteryModel& model() const { return model_; }
+
+ private:
+  void record();
+  BatteryModel model_;
+  Millis compute_time_ = 0.0;
+  std::vector<ChargeSample> trace_;
+  int last_percent_ = -1;
+};
+
+struct ThrottlerConfig {
+  double sleep_increase = 2.0;    ///< multiplicative increase when beta > delta
+  double sleep_decrease = 0.75;   ///< multiplicative decrease when beta == delta
+  double beta_tolerance = 1.08;   ///< beta <= tolerance*delta counts as "beta == delta"
+  int delta_refresh_percent = 5;  ///< re-measure delta after this much charge
+  Millis min_sleep = 50.0;        ///< floor so the duty cycle stays schedulable
+  Millis max_sleep = minutes(5);  ///< cap so the task is never starved forever
+  Millis measurement_timeout = minutes(30);  ///< give up waiting for +1%
+};
+
+struct ThrottleReport {
+  Millis elapsed = 0.0;        ///< total time until battery full (or stop)
+  Millis compute_time = 0.0;   ///< CPU-busy time delivered to the task
+  std::size_t delta_refreshes = 0;
+  std::size_t mimd_increases = 0;  ///< sleep doublings (beta > delta)
+  std::size_t mimd_decreases = 0;  ///< sleep shrinks (beta == delta)
+  bool completed = false;          ///< battery reached full
+};
+
+/// Runs the MIMD protocol in `env` until the battery is full (or a
+/// measurement times out). Returns what happened.
+ThrottleReport run_mimd_throttler(ChargeEnvironment& env, const ThrottlerConfig& config = {});
+
+}  // namespace cwc::battery

@@ -1,0 +1,54 @@
+// Minimal leveled logger. The central server, the simulator and the phone
+// agents all log through this; tests silence it by raising the level.
+//
+// Thread-safe: each log line is formatted into a local buffer and written
+// under a mutex, so lines from the net-layer threads never interleave.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace cwc {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level (default kWarn so library users and tests
+/// are quiet by default; examples and benches raise verbosity explicitly).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& component, const std::string& message);
+}
+
+/// Streams a single log line: LOG(kInfo, "sched") << "packed " << n;
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)), enabled_(level >= log_level()) {}
+  ~LogStream() {
+    if (enabled_) detail::log_line(level_, component_, stream_.str());
+  }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+inline LogStream log_debug(std::string component) { return {LogLevel::kDebug, std::move(component)}; }
+inline LogStream log_info(std::string component) { return {LogLevel::kInfo, std::move(component)}; }
+inline LogStream log_warn(std::string component) { return {LogLevel::kWarn, std::move(component)}; }
+inline LogStream log_error(std::string component) { return {LogLevel::kError, std::move(component)}; }
+
+}  // namespace cwc

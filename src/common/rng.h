@@ -1,0 +1,78 @@
+// Deterministic random number generation for simulations and benchmarks.
+//
+// All stochastic components in the library (charging-behaviour generator,
+// fading channels, failure injection, random scheduler configurations) draw
+// from an explicitly seeded Rng so every experiment is reproducible from the
+// command line. The core generator is xoshiro256**, seeded via splitmix64.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace cwc {
+
+/// splitmix64 step; used for seeding and cheap hashing of seeds.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** pseudo-random generator with distribution helpers.
+///
+/// Not thread-safe; give each thread or simulation entity its own instance
+/// (use `fork()` to derive statistically independent streams).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Derives an independent generator from this one (jump via reseed).
+  Rng fork();
+
+  /// Raw 64 uniform bits. Satisfies UniformRandomBitGenerator.
+  std::uint64_t next_u64();
+  std::uint64_t operator()() { return next_u64(); }
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ULL; }
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Bernoulli trial with success probability p.
+  bool chance(double p);
+  /// Standard normal via Box-Muller (cached second value).
+  double normal();
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double sd);
+  /// Normal truncated to [lo, hi] by rejection (falls back to clamping
+  /// after 64 rejections so pathological bounds cannot hang a simulation).
+  double truncated_normal(double mean, double sd, double lo, double hi);
+  /// Log-normal: exp(N(mu, sigma)) where mu/sigma act on the log scale.
+  double lognormal(double mu, double sigma);
+  /// Exponential with the given mean (not rate).
+  double exponential(double mean);
+  /// Poisson-distributed count with the given mean (Knuth for small means,
+  /// normal approximation above 64).
+  std::uint64_t poisson(double mean);
+  /// Picks an index in [0, weights.size()) proportionally to weights.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace cwc

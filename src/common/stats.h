@@ -1,0 +1,93 @@
+// Descriptive statistics used throughout the evaluation harness: online
+// mean/variance accumulators, percentiles, empirical CDFs and fixed-width
+// histograms. Every figure in the paper's evaluation is either a CDF, a
+// timeline or a mean-with-error-bars plot, so these cover all of them.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cwc {
+
+/// Welford online accumulator for mean / variance / min / max.
+class OnlineStats {
+ public:
+  void add(double x);
+  /// Merges another accumulator (parallel Welford / Chan et al.).
+  void merge(const OnlineStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+  /// Coefficient of variation (stddev / |mean|), 0 if mean is 0.
+  double cv() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Returns the q-quantile (q in [0,1]) using linear interpolation between
+/// order statistics. The input need not be sorted. Throws on empty input.
+double percentile(std::vector<double> values, double q);
+
+/// Empirical CDF over a sample; supports evaluation and fixed-point dumps
+/// for the bench harness (which prints figure series as text rows).
+class Cdf {
+ public:
+  explicit Cdf(std::vector<double> samples);
+
+  std::size_t size() const { return sorted_.size(); }
+  bool empty() const { return sorted_.empty(); }
+  /// Fraction of samples <= x.
+  double at(double x) const;
+  /// Value at quantile q in [0, 1].
+  double quantile(double q) const;
+  double min() const;
+  double max() const;
+  double median() const { return quantile(0.5); }
+
+  /// Returns `points` (x, F(x)) pairs evenly spaced in quantile space,
+  /// suitable for printing a figure series.
+  std::vector<std::pair<double, double>> series(std::size_t points = 20) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp into the
+/// first/last bucket so totals always match the sample count.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bucket) const { return counts_.at(bucket); }
+  std::size_t total() const { return total_; }
+  double bucket_low(std::size_t bucket) const;
+  double bucket_high(std::size_t bucket) const;
+  /// Fraction of samples in the bucket (0 when empty).
+  double fraction(std::size_t bucket) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Renders a crude fixed-width ASCII bar, used by benches to sketch figures
+/// in terminal output ('#' per unit of `scale`).
+std::string ascii_bar(double value, double scale, std::size_t max_width = 60);
+
+}  // namespace cwc

@@ -1,0 +1,31 @@
+// Small string helpers for workload parsing (word count, log scan) and the
+// bench harness's tabular output.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cwc {
+
+/// Splits on a single delimiter; empty fields are preserved.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Splits on runs of ASCII whitespace; empty tokens are dropped.
+std::vector<std::string> split_whitespace(std::string_view text);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+/// ASCII lower-casing (workloads are ASCII by construction).
+std::string to_lower(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Joins items with a separator.
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+}  // namespace cwc

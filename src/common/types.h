@@ -1,0 +1,71 @@
+// Basic value types and units shared across the CWC library.
+//
+// The paper's model works in three units which we keep explicit throughout:
+//   - data sizes in kilobytes (KB), as `double` so partitions can be fractional
+//   - durations in milliseconds (ms), as `double`
+//   - bandwidth cost b_i in ms-per-KB (the *inverse* of a KB/s rate)
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace cwc {
+
+/// Identifier of a phone registered with the central server.
+using PhoneId = std::int32_t;
+
+/// Identifier of a job (task instance) submitted to the scheduler.
+using JobId = std::int32_t;
+
+inline constexpr PhoneId kInvalidPhone = -1;
+inline constexpr JobId kInvalidJob = -1;
+
+/// Data size in kilobytes. Fractional values are allowed: the scheduler
+/// partitions breakable inputs at arbitrary byte granularity.
+using Kilobytes = double;
+
+/// Duration in milliseconds.
+using Millis = double;
+
+/// Time cost of shipping one kilobyte to a phone, in ms/KB. This is the
+/// paper's b_i. A 1 MB/s link has b = 1000 ms / 1024 KB ~= 0.977 ms/KB.
+using MsPerKb = double;
+
+/// Converts a link rate in KB/s into the paper's b_i (ms to copy 1 KB).
+constexpr MsPerKb ms_per_kb_from_rate(double kb_per_s) {
+  return kb_per_s > 0 ? 1000.0 / kb_per_s : std::numeric_limits<double>::infinity();
+}
+
+/// Converts b_i (ms/KB) back into a link rate in KB/s.
+constexpr double rate_from_ms_per_kb(MsPerKb b) {
+  return b > 0 ? 1000.0 / b : std::numeric_limits<double>::infinity();
+}
+
+constexpr Millis minutes(double m) { return m * 60.0 * 1000.0; }
+constexpr Millis seconds(double s) { return s * 1000.0; }
+constexpr Millis hours(double h) { return h * 3600.0 * 1000.0; }
+
+constexpr double to_seconds(Millis ms) { return ms / 1000.0; }
+constexpr double to_minutes(Millis ms) { return ms / 60000.0; }
+constexpr double to_hours(Millis ms) { return ms / 3.6e6; }
+
+constexpr Kilobytes kilobytes(double kb) { return kb; }
+constexpr Kilobytes megabytes(double mb) { return mb * 1024.0; }
+
+/// Kinds of jobs CWC schedules (Section 4 of the paper).
+enum class JobKind : std::uint8_t {
+  /// Input can be split into arbitrary partitions processed independently;
+  /// the server aggregates partial results (e.g. word count).
+  kBreakable,
+  /// Input exhibits internal dependencies and must be processed whole on a
+  /// single phone (e.g. blurring one photo). Batches of atomic jobs still
+  /// run concurrently across phones.
+  kAtomic,
+};
+
+inline const char* to_string(JobKind k) {
+  return k == JobKind::kBreakable ? "breakable" : "atomic";
+}
+
+}  // namespace cwc

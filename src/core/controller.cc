@@ -1,0 +1,218 @@
+#include "core/controller.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/log.h"
+
+namespace cwc::core {
+
+namespace {
+constexpr double kEpsKb = 1e-6;
+}
+
+CwcController::CwcController(std::unique_ptr<Scheduler> scheduler, PredictionModel prediction)
+    : scheduler_(std::move(scheduler)), prediction_(std::move(prediction)) {
+  if (!scheduler_) throw std::invalid_argument("CwcController: null scheduler");
+}
+
+void CwcController::register_phone(const PhoneSpec& spec) {
+  auto& state = phones_[spec.id];
+  state.spec = spec;
+  state.plugged = true;
+}
+
+void CwcController::update_bandwidth(PhoneId phone, MsPerKb b) {
+  phones_.at(phone).spec.b = b;
+}
+
+void CwcController::set_plugged(PhoneId phone, bool plugged) {
+  phones_.at(phone).plugged = plugged;
+}
+
+bool CwcController::is_plugged(PhoneId phone) const { return phones_.at(phone).plugged; }
+
+std::vector<PhoneSpec> CwcController::plugged_phones() const {
+  std::vector<PhoneSpec> out;
+  for (const auto& [id, state] : phones_) {
+    if (state.plugged) out.push_back(state.spec);
+  }
+  return out;
+}
+
+const PhoneSpec& CwcController::phone(PhoneId id) const { return phones_.at(id).spec; }
+
+JobId CwcController::submit(JobSpec job) {
+  if (job.id == kInvalidJob) job.id = next_job_id_;
+  next_job_id_ = std::max(next_job_id_, job.id + 1);
+  if (jobs_.count(job.id)) throw std::invalid_argument("duplicate job id");
+  jobs_[job.id] = job;
+  pending_.push_back(job);
+  return job.id;
+}
+
+const JobSpec& CwcController::job(JobId id) const { return jobs_.at(id); }
+
+InitialLoad CwcController::outstanding_load() const {
+  InitialLoad load;
+  for (const auto& [id, state] : phones_) {
+    if (!state.plugged) continue;
+    Millis total = 0.0;
+    std::set<JobId> shipped = state.executables;
+    for (const QueuedPiece& qp : state.queue) {
+      const JobSpec& spec = jobs_.at(qp.piece.job);
+      const bool pay_exec = shipped.insert(qp.piece.job).second;
+      total += completion_time(spec, state.spec,
+                               prediction_.predict(spec.task_name, state.spec),
+                               qp.piece.input_kb, pay_exec);
+    }
+    load[id] = total;
+  }
+  return load;
+}
+
+Schedule CwcController::reschedule() {
+  // Assemble the batch: pending new jobs plus the failed backlog, with
+  // breakable remainders of the same job coalesced. Atomic remainders keep
+  // their checkpoint so the new phone can resume instead of restarting.
+  std::vector<JobSpec> batch = pending_;
+  std::map<JobId, std::vector<std::uint8_t>> checkpoints;
+  std::map<JobId, std::size_t> batch_index;
+  for (std::size_t k = 0; k < batch.size(); ++k) batch_index[batch[k].id] = k;
+  for (const FailedPiece& failed : failed_) {
+    const JobSpec& original = jobs_.at(failed.job);
+    const auto it = batch_index.find(failed.job);
+    if (it != batch_index.end()) {
+      batch[it->second].input_kb += failed.remaining_kb;
+    } else {
+      JobSpec remainder = original;
+      remainder.input_kb = failed.remaining_kb;
+      batch_index[remainder.id] = batch.size();
+      batch.push_back(remainder);
+    }
+    if (!failed.checkpoint.empty()) checkpoints[failed.job] = failed.checkpoint;
+  }
+
+  const std::vector<PhoneSpec> available = plugged_phones();
+  if (available.empty()) {
+    throw std::runtime_error("CwcController::reschedule: no plugged phones");
+  }
+
+  Schedule schedule = scheduler_->build(batch, available, prediction_, outstanding_load());
+  pending_.clear();
+  failed_.clear();
+
+  // Install the new pieces at the back of each phone's queue.
+  for (const PhonePlan& plan : schedule.plans) {
+    auto& state = phones_.at(plan.phone);
+    for (const JobPiece& piece : plan.pieces) {
+      if (piece.input_kb <= kEpsKb && jobs_.at(piece.job).input_kb > kEpsKb) continue;
+      QueuedPiece qp;
+      qp.piece = piece;
+      if (const auto cp = checkpoints.find(piece.job); cp != checkpoints.end()) {
+        qp.checkpoint = cp->second;
+      }
+      state.queue.push_back(std::move(qp));
+    }
+  }
+  return schedule;
+}
+
+std::optional<CwcController::Work> CwcController::current_work(PhoneId phone) const {
+  const auto& state = phones_.at(phone);
+  if (state.queue.empty()) return std::nullopt;
+  const QueuedPiece& qp = state.queue.front();
+  Work work;
+  work.piece = qp.piece;
+  work.checkpoint = qp.checkpoint;
+  work.executable_cached = state.executables.count(qp.piece.job) > 0;
+  return work;
+}
+
+void CwcController::on_piece_complete(PhoneId phone, Millis local_exec_ms) {
+  auto& state = phones_.at(phone);
+  if (state.queue.empty()) {
+    throw std::logic_error("completion report from phone with empty queue");
+  }
+  const QueuedPiece qp = state.queue.front();
+  state.queue.pop_front();
+  state.executables.insert(qp.piece.job);
+  const JobSpec& spec = jobs_.at(qp.piece.job);
+  prediction_.observe(spec.task_name, phone, qp.piece.input_kb, local_exec_ms);
+}
+
+void CwcController::fail_piece(const QueuedPiece& qp, Kilobytes remaining,
+                               std::vector<std::uint8_t> checkpoint) {
+  if (remaining <= kEpsKb && jobs_.at(qp.piece.job).input_kb > kEpsKb) return;
+  const JobSpec& spec = jobs_.at(qp.piece.job);
+  if (spec.kind == JobKind::kBreakable && checkpoint.empty()) {
+    // Breakable remainders restart fresh (the partial result stays at the
+    // server); coalesce with an existing backlog entry for the same job.
+    for (FailedPiece& existing : failed_) {
+      if (existing.job == qp.piece.job && existing.checkpoint.empty()) {
+        existing.remaining_kb += remaining;
+        return;
+      }
+    }
+  }
+  failed_.push_back({qp.piece.job, remaining, std::move(checkpoint)});
+}
+
+void CwcController::on_piece_failed(PhoneId phone, Kilobytes processed_kb,
+                                    std::vector<std::uint8_t> checkpoint,
+                                    Millis local_exec_ms) {
+  auto& state = phones_.at(phone);
+  if (state.queue.empty()) {
+    throw std::logic_error("failure report from phone with empty queue");
+  }
+  const QueuedPiece current = state.queue.front();
+  state.queue.pop_front();
+  const JobSpec& spec = jobs_.at(current.piece.job);
+  processed_kb = std::clamp(processed_kb, 0.0, current.piece.input_kb);
+  prediction_.observe(spec.task_name, phone, processed_kb, local_exec_ms);
+  log_info("cwc-server") << "phone " << phone << " failed online on job "
+                         << current.piece.job << " after " << processed_kb << " KB";
+
+  fail_piece(current, current.piece.input_kb - processed_kb, std::move(checkpoint));
+  // The rest of the queue is requeued untouched.
+  while (!state.queue.empty()) {
+    fail_piece(state.queue.front(), state.queue.front().piece.input_kb,
+               state.queue.front().checkpoint);
+    state.queue.pop_front();
+  }
+  state.plugged = false;
+}
+
+void CwcController::on_phone_lost(PhoneId phone) {
+  auto& state = phones_.at(phone);
+  log_info("cwc-server") << "phone " << phone << " lost (offline failure); requeueing "
+                         << state.queue.size() << " pieces";
+  while (!state.queue.empty()) {
+    fail_piece(state.queue.front(), state.queue.front().piece.input_kb,
+               state.queue.front().checkpoint);
+    state.queue.pop_front();
+  }
+  state.plugged = false;
+}
+
+bool CwcController::all_done() const {
+  if (has_pending_work()) return false;
+  for (const auto& [id, state] : phones_) {
+    if (!state.queue.empty()) return false;
+  }
+  return true;
+}
+
+std::vector<JobId> CwcController::queued_jobs(PhoneId phone) const {
+  std::vector<JobId> out;
+  for (const QueuedPiece& qp : phones_.at(phone).queue) out.push_back(qp.piece.job);
+  return out;
+}
+
+std::size_t CwcController::queued_pieces() const {
+  std::size_t total = 0;
+  for (const auto& [id, state] : phones_) total += state.queue.size();
+  return total;
+}
+
+}  // namespace cwc::core

@@ -1,0 +1,139 @@
+// CwcController — the central server's decision logic, independent of the
+// substrate that carries it (the discrete-event simulator and the TCP
+// deployment both drive this same class).
+//
+// Responsibilities (Sections 4-6 of the paper):
+//   - phone registry: CPU clock reported at registration, b_i from
+//     bandwidth probes, plugged/unplugged state;
+//   - job intake and scheduling instants: at each instant the scheduler
+//     packs {newly submitted jobs} ∪ F_A (the failed-task backlog) over
+//     the phones currently plugged in, biased by their outstanding load;
+//   - per-phone work queues: the server copies one piece at a time and
+//     waits for a completion or failure report before copying the next;
+//   - failure bookkeeping: online failures return the unprocessed
+//     remainder (plus the migratable checkpoint state) to F_A; offline
+//     failures (keep-alive loss) return the whole in-flight piece and the
+//     phone's queued pieces to F_A;
+//   - prediction refinement from reported local execution times.
+//
+// Checkpoint state is carried as an opaque byte blob so the controller does
+// not depend on any particular task implementation.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <optional>
+#include <vector>
+
+#include "core/model.h"
+#include "core/prediction.h"
+#include "core/scheduler.h"
+
+namespace cwc::core {
+
+/// A failed piece waiting for the next scheduling instant.
+struct FailedPiece {
+  JobId job = kInvalidJob;
+  Kilobytes remaining_kb = 0.0;
+  /// Saved execution state (empty for offline failures, which report
+  /// nothing; the piece restarts from scratch).
+  std::vector<std::uint8_t> checkpoint;
+};
+
+class CwcController {
+ public:
+  explicit CwcController(std::unique_ptr<Scheduler> scheduler,
+                         PredictionModel prediction = PredictionModel());
+
+  // --- Phone registry -----------------------------------------------------
+  /// Registers (or re-registers) a phone; newly registered phones are
+  /// considered plugged in.
+  void register_phone(const PhoneSpec& spec);
+  /// Updates b_i after a bandwidth probe.
+  void update_bandwidth(PhoneId phone, MsPerKb b);
+  void set_plugged(PhoneId phone, bool plugged);
+  bool is_plugged(PhoneId phone) const;
+  std::vector<PhoneSpec> plugged_phones() const;
+  const PhoneSpec& phone(PhoneId id) const;
+
+  // --- Job intake ----------------------------------------------------------
+  /// Submits a job for the next scheduling instant; returns its id.
+  JobId submit(JobSpec job);
+  const JobSpec& job(JobId id) const;
+
+  // --- Scheduling instants ---------------------------------------------------
+  /// Packs all pending work (new jobs + failed backlog) over the plugged
+  /// phones and appends the resulting pieces to the per-phone queues.
+  /// Returns the newly produced schedule (already annotated with predicted
+  /// costs, including each phone's pre-existing load).
+  Schedule reschedule();
+
+  /// True if any work is waiting for a scheduling instant.
+  bool has_pending_work() const { return !pending_.empty() || !failed_.empty(); }
+  const std::vector<FailedPiece>& failed_backlog() const { return failed_; }
+
+  // --- Per-phone execution cycle --------------------------------------------
+  /// The piece the phone should work on now (front of its queue), with the
+  /// checkpoint to resume from if this piece came back from a failure.
+  struct Work {
+    JobPiece piece;
+    std::vector<std::uint8_t> checkpoint;  ///< empty = start fresh
+    bool executable_cached = false;  ///< job's executable already on phone
+  };
+  std::optional<Work> current_work(PhoneId phone) const;
+
+  /// Completion report: pops the phone's current piece, feeds the
+  /// prediction model with the reported local execution time.
+  void on_piece_complete(PhoneId phone, Millis local_exec_ms);
+
+  /// Online failure: the phone reports how much of the current piece it
+  /// processed and its checkpoint; the remainder goes to F_A and the
+  /// phone's remaining queue is requeued. Marks the phone unplugged.
+  void on_piece_failed(PhoneId phone, Kilobytes processed_kb,
+                       std::vector<std::uint8_t> checkpoint, Millis local_exec_ms);
+
+  /// Offline failure (keep-alive loss): nothing was reported, so the whole
+  /// current piece and the queued pieces return to F_A. Marks unplugged.
+  void on_phone_lost(PhoneId phone);
+
+  /// All queues drained and nothing pending.
+  bool all_done() const;
+  /// Total pieces currently queued across phones.
+  std::size_t queued_pieces() const;
+  /// Jobs currently queued on one phone, front first.
+  std::vector<JobId> queued_jobs(PhoneId phone) const;
+
+  PredictionModel& prediction() { return prediction_; }
+  const PredictionModel& prediction() const { return prediction_; }
+  const Scheduler& scheduler() const { return *scheduler_; }
+
+ private:
+  struct QueuedPiece {
+    JobPiece piece;
+    std::vector<std::uint8_t> checkpoint;
+  };
+  struct PhoneState {
+    PhoneSpec spec;
+    bool plugged = true;
+    std::deque<QueuedPiece> queue;
+    std::set<JobId> executables;  ///< jobs whose executable was shipped
+  };
+
+  /// Predicted outstanding work per plugged phone (for rescheduling bias).
+  InitialLoad outstanding_load() const;
+  void fail_piece(const QueuedPiece& qp, Kilobytes remaining,
+                  std::vector<std::uint8_t> checkpoint);
+
+  std::unique_ptr<Scheduler> scheduler_;
+  PredictionModel prediction_;
+  std::map<PhoneId, PhoneState> phones_;
+  std::map<JobId, JobSpec> jobs_;
+  std::vector<JobSpec> pending_;
+  std::vector<FailedPiece> failed_;
+  JobId next_job_id_ = 0;
+};
+
+}  // namespace cwc::core

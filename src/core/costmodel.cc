@@ -1,0 +1,48 @@
+#include "core/costmodel.h"
+
+#include <stdexcept>
+
+namespace cwc::core {
+
+double annual_energy_cost(const DevicePower& device, const CostAssumptions& assumptions) {
+  const double pue = device.needs_cooling ? assumptions.pue : 1.0;
+  return device.peak_watts / 1000.0 * assumptions.hours_per_day * 365.0 *
+         assumptions.dollars_per_kwh * pue;
+}
+
+DevicePower intel_core2duo_server() { return {"Intel Core 2 Duo server", 26.8, true, 1.0}; }
+
+DevicePower intel_nehalem_server() { return {"Intel Nehalem server", 248.0, true, 6.0}; }
+
+DevicePower tegra3_smartphone() { return {"Tegra 3 smartphone", 1.2, false, 1.0}; }
+
+double phones_to_replace_server(const DevicePower& server, const DevicePower& phone,
+                                double hours_per_night) {
+  if (hours_per_night <= 0.0 || phone.server_equivalents <= 0.0) {
+    throw std::invalid_argument("phones_to_replace_server: non-positive capability");
+  }
+  // A server delivers `server_equivalents` units for 24 h; a phone delivers
+  // its own equivalents for only the nightly charging window.
+  const double server_output = server.server_equivalents * 24.0;
+  const double phone_output = phone.server_equivalents * hours_per_night;
+  return server_output / phone_output;
+}
+
+CostComparison compare_server_to_phones(const DevicePower& server, const DevicePower& phone,
+                                        double hours_per_night,
+                                        const CostAssumptions& assumptions) {
+  CostComparison row;
+  row.server_name = server.name;
+  row.server_annual_cost = annual_energy_cost(server, assumptions);
+  // A phone only draws task power during its charging window.
+  CostAssumptions phone_hours = assumptions;
+  phone_hours.hours_per_day = hours_per_night;
+  row.phone_annual_cost = annual_energy_cost(phone, phone_hours);
+  row.phones_needed = phones_to_replace_server(server, phone, hours_per_night);
+  row.fleet_annual_cost = row.phones_needed * row.phone_annual_cost;
+  row.savings_factor =
+      row.fleet_annual_cost > 0.0 ? row.server_annual_cost / row.fleet_annual_cost : 0.0;
+  return row;
+}
+
+}  // namespace cwc::core

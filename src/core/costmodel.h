@@ -1,0 +1,58 @@
+// Energy/cost analysis of Section 3.2 — the case for replacing datacenter
+// servers with charging smartphones, as a small library instead of prose.
+//
+// The paper's arithmetic:
+//   annual cost = (watts / 1000) KWH * 24 h * 365 days * $/KWH [* PUE]
+// with a PUE (power usage effectiveness) multiplier of 2.5 applied to
+// servers (cooling + distribution) and *not* to smartphones.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cwc::core {
+
+struct DevicePower {
+  std::string name;
+  double peak_watts = 0.0;
+  bool needs_cooling = false;  ///< PUE applies (datacenter hardware)
+  /// Number of single-core-server-equivalents of compute this device
+  /// offers (the paper: a Tegra-3-class phone ~ one Core 2 Duo; older
+  /// phones ~ a third to a half of one).
+  double server_equivalents = 1.0;
+};
+
+struct CostAssumptions {
+  double dollars_per_kwh = 0.127;  ///< US commercial average, April 2011
+  double pue = 2.5;                ///< average power usage effectiveness
+  double hours_per_day = 24.0;
+};
+
+/// Annual energy cost in dollars for one device running continuously.
+double annual_energy_cost(const DevicePower& device, const CostAssumptions& assumptions = {});
+
+/// Devices used in the paper's comparison.
+DevicePower intel_core2duo_server();  // 26.8 W, PUE applies -> ~$74.5/yr
+DevicePower intel_nehalem_server();   // 248 W, PUE applies -> ~$689/yr
+DevicePower tegra3_smartphone();      // 1.2 W, no PUE -> ~$1.33/yr
+
+/// How many phones (running `hours_per_night` out of 24) replace one
+/// server's daily compute output, given the phone's server-equivalents.
+double phones_to_replace_server(const DevicePower& server, const DevicePower& phone,
+                                double hours_per_night);
+
+/// One row of the Section 3.2 comparison (see the tab_cost_analysis bench).
+struct CostComparison {
+  std::string server_name;
+  double server_annual_cost = 0.0;
+  double phone_annual_cost = 0.0;   ///< one phone, computing while charging
+  double phones_needed = 0.0;       ///< to replace the server 24/7
+  double fleet_annual_cost = 0.0;   ///< phones_needed * phone cost
+  double savings_factor = 0.0;      ///< server cost / fleet cost
+};
+
+CostComparison compare_server_to_phones(const DevicePower& server, const DevicePower& phone,
+                                        double hours_per_night,
+                                        const CostAssumptions& assumptions = {});
+
+}  // namespace cwc::core

@@ -1,0 +1,56 @@
+#include "core/failure_aware.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cwc::core {
+
+FailureAwareScheduler::FailureAwareScheduler(std::unique_ptr<Scheduler> base,
+                                             std::map<PhoneId, double> risk, Options options)
+    : base_(std::move(base)), risk_(std::move(risk)), options_(options) {
+  if (!base_) throw std::invalid_argument("FailureAwareScheduler: null base scheduler");
+  for (const auto& [phone, p] : risk_) {
+    if (p < 0.0 || p > 1.0 || !std::isfinite(p)) {
+      throw std::invalid_argument("FailureAwareScheduler: risk out of [0, 1]");
+    }
+  }
+}
+
+double FailureAwareScheduler::risk_of(PhoneId phone) const {
+  const auto it = risk_.find(phone);
+  return it == risk_.end() ? 0.0 : it->second;
+}
+
+Schedule FailureAwareScheduler::build(const std::vector<JobSpec>& jobs,
+                                      const std::vector<PhoneSpec>& phones,
+                                      const PredictionModel& prediction,
+                                      const InitialLoad& initial_load) const {
+  // Drop high-risk phones outright when safer alternatives exist.
+  std::vector<PhoneSpec> pool;
+  for (const PhoneSpec& phone : phones) {
+    if (risk_of(phone.id) < options_.exclusion_threshold) pool.push_back(phone);
+  }
+  if (pool.empty()) pool = phones;  // everyone is risky: use what we have
+
+  // Inflate the remaining phones' expected costs by the *expected rework*:
+  // only a fraction of placed work is actually lost when the phone fails
+  // (checkpoints preserve the rest). Both cost channels of Equation 1
+  // scale — b_i directly, and c_ij via the clock the prediction divides by.
+  std::vector<PhoneSpec> adjusted = pool;
+  for (PhoneSpec& phone : adjusted) {
+    const double expected_loss = options_.expected_loss_fraction * risk_of(phone.id);
+    const double inflation =
+        std::min(options_.max_inflation, 1.0 / std::max(1e-6, 1.0 - expected_loss));
+    phone.b *= inflation;
+    phone.cpu_mhz /= inflation;
+  }
+
+  Schedule schedule = base_->build(jobs, adjusted, prediction, initial_load);
+  // Re-annotate with the *real* specs: the inflation shapes placement, but
+  // predicted finish times must reflect actual expected execution.
+  annotate_costs(schedule, jobs, pool, prediction);
+  return schedule;
+}
+
+}  // namespace cwc::core

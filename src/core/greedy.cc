@@ -1,0 +1,276 @@
+#include "core/greedy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace cwc::core {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Working state of one bin (phone) during a packing attempt.
+struct Bin {
+  std::size_t phone_index = 0;
+  bool open = false;
+  Millis height = 0.0;
+  std::vector<JobPiece> pieces;  // in packing order; merged per job
+
+  /// Index into `pieces` of this job's piece, or npos.
+  std::size_t piece_of(JobId job) const {
+    for (std::size_t k = 0; k < pieces.size(); ++k) {
+      if (pieces[k].job == job) return k;
+    }
+    return static_cast<std::size_t>(-1);
+  }
+};
+
+/// One unpacked item: a job with some input remaining.
+struct Item {
+  std::size_t job_index = 0;
+  Kilobytes remaining = 0.0;
+  double sort_key = 0.0;  // remaining * c_sj, kept current on re-insertion
+};
+
+struct PackContext {
+  const std::vector<JobSpec>& jobs;
+  const std::vector<PhoneSpec>& phones;
+  const std::vector<std::vector<MsPerKb>>& c;  // c[job][phone]
+  Millis capacity;
+  Kilobytes min_partition;
+};
+
+/// How much of `item` fits into `bin` (additional KB), and at what cost.
+struct Fit {
+  bool fits = false;
+  Kilobytes amount = 0.0;  // additional input KB that can be packed
+  Millis cost = 0.0;       // height increase for packing `amount`
+};
+
+Fit compute_fit(const PackContext& ctx, const Item& item, const Bin& bin) {
+  const JobSpec& job = ctx.jobs[item.job_index];
+  const PhoneSpec& phone = ctx.phones[bin.phone_index];
+  const MsPerKb c_ij = ctx.c[item.job_index][bin.phone_index];
+  const std::size_t existing = bin.piece_of(job.id);
+  const bool has_piece = existing != static_cast<std::size_t>(-1);
+  const Millis exec_cost = has_piece ? 0.0 : job.exec_kb * phone.b;
+  const Millis available = ctx.capacity - bin.height - exec_cost;
+  const Kilobytes existing_kb = has_piece ? bin.pieces[existing].input_kb : 0.0;
+  const Kilobytes ram_room = phone.ram_kb - existing_kb;
+
+  Fit fit;
+  if (available < -kEps || ram_room <= kEps) return fit;
+  const double per_kb = phone.b + c_ij;
+  const Kilobytes max_by_time = per_kb > 0.0 ? available / per_kb
+                                             : std::numeric_limits<double>::infinity();
+  const Kilobytes max_amount = std::min({item.remaining, max_by_time, ram_room});
+
+  if (job.kind == JobKind::kAtomic) {
+    // Atomic jobs must be placed whole (and never merge: they are packed
+    // exactly once).
+    if (max_amount + kEps * (1.0 + item.remaining) < item.remaining) return fit;
+    fit.fits = true;
+    fit.amount = item.remaining;
+  } else {
+    const Kilobytes needed = std::min(item.remaining, ctx.min_partition);
+    if (max_amount + kEps < needed) return fit;
+    fit.fits = true;
+    fit.amount = std::min(item.remaining, max_amount);
+  }
+  fit.cost = exec_cost + fit.amount * per_kb;
+  return fit;
+}
+
+/// Packs `amount` of the item into the bin, merging with an existing piece
+/// of the same job (the executable ships once per phone).
+void pack_into(const PackContext& ctx, Bin& bin, const Item& item, const Fit& fit) {
+  const JobSpec& job = ctx.jobs[item.job_index];
+  const std::size_t existing = bin.piece_of(job.id);
+  if (existing == static_cast<std::size_t>(-1)) {
+    bin.pieces.push_back({job.id, fit.amount});
+  } else {
+    bin.pieces[existing].input_kb += fit.amount;
+  }
+  bin.height += fit.cost;
+}
+
+/// Maintains the items sorted by decreasing sort key.
+void sorted_insert(std::vector<Item>& items, Item item) {
+  const auto pos = std::lower_bound(items.begin(), items.end(), item,
+                                    [](const Item& a, const Item& b) {
+                                      return a.sort_key > b.sort_key;
+                                    });
+  items.insert(pos, item);
+}
+
+}  // namespace
+
+std::pair<Millis, Millis> GreedyScheduler::capacity_bounds(
+    const std::vector<JobSpec>& jobs, const std::vector<PhoneSpec>& phones,
+    const PredictionModel& prediction, const InitialLoad& initial_load) const {
+  // UB: all items in the single worst bin (on top of its existing load).
+  Millis ub = 0.0;
+  for (const PhoneSpec& phone : phones) {
+    const auto load_it = initial_load.find(phone.id);
+    Millis total = load_it != initial_load.end() ? load_it->second : 0.0;
+    for (const JobSpec& job : jobs) {
+      total += completion_time(job, phone, prediction.predict(job.task_name, phone),
+                               job.input_kb);
+    }
+    ub = std::max(ub, total);
+  }
+  // LB: a magical bin with the aggregate processing+bandwidth capability of
+  // all phones and no executable cost (the paper's loose initial bound).
+  Millis lb = 0.0;
+  for (const JobSpec& job : jobs) {
+    double aggregate_rate = 0.0;  // KB per ms across all phones
+    for (const PhoneSpec& phone : phones) {
+      const double per_kb = phone.b + prediction.predict(job.task_name, phone);
+      if (per_kb > 0.0) aggregate_rate += 1.0 / per_kb;
+    }
+    if (aggregate_rate > 0.0) lb += job.input_kb / aggregate_rate;
+  }
+  return {lb, ub};
+}
+
+std::optional<Schedule> GreedyScheduler::pack_with_capacity(
+    const std::vector<JobSpec>& jobs, const std::vector<PhoneSpec>& phones,
+    const PredictionModel& prediction, Millis capacity,
+    const InitialLoad& initial_load) const {
+  // Precompute the c_ij matrix and the slowest phone's costs (sort keys).
+  std::vector<std::vector<MsPerKb>> c(jobs.size(), std::vector<MsPerKb>(phones.size()));
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    for (std::size_t i = 0; i < phones.size(); ++i) {
+      c[j][i] = prediction.predict(jobs[j].task_name, phones[i]);
+    }
+  }
+  const std::size_t slowest = static_cast<std::size_t>(
+      std::min_element(phones.begin(), phones.end(),
+                       [](const PhoneSpec& a, const PhoneSpec& b) {
+                         return a.cpu_mhz < b.cpu_mhz;
+                       }) -
+      phones.begin());
+
+  PackContext ctx{jobs, phones, c, capacity, options_.min_partition_kb};
+
+  std::vector<Item> items;
+  items.reserve(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    items.push_back({j, jobs[j].input_kb, jobs[j].input_kb * c[j][slowest]});
+  }
+  std::sort(items.begin(), items.end(),
+            [](const Item& a, const Item& b) { return a.sort_key > b.sort_key; });
+
+  std::vector<Bin> bins(phones.size());
+  for (std::size_t i = 0; i < phones.size(); ++i) {
+    bins[i].phone_index = i;
+    // A phone still working off earlier assignments starts loaded and is
+    // already "open" (it is in active use; no partition-count penalty for
+    // continuing to use it).
+    if (const auto it = initial_load.find(phones[i].id); it != initial_load.end()) {
+      bins[i].height = it->second;
+      bins[i].open = bins[i].height > 0.0;
+    }
+  }
+
+  while (!items.empty()) {
+    // Line 4: first item in L that fits in any opened bin.
+    std::size_t chosen_item = items.size();
+    std::size_t chosen_bin = bins.size();
+    for (std::size_t k = 0; k < items.size() && chosen_item == items.size(); ++k) {
+      Millis best_height = std::numeric_limits<Millis>::infinity();
+      for (std::size_t b = 0; b < bins.size(); ++b) {
+        if (!bins[b].open) continue;
+        const Fit fit = compute_fit(ctx, items[k], bins[b]);
+        // Line 6: among fitting opened bins, the one with minimum height.
+        if (fit.fits && bins[b].height < best_height) {
+          best_height = bins[b].height;
+          chosen_item = k;
+          chosen_bin = b;
+        }
+      }
+    }
+
+    if (chosen_item == items.size()) {
+      // Line 13-16: nothing fits; open the best unopened bin for the
+      // largest (first) item — the bin packing it with minimum height
+      // increase, i.e. minimum Equation-1 cost.
+      const Item& largest = items.front();
+      Millis best_cost = std::numeric_limits<Millis>::infinity();
+      std::size_t best_bin = bins.size();
+      for (std::size_t b = 0; b < bins.size(); ++b) {
+        if (bins[b].open) continue;
+        const Fit fit = compute_fit(ctx, largest, bins[b]);
+        if (fit.fits && fit.cost < best_cost) {
+          best_cost = fit.cost;
+          best_bin = b;
+        }
+      }
+      if (best_bin == bins.size()) return std::nullopt;  // line 23-24
+      bins[best_bin].open = true;
+      chosen_item = 0;
+      chosen_bin = best_bin;
+    }
+
+    const Fit fit = compute_fit(ctx, items[chosen_item], bins[chosen_bin]);
+    if (!fit.fits || fit.amount <= 0.0) {
+      // Zero-size jobs (exec only) pack with amount 0; anything else here
+      // means the capacity is infeasible.
+      if (!(fit.fits && items[chosen_item].remaining <= kEps)) return std::nullopt;
+    }
+    pack_into(ctx, bins[chosen_bin], items[chosen_item], fit);
+    Item item = items[chosen_item];
+    items.erase(items.begin() + static_cast<std::ptrdiff_t>(chosen_item));
+    item.remaining -= fit.amount;
+    if (item.remaining > kEps * (1.0 + jobs[item.job_index].input_kb)) {
+      // Lines 10-11: re-insert the remainder and keep L sorted.
+      item.sort_key = item.remaining * c[item.job_index][slowest];
+      sorted_insert(items, item);
+    }
+  }
+
+  Schedule schedule;
+  schedule.plans.reserve(phones.size());
+  for (const Bin& bin : bins) {
+    PhonePlan plan;
+    plan.phone = phones[bin.phone_index].id;
+    plan.pieces = bin.pieces;
+    schedule.plans.push_back(std::move(plan));
+  }
+  return schedule;
+}
+
+Schedule GreedyScheduler::build(const std::vector<JobSpec>& jobs,
+                                const std::vector<PhoneSpec>& phones,
+                                const PredictionModel& prediction,
+                                const InitialLoad& initial_load) const {
+  if (phones.empty()) throw std::invalid_argument("GreedyScheduler: no phones");
+
+  auto [lb, ub] = capacity_bounds(jobs, phones, prediction, initial_load);
+  std::optional<Schedule> best = pack_with_capacity(jobs, phones, prediction, ub, initial_load);
+  // UB should always be feasible (every item fits alone in any bin at UB);
+  // grow defensively if numerical corner cases disagree.
+  for (int attempt = 0; attempt < 8 && !best; ++attempt) {
+    ub *= 2.0;
+    best = pack_with_capacity(jobs, phones, prediction, ub, initial_load);
+  }
+  if (!best) throw std::runtime_error("GreedyScheduler: no feasible packing found");
+
+  for (std::size_t iter = 0;
+       iter < options_.max_bisections && (ub - lb) > options_.capacity_tolerance * ub; ++iter) {
+    const Millis mid = (lb + ub) / 2.0;
+    if (auto packed = pack_with_capacity(jobs, phones, prediction, mid, initial_load)) {
+      best = std::move(packed);
+      ub = mid;
+    } else {
+      lb = mid;
+    }
+  }
+
+  annotate_costs(*best, jobs, phones, prediction);
+  return *best;
+}
+
+}  // namespace cwc::core

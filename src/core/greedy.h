@@ -1,0 +1,73 @@
+// CWC's greedy makespan scheduler (Section 5, Algorithm 1).
+//
+// The SCH quadratic integer program generalizes unrelated-machines minimum
+// makespan scheduling and is NP-hard, so CWC solves the *complementary bin
+// packing problem* (CBP): pack the jobs into at most |P| bins of capacity C
+// such that all fit, and binary-search the minimum feasible C. Rotating the
+// bins 90 degrees turns bin height into phone completion time, so the
+// minimum feasible capacity is the (approximate) minimum makespan.
+//
+// Greedy packing rules, as in the paper:
+//   - items are kept sorted by decreasing remaining execution time on the
+//     slowest phone (R_j * c_sj);
+//   - pack the first item that fits in any *opened* bin, into the opened
+//     bin of minimum height; pack it whole when possible, otherwise its
+//     largest fitting partition (fewer partitions = less server-side
+//     aggregation);
+//   - when nothing fits, open the bin that can take the largest item with
+//     the minimum increase in height (minimum Equation-1 cost);
+//   - fail if items remain and no bin can be opened.
+//
+// Extensions implemented here from the paper's footnotes: partitions
+// respect each phone's RAM (l_ij <= r_i), and a job's executable is shipped
+// to a phone at most once even when several of its partitions land there.
+#pragma once
+
+#include <optional>
+
+#include "core/scheduler.h"
+
+namespace cwc::core {
+
+class GreedyScheduler final : public Scheduler {
+ public:
+  struct Options {
+    /// Relative capacity gap at which the binary search stops.
+    double capacity_tolerance = 1e-3;
+    std::size_t max_bisections = 48;
+    /// Smallest breakable partition worth shipping (KB). Prevents the
+    /// packer from filling bins with unboundedly small slivers.
+    Kilobytes min_partition_kb = 1.0;
+  };
+
+  GreedyScheduler() : options_(Options{}) {}
+  explicit GreedyScheduler(Options options) : options_(options) {}
+
+  const char* name() const override { return "cwc-greedy"; }
+  Schedule build(const std::vector<JobSpec>& jobs, const std::vector<PhoneSpec>& phones,
+                 const PredictionModel& prediction,
+                 const InitialLoad& initial_load = {}) const override;
+
+  /// One packing attempt at a fixed capacity (Algorithm 1 proper); nullopt
+  /// when the capacity is infeasible. Exposed for tests and benches. Bins
+  /// start at their initial load (and count as opened when loaded).
+  std::optional<Schedule> pack_with_capacity(const std::vector<JobSpec>& jobs,
+                                             const std::vector<PhoneSpec>& phones,
+                                             const PredictionModel& prediction,
+                                             Millis capacity,
+                                             const InitialLoad& initial_load = {}) const;
+
+  /// The binary search's initial bounds: UB = every item in the single
+  /// worst bin (plus its initial load); LB = one "magical" bin with the
+  /// aggregate bandwidth and processing capability of all phones and no
+  /// executable cost.
+  std::pair<Millis, Millis> capacity_bounds(const std::vector<JobSpec>& jobs,
+                                            const std::vector<PhoneSpec>& phones,
+                                            const PredictionModel& prediction,
+                                            const InitialLoad& initial_load = {}) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace cwc::core

@@ -1,0 +1,57 @@
+// The CWC scheduling model (Sections 4-5 of the paper).
+//
+// Notation, kept verbatim from the paper:
+//   b_i   — time (ms) for phone i to receive 1 KB from the central server
+//   c_ij  — time (ms) for phone i to execute job j over 1 KB of input
+//   E_j   — size (KB) of job j's executable
+//   L_j   — size (KB) of job j's input
+//   l_ij  — size (KB) of job j's input partition assigned to phone i
+//
+// Completion time of x KB of job j on phone i (Equation 1):
+//   E_j * b_i + x * (b_i + c_ij)
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+
+namespace cwc::core {
+
+/// A phone registered with the central server.
+struct PhoneSpec {
+  PhoneId id = kInvalidPhone;
+  /// CPU clock speed (MHz); the basis of the scaling prediction model.
+  double cpu_mhz = 1000.0;
+  /// Measured bandwidth cost b_i in ms/KB (from the iperf-style probe).
+  MsPerKb b = 1.0;
+  /// RAM available for input partitions (footnote 4's r_i constraint).
+  Kilobytes ram_kb = megabytes(1024.0);
+  /// True per-MHz efficiency relative to the reference phone. The
+  /// *scheduler never sees this*; simulators use it as ground truth so the
+  /// prediction model has something real to learn (Fig. 6's off-diagonal
+  /// points: some phones are faster than their clock speed suggests).
+  double hidden_efficiency = 1.0;
+};
+
+/// A job submitted for scheduling. For a job being *re*scheduled after a
+/// failure, `input_kb` is the unprocessed remainder (Section 5, F_A).
+struct JobSpec {
+  JobId id = kInvalidJob;
+  /// Task-program name (registry key); determines c_ij via prediction.
+  std::string task_name;
+  JobKind kind = JobKind::kBreakable;
+  Kilobytes exec_kb = 0.0;   ///< E_j
+  Kilobytes input_kb = 0.0;  ///< L_j
+};
+
+/// Equation 1: completion time of `x` KB of job `j` on phone `i`, given the
+/// per-KB compute cost `c_ij`. The executable-transfer term is included;
+/// callers that already shipped the executable pass `include_executable =
+/// false` (a job's executable is copied to a phone at most once).
+inline Millis completion_time(const JobSpec& j, const PhoneSpec& i, MsPerKb c_ij, Kilobytes x,
+                              bool include_executable = true) {
+  const Millis exec_cost = include_executable ? j.exec_kb * i.b : 0.0;
+  return exec_cost + x * (i.b + c_ij);
+}
+
+}  // namespace cwc::core

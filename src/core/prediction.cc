@@ -1,0 +1,45 @@
+#include "core/prediction.h"
+
+#include <stdexcept>
+
+namespace cwc::core {
+
+PredictionModel::PredictionModel(double learning_rate) : learning_rate_(learning_rate) {
+  if (learning_rate <= 0.0 || learning_rate > 1.0) {
+    throw std::invalid_argument("PredictionModel: learning rate must be in (0, 1]");
+  }
+}
+
+void PredictionModel::set_reference(const std::string& task, MsPerKb c_sj, double reference_mhz) {
+  if (c_sj <= 0.0 || reference_mhz <= 0.0) {
+    throw std::invalid_argument("PredictionModel::set_reference: non-positive parameters");
+  }
+  references_[task] = Reference{c_sj, reference_mhz};
+}
+
+MsPerKb PredictionModel::predict(const std::string& task, const PhoneSpec& phone) const {
+  if (const auto it = learned_.find({task, phone.id}); it != learned_.end()) {
+    return it->second;
+  }
+  const auto ref = references_.find(task);
+  if (ref == references_.end()) {
+    throw std::out_of_range("PredictionModel: no reference measurement for task " + task);
+  }
+  // T_s * S / A — the CPU-frequency scaling rule.
+  return ref->second.c_sj * ref->second.mhz / phone.cpu_mhz;
+}
+
+void PredictionModel::observe(const std::string& task, PhoneId phone, Kilobytes processed_kb,
+                              Millis local_ms) {
+  if (processed_kb <= 0.0 || local_ms <= 0.0) return;
+  const MsPerKb measured = local_ms / processed_kb;
+  const auto key = std::make_pair(task, phone);
+  const auto it = learned_.find(key);
+  if (it == learned_.end()) {
+    learned_[key] = measured;
+  } else {
+    it->second += learning_rate_ * (measured - it->second);
+  }
+}
+
+}  // namespace cwc::core

@@ -1,0 +1,61 @@
+// Execution-time prediction (Section 4.1 of the paper).
+//
+// Profiling every (phone, task) pair would be prohibitively expensive, so
+// CWC measures each task once on the *slowest* phone (c_sj, at S MHz) and
+// scales: a phone with A MHz is predicted to take c_sj * S / A per KB.
+//
+// The scaling model is imperfect — Fig. 6 shows phones whose measured
+// speedup beats their clock ratio — so the scheduler refines it online:
+// every completion report carries the actual local execution time, and the
+// model folds it in (per phone-task pair) with an exponentially weighted
+// moving average. "If the same task is assigned to the same phone in the
+// future, CWC uses the updated prediction."
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "common/types.h"
+#include "core/model.h"
+
+namespace cwc::core {
+
+class PredictionModel {
+ public:
+  /// Weight of the newest observation in the EWMA (1.0 = trust only the
+  /// latest report, like the paper's simple replacement).
+  explicit PredictionModel(double learning_rate = 0.5);
+
+  /// Registers task j's reference measurement: `c_sj` ms/KB measured on the
+  /// slowest phone, whose clock is `reference_mhz` (the paper's HTC G2 at
+  /// 806 MHz).
+  void set_reference(const std::string& task, MsPerKb c_sj, double reference_mhz);
+
+  /// Predicted c_ij for this phone. Uses the learned per-pair estimate when
+  /// one exists, otherwise the clock-scaling rule. Throws std::out_of_range
+  /// for a task with no reference measurement.
+  MsPerKb predict(const std::string& task, const PhoneSpec& phone) const;
+
+  /// Folds in an execution report: `phone` locally processed `processed_kb`
+  /// of task `task` in `local_ms` (transfer time excluded, as reported by
+  /// the phones). Ignores degenerate reports (non-positive size/time).
+  void observe(const std::string& task, PhoneId phone, Kilobytes processed_kb, Millis local_ms);
+
+  /// True if a reference measurement exists for the task.
+  bool knows(const std::string& task) const { return references_.count(task) > 0; }
+
+  /// Number of (phone, task) pairs refined by observations so far.
+  std::size_t observed_pairs() const { return learned_.size(); }
+
+ private:
+  struct Reference {
+    MsPerKb c_sj = 0.0;
+    double mhz = 806.0;
+  };
+  double learning_rate_;
+  std::map<std::string, Reference> references_;
+  std::map<std::pair<std::string, PhoneId>, MsPerKb> learned_;
+};
+
+}  // namespace cwc::core

@@ -1,0 +1,65 @@
+#include "core/relaxation.h"
+
+#include <stdexcept>
+
+#include "lp/simplex.h"
+
+namespace cwc::core {
+
+lp::Problem build_relaxation(const std::vector<JobSpec>& jobs,
+                             const std::vector<PhoneSpec>& phones,
+                             const PredictionModel& prediction) {
+  if (phones.empty()) throw std::invalid_argument("build_relaxation: no phones");
+  lp::Problem problem;
+  const std::size_t T = problem.add_variable(1.0, "T");
+
+  // l[j][i] variable indices; jobs with zero input contribute nothing to
+  // the relaxation (their executable cost vanishes with u -> 0+).
+  std::vector<std::vector<std::size_t>> l(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    if (jobs[j].input_kb <= 0.0) continue;
+    l[j].resize(phones.size());
+    for (std::size_t i = 0; i < phones.size(); ++i) {
+      l[j][i] = problem.add_variable(0.0);
+    }
+  }
+
+  // Per-phone makespan constraints with u_ij = l_ij / L_j substituted.
+  for (std::size_t i = 0; i < phones.size(); ++i) {
+    std::vector<std::pair<std::size_t, double>> terms;
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      if (jobs[j].input_kb <= 0.0) continue;
+      const MsPerKb c_ij = prediction.predict(jobs[j].task_name, phones[i]);
+      const double weight =
+          jobs[j].exec_kb * phones[i].b / jobs[j].input_kb + phones[i].b + c_ij;
+      terms.emplace_back(l[j][i], weight);
+    }
+    terms.emplace_back(T, -1.0);
+    problem.add_le(std::move(terms), 0.0);
+  }
+
+  // Coverage: every job's input fully assigned.
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    if (jobs[j].input_kb <= 0.0) continue;
+    std::vector<std::pair<std::size_t, double>> terms;
+    for (std::size_t i = 0; i < phones.size(); ++i) terms.emplace_back(l[j][i], 1.0);
+    problem.add_eq(std::move(terms), jobs[j].input_kb);
+  }
+  return problem;
+}
+
+RelaxationResult relaxed_lower_bound(const std::vector<JobSpec>& jobs,
+                                     const std::vector<PhoneSpec>& phones,
+                                     const PredictionModel& prediction) {
+  const lp::Problem problem = build_relaxation(jobs, phones, prediction);
+  const lp::Solution solution = lp::solve(problem);
+  RelaxationResult result;
+  result.lp_iterations = solution.iterations;
+  if (solution.status == lp::SolveStatus::kOptimal) {
+    result.solved = true;
+    result.makespan = solution.objective;
+  }
+  return result;
+}
+
+}  // namespace cwc::core

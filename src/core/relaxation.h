@@ -1,0 +1,44 @@
+// LP relaxation of the SCH program (Section 6, "Benchmarking the
+// Scheduler") — the loose lower bound of Fig. 13.
+//
+// The paper reformulates SCH so the executable cost multiplies only the
+// indicator: sum_j u_ij*E_j*b_i + l_ij*(b_i + c_ij) <= T, with the linking
+// constraint l_ij <= L_j * u_ij replacing (1 - u_ij) l_ij = 0, and then
+// relaxes integrality of u. At the relaxed optimum u_ij = l_ij / L_j (any
+// larger u only inflates the left side), so substituting u out yields the
+// equivalent compact LP over l and T:
+//
+//   minimize T
+//   s.t.  sum_j (E_j*b_i/L_j + b_i + c_ij) * l_ij <= T     for each phone i
+//         sum_i l_ij = L_j                                  for each job j
+//         l_ij >= 0
+//
+// which lower-bounds the optimal makespan: T_relaxed <= T_opt <= T_cwc.
+#pragma once
+
+#include <vector>
+
+#include "core/model.h"
+#include "core/prediction.h"
+#include "lp/problem.h"
+
+namespace cwc::core {
+
+struct RelaxationResult {
+  bool solved = false;
+  Millis makespan = 0.0;        ///< T_relaxed (0 when !solved)
+  std::size_t lp_iterations = 0;
+};
+
+/// Builds the compact relaxation LP (exposed for tests).
+lp::Problem build_relaxation(const std::vector<JobSpec>& jobs,
+                             const std::vector<PhoneSpec>& phones,
+                             const PredictionModel& prediction);
+
+/// Solves the relaxation; `solved` is false only on solver failure (the LP
+/// itself is always feasible for non-empty phone sets).
+RelaxationResult relaxed_lower_bound(const std::vector<JobSpec>& jobs,
+                                     const std::vector<PhoneSpec>& phones,
+                                     const PredictionModel& prediction);
+
+}  // namespace cwc::core

@@ -1,0 +1,105 @@
+#include "core/schedule.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace cwc::core {
+
+namespace {
+constexpr double kCoverageToleranceKb = 1e-6;
+}
+
+std::map<JobId, std::size_t> Schedule::pieces_per_job() const {
+  std::map<JobId, std::size_t> counts;
+  for (const PhonePlan& plan : plans) {
+    for (const JobPiece& piece : plan.pieces) ++counts[piece.job];
+  }
+  return counts;
+}
+
+std::map<JobId, std::size_t> Schedule::partitions_per_job() const {
+  auto counts = pieces_per_job();
+  for (auto& [job, count] : counts) {
+    if (count == 1) count = 0;  // assigned whole: zero partitions (Fig. 12b)
+  }
+  return counts;
+}
+
+Kilobytes Schedule::assigned_kb(JobId job) const {
+  Kilobytes total = 0.0;
+  for (const PhonePlan& plan : plans) {
+    for (const JobPiece& piece : plan.pieces) {
+      if (piece.job == job) total += piece.input_kb;
+    }
+  }
+  return total;
+}
+
+Millis plan_cost(const PhonePlan& plan, const std::vector<JobSpec>& jobs, const PhoneSpec& phone,
+                 const PredictionModel& prediction) {
+  std::map<JobId, const JobSpec*> by_id;
+  for (const JobSpec& job : jobs) by_id[job.id] = &job;
+
+  Millis total = 0.0;
+  std::set<JobId> executable_shipped;
+  for (const JobPiece& piece : plan.pieces) {
+    const auto it = by_id.find(piece.job);
+    if (it == by_id.end()) {
+      throw std::logic_error("plan_cost: piece references unknown job " +
+                             std::to_string(piece.job));
+    }
+    const JobSpec& job = *it->second;
+    const bool first_piece = executable_shipped.insert(piece.job).second;
+    total += completion_time(job, phone, prediction.predict(job.task_name, phone),
+                             piece.input_kb, first_piece);
+  }
+  return total;
+}
+
+void validate_schedule(const Schedule& schedule, const std::vector<JobSpec>& jobs,
+                       const std::vector<PhoneSpec>& phones) {
+  std::map<PhoneId, const PhoneSpec*> phone_by_id;
+  for (const PhoneSpec& phone : phones) phone_by_id[phone.id] = &phone;
+  std::map<JobId, const JobSpec*> job_by_id;
+  for (const JobSpec& job : jobs) job_by_id[job.id] = &job;
+
+  std::map<JobId, Kilobytes> covered;
+  std::map<JobId, std::size_t> piece_counts;
+  for (const PhonePlan& plan : schedule.plans) {
+    const auto phone_it = phone_by_id.find(plan.phone);
+    if (phone_it == phone_by_id.end()) {
+      throw std::logic_error("schedule references unknown phone " + std::to_string(plan.phone));
+    }
+    for (const JobPiece& piece : plan.pieces) {
+      const auto job_it = job_by_id.find(piece.job);
+      if (job_it == job_by_id.end()) {
+        throw std::logic_error("schedule references unknown job " + std::to_string(piece.job));
+      }
+      if (piece.input_kb < 0.0 || !std::isfinite(piece.input_kb)) {
+        throw std::logic_error("negative or non-finite piece for job " +
+                               std::to_string(piece.job));
+      }
+      if (piece.input_kb > phone_it->second->ram_kb + kCoverageToleranceKb) {
+        throw std::logic_error("piece of job " + std::to_string(piece.job) +
+                               " exceeds RAM of phone " + std::to_string(plan.phone));
+      }
+      covered[piece.job] += piece.input_kb;
+      ++piece_counts[piece.job];
+    }
+  }
+
+  for (const JobSpec& job : jobs) {
+    const double assigned = covered.count(job.id) ? covered[job.id] : 0.0;
+    if (std::abs(assigned - job.input_kb) > kCoverageToleranceKb * (1.0 + job.input_kb)) {
+      throw std::logic_error("job " + std::to_string(job.id) + " covers " +
+                             std::to_string(assigned) + " KB of " +
+                             std::to_string(job.input_kb));
+    }
+    if (job.kind == JobKind::kAtomic && piece_counts[job.id] > 1) {
+      throw std::logic_error("atomic job " + std::to_string(job.id) + " was partitioned");
+    }
+  }
+}
+
+}  // namespace cwc::core

@@ -1,0 +1,76 @@
+// Scheduler interface and the two baseline schedulers the paper compares
+// against in Section 6 ("Comparison with simple practical schedulers").
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "core/prediction.h"
+#include "core/schedule.h"
+
+namespace cwc::core {
+
+/// Predicted outstanding work (ms) per phone at a scheduling instant.
+/// Used when re-scheduling failed tasks mid-run (Section 5's instant B):
+/// phones still working have non-zero load, so the packer naturally routes
+/// new work to phones that finish early — the behaviour visible in
+/// Fig. 12(c), where failed tasks land on the fast, early-finishing phones.
+using InitialLoad = std::map<PhoneId, Millis>;
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual const char* name() const = 0;
+
+  /// Builds a schedule assigning every job's input across the phones.
+  /// `initial_load` biases placement for mid-run rescheduling (baseline
+  /// schedulers ignore it, exactly as naive schedulers would).
+  /// Preconditions: at least one phone; every atomic job must fit in some
+  /// phone's RAM. Throws std::invalid_argument / std::runtime_error when a
+  /// feasible schedule cannot be produced.
+  virtual Schedule build(const std::vector<JobSpec>& jobs, const std::vector<PhoneSpec>& phones,
+                         const PredictionModel& prediction,
+                         const InitialLoad& initial_load = {}) const = 0;
+};
+
+/// Baseline 1: "splits each breakable job into |P| pieces without
+/// accounting for the different bandwidth and CPU speeds of phones; the
+/// atomic jobs are assigned to phones in a round-robin manner."
+class EqualSplitScheduler final : public Scheduler {
+ public:
+  const char* name() const override { return "equal-split"; }
+  Schedule build(const std::vector<JobSpec>& jobs, const std::vector<PhoneSpec>& phones,
+                 const PredictionModel& prediction,
+                 const InitialLoad& initial_load = {}) const override;
+};
+
+/// Baseline 2: "both breakable and atomic jobs are assigned in a
+/// round-robin manner" (breakable jobs are not split at all).
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  const char* name() const override { return "round-robin"; }
+  Schedule build(const std::vector<JobSpec>& jobs, const std::vector<PhoneSpec>& phones,
+                 const PredictionModel& prediction,
+                 const InitialLoad& initial_load = {}) const override;
+};
+
+/// Baseline 3 (ours, not the paper's): classic LPT list scheduling —
+/// jobs sorted by decreasing reference execution time, each assigned whole
+/// to the phone with the earliest predicted finish. Heterogeneity-aware
+/// (it uses Equation 1 per phone) but never partitions, so it bounds what
+/// a good scheduler can do *without* CWC's breakable-task model.
+class LptScheduler final : public Scheduler {
+ public:
+  const char* name() const override { return "lpt"; }
+  Schedule build(const std::vector<JobSpec>& jobs, const std::vector<PhoneSpec>& phones,
+                 const PredictionModel& prediction,
+                 const InitialLoad& initial_load = {}) const override;
+};
+
+/// Fills in predicted_finish per plan and the schedule's makespan.
+void annotate_costs(Schedule& schedule, const std::vector<JobSpec>& jobs,
+                    const std::vector<PhoneSpec>& phones, const PredictionModel& prediction);
+
+}  // namespace cwc::core

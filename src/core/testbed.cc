@@ -1,0 +1,123 @@
+#include "core/testbed.h"
+
+#include <stdexcept>
+
+#include "tasks/registry.h"
+
+namespace cwc::core {
+
+MsPerKb typical_b(RadioTech tech) {
+  switch (tech) {
+    case RadioTech::kEdge: return 40.0;     // ~25 KB/s
+    case RadioTech::k3G: return 10.0;       // ~100 KB/s
+    case RadioTech::k4G: return 2.5;        // ~400 KB/s
+    case RadioTech::kWifi11g: return 1.6;   // ~625 KB/s with interference
+    case RadioTech::kWifi11a: return 1.0;   // ~1 MB/s, clean channel
+  }
+  throw std::invalid_argument("typical_b: unknown radio technology");
+}
+
+MsPerKb sample_b(RadioTech tech, Rng& rng) {
+  // Per-deployment spread around the typical value. The testbed talks to
+  // an EC2 server through residential uplinks, which compresses the spread
+  // (the paper's full measured range of 1-70 ms/KB shows up in the Fig. 13
+  // random configurations, which draw b uniformly from that interval).
+  switch (tech) {
+    case RadioTech::kEdge: return rng.uniform(10.0, 22.0);
+    case RadioTech::k3G: return rng.uniform(4.0, 10.0);
+    case RadioTech::k4G: return rng.uniform(1.8, 4.0);
+    case RadioTech::kWifi11g: return rng.uniform(1.2, 2.2);
+    case RadioTech::kWifi11a: return rng.uniform(0.8, 1.2);
+  }
+  throw std::invalid_argument("sample_b: unknown radio technology");
+}
+
+const char* to_string(RadioTech tech) {
+  switch (tech) {
+    case RadioTech::kEdge: return "EDGE";
+    case RadioTech::k3G: return "3G";
+    case RadioTech::k4G: return "4G";
+    case RadioTech::kWifi11g: return "WiFi-11g";
+    case RadioTech::kWifi11a: return "WiFi-11a";
+  }
+  return "?";
+}
+
+std::vector<PhoneSpec> paper_testbed(Rng& rng) {
+  // Clock speeds spanning the paper's 806 MHz - 1.5 GHz range.
+  const double clocks[18] = {806,  806,  1000, 1000, 1000, 1200, 1200, 1200, 1200,
+                             1200, 1400, 1400, 1400, 1500, 1500, 1500, 1500, 1500};
+  // Three houses of six phones: 2 on the house WiFi, 4 on cellular.
+  // House 3 has the clean 802.11a AP.
+  const RadioTech radios[18] = {
+      // house 1 (802.11g, interference)
+      RadioTech::kWifi11g, RadioTech::kWifi11g, RadioTech::kEdge, RadioTech::k3G,
+      RadioTech::k3G, RadioTech::k4G,
+      // house 2 (802.11g, interference)
+      RadioTech::kWifi11g, RadioTech::kWifi11g, RadioTech::kEdge, RadioTech::k3G,
+      RadioTech::k4G, RadioTech::k4G,
+      // house 3 (802.11a, clean)
+      RadioTech::kWifi11a, RadioTech::kWifi11a, RadioTech::kEdge, RadioTech::k3G,
+      RadioTech::k3G, RadioTech::k4G};
+
+  std::vector<PhoneSpec> phones;
+  phones.reserve(18);
+  for (int i = 0; i < 18; ++i) {
+    PhoneSpec phone;
+    phone.id = i;
+    phone.cpu_mhz = clocks[i];
+    phone.b = sample_b(radios[i], rng);
+    phone.ram_kb = megabytes(i % 3 == 0 ? 512.0 : 1024.0);  // 0.5-1 GB free RAM
+    // Most phones match their clock scaling within a few percent; phones 2
+    // and 9 are markedly faster than their clock suggests (Fig. 6's
+    // rightmost points / Fig. 12(a)'s early finishers).
+    phone.hidden_efficiency = (i == 2 || i == 9) ? rng.uniform(1.30, 1.45)
+                                                 : rng.uniform(0.93, 1.07);
+    phones.push_back(phone);
+  }
+  return phones;
+}
+
+std::vector<JobSpec> paper_workload(Rng& rng, double size_scale) {
+  const tasks::TaskRegistry registry = tasks::TaskRegistry::with_builtins();
+  const tasks::TaskFactory& primes = registry.require(kPrimeTask);
+  const tasks::TaskFactory& words = registry.require(kWordTask);
+  const tasks::TaskFactory& blur = registry.require(kBlurTask);
+
+  std::vector<JobSpec> jobs;
+  jobs.reserve(150);
+  JobId id = 0;
+  // 50 prime-count instances with varying input sizes. Sizes are chosen so
+  // the full workload (size_scale = 1.0) completes in ~1100 s on the
+  // 18-phone testbed, matching the paper's Fig. 12 run.
+  for (int k = 0; k < 50; ++k) {
+    jobs.push_back({id++, primes.name(), JobKind::kBreakable, primes.executable_kb(),
+                    size_scale * rng.uniform(megabytes(1.4), megabytes(5.6))});
+  }
+  // 50 word-count instances with varying input sizes.
+  for (int k = 0; k < 50; ++k) {
+    jobs.push_back({id++, words.name(), JobKind::kBreakable, words.executable_kb(),
+                    size_scale * rng.uniform(megabytes(1.4), megabytes(5.6))});
+  }
+  // 50 variable-size photos to blur (atomic).
+  for (int k = 0; k < 50; ++k) {
+    jobs.push_back({id++, blur.name(), JobKind::kAtomic, blur.executable_kb(),
+                    size_scale * rng.uniform(megabytes(0.7), megabytes(3.5))});
+  }
+  return jobs;
+}
+
+PredictionModel paper_prediction() {
+  return prediction_for(tasks::TaskRegistry::with_builtins());
+}
+
+PredictionModel prediction_for(const tasks::TaskRegistry& registry) {
+  PredictionModel prediction;
+  for (const std::string& name : registry.names()) {
+    const tasks::TaskFactory& factory = registry.require(name);
+    prediction.set_reference(name, factory.reference_ms_per_kb(), 806.0);
+  }
+  return prediction;
+}
+
+}  // namespace cwc::core

@@ -1,0 +1,53 @@
+// The paper's experimental setup as reusable builders: the 18-phone
+// testbed (Section 6), the 150-task workload (50 prime-count + 50
+// word-count + 50 atomic photo-blur instances of varying sizes), and a
+// prediction model seeded with the built-in tasks' reference measurements
+// on the slowest phone (HTC G2, 806 MHz).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/model.h"
+#include "core/prediction.h"
+#include "tasks/registry.h"
+
+namespace cwc::core {
+
+/// Radio technologies in the testbed and representative b_i costs. The
+/// paper measured b_i between 1 and 70 ms/KB across EDGE, 3G, 4G and WiFi
+/// (802.11a/g, with/without interference).
+enum class RadioTech { kEdge, k3G, k4G, kWifi11g, kWifi11a };
+
+/// Typical ms/KB for a radio technology (mean of the sampling range).
+MsPerKb typical_b(RadioTech tech);
+/// Randomized b_i for one phone of the given technology.
+MsPerKb sample_b(RadioTech tech, Rng& rng);
+const char* to_string(RadioTech tech);
+
+/// Builds the 18-phone testbed: CPU clocks from 806 MHz (HTC G2) to
+/// 1.5 GHz, 6 phones per "house", 2 on the house WiFi AP and 4 on varying
+/// cellular technologies. Hidden efficiencies are mostly ~1 with a couple
+/// of phones notably faster than their clock suggests (the paper's phones
+/// 2 and 9, visible in Fig. 6 and Fig. 12(a)).
+std::vector<PhoneSpec> paper_testbed(Rng& rng);
+
+/// Builds the 150-task evaluation workload with inputs scaled by
+/// `size_scale` (1.0 reproduces a ~1100 s makespan on the testbed).
+std::vector<JobSpec> paper_workload(Rng& rng, double size_scale = 1.0);
+
+/// Prediction model pre-seeded with each built-in task's reference cost
+/// c_sj measured on the 806 MHz reference phone.
+PredictionModel paper_prediction();
+
+/// Prediction model seeded from every task in `registry` (use when the
+/// registry carries more than the built-ins, e.g. MapReduce programs).
+PredictionModel prediction_for(const tasks::TaskRegistry& registry);
+
+/// Names used by the paper workload (must exist in a TaskRegistry when the
+/// workload is executed rather than simulated).
+inline constexpr const char* kPrimeTask = "prime-count";
+inline constexpr const char* kWordTask = "word-count:error";
+inline constexpr const char* kBlurTask = "photo-blur";
+
+}  // namespace cwc::core

@@ -1,0 +1,19 @@
+// Two-phase dense tableau simplex solver.
+//
+// Standard-form conversion: every constraint gets a slack (<=), surplus (>=)
+// or nothing (==); rows whose slack cannot seed a feasible basis get an
+// artificial variable, and phase 1 minimizes the artificial sum. Pivoting is
+// Dantzig's rule with an automatic switch to Bland's rule after a stall, so
+// the solver cannot cycle. Dense storage is appropriate here: the SCH
+// relaxation for the paper's testbed (18 phones x 150 jobs) is ~170 rows by
+// ~2900 columns and solves in tens of milliseconds.
+#pragma once
+
+#include "lp/problem.h"
+
+namespace cwc::lp {
+
+/// Solves `problem` to optimality (or reports infeasible/unbounded).
+Solution solve(const Problem& problem, const SolverOptions& options = {});
+
+}  // namespace cwc::lp

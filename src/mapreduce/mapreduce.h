@@ -1,0 +1,155 @@
+// MapReduce-style jobs over CWC — the programming model the paper frames
+// its task model around ("Similar to the model in MapReduce, a central
+// server partitions a large input file into smaller pieces...").
+//
+// A MapReduce job here is a breakable CWC task whose per-partition state is
+// a key -> count table:
+//   - the *mapper* turns each record into zero or more (key, delta) pairs
+//     (CWC ships programs by name, so mappers are registered objects, the
+//     same reflection discipline as every other task);
+//   - the *reduce* is a fixed commutative sum, which makes partial tables
+//     mergeable in any order — exactly what partition-level aggregation
+//     and failure-time banking of partial results require;
+//   - the server-side aggregate merges the per-partition tables and the
+//     caller reads the final table (or its top-k).
+//
+// Built-in mappers: word frequency, log-severity histograms, CSV field
+// counting, and numeric bucketing. Custom mappers implement `Mapper` and
+// register through `install_mapreduce`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tasks/line_task.h"
+#include "tasks/registry.h"
+
+namespace cwc::mapreduce {
+
+/// Receives the mapper's (key, delta) emissions for one record.
+class Emitter {
+ public:
+  explicit Emitter(std::map<std::string, std::int64_t>& table) : table_(table) {}
+  void emit(std::string_view key, std::int64_t delta = 1) {
+    table_[std::string(key)] += delta;
+  }
+
+ private:
+  std::map<std::string, std::int64_t>& table_;
+};
+
+/// A map function over newline-delimited records. Stateless and shared
+/// between concurrent task instances: map() must be const and thread-safe.
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+  /// Registry key; the full task name becomes "mapreduce:<name>".
+  virtual const std::string& name() const = 0;
+  virtual void map(std::string_view record, Emitter& out) const = 0;
+};
+
+/// Final (or partial) result: a key -> count table.
+struct Table {
+  std::map<std::string, std::int64_t> counts;
+
+  std::int64_t at(const std::string& key) const;
+  std::int64_t total() const;
+  /// Keys by descending count (ties by key), at most k entries.
+  std::vector<std::pair<std::string, std::int64_t>> top(std::size_t k) const;
+
+  bool operator==(const Table&) const = default;
+};
+
+/// Serialization shared by checkpoints, partial results and final results.
+tasks::Bytes encode_table(const Table& table);
+Table decode_table(const tasks::Bytes& blob);
+
+/// The CWC task running one mapper over an input partition.
+class MapReduceTask final : public tasks::LineTask {
+ public:
+  explicit MapReduceTask(std::shared_ptr<const Mapper> mapper) : mapper_(std::move(mapper)) {}
+  tasks::Bytes partial_result() const override;
+  const Table& table() const { return table_; }
+
+ protected:
+  void process_line(std::string_view line) override;
+  void save_state(BufferWriter& w) const override;
+  void load_state(BufferReader& r) override;
+
+ private:
+  std::shared_ptr<const Mapper> mapper_;
+  Table table_;
+};
+
+class MapReduceFactory final : public tasks::TaskFactory {
+ public:
+  explicit MapReduceFactory(std::shared_ptr<const Mapper> mapper);
+
+  const std::string& name() const override { return name_; }
+  JobKind kind() const override { return JobKind::kBreakable; }
+  Kilobytes executable_kb() const override { return 44.0; }
+  MsPerKb reference_ms_per_kb() const override { return 32.0; }
+  std::unique_ptr<tasks::Task> create() const override;
+  /// Merges partial tables by summation.
+  tasks::Bytes aggregate(const std::vector<tasks::Bytes>& partials) const override;
+
+ private:
+  std::shared_ptr<const Mapper> mapper_;
+  std::string name_;
+};
+
+// --- built-in mappers --------------------------------------------------------
+
+/// Emits (lower-cased word, 1) for every whitespace token.
+class WordFrequencyMapper final : public Mapper {
+ public:
+  const std::string& name() const override;
+  void map(std::string_view record, Emitter& out) const override;
+};
+
+/// Emits (severity, 1) for syslog-style records "<epoch> <SEVERITY> ...".
+class LogSeverityMapper final : public Mapper {
+ public:
+  const std::string& name() const override;
+  void map(std::string_view record, Emitter& out) const override;
+};
+
+/// Emits (field[index], 1) for delimiter-separated records.
+class CsvFieldMapper final : public Mapper {
+ public:
+  CsvFieldMapper(std::size_t field_index, char delimiter = ',');
+  const std::string& name() const override { return name_; }
+  void map(std::string_view record, Emitter& out) const override;
+
+ private:
+  std::size_t field_index_;
+  char delimiter_;
+  std::string name_;
+};
+
+/// Emits ("bucket_<k>", 1) for each integer token, bucketed by width.
+class NumericBucketMapper final : public Mapper {
+ public:
+  explicit NumericBucketMapper(std::int64_t bucket_width);
+  const std::string& name() const override { return name_; }
+  void map(std::string_view record, Emitter& out) const override;
+
+ private:
+  std::int64_t width_;
+  std::string name_;
+};
+
+/// Registers "mapreduce:<mapper name>" in the registry; returns the task
+/// name to submit jobs under.
+std::string install_mapreduce(tasks::TaskRegistry& registry,
+                              std::shared_ptr<const Mapper> mapper);
+
+/// Installs every built-in mapper (word-freq, log-severity, csv field 1,
+/// numeric buckets of 100).
+void install_mapreduce_builtins(tasks::TaskRegistry& registry);
+
+}  // namespace cwc::mapreduce

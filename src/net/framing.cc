@@ -1,0 +1,49 @@
+#include "net/framing.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace cwc::net {
+
+void write_frame(TcpConnection& conn, std::span<const std::uint8_t> payload) {
+  if (payload.size() > kMaxFrameBytes) throw std::runtime_error("frame too large");
+  std::uint8_t header[4];
+  const auto size = static_cast<std::uint32_t>(payload.size());
+  header[0] = static_cast<std::uint8_t>(size);
+  header[1] = static_cast<std::uint8_t>(size >> 8);
+  header[2] = static_cast<std::uint8_t>(size >> 16);
+  header[3] = static_cast<std::uint8_t>(size >> 24);
+  conn.send_all(std::span<const std::uint8_t>(header, 4));
+  conn.send_all(payload);
+}
+
+void FrameDecoder::feed(std::span<const std::uint8_t> data) {
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+}
+
+std::optional<std::vector<std::uint8_t>> FrameDecoder::pop() {
+  if (buffer_.size() < 4) return std::nullopt;
+  const std::uint32_t size = static_cast<std::uint32_t>(buffer_[0]) |
+                             (static_cast<std::uint32_t>(buffer_[1]) << 8) |
+                             (static_cast<std::uint32_t>(buffer_[2]) << 16) |
+                             (static_cast<std::uint32_t>(buffer_[3]) << 24);
+  if (size > kMaxFrameBytes) throw std::runtime_error("oversized frame: corrupted stream");
+  if (buffer_.size() < 4 + static_cast<std::size_t>(size)) return std::nullopt;
+  std::vector<std::uint8_t> frame(buffer_.begin() + 4,
+                                  buffer_.begin() + 4 + static_cast<std::ptrdiff_t>(size));
+  buffer_.erase(buffer_.begin(), buffer_.begin() + 4 + static_cast<std::ptrdiff_t>(size));
+  return frame;
+}
+
+std::optional<std::vector<std::uint8_t>> read_frame(TcpConnection& conn, FrameDecoder& decoder) {
+  while (true) {
+    if (auto frame = decoder.pop()) return frame;
+    const auto data = conn.recv_some();
+    if (!data) continue;            // non-blocking socket: busy wait is the
+                                    // caller's concern; agents use blocking
+    if (data->empty()) return std::nullopt;  // orderly shutdown
+    decoder.feed(*data);
+  }
+}
+
+}  // namespace cwc::net

@@ -1,0 +1,43 @@
+// Length-prefixed message framing over a TCP stream.
+//
+// Wire format: u32 little-endian payload length, then the payload. The
+// decoder is incremental so the server's poll loop can feed it whatever
+// recv() returned and pop complete frames as they materialize.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/socket.h"
+
+namespace cwc::net {
+
+/// Frames larger than this indicate a corrupted stream (inputs ship in
+/// chunks well below it).
+inline constexpr std::uint32_t kMaxFrameBytes = 256 * 1024 * 1024;
+
+/// Sends one framed payload (blocking).
+void write_frame(TcpConnection& conn, std::span<const std::uint8_t> payload);
+
+/// Incremental decoder: feed() raw stream bytes, pop() complete frames.
+class FrameDecoder {
+ public:
+  void feed(std::span<const std::uint8_t> data);
+  /// Next complete frame, or nullopt. Throws std::runtime_error on an
+  /// oversized length prefix (stream corruption).
+  std::optional<std::vector<std::uint8_t>> pop();
+
+  std::size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Blocking convenience for the phone agent: reads one whole frame;
+/// returns nullopt on orderly connection shutdown.
+std::optional<std::vector<std::uint8_t>> read_frame(TcpConnection& conn, FrameDecoder& decoder);
+
+}  // namespace cwc::net

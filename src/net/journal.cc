@@ -1,0 +1,158 @@
+#include "net/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "common/buffer.h"
+
+namespace cwc::net {
+
+namespace {
+enum class RecordType : std::uint8_t { kSubmit = 1, kProgress = 2, kAtomicDone = 3 };
+}
+
+Journal::Journal(std::string path, bool truncate) : path_(std::move(path)) {
+  const int flags = O_WRONLY | O_CREAT | O_APPEND | (truncate ? O_TRUNC : 0);
+  fd_ = ::open(path_.c_str(), flags, 0644);
+  if (fd_ < 0) {
+    throw std::runtime_error("Journal: cannot open " + path_ + ": " + std::strerror(errno));
+  }
+}
+
+Journal::~Journal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Journal::append(const Blob& record) {
+  // Length-prefixed so replay can detect a torn final record.
+  std::uint8_t header[4];
+  const auto size = static_cast<std::uint32_t>(record.size());
+  header[0] = static_cast<std::uint8_t>(size);
+  header[1] = static_cast<std::uint8_t>(size >> 8);
+  header[2] = static_cast<std::uint8_t>(size >> 16);
+  header[3] = static_cast<std::uint8_t>(size >> 24);
+  Blob framed(header, header + 4);
+  framed.insert(framed.end(), record.begin(), record.end());
+  std::size_t written = 0;
+  while (written < framed.size()) {
+    const ssize_t n = ::write(fd_, framed.data() + written, framed.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("Journal: write failed: " + std::string(std::strerror(errno)));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+void Journal::record_submit(JobId job, const std::string& task_name, const Blob& input) {
+  BufferWriter w;
+  w.write_u8(static_cast<std::uint8_t>(RecordType::kSubmit));
+  w.write_i32(job);
+  w.write_string(task_name);
+  w.write_bytes(input);
+  append(w.take());
+}
+
+void Journal::record_progress(JobId job, const Ranges& ranges, const Blob& partial) {
+  BufferWriter w;
+  w.write_u8(static_cast<std::uint8_t>(RecordType::kProgress));
+  w.write_i32(job);
+  w.write_u32(static_cast<std::uint32_t>(ranges.size()));
+  for (const auto& [begin, end] : ranges) {
+    w.write_u64(begin);
+    w.write_u64(end);
+  }
+  w.write_bytes(partial);
+  append(w.take());
+}
+
+void Journal::record_atomic_done(JobId job, const Blob& result) {
+  BufferWriter w;
+  w.write_u8(static_cast<std::uint8_t>(RecordType::kAtomicDone));
+  w.write_i32(job);
+  w.write_bytes(result);
+  append(w.take());
+}
+
+bool Journal::RecoveredJob::done(bool atomic) const {
+  if (atomic) return atomic_result.has_value();
+  return remaining_bytes() == 0;
+}
+
+Journal::Ranges Journal::RecoveredJob::remaining_ranges() const {
+  // Normalize completed ranges, then walk the gaps.
+  auto covered = completed_ranges;
+  std::sort(covered.begin(), covered.end());
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> remaining;
+  std::uint64_t cursor = 0;
+  for (const auto& [begin, end] : covered) {
+    if (begin > cursor) remaining.push_back({cursor, std::min<std::uint64_t>(begin, input.size())});
+    cursor = std::max(cursor, end);
+  }
+  if (cursor < input.size()) remaining.push_back({cursor, input.size()});
+  return remaining;
+}
+
+std::uint64_t Journal::RecoveredJob::remaining_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [begin, end] : remaining_ranges()) total += end - begin;
+  return total;
+}
+
+std::map<JobId, Journal::RecoveredJob> Journal::replay(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("Journal::replay: cannot read " + path);
+  Blob contents((std::istreambuf_iterator<char>(file)), std::istreambuf_iterator<char>());
+
+  std::map<JobId, RecoveredJob> jobs;
+  std::size_t offset = 0;
+  while (offset + 4 <= contents.size()) {
+    const std::uint32_t size = static_cast<std::uint32_t>(contents[offset]) |
+                               (static_cast<std::uint32_t>(contents[offset + 1]) << 8) |
+                               (static_cast<std::uint32_t>(contents[offset + 2]) << 16) |
+                               (static_cast<std::uint32_t>(contents[offset + 3]) << 24);
+    if (offset + 4 + size > contents.size()) break;  // torn final record
+    BufferReader r(std::span<const std::uint8_t>(contents.data() + offset + 4, size));
+    offset += 4 + size;
+    try {
+      const auto type = static_cast<RecordType>(r.read_u8());
+      const JobId job = r.read_i32();
+      switch (type) {
+        case RecordType::kSubmit: {
+          RecoveredJob& state = jobs[job];
+          state.task_name = r.read_string();
+          state.input = r.read_bytes();
+          break;
+        }
+        case RecordType::kProgress: {
+          RecoveredJob& state = jobs[job];
+          const std::uint32_t range_count = r.read_u32();
+          for (std::uint32_t k = 0; k < range_count; ++k) {
+            const std::uint64_t begin = r.read_u64();
+            const std::uint64_t end = r.read_u64();
+            state.completed_ranges.push_back({begin, end});
+          }
+          state.partials.push_back(r.read_bytes());
+          break;
+        }
+        case RecordType::kAtomicDone: {
+          jobs[job].atomic_result = r.read_bytes();
+          break;
+        }
+        default:
+          throw std::runtime_error("Journal::replay: unknown record type");
+      }
+    } catch (const BufferUnderflow&) {
+      throw std::runtime_error("Journal::replay: corrupted record in " + path);
+    }
+  }
+  return jobs;
+}
+
+}  // namespace cwc::net

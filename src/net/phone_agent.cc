@@ -1,0 +1,272 @@
+#include "net/phone_agent.h"
+
+#include <poll.h>
+
+#include <chrono>
+
+#include "common/log.h"
+
+namespace cwc::net {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ms(Clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - since).count();
+}
+
+void sleep_ms(double ms) {
+  if (ms > 0.0) std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+}  // namespace
+
+PhoneAgent::PhoneAgent(std::uint16_t server_port, PhoneAgentConfig config,
+                       const tasks::TaskRegistry* registry)
+    : port_(server_port), config_(config), registry_(registry) {
+  if (!registry_) throw std::invalid_argument("PhoneAgent: null registry");
+  link_kbps_.store(config.emulated_link_kbps);
+}
+
+PhoneAgent::~PhoneAgent() {
+  stop_.store(true);
+  if (thread_.joinable()) thread_.join();
+}
+
+void PhoneAgent::start() {
+  thread_ = std::thread([this] {
+    try {
+      run();
+    } catch (const std::exception& e) {
+      log_warn("agent") << "phone " << config_.id << " terminated: " << e.what();
+    }
+    finished_.store(true);
+  });
+}
+
+void PhoneAgent::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+std::optional<Blob> PhoneAgent::next_frame(TcpConnection& conn, FrameDecoder& decoder) {
+  if (!stash_.empty()) {
+    Blob frame = std::move(stash_.front());
+    stash_.pop_front();
+    return frame;
+  }
+  while (!stop_.load()) {
+    if (auto frame = decoder.pop()) return frame;
+    pollfd pfd{conn.fd(), POLLIN, 0};
+    if (::poll(&pfd, 1, 100) <= 0) continue;  // re-check stop_ every 100 ms
+    const auto data = conn.recv_some();
+    if (!data) continue;
+    if (data->empty()) return std::nullopt;  // server closed the connection
+    decoder.feed(*data);
+  }
+  return std::nullopt;
+}
+
+void PhoneAgent::service_keepalives(TcpConnection& conn, FrameDecoder& decoder) {
+  if (offline_.load() && unplugged_.load()) return;  // radio is "gone"
+  pollfd pfd{conn.fd(), POLLIN, 0};
+  while (::poll(&pfd, 1, 0) > 0 && (pfd.revents & POLLIN)) {
+    const auto data = conn.recv_some();
+    if (!data || data->empty()) return;  // drained or peer closed
+    decoder.feed(*data);
+  }
+  // Answer keep-alives immediately; anything else (e.g. a probe chunk or
+  // the shutdown notice) is stashed for the main protocol loop.
+  while (auto frame = decoder.pop()) {
+    if (peek_type(*frame) == MsgType::kKeepAlive) {
+      write_frame(conn, encode_keepalive_ack(decode_keepalive(*frame).seq));
+    } else {
+      stash_.push_back(std::move(*frame));
+    }
+  }
+}
+
+void PhoneAgent::responsive_sleep(double ms, TcpConnection& conn, FrameDecoder& decoder) {
+  while (ms > 0.0 && !stop_.load()) {
+    const double slice = std::min(ms, 20.0);
+    sleep_ms(slice);
+    ms -= slice;
+    service_keepalives(conn, decoder);
+  }
+}
+
+void PhoneAgent::pace_link(std::size_t bytes, TcpConnection& conn, FrameDecoder& decoder) {
+  const double kbps = link_kbps_.load();
+  if (kbps <= 0.0) return;
+  responsive_sleep(static_cast<double>(bytes) / 1024.0 / kbps * 1000.0, conn, decoder);
+}
+
+void PhoneAgent::run() {
+  int reconnects_left = config_.max_reconnects;
+  while (session()) {
+    if (stop_.load() || reconnects_left-- <= 0) return;
+    // Wait until the owner has replugged the phone before reconnecting
+    // (the radio is off while unplugged-offline).
+    while (unplugged_.load() && !stop_.load()) {
+      sleep_ms(config_.reconnect_backoff);
+    }
+    if (stop_.load()) return;
+    sleep_ms(config_.reconnect_backoff);
+    log_info("agent") << "phone " << config_.id << " reconnecting ("
+                      << reconnects_left << " attempts left)";
+  }
+}
+
+bool PhoneAgent::session() {
+  TcpConnection conn;
+  try {
+    conn = TcpConnection::connect_ipv4(config_.server_host, port_);
+  } catch (const SocketError&) {
+    return true;  // server not reachable yet; retry if budget remains
+  }
+  FrameDecoder decoder;
+  stash_.clear();
+
+  RegisterMsg reg;
+  reg.phone = config_.id;
+  reg.cpu_mhz = config_.cpu_mhz;
+  reg.ram_kb = config_.ram_kb;
+  write_frame(conn, encode(reg));
+
+  const auto ack_frame = next_frame(conn, decoder);
+  if (!ack_frame || !decode_register_ack(*ack_frame).accepted) {
+    throw std::runtime_error("registration rejected");
+  }
+
+  while (!stop_.load()) {
+    const auto frame = next_frame(conn, decoder);
+    if (!frame) return true;  // connection lost: maybe reconnect
+
+    if (offline_.load() && unplugged_.load()) {
+      // Silent mode: the radio is gone; drop everything until replugged.
+      continue;
+    }
+
+    switch (peek_type(*frame)) {
+      case MsgType::kProbeRequest:
+        handle_probe(conn, decoder, decode_probe_request(*frame));
+        break;
+      case MsgType::kAssignPiece:
+        handle_assignment(conn, decoder, decode_assign_piece(*frame));
+        break;
+      case MsgType::kKeepAlive:
+        write_frame(conn, encode_keepalive_ack(decode_keepalive(*frame).seq));
+        break;
+      case MsgType::kShutdown:
+        return false;  // orderly end of the batch
+      default:
+        log_warn("agent") << "phone " << config_.id << " ignoring unexpected frame";
+    }
+  }
+  return false;
+}
+
+void PhoneAgent::handle_probe(TcpConnection& conn, FrameDecoder& decoder,
+                              const ProbeRequestMsg& request) {
+  const auto start = Clock::now();
+  std::size_t received = 0;
+  for (std::uint32_t i = 0; i < request.chunks;) {
+    const auto frame = next_frame(conn, decoder);
+    if (!frame) throw std::runtime_error("probe stream interrupted");
+    // Keep-alives interleave freely with probe data; answer and move on.
+    if (peek_type(*frame) == MsgType::kKeepAlive) {
+      write_frame(conn, encode_keepalive_ack(decode_keepalive(*frame).seq));
+      continue;
+    }
+    if (peek_type(*frame) != MsgType::kProbeData) {
+      throw std::runtime_error("probe stream interrupted");
+    }
+    pace_link(frame->size(), conn, decoder);
+    received += frame->size();
+    ++i;
+  }
+  const double ms = std::max(0.1, elapsed_ms(start));
+  ProbeReportMsg report;
+  report.measured_kbps = static_cast<double>(received) / 1024.0 / (ms / 1000.0);
+  write_frame(conn, encode(report));
+}
+
+void PhoneAgent::handle_assignment(TcpConnection& conn, FrameDecoder& decoder,
+                                   const AssignPieceMsg& assignment) {
+  // The framed payload already traversed loopback; emulate the time the
+  // executable + input would have needed on the phone's real link.
+  pace_link(assignment.executable.size() + assignment.input.size(), conn, decoder);
+
+  const tasks::TaskFactory* factory = registry_->find(assignment.task_name);
+  if (!factory) {
+    // Unknown program: report an immediate failure with nothing processed.
+    PieceFailedMsg failure;
+    failure.job = assignment.job;
+    failure.piece_seq = assignment.piece_seq;
+    write_frame(conn, encode(failure));
+    ++pieces_failed_;
+    return;
+  }
+
+  auto task = factory->create();
+  if (!assignment.checkpoint.empty()) {
+    tasks::Checkpoint checkpoint;
+    BufferReader r(assignment.checkpoint);
+    checkpoint.bytes_processed = r.read_u64();
+    checkpoint.state = r.read_bytes();
+    task->restore(checkpoint);
+  }
+
+  const auto exec_start = Clock::now();
+  const tasks::ByteView input(assignment.input);
+  std::size_t budget = config_.step_bytes;
+  while (!task->done(input)) {
+    if (unplugged_.load()) {
+      // Owner unplugged mid-execution: suspend, checkpoint, migrate.
+      ++pieces_failed_;
+      if (offline_.load()) return;  // silent death: nothing is reported
+      const tasks::Checkpoint checkpoint = task->checkpoint();
+      PieceFailedMsg failure;
+      failure.job = assignment.job;
+      failure.piece_seq = assignment.piece_seq;
+      failure.processed_bytes = checkpoint.bytes_processed;
+      failure.partial_result = task->partial_result();
+      BufferWriter w;
+      w.write_u64(checkpoint.bytes_processed);
+      w.write_bytes(checkpoint.state);
+      failure.checkpoint = w.take();
+      failure.local_exec_ms = elapsed_ms(exec_start);
+      write_frame(conn, encode(failure));
+      return;
+    }
+    const auto step_start = Clock::now();
+    const std::size_t consumed = task->step(input, budget);
+    if (consumed == 0 && !task->done(input)) {
+      budget *= 2;
+      continue;
+    }
+    // CPU emulation: stretch this step to the phone's pace, answering
+    // keep-alives during the stretch (the Android service is concurrent).
+    if (config_.emulated_compute_ms_per_kb > 0.0) {
+      const double target_ms =
+          static_cast<double>(consumed) / 1024.0 * config_.emulated_compute_ms_per_kb;
+      responsive_sleep(target_ms - elapsed_ms(step_start), conn, decoder);
+    } else {
+      service_keepalives(conn, decoder);
+    }
+    // MIMD-style duty cycling: idle the CPU between busy slices so the
+    // battery keeps its charging profile (Section 4.3).
+    if (config_.duty_cycle > 0.0 && config_.duty_cycle < 1.0) {
+      const double busy_ms = elapsed_ms(step_start);
+      responsive_sleep(busy_ms * (1.0 / config_.duty_cycle - 1.0), conn, decoder);
+    }
+  }
+
+  PieceCompleteMsg completion;
+  completion.job = assignment.job;
+  completion.piece_seq = assignment.piece_seq;
+  completion.partial_result = task->partial_result();
+  completion.local_exec_ms = elapsed_ms(exec_start);
+  write_frame(conn, encode(completion));
+  ++pieces_completed_;
+}
+
+}  // namespace cwc::net

@@ -1,0 +1,137 @@
+// The phone-side CWC service, as a thread speaking the wire protocol over
+// loopback TCP.
+//
+// This is the C++ stand-in for the paper's Android service: it registers
+// with the central server (reporting its CPU clock), answers the
+// iperf-style bandwidth probe, receives task assignments, loads the task
+// program by name from its TaskRegistry (the reflection step), executes it
+// incrementally, and reports completion — or, when "unplugged", suspends
+// the task, checkpoints it, and reports an online failure so the server
+// can migrate the remainder.
+//
+// Phone heterogeneity is emulated:
+//   - CPU speed: execution is paced so that processing costs
+//     `emulated_compute_ms_per_kb` per KB of input (wall-clock), matching
+//     how a slower phone would behave;
+//   - link bandwidth: received bytes are paced at `emulated_link_kbps`
+//     before being acknowledged/processed, so bandwidth probes measure the
+//     emulated rate and large inputs genuinely take longer to arrive.
+//
+// Failure injection: `unplug(offline)` flips the agent into failure mode
+// at the next step boundary. Online failures report and stay connected
+// (the phone is unplugged but reachable); offline failures go silent —
+// keep-alives are ignored until the server declares the phone lost.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "common/types.h"
+#include "net/framing.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "tasks/registry.h"
+
+namespace cwc::net {
+
+struct PhoneAgentConfig {
+  PhoneId id = kInvalidPhone;
+  /// IPv4 address of the central server (loopback for local deployments).
+  std::string server_host = "127.0.0.1";
+  /// Reconnect attempts after the server drops the connection (e.g. the
+  /// phone was declared lost while "unplugged" and later replugged).
+  /// 0 disables reconnection; the thread then exits on disconnect.
+  int max_reconnects = 0;
+  Millis reconnect_backoff = 250.0;
+  double cpu_mhz = 1000.0;
+  Kilobytes ram_kb = megabytes(1024.0);
+  /// Wall-clock pacing target for execution; 0 = run at host speed.
+  MsPerKb emulated_compute_ms_per_kb = 0.0;
+  /// Link emulation; 0 = loopback speed.
+  double emulated_link_kbps = 0.0;
+  /// Bytes processed per execution step (checkpoint granularity).
+  std::size_t step_bytes = 16 * 1024;
+  /// Fraction of wall-clock the CPU may be busy while executing (1.0 =
+  /// unthrottled). Models the MIMD throttler's duty cycle: the battery
+  /// module decides the fraction; the agent enforces it by sleeping
+  /// (1/duty - 1) x the busy time after each step.
+  double duty_cycle = 1.0;
+};
+
+class PhoneAgent {
+ public:
+  PhoneAgent(std::uint16_t server_port, PhoneAgentConfig config,
+             const tasks::TaskRegistry* registry);
+  ~PhoneAgent();
+  PhoneAgent(const PhoneAgent&) = delete;
+  PhoneAgent& operator=(const PhoneAgent&) = delete;
+
+  /// Connects and starts the agent thread.
+  void start();
+  /// Waits for the agent thread to exit (it exits on kShutdown or error).
+  void join();
+
+  /// Simulates the owner unplugging the phone. With `offline` the agent
+  /// goes silent (keep-alive loss); otherwise it reports the failure.
+  void unplug(bool offline = false) {
+    offline_.store(offline);
+    unplugged_.store(true);
+  }
+  /// Plugs the phone back in (it resumes answering; the server re-admits
+  /// it at the next scheduling instant). If the server already declared
+  /// the phone lost and closed its connection, the agent reconnects and
+  /// re-registers — the live analog of the simulator's replug event.
+  void replug() {
+    unplugged_.store(false);
+    offline_.store(false);
+  }
+
+  /// Changes the emulated link rate at runtime (0 = full speed) — models
+  /// the bandwidth drift that makes the server's periodic re-probing
+  /// necessary on cellular links.
+  void set_emulated_link_kbps(double kbps) { link_kbps_.store(kbps); }
+  double emulated_link_kbps() const { return link_kbps_.load(); }
+
+  std::size_t pieces_completed() const { return pieces_completed_.load(); }
+  std::size_t pieces_failed() const { return pieces_failed_.load(); }
+  bool finished() const { return finished_.load(); }
+
+ private:
+  void run();
+  /// One connection lifetime; returns true when the agent should
+  /// reconnect (connection lost while the phone is plugged in).
+  bool session();
+  void handle_probe(TcpConnection& conn, FrameDecoder& decoder, const ProbeRequestMsg& request);
+  void handle_assignment(TcpConnection& conn, FrameDecoder& decoder,
+                         const AssignPieceMsg& assignment);
+  /// Next frame for the main protocol loop: stashed frames first, then a
+  /// stop-aware poll/recv loop. Returns nullopt on disconnect or stop.
+  std::optional<Blob> next_frame(TcpConnection& conn, FrameDecoder& decoder);
+  /// Answers any keep-alives waiting on the socket without blocking and
+  /// stashes other frames for the main loop; the real Android service
+  /// handles keep-alives concurrently with task execution.
+  void service_keepalives(TcpConnection& conn, FrameDecoder& decoder);
+  /// Sleeps `ms` in short slices, answering keep-alives between slices.
+  void responsive_sleep(double ms, TcpConnection& conn, FrameDecoder& decoder);
+  /// Sleeps to pace `bytes` through the emulated link (keep-alive aware).
+  void pace_link(std::size_t bytes, TcpConnection& conn, FrameDecoder& decoder);
+
+  std::uint16_t port_;
+  PhoneAgentConfig config_;
+  const tasks::TaskRegistry* registry_;
+  std::thread thread_;
+  std::atomic<bool> unplugged_{false};
+  std::atomic<bool> offline_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<double> link_kbps_{0.0};
+  std::atomic<std::size_t> pieces_completed_{0};
+  std::atomic<std::size_t> pieces_failed_{0};
+  std::atomic<bool> finished_{false};
+  std::deque<Blob> stash_;  ///< frames set aside by service_keepalives
+};
+
+}  // namespace cwc::net

@@ -1,0 +1,183 @@
+#include "net/protocol.h"
+
+#include <stdexcept>
+
+namespace cwc::net {
+
+namespace {
+
+BufferWriter begin(MsgType type) {
+  BufferWriter w;
+  w.write_u8(static_cast<std::uint8_t>(type));
+  return w;
+}
+
+BufferReader open(const Blob& frame, MsgType expected) {
+  BufferReader r(frame);
+  const auto type = static_cast<MsgType>(r.read_u8());
+  if (type != expected) {
+    throw std::runtime_error("protocol: unexpected message type " +
+                             std::to_string(static_cast<int>(type)));
+  }
+  return r;
+}
+
+}  // namespace
+
+MsgType peek_type(const Blob& frame) {
+  if (frame.empty()) throw std::runtime_error("protocol: empty frame");
+  return static_cast<MsgType>(frame.front());
+}
+
+Blob encode(const RegisterMsg& msg) {
+  BufferWriter w = begin(MsgType::kRegister);
+  w.write_i32(msg.phone);
+  w.write_f64(msg.cpu_mhz);
+  w.write_f64(msg.ram_kb);
+  return w.take();
+}
+
+RegisterMsg decode_register(const Blob& frame) {
+  BufferReader r = open(frame, MsgType::kRegister);
+  RegisterMsg msg;
+  msg.phone = r.read_i32();
+  msg.cpu_mhz = r.read_f64();
+  msg.ram_kb = r.read_f64();
+  return msg;
+}
+
+Blob encode(const RegisterAckMsg& msg) {
+  BufferWriter w = begin(MsgType::kRegisterAck);
+  w.write_u8(msg.accepted ? 1 : 0);
+  return w.take();
+}
+
+RegisterAckMsg decode_register_ack(const Blob& frame) {
+  BufferReader r = open(frame, MsgType::kRegisterAck);
+  return RegisterAckMsg{r.read_u8() != 0};
+}
+
+Blob encode(const ProbeRequestMsg& msg) {
+  BufferWriter w = begin(MsgType::kProbeRequest);
+  w.write_u32(msg.chunks);
+  w.write_u32(msg.chunk_bytes);
+  return w.take();
+}
+
+ProbeRequestMsg decode_probe_request(const Blob& frame) {
+  BufferReader r = open(frame, MsgType::kProbeRequest);
+  ProbeRequestMsg msg;
+  msg.chunks = r.read_u32();
+  msg.chunk_bytes = r.read_u32();
+  return msg;
+}
+
+Blob encode_probe_data(std::uint32_t chunk_bytes) {
+  Blob frame(1 + chunk_bytes, 0xA5);
+  frame[0] = static_cast<std::uint8_t>(MsgType::kProbeData);
+  return frame;
+}
+
+Blob encode(const ProbeReportMsg& msg) {
+  BufferWriter w = begin(MsgType::kProbeReport);
+  w.write_f64(msg.measured_kbps);
+  return w.take();
+}
+
+ProbeReportMsg decode_probe_report(const Blob& frame) {
+  BufferReader r = open(frame, MsgType::kProbeReport);
+  return ProbeReportMsg{r.read_f64()};
+}
+
+Blob encode(const AssignPieceMsg& msg) {
+  BufferWriter w = begin(MsgType::kAssignPiece);
+  w.write_i32(msg.job);
+  w.write_u32(msg.piece_seq);
+  w.write_string(msg.task_name);
+  w.write_u8(static_cast<std::uint8_t>(msg.kind));
+  w.write_bytes(msg.executable);
+  w.write_bytes(msg.input);
+  w.write_bytes(msg.checkpoint);
+  return w.take();
+}
+
+AssignPieceMsg decode_assign_piece(const Blob& frame) {
+  BufferReader r = open(frame, MsgType::kAssignPiece);
+  AssignPieceMsg msg;
+  msg.job = r.read_i32();
+  msg.piece_seq = r.read_u32();
+  msg.task_name = r.read_string();
+  msg.kind = static_cast<JobKind>(r.read_u8());
+  msg.executable = r.read_bytes();
+  msg.input = r.read_bytes();
+  msg.checkpoint = r.read_bytes();
+  return msg;
+}
+
+Blob encode(const PieceCompleteMsg& msg) {
+  BufferWriter w = begin(MsgType::kPieceComplete);
+  w.write_i32(msg.job);
+  w.write_u32(msg.piece_seq);
+  w.write_bytes(msg.partial_result);
+  w.write_f64(msg.local_exec_ms);
+  return w.take();
+}
+
+PieceCompleteMsg decode_piece_complete(const Blob& frame) {
+  BufferReader r = open(frame, MsgType::kPieceComplete);
+  PieceCompleteMsg msg;
+  msg.job = r.read_i32();
+  msg.piece_seq = r.read_u32();
+  msg.partial_result = r.read_bytes();
+  msg.local_exec_ms = r.read_f64();
+  return msg;
+}
+
+Blob encode(const PieceFailedMsg& msg) {
+  BufferWriter w = begin(MsgType::kPieceFailed);
+  w.write_i32(msg.job);
+  w.write_u32(msg.piece_seq);
+  w.write_u64(msg.processed_bytes);
+  w.write_bytes(msg.partial_result);
+  w.write_bytes(msg.checkpoint);
+  w.write_f64(msg.local_exec_ms);
+  return w.take();
+}
+
+PieceFailedMsg decode_piece_failed(const Blob& frame) {
+  BufferReader r = open(frame, MsgType::kPieceFailed);
+  PieceFailedMsg msg;
+  msg.job = r.read_i32();
+  msg.piece_seq = r.read_u32();
+  msg.processed_bytes = r.read_u64();
+  msg.partial_result = r.read_bytes();
+  msg.checkpoint = r.read_bytes();
+  msg.local_exec_ms = r.read_f64();
+  return msg;
+}
+
+Blob encode_keepalive(std::uint64_t seq) {
+  BufferWriter w = begin(MsgType::kKeepAlive);
+  w.write_u64(seq);
+  return w.take();
+}
+
+Blob encode_keepalive_ack(std::uint64_t seq) {
+  BufferWriter w = begin(MsgType::kKeepAliveAck);
+  w.write_u64(seq);
+  return w.take();
+}
+
+KeepAliveMsg decode_keepalive(const Blob& frame) {
+  BufferReader r = open(frame, MsgType::kKeepAlive);
+  return KeepAliveMsg{r.read_u64()};
+}
+
+KeepAliveMsg decode_keepalive_ack(const Blob& frame) {
+  BufferReader r = open(frame, MsgType::kKeepAliveAck);
+  return KeepAliveMsg{r.read_u64()};
+}
+
+Blob encode_shutdown() { return begin(MsgType::kShutdown).take(); }
+
+}  // namespace cwc::net

@@ -1,0 +1,119 @@
+// The CWC wire protocol (Section 6 of the paper).
+//
+// One persistent TCP connection per phone. After registration (the phone
+// reports its CPU clock, as in the prototype) the server measures
+// bandwidth with an iperf-like probe, then assigns pieces one at a time:
+// each assignment carries the task name (the reflection key), a padding
+// blob standing in for the dexed .jar on its first trip to a phone, the
+// input slice, and — for migrated work — the checkpoint to resume from.
+// Phones answer with completion or failure reports that include the
+// actual local execution time (which refines the server's predictions)
+// and, on failure, the partial result + checkpoint. Application-level
+// keep-alives detect offline failures.
+//
+// All payloads use the little-endian BufferWriter/BufferReader format.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/types.h"
+
+namespace cwc::net {
+
+using Blob = std::vector<std::uint8_t>;
+
+enum class MsgType : std::uint8_t {
+  kRegister = 1,
+  kRegisterAck = 2,
+  kProbeRequest = 3,   // server -> phone: expect `chunks` probe payloads
+  kProbeData = 4,      // server -> phone: one probe payload
+  kProbeReport = 5,    // phone -> server: measured KB/s
+  kAssignPiece = 6,
+  kPieceComplete = 7,
+  kPieceFailed = 8,
+  kKeepAlive = 9,
+  kKeepAliveAck = 10,
+  kShutdown = 11,      // server -> phone: batch finished, disconnect
+};
+
+/// Type tag of an encoded frame; throws on empty frames.
+MsgType peek_type(const Blob& frame);
+
+struct RegisterMsg {
+  PhoneId phone = kInvalidPhone;
+  double cpu_mhz = 0.0;
+  Kilobytes ram_kb = 0.0;
+};
+Blob encode(const RegisterMsg& msg);
+RegisterMsg decode_register(const Blob& frame);
+
+struct RegisterAckMsg {
+  bool accepted = false;
+};
+Blob encode(const RegisterAckMsg& msg);
+RegisterAckMsg decode_register_ack(const Blob& frame);
+
+struct ProbeRequestMsg {
+  std::uint32_t chunks = 0;
+  std::uint32_t chunk_bytes = 0;
+};
+Blob encode(const ProbeRequestMsg& msg);
+ProbeRequestMsg decode_probe_request(const Blob& frame);
+
+/// kProbeData frames carry `chunk_bytes` of padding after the type byte.
+Blob encode_probe_data(std::uint32_t chunk_bytes);
+
+struct ProbeReportMsg {
+  double measured_kbps = 0.0;
+};
+Blob encode(const ProbeReportMsg& msg);
+ProbeReportMsg decode_probe_report(const Blob& frame);
+
+struct AssignPieceMsg {
+  JobId job = kInvalidJob;
+  std::uint32_t piece_seq = 0;       ///< echoed back in reports
+  std::string task_name;
+  JobKind kind = JobKind::kBreakable;
+  /// Padding standing in for the task executable; present only on the
+  /// job's first trip to this phone (executables are cached).
+  Blob executable;
+  Blob input;                        ///< the input slice
+  Blob checkpoint;                   ///< non-empty when resuming migrated work
+};
+Blob encode(const AssignPieceMsg& msg);
+AssignPieceMsg decode_assign_piece(const Blob& frame);
+
+struct PieceCompleteMsg {
+  JobId job = kInvalidJob;
+  std::uint32_t piece_seq = 0;
+  Blob partial_result;
+  Millis local_exec_ms = 0.0;
+};
+Blob encode(const PieceCompleteMsg& msg);
+PieceCompleteMsg decode_piece_complete(const Blob& frame);
+
+struct PieceFailedMsg {
+  JobId job = kInvalidJob;
+  std::uint32_t piece_seq = 0;
+  std::uint64_t processed_bytes = 0;  ///< prefix of the slice consumed
+  Blob partial_result;                ///< result over the processed prefix
+  Blob checkpoint;                    ///< migratable state (atomic tasks)
+  Millis local_exec_ms = 0.0;
+};
+Blob encode(const PieceFailedMsg& msg);
+PieceFailedMsg decode_piece_failed(const Blob& frame);
+
+struct KeepAliveMsg {
+  std::uint64_t seq = 0;
+};
+Blob encode_keepalive(std::uint64_t seq);
+Blob encode_keepalive_ack(std::uint64_t seq);
+KeepAliveMsg decode_keepalive(const Blob& frame);
+KeepAliveMsg decode_keepalive_ack(const Blob& frame);
+
+Blob encode_shutdown();
+
+}  // namespace cwc::net

@@ -1,0 +1,509 @@
+#include "net/server.h"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "common/log.h"
+
+namespace cwc::net {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - since).count();
+}
+
+/// First record boundary at or after `pos` (one past the '\n'), or `end`.
+std::size_t snap_forward(const Blob& data, std::size_t pos, std::size_t end) {
+  while (pos < end && data[pos] != '\n') ++pos;
+  return pos < end ? pos + 1 : end;
+}
+}  // namespace
+
+CwcServer::CwcServer(std::unique_ptr<core::Scheduler> scheduler,
+                     core::PredictionModel prediction, const tasks::TaskRegistry* registry,
+                     ServerConfig config)
+    : controller_(std::move(scheduler), std::move(prediction)),
+      registry_(registry),
+      config_(config),
+      listener_(config.port, !config.bind_all_interfaces) {
+  if (!registry_) throw std::invalid_argument("CwcServer: null registry");
+  if (!config_.journal_path.empty()) {
+    journal_ = std::make_unique<Journal>(config_.journal_path);
+  }
+  listener_.set_nonblocking(true);
+}
+
+JobId CwcServer::submit(const std::string& task_name, Blob input) {
+  const tasks::TaskFactory& factory = registry_->require(task_name);
+  core::JobSpec spec;
+  spec.task_name = task_name;
+  spec.kind = factory.kind();
+  spec.exec_kb = factory.executable_kb();
+  spec.input_kb = static_cast<double>(input.size()) / 1024.0;
+  const JobId id = controller_.submit(spec);
+
+  JobState state;
+  state.spec = controller_.job(id);
+  state.input = std::move(input);
+  if (state.spec.kind == JobKind::kBreakable) {
+    state.pending_ranges.push_back({0, state.input.size()});
+  }
+  if (journal_) journal_->record_submit(id, task_name, state.input);
+  jobs_[id] = std::move(state);
+  return id;
+}
+
+std::map<JobId, JobId> CwcServer::recover_from(const std::string& journal_path) {
+  const auto recovered = Journal::replay(journal_path);
+  std::map<JobId, JobId> mapping;
+  for (const auto& [old_id, job] : recovered) {
+    const tasks::TaskFactory& factory = registry_->require(job.task_name);
+    const bool atomic = factory.kind() == JobKind::kAtomic;
+
+    if (job.done(atomic)) {
+      // Already finished: install the result without involving the
+      // scheduler at all. Synthetic negative ids keep these out of the
+      // controller's id space.
+      const JobId done_id = -1000 - old_id;
+      JobState state;
+      state.spec.id = done_id;
+      state.spec.task_name = job.task_name;
+      state.spec.kind = factory.kind();
+      state.done = true;
+      state.final_result = atomic ? *job.atomic_result : factory.aggregate(job.partials);
+      jobs_[done_id] = std::move(state);
+      mapping[old_id] = done_id;
+      continue;
+    }
+
+    if (atomic) {
+      // Atomic jobs redo from scratch (in-flight checkpoints are not
+      // journaled; this matches offline-failure semantics).
+      mapping[old_id] = submit(job.task_name, job.input);
+      continue;
+    }
+
+    // Breakable remainder: ship only the unprocessed bytes, keep the
+    // banked partial results for the final aggregation.
+    Blob remainder;
+    for (const auto& [begin, end] : job.remaining_ranges()) {
+      remainder.insert(remainder.end(),
+                       job.input.begin() + static_cast<std::ptrdiff_t>(begin),
+                       job.input.begin() + static_cast<std::ptrdiff_t>(end));
+    }
+    const JobId id = submit(job.task_name, std::move(remainder));
+    JobState& state = jobs_.at(id);
+    state.partials = job.partials;
+    // Re-journal the banked progress under the new id so a second crash
+    // still recovers it (ranges refer to the new, remainder-only input —
+    // nothing of it is covered yet, so bank the partials as zero-length
+    // progress markers).
+    if (journal_) {
+      for (const Blob& partial : job.partials) {
+        journal_->record_progress(id, {}, partial);
+      }
+    }
+    mapping[old_id] = id;
+  }
+  return mapping;
+}
+
+void CwcServer::accept_new_connections() {
+  while (auto conn = listener_.accept()) {
+    conn->set_nonblocking(true);
+    auto connection = std::make_unique<Connection>();
+    connection->conn = std::move(*conn);
+    connections_.push_back(std::move(connection));
+  }
+}
+
+void CwcServer::service_connection(Connection& c) {
+  while (true) {
+    const auto data = c.conn.recv_some();
+    if (!data) break;  // would block: drained
+    if (data->empty()) {
+      drop_connection(c, /*lost=*/true);
+      return;
+    }
+    c.decoder.feed(*data);
+  }
+  while (c.conn.valid()) {
+    const auto frame = c.decoder.pop();
+    if (!frame) break;
+    handle_frame(c, *frame);
+  }
+}
+
+void CwcServer::handle_frame(Connection& c, const Blob& frame) {
+  c.keepalive_outstanding = 0;  // any traffic proves the phone is alive
+  switch (peek_type(frame)) {
+    case MsgType::kRegister: {
+      const RegisterMsg msg = decode_register(frame);
+      core::PhoneSpec spec;
+      spec.id = msg.phone;
+      spec.cpu_mhz = msg.cpu_mhz;
+      spec.ram_kb = msg.ram_kb;
+      spec.b = 1.0;  // placeholder until the probe reports
+      controller_.register_phone(spec);
+      c.phone = msg.phone;
+      c.registered = true;
+      write_frame(c.conn, encode(RegisterAckMsg{true}));
+      start_probe(c);
+      break;
+    }
+    case MsgType::kProbeReport: {
+      const ProbeReportMsg msg = decode_probe_report(frame);
+      if (c.registered && msg.measured_kbps > 0.0) {
+        controller_.update_bandwidth(c.phone, ms_per_kb_from_rate(msg.measured_kbps));
+      }
+      c.probing = false;
+      c.ready = true;
+      log_info("cwc-server") << "phone " << c.phone << " ready, measured "
+                             << msg.measured_kbps << " KB/s";
+      break;
+    }
+    case MsgType::kPieceComplete:
+      on_complete(c, decode_piece_complete(frame));
+      break;
+    case MsgType::kPieceFailed:
+      on_failed(c, decode_piece_failed(frame));
+      break;
+    case MsgType::kKeepAliveAck:
+      c.keepalive_outstanding = 0;
+      break;
+    default:
+      log_warn("cwc-server") << "unexpected frame from phone " << c.phone;
+  }
+}
+
+void CwcServer::start_probe(Connection& c) {
+  ProbeRequestMsg request;
+  request.chunks = config_.probe_chunks;
+  request.chunk_bytes = config_.probe_chunk_bytes;
+  write_frame(c.conn, encode(request));
+  for (std::uint32_t i = 0; i < request.chunks; ++i) {
+    write_frame(c.conn, encode_probe_data(request.chunk_bytes));
+  }
+  c.probing = true;
+  ++probes_sent_;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> CwcServer::carve_slice(JobState& job,
+                                                                        Kilobytes kb) {
+  std::vector<std::pair<std::size_t, std::size_t>> fragments;
+  auto target = static_cast<std::size_t>(kb * 1024.0);
+  while (target > 0 && !job.pending_ranges.empty()) {
+    auto [begin, end] = job.pending_ranges.front();
+    job.pending_ranges.pop_front();
+    std::size_t cut = end;
+    if (begin + target < end) {
+      cut = snap_forward(job.input, begin + target, end);
+      // Absorb a tiny tail rather than leaving an unschedulable sliver.
+      if (end - cut < 2048) cut = end;
+    }
+    if (cut < end) job.pending_ranges.push_front({cut, end});
+    fragments.push_back({begin, cut});
+    const std::size_t taken = cut - begin;
+    target = taken >= target ? 0 : target - taken;
+  }
+  return fragments;
+}
+
+void CwcServer::assign_next_piece(Connection& c) {
+  if (!c.ready || c.busy || c.probing || !c.conn.valid()) return;
+  if (!controller_.is_plugged(c.phone)) return;
+  const auto work = controller_.current_work(c.phone);
+  if (!work) return;
+
+  auto job_it = jobs_.find(work->piece.job);
+  if (job_it == jobs_.end()) throw std::logic_error("assignment for unknown job");
+  JobState& job = job_it->second;
+
+  AssignPieceMsg msg;
+  msg.job = work->piece.job;
+  msg.piece_seq = ++c.piece_seq;
+  msg.task_name = job.spec.task_name;
+  msg.kind = job.spec.kind;
+  msg.checkpoint = work->checkpoint;
+  if (!work->executable_cached) {
+    msg.executable.assign(static_cast<std::size_t>(job.spec.exec_kb * 1024.0), 0xEE);
+  }
+
+  if (job.spec.kind == JobKind::kAtomic) {
+    // Atomic jobs ship whole; a resume checkpoint tells the phone where to
+    // continue, and its offset tells us what "processed" means later.
+    msg.input = job.input;
+    std::size_t resume_offset = 0;
+    if (!msg.checkpoint.empty()) {
+      BufferReader r(msg.checkpoint);
+      resume_offset = static_cast<std::size_t>(r.read_u64());
+    }
+    c.piece_fragments = {{resume_offset, job.input.size()}};
+  } else {
+    c.piece_fragments = carve_slice(job, work->piece.input_kb);
+    msg.input.clear();
+    for (const auto& [begin, end] : c.piece_fragments) {
+      msg.input.insert(msg.input.end(), job.input.begin() + static_cast<std::ptrdiff_t>(begin),
+                       job.input.begin() + static_cast<std::ptrdiff_t>(end));
+    }
+  }
+  c.piece_job = msg.job;
+  c.busy = true;
+  write_frame(c.conn, encode(msg));
+}
+
+void CwcServer::on_complete(Connection& c, const PieceCompleteMsg& msg) {
+  if (!c.busy || msg.piece_seq != c.piece_seq) return;  // stale report
+  c.busy = false;
+  JobState& job = jobs_.at(msg.job);
+  job.partials.push_back(msg.partial_result);
+  if (job.spec.kind == JobKind::kBreakable) {
+    for (const auto& [begin, end] : c.piece_fragments) job.bytes_completed += end - begin;
+    if (journal_) {
+      journal_->record_progress(msg.job,
+                                Journal::Ranges(c.piece_fragments.begin(),
+                                                c.piece_fragments.end()),
+                                msg.partial_result);
+    }
+  } else if (journal_) {
+    journal_->record_atomic_done(msg.job, msg.partial_result);
+  }
+  controller_.on_piece_complete(c.phone, msg.local_exec_ms);
+  maybe_finish_job(msg.job);
+  assign_next_piece(c);
+}
+
+void CwcServer::on_failed(Connection& c, const PieceFailedMsg& msg) {
+  if (!c.busy || msg.piece_seq != c.piece_seq) return;
+  ++failures_received_;
+  c.busy = false;
+  JobState& job = jobs_.at(msg.job);
+
+  Kilobytes processed_kb = 0.0;
+  Blob controller_checkpoint;
+  if (job.spec.kind == JobKind::kAtomic) {
+    // processed_bytes is an absolute offset into the whole input; the
+    // piece covered [resume_offset, end), so the *new* progress is the
+    // delta past that offset.
+    const std::size_t resume_offset = c.piece_fragments.front().first;
+    const std::size_t absolute = static_cast<std::size_t>(msg.processed_bytes);
+    processed_kb =
+        static_cast<double>(absolute > resume_offset ? absolute - resume_offset : 0) / 1024.0;
+    controller_checkpoint = msg.checkpoint;
+  } else {
+    // processed_bytes is a prefix of the *concatenated* slice; walk the
+    // fragments to bank what was processed and return the rest.
+    std::size_t remaining_prefix = static_cast<std::size_t>(msg.processed_bytes);
+    std::size_t processed_total = 0;
+    std::deque<std::pair<std::size_t, std::size_t>> returned;
+    for (const auto& [begin, end] : c.piece_fragments) {
+      const std::size_t len = end - begin;
+      const std::size_t covered = std::min(remaining_prefix, len);
+      processed_total += covered;
+      remaining_prefix -= covered;
+      if (covered < len) returned.push_back({begin + covered, end});
+    }
+    processed_kb = static_cast<double>(processed_total) / 1024.0;
+    if (processed_total > 0) {
+      // The partial result over the processed prefix is banked; only the
+      // unprocessed suffix returns to the pool.
+      job.partials.push_back(msg.partial_result);
+      job.bytes_completed += processed_total;
+      if (journal_) {
+        // The covered sub-ranges: everything in piece_fragments minus what
+        // was returned.
+        Journal::Ranges covered;
+        std::size_t prefix = static_cast<std::size_t>(msg.processed_bytes);
+        for (const auto& [begin, end] : c.piece_fragments) {
+          const std::size_t len = end - begin;
+          const std::size_t take = std::min(prefix, len);
+          if (take > 0) covered.push_back({begin, begin + take});
+          prefix -= take;
+        }
+        journal_->record_progress(msg.job, covered, msg.partial_result);
+      }
+    }
+    // Preserve order: unprocessed fragments go back to the front.
+    for (auto it = returned.rbegin(); it != returned.rend(); ++it) {
+      job.pending_ranges.push_front(*it);
+    }
+  }
+  controller_.on_piece_failed(c.phone, processed_kb, std::move(controller_checkpoint),
+                              msg.local_exec_ms);
+  log_info("cwc-server") << "online failure: phone " << c.phone << ", job " << msg.job
+                         << ", processed " << processed_kb << " KB";
+  maybe_finish_job(msg.job);
+}
+
+void CwcServer::drop_connection(Connection& c, bool lost) {
+  if (!c.conn.valid()) return;
+  if (lost && c.registered) {
+    ++phones_lost_;
+    if (c.busy) {
+      // Nothing was reported: the whole in-flight slice returns to the pool.
+      JobState& job = jobs_.at(c.piece_job);
+      if (job.spec.kind == JobKind::kBreakable) {
+        for (auto it = c.piece_fragments.rbegin(); it != c.piece_fragments.rend(); ++it) {
+          job.pending_ranges.push_front(*it);
+        }
+      }
+      c.busy = false;
+    }
+    controller_.on_phone_lost(c.phone);
+    log_warn("cwc-server") << "phone " << c.phone << " declared lost";
+  }
+  c.conn.close();
+  c.ready = false;
+}
+
+void CwcServer::send_keepalives(double) {
+  for (auto& connection : connections_) {
+    Connection& c = *connection;
+    if (!c.conn.valid() || !c.registered) continue;
+    if (c.keepalive_outstanding >= config_.keepalive_misses) {
+      drop_connection(c, /*lost=*/true);
+      continue;
+    }
+    try {
+      write_frame(c.conn, encode_keepalive(++c.keepalive_seq));
+      ++c.keepalive_outstanding;
+    } catch (const SocketError&) {
+      drop_connection(c, /*lost=*/true);
+    }
+  }
+}
+
+void CwcServer::scheduling_instant() {
+  if (!controller_.has_pending_work()) return;
+  if (controller_.plugged_phones().empty()) return;
+  controller_.reschedule();
+  ++scheduling_rounds_;
+  for (auto& connection : connections_) {
+    if (connection->conn.valid()) assign_next_piece(*connection);
+  }
+}
+
+void CwcServer::maybe_finish_job(JobId id) {
+  JobState& job = jobs_.at(id);
+  if (job.done) return;
+  if (job.spec.kind == JobKind::kAtomic) {
+    // Atomic jobs bank no failure partials (the checkpoint carries their
+    // state), so any entry in `partials` is a completion report.
+    if (!job.partials.empty()) {
+      job.final_result = registry_->require(job.spec.task_name).aggregate({job.partials.back()});
+      job.done = true;
+    }
+    return;
+  }
+  if (job.bytes_completed >= job.input.size() && job.pending_ranges.empty()) {
+    job.final_result = registry_->require(job.spec.task_name).aggregate(job.partials);
+    job.done = true;
+  }
+}
+
+bool CwcServer::all_jobs_done() const {
+  for (const auto& [id, job] : jobs_) {
+    if (!job.done) return false;
+  }
+  return true;
+}
+
+const Blob& CwcServer::result(JobId job) const {
+  const JobState& state = jobs_.at(job);
+  if (!state.done) throw std::logic_error("job not complete");
+  return state.final_result;
+}
+
+bool CwcServer::job_done(JobId job) const { return jobs_.at(job).done; }
+
+bool CwcServer::run(int expected_phones, Millis timeout) {
+  const auto start = Clock::now();
+  double last_keepalive = 0.0;
+  double last_instant = -1e18;
+  bool first_schedule_done = false;
+
+  while (ms_since(start) < timeout) {
+    // Poll listener + live connections.
+    std::vector<pollfd> fds;
+    fds.push_back({listener_.fd(), POLLIN, 0});
+    for (auto& connection : connections_) {
+      if (connection->conn.valid()) fds.push_back({connection->conn.fd(), POLLIN, 0});
+    }
+    ::poll(fds.data(), fds.size(), 20);
+
+    accept_new_connections();
+    for (auto& connection : connections_) {
+      if (connection->conn.valid()) service_connection(*connection);
+    }
+
+    const double now = ms_since(start);
+    int ready = 0;
+    for (auto& connection : connections_) {
+      if (connection->conn.valid() && connection->ready) ++ready;
+    }
+
+    if (!first_schedule_done) {
+      if (ready >= expected_phones && controller_.has_pending_work()) {
+        scheduling_instant();
+        first_schedule_done = true;
+        last_instant = now;
+      }
+    } else if (controller_.has_pending_work() && now - last_instant >= config_.scheduling_period) {
+      scheduling_instant();
+      last_instant = now;
+    }
+
+    // Nudge idle ready phones (e.g. after a replugged phone's queue fills).
+    for (auto& connection : connections_) {
+      if (connection->conn.valid() && connection->ready && !connection->busy) {
+        assign_next_piece(*connection);
+      }
+    }
+
+    // Periodic bandwidth re-probing of idle phones: fresh b_i keeps the
+    // scheduler honest when links drift (cellular-grade instability).
+    if (config_.reprobe_period > 0.0) {
+      for (auto& connection : connections_) {
+        Connection& c = *connection;
+        if (c.conn.valid() && c.ready && !c.busy && !c.probing &&
+            now - c.last_probe_ms >= config_.reprobe_period) {
+          c.last_probe_ms = now;
+          try {
+            start_probe(c);
+          } catch (const SocketError&) {
+            drop_connection(c, /*lost=*/true);
+          }
+        }
+      }
+    }
+
+    if (now - last_keepalive >= config_.keepalive_period) {
+      send_keepalives(now);
+      last_keepalive = now;
+    }
+
+    if (first_schedule_done && all_jobs_done() && controller_.all_done()) {
+      if (!shutdown_sent_) {
+        for (auto& connection : connections_) {
+          if (connection->conn.valid()) {
+            try {
+              write_frame(connection->conn, encode_shutdown());
+            } catch (const SocketError&) {
+            }
+            connection->conn.close();
+          }
+        }
+        shutdown_sent_ = true;
+      }
+      return true;
+    }
+  }
+  return all_jobs_done();
+}
+
+}  // namespace cwc::net

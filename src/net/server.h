@@ -1,0 +1,153 @@
+// The CWC central server over real TCP — the live counterpart of the
+// paper's EC2-hosted prototype.
+//
+// A single poll()-based event loop (the paper used Java NIO; same idea)
+// multiplexes: phone registrations, bandwidth probes, piece assignment,
+// completion/failure reports, periodic application-level keep-alives, and
+// scheduling instants. All policy lives in the embedded CwcController —
+// the identical brain the discrete-event simulator drives — so the wire
+// deployment validates the protocol and the simulator scales the policy.
+//
+// Byte-level input management: the controller schedules pieces in KB; the
+// server carves each job's actual input into record-aligned slices as
+// pieces ship, tracks unprocessed byte ranges when pieces fail, and
+// aggregates partial results with the job's TaskFactory once the whole
+// input is covered. Atomic jobs ship whole (with the migration checkpoint
+// after a failure).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/controller.h"
+#include "net/framing.h"
+#include "net/journal.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "tasks/registry.h"
+
+namespace cwc::net {
+
+struct ServerConfig {
+  /// Keep-alive cadence; the prototype used 30 s x 3 misses. Tests and the
+  /// loopback examples shrink this drastically.
+  Millis keepalive_period = seconds(30.0);
+  int keepalive_misses = 3;
+  /// How often pending work (new jobs, failed backlog) is rescheduled.
+  Millis scheduling_period = seconds(1.0);
+  /// Bandwidth probe shape.
+  std::uint32_t probe_chunks = 4;
+  std::uint32_t probe_chunk_bytes = 32 * 1024;
+  /// Re-probe idle phones this often (0 = probe only at registration).
+  /// The paper: WiFi needs only infrequent probes, but cellular links
+  /// "require more frequent bandwidth measurements".
+  Millis reprobe_period = 0.0;
+  /// Listening port (0 = kernel-assigned) and interface scope.
+  std::uint16_t port = 0;
+  bool bind_all_interfaces = false;
+  /// Batch journal for crash recovery (empty = journaling disabled).
+  std::string journal_path;
+};
+
+class CwcServer {
+ public:
+  CwcServer(std::unique_ptr<core::Scheduler> scheduler, core::PredictionModel prediction,
+            const tasks::TaskRegistry* registry, ServerConfig config = {});
+
+  std::uint16_t port() const { return listener_.port(); }
+
+  /// Submits a job; its executable size is taken from the task factory.
+  JobId submit(const std::string& task_name, Blob input);
+
+  /// Restores a previous run's journal into this server: completed jobs
+  /// become immediately-done results; partially-completed jobs resubmit
+  /// only their unprocessed bytes with the banked partials attached.
+  /// Returns old-journal-id -> new-id (completed jobs map too).
+  std::map<JobId, JobId> recover_from(const std::string& journal_path);
+
+  /// Runs the event loop until every submitted job has an aggregated
+  /// result (and the controller is drained) or `timeout` elapses. Waits
+  /// for `expected_phones` registrations before the first scheduling
+  /// instant. Returns true when all jobs completed.
+  bool run(int expected_phones, Millis timeout);
+
+  /// Aggregated final result of a completed job.
+  const Blob& result(JobId job) const;
+  bool job_done(JobId job) const;
+
+  const core::CwcController& controller() const { return controller_; }
+
+  /// Diagnostics.
+  std::size_t probes_sent() const { return probes_sent_; }
+  std::size_t phones_lost() const { return phones_lost_; }
+  std::size_t failures_received() const { return failures_received_; }
+  std::size_t scheduling_rounds() const { return scheduling_rounds_; }
+
+ private:
+  struct JobState {
+    core::JobSpec spec;
+    Blob input;
+    /// Unshipped byte ranges (breakable jobs). Atomic jobs ship whole.
+    std::deque<std::pair<std::size_t, std::size_t>> pending_ranges;
+    std::vector<Blob> partials;
+    std::size_t bytes_completed = 0;
+    bool done = false;
+    Blob final_result;
+  };
+
+  struct Connection {
+    TcpConnection conn;
+    FrameDecoder decoder;
+    PhoneId phone = kInvalidPhone;
+    bool registered = false;
+    bool probing = false;
+    bool ready = false;       ///< registered + probed: schedulable
+    bool busy = false;        ///< a piece is in flight
+    std::uint32_t piece_seq = 0;
+    /// Byte ranges of the in-flight slice. Breakable pieces may span
+    /// several non-contiguous ranges (failures fragment the pending pool;
+    /// record-aligned fragments concatenate into a valid input). Atomic
+    /// pieces have a single range whose begin is the resume offset.
+    std::vector<std::pair<std::size_t, std::size_t>> piece_fragments;
+    JobId piece_job = kInvalidJob;
+    int keepalive_outstanding = 0;
+    std::uint64_t keepalive_seq = 0;
+    double last_probe_ms = 0.0;  ///< run-clock time of the last probe
+  };
+
+  void accept_new_connections();
+  void service_connection(Connection& c);
+  void handle_frame(Connection& c, const Blob& frame);
+  void start_probe(Connection& c);
+  void assign_next_piece(Connection& c);
+  void on_complete(Connection& c, const PieceCompleteMsg& msg);
+  void on_failed(Connection& c, const PieceFailedMsg& msg);
+  void drop_connection(Connection& c, bool lost);
+  void send_keepalives(double now_ms);
+  void scheduling_instant();
+  void maybe_finish_job(JobId job);
+  bool all_jobs_done() const;
+  /// Cuts the next ~`kb` of record-aligned bytes from the job's pending
+  /// ranges, spanning multiple ranges if the pool is fragmented.
+  std::vector<std::pair<std::size_t, std::size_t>> carve_slice(JobState& job, Kilobytes kb);
+
+  core::CwcController controller_;
+  const tasks::TaskRegistry* registry_;
+  ServerConfig config_;
+  TcpListener listener_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::map<JobId, JobState> jobs_;
+  std::unique_ptr<Journal> journal_;
+  std::size_t probes_sent_ = 0;
+  std::size_t phones_lost_ = 0;
+  std::size_t failures_received_ = 0;
+  std::size_t scheduling_rounds_ = 0;
+  bool shutdown_sent_ = false;
+};
+
+}  // namespace cwc::net

@@ -1,0 +1,142 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace cwc::net {
+
+FileDescriptor::~FileDescriptor() { reset(); }
+
+FileDescriptor::FileDescriptor(FileDescriptor&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+FileDescriptor& FileDescriptor::operator=(FileDescriptor&& other) noexcept {
+  if (this != &other) {
+    reset();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void FileDescriptor::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+namespace {
+void set_fd_nonblocking(int fd, bool enabled) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) throw SocketError("fcntl(F_GETFL)", errno);
+  const int updated = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, updated) < 0) throw SocketError("fcntl(F_SETFL)", errno);
+}
+
+sockaddr_in loopback_address(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+}  // namespace
+
+TcpConnection TcpConnection::connect_local(std::uint16_t port) {
+  return connect_ipv4("127.0.0.1", port);
+}
+
+TcpConnection TcpConnection::connect_ipv4(const std::string& address, std::uint16_t port) {
+  FileDescriptor fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw SocketError("socket", errno);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    throw SocketError("inet_pton: invalid IPv4 address " + address, EINVAL);
+  }
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    throw SocketError("connect", errno);
+  }
+  TcpConnection conn{std::move(fd)};
+  conn.set_nodelay(true);
+  return conn;
+}
+
+void TcpConnection::send_all(std::span<const std::uint8_t> data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd_.get(), data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw SocketError("send", errno);
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::optional<std::vector<std::uint8_t>> TcpConnection::recv_some(std::size_t max) {
+  std::vector<std::uint8_t> buffer(max);
+  while (true) {
+    const ssize_t n = ::recv(fd_.get(), buffer.data(), buffer.size(), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return std::nullopt;
+      throw SocketError("recv", errno);
+    }
+    buffer.resize(static_cast<std::size_t>(n));
+    return buffer;  // empty = orderly shutdown
+  }
+}
+
+void TcpConnection::set_nonblocking(bool enabled) { set_fd_nonblocking(fd_.get(), enabled); }
+
+void TcpConnection::set_nodelay(bool enabled) {
+  const int value = enabled ? 1 : 0;
+  if (::setsockopt(fd_.get(), IPPROTO_TCP, TCP_NODELAY, &value, sizeof value) < 0) {
+    throw SocketError("setsockopt(TCP_NODELAY)", errno);
+  }
+}
+
+TcpListener::TcpListener(std::uint16_t port, bool loopback_only) {
+  fd_ = FileDescriptor(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd_.valid()) throw SocketError("socket", errno);
+  const int one = 1;
+  ::setsockopt(fd_.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr = loopback_address(port);
+  if (!loopback_only) addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  if (::bind(fd_.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    throw SocketError("bind", errno);
+  }
+  if (::listen(fd_.get(), 64) < 0) throw SocketError("listen", errno);
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd_.get(), reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    throw SocketError("getsockname", errno);
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+std::optional<TcpConnection> TcpListener::accept() {
+  const int fd = ::accept(fd_.get(), nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return std::nullopt;
+    throw SocketError("accept", errno);
+  }
+  TcpConnection conn{FileDescriptor(fd)};
+  conn.set_nodelay(true);
+  return conn;
+}
+
+void TcpListener::set_nonblocking(bool enabled) { set_fd_nonblocking(fd_.get(), enabled); }
+
+}  // namespace cwc::net

@@ -1,0 +1,95 @@
+// RAII POSIX socket wrappers for the CWC wire deployment.
+//
+// The paper's prototype keeps one persistent TCP connection per phone to a
+// central server (a small EC2 instance) with SO_KEEPALIVE plus
+// application-level keep-alives. These wrappers provide exactly the
+// plumbing that design needs: a listener, stream connections with
+// send-all/recv semantics, and non-blocking accept/read for the server's
+// poll loop. Errors surface as SocketError (std::system_error).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <system_error>
+#include <vector>
+
+namespace cwc::net {
+
+class SocketError : public std::system_error {
+ public:
+  SocketError(const std::string& what, int err)
+      : std::system_error(err, std::generic_category(), what) {}
+};
+
+/// Owns a file descriptor; move-only.
+class FileDescriptor {
+ public:
+  FileDescriptor() = default;
+  explicit FileDescriptor(int fd) : fd_(fd) {}
+  ~FileDescriptor();
+  FileDescriptor(FileDescriptor&& other) noexcept;
+  FileDescriptor& operator=(FileDescriptor&& other) noexcept;
+  FileDescriptor(const FileDescriptor&) = delete;
+  FileDescriptor& operator=(const FileDescriptor&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A connected TCP stream.
+class TcpConnection {
+ public:
+  TcpConnection() = default;
+  explicit TcpConnection(FileDescriptor fd) : fd_(std::move(fd)) {}
+
+  /// Connects to 127.0.0.1:port (the loopback deployment).
+  static TcpConnection connect_local(std::uint16_t port);
+  /// Connects to a dotted-quad IPv4 address (real deployments).
+  static TcpConnection connect_ipv4(const std::string& address, std::uint16_t port);
+
+  bool valid() const { return fd_.valid(); }
+  int fd() const { return fd_.get(); }
+
+  /// Blocking send of the whole buffer; throws SocketError on failure.
+  void send_all(std::span<const std::uint8_t> data);
+
+  /// Reads up to `max` bytes. Returns empty vector on orderly shutdown.
+  /// In non-blocking mode returns nullopt when no data is available.
+  std::optional<std::vector<std::uint8_t>> recv_some(std::size_t max = 64 * 1024);
+
+  void set_nonblocking(bool enabled);
+  /// Disables Nagle so small protocol frames flush immediately.
+  void set_nodelay(bool enabled);
+  void close() { fd_.reset(); }
+
+ private:
+  FileDescriptor fd_;
+};
+
+/// A listening TCP socket on an ephemeral or fixed port.
+class TcpListener {
+ public:
+  /// Binds and listens on `port` (0 = kernel-assigned); loopback-only by
+  /// default, all interfaces when `loopback_only` is false.
+  explicit TcpListener(std::uint16_t port = 0, bool loopback_only = true);
+
+  std::uint16_t port() const { return port_; }
+  int fd() const { return fd_.get(); }
+
+  /// Accepts one connection; nullopt if none pending (non-blocking mode).
+  std::optional<TcpConnection> accept();
+
+  void set_nonblocking(bool enabled);
+
+ private:
+  FileDescriptor fd_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace cwc::net

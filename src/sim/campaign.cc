@@ -1,0 +1,133 @@
+#include "sim/campaign.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "core/failure_aware.h"
+#include "core/greedy.h"
+#include "core/testbed.h"
+#include "sim/simulator.h"
+
+namespace cwc::sim {
+
+namespace {
+
+/// Tonight's plug window per user, from one generated night of behaviour.
+struct NightWindow {
+  bool plugged_at_release = false;
+  double joins_in_h = -1.0;   ///< hours after release the phone plugs in
+  double unplugs_in_h = -1.0; ///< hours after release the owner grabs it
+};
+
+NightWindow night_window(const trace::UserBehavior& user, double release_hour, Rng& rng) {
+  trace::StudyLog log;
+  log.user_count = 1;
+  log.days = 2;  // cover intervals that wrap past midnight
+  Rng user_rng = rng.fork();
+  trace::generate_user_log(user, 2, user_rng, log);
+
+  NightWindow window;
+  for (const auto& interval : log.intervals) {
+    const double end = interval.start_h + interval.duration_h;
+    if (interval.start_h <= release_hour && end > release_hour) {
+      window.plugged_at_release = true;
+      window.unplugs_in_h = end - release_hour;
+      return window;
+    }
+    if (interval.start_h > release_hour && interval.start_h < release_hour + 10.0 &&
+        trace::is_night_hour(trace::hour_of_day(interval.start_h))) {
+      window.joins_in_h = interval.start_h - release_hour;
+      window.unplugs_in_h = end - release_hour;
+      return window;
+    }
+  }
+  return window;  // not available tonight
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const CampaignOptions& options) {
+  Rng rng(options.seed);
+  const auto phones = core::paper_testbed(rng);
+  const auto population = trace::UserBehavior::paper_population(rng, 18);
+
+  CampaignResult result;
+
+  // History: a study log to estimate availability and unplug risk from.
+  Rng history_rng = rng.fork();
+  trace::StudyLog history;
+  history.user_count = 18;
+  history.days = options.history_days;
+  for (const auto& user : population) {
+    Rng user_rng = history_rng.fork();
+    trace::generate_user_log(user, options.history_days, user_rng, history);
+  }
+  result.plan = trace::plan_batch_window(history, options.release_hour, options.window_hours);
+
+  for (int night = 0; night < options.nights; ++night) {
+    NightOutcome outcome;
+    outcome.night = night;
+
+    std::unique_ptr<core::Scheduler> scheduler;
+    if (options.failure_aware) {
+      scheduler = std::make_unique<core::FailureAwareScheduler>(
+          std::make_unique<core::GreedyScheduler>(), result.plan.risk_map());
+    } else {
+      scheduler = std::make_unique<core::GreedyScheduler>();
+    }
+
+    SimOptions sim_options;
+    sim_options.scheduling_period = minutes(2.0);
+    sim_options.max_time = hours(options.window_hours);
+    TestbedSimulation simulation(std::move(scheduler), core::paper_prediction(), phones,
+                                 sim_options, rng.next_u64());
+
+    Rng workload_rng = rng.fork();
+    for (const auto& job : core::paper_workload(workload_rng, options.workload_scale)) {
+      simulation.submit(job);
+    }
+
+    // Tonight's availability.
+    for (PhoneId id = 0; id < 18; ++id) {
+      const NightWindow window =
+          night_window(population[static_cast<std::size_t>(id)], options.release_hour, rng);
+      if (window.plugged_at_release) {
+        ++outcome.phones_at_release;
+      } else if (window.joins_in_h > 0.0) {
+        simulation.controller().set_plugged(id, false);
+        simulation.inject({hours(window.joins_in_h), id, FailureKind::kReplug});
+      } else {
+        simulation.controller().set_plugged(id, false);
+        continue;
+      }
+      if (window.unplugs_in_h > 0.0 && window.unplugs_in_h < options.window_hours) {
+        simulation.inject(
+            {hours(std::max(0.01, window.unplugs_in_h)), id, FailureKind::kUnplugOnline});
+        ++outcome.owner_unplugs;
+      }
+    }
+
+    if (outcome.phones_at_release == 0) {
+      result.nights.push_back(outcome);  // nobody available: batch skipped
+      continue;
+    }
+    const SimResult sim_result = simulation.run();
+    outcome.completed = sim_result.completed;
+    outcome.makespan = sim_result.makespan;
+    outcome.scheduling_rounds = sim_result.scheduling_rounds;
+    result.nights.push_back(outcome);
+  }
+
+  for (const NightOutcome& night : result.nights) {
+    result.mean_phones +=
+        static_cast<double>(night.phones_at_release) / static_cast<double>(options.nights);
+    if (night.completed) {
+      ++result.nights_completed;
+      result.mean_makespan_min += to_minutes(night.makespan);
+    }
+  }
+  if (result.nights_completed > 0) result.mean_makespan_min /= result.nights_completed;
+  return result;
+}
+
+}  // namespace cwc::sim

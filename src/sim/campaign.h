@@ -1,0 +1,59 @@
+// Multi-night campaign simulation — capacity planning for an enterprise
+// running CWC every night (an extension beyond the paper's single-batch
+// evaluation, built entirely from its pieces).
+//
+// Each night:
+//   - the charging-behaviour model decides when each employee's phone goes
+//     on the charger and when it is grabbed (trace::generate_user_log);
+//   - phones plugged in at the release hour receive the batch; later
+//     plug-ins join as replug events; owner grabs become online failures;
+//   - the scheduler is either the plain greedy or the failure-aware
+//     wrapper fed with risks estimated from a *history* study log
+//     (trace::plan_batch_window) — yesterday's habits predict tonight;
+//   - predictions persist across nights (the controller is fresh per
+//     night, as a real deployment would restart the batch server, but the
+//     per-night outcome statistics accumulate).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/model.h"
+#include "trace/availability.h"
+#include "trace/behavior.h"
+
+namespace cwc::sim {
+
+struct CampaignOptions {
+  int nights = 14;
+  double release_hour = 23.5;   ///< batch release (local hours, may be > 24)
+  double window_hours = 7.0;    ///< must finish before owners wake up
+  double workload_scale = 1.0;  ///< paper_workload scale per night
+  bool failure_aware = false;   ///< wrap the greedy with history risks
+  /// History depth (days) used to estimate availability/risk.
+  int history_days = 30;
+  std::uint64_t seed = 1;
+};
+
+struct NightOutcome {
+  int night = 0;
+  int phones_at_release = 0;
+  int owner_unplugs = 0;     ///< failures during the window
+  bool completed = false;    ///< batch finished inside the window
+  Millis makespan = 0.0;
+  std::size_t scheduling_rounds = 0;
+};
+
+struct CampaignResult {
+  std::vector<NightOutcome> nights;
+  int nights_completed = 0;
+  double mean_makespan_min = 0.0;   ///< over completed nights
+  double mean_phones = 0.0;
+  trace::BatchWindowPlan plan;      ///< the history-derived plan used
+};
+
+/// Runs a campaign over `options.nights` nights for the 18-phone testbed
+/// (phone i is employee i's device).
+CampaignResult run_campaign(const CampaignOptions& options);
+
+}  // namespace cwc::sim

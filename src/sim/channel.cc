@@ -1,0 +1,35 @@
+#include "sim/channel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cwc::sim {
+
+ChannelModel::ChannelModel(double base_kbps, double relative_sd, double correlation, Rng rng)
+    : base_(base_kbps), relative_sd_(relative_sd), correlation_(correlation), rng_(rng) {
+  if (base_kbps <= 0.0) throw std::invalid_argument("ChannelModel: non-positive base rate");
+  if (correlation < 0.0 || correlation >= 1.0) {
+    throw std::invalid_argument("ChannelModel: correlation must be in [0, 1)");
+  }
+  // Start from the stationary distribution.
+  state_ = rng_.normal(0.0, relative_sd_);
+}
+
+ChannelModel ChannelModel::wifi(double base_kbps, Rng rng) {
+  return ChannelModel(base_kbps, 0.03, 0.95, rng);
+}
+
+ChannelModel ChannelModel::cellular(double base_kbps, Rng rng) {
+  return ChannelModel(base_kbps, 0.20, 0.6, rng);
+}
+
+double ChannelModel::sample_kbps() {
+  // AR(1) with stationary sd = relative_sd: innovation sd scales by
+  // sqrt(1 - rho^2).
+  const double innovation_sd = relative_sd_ * std::sqrt(1.0 - correlation_ * correlation_);
+  state_ = correlation_ * state_ + rng_.normal(0.0, innovation_sd);
+  return std::max(0.05 * base_, base_ * (1.0 + state_));
+}
+
+}  // namespace cwc::sim

@@ -1,0 +1,48 @@
+// Wireless channel models for the feasibility experiments.
+//
+// Fig. 4 of the paper measures iperf throughput from charging (static)
+// phones over home WiFi for 600 s at three locations and finds very low
+// variation — the property that lets CWC probe bandwidth infrequently.
+// Cellular links, by contrast, are noted to be unstable (Switchboard).
+//
+// We model the instantaneous rate as an AR(1) (Gauss-Markov) process
+// around a per-location base rate: static indoor fading is temporally
+// correlated with a small relative deviation for WiFi and a much larger
+// one for cellular.
+#pragma once
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace cwc::sim {
+
+class ChannelModel {
+ public:
+  /// `base_kbps`: mean rate (KB/s). `relative_sd`: stationary standard
+  /// deviation as a fraction of the base. `correlation`: AR(1) coefficient
+  /// per sample step (0 = white noise, ~1 = slow drift).
+  ChannelModel(double base_kbps, double relative_sd, double correlation, Rng rng);
+
+  /// A static phone on home WiFi: ~3% deviation, slowly varying.
+  static ChannelModel wifi(double base_kbps, Rng rng);
+  /// A cellular link: ~20% deviation with fast variation.
+  static ChannelModel cellular(double base_kbps, Rng rng);
+
+  /// Next rate sample (KB/s), one per measurement interval; never below
+  /// 5% of the base rate.
+  double sample_kbps();
+
+  /// Current rate as the paper's b_i (ms per KB).
+  MsPerKb sample_ms_per_kb() { return ms_per_kb_from_rate(sample_kbps()); }
+
+  double base_kbps() const { return base_; }
+
+ private:
+  double base_;
+  double relative_sd_;
+  double correlation_;
+  double state_ = 0.0;  // AR(1) deviation, in units of base_
+  Rng rng_;
+};
+
+}  // namespace cwc::sim

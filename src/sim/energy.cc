@@ -1,0 +1,28 @@
+#include "sim/energy.h"
+
+namespace cwc::sim {
+
+EnergyReport energy_of(const SimResult& result, const EnergyAssumptions& assumptions) {
+  EnergyReport report;
+  for (const TimelineSegment& segment : result.timeline) {
+    const double seconds = to_seconds(segment.end - segment.start);
+    const double watts = segment.kind == TimelineSegment::Kind::kExecute
+                             ? assumptions.cpu_watts
+                             : assumptions.radio_watts;
+    report.joules_per_phone[segment.phone] += watts * seconds;
+  }
+  for (const auto& [phone, joules] : report.joules_per_phone) {
+    report.fleet_joules += joules;
+  }
+  report.fleet_kwh = report.fleet_joules / 3.6e6;
+
+  const double pue = assumptions.server.needs_cooling ? assumptions.cost.pue : 1.0;
+  report.server_joules =
+      assumptions.server.peak_watts * pue * to_seconds(result.makespan);
+  report.savings_factor =
+      report.fleet_joules > 0.0 ? report.server_joules / report.fleet_joules : 0.0;
+  report.fleet_cost_usd = report.fleet_kwh * assumptions.cost.dollars_per_kwh;
+  return report;
+}
+
+}  // namespace cwc::sim

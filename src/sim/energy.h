@@ -1,0 +1,45 @@
+// Energy accounting over simulated batch runs — the quantitative follow-up
+// to Section 3.2's cost argument: given the timeline a batch actually
+// produced, how many joules did the phone fleet spend, and what would the
+// same work have cost on a datacenter server?
+//
+// Phone energy = CPU draw during execute segments + radio draw during
+// transfer segments (idle-on-charger draw is not attributed to the batch —
+// the phone would have been charging anyway). Server energy = the server's
+// full power for the wall-clock makespan, PUE included, since a server
+// doing this batch would be provisioned and cooled for it.
+#pragma once
+
+#include <map>
+
+#include "battery/battery.h"
+#include "core/costmodel.h"
+#include "sim/simulator.h"
+
+namespace cwc::sim {
+
+struct EnergyReport {
+  std::map<PhoneId, double> joules_per_phone;
+  double fleet_joules = 0.0;
+  double fleet_kwh = 0.0;
+  /// Energy a datacenter server (PUE applied) would burn running for the
+  /// same makespan.
+  double server_joules = 0.0;
+  double savings_factor = 0.0;  ///< server_joules / fleet_joules
+  /// Dollar cost of the fleet's energy at the given $/KWH.
+  double fleet_cost_usd = 0.0;
+};
+
+struct EnergyAssumptions {
+  /// CPU draw attributed to task execution (Watts at full utilization).
+  double cpu_watts = 1.0;
+  /// Radio draw attributed to receiving inputs (typical WiFi RX).
+  double radio_watts = 0.8;
+  core::DevicePower server = core::intel_core2duo_server();
+  core::CostAssumptions cost;
+};
+
+/// Computes the energy ledger of one simulated batch run.
+EnergyReport energy_of(const SimResult& result, const EnergyAssumptions& assumptions = {});
+
+}  // namespace cwc::sim

@@ -1,0 +1,33 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace cwc::sim {
+
+void EventQueue::schedule_at(Millis when, Handler handler) {
+  if (when < now_) throw std::invalid_argument("EventQueue: scheduling into the past");
+  queue_.push(Event{when, next_seq_++, std::move(handler)});
+}
+
+void EventQueue::schedule_in(Millis delay, Handler handler) {
+  schedule_at(now_ + delay, std::move(handler));
+}
+
+bool EventQueue::run_one() {
+  if (queue_.empty()) return false;
+  // priority_queue::top is const; the handler is moved out via const_cast,
+  // which is safe because the element is popped immediately after.
+  Event event = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = event.when;
+  event.handler();
+  return true;
+}
+
+void EventQueue::run_until(Millis until) {
+  while (!queue_.empty() && queue_.top().when <= until) run_one();
+  if (now_ < until) now_ = until;
+}
+
+}  // namespace cwc::sim

@@ -1,0 +1,52 @@
+// Discrete-event machinery: a time-ordered queue of closures with stable
+// FIFO ordering for simultaneous events. The testbed simulator, the file
+// farm (Fig. 5) and the overnight example are all built on this.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace cwc::sim {
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Schedules `handler` at absolute simulated time `when` (>= now()).
+  /// Events at equal times run in scheduling order.
+  void schedule_at(Millis when, Handler handler);
+  /// Schedules `handler` `delay` after the current time.
+  void schedule_in(Millis delay, Handler handler);
+
+  /// Runs the earliest event; returns false when the queue is empty.
+  bool run_one();
+  /// Runs events until the queue empties or the clock passes `until`.
+  void run_until(Millis until);
+
+  Millis now() const { return now_; }
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    Millis when;
+    std::uint64_t seq;
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  Millis now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace cwc::sim

@@ -1,0 +1,56 @@
+// The bandwidth-variability experiment of Section 3.1 / Fig. 5.
+//
+// Setup, from the paper: a central server and 6 phones with *identical*
+// CPU clock speeds but different wireless bandwidths. 600 files arrive at
+// the server; each file is sent to an idle phone, processed there (find
+// the largest integer), and the result returned. If no phone is idle the
+// file waits in a FIFO queue. Turn-around time = (result returned) -
+// (file queued). The punchline: using all 6 phones gives a worse 90th
+// percentile than using only the 4 with fast links, because slow links
+// hold files for a long time — so bandwidth must inform scheduling.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace cwc::sim {
+
+/// How the server picks among idle phones. The paper's simple server sends
+/// the file to "one of the idle phones" without looking at bandwidth.
+enum class Dispatch { kRandomIdle, kFastestIdle };
+
+struct FileFarmConfig {
+  Dispatch dispatch = Dispatch::kRandomIdle;
+  int files = 600;
+  Kilobytes file_kb = 100.0;
+  /// Identical CPUs: processing cost per KB on every phone.
+  MsPerKb compute_ms_per_kb = 2.0;
+  /// Per-phone link costs (ms/KB); one entry per phone.
+  std::vector<MsPerKb> link_ms_per_kb;
+  /// Mean inter-arrival time of files at the server (exponential). The
+  /// system must be stably loaded for the experiment to be meaningful.
+  Millis mean_interarrival = 105.0;
+  /// Size jitter around file_kb (uniform +/- fraction).
+  double size_jitter = 0.3;
+};
+
+struct FileFarmResult {
+  std::vector<Millis> turnaround;  ///< one entry per file
+  Millis total_time = 0.0;         ///< completion of the last file
+  /// Files processed per phone (diagnostics: slow phones take few files
+  /// but hold them long).
+  std::vector<int> files_per_phone;
+};
+
+/// Runs the experiment once: files arrive, head-of-queue goes to an idle
+/// phone per the dispatch policy, turn-around times are logged.
+FileFarmResult run_file_farm(const FileFarmConfig& config, Rng& rng);
+
+/// The paper's two configurations: 6 phones (4 fast + 2 slow links) and
+/// the fast-4 subset.
+FileFarmConfig paper_six_phone_config();
+FileFarmConfig paper_fast_four_config();
+
+}  // namespace cwc::sim

@@ -1,0 +1,251 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+#include "tasks/registry.h"
+
+namespace cwc::sim {
+
+TestbedSimulation::TestbedSimulation(std::unique_ptr<core::Scheduler> scheduler,
+                                     core::PredictionModel prediction,
+                                     std::vector<core::PhoneSpec> phones, SimOptions options,
+                                     std::uint64_t seed)
+    : controller_(std::move(scheduler), std::move(prediction)),
+      options_(options),
+      rng_(seed) {
+  for (const core::PhoneSpec& phone : phones) {
+    controller_.register_phone(phone);
+    runtime_[phone.id].spec = phone;
+  }
+  // Default ground truth: the built-in tasks' reference measurements.
+  const tasks::TaskRegistry registry = tasks::TaskRegistry::with_builtins();
+  for (const std::string& name : registry.names()) {
+    ground_truth_[name] = {registry.require(name).reference_ms_per_kb(), 806.0};
+  }
+}
+
+void TestbedSimulation::set_ground_truth(const std::string& task, MsPerKb c_sj,
+                                         double reference_mhz) {
+  ground_truth_[task] = {c_sj, reference_mhz};
+}
+
+MsPerKb TestbedSimulation::true_cost(const std::string& task,
+                                     const core::PhoneSpec& phone) const {
+  const auto& [c_sj, ref_mhz] = ground_truth_.at(task);
+  return c_sj * ref_mhz / phone.cpu_mhz / phone.hidden_efficiency;
+}
+
+void TestbedSimulation::schedule_instant() {
+  if (!controller_.has_pending_work()) return;
+  if (controller_.plugged_phones().empty()) return;
+  const core::Schedule schedule = controller_.reschedule();
+  if (result_.scheduling_rounds == 0) {
+    result_.first_schedule = schedule;
+    result_.predicted_makespan = schedule.predicted_makespan;
+  }
+  ++result_.scheduling_rounds;
+  log_info("sim") << "scheduling instant at " << to_seconds(events_.now())
+                  << " s (round " << result_.scheduling_rounds << ")";
+  for (auto& [id, phone] : runtime_) {
+    if (phone.alive && !phone.busy) start_next_piece(id);
+  }
+}
+
+void TestbedSimulation::start_next_piece(PhoneId phone_id) {
+  PhoneRuntime& phone = runtime_.at(phone_id);
+  if (!phone.alive || phone.busy) return;
+  const auto work = controller_.current_work(phone_id);
+  if (!work) return;
+
+  const core::JobSpec& job = controller_.job(work->piece.job);
+  const Millis now = events_.now();
+  const Millis transfer =
+      (work->executable_cached ? 0.0 : job.exec_kb * phone.spec.b) +
+      work->piece.input_kb * phone.spec.b;
+  // Ground-truth execution time: hidden efficiency plus lognormal noise.
+  const double noise =
+      options_.exec_noise_sd > 0.0 ? rng_.lognormal(0.0, options_.exec_noise_sd) : 1.0;
+  const Millis execute = work->piece.input_kb * true_cost(job.task_name, phone.spec) * noise;
+
+  phone.busy = true;
+  phone.transfer_start = now;
+  phone.transfer_end = now + transfer;
+  phone.execute_end = now + transfer + execute;
+  phone.piece = work->piece;
+  phone.piece_rescheduled = ever_failed_jobs_.count(work->piece.job) > 0;
+
+  const std::uint64_t epoch = phone.epoch;
+  events_.schedule_at(phone.execute_end, [this, phone_id, epoch] {
+    finish_piece(phone_id, epoch);
+  });
+}
+
+void TestbedSimulation::finish_piece(PhoneId phone_id, std::uint64_t epoch) {
+  PhoneRuntime& phone = runtime_.at(phone_id);
+  if (!phone.alive || phone.epoch != epoch) return;  // stale event
+
+  const Millis now = events_.now();
+  if (phone.transfer_end > phone.transfer_start) {
+    result_.timeline.push_back({phone_id, phone.transfer_start, phone.transfer_end,
+                                TimelineSegment::Kind::kTransfer, phone.piece.job,
+                                phone.piece_rescheduled});
+  }
+  result_.timeline.push_back({phone_id, phone.transfer_end, now,
+                              TimelineSegment::Kind::kExecute, phone.piece.job,
+                              phone.piece_rescheduled});
+  result_.makespan = std::max(result_.makespan, now);
+  if (!phone.piece_rescheduled) {
+    result_.original_makespan = std::max(result_.original_makespan, now);
+  }
+
+  phone.busy = false;
+  controller_.on_piece_complete(phone_id, now - phone.transfer_end);
+  start_next_piece(phone_id);
+  maybe_finish();
+}
+
+void TestbedSimulation::apply_failure(const FailureEvent& event) {
+  PhoneRuntime& phone = runtime_.at(event.phone);
+  const Millis now = events_.now();
+
+  switch (event.kind) {
+    case FailureKind::kReplug: {
+      // Covers both a phone that failed earlier and a late joiner whose
+      // controller state was set unplugged before the run started. The
+      // epoch bump cancels any pending offline-loss detection: the phone
+      // reconnected before the keep-alive budget expired.
+      if (!phone.alive) {
+        phone.alive = true;
+        phone.busy = false;
+        ++phone.epoch;
+      }
+      if (!controller_.is_plugged(event.phone)) {
+        controller_.set_plugged(event.phone, true);
+        log_info("sim") << "phone " << event.phone << " plugged in at " << to_seconds(now)
+                        << " s";
+      }
+      return;
+    }
+    case FailureKind::kUnplugOnline: {
+      if (!phone.alive) return;
+      ++phone.epoch;  // invalidate the in-flight completion event
+      phone.alive = false;
+      if (!phone.busy) {
+        controller_.set_plugged(event.phone, false);
+        return;
+      }
+      phone.busy = false;
+      const core::JobSpec& job = controller_.job(phone.piece.job);
+      Kilobytes processed = 0.0;
+      Millis local_ms = 0.0;
+      if (now > phone.transfer_end) {
+        const Millis exec_total = phone.execute_end - phone.transfer_end;
+        const double fraction =
+            exec_total > 0.0 ? std::min(1.0, (now - phone.transfer_end) / exec_total) : 1.0;
+        processed = phone.piece.input_kb * fraction;
+        local_ms = now - phone.transfer_end;
+        result_.timeline.push_back({event.phone, phone.transfer_start, phone.transfer_end,
+                                    TimelineSegment::Kind::kTransfer, phone.piece.job,
+                                    phone.piece_rescheduled});
+        result_.timeline.push_back({event.phone, phone.transfer_end, now,
+                                    TimelineSegment::Kind::kExecute, phone.piece.job,
+                                    phone.piece_rescheduled});
+      } else {
+        // Failed mid-transfer: nothing processed, partial transfer shown.
+        result_.timeline.push_back({event.phone, phone.transfer_start, now,
+                                    TimelineSegment::Kind::kTransfer, phone.piece.job,
+                                    phone.piece_rescheduled});
+      }
+      // Fabricate the checkpoint blob for atomic jobs (the wire deployment
+      // carries real task state; the simulator only needs its presence so
+      // the controller resumes rather than restarts).
+      std::vector<std::uint8_t> checkpoint;
+      if (job.kind == JobKind::kAtomic && processed > 0.0) checkpoint = {1};
+      ever_failed_jobs_.insert(phone.piece.job);
+      controller_.on_piece_failed(event.phone, processed, std::move(checkpoint), local_ms);
+      return;
+    }
+    case FailureKind::kUnplugOffline: {
+      if (!phone.alive) return;
+      ++phone.epoch;
+      phone.alive = false;
+      // Record what the phone was doing when it vanished (nothing, when it
+      // was idle between pieces).
+      if (phone.busy && now > phone.transfer_start) {
+        result_.timeline.push_back({event.phone, phone.transfer_start,
+                                    std::min(now, phone.transfer_end),
+                                    TimelineSegment::Kind::kTransfer, phone.piece.job,
+                                    phone.piece_rescheduled});
+        if (now > phone.transfer_end) {
+          result_.timeline.push_back({event.phone, phone.transfer_end, now,
+                                      TimelineSegment::Kind::kExecute, phone.piece.job,
+                                      phone.piece_rescheduled});
+        }
+      }
+      phone.busy = false;
+      // The server notices only after the keep-alive budget expires — and
+      // only if the phone has not replugged in the meantime (the epoch
+      // guard: a replug bumps it, cancelling this detection).
+      const Millis detection =
+          options_.keepalive_period * static_cast<double>(options_.keepalive_misses);
+      const PhoneId id = event.phone;
+      const std::uint64_t epoch_at_failure = phone.epoch;
+      events_.schedule_in(detection, [this, id, epoch_at_failure] {
+        const PhoneRuntime& lost = runtime_.at(id);
+        if (lost.alive || lost.epoch != epoch_at_failure) return;  // it came back
+        // Everything the lost phone held becomes rescheduled work (the
+        // shaded bars of Fig. 12c).
+        for (JobId job : controller_.queued_jobs(id)) ever_failed_jobs_.insert(job);
+        controller_.on_phone_lost(id);
+        log_info("sim") << "server detected loss of phone " << id << " at "
+                        << to_seconds(events_.now()) << " s";
+      });
+      return;
+    }
+  }
+}
+
+void TestbedSimulation::maybe_finish() {
+  // Completion = controller drained and every phone idle.
+  if (!controller_.all_done()) return;
+  for (const auto& [id, phone] : runtime_) {
+    if (phone.busy) return;
+  }
+  result_.completed = true;
+}
+
+void TestbedSimulation::chain_instant() {
+  schedule_instant();
+  if (result_.completed || events_.now() + options_.scheduling_period > options_.max_time) {
+    return;
+  }
+  events_.schedule_in(options_.scheduling_period, [this] { chain_instant(); });
+}
+
+SimResult TestbedSimulation::run() {
+  result_ = SimResult{};
+
+  // Failure events are armed once; run() may be called again for a later
+  // batch (the controller and clock persist), in which case only events
+  // still in the future remain relevant.
+  if (!failures_armed_) {
+    failures_armed_ = true;
+    for (const FailureEvent& event : failures_) {
+      if (event.time >= events_.now()) {
+        events_.schedule_at(event.time, [this, event] { apply_failure(event); });
+      }
+    }
+  }
+  // Scheduling instants: now, then one per period while work remains.
+  events_.schedule_at(events_.now(), [this] { chain_instant(); });
+
+  while (!result_.completed && !events_.empty() && events_.now() <= options_.max_time) {
+    events_.run_one();
+  }
+  maybe_finish();
+  return result_;
+}
+
+}  // namespace cwc::sim

@@ -1,0 +1,136 @@
+// Discrete-event simulation of the CWC testbed (Section 6).
+//
+// The simulator is the stand-in for the paper's 18 physical Android
+// phones: it executes a CwcController's decisions over simulated time,
+// with ground-truth execution costs the *scheduler cannot see* — each
+// phone has a hidden efficiency factor and per-piece execution noise, so
+// the prediction model has real error to correct (Fig. 6) and fast phones
+// genuinely finish early (Fig. 12a).
+//
+// Per-phone execution cycle, as in the prototype: the server copies the
+// executable (once per job per phone) and the piece's input; the phone
+// executes locally; the completion report carries the actual local
+// execution time, which refines the prediction model. Failures are
+// injected as timed events:
+//   - online unplug: the phone reports processed KB + checkpoint, and the
+//     remainder joins F_A immediately;
+//   - offline loss: the phone goes silent; the server only notices after
+//     `keepalive_misses` missed keep-alives (30 s period, 3 misses in the
+//     prototype) and then requeues everything the phone held;
+//   - replug: the phone re-enters the pool at the next scheduling instant.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/controller.h"
+#include "core/model.h"
+#include "sim/event_queue.h"
+
+namespace cwc::sim {
+
+struct SimOptions {
+  /// Multiplicative lognormal noise sd on per-piece execution time.
+  double exec_noise_sd = 0.03;
+  /// Scheduling instants occur this often (when work is pending).
+  Millis scheduling_period = seconds(120.0);
+  /// Keep-alive probing (offline-failure detection = period * misses).
+  Millis keepalive_period = seconds(30.0);
+  int keepalive_misses = 3;
+  /// Hard stop for runaway scenarios.
+  Millis max_time = hours(24.0);
+};
+
+enum class FailureKind { kUnplugOnline, kUnplugOffline, kReplug };
+
+struct FailureEvent {
+  Millis time = 0.0;
+  PhoneId phone = kInvalidPhone;
+  FailureKind kind = FailureKind::kUnplugOnline;
+};
+
+/// One stretch of a phone's timeline (the bars of Fig. 12a/12c).
+struct TimelineSegment {
+  PhoneId phone = kInvalidPhone;
+  Millis start = 0.0;
+  Millis end = 0.0;
+  enum class Kind { kTransfer, kExecute } kind = Kind::kExecute;
+  JobId job = kInvalidJob;
+  /// True when this execution belongs to work re-scheduled after a failure
+  /// (the shaded bars of Fig. 12c).
+  bool rescheduled = false;
+};
+
+struct SimResult {
+  bool completed = false;      ///< all work finished before max_time
+  Millis makespan = 0.0;       ///< completion time of the last piece
+  Millis predicted_makespan = 0.0;  ///< scheduler's round-0 prediction
+  std::size_t scheduling_rounds = 0;
+  std::vector<TimelineSegment> timeline;
+  core::Schedule first_schedule;
+
+  /// Completion time of the last piece that was *not* rescheduled work —
+  /// Fig. 12c reports recovery cost as (makespan - original makespan).
+  Millis original_makespan = 0.0;
+};
+
+/// Simulates one CWC batch run end to end.
+class TestbedSimulation {
+ public:
+  TestbedSimulation(std::unique_ptr<core::Scheduler> scheduler,
+                    core::PredictionModel prediction, std::vector<core::PhoneSpec> phones,
+                    SimOptions options, std::uint64_t seed);
+
+  /// Ground truth c_sj for a task (reference cost on the 806 MHz phone).
+  /// Defaults to the built-in registry's reference costs; override to
+  /// model prediction error beyond hidden efficiencies.
+  void set_ground_truth(const std::string& task, MsPerKb c_sj, double reference_mhz = 806.0);
+
+  void submit(core::JobSpec job) { controller_.submit(std::move(job)); }
+  void inject(FailureEvent event) { failures_.push_back(event); }
+
+  SimResult run();
+
+  const core::CwcController& controller() const { return controller_; }
+  core::CwcController& controller() { return controller_; }
+
+  /// True execution cost (ms/KB) of `task` on `phone` before noise:
+  /// c_sj * S / A / hidden_efficiency.
+  MsPerKb true_cost(const std::string& task, const core::PhoneSpec& phone) const;
+
+ private:
+  struct PhoneRuntime {
+    core::PhoneSpec spec;
+    std::uint64_t epoch = 0;   ///< invalidates in-flight events
+    bool busy = false;
+    bool alive = true;         ///< false while unplugged/offline
+    Millis transfer_start = 0.0;
+    Millis transfer_end = 0.0;
+    Millis execute_end = 0.0;
+    core::JobPiece piece;
+    bool piece_rescheduled = false;
+  };
+
+  void schedule_instant();
+  void chain_instant();
+  void start_next_piece(PhoneId phone);
+  void finish_piece(PhoneId phone, std::uint64_t epoch);
+  void apply_failure(const FailureEvent& event);
+  void maybe_finish();
+
+  core::CwcController controller_;
+  SimOptions options_;
+  EventQueue events_;
+  Rng rng_;
+  std::map<PhoneId, PhoneRuntime> runtime_;
+  std::map<std::string, std::pair<MsPerKb, double>> ground_truth_;
+  std::vector<FailureEvent> failures_;
+  bool failures_armed_ = false;
+  std::set<JobId> ever_failed_jobs_;
+  SimResult result_;
+};
+
+}  // namespace cwc::sim

@@ -1,0 +1,83 @@
+#include "sim/timeline_svg.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/strings.h"
+
+namespace cwc::sim {
+
+std::string timeline_svg(const SimResult& result, const SvgOptions& options) {
+  std::set<PhoneId> phones;
+  for (const TimelineSegment& segment : result.timeline) phones.insert(segment.phone);
+
+  const int margin_left = 70;
+  const int margin_top = 40;
+  const int margin_bottom = 30;
+  const int row_stride = options.row_height_px + options.row_gap_px;
+  const int chart_width = options.width_px - margin_left - 20;
+  const int height =
+      margin_top + static_cast<int>(phones.size()) * row_stride + margin_bottom;
+  const double span = std::max(result.makespan, 1.0);
+
+  std::map<PhoneId, int> row_of;
+  int next_row = 0;
+  for (PhoneId phone : phones) row_of[phone] = next_row++;
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << options.width_px
+      << "\" height=\"" << height << "\" viewBox=\"0 0 " << options.width_px << " " << height
+      << "\">\n";
+  svg << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  svg << "<text x=\"" << margin_left << "\" y=\"20\" font-family=\"sans-serif\" "
+      << "font-size=\"14\" font-weight=\"bold\">" << options.title << "</text>\n";
+
+  // Row labels and baselines.
+  for (const auto& [phone, row] : row_of) {
+    const int y = margin_top + row * row_stride;
+    svg << "<text x=\"8\" y=\"" << y + options.row_height_px - 6
+        << "\" font-family=\"monospace\" font-size=\"12\">phone " << phone << "</text>\n";
+    svg << "<rect x=\"" << margin_left << "\" y=\"" << y << "\" width=\"" << chart_width
+        << "\" height=\"" << options.row_height_px << "\" fill=\"#f4f4f4\"/>\n";
+  }
+
+  // Segments.
+  for (const TimelineSegment& segment : result.timeline) {
+    const int y = margin_top + row_of[segment.phone] * row_stride;
+    const double x0 = margin_left + segment.start / span * chart_width;
+    const double x1 = margin_left + segment.end / span * chart_width;
+    const char* fill = segment.kind == TimelineSegment::Kind::kTransfer
+                           ? "#9aa0a6"
+                           : (segment.rescheduled ? "#e8883a" : "#4878a8");
+    svg << "<rect x=\"" << x0 << "\" y=\"" << y << "\" width=\""
+        << std::max(0.5, x1 - x0) << "\" height=\"" << options.row_height_px << "\" fill=\""
+        << fill << "\"><title>job " << segment.job << " ["
+        << format("%.1f-%.1f s", to_seconds(segment.start), to_seconds(segment.end))
+        << "]</title></rect>\n";
+  }
+
+  // Time axis: five ticks.
+  const int axis_y = margin_top + static_cast<int>(phones.size()) * row_stride + 4;
+  for (int tick = 0; tick <= 4; ++tick) {
+    const double t = span * tick / 4.0;
+    const double x = margin_left + static_cast<double>(chart_width) * tick / 4.0;
+    svg << "<text x=\"" << x << "\" y=\"" << axis_y + 14
+        << "\" font-family=\"monospace\" font-size=\"11\" text-anchor=\"middle\">"
+        << format("%.0f s", to_seconds(t)) << "</text>\n";
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+void write_timeline_svg(const SimResult& result, const std::string& path,
+                        const SvgOptions& options) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) throw std::runtime_error("write_timeline_svg: cannot write " + path);
+  file << timeline_svg(result, options);
+}
+
+}  // namespace cwc::sim

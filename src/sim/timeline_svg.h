@@ -1,0 +1,29 @@
+// SVG rendering of simulation timelines — the graphical version of the
+// paper's Fig. 12(a)/(c) execution charts (black transfer stripes, white
+// execution regions, shaded re-scheduled work).
+#pragma once
+
+#include <string>
+
+#include "sim/simulator.h"
+
+namespace cwc::sim {
+
+struct SvgOptions {
+  int width_px = 960;
+  int row_height_px = 22;
+  int row_gap_px = 6;
+  /// Chart title rendered above the rows.
+  std::string title = "CWC execution timeline";
+};
+
+/// Renders the run as an SVG document (one row per phone that appears in
+/// the timeline; rows sorted by phone id). Colors: grey = receiving,
+/// steel blue = executing, orange = executing re-scheduled work.
+std::string timeline_svg(const SimResult& result, const SvgOptions& options = {});
+
+/// Convenience: renders and writes to `path`; throws on I/O failure.
+void write_timeline_svg(const SimResult& result, const std::string& path,
+                        const SvgOptions& options = {});
+
+}  // namespace cwc::sim

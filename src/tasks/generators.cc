@@ -1,0 +1,149 @@
+#include "tasks/generators.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <string_view>
+
+#include "common/strings.h"
+#include "tasks/sales.h"
+
+namespace cwc::tasks {
+
+namespace {
+
+void append(Bytes& out, std::string_view s) { out.insert(out.end(), s.begin(), s.end()); }
+
+constexpr std::array<std::string_view, 24> kVocabulary = {
+    "the",     "server",  "request", "client",   "packet", "queue",  "worker", "phone",
+    "battery", "charge",  "night",   "schedule", "task",   "input",  "output", "result",
+    "network", "latency", "compute", "storage",  "cache",  "thread", "socket", "report"};
+
+constexpr std::array<std::string_view, 8> kLogMessages = {
+    "connection established to upstream",
+    "request completed in 42 ms",
+    "cache miss on shard 7",
+    "retrying rpc to storage backend",
+    "health check passed",
+    "rotating log segment",
+    "tls handshake renegotiated",
+    "queue depth back to normal"};
+
+}  // namespace
+
+Bytes make_integer_input(Rng& rng, Kilobytes kb) {
+  const auto target = static_cast<std::size_t>(kb * 1024.0);
+  Bytes out;
+  out.reserve(target + 64);
+  while (out.size() < target) {
+    const int per_line = static_cast<int>(rng.uniform_int(1, 8));
+    for (int i = 0; i < per_line; ++i) {
+      if (i) out.push_back(' ');
+      append(out, std::to_string(rng.uniform_int(2, 1000000000)));
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Bytes make_text_input(Rng& rng, Kilobytes kb, const std::string& target_word,
+                      double target_frequency) {
+  const auto target = static_cast<std::size_t>(kb * 1024.0);
+  Bytes out;
+  out.reserve(target + 64);
+  int words_in_line = 0;
+  while (out.size() < target) {
+    if (words_in_line) out.push_back(' ');
+    if (rng.chance(target_frequency)) {
+      append(out, target_word);
+    } else {
+      append(out, kVocabulary[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(kVocabulary.size()) - 1))]);
+    }
+    if (++words_in_line >= 12) {
+      out.push_back('\n');
+      words_in_line = 0;
+    }
+  }
+  if (words_in_line) out.push_back('\n');
+  return out;
+}
+
+Bytes make_log_input(Rng& rng, Kilobytes kb, const std::string& pattern,
+                     double pattern_frequency) {
+  static constexpr std::array<std::string_view, 5> kSeverities = {"DEBUG", "INFO", "WARN",
+                                                                  "ERROR", "FATAL"};
+  static constexpr std::array<double, 5> kSeverityWeights = {0.30, 0.50, 0.12, 0.07, 0.01};
+  const auto target = static_cast<std::size_t>(kb * 1024.0);
+  Bytes out;
+  out.reserve(target + 128);
+  std::int64_t epoch = 1349000000;  // around the paper's submission date
+  std::vector<double> weights(kSeverityWeights.begin(), kSeverityWeights.end());
+  while (out.size() < target) {
+    epoch += rng.uniform_int(0, 3);
+    const std::size_t severity = rng.weighted_index(weights);
+    append(out, std::to_string(epoch));
+    out.push_back(' ');
+    append(out, kSeverities[severity]);
+    out.push_back(' ');
+    if (severity >= 3 && rng.chance(pattern_frequency / (kSeverityWeights[3] + kSeverityWeights[4]))) {
+      append(out, "host-");
+      append(out, std::to_string(rng.uniform_int(1, 400)));
+      append(out, " reported ");
+      append(out, pattern);
+      append(out, " on device sda");
+    } else {
+      append(out, kLogMessages[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(kLogMessages.size()) - 1))]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Bytes make_sales_input(Rng& rng, Kilobytes kb) {
+  const auto target = static_cast<std::size_t>(kb * 1024.0);
+  Bytes out;
+  out.reserve(target + 64);
+  // Zipf-ish category popularity: category k weight ~ 1/(k+1).
+  std::vector<double> weights(kSalesCategories.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) weights[i] = 1.0 / static_cast<double>(i + 1);
+  while (out.size() < target) {
+    const std::size_t category = rng.weighted_index(weights);
+    const double amount = rng.lognormal(3.2, 0.9);  // median ~ $25
+    append(out, std::to_string(rng.uniform_int(1, 1800)));  // store id
+    out.push_back(',');
+    append(out, kSalesCategories[category]);
+    out.push_back(',');
+    append(out, format("%.2f", amount));
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Bytes make_image_input(Rng& rng, std::uint32_t width, std::uint32_t height) {
+  Image image;
+  image.width = width;
+  image.height = height;
+  image.pixels.resize(static_cast<std::size_t>(width) * height);
+  // Smooth 2-D gradient plus sinusoidal texture plus noise, so a blur makes
+  // a visible, testable difference without destroying all structure.
+  const double fx = rng.uniform(0.02, 0.15);
+  const double fy = rng.uniform(0.02, 0.15);
+  for (std::uint32_t y = 0; y < height; ++y) {
+    for (std::uint32_t x = 0; x < width; ++x) {
+      const double base = 96.0 + 64.0 * std::sin(fx * x) * std::cos(fy * y);
+      const double noise = rng.uniform(-48.0, 48.0);
+      image.at(x, y) = static_cast<std::uint8_t>(std::clamp(base + noise, 0.0, 255.0));
+    }
+  }
+  return encode_image(image);
+}
+
+Bytes make_image_input_of_size(Rng& rng, Kilobytes kb) {
+  const auto total_pixels = std::max(1.0, kb * 1024.0 - 12.0);
+  const auto side = static_cast<std::uint32_t>(std::max(1.0, std::floor(std::sqrt(total_pixels))));
+  return make_image_input(rng, side, side);
+}
+
+}  // namespace cwc::tasks

@@ -1,0 +1,46 @@
+// Synthetic workload generators for every CWC task type.
+//
+// The paper processed ad-hoc files (integer lists, text, photos, logs,
+// sales records); these generators produce statistically similar inputs of
+// controllable size so experiments are reproducible from a seed. All
+// record-oriented outputs are newline-delimited, matching the partitioning
+// contract in tasks/partition.h.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "tasks/blur.h"
+#include "tasks/task.h"
+
+namespace cwc::tasks {
+
+/// Newline-separated records of whitespace-separated integers in
+/// [2, 10^9]; roughly `kb` kilobytes. For prime-count.
+Bytes make_integer_input(Rng& rng, Kilobytes kb);
+
+/// Plain text: words drawn from a small vocabulary (with the given target
+/// word mixed in at `target_frequency`); roughly `kb` kilobytes.
+Bytes make_text_input(Rng& rng, Kilobytes kb, const std::string& target_word = "error",
+                      double target_frequency = 0.02);
+
+/// Syslog-style records "<epoch> <SEVERITY> <message>"; a fraction of ERROR
+/// lines mention the given failure pattern. Roughly `kb` kilobytes.
+Bytes make_log_input(Rng& rng, Kilobytes kb, const std::string& pattern = "disk failure",
+                     double pattern_frequency = 0.01);
+
+/// CSV sales records "store,category,amount" over kSalesCategories;
+/// category popularity follows a fixed Zipf-ish skew so "what sells most"
+/// has a meaningful answer. Roughly `kb` kilobytes.
+Bytes make_sales_input(Rng& rng, Kilobytes kb);
+
+/// Random grayscale image with smooth structure (so blurring it is
+/// observable), encoded in the CWCI format. Size = 12 + width*height bytes.
+Bytes make_image_input(Rng& rng, std::uint32_t width, std::uint32_t height);
+
+/// Image whose encoded size is approximately `kb` kilobytes (square-ish).
+Bytes make_image_input_of_size(Rng& rng, Kilobytes kb);
+
+}  // namespace cwc::tasks

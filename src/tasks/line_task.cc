@@ -1,0 +1,41 @@
+#include "tasks/line_task.h"
+
+namespace cwc::tasks {
+
+std::size_t LineTask::step(ByteView input, std::size_t budget) {
+  const std::size_t start = static_cast<std::size_t>(consumed_);
+  if (start >= input.size()) return 0;
+
+  std::size_t pos = start;
+  const std::size_t soft_end = std::min(input.size(), start + budget);
+  std::size_t processed_through = start;
+  while (pos < input.size()) {
+    // Find end of the current record.
+    std::size_t eol = pos;
+    while (eol < input.size() && input[eol] != '\n') ++eol;
+    const std::size_t record_end = eol < input.size() ? eol + 1 : eol;
+    if (record_end > soft_end && processed_through > start) {
+      break;  // budget exhausted at a record boundary
+    }
+    process_line(std::string_view(reinterpret_cast<const char*>(input.data()) + pos, eol - pos));
+    processed_through = record_end;
+    pos = record_end;
+    if (processed_through >= soft_end) break;
+  }
+  consumed_ = processed_through;
+  return processed_through - start;
+}
+
+Checkpoint LineTask::checkpoint() const {
+  BufferWriter w;
+  save_state(w);
+  return Checkpoint{consumed_, w.take()};
+}
+
+void LineTask::restore(const Checkpoint& cp) {
+  consumed_ = cp.bytes_processed;
+  BufferReader r(cp.state);
+  load_state(r);
+}
+
+}  // namespace cwc::tasks

@@ -1,0 +1,39 @@
+// Shared base for record-oriented (newline-delimited) breakable tasks.
+//
+// All of CWC's breakable workloads (prime counting, word counting, log
+// scanning, sales aggregation) process newline-separated records, so record
+// alignment is what makes inputs partitionable: partitions are cut at line
+// boundaries (see tasks/partition.h) and no record ever straddles phones.
+//
+// Subclasses implement `process_line` and (de)serialization of their
+// accumulator; this base provides budgeted stepping, consumed-byte tracking
+// and the line-boundary discipline that checkpoints rely on.
+#pragma once
+
+#include <string_view>
+
+#include "common/buffer.h"
+#include "tasks/task.h"
+
+namespace cwc::tasks {
+
+class LineTask : public Task {
+ public:
+  std::size_t step(ByteView input, std::size_t budget) final;
+  std::uint64_t consumed() const final { return consumed_; }
+  Checkpoint checkpoint() const final;
+  void restore(const Checkpoint& cp) final;
+
+ protected:
+  /// Folds one record (without its trailing newline) into the accumulator.
+  virtual void process_line(std::string_view line) = 0;
+  /// Serializes the accumulator state into `w`.
+  virtual void save_state(BufferWriter& w) const = 0;
+  /// Restores the accumulator state from `r`.
+  virtual void load_state(BufferReader& r) = 0;
+
+ private:
+  std::uint64_t consumed_ = 0;
+};
+
+}  // namespace cwc::tasks

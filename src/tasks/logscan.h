@@ -1,0 +1,65 @@
+// Machine-log failure analysis — the paper's third motivating enterprise
+// application ("the IT department can gather machine logs throughout the day
+// and analyze them for certain types of failures at night"). Input:
+// newline-separated syslog-style records. The task tallies lines per
+// severity and counts lines matching a failure pattern. Breakable: tallies
+// from partitions add elementwise.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "tasks/line_task.h"
+
+namespace cwc::tasks {
+
+/// Severities recognized in log records (token after the timestamp).
+enum class Severity : std::size_t { kDebug = 0, kInfo, kWarn, kError, kFatal, kCount };
+
+struct LogScanResult {
+  std::array<std::uint64_t, static_cast<std::size_t>(Severity::kCount)> severity_counts{};
+  std::uint64_t pattern_matches = 0;
+  std::uint64_t total_lines = 0;
+
+  bool operator==(const LogScanResult&) const = default;
+};
+
+class LogScanTask final : public LineTask {
+ public:
+  explicit LogScanTask(std::string pattern);
+
+  const LogScanResult& result() const { return result_; }
+  Bytes partial_result() const override;
+
+ protected:
+  void process_line(std::string_view line) override;
+  void save_state(BufferWriter& w) const override;
+  void load_state(BufferReader& r) override;
+
+ private:
+  std::string pattern_;
+  LogScanResult result_;
+};
+
+class LogScanFactory final : public TaskFactory {
+ public:
+  /// Counts severities and substring matches of `pattern` per line.
+  explicit LogScanFactory(std::string pattern = "disk failure");
+
+  const std::string& name() const override { return name_; }
+  JobKind kind() const override { return JobKind::kBreakable; }
+  Kilobytes executable_kb() const override { return 31.0; }
+  MsPerKb reference_ms_per_kb() const override { return 30.0; }
+  std::unique_ptr<Task> create() const override;
+  Bytes aggregate(const std::vector<Bytes>& partials) const override;
+
+  static LogScanResult decode(const Bytes& result);
+  static Bytes encode(const LogScanResult& result);
+
+ private:
+  std::string pattern_;
+  std::string name_;
+};
+
+}  // namespace cwc::tasks

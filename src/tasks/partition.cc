@@ -1,0 +1,59 @@
+#include "tasks/partition.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace cwc::tasks {
+
+namespace {
+/// Advances `pos` to just past the next '\n' at or after it (or to end).
+std::size_t snap_to_record_boundary(ByteView input, std::size_t pos) {
+  while (pos < input.size() && input[pos] != '\n') ++pos;
+  return pos < input.size() ? pos + 1 : pos;
+}
+}  // namespace
+
+std::vector<Slice> record_aligned_cuts(ByteView input, const std::vector<Kilobytes>& quota_kb) {
+  if (quota_kb.empty()) throw std::invalid_argument("record_aligned_cuts: no quotas");
+  const double total_quota = std::accumulate(quota_kb.begin(), quota_kb.end(), 0.0);
+  if (total_quota <= 0.0) {
+    if (input.empty()) return std::vector<Slice>(quota_kb.size());
+    throw std::invalid_argument("record_aligned_cuts: zero total quota for non-empty input");
+  }
+
+  // The last slice with positive quota absorbs any remainder so the slices
+  // always cover the input exactly; zero-quota slices are empty.
+  std::size_t last_positive = 0;
+  for (std::size_t i = 0; i < quota_kb.size(); ++i) {
+    if (quota_kb[i] > 0.0) last_positive = i;
+  }
+
+  std::vector<Slice> slices(quota_kb.size());
+  std::size_t cursor = 0;
+  double quota_seen = 0.0;
+  for (std::size_t i = 0; i < quota_kb.size(); ++i) {
+    slices[i].offset = cursor;
+    if (quota_kb[i] <= 0.0) continue;  // empty slice at the current cursor
+    quota_seen += quota_kb[i];
+    if (i == last_positive) {
+      slices[i].length = input.size() - cursor;
+      cursor = input.size();
+      continue;
+    }
+    // Ideal cut position proportional to cumulative quota, snapped forward
+    // to the next record boundary so no record straddles two slices.
+    const auto ideal = static_cast<std::size_t>(
+        static_cast<double>(input.size()) * (quota_seen / total_quota));
+    const std::size_t cut = snap_to_record_boundary(input, std::max(ideal, cursor));
+    slices[i].length = cut - cursor;
+    cursor = cut;
+  }
+  return slices;
+}
+
+std::vector<Slice> equal_record_cuts(ByteView input, std::size_t n) {
+  if (n == 0) throw std::invalid_argument("equal_record_cuts: n == 0");
+  return record_aligned_cuts(input, std::vector<Kilobytes>(n, 1.0));
+}
+
+}  // namespace cwc::tasks

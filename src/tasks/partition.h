@@ -1,0 +1,40 @@
+// Input partitioning — the server-side half of CWC's breakable-task model.
+//
+// The scheduler decides *how many KB* of a job each phone gets (l_ij); this
+// module turns those byte quotas into actual input slices. Record-oriented
+// inputs must be cut at record boundaries so no record straddles two phones;
+// `record_aligned_cuts` snaps the scheduler's fractional quotas to newline
+// boundaries. Binary (atomic) inputs are never partitioned.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+#include "tasks/task.h"
+
+namespace cwc::tasks {
+
+/// One contiguous slice of a job input assigned to a phone.
+struct Slice {
+  std::size_t offset = 0;
+  std::size_t length = 0;
+};
+
+/// Splits `input` into slices of approximately `quota_kb[i]` kilobytes each,
+/// snapped forward to the next newline so records stay whole. Quotas are
+/// normalized: the slices always cover the whole input exactly, in order,
+/// and empty quotas produce empty slices. Throws if quotas are all zero
+/// while the input is non-empty.
+std::vector<Slice> record_aligned_cuts(ByteView input, const std::vector<Kilobytes>& quota_kb);
+
+/// Convenience: splits into `n` approximately equal record-aligned slices
+/// (the paper's "equal split" baseline uses this with n = |P|).
+std::vector<Slice> equal_record_cuts(ByteView input, std::size_t n);
+
+/// Materializes a slice as a view into the input.
+inline ByteView slice_view(ByteView input, const Slice& s) {
+  return input.subspan(s.offset, s.length);
+}
+
+}  // namespace cwc::tasks

@@ -1,0 +1,101 @@
+#include "tasks/primes.h"
+
+#include <charconv>
+
+#include "common/strings.h"
+
+namespace cwc::tasks {
+
+namespace {
+
+/// Modular multiplication without overflow via unsigned __int128.
+std::uint64_t mul_mod(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  return static_cast<std::uint64_t>(static_cast<unsigned __int128>(a) * b % m);
+}
+
+std::uint64_t pow_mod(std::uint64_t base, std::uint64_t exp, std::uint64_t m) {
+  std::uint64_t result = 1;
+  base %= m;
+  while (exp > 0) {
+    if (exp & 1) result = mul_mod(result, base, m);
+    base = mul_mod(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+bool miller_rabin_witness(std::uint64_t n, std::uint64_t a, std::uint64_t d, int r) {
+  std::uint64_t x = pow_mod(a, d, n);
+  if (x == 1 || x == n - 1) return false;  // not a witness
+  for (int i = 1; i < r; ++i) {
+    x = mul_mod(x, x, n);
+    if (x == n - 1) return false;
+  }
+  return true;  // composite witness found
+}
+
+}  // namespace
+
+bool is_prime_u64(std::uint64_t n) {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (n == p) return true;
+    if (n % p == 0) return false;
+  }
+  // Write n-1 = d * 2^r with d odd.
+  std::uint64_t d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  // This witness set is deterministic for all n < 2^64 (Sinclair 2011).
+  for (std::uint64_t a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (miller_rabin_witness(n, a, d, r)) return false;
+  }
+  return true;
+}
+
+void PrimeCountTask::process_line(std::string_view line) {
+  for (const auto& token : split_whitespace(line)) {
+    std::uint64_t value = 0;
+    const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec == std::errc() && ptr == token.data() + token.size() && is_prime_u64(value)) {
+      ++count_;
+    }
+  }
+}
+
+Bytes PrimeCountTask::partial_result() const {
+  BufferWriter w;
+  w.write_u64(count_);
+  return w.take();
+}
+
+void PrimeCountTask::save_state(BufferWriter& w) const { w.write_u64(count_); }
+
+void PrimeCountTask::load_state(BufferReader& r) { count_ = r.read_u64(); }
+
+const std::string& PrimeCountFactory::name() const {
+  static const std::string kName = "prime-count";
+  return kName;
+}
+
+std::unique_ptr<Task> PrimeCountFactory::create() const {
+  return std::make_unique<PrimeCountTask>();
+}
+
+Bytes PrimeCountFactory::aggregate(const std::vector<Bytes>& partials) const {
+  std::uint64_t total = 0;
+  for (const auto& partial : partials) total += decode(partial);
+  BufferWriter w;
+  w.write_u64(total);
+  return w.take();
+}
+
+std::uint64_t PrimeCountFactory::decode(const Bytes& result) {
+  BufferReader r(result);
+  return r.read_u64();
+}
+
+}  // namespace cwc::tasks

@@ -1,0 +1,46 @@
+#include "tasks/registry.h"
+
+#include <stdexcept>
+
+#include "tasks/blur.h"
+#include "tasks/logscan.h"
+#include "tasks/primes.h"
+#include "tasks/sales.h"
+#include "tasks/wordcount.h"
+
+namespace cwc::tasks {
+
+void TaskRegistry::install(std::shared_ptr<const TaskFactory> factory) {
+  if (!factory) throw std::invalid_argument("TaskRegistry::install: null factory");
+  factories_[factory->name()] = std::move(factory);
+}
+
+const TaskFactory* TaskRegistry::find(const std::string& name) const {
+  const auto it = factories_.find(name);
+  return it == factories_.end() ? nullptr : it->second.get();
+}
+
+const TaskFactory& TaskRegistry::require(const std::string& name) const {
+  const TaskFactory* factory = find(name);
+  if (!factory) throw std::out_of_range("unknown task program: " + name);
+  return *factory;
+}
+
+std::vector<std::string> TaskRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;
+}
+
+TaskRegistry TaskRegistry::with_builtins() {
+  TaskRegistry registry;
+  registry.install(std::make_shared<PrimeCountFactory>());
+  registry.install(std::make_shared<WordCountFactory>());
+  registry.install(std::make_shared<BlurFactory>());
+  registry.install(std::make_shared<LogScanFactory>());
+  registry.install(std::make_shared<SalesAggregateFactory>());
+  return registry;
+}
+
+}  // namespace cwc::tasks

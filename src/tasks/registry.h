@@ -1,0 +1,42 @@
+// Task registry — the C++ analog of the paper's reflection layer.
+//
+// On Android, CWC ships a .jar and loads it by name with DexClassLoader;
+// here, the wire protocol and the simulator ship a *task name*, and the
+// executing side looks the program up in its registry. A registry with the
+// standard factories pre-installed plays the role of the phone-side CWC
+// service that can run any task the server sends.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tasks/task.h"
+
+namespace cwc::tasks {
+
+class TaskRegistry {
+ public:
+  /// Registers a factory; replaces any previous factory of the same name.
+  void install(std::shared_ptr<const TaskFactory> factory);
+
+  /// Looks a program up by name; nullptr when unknown (the caller decides
+  /// whether that is a protocol error or a reason to fetch the executable).
+  const TaskFactory* find(const std::string& name) const;
+
+  /// Like find(), but throws std::out_of_range with a helpful message.
+  const TaskFactory& require(const std::string& name) const;
+
+  std::vector<std::string> names() const;
+  std::size_t size() const { return factories_.size(); }
+
+  /// A registry with every built-in CWC task installed: prime-count,
+  /// word-count:error, photo-blur, log-scan:"disk failure", sales-aggregate.
+  static TaskRegistry with_builtins();
+
+ private:
+  std::map<std::string, std::shared_ptr<const TaskFactory>> factories_;
+};
+
+}  // namespace cwc::tasks

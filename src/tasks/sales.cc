@@ -1,0 +1,97 @@
+#include "tasks/sales.h"
+
+#include <charconv>
+
+#include "common/strings.h"
+
+namespace cwc::tasks {
+
+std::size_t SalesResult::top_category() const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < revenue.size(); ++i) {
+    if (revenue[i] > revenue[best]) best = i;
+  }
+  return best;
+}
+
+void SalesAggregateTask::process_line(std::string_view line) {
+  line = trim(line);
+  if (line.empty()) return;
+  const auto fields = split(line, ',');
+  if (fields.size() != 3) {
+    ++result_.malformed_records;
+    return;
+  }
+  std::size_t category = kSalesCategories.size();
+  for (std::size_t i = 0; i < kSalesCategories.size(); ++i) {
+    if (fields[1] == kSalesCategories[i]) {
+      category = i;
+      break;
+    }
+  }
+  double amount = 0.0;
+  const auto& amount_str = fields[2];
+  const auto [ptr, ec] = std::from_chars(amount_str.data(), amount_str.data() + amount_str.size(), amount);
+  if (category == kSalesCategories.size() || ec != std::errc() ||
+      ptr != amount_str.data() + amount_str.size() || amount < 0.0) {
+    ++result_.malformed_records;
+    return;
+  }
+  result_.revenue[category] += amount;
+  ++result_.units[category];
+}
+
+Bytes SalesAggregateTask::partial_result() const { return SalesAggregateFactory::encode(result_); }
+
+void SalesAggregateTask::save_state(BufferWriter& w) const {
+  for (double r : result_.revenue) w.write_f64(r);
+  for (std::uint64_t u : result_.units) w.write_u64(u);
+  w.write_u64(result_.malformed_records);
+}
+
+void SalesAggregateTask::load_state(BufferReader& r) {
+  for (double& rev : result_.revenue) rev = r.read_f64();
+  for (std::uint64_t& u : result_.units) u = r.read_u64();
+  result_.malformed_records = r.read_u64();
+}
+
+const std::string& SalesAggregateFactory::name() const {
+  static const std::string kName = "sales-aggregate";
+  return kName;
+}
+
+std::unique_ptr<Task> SalesAggregateFactory::create() const {
+  return std::make_unique<SalesAggregateTask>();
+}
+
+Bytes SalesAggregateFactory::aggregate(const std::vector<Bytes>& partials) const {
+  SalesResult total;
+  for (const auto& partial : partials) {
+    const SalesResult r = decode(partial);
+    for (std::size_t i = 0; i < total.revenue.size(); ++i) {
+      total.revenue[i] += r.revenue[i];
+      total.units[i] += r.units[i];
+    }
+    total.malformed_records += r.malformed_records;
+  }
+  return encode(total);
+}
+
+SalesResult SalesAggregateFactory::decode(const Bytes& result) {
+  BufferReader r(result);
+  SalesResult out;
+  for (double& rev : out.revenue) rev = r.read_f64();
+  for (std::uint64_t& u : out.units) u = r.read_u64();
+  out.malformed_records = r.read_u64();
+  return out;
+}
+
+Bytes SalesAggregateFactory::encode(const SalesResult& result) {
+  BufferWriter w;
+  for (double rev : result.revenue) w.write_f64(rev);
+  for (std::uint64_t u : result.units) w.write_u64(u);
+  w.write_u64(result.malformed_records);
+  return w.take();
+}
+
+}  // namespace cwc::tasks

@@ -1,0 +1,58 @@
+// Sales-record aggregation — the paper's department-store scenario ("a
+// department store gathers the sales records from several locations; these
+// records can be partitioned and shipped to phones to quantify what types
+// of goods are sold the most", motivated by Lowe's). Input: CSV records
+// "store_id,category,amount". The task sums revenue and unit counts per
+// category. Breakable: per-category sums add up across partitions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "tasks/line_task.h"
+
+namespace cwc::tasks {
+
+/// Fixed retail category set (index = category id in generated inputs).
+inline constexpr std::array<std::string_view, 8> kSalesCategories = {
+    "appliances", "tools", "garden", "lumber", "paint", "plumbing", "electrical", "flooring"};
+
+struct SalesResult {
+  std::array<double, kSalesCategories.size()> revenue{};
+  std::array<std::uint64_t, kSalesCategories.size()> units{};
+  std::uint64_t malformed_records = 0;
+
+  bool operator==(const SalesResult&) const = default;
+  /// Index of the highest-revenue category.
+  std::size_t top_category() const;
+};
+
+class SalesAggregateTask final : public LineTask {
+ public:
+  const SalesResult& result() const { return result_; }
+  Bytes partial_result() const override;
+
+ protected:
+  void process_line(std::string_view line) override;
+  void save_state(BufferWriter& w) const override;
+  void load_state(BufferReader& r) override;
+
+ private:
+  SalesResult result_;
+};
+
+class SalesAggregateFactory final : public TaskFactory {
+ public:
+  const std::string& name() const override;
+  JobKind kind() const override { return JobKind::kBreakable; }
+  Kilobytes executable_kb() const override { return 27.0; }
+  MsPerKb reference_ms_per_kb() const override { return 28.0; }
+  std::unique_ptr<Task> create() const override;
+  Bytes aggregate(const std::vector<Bytes>& partials) const override;
+
+  static SalesResult decode(const Bytes& result);
+  static Bytes encode(const SalesResult& result);
+};
+
+}  // namespace cwc::tasks

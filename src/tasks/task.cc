@@ -1,0 +1,48 @@
+#include "tasks/task.h"
+
+#include <stdexcept>
+
+namespace cwc::tasks {
+
+Bytes run_to_completion(const TaskFactory& factory, ByteView input) {
+  auto task = factory.create();
+  std::size_t budget = 64 * 1024;
+  while (!task->done(input)) {
+    const std::size_t consumed = task->step(input, budget);
+    if (consumed == 0 && !task->done(input)) {
+      // Budget smaller than one record; grow until a record fits.
+      budget *= 2;
+      if (budget > input.size() * 2 + 1024) {
+        throw std::runtime_error("task made no progress with maximal budget");
+      }
+    }
+  }
+  return task->partial_result();
+}
+
+Bytes run_with_migrations(const TaskFactory& factory, ByteView input, std::size_t budget,
+                          std::size_t steps_per_migration) {
+  auto task = factory.create();
+  std::size_t steps = 0;
+  std::size_t effective_budget = budget;
+  while (!task->done(input)) {
+    const std::size_t consumed = task->step(input, effective_budget);
+    if (consumed == 0 && !task->done(input)) {
+      effective_budget *= 2;
+      if (effective_budget > input.size() * 2 + 1024) {
+        throw std::runtime_error("task made no progress with maximal budget");
+      }
+      continue;
+    }
+    effective_budget = budget;
+    if (++steps % steps_per_migration == 0 && !task->done(input)) {
+      // Suspend on this "phone", resume on a fresh instance elsewhere.
+      const Checkpoint cp = task->checkpoint();
+      task = factory.create();
+      task->restore(cp);
+    }
+  }
+  return task->partial_result();
+}
+
+}  // namespace cwc::tasks

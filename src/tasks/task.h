@@ -1,0 +1,112 @@
+// The CWC task framework.
+//
+// In the paper, a task is a Java .class shipped to a phone together with an
+// input partition; the phone loads it by reflection, executes it without
+// user interaction, and either returns a partial result or — if the phone is
+// unplugged mid-run — suspends with a migratable execution state (JavaGO's
+// `undock`). This module reproduces those semantics in C++:
+//
+//   - a Task instance executes over one input partition, *incrementally*:
+//     `step()` consumes a bounded number of input bytes, so an executor can
+//     interleave work with throttling sleeps (Section 4.3) and can stop at
+//     any step boundary;
+//   - `checkpoint()` serializes (bytes consumed, intermediate state) into an
+//     opaque blob that `restore()` turns back into a live task on any other
+//     phone — the migration model of Section 5 ("how much of the input was
+//     processed" + "the intermediate result");
+//   - a TaskFactory describes the *program*: its name (the reflection lookup
+//     key), kind (breakable/atomic), executable size E_j, per-KB compute
+//     cost on the reference CPU, instance creation and result aggregation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace cwc::tasks {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+
+/// Serialized suspension point of a task over one input partition.
+/// `bytes_processed` is the prefix of the partition already consumed; the
+/// resuming phone continues from that offset with `state` restored.
+struct Checkpoint {
+  std::uint64_t bytes_processed = 0;
+  Bytes state;
+};
+
+/// One execution of a task program over one input partition.
+///
+/// Contract: repeated `step(input, budget)` calls with the same `input`
+/// advance through the partition; `consumed()` never exceeds input.size();
+/// once `done()`, further steps are no-ops. `checkpoint()`/`restore()` must
+/// round-trip: restoring a checkpoint and finishing must yield exactly the
+/// same partial result as an uninterrupted run (tested as a property).
+class Task {
+ public:
+  virtual ~Task() = default;
+
+  /// Processes up to `budget` further bytes; returns bytes consumed now.
+  /// Implementations consume whole records, so a return of 0 with
+  /// remaining input only happens when budget is smaller than one record;
+  /// executors treat that as "grow the budget".
+  virtual std::size_t step(ByteView input, std::size_t budget) = 0;
+
+  /// Total bytes of the partition consumed so far.
+  virtual std::uint64_t consumed() const = 0;
+
+  bool done(ByteView input) const { return consumed() >= input.size(); }
+
+  /// Suspends: serialize progress for migration to another phone.
+  virtual Checkpoint checkpoint() const = 0;
+
+  /// Resumes from a checkpoint produced by the same task program.
+  virtual void restore(const Checkpoint& cp) = 0;
+
+  /// Serialized partial result over the consumed prefix. After `done()`,
+  /// this is the partition's final partial result shipped to the server.
+  virtual Bytes partial_result() const = 0;
+};
+
+/// Describes a task *program* — the downloadable "executable".
+class TaskFactory {
+ public:
+  virtual ~TaskFactory() = default;
+
+  /// Registry key; the wire protocol ships this name (the reflection
+  /// `loadClass("Task")` analog).
+  virtual const std::string& name() const = 0;
+
+  /// Whether inputs can be partitioned across phones.
+  virtual JobKind kind() const = 0;
+
+  /// E_j — size of the shipped executable in KB (the paper's .jar).
+  virtual Kilobytes executable_kb() const = 0;
+
+  /// c_sj — reference compute cost in ms per KB of input on the slowest
+  /// testbed phone (HTC G2, 806 MHz). Used to seed the scheduler's
+  /// prediction model; refined online from actual run times.
+  virtual MsPerKb reference_ms_per_kb() const = 0;
+
+  /// Creates a fresh execution instance.
+  virtual std::unique_ptr<Task> create() const = 0;
+
+  /// Server-side logical aggregation of per-partition partial results.
+  virtual Bytes aggregate(const std::vector<Bytes>& partials) const = 0;
+};
+
+/// Runs a task to completion over `input` in one go; returns partial result.
+Bytes run_to_completion(const TaskFactory& factory, ByteView input);
+
+/// Runs with the given step budget, checkpointing and restoring through a
+/// *new* instance every `steps_per_migration` steps — a worst-case migration
+/// stress harness used by tests.
+Bytes run_with_migrations(const TaskFactory& factory, ByteView input, std::size_t budget,
+                          std::size_t steps_per_migration);
+
+}  // namespace cwc::tasks

@@ -1,0 +1,50 @@
+// "Counting the number of occurrences of a word in the input file" — the
+// paper's second evaluation task and its canonical breakable example
+// (Section 4's MapReduce-style word count). The target word is a program
+// parameter fixed at factory construction, mirroring how the paper ships a
+// task executable specialized for the query.
+#pragma once
+
+#include <string>
+
+#include "tasks/line_task.h"
+
+namespace cwc::tasks {
+
+class WordCountTask final : public LineTask {
+ public:
+  explicit WordCountTask(std::string target);
+
+  std::uint64_t count() const { return count_; }
+  Bytes partial_result() const override;
+
+ protected:
+  void process_line(std::string_view line) override;
+  void save_state(BufferWriter& w) const override;
+  void load_state(BufferReader& r) override;
+
+ private:
+  std::string target_;  // lower-cased at construction
+  std::uint64_t count_ = 0;
+};
+
+class WordCountFactory final : public TaskFactory {
+ public:
+  /// Counts case-insensitive occurrences of `target` as whole words.
+  explicit WordCountFactory(std::string target = "error");
+
+  const std::string& name() const override { return name_; }
+  JobKind kind() const override { return JobKind::kBreakable; }
+  Kilobytes executable_kb() const override { return 24.0; }
+  MsPerKb reference_ms_per_kb() const override { return 25.0; }
+  std::unique_ptr<Task> create() const override;
+  Bytes aggregate(const std::vector<Bytes>& partials) const override;
+
+  static std::uint64_t decode(const Bytes& result);
+
+ private:
+  std::string target_;
+  std::string name_;
+};
+
+}  // namespace cwc::tasks

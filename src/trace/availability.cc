@@ -1,0 +1,77 @@
+#include "trace/availability.h"
+
+#include <algorithm>
+
+namespace cwc::trace {
+
+std::vector<int> BatchWindowPlan::available_users(double threshold) const {
+  std::vector<int> out;
+  for (const UserAvailability& user : users) {
+    if (user.p_plugged_at_release >= threshold) out.push_back(user.user);
+  }
+  return out;
+}
+
+std::map<PhoneId, double> BatchWindowPlan::risk_map() const {
+  std::map<PhoneId, double> out;
+  for (const UserAvailability& user : users) out[user.user] = user.unplug_risk;
+  return out;
+}
+
+double BatchWindowPlan::expected_capacity_hours() const {
+  double total = 0.0;
+  for (const UserAvailability& user : users) {
+    total += user.p_plugged_at_release * user.expected_hours;
+  }
+  return total;
+}
+
+BatchWindowPlan plan_batch_window(const StudyLog& log, double release_hour,
+                                  double window_hours) {
+  BatchWindowPlan plan;
+  plan.release_hour = release_hour;
+  plan.window_hours = window_hours;
+
+  // For each user and night n, the release instant is absolute hour
+  // 24*n + release_hour. Find the charging interval (if any) covering it.
+  for (int user = 0; user < log.user_count; ++user) {
+    UserAvailability summary;
+    summary.user = user;
+    int plugged_nights = 0;
+    int unplug_in_window = 0;
+    double usable_hours = 0.0;
+
+    for (int night = 0; night < log.days; ++night) {
+      const double release_abs = 24.0 * night + release_hour;
+      const double window_end = release_abs + window_hours;
+      ++summary.nights_observed;
+      for (const ChargingInterval& interval : log.intervals) {
+        if (interval.user != user) continue;
+        const double end = interval.start_h + interval.duration_h;
+        if (interval.start_h <= release_abs && end > release_abs) {
+          ++plugged_nights;
+          if (end < window_end) {
+            ++unplug_in_window;
+            usable_hours += end - release_abs;
+          } else {
+            usable_hours += window_hours;
+          }
+          break;
+        }
+      }
+    }
+
+    if (summary.nights_observed > 0) {
+      summary.p_plugged_at_release =
+          static_cast<double>(plugged_nights) / summary.nights_observed;
+    }
+    if (plugged_nights > 0) {
+      summary.unplug_risk = static_cast<double>(unplug_in_window) / plugged_nights;
+      summary.expected_hours = usable_hours / plugged_nights;
+    }
+    plan.users.push_back(summary);
+  }
+  return plan;
+}
+
+}  // namespace cwc::trace

@@ -1,0 +1,53 @@
+// Availability planning — the bridge from the charging-behaviour study
+// (Figs. 2-3) to scheduling decisions.
+//
+// The paper's observation is that charging behaviour is *consistent*: the
+// same user plugs in around the same time and unplugs around the same time
+// every night. That makes last month's log a usable predictor for tonight:
+// for a batch released at hour H with an expected duration of D hours,
+// each phone's history yields
+//   - P(plugged at H)              — is the phone likely to be available?
+//   - P(unplug in [H, H+D) | plugged at H) — the failure risk the
+//     FailureAwareScheduler consumes;
+//   - expected usable hours        — capacity planning for the batch.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/types.h"
+#include "trace/behavior.h"
+
+namespace cwc::trace {
+
+/// Per-user availability estimate for one batch window.
+struct UserAvailability {
+  int user = 0;
+  double p_plugged_at_release = 0.0;  ///< fraction of nights plugged at H
+  double unplug_risk = 0.0;           ///< P(unplug during window | plugged)
+  double expected_hours = 0.0;        ///< mean usable hours in the window
+  int nights_observed = 0;
+};
+
+/// Plan for a batch released at `release_hour` running `window_hours`.
+struct BatchWindowPlan {
+  double release_hour = 23.5;
+  double window_hours = 6.0;
+  std::vector<UserAvailability> users;
+
+  /// Users likely available at release (probability above `threshold`).
+  std::vector<int> available_users(double threshold = 0.5) const;
+  /// Risk map keyed by user id (== phone id when phones map 1:1 to users),
+  /// for FailureAwareScheduler.
+  std::map<PhoneId, double> risk_map() const;
+  /// Aggregate expected phone-hours of capacity in the window.
+  double expected_capacity_hours() const;
+};
+
+/// Analyzes a study log into a batch-window plan. `release_hour` uses local
+/// wall-clock hours and may exceed 24 (e.g. 25.5 = 1:30 AM); the window may
+/// wrap past midnight.
+BatchWindowPlan plan_batch_window(const StudyLog& log, double release_hour,
+                                  double window_hours);
+
+}  // namespace cwc::trace

@@ -1,0 +1,134 @@
+#include "trace/behavior.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cwc::trace {
+
+UserBehavior UserBehavior::typical(int user_id, Rng& rng) {
+  UserBehavior u;
+  u.user_id = user_id;
+  // Individual habits vary: jitter the population means per user. Plug-in
+  // times sit inside the paper's 10 PM - 5 AM night window so overnight
+  // intervals classify as night, and unplug times land in the 6-9 AM
+  // morning rise of Fig. 3.
+  u.night_plug_hour_mean = rng.truncated_normal(23.3, 0.6, 22.4, 24.8);
+  u.night_plug_hour_sd = rng.uniform(0.5, 0.9);
+  u.night_duration_mean_h = rng.truncated_normal(7.0, 0.9, 5.0, 9.0);
+  u.night_duration_sd_h = rng.uniform(0.9, 1.6);
+  u.night_charge_probability = rng.uniform(0.85, 0.97);
+  u.day_intervals_per_day = rng.uniform(2.0, 3.5);
+  u.day_duration_median_h = rng.uniform(0.35, 0.7);
+  u.shutdown_probability = 0.03;
+  return u;
+}
+
+UserBehavior UserBehavior::regular(int user_id, Rng& rng) {
+  UserBehavior u;
+  u.user_id = user_id;
+  // The paper's users 3, 4 and 8: low variability, 8-9 h nightly charges.
+  u.night_plug_hour_mean = rng.truncated_normal(22.4, 0.15, 22.25, 22.6);
+  u.night_plug_hour_sd = 0.2;
+  u.night_duration_mean_h = rng.uniform(8.2, 8.8);
+  u.night_duration_sd_h = 0.35;
+  u.night_charge_probability = 0.99;
+  u.day_intervals_per_day = rng.uniform(1.5, 2.5);
+  u.day_duration_median_h = rng.uniform(0.35, 0.6);
+  // Consistently light overnight background traffic (~98% of nights idle),
+  // which is what makes these users' idle hours low-variance in Fig. 2(c).
+  u.night_data_mu = -1.2;
+  u.night_data_sigma = 0.9;
+  u.shutdown_probability = 0.02;
+  return u;
+}
+
+std::vector<UserBehavior> UserBehavior::paper_population(Rng& rng, int users) {
+  std::vector<UserBehavior> population;
+  population.reserve(static_cast<std::size_t>(users));
+  for (int id = 0; id < users; ++id) {
+    const bool is_regular = id == 3 || id == 4 || id == 8;
+    population.push_back(is_regular ? UserBehavior::regular(id, rng)
+                                    : UserBehavior::typical(id, rng));
+  }
+  return population;
+}
+
+bool is_night_hour(double h) { return h >= 22.0 || h < 5.0; }
+
+namespace {
+
+/// Background transfer during a day interval: proportional-ish to duration
+/// but bursty (app syncs); usually small.
+double day_interval_data_mb(const UserBehavior&, double duration_h, Rng& rng) {
+  return rng.lognormal(std::log(std::max(0.05, 0.4 * duration_h)), 1.0);
+}
+
+}  // namespace
+
+void generate_user_log(const UserBehavior& user, int days, Rng& rng, StudyLog& out) {
+  double busy_until_h = 0.0;  // guards against overlapping intervals
+  for (int day = 0; day < days; ++day) {
+    const double day_start = 24.0 * day;
+
+    // Short daytime top-ups between 8 AM and 9 PM, in chronological order
+    // so the overlap check below is meaningful.
+    const auto top_ups = rng.poisson(user.day_intervals_per_day);
+    std::vector<double> starts(top_ups);
+    for (auto& s : starts) s = day_start + rng.uniform(8.0, 21.0);
+    std::sort(starts.begin(), starts.end());
+    for (const double start : starts) {
+      const double duration =
+          rng.lognormal(std::log(user.day_duration_median_h), user.day_duration_sigma);
+      if (start < busy_until_h) continue;  // overlaps an earlier interval
+      ChargingInterval interval;
+      interval.user = user.user_id;
+      interval.start_h = start;
+      interval.duration_h = std::clamp(duration, 0.05, 4.0);
+      interval.data_mb = day_interval_data_mb(user, interval.duration_h, rng);
+      interval.ended_by_shutdown = rng.chance(user.shutdown_probability);
+      busy_until_h = interval.start_h + interval.duration_h;
+      if (!interval.ended_by_shutdown) {
+        out.unplugs.push_back({user.user_id, busy_until_h});
+      }
+      out.intervals.push_back(interval);
+    }
+
+    // The overnight charge.
+    if (!rng.chance(user.night_charge_probability)) continue;
+    const double plug_hour =
+        rng.truncated_normal(user.night_plug_hour_mean, user.night_plug_hour_sd, 22.05, 26.5);
+    const double start = day_start + plug_hour;
+    if (start < busy_until_h) continue;
+    ChargingInterval interval;
+    interval.user = user.user_id;
+    interval.start_h = start;
+    interval.duration_h = rng.truncated_normal(user.night_duration_mean_h,
+                                               user.night_duration_sd_h, 2.0, 11.0);
+    interval.data_mb = rng.lognormal(user.night_data_mu, user.night_data_sigma);
+    interval.ended_by_shutdown = rng.chance(user.shutdown_probability);
+    busy_until_h = interval.start_h + interval.duration_h;
+    if (!interval.ended_by_shutdown) {
+      out.unplugs.push_back({user.user_id, busy_until_h});
+    }
+    out.intervals.push_back(interval);
+  }
+}
+
+StudyLog generate_study(Rng& rng, int users, int days) {
+  StudyLog log;
+  log.user_count = users;
+  log.days = days;
+  for (const UserBehavior& user : UserBehavior::paper_population(rng, users)) {
+    Rng user_rng = rng.fork();
+    generate_user_log(user, days, user_rng, log);
+  }
+  std::sort(log.intervals.begin(), log.intervals.end(),
+            [](const ChargingInterval& a, const ChargingInterval& b) {
+              return a.start_h < b.start_h;
+            });
+  std::sort(log.unplugs.begin(), log.unplugs.end(),
+            [](const UnplugEvent& a, const UnplugEvent& b) { return a.time_h < b.time_h; });
+  return log;
+}
+
+}  // namespace cwc::trace

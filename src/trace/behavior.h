@@ -1,0 +1,89 @@
+// Charging-behaviour study (Section 3.1 of the paper).
+//
+// The paper instruments 15 volunteers' phones with an app that logs state
+// transitions (plugged / unplugged / shutdown) with local-time timestamps,
+// plus the bytes transferred during each plugged interval. We cannot rerun
+// that user study, so this module provides a *generative model* of per-user
+// charging behaviour calibrated to every statistic the paper reports:
+//
+//   - median night charging interval ~7 h; median day interval ~30 min;
+//   - fewer (but much longer) charging intervals at night than by day;
+//   - background transfer below 2 MB in ~80% of night intervals;
+//   - >= 3 h of idle night charging per user on average, with "regular"
+//     users (the paper's users 3, 4, 8) consistently charging 8-9 h;
+//   - ~3% of log records in the shutdown state;
+//   - unplug ("failure") likelihood lowest between 12 AM and 6 AM, rising
+//     steeply 6-9 AM as people wake up.
+//
+// The generator emits the same raw material the paper's server parsed —
+// charging intervals and unplug events over a multi-day study — and
+// stats.h computes the Fig. 2 / Fig. 3 series from it.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace cwc::trace {
+
+/// Per-user behavioural parameters (all times in local hours).
+struct UserBehavior {
+  int user_id = 0;
+  double night_plug_hour_mean = 22.5;   ///< typical evening plug-in time
+  double night_plug_hour_sd = 0.8;
+  double night_duration_mean_h = 7.2;   ///< hours on the charger overnight
+  double night_duration_sd_h = 1.2;
+  double night_charge_probability = 0.92;  ///< some nights are skipped
+  double day_intervals_per_day = 2.2;   ///< Poisson mean of short top-ups
+  double day_duration_median_h = 0.5;   ///< lognormal median of day intervals
+  double day_duration_sigma = 0.7;
+  double night_data_mu = -0.32;         ///< lognormal (MB): ~80% below 2 MB
+  double night_data_sigma = 1.2;
+  double shutdown_probability = 0.03;   ///< interval ends in shutdown
+
+  /// The paper's user population: most users are "typical", while users
+  /// 3, 4 and 8 are "regular" (low variability, 8-9 h nightly charges).
+  static UserBehavior typical(int user_id, Rng& rng);
+  static UserBehavior regular(int user_id, Rng& rng);
+  /// Builds the 15-user population with users 3, 4, 8 regular.
+  static std::vector<UserBehavior> paper_population(Rng& rng, int users = 15);
+};
+
+/// One plugged interval from the parsed study log.
+struct ChargingInterval {
+  int user = 0;
+  double start_h = 0.0;     ///< hours since study start (local time)
+  double duration_h = 0.0;
+  double data_mb = 0.0;     ///< bytes transferred while plugged
+  bool ended_by_shutdown = false;
+};
+
+/// One plugged -> unplugged transition (a "failure" for CWC scheduling).
+struct UnplugEvent {
+  int user = 0;
+  double time_h = 0.0;  ///< hours since study start
+};
+
+/// A complete study log over `days` days for `user_count` users.
+struct StudyLog {
+  std::vector<ChargingInterval> intervals;
+  std::vector<UnplugEvent> unplugs;
+  int user_count = 0;
+  int days = 0;
+};
+
+/// Night window: the paper classifies an interval as "night" when the
+/// plugged state occurs between 10 PM and 5 AM local time.
+bool is_night_hour(double hour_of_day);
+inline double hour_of_day(double absolute_h) {
+  const double h = absolute_h - 24.0 * static_cast<long long>(absolute_h / 24.0);
+  return h < 0.0 ? h + 24.0 : h;
+}
+
+/// Simulates `days` days of charging behaviour for one user.
+void generate_user_log(const UserBehavior& user, int days, Rng& rng, StudyLog& out);
+
+/// Simulates the full study (the paper's 15 volunteers).
+StudyLog generate_study(Rng& rng, int users = 15, int days = 60);
+
+}  // namespace cwc::trace

@@ -1,0 +1,82 @@
+#include "trace/logfile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/strings.h"
+
+namespace cwc::trace {
+
+std::string to_csv(const StudyLog& log) {
+  std::ostringstream out;
+  out << "# CWC charging log: user,start_h,duration_h,data_mb,shutdown\n";
+  for (const ChargingInterval& interval : log.intervals) {
+    out << interval.user << ',' << format("%.4f", interval.start_h) << ','
+        << format("%.4f", interval.duration_h) << ',' << format("%.4f", interval.data_mb) << ','
+        << (interval.ended_by_shutdown ? 1 : 0) << '\n';
+  }
+  return out.str();
+}
+
+StudyLog from_csv(const std::string& text) {
+  StudyLog log;
+  int line_number = 0;
+  for (const std::string& raw : split(text, '\n')) {
+    ++line_number;
+    const std::string_view line = trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    const auto fields = split(line, ',');
+    if (fields.size() != 5) {
+      throw std::runtime_error("charging log line " + std::to_string(line_number) +
+                               ": expected 5 fields, got " + std::to_string(fields.size()));
+    }
+    try {
+      ChargingInterval interval;
+      interval.user = std::stoi(fields[0]);
+      interval.start_h = std::stod(fields[1]);
+      interval.duration_h = std::stod(fields[2]);
+      interval.data_mb = std::stod(fields[3]);
+      interval.ended_by_shutdown = std::stoi(fields[4]) != 0;
+      if (interval.user < 0 || interval.start_h < 0.0 || interval.duration_h <= 0.0 ||
+          interval.data_mb < 0.0) {
+        throw std::invalid_argument("negative field");
+      }
+      if (!interval.ended_by_shutdown) {
+        log.unplugs.push_back({interval.user, interval.start_h + interval.duration_h});
+      }
+      log.user_count = std::max(log.user_count, interval.user + 1);
+      log.days = std::max(log.days, static_cast<int>(
+                                        std::ceil((interval.start_h + interval.duration_h) / 24.0)));
+      log.intervals.push_back(interval);
+    } catch (const std::exception&) {
+      throw std::runtime_error("charging log line " + std::to_string(line_number) +
+                               ": malformed values: " + std::string(line));
+    }
+  }
+  std::sort(log.intervals.begin(), log.intervals.end(),
+            [](const ChargingInterval& a, const ChargingInterval& b) {
+              return a.start_h < b.start_h;
+            });
+  std::sort(log.unplugs.begin(), log.unplugs.end(),
+            [](const UnplugEvent& a, const UnplugEvent& b) { return a.time_h < b.time_h; });
+  return log;
+}
+
+void save_csv(const StudyLog& log, const std::string& path) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) throw std::runtime_error("save_csv: cannot write " + path);
+  file << to_csv(log);
+}
+
+StudyLog load_csv(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("load_csv: cannot read " + path);
+  std::string contents((std::istreambuf_iterator<char>(file)),
+                       std::istreambuf_iterator<char>());
+  return from_csv(contents);
+}
+
+}  // namespace cwc::trace

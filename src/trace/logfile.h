@@ -1,0 +1,30 @@
+// StudyLog file interchange — load and save charging logs as CSV, so the
+// analyses (Fig. 2/3, the window planner) run on *real* charging logs
+// collected by an actual profiling app, not only on the generative model.
+//
+// Format (one charging interval per line, '#' comments and blanks ignored):
+//   user,start_h,duration_h,data_mb,shutdown
+// where start_h is hours since the study began (local time), shutdown is
+// 0/1 for whether the interval ended in the shutdown state. Unplug events
+// are derived (every non-shutdown interval ends with an unplug), exactly
+// as the paper's server derives them from state-transition logs.
+#pragma once
+
+#include <string>
+
+#include "trace/behavior.h"
+
+namespace cwc::trace {
+
+/// Serializes a log to CSV text.
+std::string to_csv(const StudyLog& log);
+
+/// Parses CSV text; throws std::runtime_error with a line number on
+/// malformed input. user_count/days are inferred from the data.
+StudyLog from_csv(const std::string& text);
+
+/// File convenience wrappers; throw std::runtime_error on I/O failure.
+void save_csv(const StudyLog& log, const std::string& path);
+StudyLog load_csv(const std::string& path);
+
+}  // namespace cwc::trace

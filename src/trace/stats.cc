@@ -1,0 +1,97 @@
+#include "trace/stats.h"
+
+#include <array>
+#include <map>
+
+namespace cwc::trace {
+
+ChargingStats::ChargingStats(const StudyLog& log) : log_(log) {
+  for (const ChargingInterval& interval : log.intervals) {
+    const bool night = is_night_hour(hour_of_day(interval.start_h));
+    (night ? night_hours_ : day_hours_).push_back(interval.duration_h);
+    if (night) night_data_.push_back(interval.data_mb);
+  }
+}
+
+Cdf ChargingStats::night_interval_hours() const { return Cdf(night_hours_); }
+
+Cdf ChargingStats::day_interval_hours() const { return Cdf(day_hours_); }
+
+Cdf ChargingStats::night_data_mb() const { return Cdf(night_data_); }
+
+std::vector<UserIdleSummary> ChargingStats::idle_night_hours(double threshold_mb) const {
+  // Accumulate idle night hours per (user, day), then summarize per user.
+  std::map<std::pair<int, int>, double> per_user_day;
+  for (const ChargingInterval& interval : log_.intervals) {
+    if (!is_night_hour(hour_of_day(interval.start_h))) continue;
+    if (interval.data_mb >= threshold_mb) continue;
+    // Attribute the interval to the night it starts on: a 23:30 start and
+    // a 01:00 start both belong to the same sleeping period.
+    const double h = hour_of_day(interval.start_h);
+    const int night_index =
+        static_cast<int>(interval.start_h / 24.0) - (h < 5.0 ? 1 : 0);
+    per_user_day[{interval.user, night_index}] += interval.duration_h;
+  }
+
+  std::vector<OnlineStats> stats(static_cast<std::size_t>(log_.user_count));
+  std::vector<int> nights_counted(static_cast<std::size_t>(log_.user_count), 0);
+  for (const auto& [key, hours] : per_user_day) {
+    stats[static_cast<std::size_t>(key.first)].add(hours);
+    ++nights_counted[static_cast<std::size_t>(key.first)];
+  }
+  std::vector<UserIdleSummary> out;
+  out.reserve(stats.size());
+  for (int user = 0; user < log_.user_count; ++user) {
+    auto& s = stats[static_cast<std::size_t>(user)];
+    // Nights with no idle charging at all count as zero hours.
+    for (int i = nights_counted[static_cast<std::size_t>(user)]; i < log_.days; ++i) s.add(0.0);
+    out.push_back({user, s.mean(), s.stddev()});
+  }
+  return out;
+}
+
+std::vector<double> ChargingStats::unplug_hour_cdf() const {
+  std::array<std::size_t, 24> counts{};
+  for (const UnplugEvent& event : log_.unplugs) {
+    const auto h = static_cast<std::size_t>(hour_of_day(event.time_h));
+    ++counts[std::min<std::size_t>(h, 23)];
+  }
+  std::vector<double> cdf(24, 0.0);
+  const double total = static_cast<double>(log_.unplugs.size());
+  double cumulative = 0.0;
+  for (std::size_t h = 0; h < 24; ++h) {
+    cumulative += static_cast<double>(counts[h]);
+    cdf[h] = total > 0.0 ? cumulative / total : 0.0;
+  }
+  return cdf;
+}
+
+std::vector<double> ChargingStats::unplug_likelihood_by_hour(int user) const {
+  // days x 24 occupancy grid of unplug events for this user.
+  std::vector<std::array<bool, 24>> grid(static_cast<std::size_t>(log_.days));
+  for (const UnplugEvent& event : log_.unplugs) {
+    if (event.user != user) continue;
+    const auto day = static_cast<std::size_t>(event.time_h / 24.0);
+    if (day >= grid.size()) continue;
+    const auto h = static_cast<std::size_t>(hour_of_day(event.time_h));
+    grid[day][std::min<std::size_t>(h, 23)] = true;
+  }
+  std::vector<double> likelihood(24, 0.0);
+  for (std::size_t h = 0; h < 24; ++h) {
+    std::size_t days_with_unplug = 0;
+    for (const auto& day : grid) days_with_unplug += day[h] ? 1 : 0;
+    likelihood[h] = log_.days > 0 ? static_cast<double>(days_with_unplug) / log_.days : 0.0;
+  }
+  return likelihood;
+}
+
+double ChargingStats::shutdown_fraction() const {
+  if (log_.intervals.empty()) return 0.0;
+  std::size_t shutdowns = 0;
+  for (const ChargingInterval& interval : log_.intervals) {
+    shutdowns += interval.ended_by_shutdown ? 1 : 0;
+  }
+  return static_cast<double>(shutdowns) / static_cast<double>(log_.intervals.size());
+}
+
+}  // namespace cwc::trace

@@ -1,0 +1,58 @@
+// Analyses over a charging StudyLog — the exact series plotted in the
+// paper's Fig. 2 (charging intervals, night data transfer, idle hours) and
+// Fig. 3 (unplug likelihood by hour of day).
+#pragma once
+
+#include <vector>
+
+#include "common/stats.h"
+#include "trace/behavior.h"
+
+namespace cwc::trace {
+
+/// Mean and standard deviation of idle night charging hours for one user
+/// (Fig. 2(c)'s error-bar series).
+struct UserIdleSummary {
+  int user = 0;
+  double mean_hours = 0.0;
+  double sd_hours = 0.0;
+};
+
+class ChargingStats {
+ public:
+  explicit ChargingStats(const StudyLog& log);
+
+  /// Fig. 2(a): CDF of charging interval durations (hours), split by the
+  /// paper's day/night rule (night = plugged between 10 PM and 5 AM).
+  Cdf night_interval_hours() const;
+  Cdf day_interval_hours() const;
+  std::size_t night_interval_count() const { return night_hours_.size(); }
+  std::size_t day_interval_count() const { return day_hours_.size(); }
+
+  /// Fig. 2(b): CDF of MB transferred during night charging intervals.
+  Cdf night_data_mb() const;
+
+  /// Fig. 2(c): per-user mean +/- sd of idle night charging hours per day.
+  /// An interval counts as idle when its transfer is below `threshold_mb`
+  /// (the paper uses 2 MB).
+  std::vector<UserIdleSummary> idle_night_hours(double threshold_mb = 2.0) const;
+
+  /// Fig. 3(a): CDF over hour-of-day of all unplug ("failure") events.
+  /// Returned as 24 cumulative fractions, F[h] = P(unplug hour <= h).
+  std::vector<double> unplug_hour_cdf() const;
+
+  /// Fig. 3(b)/(c): one user's unplug likelihood per hour of day —
+  /// the fraction of study days with at least one unplug in that hour.
+  std::vector<double> unplug_likelihood_by_hour(int user) const;
+
+  /// The paper reports only ~3% of log records in the shutdown state.
+  double shutdown_fraction() const;
+
+ private:
+  const StudyLog& log_;
+  std::vector<double> night_hours_;
+  std::vector<double> day_hours_;
+  std::vector<double> night_data_;
+};
+
+}  // namespace cwc::trace

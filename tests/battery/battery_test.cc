@@ -1,0 +1,121 @@
+#include "battery/battery.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cwc::battery {
+namespace {
+
+TEST(PowerProfile, SensationIdleChargeIs100Minutes) {
+  const PowerProfile p = PowerProfile::htc_sensation();
+  EXPECT_NEAR(to_minutes(p.idle_full_charge_time()), 100.0, 0.5);
+}
+
+TEST(PowerProfile, G2IdleChargeIs90Minutes) {
+  const PowerProfile p = PowerProfile::htc_g2();
+  EXPECT_NEAR(to_minutes(p.idle_full_charge_time()), 90.0, 0.5);
+}
+
+TEST(PowerProfile, UsbHalvesSupply) {
+  const PowerProfile p = PowerProfile::htc_sensation();
+  EXPECT_DOUBLE_EQ(p.on_usb().charger_watts, p.charger_watts / 2.0);
+}
+
+TEST(PowerProfile, DeratingOnlyAboveThreshold) {
+  const PowerProfile p = PowerProfile::htc_sensation();
+  EXPECT_GT(p.charge_watts(1.0, p.derate_threshold_c - 1.0),
+            p.charge_watts(1.0, p.derate_threshold_c + 1.0));
+  EXPECT_DOUBLE_EQ(p.charge_watts(0.0, p.ambient_c), p.max_charge_watts);
+}
+
+TEST(BatteryModel, IdleChargingIsLinear) {
+  // The paper: "the residual battery percentage exhibits a predictable
+  // linear change with respect to time" with no load.
+  BatteryModel battery(PowerProfile::htc_sensation(), 0.0);
+  std::vector<double> deltas;
+  double last = battery.exact_percent();
+  for (int i = 0; i < 60; ++i) {
+    battery.advance(minutes(1), 0.0);
+    deltas.push_back(battery.exact_percent() - last);
+    last = battery.exact_percent();
+  }
+  for (double d : deltas) EXPECT_NEAR(d, deltas.front(), 1e-9);
+}
+
+TEST(BatteryModel, FullBatteryStopsChanging) {
+  BatteryModel battery(PowerProfile::htc_sensation(), 100.0);
+  battery.advance(minutes(10), 1.0);
+  EXPECT_DOUBLE_EQ(battery.exact_percent(), 100.0);
+  EXPECT_TRUE(battery.full());
+}
+
+TEST(BatteryModel, ReportedPercentTruncates) {
+  BatteryModel battery(PowerProfile::htc_sensation(), 41.9);
+  EXPECT_EQ(battery.reported_percent(), 41);
+}
+
+TEST(BatteryModel, TemperatureApproachesEquilibrium) {
+  const PowerProfile p = PowerProfile::htc_sensation();
+  BatteryModel battery(p, 0.0);
+  for (int i = 0; i < 1200; ++i) battery.advance(seconds(1), 1.0);  // 20 min at full load
+  EXPECT_NEAR(battery.temperature_c(), p.ambient_c + p.delta_t_max_c, 0.1);
+  for (int i = 0; i < 1200; ++i) battery.advance(seconds(1), 0.0);
+  EXPECT_NEAR(battery.temperature_c(), p.ambient_c, 0.1);
+}
+
+TEST(BatteryModel, RejectsNegativeTime) {
+  BatteryModel battery(PowerProfile::htc_sensation(), 0.0);
+  EXPECT_THROW(battery.advance(-1.0, 0.0), std::invalid_argument);
+}
+
+TEST(BatteryModel, RejectsBadProfile) {
+  PowerProfile bad = PowerProfile::htc_sensation();
+  bad.capacity_joules = 0.0;
+  EXPECT_THROW(BatteryModel(bad, 0.0), std::invalid_argument);
+  PowerProfile bad_tau = PowerProfile::htc_sensation();
+  bad_tau.thermal_tau_s = 0.0;
+  EXPECT_THROW(BatteryModel(bad_tau, 0.0), std::invalid_argument);
+}
+
+TEST(ChargeRun, SensationHeavyLoadAdds35Percent) {
+  // The headline Fig. 10 numbers: ~100 min idle vs ~135 min at full load.
+  const PowerProfile p = PowerProfile::htc_sensation();
+  const ChargeRun idle = charge_at_constant_load(p, 0.0, 0.0);
+  const ChargeRun heavy = charge_at_constant_load(p, 0.0, 1.0);
+  ASSERT_TRUE(idle.reached_full);
+  ASSERT_TRUE(heavy.reached_full);
+  EXPECT_NEAR(to_minutes(idle.charge_time), 100.0, 2.0);
+  EXPECT_NEAR(to_minutes(heavy.charge_time), 135.0, 3.0);
+  EXPECT_NEAR(to_minutes(heavy.charge_time) / to_minutes(idle.charge_time), 1.35, 0.03);
+}
+
+TEST(ChargeRun, G2HeavyLoadHasNoSignificantEffect) {
+  const PowerProfile p = PowerProfile::htc_g2();
+  const ChargeRun idle = charge_at_constant_load(p, 0.0, 0.0);
+  const ChargeRun heavy = charge_at_constant_load(p, 0.0, 1.0);
+  ASSERT_TRUE(idle.reached_full);
+  ASSERT_TRUE(heavy.reached_full);
+  EXPECT_LT(to_minutes(heavy.charge_time) / to_minutes(idle.charge_time), 1.03);
+}
+
+TEST(ChargeRun, TraceIsMonotone) {
+  const ChargeRun run = charge_at_constant_load(PowerProfile::htc_sensation(), 20.0, 0.5);
+  ASSERT_GT(run.trace.size(), 2u);
+  for (std::size_t i = 1; i < run.trace.size(); ++i) {
+    EXPECT_GT(run.trace[i].time, run.trace[i - 1].time);
+    EXPECT_GT(run.trace[i].percent, run.trace[i - 1].percent);
+  }
+  EXPECT_EQ(run.trace.back().percent, 100);
+}
+
+TEST(ChargeRun, MaxTimeBoundsHopelessScenario) {
+  PowerProfile weak = PowerProfile::htc_sensation().on_usb();
+  weak.charger_watts = 0.3;  // below idle draw: can never charge
+  const ChargeRun run = charge_at_constant_load(weak, 10.0, 1.0, hours(1));
+  EXPECT_FALSE(run.reached_full);
+  EXPECT_NEAR(to_hours(run.charge_time), 1.0, 0.01);
+}
+
+}  // namespace
+}  // namespace cwc::battery

@@ -1,0 +1,104 @@
+#include "battery/throttler.h"
+
+#include <gtest/gtest.h>
+
+#include "battery/battery.h"
+
+namespace cwc::battery {
+namespace {
+
+TEST(SimulatedChargeEnvironment, TracksComputeTimeAndTrace) {
+  SimulatedChargeEnvironment env(BatteryModel(PowerProfile::htc_sensation(), 50.0));
+  env.run_task(seconds(30));
+  env.idle(seconds(30));
+  EXPECT_DOUBLE_EQ(env.compute_time(), seconds(30));
+  EXPECT_DOUBLE_EQ(env.now(), seconds(60));
+  EXPECT_EQ(env.battery_percent(), env.model().reported_percent());
+}
+
+TEST(MimdThrottler, PreservesChargingProfileOnSensation) {
+  // The Fig. 10 headline: with MIMD throttling, the charge time is almost
+  // the ideal (no-task) time, instead of +35%.
+  const PowerProfile profile = PowerProfile::htc_sensation();
+  const Millis ideal = charge_at_constant_load(profile, 0.0, 0.0).charge_time;
+
+  SimulatedChargeEnvironment env(BatteryModel(profile, 0.0));
+  const ThrottleReport report = run_mimd_throttler(env);
+  ASSERT_TRUE(report.completed);
+  EXPECT_LT(report.elapsed, ideal * 1.10);  // within 10% of ideal
+  EXPECT_GT(report.compute_time, 0.0);
+}
+
+TEST(MimdThrottler, DeliversSubstantialComputeTime) {
+  // The paper reports the adaptive approach costs ~24.5% extra computation
+  // time vs continuous execution; i.e. the duty cycle stays high. Require
+  // at least ~55% of wall time busy (continuous would be 100%).
+  const PowerProfile profile = PowerProfile::htc_sensation();
+  SimulatedChargeEnvironment env(BatteryModel(profile, 0.0));
+  const ThrottleReport report = run_mimd_throttler(env);
+  ASSERT_TRUE(report.completed);
+  EXPECT_GT(report.compute_time / report.elapsed, 0.55);
+}
+
+TEST(MimdThrottler, AdaptsInBothDirections) {
+  const PowerProfile profile = PowerProfile::htc_sensation();
+  SimulatedChargeEnvironment env(BatteryModel(profile, 0.0));
+  const ThrottleReport report = run_mimd_throttler(env);
+  // On the Sensation the equilibrium hunts around the thermal threshold,
+  // so both MI and MD steps must occur.
+  EXPECT_GT(report.mimd_increases, 0u);
+  EXPECT_GT(report.mimd_decreases, 0u);
+}
+
+TEST(MimdThrottler, RefreshesDeltaEvery5Percent) {
+  const PowerProfile profile = PowerProfile::htc_sensation();
+  SimulatedChargeEnvironment env(BatteryModel(profile, 0.0));
+  const ThrottleReport report = run_mimd_throttler(env);
+  // 100% of charge at one refresh per 5% -> on the order of 20 refreshes.
+  EXPECT_GE(report.delta_refreshes, 10u);
+  EXPECT_LE(report.delta_refreshes, 30u);
+}
+
+TEST(MimdThrottler, G2RunsNearlyContinuously) {
+  // No thermal penalty on the G2: beta == delta always, so MD dominates
+  // and the duty cycle climbs toward continuous execution.
+  const PowerProfile profile = PowerProfile::htc_g2();
+  const Millis ideal = charge_at_constant_load(profile, 0.0, 0.0).charge_time;
+  SimulatedChargeEnvironment env(BatteryModel(profile, 0.0));
+  const ThrottleReport report = run_mimd_throttler(env);
+  ASSERT_TRUE(report.completed);
+  EXPECT_LT(report.elapsed, ideal * 1.06);
+  EXPECT_GT(report.compute_time / report.elapsed, 0.70);
+  EXPECT_EQ(report.mimd_increases, 0u);
+}
+
+TEST(MimdThrottler, AlreadyFullBatteryReturnsImmediately) {
+  SimulatedChargeEnvironment env(BatteryModel(PowerProfile::htc_sensation(), 100.0));
+  const ThrottleReport report = run_mimd_throttler(env);
+  EXPECT_TRUE(report.completed);
+  EXPECT_DOUBLE_EQ(report.compute_time, 0.0);
+}
+
+TEST(MimdThrottler, GivesUpWhenChargingStalls) {
+  PowerProfile broken = PowerProfile::htc_sensation();
+  broken.charger_watts = 0.3;  // below idle draw: +1% never happens
+  SimulatedChargeEnvironment env(BatteryModel(broken, 50.0));
+  ThrottlerConfig config;
+  config.measurement_timeout = minutes(2);
+  const ThrottleReport report = run_mimd_throttler(env, config);
+  EXPECT_FALSE(report.completed);
+  EXPECT_GE(report.elapsed, minutes(2));
+  EXPECT_LT(report.elapsed, minutes(10));
+}
+
+TEST(MimdThrottler, StartsFromPartialCharge) {
+  const PowerProfile profile = PowerProfile::htc_sensation();
+  SimulatedChargeEnvironment env(BatteryModel(profile, 80.0));
+  const ThrottleReport report = run_mimd_throttler(env);
+  ASSERT_TRUE(report.completed);
+  // 20% remaining at ~60 s/percent ideal -> ~20 minutes.
+  EXPECT_LT(to_minutes(report.elapsed), 26.0);
+}
+
+}  // namespace
+}  // namespace cwc::battery

@@ -1,0 +1,101 @@
+#include "common/buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace cwc {
+namespace {
+
+TEST(Buffer, RoundTripsScalars) {
+  BufferWriter w;
+  w.write_u8(0xAB);
+  w.write_u16(0xBEEF);
+  w.write_u32(0xDEADBEEF);
+  w.write_u64(0x0123456789ABCDEFULL);
+  w.write_i32(-42);
+  w.write_i64(-1234567890123LL);
+  w.write_f64(3.14159);
+
+  BufferReader r(w.data());
+  EXPECT_EQ(r.read_u8(), 0xAB);
+  EXPECT_EQ(r.read_u16(), 0xBEEF);
+  EXPECT_EQ(r.read_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.read_u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.read_i32(), -42);
+  EXPECT_EQ(r.read_i64(), -1234567890123LL);
+  EXPECT_DOUBLE_EQ(r.read_f64(), 3.14159);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Buffer, RoundTripsSpecialDoubles) {
+  BufferWriter w;
+  w.write_f64(std::numeric_limits<double>::infinity());
+  w.write_f64(-0.0);
+  w.write_f64(std::numeric_limits<double>::quiet_NaN());
+  BufferReader r(w.data());
+  EXPECT_TRUE(std::isinf(r.read_f64()));
+  EXPECT_EQ(std::signbit(r.read_f64()), true);
+  EXPECT_TRUE(std::isnan(r.read_f64()));
+}
+
+TEST(Buffer, RoundTripsStringsAndBytes) {
+  BufferWriter w;
+  w.write_string("hello world");
+  w.write_string("");
+  const std::vector<std::uint8_t> blob = {0, 1, 2, 255, 254};
+  w.write_bytes(blob);
+
+  BufferReader r(w.data());
+  EXPECT_EQ(r.read_string(), "hello world");
+  EXPECT_EQ(r.read_string(), "");
+  EXPECT_EQ(r.read_bytes(), blob);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Buffer, StringWithEmbeddedNul) {
+  BufferWriter w;
+  const std::string s("a\0b", 3);
+  w.write_string(s);
+  BufferReader r(w.data());
+  EXPECT_EQ(r.read_string(), s);
+}
+
+TEST(Buffer, UnderflowThrows) {
+  BufferWriter w;
+  w.write_u16(7);
+  BufferReader r(w.data());
+  EXPECT_EQ(r.read_u16(), 7);
+  EXPECT_THROW(r.read_u8(), BufferUnderflow);
+}
+
+TEST(Buffer, TruncatedLengthPrefixThrows) {
+  BufferWriter w;
+  w.write_u32(1000);  // claims 1000 bytes follow; none do
+  BufferReader r(w.data());
+  EXPECT_THROW(r.read_string(), BufferUnderflow);
+}
+
+TEST(Buffer, RemainingTracksOffset) {
+  BufferWriter w;
+  w.write_u32(1);
+  w.write_u32(2);
+  BufferReader r(w.data());
+  EXPECT_EQ(r.remaining(), 8u);
+  r.read_u32();
+  EXPECT_EQ(r.remaining(), 4u);
+  r.read_u32();
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Buffer, TakeMovesStorage) {
+  BufferWriter w;
+  w.write_u8(1);
+  auto data = w.take();
+  EXPECT_EQ(data.size(), 1u);
+  EXPECT_EQ(w.size(), 0u);
+}
+
+}  // namespace
+}  // namespace cwc

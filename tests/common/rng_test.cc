@@ -1,0 +1,186 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace cwc {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(7);
+  Rng child = a.fork();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next_u64() == child.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(4);
+  double lo = 1e9, hi = -1e9;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform(-5.0, 3.0);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+    ASSERT_GE(u, -5.0);
+    ASSERT_LT(u, 3.0);
+  }
+  // Covers most of the range.
+  EXPECT_LT(lo, -4.9);
+  EXPECT_GT(hi, 2.9);
+}
+
+TEST(Rng, UniformIntIsInclusiveAndCoversRange) {
+  Rng rng(5);
+  std::vector<int> counts(6, 0);
+  for (int i = 0; i < 60000; ++i) {
+    const auto v = rng.uniform_int(0, 5);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 5);
+    ++counts[static_cast<std::size_t>(v)];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 10000, 600);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(17, 17), 17);
+}
+
+TEST(Rng, UniformIntThrowsOnInvertedBounds) {
+  Rng rng(6);
+  EXPECT_THROW(rng.uniform_int(2, 1), std::invalid_argument);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(8);
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Rng, TruncatedNormalStaysInBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.truncated_normal(0.0, 5.0, -1.0, 1.0);
+    ASSERT_GE(x, -1.0);
+    ASSERT_LE(x, 1.0);
+  }
+}
+
+TEST(Rng, TruncatedNormalPathologicalBoundsClamps) {
+  Rng rng(10);
+  // Mean far outside [lo, hi]: rejection cannot succeed quickly, must clamp.
+  const double x = rng.truncated_normal(100.0, 0.001, 0.0, 1.0);
+  EXPECT_GE(x, 0.0);
+  EXPECT_LE(x, 1.0);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(Rng, PoissonMeanMatchesSmall) {
+  Rng rng(12);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(2.5));
+  EXPECT_NEAR(sum / n, 2.5, 0.05);
+}
+
+TEST(Rng, PoissonMeanMatchesLargeNormalApprox) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(200.0));
+  EXPECT_NEAR(sum / n, 200.0, 1.0);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(14);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, ChanceProbability) {
+  Rng rng(15);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+  Rng rng(16);
+  std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(Rng, WeightedIndexThrowsOnAllZero) {
+  Rng rng(17);
+  std::vector<double> weights = {0.0, 0.0};
+  EXPECT_THROW(rng.weighted_index(weights), std::invalid_argument);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(18);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Rng, LognormalIsPositive) {
+  Rng rng(19);
+  for (int i = 0; i < 10000; ++i) ASSERT_GT(rng.lognormal(0.0, 2.0), 0.0);
+}
+
+}  // namespace
+}  // namespace cwc

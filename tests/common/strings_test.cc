@@ -1,0 +1,71 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace cwc {
+namespace {
+
+TEST(Split, BasicDelimiter) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, PreservesEmptyFields) {
+  const auto parts = split(",a,,b,", ',');
+  ASSERT_EQ(parts.size(), 5u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[4], "");
+}
+
+TEST(Split, NoDelimiterIsSingleField) {
+  const auto parts = split("hello", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(SplitWhitespace, DropsEmptyTokens) {
+  const auto words = split_whitespace("  the\tquick \n brown  fox ");
+  ASSERT_EQ(words.size(), 4u);
+  EXPECT_EQ(words[0], "the");
+  EXPECT_EQ(words[3], "fox");
+}
+
+TEST(SplitWhitespace, EmptyAndBlankInput) {
+  EXPECT_TRUE(split_whitespace("").empty());
+  EXPECT_TRUE(split_whitespace("   \t\n ").empty());
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  abc \t"), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(ToLower, Ascii) {
+  EXPECT_EQ(to_lower("HeLLo 123!"), "hello 123!");
+}
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(starts_with("makespan", "make"));
+  EXPECT_FALSE(starts_with("make", "makespan"));
+  EXPECT_TRUE(starts_with("x", ""));
+}
+
+TEST(Format, PrintfStyle) {
+  EXPECT_EQ(format("%d-%s-%.2f", 7, "abc", 1.5), "7-abc-1.50");
+  EXPECT_EQ(format("plain"), "plain");
+}
+
+TEST(Join, WithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"solo"}, ", "), "solo");
+}
+
+}  // namespace
+}  // namespace cwc

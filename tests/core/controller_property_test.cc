@@ -1,0 +1,138 @@
+// Model-based property testing of CwcController: random operation
+// sequences (submit / reschedule / complete / fail / lose / replug) checked
+// against a simple reference model of work conservation. The invariant CWC
+// lives by: every submitted kilobyte is, at all times, accounted for as
+// completed, queued on some phone, or awaiting rescheduling — nothing is
+// lost and nothing is duplicated.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "common/rng.h"
+#include "core/controller.h"
+#include "core/greedy.h"
+
+namespace cwc::core {
+namespace {
+
+PredictionModel simple_prediction() {
+  PredictionModel model;
+  model.set_reference("t", 10.0, 1000.0);
+  return model;
+}
+
+class ControllerPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ControllerPropertyTest, WorkIsConservedUnderRandomOperations) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 6364136223846793005ULL + 1);
+  CwcController controller(std::make_unique<GreedyScheduler>(), simple_prediction());
+
+  const int phone_count = static_cast<int>(rng.uniform_int(2, 6));
+  for (PhoneId id = 0; id < phone_count; ++id) {
+    PhoneSpec phone;
+    phone.id = id;
+    phone.cpu_mhz = rng.uniform(800.0, 1600.0);
+    phone.b = rng.uniform(1.0, 40.0);
+    controller.register_phone(phone);
+  }
+
+  // Reference model: per-job submitted and completed KB.
+  std::map<JobId, Kilobytes> submitted;
+  std::map<JobId, Kilobytes> completed;
+
+  auto check_conservation = [&] {
+    // completed + (queued across phones) + (failed backlog) + (pending
+    // jobs not yet scheduled) == submitted, per job.
+    std::map<JobId, Kilobytes> accounted = completed;
+    for (PhoneId id = 0; id < phone_count; ++id) {
+      // Walk this phone's queue via queued_jobs + current_work is only the
+      // head; instead reconstruct totals from the public surface: the
+      // controller exposes queued jobs, and each queued piece's size is
+      // internal. We therefore check a weaker-but-sufficient invariant at
+      // drain points below, and here only that ids are known.
+      for (JobId job : controller.queued_jobs(id)) {
+        ASSERT_TRUE(submitted.count(job)) << "queue references unknown job";
+      }
+    }
+  };
+
+  const int operations = 60;
+  for (int op = 0; op < operations; ++op) {
+    const double dice = rng.uniform();
+    if (dice < 0.25) {
+      // Submit a new job.
+      JobSpec job;
+      job.task_name = "t";
+      job.kind = rng.chance(0.3) ? JobKind::kAtomic : JobKind::kBreakable;
+      job.exec_kb = 10.0;
+      job.input_kb = rng.uniform(50.0, 800.0);
+      const JobId id = controller.submit(job);
+      submitted[id] = job.input_kb;
+    } else if (dice < 0.40) {
+      if (controller.has_pending_work() && !controller.plugged_phones().empty()) {
+        controller.reschedule();
+      }
+    } else if (dice < 0.70) {
+      // Complete the current piece on a random phone.
+      const auto phone = static_cast<PhoneId>(rng.uniform_int(0, phone_count - 1));
+      if (const auto work = controller.current_work(phone);
+          work && controller.is_plugged(phone)) {
+        completed[work->piece.job] += work->piece.input_kb;
+        controller.on_piece_complete(phone, work->piece.input_kb * rng.uniform(5.0, 15.0));
+      }
+    } else if (dice < 0.85) {
+      // Online failure mid-piece on a random phone.
+      const auto phone = static_cast<PhoneId>(rng.uniform_int(0, phone_count - 1));
+      if (const auto work = controller.current_work(phone);
+          work && controller.is_plugged(phone)) {
+        const Kilobytes processed = work->piece.input_kb * rng.uniform(0.0, 1.0);
+        completed[work->piece.job] += processed;
+        std::vector<std::uint8_t> checkpoint;
+        if (controller.job(work->piece.job).kind == JobKind::kAtomic && processed > 0.0) {
+          checkpoint = {1, 2, 3};
+        }
+        controller.on_piece_failed(phone, processed, std::move(checkpoint),
+                                   processed * 10.0 + 1.0);
+      }
+    } else if (dice < 0.93) {
+      // Offline loss.
+      const auto phone = static_cast<PhoneId>(rng.uniform_int(0, phone_count - 1));
+      if (controller.is_plugged(phone)) controller.on_phone_lost(phone);
+    } else {
+      // Replug.
+      const auto phone = static_cast<PhoneId>(rng.uniform_int(0, phone_count - 1));
+      controller.set_plugged(phone, true);
+    }
+    check_conservation();
+  }
+
+  // Drain: replug everyone, then alternate rescheduling and completing
+  // until the controller reports all done.
+  for (PhoneId id = 0; id < phone_count; ++id) controller.set_plugged(id, true);
+  for (int round = 0; round < 10000 && !controller.all_done(); ++round) {
+    if (controller.has_pending_work()) controller.reschedule();
+    bool progressed = false;
+    for (PhoneId id = 0; id < phone_count; ++id) {
+      while (const auto work = controller.current_work(id)) {
+        completed[work->piece.job] += work->piece.input_kb;
+        controller.on_piece_complete(id, work->piece.input_kb * 10.0);
+        progressed = true;
+      }
+    }
+    ASSERT_TRUE(progressed || controller.has_pending_work() || controller.all_done())
+        << "livelock: no progress and nothing pending";
+  }
+  ASSERT_TRUE(controller.all_done());
+
+  // Conservation at the drain point: every submitted KB completed exactly
+  // once (within partitioning tolerance).
+  for (const auto& [job, kb] : submitted) {
+    EXPECT_NEAR(completed[job], kb, 1e-3 * (1.0 + kb)) << "job " << job;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomOps, ControllerPropertyTest, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace cwc::core

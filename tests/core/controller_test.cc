@@ -1,0 +1,198 @@
+#include "core/controller.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/greedy.h"
+
+namespace cwc::core {
+namespace {
+
+PredictionModel simple_prediction() {
+  PredictionModel model;
+  model.set_reference("t", 10.0, 1000.0);
+  return model;
+}
+
+PhoneSpec make_phone(PhoneId id, double mhz = 1000.0, MsPerKb b = 1.0) {
+  PhoneSpec p;
+  p.id = id;
+  p.cpu_mhz = mhz;
+  p.b = b;
+  return p;
+}
+
+JobSpec make_job(Kilobytes input, JobKind kind = JobKind::kBreakable) {
+  JobSpec j;
+  j.task_name = "t";
+  j.kind = kind;
+  j.exec_kb = 10.0;
+  j.input_kb = input;
+  return j;
+}
+
+CwcController make_controller() {
+  return CwcController(std::make_unique<GreedyScheduler>(), simple_prediction());
+}
+
+TEST(Controller, RegistersAndTracksPhones) {
+  auto controller = make_controller();
+  controller.register_phone(make_phone(0));
+  controller.register_phone(make_phone(1));
+  EXPECT_TRUE(controller.is_plugged(0));
+  controller.set_plugged(0, false);
+  EXPECT_FALSE(controller.is_plugged(0));
+  EXPECT_EQ(controller.plugged_phones().size(), 1u);
+  controller.update_bandwidth(1, 5.0);
+  EXPECT_DOUBLE_EQ(controller.phone(1).b, 5.0);
+}
+
+TEST(Controller, FullCycleWithoutFailures) {
+  auto controller = make_controller();
+  controller.register_phone(make_phone(0));
+  controller.register_phone(make_phone(1));
+  const JobId a = controller.submit(make_job(500.0));
+  const JobId b = controller.submit(make_job(300.0, JobKind::kAtomic));
+  EXPECT_TRUE(controller.has_pending_work());
+
+  const Schedule schedule = controller.reschedule();
+  EXPECT_FALSE(controller.has_pending_work());
+  EXPECT_GT(schedule.predicted_makespan, 0.0);
+  EXPECT_NEAR(schedule.assigned_kb(a), 500.0, 1e-6);
+  EXPECT_NEAR(schedule.assigned_kb(b), 300.0, 1e-6);
+
+  // Drain both queues with completion reports.
+  for (PhoneId phone : {0, 1}) {
+    while (auto work = controller.current_work(phone)) {
+      controller.on_piece_complete(phone, work->piece.input_kb * 9.0);
+    }
+  }
+  EXPECT_TRUE(controller.all_done());
+  // Predictions were refined from the reports (9 ms/KB vs predicted 10).
+  EXPECT_GT(controller.prediction().observed_pairs(), 0u);
+}
+
+TEST(Controller, OnlineFailureRequeuesRemainder) {
+  auto controller = make_controller();
+  controller.register_phone(make_phone(0));
+  controller.register_phone(make_phone(1));
+  const JobId job = controller.submit(make_job(1000.0));
+  controller.reschedule();
+
+  auto work = controller.current_work(0);
+  ASSERT_TRUE(work.has_value());
+  const Kilobytes piece_kb = work->piece.input_kb;
+  ASSERT_GT(piece_kb, 100.0);
+
+  // Phone 0 is unplugged after processing 100 KB of its piece.
+  controller.on_piece_failed(0, 100.0, {}, 900.0);
+  EXPECT_FALSE(controller.is_plugged(0));
+  ASSERT_EQ(controller.failed_backlog().size(), 1u);
+  EXPECT_EQ(controller.failed_backlog()[0].job, job);
+  EXPECT_NEAR(controller.failed_backlog()[0].remaining_kb, piece_kb - 100.0, 1e-6);
+
+  // Next instant: the remainder is packed over the remaining phone.
+  const Schedule second = controller.reschedule();
+  EXPECT_NEAR(second.assigned_kb(job), piece_kb - 100.0, 1e-6);
+  for (const PhonePlan& plan : second.plans) {
+    if (plan.phone == 0) EXPECT_TRUE(plan.pieces.empty());
+  }
+}
+
+TEST(Controller, OfflineFailureRequeuesWholeQueue) {
+  auto controller = make_controller();
+  controller.register_phone(make_phone(0));
+  const JobId a = controller.submit(make_job(200.0, JobKind::kAtomic));
+  const JobId b = controller.submit(make_job(150.0, JobKind::kAtomic));
+  controller.reschedule();
+  EXPECT_EQ(controller.queued_pieces(), 2u);
+
+  controller.on_phone_lost(0);
+  EXPECT_FALSE(controller.is_plugged(0));
+  EXPECT_EQ(controller.queued_pieces(), 0u);
+  ASSERT_EQ(controller.failed_backlog().size(), 2u);
+  Kilobytes total = 0.0;
+  for (const FailedPiece& piece : controller.failed_backlog()) total += piece.remaining_kb;
+  EXPECT_NEAR(total, 350.0, 1e-6);
+
+  // The phone comes back (re-plugged) and the backlog is rescheduled.
+  controller.set_plugged(0, true);
+  const Schedule recovery = controller.reschedule();
+  EXPECT_NEAR(recovery.assigned_kb(a) + recovery.assigned_kb(b), 350.0, 1e-6);
+  EXPECT_TRUE(controller.failed_backlog().empty());
+}
+
+TEST(Controller, AtomicCheckpointTravelsWithThePiece) {
+  auto controller = make_controller();
+  controller.register_phone(make_phone(0));
+  controller.register_phone(make_phone(1));
+  const JobId job = controller.submit(make_job(400.0, JobKind::kAtomic));
+  controller.reschedule();
+
+  // Find which phone got the atomic job.
+  PhoneId owner = kInvalidPhone;
+  for (PhoneId phone : {0, 1}) {
+    if (controller.current_work(phone)) owner = phone;
+  }
+  ASSERT_NE(owner, kInvalidPhone);
+
+  const std::vector<std::uint8_t> checkpoint = {1, 2, 3, 4};
+  controller.on_piece_failed(owner, 150.0, checkpoint, 1400.0);
+
+  const Schedule recovery = controller.reschedule();
+  EXPECT_NEAR(recovery.assigned_kb(job), 250.0, 1e-6);
+  const PhoneId other = owner == 0 ? 1 : 0;
+  const auto resumed = controller.current_work(other);
+  ASSERT_TRUE(resumed.has_value());
+  EXPECT_EQ(resumed->piece.job, job);
+  EXPECT_EQ(resumed->checkpoint, checkpoint);
+}
+
+TEST(Controller, ExecutableCachedAfterFirstPiece) {
+  auto controller = make_controller();
+  controller.register_phone(make_phone(0));
+  controller.submit(make_job(100.0));
+  controller.submit(make_job(120.0));
+  controller.reschedule();
+
+  auto first = controller.current_work(0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_FALSE(first->executable_cached);
+  controller.on_piece_complete(0, first->piece.input_kb * 10.0);
+  // Both jobs share the task name but not the job id; cache is per job.
+  if (auto second = controller.current_work(0)) {
+    EXPECT_EQ(second->executable_cached, second->piece.job == first->piece.job);
+  }
+}
+
+TEST(Controller, RescheduleWithNoPluggedPhonesThrows) {
+  auto controller = make_controller();
+  controller.register_phone(make_phone(0));
+  controller.set_plugged(0, false);
+  controller.submit(make_job(10.0));
+  EXPECT_THROW(controller.reschedule(), std::runtime_error);
+}
+
+TEST(Controller, ReportsFromIdlePhoneThrow) {
+  auto controller = make_controller();
+  controller.register_phone(make_phone(0));
+  EXPECT_THROW(controller.on_piece_complete(0, 1.0), std::logic_error);
+  EXPECT_THROW(controller.on_piece_failed(0, 1.0, {}, 1.0), std::logic_error);
+}
+
+TEST(Controller, NullSchedulerThrows) {
+  EXPECT_THROW(CwcController(nullptr), std::invalid_argument);
+}
+
+TEST(Controller, DuplicateJobIdRejected) {
+  auto controller = make_controller();
+  controller.register_phone(make_phone(0));
+  JobSpec j = make_job(10.0);
+  j.id = 42;
+  controller.submit(j);
+  EXPECT_THROW(controller.submit(j), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cwc::core

@@ -1,0 +1,133 @@
+#include "core/failure_aware.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/greedy.h"
+
+namespace cwc::core {
+namespace {
+
+PredictionModel simple_prediction() {
+  PredictionModel model;
+  model.set_reference("t", 10.0, 1000.0);
+  return model;
+}
+
+PhoneSpec make_phone(PhoneId id, double mhz = 1000.0, MsPerKb b = 1.0) {
+  PhoneSpec p;
+  p.id = id;
+  p.cpu_mhz = mhz;
+  p.b = b;
+  return p;
+}
+
+JobSpec make_job(JobId id, Kilobytes input, JobKind kind = JobKind::kBreakable) {
+  JobSpec j;
+  j.id = id;
+  j.task_name = "t";
+  j.kind = kind;
+  j.exec_kb = 10.0;
+  j.input_kb = input;
+  return j;
+}
+
+Kilobytes assigned_to(const Schedule& schedule, PhoneId phone) {
+  Kilobytes total = 0.0;
+  for (const PhonePlan& plan : schedule.plans) {
+    if (plan.phone != phone) continue;
+    for (const JobPiece& piece : plan.pieces) total += piece.input_kb;
+  }
+  return total;
+}
+
+TEST(FailureAware, ZeroRiskMatchesBaseScheduler) {
+  const auto prediction = simple_prediction();
+  const std::vector<PhoneSpec> phones = {make_phone(0), make_phone(1, 1400.0, 2.0)};
+  const std::vector<JobSpec> jobs = {make_job(0, 500.0), make_job(1, 300.0)};
+  const FailureAwareScheduler aware(std::make_unique<GreedyScheduler>(), {});
+  const Schedule base = GreedyScheduler().build(jobs, phones, prediction);
+  const Schedule wrapped = aware.build(jobs, phones, prediction);
+  EXPECT_NEAR(wrapped.predicted_makespan, base.predicted_makespan, 1e-6);
+}
+
+TEST(FailureAware, RiskyPhoneReceivesLessWork) {
+  const auto prediction = simple_prediction();
+  // Two identical phones; phone 1 has 50% unplug risk. With the default
+  // mild deprioritization the reliable phone gets more (but not all) work.
+  const std::vector<PhoneSpec> phones = {make_phone(0), make_phone(1)};
+  const std::vector<JobSpec> jobs = {make_job(0, 1000.0)};
+  const FailureAwareScheduler aware(std::make_unique<GreedyScheduler>(), {{1, 0.5}});
+  const Schedule schedule = aware.build(jobs, phones, prediction);
+  validate_schedule(schedule, jobs, phones);
+  EXPECT_GT(assigned_to(schedule, 0), assigned_to(schedule, 1) * 1.05);
+  EXPECT_GT(assigned_to(schedule, 1), 0.0);  // mild, not exclusion
+}
+
+TEST(FailureAware, AggressiveOptionsShedMoreWork) {
+  const auto prediction = simple_prediction();
+  const std::vector<PhoneSpec> phones = {make_phone(0), make_phone(1)};
+  const std::vector<JobSpec> jobs = {make_job(0, 1000.0)};
+  FailureAwareScheduler::Options aggressive;
+  aggressive.expected_loss_fraction = 1.0;  // full-redo pessimism
+  const FailureAwareScheduler aware(std::make_unique<GreedyScheduler>(), {{1, 0.5}},
+                                    aggressive);
+  const FailureAwareScheduler mild(std::make_unique<GreedyScheduler>(), {{1, 0.5}});
+  const auto aggressive_schedule = aware.build(jobs, phones, prediction);
+  const auto mild_schedule = mild.build(jobs, phones, prediction);
+  EXPECT_LT(assigned_to(aggressive_schedule, 1), assigned_to(mild_schedule, 1));
+}
+
+TEST(FailureAware, HighRiskPhoneExcludedWhenThresholdSet) {
+  const auto prediction = simple_prediction();
+  const std::vector<PhoneSpec> phones = {make_phone(0), make_phone(1)};
+  const std::vector<JobSpec> jobs = {make_job(0, 1000.0)};
+  FailureAwareScheduler::Options options;
+  options.exclusion_threshold = 0.65;
+  const FailureAwareScheduler aware(std::make_unique<GreedyScheduler>(), {{1, 0.9}}, options);
+  const Schedule schedule = aware.build(jobs, phones, prediction);
+  EXPECT_DOUBLE_EQ(assigned_to(schedule, 1), 0.0);
+  EXPECT_NEAR(assigned_to(schedule, 0), 1000.0, 1e-6);
+}
+
+TEST(FailureAware, AllRiskyFallsBackToFullPool) {
+  const auto prediction = simple_prediction();
+  const std::vector<PhoneSpec> phones = {make_phone(0), make_phone(1)};
+  const std::vector<JobSpec> jobs = {make_job(0, 400.0)};
+  FailureAwareScheduler::Options options;
+  options.exclusion_threshold = 0.65;
+  const FailureAwareScheduler aware(std::make_unique<GreedyScheduler>(),
+                                    {{0, 0.9}, {1, 0.95}}, options);
+  const Schedule schedule = aware.build(jobs, phones, prediction);
+  validate_schedule(schedule, jobs, phones);
+  EXPECT_NEAR(schedule.assigned_kb(0), 400.0, 1e-6);
+}
+
+TEST(FailureAware, AnnotationUsesRealCosts) {
+  // Predicted finish must reflect actual specs, not inflated ones: with a
+  // single mildly-risky phone the makespan equals the uninflated cost.
+  const auto prediction = simple_prediction();
+  const std::vector<PhoneSpec> phones = {make_phone(0)};
+  const std::vector<JobSpec> jobs = {make_job(0, 100.0)};
+  const FailureAwareScheduler aware(std::make_unique<GreedyScheduler>(), {{0, 0.3}});
+  const Schedule schedule = aware.build(jobs, phones, prediction);
+  EXPECT_NEAR(schedule.predicted_makespan, 10.0 * 1.0 + 100.0 * 11.0, 1e-6);
+}
+
+TEST(FailureAware, RejectsBadArguments) {
+  EXPECT_THROW(FailureAwareScheduler(nullptr, {}), std::invalid_argument);
+  EXPECT_THROW(FailureAwareScheduler(std::make_unique<GreedyScheduler>(), {{0, 1.5}}),
+               std::invalid_argument);
+  EXPECT_THROW(FailureAwareScheduler(std::make_unique<GreedyScheduler>(), {{0, -0.1}}),
+               std::invalid_argument);
+}
+
+TEST(FailureAware, RiskLookup) {
+  const FailureAwareScheduler aware(std::make_unique<GreedyScheduler>(), {{3, 0.4}});
+  EXPECT_DOUBLE_EQ(aware.risk_of(3), 0.4);
+  EXPECT_DOUBLE_EQ(aware.risk_of(7), 0.0);
+}
+
+}  // namespace
+}  // namespace cwc::core

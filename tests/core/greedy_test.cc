@@ -1,0 +1,297 @@
+#include "core/greedy.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/testbed.h"
+
+namespace cwc::core {
+namespace {
+
+/// Uniform test fixture: phones with controllable b and clock; a single
+/// task type "t" with reference 10 ms/KB at 1000 MHz.
+PredictionModel simple_prediction() {
+  PredictionModel model;
+  model.set_reference("t", 10.0, 1000.0);
+  return model;
+}
+
+PhoneSpec make_phone(PhoneId id, double mhz, MsPerKb b, Kilobytes ram = megabytes(1024)) {
+  PhoneSpec p;
+  p.id = id;
+  p.cpu_mhz = mhz;
+  p.b = b;
+  p.ram_kb = ram;
+  return p;
+}
+
+JobSpec make_job(JobId id, Kilobytes input, JobKind kind = JobKind::kBreakable,
+                 Kilobytes exec = 10.0) {
+  JobSpec j;
+  j.id = id;
+  j.task_name = "t";
+  j.kind = kind;
+  j.exec_kb = exec;
+  j.input_kb = input;
+  return j;
+}
+
+TEST(Greedy, SingleJobSinglePhone) {
+  const GreedyScheduler scheduler;
+  const auto prediction = simple_prediction();
+  const std::vector<PhoneSpec> phones = {make_phone(0, 1000.0, 1.0)};
+  const std::vector<JobSpec> jobs = {make_job(0, 100.0)};
+  const Schedule schedule = scheduler.build(jobs, phones, prediction);
+  validate_schedule(schedule, jobs, phones);
+  // 10 KB exec * 1 ms/KB + 100 KB * (1 + 10) ms/KB = 1110 ms.
+  EXPECT_NEAR(schedule.predicted_makespan, 1110.0, 1e-6);
+}
+
+TEST(Greedy, SplitsAcrossIdenticalPhonesEvenly) {
+  const GreedyScheduler scheduler;
+  const auto prediction = simple_prediction();
+  const std::vector<PhoneSpec> phones = {make_phone(0, 1000.0, 1.0), make_phone(1, 1000.0, 1.0)};
+  const std::vector<JobSpec> jobs = {make_job(0, 1000.0)};
+  const Schedule schedule = scheduler.build(jobs, phones, prediction);
+  validate_schedule(schedule, jobs, phones);
+  // Perfect split: exec 10 + 500*11 = 5510 each; without splitting 11010.
+  EXPECT_LT(schedule.predicted_makespan, 5700.0);
+  EXPECT_GT(schedule.predicted_makespan, 5500.0 - 1.0);
+}
+
+TEST(Greedy, PrefersWholeAssignmentWhenCostIsEqual) {
+  // Two equal jobs, two identical phones: packing each job whole on its
+  // own phone achieves the optimum with zero partitions.
+  const GreedyScheduler scheduler;
+  const auto prediction = simple_prediction();
+  const std::vector<PhoneSpec> phones = {make_phone(0, 1000.0, 1.0), make_phone(1, 1000.0, 1.0)};
+  const std::vector<JobSpec> jobs = {make_job(0, 500.0), make_job(1, 500.0)};
+  const Schedule schedule = scheduler.build(jobs, phones, prediction);
+  validate_schedule(schedule, jobs, phones);
+  const auto partitions = schedule.partitions_per_job();
+  EXPECT_EQ(partitions.at(0), 0u);
+  EXPECT_EQ(partitions.at(1), 0u);
+}
+
+TEST(Greedy, AtomicJobsNeverSplit) {
+  const GreedyScheduler scheduler;
+  const auto prediction = simple_prediction();
+  const std::vector<PhoneSpec> phones = {make_phone(0, 1000.0, 1.0), make_phone(1, 1000.0, 5.0)};
+  const std::vector<JobSpec> jobs = {make_job(0, 800.0, JobKind::kAtomic),
+                                     make_job(1, 800.0, JobKind::kAtomic),
+                                     make_job(2, 800.0, JobKind::kAtomic)};
+  const Schedule schedule = scheduler.build(jobs, phones, prediction);
+  validate_schedule(schedule, jobs, phones);  // throws if split
+  for (const auto& [job, parts] : schedule.partitions_per_job()) EXPECT_EQ(parts, 0u);
+}
+
+TEST(Greedy, FavorsFastLinkPhones) {
+  // Section 3's lesson: with equal CPUs, a phone with a 10x slower link
+  // should receive far less input.
+  const GreedyScheduler scheduler;
+  const auto prediction = simple_prediction();
+  const std::vector<PhoneSpec> phones = {make_phone(0, 1000.0, 1.0), make_phone(1, 1000.0, 40.0)};
+  const std::vector<JobSpec> jobs = {make_job(0, 1000.0)};
+  const Schedule schedule = scheduler.build(jobs, phones, prediction);
+  validate_schedule(schedule, jobs, phones);
+  Kilobytes fast_kb = 0.0, slow_kb = 0.0;
+  for (const PhonePlan& plan : schedule.plans) {
+    for (const JobPiece& piece : plan.pieces) {
+      (plan.phone == 0 ? fast_kb : slow_kb) += piece.input_kb;
+    }
+  }
+  EXPECT_GT(fast_kb, 4.0 * slow_kb);
+}
+
+TEST(Greedy, RespectsRamConstraint) {
+  const GreedyScheduler scheduler;
+  const auto prediction = simple_prediction();
+  // Tiny RAM on phone 0: partitions there must stay <= 100 KB.
+  const std::vector<PhoneSpec> phones = {make_phone(0, 4000.0, 1.0, 100.0),
+                                         make_phone(1, 1000.0, 1.0)};
+  const std::vector<JobSpec> jobs = {make_job(0, 1000.0)};
+  const Schedule schedule = scheduler.build(jobs, phones, prediction);
+  validate_schedule(schedule, jobs, phones);
+  for (const PhonePlan& plan : schedule.plans) {
+    if (plan.phone != 0) continue;
+    for (const JobPiece& piece : plan.pieces) EXPECT_LE(piece.input_kb, 100.0 + 1e-6);
+  }
+}
+
+TEST(Greedy, InfeasibleAtomicJobThrows) {
+  const GreedyScheduler scheduler;
+  const auto prediction = simple_prediction();
+  // Atomic job larger than every phone's RAM: no schedule exists.
+  const std::vector<PhoneSpec> phones = {make_phone(0, 1000.0, 1.0, 100.0)};
+  const std::vector<JobSpec> jobs = {make_job(0, 500.0, JobKind::kAtomic)};
+  EXPECT_THROW(scheduler.build(jobs, phones, prediction), std::runtime_error);
+}
+
+TEST(Greedy, NoPhonesThrows) {
+  const GreedyScheduler scheduler;
+  const auto prediction = simple_prediction();
+  EXPECT_THROW(scheduler.build({make_job(0, 10.0)}, {}, prediction), std::invalid_argument);
+}
+
+TEST(Greedy, EmptyJobListYieldsEmptySchedule) {
+  const GreedyScheduler scheduler;
+  const auto prediction = simple_prediction();
+  const std::vector<PhoneSpec> phones = {make_phone(0, 1000.0, 1.0)};
+  const Schedule schedule = scheduler.build({}, phones, prediction);
+  EXPECT_DOUBLE_EQ(schedule.predicted_makespan, 0.0);
+  for (const PhonePlan& plan : schedule.plans) EXPECT_TRUE(plan.pieces.empty());
+}
+
+TEST(Greedy, PackWithCapacityRejectsTooSmall) {
+  const GreedyScheduler scheduler;
+  const auto prediction = simple_prediction();
+  const std::vector<PhoneSpec> phones = {make_phone(0, 1000.0, 1.0)};
+  const std::vector<JobSpec> jobs = {make_job(0, 100.0)};
+  EXPECT_FALSE(scheduler.pack_with_capacity(jobs, phones, prediction, 500.0).has_value());
+  EXPECT_TRUE(scheduler.pack_with_capacity(jobs, phones, prediction, 2000.0).has_value());
+}
+
+TEST(Greedy, CapacityBoundsBracketTheResult) {
+  Rng rng(3);
+  const GreedyScheduler scheduler;
+  const auto prediction = paper_prediction();
+  const auto phones = paper_testbed(rng);
+  const auto jobs = paper_workload(rng, 0.1);
+  const auto [lb, ub] = scheduler.capacity_bounds(jobs, phones, prediction);
+  const Schedule schedule = scheduler.build(jobs, phones, prediction);
+  EXPECT_GE(schedule.predicted_makespan, lb - 1e-6);
+  EXPECT_LE(schedule.predicted_makespan, ub + 1e-6);
+  EXPECT_GT(lb, 0.0);
+}
+
+TEST(Greedy, InitialLoadSteersWorkToIdlePhones) {
+  const GreedyScheduler scheduler;
+  const auto prediction = simple_prediction();
+  const std::vector<PhoneSpec> phones = {make_phone(0, 1000.0, 1.0), make_phone(1, 1000.0, 1.0)};
+  const std::vector<JobSpec> jobs = {make_job(0, 100.0)};
+  // Phone 0 is busy for a long time; the job should land on phone 1.
+  const Schedule schedule =
+      scheduler.build(jobs, phones, prediction, {{0, 100000.0}, {1, 0.0}});
+  for (const PhonePlan& plan : schedule.plans) {
+    if (plan.phone == 0) EXPECT_TRUE(plan.pieces.empty());
+    if (plan.phone == 1) EXPECT_FALSE(plan.pieces.empty());
+  }
+}
+
+TEST(Greedy, BeatsBaselinesOnHeterogeneousTestbed) {
+  // The Fig. 12(a) headline: greedy ~1.6x faster than equal-split and
+  // round-robin on the 18-phone, 150-task workload.
+  Rng rng(7);
+  const auto prediction = paper_prediction();
+  const auto phones = paper_testbed(rng);
+  const auto jobs = paper_workload(rng, 0.2);  // scaled for test speed
+
+  const Schedule greedy = GreedyScheduler().build(jobs, phones, prediction);
+  const Schedule equal = EqualSplitScheduler().build(jobs, phones, prediction);
+  const Schedule rr = RoundRobinScheduler().build(jobs, phones, prediction);
+  validate_schedule(greedy, jobs, phones);
+  validate_schedule(equal, jobs, phones);
+  validate_schedule(rr, jobs, phones);
+
+  EXPECT_LT(greedy.predicted_makespan * 1.3, equal.predicted_makespan);
+  EXPECT_LT(greedy.predicted_makespan * 1.3, rr.predicted_makespan);
+}
+
+TEST(Greedy, MostTasksStayUnpartitioned) {
+  // Fig. 12(b): ~90% of the 150 tasks keep atomicity (0 partitions).
+  Rng rng(11);
+  const auto prediction = paper_prediction();
+  const auto phones = paper_testbed(rng);
+  const auto jobs = paper_workload(rng, 0.2);
+  const Schedule schedule = GreedyScheduler().build(jobs, phones, prediction);
+  const auto partitions = schedule.partitions_per_job();
+  std::size_t unpartitioned = 0;
+  for (const auto& [job, parts] : partitions) unpartitioned += parts == 0 ? 1 : 0;
+  EXPECT_GE(static_cast<double>(unpartitioned) / static_cast<double>(jobs.size()), 0.75);
+}
+
+// Brute-force comparison on small instances: greedy must be within a small
+// constant of the optimal makespan for atomic-only workloads (where the
+// optimum is enumerable: k^n assignments).
+class GreedyVsBruteForce : public ::testing::TestWithParam<int> {};
+
+TEST_P(GreedyVsBruteForce, WithinFactorOfOptimal) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 17);
+  const int phone_count = static_cast<int>(rng.uniform_int(2, 3));
+  const int job_count = static_cast<int>(rng.uniform_int(2, 6));
+
+  PredictionModel prediction = simple_prediction();
+  std::vector<PhoneSpec> phones;
+  for (int i = 0; i < phone_count; ++i) {
+    phones.push_back(make_phone(i, rng.uniform(800.0, 1600.0), rng.uniform(1.0, 30.0)));
+  }
+  std::vector<JobSpec> jobs;
+  for (int j = 0; j < job_count; ++j) {
+    jobs.push_back(make_job(j, rng.uniform(50.0, 500.0), JobKind::kAtomic));
+  }
+
+  // Enumerate all assignments of jobs to phones.
+  double optimal = std::numeric_limits<double>::infinity();
+  std::vector<int> assign(static_cast<std::size_t>(job_count), 0);
+  while (true) {
+    std::vector<double> load(static_cast<std::size_t>(phone_count), 0.0);
+    std::vector<std::set<JobId>> shipped(static_cast<std::size_t>(phone_count));
+    for (int j = 0; j < job_count; ++j) {
+      const int i = assign[static_cast<std::size_t>(j)];
+      const auto& phone = phones[static_cast<std::size_t>(i)];
+      load[static_cast<std::size_t>(i)] += completion_time(
+          jobs[static_cast<std::size_t>(j)], phone,
+          prediction.predict("t", phone), jobs[static_cast<std::size_t>(j)].input_kb);
+    }
+    optimal = std::min(optimal, *std::max_element(load.begin(), load.end()));
+    int pos = 0;
+    while (pos < job_count && ++assign[static_cast<std::size_t>(pos)] == phone_count) {
+      assign[static_cast<std::size_t>(pos)] = 0;
+      ++pos;
+    }
+    if (pos == job_count) break;
+  }
+
+  const Schedule schedule = GreedyScheduler().build(jobs, phones, prediction);
+  validate_schedule(schedule, jobs, phones);
+  EXPECT_GE(schedule.predicted_makespan, optimal - 1e-6);
+  // List-scheduling style guarantee: stay within 2x of optimal on these
+  // small unrelated-machine instances (empirically it is much closer).
+  EXPECT_LE(schedule.predicted_makespan, optimal * 2.0 + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallInstances, GreedyVsBruteForce, ::testing::Range(0, 30));
+
+// Invariant sweep on larger random instances.
+class GreedyInvariantTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GreedyInvariantTest, SchedulesAreAlwaysValid) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 101 + 7);
+  const auto prediction = paper_prediction();
+  auto phones = paper_testbed(rng);
+  // Random subset of phones (at least 4).
+  rng.shuffle(phones);
+  phones.resize(static_cast<std::size_t>(rng.uniform_int(4, 18)));
+  const auto jobs = paper_workload(rng, rng.uniform(0.02, 0.3));
+
+  const Schedule schedule = GreedyScheduler().build(jobs, phones, prediction);
+  validate_schedule(schedule, jobs, phones);
+  EXPECT_GT(schedule.predicted_makespan, 0.0);
+
+  // Makespan is monotone: more phones can only help (weakly). Compare
+  // against scheduling on the first half of the phones.
+  if (phones.size() >= 8) {
+    std::vector<PhoneSpec> fewer(phones.begin(),
+                                 phones.begin() + static_cast<std::ptrdiff_t>(phones.size() / 2));
+    const Schedule small = GreedyScheduler().build(jobs, fewer, prediction);
+    EXPECT_LE(schedule.predicted_makespan, small.predicted_makespan * 1.05);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, GreedyInvariantTest, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace cwc::core

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/greedy.h"
+#include "core/testbed.h"
+
+namespace cwc::core {
+namespace {
+
+PredictionModel simple_prediction() {
+  PredictionModel model;
+  model.set_reference("t", 10.0, 1000.0);
+  return model;
+}
+
+PhoneSpec make_phone(PhoneId id, double mhz = 1000.0, MsPerKb b = 1.0,
+                     Kilobytes ram = megabytes(1024)) {
+  PhoneSpec p;
+  p.id = id;
+  p.cpu_mhz = mhz;
+  p.b = b;
+  p.ram_kb = ram;
+  return p;
+}
+
+JobSpec make_job(JobId id, Kilobytes input) {
+  JobSpec j;
+  j.id = id;
+  j.task_name = "t";
+  j.kind = JobKind::kAtomic;
+  j.exec_kb = 10.0;
+  j.input_kb = input;
+  return j;
+}
+
+TEST(Lpt, BalancesAtomicJobsAcrossIdenticalPhones) {
+  const auto prediction = simple_prediction();
+  const std::vector<PhoneSpec> phones = {make_phone(0), make_phone(1)};
+  const std::vector<JobSpec> jobs = {make_job(0, 300.0), make_job(1, 200.0),
+                                     make_job(2, 200.0), make_job(3, 100.0)};
+  const Schedule schedule = LptScheduler().build(jobs, phones, prediction);
+  validate_schedule(schedule, jobs, phones);
+  // LPT on {300,200,200,100}: phone A gets 300+100, phone B 200+200.
+  EXPECT_NEAR(schedule.plans[0].predicted_finish, schedule.plans[1].predicted_finish,
+              schedule.predicted_makespan * 0.05);
+}
+
+TEST(Lpt, NeverPartitions) {
+  Rng rng(1);
+  const auto prediction = paper_prediction();
+  const auto phones = paper_testbed(rng);
+  const auto jobs = paper_workload(rng, 0.1);
+  const Schedule schedule = LptScheduler().build(jobs, phones, prediction);
+  validate_schedule(schedule, jobs, phones);
+  for (const auto& [job, parts] : schedule.partitions_per_job()) {
+    EXPECT_EQ(parts, 0u) << "LPT must assign whole jobs only";
+  }
+}
+
+TEST(Lpt, GreedyBeatsLptViaPartitioning) {
+  // The value of CWC's breakable-task model: on a workload dominated by a
+  // few huge breakable jobs, whole-job placement cannot balance.
+  const auto prediction = simple_prediction();
+  std::vector<PhoneSpec> phones;
+  for (PhoneId id = 0; id < 6; ++id) phones.push_back(make_phone(id));
+  std::vector<JobSpec> jobs;
+  JobSpec big;
+  big.id = 0;
+  big.task_name = "t";
+  big.kind = JobKind::kBreakable;
+  big.exec_kb = 10.0;
+  big.input_kb = 6000.0;
+  jobs.push_back(big);
+
+  const Schedule lpt = LptScheduler().build(jobs, phones, prediction);
+  const Schedule greedy = GreedyScheduler().build(jobs, phones, prediction);
+  EXPECT_LT(greedy.predicted_makespan * 3.0, lpt.predicted_makespan);
+}
+
+TEST(Lpt, RespectsRamAndThrowsWhenImpossible) {
+  const auto prediction = simple_prediction();
+  const std::vector<PhoneSpec> phones = {make_phone(0, 1000.0, 1.0, 100.0),
+                                         make_phone(1, 1000.0, 1.0, 500.0)};
+  const std::vector<JobSpec> jobs = {make_job(0, 400.0)};
+  const Schedule schedule = LptScheduler().build(jobs, phones, prediction);
+  EXPECT_EQ(schedule.plans[1].pieces.size(), 1u);  // only phone 1 fits it
+
+  const std::vector<JobSpec> too_big = {make_job(0, 900.0)};
+  EXPECT_THROW(LptScheduler().build(too_big, phones, prediction), std::runtime_error);
+}
+
+TEST(Lpt, RespectsInitialLoad) {
+  const auto prediction = simple_prediction();
+  const std::vector<PhoneSpec> phones = {make_phone(0), make_phone(1)};
+  const std::vector<JobSpec> jobs = {make_job(0, 100.0)};
+  const Schedule schedule =
+      LptScheduler().build(jobs, phones, prediction, {{0, 1e9}, {1, 0.0}});
+  EXPECT_TRUE(schedule.plans[0].pieces.empty());
+  EXPECT_EQ(schedule.plans[1].pieces.size(), 1u);
+}
+
+TEST(Lpt, BetterThanRoundRobinOnHeterogeneousFleet) {
+  Rng rng(2);
+  const auto prediction = paper_prediction();
+  const auto phones = paper_testbed(rng);
+  const auto jobs = paper_workload(rng, 0.1);
+  const Schedule lpt = LptScheduler().build(jobs, phones, prediction);
+  const Schedule rr = RoundRobinScheduler().build(jobs, phones, prediction);
+  EXPECT_LT(lpt.predicted_makespan, rr.predicted_makespan);
+}
+
+}  // namespace
+}  // namespace cwc::core

@@ -1,0 +1,89 @@
+#include "core/prediction.h"
+
+#include <gtest/gtest.h>
+
+namespace cwc::core {
+namespace {
+
+PhoneSpec phone_with(PhoneId id, double mhz) {
+  PhoneSpec p;
+  p.id = id;
+  p.cpu_mhz = mhz;
+  return p;
+}
+
+TEST(Prediction, ScalesByClockRatio) {
+  // The paper's rule: T_s * S / A. Reference c_sj = 10 ms/KB at 806 MHz.
+  PredictionModel model;
+  model.set_reference("t", 10.0, 806.0);
+  EXPECT_DOUBLE_EQ(model.predict("t", phone_with(0, 806.0)), 10.0);
+  EXPECT_DOUBLE_EQ(model.predict("t", phone_with(1, 1612.0)), 5.0);
+  EXPECT_NEAR(model.predict("t", phone_with(2, 1209.0)), 10.0 * 806.0 / 1209.0, 1e-12);
+}
+
+TEST(Prediction, UnknownTaskThrows) {
+  PredictionModel model;
+  EXPECT_THROW(model.predict("nope", phone_with(0, 1000.0)), std::out_of_range);
+  EXPECT_FALSE(model.knows("nope"));
+}
+
+TEST(Prediction, ObservationOverridesScaling) {
+  PredictionModel model(1.0);  // trust the latest report fully
+  model.set_reference("t", 10.0, 806.0);
+  const PhoneSpec fast = phone_with(7, 1612.0);
+  EXPECT_DOUBLE_EQ(model.predict("t", fast), 5.0);
+  // The phone reports it processed 100 KB in 350 ms -> measured 3.5 ms/KB
+  // (faster than its clock suggests, like the paper's phones 2 and 9).
+  model.observe("t", 7, 100.0, 350.0);
+  EXPECT_DOUBLE_EQ(model.predict("t", fast), 3.5);
+  EXPECT_EQ(model.observed_pairs(), 1u);
+}
+
+TEST(Prediction, ObservationIsPerPhoneAndTask) {
+  PredictionModel model(1.0);
+  model.set_reference("a", 10.0, 806.0);
+  model.set_reference("b", 20.0, 806.0);
+  model.observe("a", 1, 100.0, 200.0);
+  EXPECT_DOUBLE_EQ(model.predict("a", phone_with(1, 806.0)), 2.0);
+  // Other phone and other task keep the scaling prediction.
+  EXPECT_DOUBLE_EQ(model.predict("a", phone_with(2, 806.0)), 10.0);
+  EXPECT_DOUBLE_EQ(model.predict("b", phone_with(1, 806.0)), 20.0);
+}
+
+TEST(Prediction, EwmaBlendsObservations) {
+  PredictionModel model(0.5);
+  model.set_reference("t", 10.0, 806.0);
+  model.observe("t", 1, 1.0, 8.0);   // first observation replaces: 8
+  model.observe("t", 1, 1.0, 4.0);   // 8 + 0.5*(4-8) = 6
+  EXPECT_DOUBLE_EQ(model.predict("t", phone_with(1, 806.0)), 6.0);
+}
+
+TEST(Prediction, IgnoresDegenerateReports) {
+  PredictionModel model;
+  model.set_reference("t", 10.0, 806.0);
+  model.observe("t", 1, 0.0, 100.0);
+  model.observe("t", 1, 100.0, 0.0);
+  model.observe("t", 1, -5.0, 100.0);
+  EXPECT_EQ(model.observed_pairs(), 0u);
+}
+
+TEST(Prediction, RejectsBadParameters) {
+  EXPECT_THROW(PredictionModel(0.0), std::invalid_argument);
+  EXPECT_THROW(PredictionModel(1.5), std::invalid_argument);
+  PredictionModel model;
+  EXPECT_THROW(model.set_reference("t", -1.0, 806.0), std::invalid_argument);
+  EXPECT_THROW(model.set_reference("t", 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Model, CompletionTimeMatchesEquation1) {
+  // E_j*b_i + x*(b_i + c_ij)
+  JobSpec job;
+  job.exec_kb = 38.0;
+  PhoneSpec phone;
+  phone.b = 2.0;
+  EXPECT_DOUBLE_EQ(completion_time(job, phone, 5.0, 100.0), 38.0 * 2.0 + 100.0 * 7.0);
+  EXPECT_DOUBLE_EQ(completion_time(job, phone, 5.0, 100.0, false), 100.0 * 7.0);
+}
+
+}  // namespace
+}  // namespace cwc::core

@@ -1,0 +1,100 @@
+#include "core/relaxation.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/greedy.h"
+#include "core/testbed.h"
+#include "lp/simplex.h"
+
+namespace cwc::core {
+namespace {
+
+PredictionModel simple_prediction() {
+  PredictionModel model;
+  model.set_reference("t", 10.0, 1000.0);
+  return model;
+}
+
+PhoneSpec make_phone(PhoneId id, double mhz, MsPerKb b) {
+  PhoneSpec p;
+  p.id = id;
+  p.cpu_mhz = mhz;
+  p.b = b;
+  return p;
+}
+
+JobSpec make_job(JobId id, Kilobytes input, Kilobytes exec = 0.0) {
+  JobSpec j;
+  j.id = id;
+  j.task_name = "t";
+  j.kind = JobKind::kBreakable;
+  j.exec_kb = exec;
+  j.input_kb = input;
+  return j;
+}
+
+TEST(Relaxation, ExactOnSinglePhone) {
+  // One phone: the relaxation is tight. 100 KB at (1 + 10) ms/KB + exec.
+  const auto prediction = simple_prediction();
+  const std::vector<PhoneSpec> phones = {make_phone(0, 1000.0, 1.0)};
+  const std::vector<JobSpec> jobs = {make_job(0, 100.0, 10.0)};
+  const RelaxationResult result = relaxed_lower_bound(jobs, phones, prediction);
+  ASSERT_TRUE(result.solved);
+  EXPECT_NEAR(result.makespan, 10.0 * 1.0 + 100.0 * 11.0, 1e-6);
+}
+
+TEST(Relaxation, PerfectSplitOnIdenticalPhones) {
+  // Two identical phones, one splittable job with no executable: the fluid
+  // optimum halves the single-phone time.
+  const auto prediction = simple_prediction();
+  const std::vector<PhoneSpec> phones = {make_phone(0, 1000.0, 1.0), make_phone(1, 1000.0, 1.0)};
+  const std::vector<JobSpec> jobs = {make_job(0, 100.0)};
+  const RelaxationResult result = relaxed_lower_bound(jobs, phones, prediction);
+  ASSERT_TRUE(result.solved);
+  EXPECT_NEAR(result.makespan, 100.0 * 11.0 / 2.0, 1e-6);
+}
+
+TEST(Relaxation, LowerBoundsGreedyOnPaperWorkload) {
+  // T_relaxed <= T_cwc, the inequality behind Fig. 13.
+  Rng rng(5);
+  const auto prediction = paper_prediction();
+  const auto phones = paper_testbed(rng);
+  const auto jobs = paper_workload(rng, 0.05);
+  const RelaxationResult bound = relaxed_lower_bound(jobs, phones, prediction);
+  ASSERT_TRUE(bound.solved);
+  const Schedule schedule = GreedyScheduler().build(jobs, phones, prediction);
+  EXPECT_LE(bound.makespan, schedule.predicted_makespan + 1e-6);
+  EXPECT_GT(bound.makespan, 0.0);
+  // And the greedy should not be wildly far from the bound on this
+  // workload (the paper reports a median gap around 18%).
+  EXPECT_LT(schedule.predicted_makespan, bound.makespan * 2.0);
+}
+
+TEST(Relaxation, ZeroInputJobsContributeNothing) {
+  const auto prediction = simple_prediction();
+  const std::vector<PhoneSpec> phones = {make_phone(0, 1000.0, 1.0)};
+  const std::vector<JobSpec> jobs = {make_job(0, 0.0, 50.0), make_job(1, 100.0)};
+  const RelaxationResult result = relaxed_lower_bound(jobs, phones, prediction);
+  ASSERT_TRUE(result.solved);
+  EXPECT_NEAR(result.makespan, 100.0 * 11.0, 1e-6);
+}
+
+TEST(Relaxation, ProblemShapeIsCompact) {
+  Rng rng(6);
+  const auto prediction = paper_prediction();
+  const auto phones = paper_testbed(rng);
+  const auto jobs = paper_workload(rng, 0.05);
+  const lp::Problem problem = build_relaxation(jobs, phones, prediction);
+  // T + l_ij for each (job, phone) pair.
+  EXPECT_EQ(problem.variable_count(), 1 + jobs.size() * phones.size());
+  EXPECT_EQ(problem.constraint_count(), phones.size() + jobs.size());
+}
+
+TEST(Relaxation, NoPhonesThrows) {
+  const auto prediction = simple_prediction();
+  EXPECT_THROW(build_relaxation({make_job(0, 10.0)}, {}, prediction), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cwc::core

@@ -1,0 +1,175 @@
+// Chaos suite: randomized failure storms against the full simulated stack
+// (controller + greedy scheduler + prediction + event-driven testbed).
+// The invariants under test are the ones CWC's design promises:
+//   - every batch completes as long as capacity eventually exists;
+//   - per-phone timelines never overlap and never extend past a phone's
+//     failure while it is dead;
+//   - rescheduling rounds converge (no livelock of failed work);
+//   - the prediction model only ever sees consistent reports.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "common/rng.h"
+#include "core/failure_aware.h"
+#include "core/greedy.h"
+#include "core/testbed.h"
+#include "sim/simulator.h"
+
+namespace cwc {
+namespace {
+
+struct ChaosCase {
+  std::uint64_t seed;
+  int failure_events;
+  bool include_offline;
+  bool include_replug;
+  bool failure_aware;
+};
+
+class ChaosTest : public ::testing::TestWithParam<ChaosCase> {};
+
+TEST_P(ChaosTest, BatchSurvivesFailureStorm) {
+  const ChaosCase& params = GetParam();
+  Rng rng(params.seed);
+  const auto phones = core::paper_testbed(rng);
+
+  std::unique_ptr<core::Scheduler> scheduler;
+  if (params.failure_aware) {
+    std::map<PhoneId, double> risk;
+    for (const auto& phone : phones) risk[phone.id] = rng.uniform(0.0, 0.5);
+    scheduler = std::make_unique<core::FailureAwareScheduler>(
+        std::make_unique<core::GreedyScheduler>(), risk);
+  } else {
+    scheduler = std::make_unique<core::GreedyScheduler>();
+  }
+
+  sim::SimOptions options;
+  options.scheduling_period = seconds(60.0);
+  options.max_time = hours(6.0);
+  sim::TestbedSimulation simulation(std::move(scheduler), core::paper_prediction(), phones,
+                                    options, params.seed * 3 + 1);
+  for (const auto& job : core::paper_workload(rng, 0.05)) simulation.submit(job);
+
+  // A storm of failures over the first ~4 minutes; phone 0 never fails so
+  // capacity always exists. Failed phones may replug later.
+  std::vector<sim::FailureEvent> injected;
+  for (int k = 0; k < params.failure_events; ++k) {
+    const auto phone = static_cast<PhoneId>(rng.uniform_int(1, 17));
+    const Millis when = seconds(rng.uniform(5.0, 240.0));
+    const bool offline = params.include_offline && rng.chance(0.4);
+    injected.push_back({when, phone,
+                        offline ? sim::FailureKind::kUnplugOffline
+                                : sim::FailureKind::kUnplugOnline});
+    if (params.include_replug && rng.chance(0.5)) {
+      injected.push_back({when + seconds(rng.uniform(60.0, 300.0)), phone,
+                          sim::FailureKind::kReplug});
+    }
+  }
+  for (const auto& event : injected) simulation.inject(event);
+
+  // Reference availability state machine per phone (mirrors the sim's
+  // no-op rules: unplug on a dead phone and replug on a live one do
+  // nothing). dead_after[phone] = time of the final, never-reverted death.
+  std::map<PhoneId, Millis> dead_after;
+  {
+    std::sort(injected.begin(), injected.end(),
+              [](const sim::FailureEvent& a, const sim::FailureEvent& b) {
+                return a.time < b.time;
+              });
+    std::map<PhoneId, bool> alive;
+    for (const auto& event : injected) {
+      bool& is_alive = alive.try_emplace(event.phone, true).first->second;
+      if (event.kind == sim::FailureKind::kReplug) {
+        is_alive = true;
+        dead_after.erase(event.phone);
+      } else if (is_alive) {
+        is_alive = false;
+        dead_after.emplace(event.phone, event.time);
+      }
+    }
+  }
+
+  const sim::SimResult result = simulation.run();
+  ASSERT_TRUE(result.completed) << "batch did not finish despite surviving capacity";
+  EXPECT_TRUE(simulation.controller().all_done());
+  EXPECT_GE(result.scheduling_rounds, 1u);
+
+  // Timeline sanity: per-phone segments do not overlap; phones that failed
+  // permanently have no segments starting after their first failure.
+  std::map<PhoneId, std::vector<std::pair<Millis, Millis>>> per_phone;
+  for (const auto& segment : result.timeline) {
+    EXPECT_LE(segment.start, segment.end);
+    per_phone[segment.phone].emplace_back(segment.start, segment.end);
+    const auto failed = dead_after.find(segment.phone);
+    if (failed != dead_after.end()) {
+      EXPECT_LE(segment.start, failed->second + 1e-6)
+          << "phone " << segment.phone << " worked after permanent failure";
+    }
+  }
+  for (auto& [phone, spans] : per_phone) {
+    std::sort(spans.begin(), spans.end());
+    for (std::size_t i = 1; i < spans.size(); ++i) {
+      EXPECT_GE(spans[i].first, spans[i - 1].second - 1e-6) << "phone " << phone;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Storms, ChaosTest,
+    ::testing::Values(ChaosCase{1, 4, false, false, false}, ChaosCase{2, 8, true, false, false},
+                      ChaosCase{3, 8, true, true, false}, ChaosCase{4, 12, true, true, false},
+                      ChaosCase{5, 6, false, true, true}, ChaosCase{6, 12, true, true, true},
+                      ChaosCase{7, 16, true, true, false}, ChaosCase{8, 16, true, true, true}));
+
+TEST(Chaos, EveryPhoneFailsBatchStallsUntilReplug) {
+  Rng rng(99);
+  const auto phones = core::paper_testbed(rng);
+  sim::SimOptions options;
+  options.scheduling_period = seconds(60.0);
+  options.max_time = hours(6.0);
+  sim::TestbedSimulation simulation(std::make_unique<core::GreedyScheduler>(),
+                                    core::paper_prediction(), phones, options, 99);
+  for (const auto& job : core::paper_workload(rng, 0.03)) simulation.submit(job);
+  // Everyone unplugs in the first minute...
+  for (PhoneId id = 0; id < 18; ++id) {
+    simulation.inject({seconds(5.0 + id), id, sim::FailureKind::kUnplugOnline});
+  }
+  // ...and two phones come back an hour later.
+  simulation.inject({hours(1.0), 4, sim::FailureKind::kReplug});
+  simulation.inject({hours(1.0), 7, sim::FailureKind::kReplug});
+
+  const sim::SimResult result = simulation.run();
+  ASSERT_TRUE(result.completed);
+  EXPECT_GE(result.makespan, hours(1.0));
+  // Only the replugged phones (and everyone, before the storm) worked.
+  for (const auto& segment : result.timeline) {
+    if (segment.start > seconds(60.0)) {
+      EXPECT_TRUE(segment.phone == 4 || segment.phone == 7)
+          << "phone " << segment.phone << " worked while unplugged";
+    }
+  }
+}
+
+TEST(Chaos, RepeatedFailReplugCyclesConverge) {
+  Rng rng(123);
+  const auto phones = core::paper_testbed(rng);
+  sim::SimOptions options;
+  options.scheduling_period = seconds(30.0);
+  options.max_time = hours(8.0);
+  sim::TestbedSimulation simulation(std::make_unique<core::GreedyScheduler>(),
+                                    core::paper_prediction(), phones, options, 123);
+  for (const auto& job : core::paper_workload(rng, 0.05)) simulation.submit(job);
+  // Phone 1 flaps: unplug/replug every two minutes for half an hour.
+  for (int cycle = 0; cycle < 15; ++cycle) {
+    simulation.inject({seconds(30.0 + cycle * 120.0), 1, sim::FailureKind::kUnplugOnline});
+    simulation.inject({seconds(90.0 + cycle * 120.0), 1, sim::FailureKind::kReplug});
+  }
+  const sim::SimResult result = simulation.run();
+  ASSERT_TRUE(result.completed);
+  EXPECT_TRUE(simulation.controller().all_done());
+}
+
+}  // namespace
+}  // namespace cwc

@@ -1,0 +1,144 @@
+// Cross-substrate consistency: the same controller + scheduler brain runs
+// under the discrete-event simulator and the real TCP deployment. These
+// tests pin down that the two substrates agree on the things that must not
+// depend on the substrate: completion, result correctness, scheduling
+// decisions, and prediction refinement.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "core/greedy.h"
+#include "core/testbed.h"
+#include "net/phone_agent.h"
+#include "net/server.h"
+#include "sim/simulator.h"
+#include "tasks/generators.h"
+#include "tasks/primes.h"
+#include "tasks/wordcount.h"
+
+namespace cwc {
+namespace {
+
+TEST(CrossSubstrate, SameWorkloadCompletesOnBothSubstrates) {
+  // Three phones with matching capability descriptions on each substrate.
+  const double mhz[3] = {1500.0, 1200.0, 900.0};
+
+  // --- simulator side -------------------------------------------------------
+  std::vector<core::PhoneSpec> phones;
+  for (PhoneId id = 0; id < 3; ++id) {
+    core::PhoneSpec p;
+    p.id = id;
+    p.cpu_mhz = mhz[id];
+    p.b = 1.0;
+    p.hidden_efficiency = 1.0;
+    phones.push_back(p);
+  }
+  sim::SimOptions options;
+  sim::TestbedSimulation simulation(std::make_unique<core::GreedyScheduler>(),
+                                    core::paper_prediction(), phones, options, 5);
+  core::JobSpec job;
+  job.task_name = core::kPrimeTask;
+  job.kind = JobKind::kBreakable;
+  job.exec_kb = 38.0;
+  job.input_kb = 256.0;
+  simulation.submit(job);
+  const sim::SimResult sim_result = simulation.run();
+  ASSERT_TRUE(sim_result.completed);
+
+  // --- live side -------------------------------------------------------------
+  const tasks::TaskRegistry registry = tasks::TaskRegistry::with_builtins();
+  net::ServerConfig config;
+  config.keepalive_period = 100.0;
+  config.scheduling_period = 100.0;
+  net::CwcServer server(std::make_unique<core::GreedyScheduler>(), core::paper_prediction(),
+                        &registry, config);
+  Rng rng(5);
+  const auto input = tasks::make_integer_input(rng, 256.0);
+  const JobId live_job = server.submit(core::kPrimeTask, input);
+
+  std::vector<std::unique_ptr<net::PhoneAgent>> agents;
+  for (PhoneId id = 0; id < 3; ++id) {
+    net::PhoneAgentConfig agent;
+    agent.id = id;
+    agent.cpu_mhz = mhz[id];
+    agent.emulated_compute_ms_per_kb = 2.0;
+    agents.push_back(std::make_unique<net::PhoneAgent>(server.port(), agent, &registry));
+    agents.back()->start();
+  }
+  ASSERT_TRUE(server.run(3, seconds(60.0)));
+
+  // Both substrates finished the batch; the live one has a checkable result.
+  tasks::PrimeCountFactory factory;
+  EXPECT_EQ(tasks::PrimeCountFactory::decode(server.result(live_job)),
+            tasks::PrimeCountFactory::decode(tasks::run_to_completion(factory, input)));
+  // Both controllers refined predictions from reports.
+  EXPECT_GT(simulation.controller().prediction().observed_pairs(), 0u);
+  EXPECT_GT(server.controller().prediction().observed_pairs(), 0u);
+  for (auto& agent : agents) agent->join();
+}
+
+TEST(CrossSubstrate, SchedulersAgreeOnPlacementShape) {
+  // Identical phone descriptions must produce the identical first schedule
+  // regardless of substrate — scheduling is a pure function of specs.
+  std::vector<core::PhoneSpec> phones;
+  for (PhoneId id = 0; id < 4; ++id) {
+    core::PhoneSpec p;
+    p.id = id;
+    p.cpu_mhz = 900.0 + 200.0 * id;
+    p.b = 1.0 + 3.0 * id;
+    phones.push_back(p);
+  }
+  std::vector<core::JobSpec> jobs;
+  Rng rng(11);
+  for (JobId id = 0; id < 12; ++id) {
+    core::JobSpec job;
+    job.id = id;
+    job.task_name = core::kPrimeTask;
+    job.kind = id % 3 == 0 ? JobKind::kAtomic : JobKind::kBreakable;
+    job.exec_kb = 38.0;
+    job.input_kb = rng.uniform(100.0, 2000.0);
+    jobs.push_back(job);
+  }
+  const auto prediction = core::paper_prediction();
+  const core::Schedule a = core::GreedyScheduler().build(jobs, phones, prediction);
+  const core::Schedule b = core::GreedyScheduler().build(jobs, phones, prediction);
+  ASSERT_EQ(a.plans.size(), b.plans.size());
+  for (std::size_t i = 0; i < a.plans.size(); ++i) {
+    ASSERT_EQ(a.plans[i].pieces.size(), b.plans[i].pieces.size());
+    for (std::size_t k = 0; k < a.plans[i].pieces.size(); ++k) {
+      EXPECT_EQ(a.plans[i].pieces[k].job, b.plans[i].pieces[k].job);
+      EXPECT_DOUBLE_EQ(a.plans[i].pieces[k].input_kb, b.plans[i].pieces[k].input_kb);
+    }
+  }
+  EXPECT_DOUBLE_EQ(a.predicted_makespan, b.predicted_makespan);
+}
+
+TEST(CrossSubstrate, MultiBatchSubmissionOverTime) {
+  // Jobs arriving across scheduling instants (the paper's instant-A /
+  // instant-B model): later submissions pack on top of outstanding load.
+  Rng rng(21);
+  const auto phones = core::paper_testbed(rng);
+  sim::SimOptions options;
+  options.scheduling_period = seconds(30.0);
+  sim::TestbedSimulation simulation(std::make_unique<core::GreedyScheduler>(),
+                                    core::paper_prediction(), phones, options, 21);
+  // First batch now...
+  for (const auto& job : core::paper_workload(rng, 0.02)) simulation.submit(job);
+  const sim::SimResult first = simulation.run();
+  ASSERT_TRUE(first.completed);
+
+  // ...second batch after the first completed (fresh submissions reuse the
+  // same controller and its refined predictions).
+  auto more = core::paper_workload(rng, 0.02);
+  for (auto& job : more) {
+    job.id += 1000;
+    simulation.submit(job);
+  }
+  const sim::SimResult second = simulation.run();
+  ASSERT_TRUE(second.completed);
+  EXPECT_TRUE(simulation.controller().all_done());
+}
+
+}  // namespace
+}  // namespace cwc

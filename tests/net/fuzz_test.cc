@@ -1,0 +1,121 @@
+// Robustness fuzzing of the deserialization surfaces: a CWC server reads
+// frames from phones it does not control, so every decoder must fail by
+// *throwing* (never crashing, never reading out of bounds) on arbitrary
+// bytes. These tests feed structured-random garbage into every decode
+// path and into the frame decoder.
+#include <gtest/gtest.h>
+
+#include "common/buffer.h"
+#include "common/rng.h"
+#include "mapreduce/mapreduce.h"
+#include "net/framing.h"
+#include "net/protocol.h"
+#include "tasks/blur.h"
+
+namespace cwc::net {
+namespace {
+
+Blob random_blob(Rng& rng, std::size_t max_len) {
+  Blob blob(static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(max_len))));
+  for (auto& byte : blob) byte = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  return blob;
+}
+
+/// A decode call may succeed or throw std::exception; anything else
+/// (crash, UB caught by sanitizers) fails the test by construction.
+template <typename Fn>
+void must_not_crash(Fn&& fn) {
+  try {
+    fn();
+  } catch (const std::exception&) {
+    // expected for malformed input
+  }
+}
+
+class ProtocolFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProtocolFuzz, RandomBytesNeverCrashDecoders) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761ULL + 17);
+  for (int round = 0; round < 500; ++round) {
+    const Blob blob = random_blob(rng, 256);
+    must_not_crash([&] { (void)decode_register(blob); });
+    must_not_crash([&] { (void)decode_register_ack(blob); });
+    must_not_crash([&] { (void)decode_probe_request(blob); });
+    must_not_crash([&] { (void)decode_probe_report(blob); });
+    must_not_crash([&] { (void)decode_assign_piece(blob); });
+    must_not_crash([&] { (void)decode_piece_complete(blob); });
+    must_not_crash([&] { (void)decode_piece_failed(blob); });
+    must_not_crash([&] { (void)decode_keepalive(blob); });
+    must_not_crash([&] { (void)peek_type(blob); });
+  }
+}
+
+TEST_P(ProtocolFuzz, TruncatedValidFramesThrowCleanly) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 40503 + 3);
+  // Start from a valid encoded message, truncate at every prefix length.
+  AssignPieceMsg msg;
+  msg.job = 5;
+  msg.piece_seq = 9;
+  msg.task_name = "prime-count";
+  msg.executable = random_blob(rng, 64);
+  msg.input = random_blob(rng, 128);
+  msg.checkpoint = random_blob(rng, 32);
+  const Blob valid = encode(msg);
+  for (std::size_t len = 0; len < valid.size(); ++len) {
+    Blob truncated(valid.begin(), valid.begin() + static_cast<std::ptrdiff_t>(len));
+    must_not_crash([&] { (void)decode_assign_piece(truncated); });
+  }
+  // The full frame must decode.
+  EXPECT_EQ(decode_assign_piece(valid).task_name, "prime-count");
+}
+
+TEST_P(ProtocolFuzz, FrameDecoderSurvivesGarbageStreams) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 97 + 11);
+  FrameDecoder decoder;
+  for (int round = 0; round < 200; ++round) {
+    const Blob chunk = random_blob(rng, 64);
+    decoder.feed(chunk);
+    try {
+      while (decoder.pop()) {
+      }
+    } catch (const std::runtime_error&) {
+      // oversized length prefix: the server would drop this connection.
+      decoder = FrameDecoder();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolFuzz, ::testing::Range(0, 6));
+
+TEST(DecoderFuzz, CorruptedCheckpointsAndTablesThrow) {
+  Rng rng(77);
+  for (int round = 0; round < 500; ++round) {
+    const Blob blob = random_blob(rng, 128);
+    must_not_crash([&] { (void)mapreduce::decode_table(blob); });
+    must_not_crash([&] { (void)tasks::decode_image(blob); });
+    must_not_crash([&] {
+      BufferReader r(blob);
+      (void)r.read_string();
+    });
+  }
+}
+
+TEST(DecoderFuzz, BitflippedValidMessagesNeverCrash) {
+  Rng rng(78);
+  PieceFailedMsg msg;
+  msg.job = 3;
+  msg.processed_bytes = 4096;
+  msg.partial_result = random_blob(rng, 64);
+  msg.checkpoint = random_blob(rng, 64);
+  const Blob valid = encode(msg);
+  for (int round = 0; round < 2000; ++round) {
+    Blob mutated = valid;
+    const auto pos =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(valid.size()) - 1));
+    mutated[pos] ^= static_cast<std::uint8_t>(1 << rng.uniform_int(0, 7));
+    must_not_crash([&] { (void)decode_piece_failed(mutated); });
+  }
+}
+
+}  // namespace
+}  // namespace cwc::net

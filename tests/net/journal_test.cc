@@ -1,0 +1,185 @@
+// Journal + crash-recovery tests: unit tests of the record/replay format
+// and an end-to-end crash drill (server 1 makes partial progress and
+// "crashes"; server 2 recovers the journal, finishes only the remainder,
+// and the combined result is exact).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "core/greedy.h"
+#include "core/testbed.h"
+#include "net/journal.h"
+#include "net/phone_agent.h"
+#include "net/server.h"
+#include "tasks/generators.h"
+#include "tasks/primes.h"
+
+namespace cwc::net {
+namespace {
+
+std::string temp_journal(const char* tag) {
+  return std::string("/tmp/cwc_journal_") + tag + "_" + std::to_string(::getpid()) + ".log";
+}
+
+TEST(Journal, RecordReplayRoundTrip) {
+  const std::string path = temp_journal("roundtrip");
+  {
+    Journal journal(path, /*truncate=*/true);
+    journal.record_submit(7, "prime-count", {1, 2, 3, 4, 5, 6, 7, 8});
+    journal.record_progress(7, {{0, 4}}, {0xAA});
+    journal.record_progress(7, {{6, 8}}, {0xBB});
+    journal.record_submit(9, "photo-blur", {9, 9});
+    journal.record_atomic_done(9, {0xCC});
+  }
+  const auto jobs = Journal::replay(path);
+  ASSERT_EQ(jobs.size(), 2u);
+
+  const auto& breakable = jobs.at(7);
+  EXPECT_EQ(breakable.task_name, "prime-count");
+  EXPECT_EQ(breakable.input.size(), 8u);
+  EXPECT_EQ(breakable.partials.size(), 2u);
+  EXPECT_FALSE(breakable.done(false));
+  const auto remaining = breakable.remaining_ranges();
+  ASSERT_EQ(remaining.size(), 1u);  // only [4, 6) is uncovered
+  EXPECT_EQ(remaining[0], (std::pair<std::uint64_t, std::uint64_t>{4, 6}));
+  EXPECT_EQ(breakable.remaining_bytes(), 2u);
+
+  const auto& atomic = jobs.at(9);
+  ASSERT_TRUE(atomic.atomic_result.has_value());
+  EXPECT_TRUE(atomic.done(true));
+  std::remove(path.c_str());
+}
+
+TEST(Journal, ToleratesTornFinalRecord) {
+  const std::string path = temp_journal("torn");
+  {
+    Journal journal(path, /*truncate=*/true);
+    journal.record_submit(1, "prime-count", {1, 2, 3});
+    journal.record_progress(1, {{0, 3}}, {0x11});
+  }
+  // Simulate a crash mid-write: append a frame header that promises more
+  // bytes than exist.
+  {
+    FILE* f = std::fopen(path.c_str(), "ab");
+    const unsigned char torn[] = {0xFF, 0x00, 0x00, 0x00, 0x01, 0x02};
+    std::fwrite(torn, 1, sizeof torn, f);
+    std::fclose(f);
+  }
+  const auto jobs = Journal::replay(path);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_TRUE(jobs.at(1).done(false));
+  std::remove(path.c_str());
+}
+
+TEST(Journal, OverlappingRangesNormalize) {
+  Journal::RecoveredJob job;
+  job.input.resize(100);
+  job.completed_ranges = {{10, 40}, {30, 60}, {0, 5}};
+  const auto remaining = job.remaining_ranges();
+  ASSERT_EQ(remaining.size(), 2u);
+  EXPECT_EQ(remaining[0], (std::pair<std::uint64_t, std::uint64_t>{5, 10}));
+  EXPECT_EQ(remaining[1], (std::pair<std::uint64_t, std::uint64_t>{60, 100}));
+  EXPECT_EQ(job.remaining_bytes(), 45u);
+}
+
+TEST(Journal, MissingFileThrows) {
+  EXPECT_THROW(Journal::replay("/tmp/definitely_missing_cwc_journal"), std::runtime_error);
+}
+
+TEST(JournalRecovery, CrashedBatchResumesExactly) {
+  const std::string path = temp_journal("crash");
+  std::remove(path.c_str());
+
+  const tasks::TaskRegistry registry = tasks::TaskRegistry::with_builtins();
+  Rng rng(11);
+  const auto input = tasks::make_integer_input(rng, 192.0);
+  tasks::PrimeCountFactory factory;
+  const std::uint64_t expected =
+      tasks::PrimeCountFactory::decode(tasks::run_to_completion(factory, input));
+
+  ServerConfig config;
+  config.keepalive_period = 50.0;
+  config.scheduling_period = 50.0;
+  config.probe_chunks = 2;
+  config.probe_chunk_bytes = 16 * 1024;
+  config.journal_path = path;
+
+  // Phase 1: a slow phone makes partial progress, then the server "crashes"
+  // (run() times out and the server object is destroyed).
+  {
+    CwcServer server(std::make_unique<core::GreedyScheduler>(), core::paper_prediction(),
+                     &registry, config);
+    server.submit("prime-count", input);
+    PhoneAgentConfig slow;
+    slow.id = 0;
+    slow.cpu_mhz = 900.0;
+    slow.emulated_compute_ms_per_kb = 30.0;  // ~6 s for the whole input
+    slow.step_bytes = 8 * 1024;              // several pieces visible
+    PhoneAgent agent(server.port(), slow, &registry);
+    agent.start();
+    EXPECT_FALSE(server.run(1, 2500.0));  // crash before completion
+  }
+
+  // The journal must show a submitted job with real progress but not done.
+  const auto snapshot = Journal::replay(path);
+  ASSERT_EQ(snapshot.size(), 1u);
+  const auto& job_state = snapshot.begin()->second;
+  EXPECT_FALSE(job_state.done(false));
+
+  // Phase 2: a fresh server recovers and a fast phone finishes only the
+  // remainder; the merged result must be exact.
+  ServerConfig config2 = config;
+  config2.journal_path.clear();  // the second run may journal elsewhere
+  CwcServer recovered(std::make_unique<core::GreedyScheduler>(), core::paper_prediction(),
+                      &registry, config2);
+  const auto mapping = recovered.recover_from(path);
+  ASSERT_EQ(mapping.size(), 1u);
+  const JobId new_id = mapping.begin()->second;
+
+  PhoneAgentConfig fast;
+  fast.id = 1;
+  fast.cpu_mhz = 1500.0;
+  fast.emulated_compute_ms_per_kb = 1.0;
+  PhoneAgent finisher(recovered.port(), fast, &registry);
+  finisher.start();
+  ASSERT_TRUE(recovered.run(1, seconds(30.0)));
+  EXPECT_EQ(tasks::PrimeCountFactory::decode(recovered.result(new_id)), expected);
+  finisher.join();
+  std::remove(path.c_str());
+}
+
+TEST(JournalRecovery, CompletedJobsNeedNoPhones) {
+  const std::string path = temp_journal("done");
+  std::remove(path.c_str());
+  const tasks::TaskRegistry registry = tasks::TaskRegistry::with_builtins();
+
+  // Fabricate a journal of one fully-completed breakable job.
+  tasks::PrimeCountFactory factory;
+  const tasks::Bytes input = [] {
+    Rng rng(3);
+    return tasks::make_integer_input(rng, 16.0);
+  }();
+  const Blob partial = tasks::run_to_completion(factory, input);
+  {
+    Journal journal(path, true);
+    journal.record_submit(0, "prime-count", input);
+    journal.record_progress(0, {{0, input.size()}}, partial);
+  }
+
+  ServerConfig config;
+  CwcServer server(std::make_unique<core::GreedyScheduler>(), core::paper_prediction(),
+                   &registry, config);
+  const auto mapping = server.recover_from(path);
+  ASSERT_EQ(mapping.size(), 1u);
+  const JobId id = mapping.at(0);
+  EXPECT_TRUE(server.job_done(id));
+  EXPECT_EQ(tasks::PrimeCountFactory::decode(server.result(id)),
+            tasks::PrimeCountFactory::decode(factory.aggregate({partial})));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cwc::net

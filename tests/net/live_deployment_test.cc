@@ -1,0 +1,251 @@
+// End-to-end tests of the wire deployment: a real CwcServer and real
+// PhoneAgent threads over loopback TCP, executing real task code. These
+// are the live counterparts of the prototype experiments in Section 6.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "core/greedy.h"
+#include "core/testbed.h"
+#include "net/phone_agent.h"
+#include "net/server.h"
+#include "tasks/blur.h"
+#include "tasks/generators.h"
+#include "tasks/primes.h"
+#include "tasks/wordcount.h"
+
+namespace cwc::net {
+namespace {
+
+ServerConfig fast_config() {
+  ServerConfig config;
+  config.keepalive_period = 50.0;  // ms; tests cannot wait 90 s
+  config.keepalive_misses = 3;
+  config.scheduling_period = 50.0;
+  config.probe_chunks = 2;
+  config.probe_chunk_bytes = 16 * 1024;
+  return config;
+}
+
+PhoneAgentConfig agent_config(PhoneId id, double mhz = 1000.0, MsPerKb compute = 0.0) {
+  PhoneAgentConfig config;
+  config.id = id;
+  config.cpu_mhz = mhz;
+  config.emulated_compute_ms_per_kb = compute;
+  return config;
+}
+
+std::uint64_t expected_primes(const tasks::Bytes& input) {
+  tasks::PrimeCountFactory factory;
+  return tasks::PrimeCountFactory::decode(tasks::run_to_completion(factory, input));
+}
+
+TEST(LiveDeployment, SinglePhoneSingleJob) {
+  const tasks::TaskRegistry registry = tasks::TaskRegistry::with_builtins();
+  CwcServer server(std::make_unique<core::GreedyScheduler>(), core::paper_prediction(),
+                   &registry, fast_config());
+  Rng rng(1);
+  const auto input = tasks::make_integer_input(rng, 64.0);
+  const JobId job = server.submit("prime-count", input);
+
+  PhoneAgent agent(server.port(), agent_config(0), &registry);
+  agent.start();
+  ASSERT_TRUE(server.run(1, seconds(30.0)));
+  EXPECT_TRUE(server.job_done(job));
+  EXPECT_EQ(tasks::PrimeCountFactory::decode(server.result(job)), expected_primes(input));
+  agent.join();
+}
+
+TEST(LiveDeployment, BreakableJobSplitsAcrossPhones) {
+  const tasks::TaskRegistry registry = tasks::TaskRegistry::with_builtins();
+  CwcServer server(std::make_unique<core::GreedyScheduler>(), core::paper_prediction(),
+                   &registry, fast_config());
+  Rng rng(2);
+  const auto input = tasks::make_integer_input(rng, 256.0);
+  const JobId job = server.submit("prime-count", input);
+
+  // Three phones, equal emulated compute so the job is split.
+  std::vector<std::unique_ptr<PhoneAgent>> agents;
+  for (PhoneId id = 0; id < 3; ++id) {
+    agents.push_back(
+        std::make_unique<PhoneAgent>(server.port(), agent_config(id, 1200.0, 2.0), &registry));
+    agents.back()->start();
+  }
+  ASSERT_TRUE(server.run(3, seconds(60.0)));
+  EXPECT_EQ(tasks::PrimeCountFactory::decode(server.result(job)), expected_primes(input));
+  std::size_t total_pieces = 0;
+  for (auto& agent : agents) total_pieces += agent->pieces_completed();
+  EXPECT_GE(total_pieces, 2u);  // genuinely parallelized
+  for (auto& agent : agents) agent->join();
+}
+
+TEST(LiveDeployment, MixedWorkloadAggregatesCorrectly) {
+  const tasks::TaskRegistry registry = tasks::TaskRegistry::with_builtins();
+  CwcServer server(std::make_unique<core::GreedyScheduler>(), core::paper_prediction(),
+                   &registry, fast_config());
+  Rng rng(3);
+  const auto primes_input = tasks::make_integer_input(rng, 96.0);
+  const auto text_input = tasks::make_text_input(rng, 96.0);
+  const auto image_input = tasks::make_image_input(rng, 96, 64);
+  const JobId primes_job = server.submit("prime-count", primes_input);
+  const JobId words_job = server.submit("word-count:error", text_input);
+  const JobId blur_job = server.submit("photo-blur", image_input);
+
+  std::vector<std::unique_ptr<PhoneAgent>> agents;
+  for (PhoneId id = 0; id < 4; ++id) {
+    agents.push_back(
+        std::make_unique<PhoneAgent>(server.port(), agent_config(id, 1000.0 + 100.0 * id),
+                                     &registry));
+    agents.back()->start();
+  }
+  ASSERT_TRUE(server.run(4, seconds(60.0)));
+
+  EXPECT_EQ(tasks::PrimeCountFactory::decode(server.result(primes_job)),
+            expected_primes(primes_input));
+  tasks::WordCountFactory words("error");
+  EXPECT_EQ(tasks::WordCountFactory::decode(server.result(words_job)),
+            tasks::WordCountFactory::decode(tasks::run_to_completion(words, text_input)));
+  const tasks::Image blurred = tasks::decode_image(server.result(blur_job));
+  const tasks::Image expected =
+      tasks::box_blur_reference(tasks::decode_image(image_input));
+  EXPECT_EQ(blurred.pixels, expected.pixels);
+  for (auto& agent : agents) agent->join();
+}
+
+TEST(LiveDeployment, OnlineFailureMigratesWork) {
+  const tasks::TaskRegistry registry = tasks::TaskRegistry::with_builtins();
+  CwcServer server(std::make_unique<core::GreedyScheduler>(), core::paper_prediction(),
+                   &registry, fast_config());
+  Rng rng(4);
+  const auto input = tasks::make_integer_input(rng, 256.0);
+  const JobId job = server.submit("prime-count", input);
+
+  // Phone 0 is slow enough that we can unplug it mid-execution.
+  PhoneAgent victim(server.port(), agent_config(0, 900.0, 25.0), &registry);
+  PhoneAgent survivor(server.port(), agent_config(1, 1000.0, 2.0), &registry);
+  victim.start();
+  survivor.start();
+
+  std::thread unplugger([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    victim.unplug(/*offline=*/false);
+  });
+  ASSERT_TRUE(server.run(2, seconds(60.0)));
+  unplugger.join();
+  EXPECT_EQ(tasks::PrimeCountFactory::decode(server.result(job)), expected_primes(input));
+  victim.join();
+  survivor.join();
+}
+
+TEST(LiveDeployment, OfflineFailureDetectedByKeepalives) {
+  const tasks::TaskRegistry registry = tasks::TaskRegistry::with_builtins();
+  CwcServer server(std::make_unique<core::GreedyScheduler>(), core::paper_prediction(),
+                   &registry, fast_config());
+  Rng rng(5);
+  const auto input = tasks::make_integer_input(rng, 128.0);
+  const JobId job = server.submit("prime-count", input);
+
+  PhoneAgent victim(server.port(), agent_config(0, 900.0, 30.0), &registry);
+  PhoneAgent survivor(server.port(), agent_config(1, 1000.0, 2.0), &registry);
+  victim.start();
+  survivor.start();
+
+  std::thread killer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    victim.unplug(/*offline=*/true);
+  });
+  ASSERT_TRUE(server.run(2, seconds(60.0)));
+  killer.join();
+  EXPECT_EQ(tasks::PrimeCountFactory::decode(server.result(job)), expected_primes(input));
+  EXPECT_GE(server.phones_lost(), 1u);
+  victim.join();
+  survivor.join();
+}
+
+TEST(LiveDeployment, BandwidthProbeInformsScheduler) {
+  const tasks::TaskRegistry registry = tasks::TaskRegistry::with_builtins();
+  CwcServer server(std::make_unique<core::GreedyScheduler>(), core::paper_prediction(),
+                   &registry, fast_config());
+  Rng rng(6);
+  const JobId job = server.submit("prime-count", tasks::make_integer_input(rng, 32.0));
+
+  // One deliberately slow emulated link (64 KB/s).
+  PhoneAgentConfig slow = agent_config(0);
+  slow.emulated_link_kbps = 64.0;
+  PhoneAgent agent(server.port(), slow, &registry);
+  agent.start();
+  ASSERT_TRUE(server.run(1, seconds(60.0)));
+  EXPECT_TRUE(server.job_done(job));
+  // The probe should have measured roughly the emulated rate: the
+  // controller's b_i is near 1000/64 ~ 15.6 ms/KB.
+  const MsPerKb measured = server.controller().phone(0).b;
+  EXPECT_GT(measured, 8.0);
+  EXPECT_LT(measured, 32.0);
+  agent.join();
+}
+
+TEST(LiveDeployment, DutyCycleThrottlingStretchesExecution) {
+  // The agent-side MIMD duty cycle: at 50% duty the same work takes about
+  // twice the wall-clock (reported local execution time includes sleeps).
+  const tasks::TaskRegistry registry = tasks::TaskRegistry::with_builtins();
+  Rng rng(9);
+  const auto input = tasks::make_integer_input(rng, 48.0);
+
+  auto timed_run = [&](double duty) {
+    CwcServer server(std::make_unique<core::GreedyScheduler>(), core::paper_prediction(),
+                     &registry, fast_config());
+    server.submit("prime-count", input);
+    PhoneAgentConfig config = agent_config(0, 1000.0, 10.0);
+    config.duty_cycle = duty;
+    PhoneAgent agent(server.port(), config, &registry);
+    const auto start = std::chrono::steady_clock::now();
+    agent.start();
+    EXPECT_TRUE(server.run(1, seconds(30.0)));
+    agent.join();
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+        .count();
+  };
+
+  const double full = timed_run(1.0);
+  const double half = timed_run(0.5);
+  EXPECT_GT(half, full * 1.4);  // ~2x in theory; generous slack for timing
+}
+
+TEST(LiveDeployment, ReplugReconnectsAndFinishesBatch) {
+  // A phone vanishes (offline), gets declared lost, then its owner replugs
+  // it: the agent reconnects, re-registers, and helps finish the batch —
+  // the live analog of the simulator's replug event.
+  const tasks::TaskRegistry registry = tasks::TaskRegistry::with_builtins();
+  CwcServer server(std::make_unique<core::GreedyScheduler>(), core::paper_prediction(),
+                   &registry, fast_config());
+  Rng rng(7);
+  const auto input = tasks::make_integer_input(rng, 128.0);
+  const JobId job = server.submit("prime-count", input);
+
+  PhoneAgentConfig flaky = agent_config(0, 900.0, 15.0);
+  flaky.max_reconnects = 10;
+  flaky.reconnect_backoff = 100.0;
+  PhoneAgent phone_a(server.port(), flaky, &registry);
+  PhoneAgent phone_b(server.port(), agent_config(1, 1000.0, 3.0), &registry);
+  phone_a.start();
+  phone_b.start();
+
+  std::thread owner([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    phone_a.unplug(/*offline=*/true);  // silent death
+    std::this_thread::sleep_for(std::chrono::milliseconds(600));
+    phone_a.replug();  // owner puts it back; the agent reconnects
+  });
+  ASSERT_TRUE(server.run(2, seconds(60.0)));
+  owner.join();
+  EXPECT_EQ(tasks::PrimeCountFactory::decode(server.result(job)), expected_primes(input));
+  EXPECT_GE(server.phones_lost(), 1u);
+  // phone_a may be mid-reconnect when the batch ends (the server never
+  // acked its re-registration); its destructor stops the thread. phone_b
+  // received the shutdown and exits on its own.
+  phone_b.join();
+}
+
+}  // namespace
+}  // namespace cwc::net

@@ -1,0 +1,91 @@
+// Periodic bandwidth re-probing: when a phone's link drifts mid-deployment
+// (the paper's cellular instability), the server's refreshed b_i must track
+// the new rate so later scheduling decisions use reality, not history.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+
+#include "common/rng.h"
+#include "core/greedy.h"
+#include "core/testbed.h"
+#include "net/phone_agent.h"
+#include "net/server.h"
+#include "tasks/generators.h"
+
+namespace cwc::net {
+namespace {
+
+TEST(Reprobe, ServerTracksLinkDrift) {
+  const tasks::TaskRegistry registry = tasks::TaskRegistry::with_builtins();
+  ServerConfig config;
+  config.keepalive_period = 100.0;
+  config.scheduling_period = 100.0;
+  config.probe_chunks = 2;
+  config.probe_chunk_bytes = 8 * 1024;
+  config.reprobe_period = 250.0;  // aggressive, cellular-style
+  CwcServer server(std::make_unique<core::GreedyScheduler>(), core::paper_prediction(),
+                   &registry, config);
+
+  // One atomic job: the greedy places it whole on the faster phone 0,
+  // leaving phone 1 idle (and therefore re-probeable) for the whole run.
+  Rng rng(5);
+  const JobId job = server.submit("photo-blur", tasks::make_image_input(rng, 224, 224));
+
+  PhoneAgentConfig fast_link;
+  fast_link.id = 0;
+  fast_link.cpu_mhz = 1400.0;
+  fast_link.emulated_compute_ms_per_kb = 40.0;  // ~2 s for the photo
+  fast_link.emulated_link_kbps = 2048.0;
+  PhoneAgent worker(server.port(), fast_link, &registry);
+
+  // A second, idle phone whose link collapses mid-run: the re-probe must
+  // notice (the busy phone cannot be probed while executing).
+  PhoneAgentConfig drifting;
+  drifting.id = 1;
+  drifting.cpu_mhz = 806.0;  // clearly worse: the atomic job avoids it
+  drifting.emulated_link_kbps = 2048.0;
+  PhoneAgent idle_phone(server.port(), drifting, &registry);
+
+  worker.start();
+  idle_phone.start();
+  std::thread drift([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    idle_phone.set_emulated_link_kbps(64.0);  // WiFi -> EDGE-grade collapse
+  });
+  ASSERT_TRUE(server.run(2, seconds(60.0)));
+  drift.join();
+  EXPECT_TRUE(server.job_done(job));
+
+  // Registration probes (2) plus at least one re-probe.
+  EXPECT_GE(server.probes_sent(), 3u);
+  // The drifted phone's b_i reflects the collapsed link: ~15.6 ms/KB.
+  const MsPerKb measured = server.controller().phone(1).b;
+  EXPECT_GT(measured, 6.0);
+  worker.join();
+  idle_phone.join();
+}
+
+TEST(Reprobe, DisabledByDefault) {
+  const tasks::TaskRegistry registry = tasks::TaskRegistry::with_builtins();
+  ServerConfig config;
+  config.keepalive_period = 100.0;
+  config.scheduling_period = 50.0;
+  config.probe_chunks = 2;
+  config.probe_chunk_bytes = 8 * 1024;
+  CwcServer server(std::make_unique<core::GreedyScheduler>(), core::paper_prediction(),
+                   &registry, config);
+  Rng rng(6);
+  server.submit("prime-count", tasks::make_integer_input(rng, 32.0));
+  PhoneAgentConfig agent_config;
+  agent_config.id = 0;
+  agent_config.emulated_compute_ms_per_kb = 8.0;
+  PhoneAgent agent(server.port(), agent_config, &registry);
+  agent.start();
+  ASSERT_TRUE(server.run(1, seconds(30.0)));
+  EXPECT_EQ(server.probes_sent(), 1u);  // only the registration probe
+  agent.join();
+}
+
+}  // namespace
+}  // namespace cwc::net

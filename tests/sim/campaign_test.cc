@@ -1,0 +1,79 @@
+#include "sim/campaign.h"
+
+#include <gtest/gtest.h>
+
+namespace cwc::sim {
+namespace {
+
+TEST(Campaign, NightlyBatchesCompleteWithinTheWindow) {
+  CampaignOptions options;
+  options.nights = 5;
+  options.workload_scale = 0.2;  // light nightly batch
+  options.seed = 7;
+  const CampaignResult result = run_campaign(options);
+  ASSERT_EQ(result.nights.size(), 5u);
+  EXPECT_GE(result.nights_completed, 4);  // nearly every night succeeds
+  EXPECT_GT(result.mean_phones, 8.0);     // most of the fleet shows up
+  for (const NightOutcome& night : result.nights) {
+    if (night.completed) {
+      EXPECT_GT(night.makespan, 0.0);
+      EXPECT_LT(night.makespan, hours(7.0));
+    }
+  }
+}
+
+TEST(Campaign, HistoryPlanIsPopulated) {
+  CampaignOptions options;
+  options.nights = 2;
+  options.workload_scale = 0.1;
+  options.seed = 8;
+  const CampaignResult result = run_campaign(options);
+  ASSERT_EQ(result.plan.users.size(), 18u);
+  // History says most employees charge most nights around the release.
+  int reliable = 0;
+  for (const auto& user : result.plan.users) {
+    if (user.p_plugged_at_release > 0.5) ++reliable;
+  }
+  EXPECT_GE(reliable, 8);
+}
+
+TEST(Campaign, FailureAwareVariantRuns) {
+  CampaignOptions options;
+  options.nights = 3;
+  options.workload_scale = 0.15;
+  options.failure_aware = true;
+  options.seed = 9;
+  const CampaignResult result = run_campaign(options);
+  EXPECT_GE(result.nights_completed, 2);
+}
+
+TEST(Campaign, HeavierWorkloadTakesLonger) {
+  CampaignOptions light;
+  light.nights = 3;
+  light.workload_scale = 0.1;
+  light.seed = 10;
+  CampaignOptions heavy = light;
+  heavy.workload_scale = 0.4;
+  const CampaignResult light_result = run_campaign(light);
+  const CampaignResult heavy_result = run_campaign(heavy);
+  ASSERT_GT(light_result.nights_completed, 0);
+  ASSERT_GT(heavy_result.nights_completed, 0);
+  EXPECT_GT(heavy_result.mean_makespan_min, light_result.mean_makespan_min * 1.5);
+}
+
+TEST(Campaign, DeterministicForSameSeed) {
+  CampaignOptions options;
+  options.nights = 3;
+  options.workload_scale = 0.1;
+  options.seed = 11;
+  const CampaignResult a = run_campaign(options);
+  const CampaignResult b = run_campaign(options);
+  ASSERT_EQ(a.nights.size(), b.nights.size());
+  for (std::size_t i = 0; i < a.nights.size(); ++i) {
+    EXPECT_EQ(a.nights[i].phones_at_release, b.nights[i].phones_at_release);
+    EXPECT_DOUBLE_EQ(a.nights[i].makespan, b.nights[i].makespan);
+  }
+}
+
+}  // namespace
+}  // namespace cwc::sim

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "sim/channel.h"
+#include "sim/filefarm.h"
+
+namespace cwc::sim {
+namespace {
+
+TEST(Channel, WifiIsStable) {
+  // Fig. 4's property: static WiFi bandwidth varies very little.
+  ChannelModel wifi = ChannelModel::wifi(800.0, Rng(1));
+  OnlineStats stats;
+  for (int i = 0; i < 600; ++i) stats.add(wifi.sample_kbps());
+  EXPECT_NEAR(stats.mean(), 800.0, 25.0);
+  EXPECT_LT(stats.cv(), 0.06);
+}
+
+TEST(Channel, CellularIsMuchMoreVariable) {
+  ChannelModel wifi = ChannelModel::wifi(800.0, Rng(2));
+  ChannelModel cell = ChannelModel::cellular(300.0, Rng(3));
+  OnlineStats wifi_stats, cell_stats;
+  for (int i = 0; i < 600; ++i) {
+    wifi_stats.add(wifi.sample_kbps());
+    cell_stats.add(cell.sample_kbps());
+  }
+  EXPECT_GT(cell_stats.cv(), 3.0 * wifi_stats.cv());
+}
+
+TEST(Channel, RateNeverCollapsesToZero) {
+  ChannelModel cell = ChannelModel::cellular(100.0, Rng(4));
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(cell.sample_kbps(), 5.0);
+}
+
+TEST(Channel, MsPerKbIsInverseOfRate) {
+  ChannelModel wifi = ChannelModel::wifi(1000.0, Rng(5));
+  const MsPerKb b = wifi.sample_ms_per_kb();
+  EXPECT_GT(b, 0.5);
+  EXPECT_LT(b, 2.0);
+}
+
+TEST(Channel, RejectsBadParameters) {
+  EXPECT_THROW(ChannelModel(0.0, 0.1, 0.5, Rng(1)), std::invalid_argument);
+  EXPECT_THROW(ChannelModel(100.0, 0.1, 1.0, Rng(1)), std::invalid_argument);
+}
+
+TEST(FileFarm, AllFilesProcessedOnce) {
+  Rng rng(6);
+  const FileFarmConfig config = paper_six_phone_config();
+  const FileFarmResult result = run_file_farm(config, rng);
+  EXPECT_EQ(result.turnaround.size(), 600u);
+  for (Millis t : result.turnaround) EXPECT_GT(t, 0.0);
+  int total = 0;
+  for (int n : result.files_per_phone) total += n;
+  EXPECT_EQ(total, 600);
+}
+
+TEST(FileFarm, SlowPhonesProcessFewerFiles) {
+  Rng rng(7);
+  const FileFarmResult result = run_file_farm(paper_six_phone_config(), rng);
+  // Phones 4 and 5 have slow links: fewer files each than fast phones.
+  EXPECT_LT(result.files_per_phone[4], result.files_per_phone[0]);
+  EXPECT_LT(result.files_per_phone[5], result.files_per_phone[0]);
+  // ...but they do hold files for much longer per file, which is what
+  // poisons the tail of the six-phone CDF.
+  EXPECT_GT(result.files_per_phone[4] + result.files_per_phone[5], 20);
+}
+
+TEST(FileFarm, DroppingSlowPhonesImprovesTailLatency) {
+  // The Fig. 5 punchline: the 90th percentile improves (~1200 ms -> ~700 ms)
+  // when the two slow-link phones are removed, despite less parallelism.
+  double p90_six = 0.0, p90_four = 0.0, med_six = 0.0, med_four = 0.0;
+  const int runs = 8;
+  for (int seed = 0; seed < runs; ++seed) {
+    Rng rng_six(static_cast<std::uint64_t>(seed)), rng_four(static_cast<std::uint64_t>(seed));
+    const FileFarmResult six = run_file_farm(paper_six_phone_config(), rng_six);
+    const FileFarmResult four = run_file_farm(paper_fast_four_config(), rng_four);
+    p90_six += percentile(six.turnaround, 0.9) / runs;
+    p90_four += percentile(four.turnaround, 0.9) / runs;
+    med_six += percentile(six.turnaround, 0.5) / runs;
+    med_four += percentile(four.turnaround, 0.5) / runs;
+  }
+  EXPECT_LT(p90_four, p90_six * 0.80);
+  // ...but the queueing delay increases with fewer phones: the median
+  // turn-around gets worse.
+  EXPECT_GE(med_four, med_six);
+}
+
+TEST(FileFarm, FastestIdleDispatchBeatsRandom) {
+  Rng a(9), b(9);
+  FileFarmConfig random_config = paper_six_phone_config();
+  FileFarmConfig fastest_config = paper_six_phone_config();
+  fastest_config.dispatch = Dispatch::kFastestIdle;
+  const double p90_random = percentile(run_file_farm(random_config, a).turnaround, 0.9);
+  const double p90_fastest = percentile(run_file_farm(fastest_config, b).turnaround, 0.9);
+  EXPECT_LT(p90_fastest, p90_random);
+}
+
+TEST(FileFarm, RejectsDegenerateConfigs) {
+  Rng rng(10);
+  FileFarmConfig no_phones;
+  EXPECT_THROW(run_file_farm(no_phones, rng), std::invalid_argument);
+  FileFarmConfig no_files = paper_six_phone_config();
+  no_files.files = 0;
+  EXPECT_THROW(run_file_farm(no_files, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cwc::sim

@@ -1,0 +1,62 @@
+#include "sim/energy.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/greedy.h"
+#include "core/testbed.h"
+
+namespace cwc::sim {
+namespace {
+
+TEST(Energy, HandComputedLedger) {
+  SimResult result;
+  result.makespan = seconds(100.0);
+  // Phone 0: 10 s transfer + 50 s execute. Phone 1: 40 s execute.
+  result.timeline.push_back({0, 0.0, seconds(10.0), TimelineSegment::Kind::kTransfer, 0, false});
+  result.timeline.push_back(
+      {0, seconds(10.0), seconds(60.0), TimelineSegment::Kind::kExecute, 0, false});
+  result.timeline.push_back(
+      {1, 0.0, seconds(40.0), TimelineSegment::Kind::kExecute, 1, false});
+
+  EnergyAssumptions assumptions;
+  assumptions.cpu_watts = 1.0;
+  assumptions.radio_watts = 0.8;
+  const EnergyReport report = energy_of(result, assumptions);
+  EXPECT_NEAR(report.joules_per_phone.at(0), 10.0 * 0.8 + 50.0 * 1.0, 1e-9);
+  EXPECT_NEAR(report.joules_per_phone.at(1), 40.0, 1e-9);
+  EXPECT_NEAR(report.fleet_joules, 98.0, 1e-9);
+  // Core 2 Duo at 26.8 W x PUE 2.5 for 100 s.
+  EXPECT_NEAR(report.server_joules, 26.8 * 2.5 * 100.0, 1e-6);
+  EXPECT_NEAR(report.savings_factor, 26.8 * 2.5 * 100.0 / 98.0, 1e-6);
+}
+
+TEST(Energy, EmptyRunIsZero) {
+  const EnergyReport report = energy_of(SimResult{});
+  EXPECT_DOUBLE_EQ(report.fleet_joules, 0.0);
+  EXPECT_DOUBLE_EQ(report.savings_factor, 0.0);
+}
+
+TEST(Energy, PaperWorkloadIsOrdersOfMagnitudeCheaperThanAServer) {
+  // Section 3.2's claim, measured on an actual simulated batch instead of
+  // nameplate numbers: the fleet spends far less energy than a server
+  // powered (and cooled) for the same wall-clock would.
+  Rng rng(1);
+  TestbedSimulation simulation(std::make_unique<core::GreedyScheduler>(),
+                               core::paper_prediction(), core::paper_testbed(rng), SimOptions{},
+                               1);
+  for (const auto& job : core::paper_workload(rng, 0.2)) simulation.submit(job);
+  const SimResult result = simulation.run();
+  ASSERT_TRUE(result.completed);
+
+  const EnergyReport report = energy_of(result);
+  EXPECT_GT(report.fleet_joules, 0.0);
+  EXPECT_GT(report.savings_factor, 3.0);
+  EXPECT_LT(report.fleet_cost_usd, 0.01);  // fractions of a cent per batch
+  // Every phone that appears in the ledger worked on something.
+  for (const auto& [phone, joules] : report.joules_per_phone) EXPECT_GT(joules, 0.0);
+}
+
+}  // namespace
+}  // namespace cwc::sim

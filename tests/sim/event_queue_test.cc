@@ -1,0 +1,75 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cwc::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30.0, [&] { order.push_back(3); });
+  q.schedule_at(10.0, [&] { order.push_back(1); });
+  q.schedule_at(20.0, [&] { order.push_back(2); });
+  while (q.run_one()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 30.0);
+}
+
+TEST(EventQueue, SimultaneousEventsKeepFifoOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(7.0, [&order, i] { order.push_back(i); });
+  }
+  while (q.run_one()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, HandlersCanScheduleMoreEvents) {
+  EventQueue q;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 4) q.schedule_in(5.0, chain);
+  };
+  q.schedule_at(0.0, chain);
+  while (q.run_one()) {
+  }
+  EXPECT_EQ(fired, 4);
+  EXPECT_DOUBLE_EQ(q.now(), 15.0);
+}
+
+TEST(EventQueue, SchedulingIntoThePastThrows) {
+  EventQueue q;
+  q.schedule_at(10.0, [] {});
+  q.run_one();
+  EXPECT_THROW(q.schedule_at(5.0, [] {}), std::invalid_argument);
+  EXPECT_NO_THROW(q.schedule_at(10.0, [] {}));  // same instant is fine
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(10.0, [&] { ++fired; });
+  q.schedule_at(20.0, [&] { ++fired; });
+  q.run_until(15.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(q.now(), 15.0);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run_until(25.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, EmptyQueueRunOneReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.run_one());
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace cwc::sim

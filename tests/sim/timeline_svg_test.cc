@@ -1,0 +1,61 @@
+#include "sim/timeline_svg.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include <memory>
+
+#include "core/greedy.h"
+#include "core/testbed.h"
+
+namespace cwc::sim {
+namespace {
+
+TEST(TimelineSvg, RendersSegmentsAndAxis) {
+  SimResult result;
+  result.makespan = seconds(100.0);
+  result.timeline.push_back({0, 0.0, seconds(10.0), TimelineSegment::Kind::kTransfer, 1, false});
+  result.timeline.push_back(
+      {0, seconds(10.0), seconds(60.0), TimelineSegment::Kind::kExecute, 1, false});
+  result.timeline.push_back(
+      {3, seconds(20.0), seconds(90.0), TimelineSegment::Kind::kExecute, 2, true});
+
+  const std::string svg = timeline_svg(result);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("phone 0"), std::string::npos);
+  EXPECT_NE(svg.find("phone 3"), std::string::npos);
+  EXPECT_NE(svg.find("#9aa0a6"), std::string::npos);  // transfer
+  EXPECT_NE(svg.find("#4878a8"), std::string::npos);  // execute
+  EXPECT_NE(svg.find("#e8883a"), std::string::npos);  // rescheduled
+  EXPECT_NE(svg.find("100 s"), std::string::npos);    // axis end tick
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(TimelineSvg, EmptyRunStillValid) {
+  const std::string svg = timeline_svg(SimResult{});
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(TimelineSvg, WritesFileFromRealRun) {
+  Rng rng(1);
+  TestbedSimulation simulation(std::make_unique<core::GreedyScheduler>(),
+                               core::paper_prediction(), core::paper_testbed(rng), SimOptions{},
+                               1);
+  for (const auto& job : core::paper_workload(rng, 0.02)) simulation.submit(job);
+  const SimResult result = simulation.run();
+  ASSERT_TRUE(result.completed);
+  const std::string path = "/tmp/cwc_timeline_test.svg";
+  write_timeline_svg(result, path);
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::string contents((std::istreambuf_iterator<char>(file)), std::istreambuf_iterator<char>());
+  EXPECT_GT(contents.size(), 1000u);
+  std::remove(path.c_str());
+  EXPECT_THROW(write_timeline_svg(result, "/nonexistent-dir/x.svg"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cwc::sim

@@ -1,0 +1,129 @@
+// Property suite for CWC's core migration invariant (Section 5/6 of the
+// paper): suspending a task at any step boundary, serializing its state,
+// and resuming on a fresh instance — possibly many times — must produce a
+// result byte-identical to an uninterrupted run.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "tasks/blur.h"
+#include "tasks/generators.h"
+#include "tasks/logscan.h"
+#include "tasks/primes.h"
+#include "tasks/registry.h"
+#include "tasks/sales.h"
+#include "tasks/task.h"
+#include "tasks/wordcount.h"
+
+namespace cwc::tasks {
+namespace {
+
+struct MigrationCase {
+  std::string task_name;
+  std::size_t budget;
+  std::size_t steps_per_migration;
+};
+
+Bytes input_for(const std::string& task_name, Rng& rng) {
+  if (task_name == "prime-count") return make_integer_input(rng, 24.0);
+  if (task_name == "word-count:error") return make_text_input(rng, 24.0);
+  if (task_name == "photo-blur") return make_image_input(rng, 120, 90);
+  if (task_name == "log-scan:disk failure") return make_log_input(rng, 24.0);
+  if (task_name == "sales-aggregate") return make_sales_input(rng, 24.0);
+  throw std::logic_error("no generator for " + task_name);
+}
+
+class MigrationPropertyTest : public ::testing::TestWithParam<MigrationCase> {};
+
+TEST_P(MigrationPropertyTest, InterruptedRunEqualsUninterrupted) {
+  const MigrationCase& params = GetParam();
+  const TaskRegistry registry = TaskRegistry::with_builtins();
+  const TaskFactory& factory = registry.require(params.task_name);
+
+  Rng rng(0xC0FFEE);
+  const Bytes input = input_for(params.task_name, rng);
+
+  const Bytes uninterrupted = run_to_completion(factory, input);
+  const Bytes migrated =
+      run_with_migrations(factory, input, params.budget, params.steps_per_migration);
+  EXPECT_EQ(migrated, uninterrupted);
+}
+
+std::string case_name(const ::testing::TestParamInfo<MigrationCase>& info) {
+  std::string name = info.param.task_name;
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name + "_b" + std::to_string(info.param.budget) + "_m" +
+         std::to_string(info.param.steps_per_migration);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTasks, MigrationPropertyTest,
+    ::testing::Values(
+        // Migrate after every single step with a small budget (worst case).
+        MigrationCase{"prime-count", 512, 1}, MigrationCase{"word-count:error", 512, 1},
+        MigrationCase{"photo-blur", 512, 1}, MigrationCase{"log-scan:disk failure", 512, 1},
+        MigrationCase{"sales-aggregate", 512, 1},
+        // Large budget, occasional migration (typical case).
+        MigrationCase{"prime-count", 8192, 3}, MigrationCase{"word-count:error", 8192, 3},
+        MigrationCase{"photo-blur", 8192, 3}, MigrationCase{"log-scan:disk failure", 8192, 3},
+        MigrationCase{"sales-aggregate", 8192, 3},
+        // Budget below one record: the executor must still make progress.
+        MigrationCase{"prime-count", 1, 2}, MigrationCase{"sales-aggregate", 1, 2}),
+    case_name);
+
+TEST(Migration, CheckpointStateIsPortableBytes) {
+  // A checkpoint is a plain byte blob: shipping it through a copy (as the
+  // wire protocol does) must not lose information.
+  const TaskRegistry registry = TaskRegistry::with_builtins();
+  const TaskFactory& factory = registry.require("prime-count");
+  Rng rng(5);
+  const Bytes input = make_integer_input(rng, 8.0);
+
+  auto task = factory.create();
+  task->step(input, 1000);
+  const Checkpoint original = task->checkpoint();
+
+  // Simulate server-side storage: copy the blob.
+  Checkpoint shipped;
+  shipped.bytes_processed = original.bytes_processed;
+  shipped.state = Bytes(original.state.begin(), original.state.end());
+
+  auto resumed = factory.create();
+  resumed->restore(shipped);
+  while (!resumed->done(input)) resumed->step(input, 1 << 20);
+
+  auto direct = factory.create();
+  while (!direct->done(input)) direct->step(input, 1 << 20);
+  EXPECT_EQ(resumed->partial_result(), direct->partial_result());
+}
+
+TEST(Registry, BuiltinsArePresent) {
+  const TaskRegistry registry = TaskRegistry::with_builtins();
+  EXPECT_EQ(registry.size(), 5u);
+  EXPECT_NE(registry.find("prime-count"), nullptr);
+  EXPECT_NE(registry.find("photo-blur"), nullptr);
+  EXPECT_EQ(registry.find("no-such-task"), nullptr);
+  EXPECT_THROW(registry.require("no-such-task"), std::out_of_range);
+  EXPECT_EQ(&registry.require("prime-count"), registry.find("prime-count"));
+}
+
+TEST(Registry, InstallReplacesSameName) {
+  TaskRegistry registry;
+  registry.install(std::make_shared<PrimeCountFactory>());
+  registry.install(std::make_shared<PrimeCountFactory>());
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_THROW(registry.install(nullptr), std::invalid_argument);
+}
+
+TEST(Registry, NamesAreSorted) {
+  const TaskRegistry registry = TaskRegistry::with_builtins();
+  const auto names = registry.names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+}  // namespace
+}  // namespace cwc::tasks

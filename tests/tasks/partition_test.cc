@@ -1,0 +1,129 @@
+#include "tasks/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+
+#include "common/rng.h"
+#include "tasks/generators.h"
+
+namespace cwc::tasks {
+namespace {
+
+Bytes bytes_of(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+void expect_contiguous_cover(ByteView input, const std::vector<Slice>& slices) {
+  std::size_t cursor = 0;
+  for (const auto& s : slices) {
+    if (s.length > 0) {
+      EXPECT_EQ(s.offset, cursor);
+      cursor = s.offset + s.length;
+    }
+  }
+  EXPECT_EQ(cursor, input.size());
+}
+
+void expect_record_aligned(ByteView input, const std::vector<Slice>& slices) {
+  for (const auto& s : slices) {
+    const std::size_t end = s.offset + s.length;
+    if (end > 0 && end < input.size()) {
+      EXPECT_EQ(input[end - 1], static_cast<std::uint8_t>('\n'))
+          << "slice ends mid-record at byte " << end;
+    }
+  }
+}
+
+TEST(Partition, EqualCutsCoverAndAlign) {
+  const auto input = bytes_of("aa\nbb\ncc\ndd\nee\nff\n");
+  const auto slices = equal_record_cuts(input, 3);
+  ASSERT_EQ(slices.size(), 3u);
+  expect_contiguous_cover(input, slices);
+  expect_record_aligned(input, slices);
+}
+
+TEST(Partition, SingleSliceTakesAll) {
+  const auto input = bytes_of("a\nb\n");
+  const auto slices = equal_record_cuts(input, 1);
+  ASSERT_EQ(slices.size(), 1u);
+  EXPECT_EQ(slices[0].offset, 0u);
+  EXPECT_EQ(slices[0].length, input.size());
+}
+
+TEST(Partition, MoreSlicesThanRecords) {
+  const auto input = bytes_of("a\nb\n");
+  const auto slices = equal_record_cuts(input, 5);
+  expect_contiguous_cover(input, slices);
+  expect_record_aligned(input, slices);
+}
+
+TEST(Partition, ProportionalQuotas) {
+  Rng rng(1);
+  const auto input = make_text_input(rng, 100.0);
+  const std::vector<Kilobytes> quotas = {75.0, 25.0};
+  const auto slices = record_aligned_cuts(input, quotas);
+  expect_contiguous_cover(input, slices);
+  expect_record_aligned(input, slices);
+  // 75/25 split within a few records of tolerance.
+  EXPECT_NEAR(static_cast<double>(slices[0].length) / static_cast<double>(input.size()), 0.75, 0.02);
+}
+
+TEST(Partition, ZeroQuotaSliceIsEmpty) {
+  const auto input = bytes_of("a\nb\nc\nd\n");
+  const auto slices = record_aligned_cuts(input, {1.0, 0.0, 1.0});
+  ASSERT_EQ(slices.size(), 3u);
+  EXPECT_EQ(slices[1].length, 0u);
+  expect_contiguous_cover(input, slices);
+  expect_record_aligned(input, slices);
+}
+
+TEST(Partition, TrailingZeroQuotaDoesNotStealTail) {
+  const auto input = bytes_of("a\nb\nc\nd\n");
+  const auto slices = record_aligned_cuts(input, {1.0, 0.0});
+  EXPECT_EQ(slices[0].length, input.size());
+  EXPECT_EQ(slices[1].length, 0u);
+}
+
+TEST(Partition, EmptyInputYieldsEmptySlices) {
+  const auto slices = record_aligned_cuts({}, {1.0, 2.0});
+  for (const auto& s : slices) EXPECT_EQ(s.length, 0u);
+  const auto zero = record_aligned_cuts({}, {0.0, 0.0});
+  for (const auto& s : zero) EXPECT_EQ(s.length, 0u);
+}
+
+TEST(Partition, ZeroTotalQuotaOnNonEmptyInputThrows) {
+  const auto input = bytes_of("a\n");
+  EXPECT_THROW(record_aligned_cuts(input, {0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(record_aligned_cuts(input, {}), std::invalid_argument);
+  EXPECT_THROW(equal_record_cuts(input, 0), std::invalid_argument);
+}
+
+TEST(Partition, InputWithoutTrailingNewline) {
+  const auto input = bytes_of("aaa\nbbb\nccc");
+  const auto slices = equal_record_cuts(input, 2);
+  expect_contiguous_cover(input, slices);
+  expect_record_aligned(input, slices);
+}
+
+// Property sweep: random quota vectors over generated inputs always produce
+// contiguous, record-aligned, covering slices.
+class PartitionPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionPropertyTest, RandomQuotasAlwaysCoverAndAlign) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  const auto input = make_log_input(rng, rng.uniform(1.0, 30.0));
+  const auto n = static_cast<std::size_t>(rng.uniform_int(1, 12));
+  std::vector<Kilobytes> quotas(n);
+  for (auto& q : quotas) q = rng.chance(0.2) ? 0.0 : rng.uniform(0.5, 20.0);
+  if (std::accumulate(quotas.begin(), quotas.end(), 0.0) <= 0.0) quotas[0] = 1.0;
+
+  const auto slices = record_aligned_cuts(input, quotas);
+  ASSERT_EQ(slices.size(), n);
+  expect_contiguous_cover(input, slices);
+  expect_record_aligned(input, slices);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomQuotas, PartitionPropertyTest, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace cwc::tasks

@@ -1,0 +1,59 @@
+#include "tasks/wordcount.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace cwc::tasks {
+namespace {
+
+Bytes bytes_of(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+TEST(WordCount, CountsWholeWordsCaseInsensitively) {
+  WordCountFactory factory("error");
+  const auto input = bytes_of("error ERROR Error no-error\nerrors error\n");
+  // "no-error" and "errors" are different tokens; 4 exact matches.
+  EXPECT_EQ(WordCountFactory::decode(run_to_completion(factory, input)), 4u);
+}
+
+TEST(WordCount, ZeroMatches) {
+  WordCountFactory factory("absent");
+  const auto input = bytes_of("nothing to see here\n");
+  EXPECT_EQ(WordCountFactory::decode(run_to_completion(factory, input)), 0u);
+}
+
+TEST(WordCount, EmptyInput) {
+  WordCountFactory factory("x");
+  EXPECT_EQ(WordCountFactory::decode(run_to_completion(factory, Bytes{})), 0u);
+}
+
+TEST(WordCount, NameEncodesTarget) {
+  WordCountFactory factory("Fatal");
+  EXPECT_EQ(factory.name(), "word-count:fatal");
+}
+
+TEST(WordCount, AggregateSums) {
+  WordCountFactory factory("hit");
+  const auto a = run_to_completion(factory, bytes_of("hit hit\n"));
+  const auto b = run_to_completion(factory, bytes_of("hit\n"));
+  const auto c = run_to_completion(factory, bytes_of("miss\n"));
+  EXPECT_EQ(WordCountFactory::decode(factory.aggregate({a, b, c})), 3u);
+}
+
+TEST(WordCount, CheckpointMidwayResumesExactly) {
+  WordCountFactory factory("x");
+  const auto input = bytes_of("x y\nx x\ny\nx\n");
+  auto task = factory.create();
+  task->step(input, 4);  // consume first record(s) only
+  ASSERT_FALSE(task->done(input));
+  const Checkpoint cp = task->checkpoint();
+
+  auto resumed = factory.create();
+  resumed->restore(cp);
+  EXPECT_EQ(resumed->consumed(), cp.bytes_processed);
+  while (!resumed->done(input)) resumed->step(input, 1024);
+  EXPECT_EQ(WordCountFactory::decode(resumed->partial_result()), 4u);
+}
+
+}  // namespace
+}  // namespace cwc::tasks

@@ -1,0 +1,113 @@
+#include "trace/availability.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace cwc::trace {
+namespace {
+
+/// Hand-built log: one user, three nights. Night 0: plugged 23:00-07:00.
+/// Night 1: plugged 23:00-01:00 (unplugs inside a 6 h window from 23:30).
+/// Night 2: not plugged at 23:30 at all.
+StudyLog tiny_log() {
+  StudyLog log;
+  log.user_count = 1;
+  log.days = 3;
+  log.intervals.push_back({0, 23.0, 8.0, 0.5, false});        // night 0
+  log.intervals.push_back({0, 24.0 + 23.0, 2.0, 0.5, false}); // night 1
+  log.intervals.push_back({0, 48.0 + 10.0, 0.5, 0.1, false}); // day top-up only
+  return log;
+}
+
+TEST(Availability, ComputesPluggedProbability) {
+  const BatchWindowPlan plan = plan_batch_window(tiny_log(), 23.5, 6.0);
+  ASSERT_EQ(plan.users.size(), 1u);
+  const UserAvailability& user = plan.users[0];
+  EXPECT_EQ(user.nights_observed, 3);
+  EXPECT_NEAR(user.p_plugged_at_release, 2.0 / 3.0, 1e-9);
+}
+
+TEST(Availability, ComputesUnplugRiskWithinWindow) {
+  const BatchWindowPlan plan = plan_batch_window(tiny_log(), 23.5, 6.0);
+  const UserAvailability& user = plan.users[0];
+  // Of the 2 plugged nights, night 1 unplugs at 01:00 (inside the window).
+  EXPECT_NEAR(user.unplug_risk, 0.5, 1e-9);
+  // Usable: night 0 full 6 h; night 1 only 1.5 h -> mean 3.75 h.
+  EXPECT_NEAR(user.expected_hours, (6.0 + 1.5) / 2.0, 1e-9);
+}
+
+TEST(Availability, WindowEndEqualsUnplugIsNotAFailure) {
+  StudyLog log;
+  log.user_count = 1;
+  log.days = 1;
+  log.intervals.push_back({0, 22.0, 7.5, 0.1, false});  // unplug exactly at 05:30
+  const BatchWindowPlan plan = plan_batch_window(log, 23.5, 6.0);
+  EXPECT_NEAR(plan.users[0].unplug_risk, 0.0, 1e-9);
+  EXPECT_NEAR(plan.users[0].expected_hours, 6.0, 1e-9);
+}
+
+TEST(Availability, AvailableUsersFilterAndRiskMap) {
+  Rng rng(3);
+  const StudyLog log = generate_study(rng, 15, 60);
+  const BatchWindowPlan plan = plan_batch_window(log, 23.5, 6.0);
+  ASSERT_EQ(plan.users.size(), 15u);
+
+  const auto available = plan.available_users(0.5);
+  EXPECT_GE(available.size(), 7u);  // typical users plug in around 23:18
+  // By 1 AM nearly everyone who charges tonight is on the charger.
+  const BatchWindowPlan later = plan_batch_window(log, 25.0, 4.0);
+  EXPECT_GT(later.available_users(0.5).size(), available.size());
+  EXPECT_GE(later.available_users(0.5).size(), 13u);
+  const auto risks = plan.risk_map();
+  EXPECT_EQ(risks.size(), 15u);
+  for (const auto& [user, risk] : risks) {
+    EXPECT_GE(risk, 0.0);
+    EXPECT_LE(risk, 1.0);
+  }
+  EXPECT_GT(plan.expected_capacity_hours(), 30.0);  // ~15 users x ~5 h
+}
+
+TEST(Availability, RegularUsersAreSafestLateAtNight) {
+  // The paper's regular users (3, 4, 8) charge 8-9 h from ~22:30: during a
+  // 23:30 + 5 h window they almost never unplug.
+  Rng rng(4);
+  const StudyLog log = generate_study(rng, 15, 60);
+  const BatchWindowPlan plan = plan_batch_window(log, 23.5, 5.0);
+  for (int id : {3, 4, 8}) {
+    EXPECT_GT(plan.users[static_cast<std::size_t>(id)].p_plugged_at_release, 0.9)
+        << "user " << id;
+    EXPECT_LT(plan.users[static_cast<std::size_t>(id)].unplug_risk, 0.1) << "user " << id;
+  }
+}
+
+TEST(Availability, MorningWindowIsRiskier) {
+  // A window reaching into the 6-9 AM wake-up band must carry more unplug
+  // risk than a deep-night window of the same length.
+  Rng rng(5);
+  const StudyLog log = generate_study(rng, 15, 60);
+  const BatchWindowPlan deep_night = plan_batch_window(log, 24.5, 3.0);   // 00:30-03:30
+  const BatchWindowPlan into_morning = plan_batch_window(log, 28.0, 3.0); // 04:00-07:00
+  double night_risk = 0.0, morning_risk = 0.0;
+  for (int u = 0; u < 15; ++u) {
+    night_risk += deep_night.users[static_cast<std::size_t>(u)].unplug_risk / 15.0;
+    morning_risk += into_morning.users[static_cast<std::size_t>(u)].unplug_risk / 15.0;
+  }
+  EXPECT_GT(morning_risk, night_risk);
+}
+
+TEST(Availability, EmptyLogGivesZeroes) {
+  StudyLog log;
+  log.user_count = 2;
+  log.days = 0;
+  const BatchWindowPlan plan = plan_batch_window(log, 23.5, 6.0);
+  ASSERT_EQ(plan.users.size(), 2u);
+  for (const auto& user : plan.users) {
+    EXPECT_EQ(user.p_plugged_at_release, 0.0);
+    EXPECT_EQ(user.unplug_risk, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(plan.expected_capacity_hours(), 0.0);
+}
+
+}  // namespace
+}  // namespace cwc::trace

@@ -1,0 +1,170 @@
+#include "trace/behavior.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/stats.h"
+
+namespace cwc::trace {
+namespace {
+
+TEST(HourOfDay, WrapsCorrectly) {
+  EXPECT_DOUBLE_EQ(hour_of_day(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(hour_of_day(25.5), 1.5);
+  EXPECT_DOUBLE_EQ(hour_of_day(48.0), 0.0);
+  EXPECT_NEAR(hour_of_day(23.99), 23.99, 1e-9);
+}
+
+TEST(IsNightHour, PaperWindow) {
+  // Night = 10 PM to 5 AM.
+  EXPECT_TRUE(is_night_hour(22.0));
+  EXPECT_TRUE(is_night_hour(23.5));
+  EXPECT_TRUE(is_night_hour(0.0));
+  EXPECT_TRUE(is_night_hour(4.99));
+  EXPECT_FALSE(is_night_hour(5.0));
+  EXPECT_FALSE(is_night_hour(12.0));
+  EXPECT_FALSE(is_night_hour(21.99));
+}
+
+TEST(Population, RegularUsersAre348) {
+  Rng rng(1);
+  const auto population = UserBehavior::paper_population(rng);
+  ASSERT_EQ(population.size(), 15u);
+  for (int id : {3, 4, 8}) {
+    const auto& u = population[static_cast<std::size_t>(id)];
+    EXPECT_GT(u.night_duration_mean_h, 8.0) << "user " << id;
+    EXPECT_LT(u.night_duration_sd_h, 0.5) << "user " << id;
+    EXPECT_GT(u.night_charge_probability, 0.98) << "user " << id;
+  }
+  // Typical users charge for less time with more variability.
+  EXPECT_LT(population[0].night_duration_mean_h, 9.0);
+}
+
+TEST(GenerateStudy, ProducesSortedConsistentLog) {
+  Rng rng(2);
+  const StudyLog log = generate_study(rng, 15, 30);
+  EXPECT_EQ(log.user_count, 15);
+  EXPECT_EQ(log.days, 30);
+  ASSERT_FALSE(log.intervals.empty());
+  ASSERT_FALSE(log.unplugs.empty());
+  for (std::size_t i = 1; i < log.intervals.size(); ++i) {
+    EXPECT_LE(log.intervals[i - 1].start_h, log.intervals[i].start_h);
+  }
+  for (const auto& interval : log.intervals) {
+    EXPECT_GE(interval.user, 0);
+    EXPECT_LT(interval.user, 15);
+    EXPECT_GT(interval.duration_h, 0.0);
+    EXPECT_GE(interval.data_mb, 0.0);
+    EXPECT_GE(interval.start_h, 0.0);
+  }
+}
+
+TEST(GenerateStudy, IntervalsDoNotOverlapPerUser) {
+  Rng rng(3);
+  StudyLog log;
+  log.user_count = 1;
+  log.days = 60;
+  Rng user_rng(4);
+  generate_user_log(UserBehavior::typical(0, user_rng), 60, user_rng, log);
+  for (std::size_t i = 1; i < log.intervals.size(); ++i) {
+    EXPECT_GE(log.intervals[i].start_h,
+              log.intervals[i - 1].start_h + log.intervals[i - 1].duration_h - 1e-9);
+  }
+}
+
+TEST(ChargingStats, MedianNightIntervalAboutSevenHours) {
+  // Fig. 2(a): "the median charging interval is around 30 minutes and
+  // 7 hours long, at day and night respectively".
+  Rng rng(5);
+  const StudyLog log = generate_study(rng, 15, 60);
+  const ChargingStats stats(log);
+  EXPECT_NEAR(stats.night_interval_hours().median(), 7.0, 1.0);
+  EXPECT_NEAR(stats.day_interval_hours().median(), 0.5, 0.2);
+}
+
+TEST(ChargingStats, FewerNightIntervalsThanDay) {
+  // Fig. 2(a): "there are fewer charging intervals in the night".
+  Rng rng(6);
+  const StudyLog log = generate_study(rng, 15, 60);
+  const ChargingStats stats(log);
+  EXPECT_LT(stats.night_interval_count(), stats.day_interval_count());
+}
+
+TEST(ChargingStats, EightyPercentOfNightsBelow2MB) {
+  // Fig. 2(b): "total network activity is less than ~2 MB for 80% of all
+  // night charging intervals".
+  Rng rng(7);
+  const StudyLog log = generate_study(rng, 15, 60);
+  const ChargingStats stats(log);
+  EXPECT_NEAR(stats.night_data_mb().at(2.0), 0.80, 0.06);
+}
+
+TEST(ChargingStats, AtLeastThreeIdleHoursPerUser) {
+  // Fig. 2(c): "the users, on average, have at least 3 hours of idle
+  // charging at night", and the regular users 8-9 hours with low sd.
+  Rng rng(8);
+  const StudyLog log = generate_study(rng, 15, 60);
+  const ChargingStats stats(log);
+  const auto idle = stats.idle_night_hours(2.0);
+  ASSERT_EQ(idle.size(), 15u);
+  double population_mean = 0.0;
+  for (const auto& user : idle) population_mean += user.mean_hours;
+  population_mean /= 15.0;
+  EXPECT_GE(population_mean, 3.0);
+  for (int id : {3, 4, 8}) {
+    EXPECT_GT(idle[static_cast<std::size_t>(id)].mean_hours, 6.0) << "user " << id;
+    // Regular users have visibly lower variability than the population.
+    EXPECT_LT(idle[static_cast<std::size_t>(id)].sd_hours, 2.5) << "user " << id;
+  }
+}
+
+TEST(ChargingStats, UnplugLikelihoodLowestLateNight) {
+  // Fig. 3(a): "the likelihood of failure between 12 AM to 8 AM is less
+  // than 30%" (CDF at 8 AM under 0.3).
+  Rng rng(9);
+  const StudyLog log = generate_study(rng, 15, 60);
+  const ChargingStats stats(log);
+  const auto cdf = stats.unplug_hour_cdf();
+  ASSERT_EQ(cdf.size(), 24u);
+  EXPECT_LT(cdf[7], 0.30);  // cumulative through hour 7 (i.e. before 8 AM)
+  EXPECT_NEAR(cdf[23], 1.0, 1e-9);
+  for (std::size_t h = 1; h < 24; ++h) EXPECT_GE(cdf[h], cdf[h - 1]);
+}
+
+TEST(ChargingStats, PerUserUnplugProfileHasMorningRise) {
+  // Fig. 3(b)/(c): very low failure likelihood 12 AM - 6 AM, rising in the
+  // 6-9 AM window when people wake up.
+  Rng rng(10);
+  const StudyLog log = generate_study(rng, 15, 60);
+  const ChargingStats stats(log);
+  for (int user : {0, 3}) {
+    const auto likelihood = stats.unplug_likelihood_by_hour(user);
+    ASSERT_EQ(likelihood.size(), 24u);
+    double late_night = 0.0;
+    for (std::size_t h = 0; h < 6; ++h) late_night = std::max(late_night, likelihood[h]);
+    double morning = 0.0;
+    for (std::size_t h = 6; h < 10; ++h) morning = std::max(morning, likelihood[h]);
+    EXPECT_LT(late_night, 0.25) << "user " << user;
+    EXPECT_GT(morning, late_night) << "user " << user;
+  }
+}
+
+TEST(ChargingStats, ShutdownFractionAboutThreePercent) {
+  Rng rng(11);
+  const StudyLog log = generate_study(rng, 15, 60);
+  const ChargingStats stats(log);
+  EXPECT_NEAR(stats.shutdown_fraction(), 0.03, 0.015);
+}
+
+TEST(ChargingStats, DeterministicForSameSeed) {
+  Rng a(12), b(12);
+  const StudyLog log_a = generate_study(a, 15, 20);
+  const StudyLog log_b = generate_study(b, 15, 20);
+  ASSERT_EQ(log_a.intervals.size(), log_b.intervals.size());
+  for (std::size_t i = 0; i < log_a.intervals.size(); ++i) {
+    EXPECT_DOUBLE_EQ(log_a.intervals[i].start_h, log_b.intervals[i].start_h);
+    EXPECT_DOUBLE_EQ(log_a.intervals[i].data_mb, log_b.intervals[i].data_mb);
+  }
+}
+
+}  // namespace
+}  // namespace cwc::trace

@@ -1,0 +1,82 @@
+#include "trace/logfile.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "trace/stats.h"
+
+namespace cwc::trace {
+namespace {
+
+TEST(LogFile, RoundTripPreservesEverything) {
+  Rng rng(1);
+  const StudyLog original = generate_study(rng, 15, 20);
+  const StudyLog parsed = from_csv(to_csv(original));
+
+  EXPECT_EQ(parsed.user_count, original.user_count);
+  ASSERT_EQ(parsed.intervals.size(), original.intervals.size());
+  for (std::size_t i = 0; i < parsed.intervals.size(); ++i) {
+    EXPECT_EQ(parsed.intervals[i].user, original.intervals[i].user);
+    EXPECT_NEAR(parsed.intervals[i].start_h, original.intervals[i].start_h, 1e-3);
+    EXPECT_NEAR(parsed.intervals[i].duration_h, original.intervals[i].duration_h, 1e-3);
+    EXPECT_NEAR(parsed.intervals[i].data_mb, original.intervals[i].data_mb, 1e-3);
+    EXPECT_EQ(parsed.intervals[i].ended_by_shutdown, original.intervals[i].ended_by_shutdown);
+  }
+  // Unplug events regenerate from non-shutdown intervals.
+  EXPECT_EQ(parsed.unplugs.size(), original.unplugs.size());
+}
+
+TEST(LogFile, AnalysesAgreeAfterRoundTrip) {
+  Rng rng(2);
+  const StudyLog original = generate_study(rng, 15, 30);
+  const StudyLog parsed = from_csv(to_csv(original));
+  const ChargingStats a(original);
+  const ChargingStats b(parsed);
+  EXPECT_NEAR(a.night_interval_hours().median(), b.night_interval_hours().median(), 1e-3);
+  EXPECT_NEAR(a.night_data_mb().at(2.0), b.night_data_mb().at(2.0), 1e-6);
+  EXPECT_NEAR(a.shutdown_fraction(), b.shutdown_fraction(), 1e-9);
+}
+
+TEST(LogFile, ParsesHandWrittenCsv) {
+  const std::string csv =
+      "# comment line\n"
+      "\n"
+      "0,22.5,8.0,1.25,0\n"
+      "1,46.75,7.5,0.40,1\n";
+  const StudyLog log = from_csv(csv);
+  EXPECT_EQ(log.user_count, 2);
+  EXPECT_EQ(log.days, 3);  // interval 1 ends at hour 54.25 -> day 3
+  ASSERT_EQ(log.intervals.size(), 2u);
+  EXPECT_EQ(log.unplugs.size(), 1u);  // the shutdown interval emits no unplug
+  EXPECT_NEAR(log.unplugs[0].time_h, 30.5, 1e-9);
+}
+
+TEST(LogFile, RejectsMalformedLines) {
+  EXPECT_THROW(from_csv("0,1.0,2.0\n"), std::runtime_error);           // too few fields
+  EXPECT_THROW(from_csv("0,x,2.0,0.1,0\n"), std::runtime_error);       // non-numeric
+  EXPECT_THROW(from_csv("0,1.0,-2.0,0.1,0\n"), std::runtime_error);    // negative duration
+  EXPECT_THROW(from_csv("-1,1.0,2.0,0.1,0\n"), std::runtime_error);    // negative user
+}
+
+TEST(LogFile, FileRoundTrip) {
+  Rng rng(3);
+  const StudyLog original = generate_study(rng, 5, 10);
+  const std::string path = "/tmp/cwc_logfile_test.csv";
+  save_csv(original, path);
+  const StudyLog loaded = load_csv(path);
+  EXPECT_EQ(loaded.intervals.size(), original.intervals.size());
+  std::remove(path.c_str());
+  EXPECT_THROW(load_csv("/tmp/definitely_missing_charging_log.csv"), std::runtime_error);
+  EXPECT_THROW(save_csv(original, "/nonexistent-dir/x.csv"), std::runtime_error);
+}
+
+TEST(LogFile, EmptyInputYieldsEmptyLog) {
+  const StudyLog log = from_csv("# only comments\n\n");
+  EXPECT_TRUE(log.intervals.empty());
+  EXPECT_EQ(log.user_count, 0);
+}
+
+}  // namespace
+}  // namespace cwc::trace

@@ -1,0 +1,154 @@
+// cwc_server — the CWC central server as a standalone tool.
+//
+// Submits one or more jobs (from files or generated synthetically), waits
+// for phones to register, schedules with the greedy makespan scheduler,
+// and prints aggregated results. Pair with `cwc_phone` instances on the
+// same machine or across a LAN (--bind-all).
+//
+// Examples:
+//   # serve a generated 4 MB prime-count job to 3 phones on port 7000
+//   cwc_server --port=7000 --phones=3 --generate=prime-count:4096
+//
+//   # analyze a real log file for disk failures
+//   cwc_server --port=7000 --phones=2 --task="log-scan:disk failure" \
+//              --input=/var/log/syslog
+#include <cstdio>
+#include <fstream>
+#include <memory>
+
+#include "common/flags.h"
+#include "common/log.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "core/greedy.h"
+#include "core/testbed.h"
+#include "net/server.h"
+#include "tasks/generators.h"
+#include "tasks/logscan.h"
+#include "tasks/primes.h"
+#include "tasks/registry.h"
+#include "tasks/sales.h"
+#include "tasks/wordcount.h"
+
+using namespace cwc;
+
+namespace {
+
+constexpr const char* kUsage = R"(cwc_server: the CWC central server
+  --port=N             listening port (default 7000; 0 = kernel-assigned)
+  --bind-all           listen on all interfaces (default: loopback only)
+  --phones=N           wait for N phone registrations before scheduling (default 1)
+  --timeout-s=N        give up after N seconds (default 600)
+  --task=NAME          task program for --input (default prime-count)
+  --input=FILE         submit FILE as one job (repeatable via commas)
+  --generate=SPEC      generate a synthetic job: NAME:KB (repeatable via commas)
+                       NAME in {prime-count, word-count:error,
+                       log-scan:disk failure, sales-aggregate, photo-blur}
+  --keepalive-ms=N     keep-alive period (default 5000, 3 misses tolerated)
+  --verbose            info-level logging
+)";
+
+tasks::Bytes generate_input(const std::string& name, double kb, Rng& rng) {
+  if (name == "prime-count") return tasks::make_integer_input(rng, kb);
+  if (name.rfind("word-count", 0) == 0) return tasks::make_text_input(rng, kb);
+  if (name.rfind("log-scan", 0) == 0) return tasks::make_log_input(rng, kb);
+  if (name == "sales-aggregate") return tasks::make_sales_input(rng, kb);
+  if (name == "photo-blur") return tasks::make_image_input_of_size(rng, kb);
+  throw std::invalid_argument("no generator for task " + name);
+}
+
+void print_result(const std::string& task, const net::Blob& result) {
+  if (task == "prime-count") {
+    std::printf("  primes found: %llu\n",
+                static_cast<unsigned long long>(tasks::PrimeCountFactory::decode(result)));
+  } else if (task.rfind("word-count", 0) == 0) {
+    std::printf("  word occurrences: %llu\n",
+                static_cast<unsigned long long>(tasks::WordCountFactory::decode(result)));
+  } else if (task.rfind("log-scan", 0) == 0) {
+    const auto scan = tasks::LogScanFactory::decode(result);
+    std::printf("  lines=%llu errors=%llu pattern-matches=%llu\n",
+                static_cast<unsigned long long>(scan.total_lines),
+                static_cast<unsigned long long>(
+                    scan.severity_counts[static_cast<std::size_t>(tasks::Severity::kError)]),
+                static_cast<unsigned long long>(scan.pattern_matches));
+  } else if (task == "sales-aggregate") {
+    const auto sales = tasks::SalesAggregateFactory::decode(result);
+    std::printf("  top category: %s\n",
+                std::string(tasks::kSalesCategories[sales.top_category()]).c_str());
+  } else {
+    std::printf("  result: %zu bytes\n", result.size());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
+  const auto unknown = flags.unknown({"port", "bind-all", "phones", "timeout-s", "task",
+                                      "input", "generate", "keepalive-ms", "verbose", "help"});
+  if (!unknown.empty() || flags.get_bool("help")) {
+    for (const auto& flag : unknown) std::fprintf(stderr, "unknown flag: --%s\n", flag.c_str());
+    std::fputs(kUsage, stderr);
+    return flags.get_bool("help") ? 0 : 2;
+  }
+  if (flags.get_bool("verbose")) set_log_level(LogLevel::kInfo);
+
+  const tasks::TaskRegistry registry = tasks::TaskRegistry::with_builtins();
+  net::ServerConfig config;
+  config.port = static_cast<std::uint16_t>(flags.get_int("port", 7000));
+  config.bind_all_interfaces = flags.get_bool("bind-all");
+  config.keepalive_period = static_cast<Millis>(flags.get_int("keepalive-ms", 5000));
+  config.scheduling_period = 500.0;
+  net::CwcServer server(std::make_unique<core::GreedyScheduler>(), core::paper_prediction(),
+                        &registry, config);
+
+  Rng rng(20260706);  // fixed seed: reproducible tool runs
+  std::vector<std::pair<JobId, std::string>> submitted;
+
+  // Jobs from files.
+  const std::string task = flags.get("task", "prime-count");
+  for (const auto& path : split(flags.get("input"), ',')) {
+    if (path.empty()) continue;
+    std::ifstream file(path, std::ios::binary);
+    if (!file) {
+      std::fprintf(stderr, "cannot read %s\n", path.c_str());
+      return 1;
+    }
+    net::Blob input((std::istreambuf_iterator<char>(file)), std::istreambuf_iterator<char>());
+    submitted.emplace_back(server.submit(task, std::move(input)), task);
+  }
+  // Generated jobs: NAME:KB.
+  for (const auto& spec : split(flags.get("generate"), ',')) {
+    if (spec.empty()) continue;
+    const auto colon = spec.rfind(':');
+    const std::string name = spec.substr(0, colon);
+    const double kb = colon == std::string::npos ? 1024.0 : std::stod(spec.substr(colon + 1));
+    submitted.emplace_back(server.submit(name, generate_input(name, kb, rng)), name);
+  }
+  if (submitted.empty()) {
+    // Default demo job so the tool does something out of the box.
+    submitted.emplace_back(
+        server.submit("prime-count", generate_input("prime-count", 1024.0, rng)),
+        "prime-count");
+  }
+
+  const int phones = static_cast<int>(flags.get_int("phones", 1));
+  std::printf("cwc_server listening on port %u; %zu job(s) submitted; waiting for %d phone(s)\n",
+              server.port(), submitted.size(), phones);
+  std::fflush(stdout);  // scripts grep the port before phones connect
+
+  const bool done = server.run(phones, seconds(static_cast<double>(
+                                           flags.get_int("timeout-s", 600))));
+  if (!done) {
+    std::fprintf(stderr, "timed out with incomplete jobs\n");
+    return 1;
+  }
+  std::printf("all jobs complete (%zu scheduling rounds, %zu online failures, %zu phones "
+              "lost)\n",
+              server.scheduling_rounds(), server.failures_received(), server.phones_lost());
+  for (const auto& [job, name] : submitted) {
+    std::printf("job %d [%s]:\n", job, name.c_str());
+    print_result(name, server.result(job));
+  }
+  return 0;
+}
