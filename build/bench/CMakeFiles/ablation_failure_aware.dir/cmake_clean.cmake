@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_failure_aware.dir/ablation_failure_aware.cpp.o"
+  "CMakeFiles/ablation_failure_aware.dir/ablation_failure_aware.cpp.o.d"
+  "ablation_failure_aware"
+  "ablation_failure_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_failure_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_coremark.dir/fig01_coremark.cpp.o"
+  "CMakeFiles/fig01_coremark.dir/fig01_coremark.cpp.o.d"
+  "fig01_coremark"
+  "fig01_coremark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_coremark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

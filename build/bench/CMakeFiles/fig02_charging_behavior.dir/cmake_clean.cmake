@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_charging_behavior.dir/fig02_charging_behavior.cpp.o"
+  "CMakeFiles/fig02_charging_behavior.dir/fig02_charging_behavior.cpp.o.d"
+  "fig02_charging_behavior"
+  "fig02_charging_behavior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_charging_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

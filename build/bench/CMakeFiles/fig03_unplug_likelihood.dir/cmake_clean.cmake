@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_unplug_likelihood.dir/fig03_unplug_likelihood.cpp.o"
+  "CMakeFiles/fig03_unplug_likelihood.dir/fig03_unplug_likelihood.cpp.o.d"
+  "fig03_unplug_likelihood"
+  "fig03_unplug_likelihood.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_unplug_likelihood.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

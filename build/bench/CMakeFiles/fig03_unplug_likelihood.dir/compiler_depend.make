@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig03_unplug_likelihood.
+# This may be replaced when dependencies are built.

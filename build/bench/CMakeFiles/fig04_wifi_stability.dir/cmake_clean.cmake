@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_wifi_stability.dir/fig04_wifi_stability.cpp.o"
+  "CMakeFiles/fig04_wifi_stability.dir/fig04_wifi_stability.cpp.o.d"
+  "fig04_wifi_stability"
+  "fig04_wifi_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_wifi_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_bandwidth_variability.dir/fig05_bandwidth_variability.cpp.o"
+  "CMakeFiles/fig05_bandwidth_variability.dir/fig05_bandwidth_variability.cpp.o.d"
+  "fig05_bandwidth_variability"
+  "fig05_bandwidth_variability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_bandwidth_variability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

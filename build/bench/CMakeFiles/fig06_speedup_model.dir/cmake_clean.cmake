@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_speedup_model.dir/fig06_speedup_model.cpp.o"
+  "CMakeFiles/fig06_speedup_model.dir/fig06_speedup_model.cpp.o.d"
+  "fig06_speedup_model"
+  "fig06_speedup_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_speedup_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_charging_throttle.dir/fig10_charging_throttle.cpp.o"
+  "CMakeFiles/fig10_charging_throttle.dir/fig10_charging_throttle.cpp.o.d"
+  "fig10_charging_throttle"
+  "fig10_charging_throttle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_charging_throttle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_scheduler_comparison.dir/fig12_scheduler_comparison.cpp.o"
+  "CMakeFiles/fig12_scheduler_comparison.dir/fig12_scheduler_comparison.cpp.o.d"
+  "fig12_scheduler_comparison"
+  "fig12_scheduler_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_scheduler_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

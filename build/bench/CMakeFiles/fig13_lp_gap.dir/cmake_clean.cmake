@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_lp_gap.dir/fig13_lp_gap.cpp.o"
+  "CMakeFiles/fig13_lp_gap.dir/fig13_lp_gap.cpp.o.d"
+  "fig13_lp_gap"
+  "fig13_lp_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_lp_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

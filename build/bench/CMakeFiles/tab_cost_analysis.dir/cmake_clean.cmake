@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_cost_analysis.dir/tab_cost_analysis.cpp.o"
+  "CMakeFiles/tab_cost_analysis.dir/tab_cost_analysis.cpp.o.d"
+  "tab_cost_analysis"
+  "tab_cost_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_cost_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

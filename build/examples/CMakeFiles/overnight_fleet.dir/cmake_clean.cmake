@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overnight_fleet.dir/overnight_fleet.cpp.o"
+  "CMakeFiles/overnight_fleet.dir/overnight_fleet.cpp.o.d"
+  "overnight_fleet"
+  "overnight_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overnight_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

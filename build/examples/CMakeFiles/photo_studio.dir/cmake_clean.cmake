@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photo_studio.dir/photo_studio.cpp.o"
+  "CMakeFiles/photo_studio.dir/photo_studio.cpp.o.d"
+  "photo_studio"
+  "photo_studio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photo_studio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sales_dashboard.dir/sales_dashboard.cpp.o"
+  "CMakeFiles/sales_dashboard.dir/sales_dashboard.cpp.o.d"
+  "sales_dashboard"
+  "sales_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sales_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwc_battery.dir/battery.cc.o"
+  "CMakeFiles/cwc_battery.dir/battery.cc.o.d"
+  "CMakeFiles/cwc_battery.dir/throttler.cc.o"
+  "CMakeFiles/cwc_battery.dir/throttler.cc.o.d"
+  "libcwc_battery.a"
+  "libcwc_battery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwc_battery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwc_common.dir/buffer.cc.o"
+  "CMakeFiles/cwc_common.dir/buffer.cc.o.d"
+  "CMakeFiles/cwc_common.dir/flags.cc.o"
+  "CMakeFiles/cwc_common.dir/flags.cc.o.d"
+  "CMakeFiles/cwc_common.dir/log.cc.o"
+  "CMakeFiles/cwc_common.dir/log.cc.o.d"
+  "CMakeFiles/cwc_common.dir/rng.cc.o"
+  "CMakeFiles/cwc_common.dir/rng.cc.o.d"
+  "CMakeFiles/cwc_common.dir/stats.cc.o"
+  "CMakeFiles/cwc_common.dir/stats.cc.o.d"
+  "CMakeFiles/cwc_common.dir/strings.cc.o"
+  "CMakeFiles/cwc_common.dir/strings.cc.o.d"
+  "libcwc_common.a"
+  "libcwc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cc" "src/core/CMakeFiles/cwc_core.dir/baselines.cc.o" "gcc" "src/core/CMakeFiles/cwc_core.dir/baselines.cc.o.d"
+  "/root/repo/src/core/controller.cc" "src/core/CMakeFiles/cwc_core.dir/controller.cc.o" "gcc" "src/core/CMakeFiles/cwc_core.dir/controller.cc.o.d"
+  "/root/repo/src/core/costmodel.cc" "src/core/CMakeFiles/cwc_core.dir/costmodel.cc.o" "gcc" "src/core/CMakeFiles/cwc_core.dir/costmodel.cc.o.d"
+  "/root/repo/src/core/failure_aware.cc" "src/core/CMakeFiles/cwc_core.dir/failure_aware.cc.o" "gcc" "src/core/CMakeFiles/cwc_core.dir/failure_aware.cc.o.d"
+  "/root/repo/src/core/greedy.cc" "src/core/CMakeFiles/cwc_core.dir/greedy.cc.o" "gcc" "src/core/CMakeFiles/cwc_core.dir/greedy.cc.o.d"
+  "/root/repo/src/core/prediction.cc" "src/core/CMakeFiles/cwc_core.dir/prediction.cc.o" "gcc" "src/core/CMakeFiles/cwc_core.dir/prediction.cc.o.d"
+  "/root/repo/src/core/relaxation.cc" "src/core/CMakeFiles/cwc_core.dir/relaxation.cc.o" "gcc" "src/core/CMakeFiles/cwc_core.dir/relaxation.cc.o.d"
+  "/root/repo/src/core/schedule.cc" "src/core/CMakeFiles/cwc_core.dir/schedule.cc.o" "gcc" "src/core/CMakeFiles/cwc_core.dir/schedule.cc.o.d"
+  "/root/repo/src/core/testbed.cc" "src/core/CMakeFiles/cwc_core.dir/testbed.cc.o" "gcc" "src/core/CMakeFiles/cwc_core.dir/testbed.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cwc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/cwc_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasks/CMakeFiles/cwc_tasks.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwc_core.dir/baselines.cc.o"
+  "CMakeFiles/cwc_core.dir/baselines.cc.o.d"
+  "CMakeFiles/cwc_core.dir/controller.cc.o"
+  "CMakeFiles/cwc_core.dir/controller.cc.o.d"
+  "CMakeFiles/cwc_core.dir/costmodel.cc.o"
+  "CMakeFiles/cwc_core.dir/costmodel.cc.o.d"
+  "CMakeFiles/cwc_core.dir/failure_aware.cc.o"
+  "CMakeFiles/cwc_core.dir/failure_aware.cc.o.d"
+  "CMakeFiles/cwc_core.dir/greedy.cc.o"
+  "CMakeFiles/cwc_core.dir/greedy.cc.o.d"
+  "CMakeFiles/cwc_core.dir/prediction.cc.o"
+  "CMakeFiles/cwc_core.dir/prediction.cc.o.d"
+  "CMakeFiles/cwc_core.dir/relaxation.cc.o"
+  "CMakeFiles/cwc_core.dir/relaxation.cc.o.d"
+  "CMakeFiles/cwc_core.dir/schedule.cc.o"
+  "CMakeFiles/cwc_core.dir/schedule.cc.o.d"
+  "CMakeFiles/cwc_core.dir/testbed.cc.o"
+  "CMakeFiles/cwc_core.dir/testbed.cc.o.d"
+  "libcwc_core.a"
+  "libcwc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

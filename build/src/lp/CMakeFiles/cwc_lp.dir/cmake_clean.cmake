@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwc_lp.dir/simplex.cc.o"
+  "CMakeFiles/cwc_lp.dir/simplex.cc.o.d"
+  "libcwc_lp.a"
+  "libcwc_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwc_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

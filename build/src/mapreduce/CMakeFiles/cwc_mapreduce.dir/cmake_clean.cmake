@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwc_mapreduce.dir/mapreduce.cc.o"
+  "CMakeFiles/cwc_mapreduce.dir/mapreduce.cc.o.d"
+  "libcwc_mapreduce.a"
+  "libcwc_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwc_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/framing.cc" "src/net/CMakeFiles/cwc_net.dir/framing.cc.o" "gcc" "src/net/CMakeFiles/cwc_net.dir/framing.cc.o.d"
+  "/root/repo/src/net/journal.cc" "src/net/CMakeFiles/cwc_net.dir/journal.cc.o" "gcc" "src/net/CMakeFiles/cwc_net.dir/journal.cc.o.d"
+  "/root/repo/src/net/phone_agent.cc" "src/net/CMakeFiles/cwc_net.dir/phone_agent.cc.o" "gcc" "src/net/CMakeFiles/cwc_net.dir/phone_agent.cc.o.d"
+  "/root/repo/src/net/protocol.cc" "src/net/CMakeFiles/cwc_net.dir/protocol.cc.o" "gcc" "src/net/CMakeFiles/cwc_net.dir/protocol.cc.o.d"
+  "/root/repo/src/net/server.cc" "src/net/CMakeFiles/cwc_net.dir/server.cc.o" "gcc" "src/net/CMakeFiles/cwc_net.dir/server.cc.o.d"
+  "/root/repo/src/net/socket.cc" "src/net/CMakeFiles/cwc_net.dir/socket.cc.o" "gcc" "src/net/CMakeFiles/cwc_net.dir/socket.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cwc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasks/CMakeFiles/cwc_tasks.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cwc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/cwc_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwc_net.dir/framing.cc.o"
+  "CMakeFiles/cwc_net.dir/framing.cc.o.d"
+  "CMakeFiles/cwc_net.dir/journal.cc.o"
+  "CMakeFiles/cwc_net.dir/journal.cc.o.d"
+  "CMakeFiles/cwc_net.dir/phone_agent.cc.o"
+  "CMakeFiles/cwc_net.dir/phone_agent.cc.o.d"
+  "CMakeFiles/cwc_net.dir/protocol.cc.o"
+  "CMakeFiles/cwc_net.dir/protocol.cc.o.d"
+  "CMakeFiles/cwc_net.dir/server.cc.o"
+  "CMakeFiles/cwc_net.dir/server.cc.o.d"
+  "CMakeFiles/cwc_net.dir/socket.cc.o"
+  "CMakeFiles/cwc_net.dir/socket.cc.o.d"
+  "libcwc_net.a"
+  "libcwc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/campaign.cc" "src/sim/CMakeFiles/cwc_sim.dir/campaign.cc.o" "gcc" "src/sim/CMakeFiles/cwc_sim.dir/campaign.cc.o.d"
+  "/root/repo/src/sim/channel.cc" "src/sim/CMakeFiles/cwc_sim.dir/channel.cc.o" "gcc" "src/sim/CMakeFiles/cwc_sim.dir/channel.cc.o.d"
+  "/root/repo/src/sim/energy.cc" "src/sim/CMakeFiles/cwc_sim.dir/energy.cc.o" "gcc" "src/sim/CMakeFiles/cwc_sim.dir/energy.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/sim/CMakeFiles/cwc_sim.dir/event_queue.cc.o" "gcc" "src/sim/CMakeFiles/cwc_sim.dir/event_queue.cc.o.d"
+  "/root/repo/src/sim/filefarm.cc" "src/sim/CMakeFiles/cwc_sim.dir/filefarm.cc.o" "gcc" "src/sim/CMakeFiles/cwc_sim.dir/filefarm.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/cwc_sim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/cwc_sim.dir/simulator.cc.o.d"
+  "/root/repo/src/sim/timeline_svg.cc" "src/sim/CMakeFiles/cwc_sim.dir/timeline_svg.cc.o" "gcc" "src/sim/CMakeFiles/cwc_sim.dir/timeline_svg.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cwc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cwc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/battery/CMakeFiles/cwc_battery.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cwc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/cwc_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasks/CMakeFiles/cwc_tasks.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwc_sim.dir/campaign.cc.o"
+  "CMakeFiles/cwc_sim.dir/campaign.cc.o.d"
+  "CMakeFiles/cwc_sim.dir/channel.cc.o"
+  "CMakeFiles/cwc_sim.dir/channel.cc.o.d"
+  "CMakeFiles/cwc_sim.dir/energy.cc.o"
+  "CMakeFiles/cwc_sim.dir/energy.cc.o.d"
+  "CMakeFiles/cwc_sim.dir/event_queue.cc.o"
+  "CMakeFiles/cwc_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/cwc_sim.dir/filefarm.cc.o"
+  "CMakeFiles/cwc_sim.dir/filefarm.cc.o.d"
+  "CMakeFiles/cwc_sim.dir/simulator.cc.o"
+  "CMakeFiles/cwc_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/cwc_sim.dir/timeline_svg.cc.o"
+  "CMakeFiles/cwc_sim.dir/timeline_svg.cc.o.d"
+  "libcwc_sim.a"
+  "libcwc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tasks/blur.cc" "src/tasks/CMakeFiles/cwc_tasks.dir/blur.cc.o" "gcc" "src/tasks/CMakeFiles/cwc_tasks.dir/blur.cc.o.d"
+  "/root/repo/src/tasks/generators.cc" "src/tasks/CMakeFiles/cwc_tasks.dir/generators.cc.o" "gcc" "src/tasks/CMakeFiles/cwc_tasks.dir/generators.cc.o.d"
+  "/root/repo/src/tasks/line_task.cc" "src/tasks/CMakeFiles/cwc_tasks.dir/line_task.cc.o" "gcc" "src/tasks/CMakeFiles/cwc_tasks.dir/line_task.cc.o.d"
+  "/root/repo/src/tasks/logscan.cc" "src/tasks/CMakeFiles/cwc_tasks.dir/logscan.cc.o" "gcc" "src/tasks/CMakeFiles/cwc_tasks.dir/logscan.cc.o.d"
+  "/root/repo/src/tasks/partition.cc" "src/tasks/CMakeFiles/cwc_tasks.dir/partition.cc.o" "gcc" "src/tasks/CMakeFiles/cwc_tasks.dir/partition.cc.o.d"
+  "/root/repo/src/tasks/primes.cc" "src/tasks/CMakeFiles/cwc_tasks.dir/primes.cc.o" "gcc" "src/tasks/CMakeFiles/cwc_tasks.dir/primes.cc.o.d"
+  "/root/repo/src/tasks/registry.cc" "src/tasks/CMakeFiles/cwc_tasks.dir/registry.cc.o" "gcc" "src/tasks/CMakeFiles/cwc_tasks.dir/registry.cc.o.d"
+  "/root/repo/src/tasks/sales.cc" "src/tasks/CMakeFiles/cwc_tasks.dir/sales.cc.o" "gcc" "src/tasks/CMakeFiles/cwc_tasks.dir/sales.cc.o.d"
+  "/root/repo/src/tasks/task.cc" "src/tasks/CMakeFiles/cwc_tasks.dir/task.cc.o" "gcc" "src/tasks/CMakeFiles/cwc_tasks.dir/task.cc.o.d"
+  "/root/repo/src/tasks/wordcount.cc" "src/tasks/CMakeFiles/cwc_tasks.dir/wordcount.cc.o" "gcc" "src/tasks/CMakeFiles/cwc_tasks.dir/wordcount.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cwc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwc_tasks.dir/blur.cc.o"
+  "CMakeFiles/cwc_tasks.dir/blur.cc.o.d"
+  "CMakeFiles/cwc_tasks.dir/generators.cc.o"
+  "CMakeFiles/cwc_tasks.dir/generators.cc.o.d"
+  "CMakeFiles/cwc_tasks.dir/line_task.cc.o"
+  "CMakeFiles/cwc_tasks.dir/line_task.cc.o.d"
+  "CMakeFiles/cwc_tasks.dir/logscan.cc.o"
+  "CMakeFiles/cwc_tasks.dir/logscan.cc.o.d"
+  "CMakeFiles/cwc_tasks.dir/partition.cc.o"
+  "CMakeFiles/cwc_tasks.dir/partition.cc.o.d"
+  "CMakeFiles/cwc_tasks.dir/primes.cc.o"
+  "CMakeFiles/cwc_tasks.dir/primes.cc.o.d"
+  "CMakeFiles/cwc_tasks.dir/registry.cc.o"
+  "CMakeFiles/cwc_tasks.dir/registry.cc.o.d"
+  "CMakeFiles/cwc_tasks.dir/sales.cc.o"
+  "CMakeFiles/cwc_tasks.dir/sales.cc.o.d"
+  "CMakeFiles/cwc_tasks.dir/task.cc.o"
+  "CMakeFiles/cwc_tasks.dir/task.cc.o.d"
+  "CMakeFiles/cwc_tasks.dir/wordcount.cc.o"
+  "CMakeFiles/cwc_tasks.dir/wordcount.cc.o.d"
+  "libcwc_tasks.a"
+  "libcwc_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwc_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

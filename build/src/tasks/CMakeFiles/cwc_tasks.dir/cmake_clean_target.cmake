@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcwc_tasks.a"
+)

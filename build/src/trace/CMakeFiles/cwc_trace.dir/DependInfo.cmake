@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/availability.cc" "src/trace/CMakeFiles/cwc_trace.dir/availability.cc.o" "gcc" "src/trace/CMakeFiles/cwc_trace.dir/availability.cc.o.d"
+  "/root/repo/src/trace/behavior.cc" "src/trace/CMakeFiles/cwc_trace.dir/behavior.cc.o" "gcc" "src/trace/CMakeFiles/cwc_trace.dir/behavior.cc.o.d"
+  "/root/repo/src/trace/logfile.cc" "src/trace/CMakeFiles/cwc_trace.dir/logfile.cc.o" "gcc" "src/trace/CMakeFiles/cwc_trace.dir/logfile.cc.o.d"
+  "/root/repo/src/trace/stats.cc" "src/trace/CMakeFiles/cwc_trace.dir/stats.cc.o" "gcc" "src/trace/CMakeFiles/cwc_trace.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cwc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

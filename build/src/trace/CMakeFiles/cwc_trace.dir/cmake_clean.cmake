@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwc_trace.dir/availability.cc.o"
+  "CMakeFiles/cwc_trace.dir/availability.cc.o.d"
+  "CMakeFiles/cwc_trace.dir/behavior.cc.o"
+  "CMakeFiles/cwc_trace.dir/behavior.cc.o.d"
+  "CMakeFiles/cwc_trace.dir/logfile.cc.o"
+  "CMakeFiles/cwc_trace.dir/logfile.cc.o.d"
+  "CMakeFiles/cwc_trace.dir/stats.cc.o"
+  "CMakeFiles/cwc_trace.dir/stats.cc.o.d"
+  "libcwc_trace.a"
+  "libcwc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

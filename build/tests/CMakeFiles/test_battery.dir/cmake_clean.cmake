@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_battery.dir/battery/battery_test.cc.o"
+  "CMakeFiles/test_battery.dir/battery/battery_test.cc.o.d"
+  "CMakeFiles/test_battery.dir/battery/throttler_test.cc.o"
+  "CMakeFiles/test_battery.dir/battery/throttler_test.cc.o.d"
+  "test_battery"
+  "test_battery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_battery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

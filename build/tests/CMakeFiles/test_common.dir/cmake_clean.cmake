@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/common/buffer_test.cc.o"
+  "CMakeFiles/test_common.dir/common/buffer_test.cc.o.d"
+  "CMakeFiles/test_common.dir/common/flags_test.cc.o"
+  "CMakeFiles/test_common.dir/common/flags_test.cc.o.d"
+  "CMakeFiles/test_common.dir/common/log_test.cc.o"
+  "CMakeFiles/test_common.dir/common/log_test.cc.o.d"
+  "CMakeFiles/test_common.dir/common/rng_test.cc.o"
+  "CMakeFiles/test_common.dir/common/rng_test.cc.o.d"
+  "CMakeFiles/test_common.dir/common/stats_test.cc.o"
+  "CMakeFiles/test_common.dir/common/stats_test.cc.o.d"
+  "CMakeFiles/test_common.dir/common/strings_test.cc.o"
+  "CMakeFiles/test_common.dir/common/strings_test.cc.o.d"
+  "test_common"
+  "test_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/controller_property_test.cc" "tests/CMakeFiles/test_core.dir/core/controller_property_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/controller_property_test.cc.o.d"
+  "/root/repo/tests/core/controller_test.cc" "tests/CMakeFiles/test_core.dir/core/controller_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/controller_test.cc.o.d"
+  "/root/repo/tests/core/costmodel_schedule_test.cc" "tests/CMakeFiles/test_core.dir/core/costmodel_schedule_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/costmodel_schedule_test.cc.o.d"
+  "/root/repo/tests/core/failure_aware_test.cc" "tests/CMakeFiles/test_core.dir/core/failure_aware_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/failure_aware_test.cc.o.d"
+  "/root/repo/tests/core/greedy_test.cc" "tests/CMakeFiles/test_core.dir/core/greedy_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/greedy_test.cc.o.d"
+  "/root/repo/tests/core/lpt_test.cc" "tests/CMakeFiles/test_core.dir/core/lpt_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/lpt_test.cc.o.d"
+  "/root/repo/tests/core/prediction_test.cc" "tests/CMakeFiles/test_core.dir/core/prediction_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/prediction_test.cc.o.d"
+  "/root/repo/tests/core/relaxation_test.cc" "tests/CMakeFiles/test_core.dir/core/relaxation_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/relaxation_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cwc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/cwc_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasks/CMakeFiles/cwc_tasks.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cwc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

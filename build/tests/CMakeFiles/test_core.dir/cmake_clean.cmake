@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/controller_property_test.cc.o"
+  "CMakeFiles/test_core.dir/core/controller_property_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/controller_test.cc.o"
+  "CMakeFiles/test_core.dir/core/controller_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/costmodel_schedule_test.cc.o"
+  "CMakeFiles/test_core.dir/core/costmodel_schedule_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/failure_aware_test.cc.o"
+  "CMakeFiles/test_core.dir/core/failure_aware_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/greedy_test.cc.o"
+  "CMakeFiles/test_core.dir/core/greedy_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/lpt_test.cc.o"
+  "CMakeFiles/test_core.dir/core/lpt_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/prediction_test.cc.o"
+  "CMakeFiles/test_core.dir/core/prediction_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/relaxation_test.cc.o"
+  "CMakeFiles/test_core.dir/core/relaxation_test.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

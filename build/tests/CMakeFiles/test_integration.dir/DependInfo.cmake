@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/chaos_test.cc" "tests/CMakeFiles/test_integration.dir/integration/chaos_test.cc.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/chaos_test.cc.o.d"
+  "/root/repo/tests/integration/cross_substrate_test.cc" "tests/CMakeFiles/test_integration.dir/integration/cross_substrate_test.cc.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/cross_substrate_test.cc.o.d"
+  "/root/repo/tests/integration/mapreduce_live_test.cc" "tests/CMakeFiles/test_integration.dir/integration/mapreduce_live_test.cc.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/mapreduce_live_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cwc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cwc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/cwc_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cwc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/battery/CMakeFiles/cwc_battery.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cwc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/cwc_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasks/CMakeFiles/cwc_tasks.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cwc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/chaos_test.cc.o"
+  "CMakeFiles/test_integration.dir/integration/chaos_test.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/cross_substrate_test.cc.o"
+  "CMakeFiles/test_integration.dir/integration/cross_substrate_test.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/mapreduce_live_test.cc.o"
+  "CMakeFiles/test_integration.dir/integration/mapreduce_live_test.cc.o.d"
+  "test_integration"
+  "test_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

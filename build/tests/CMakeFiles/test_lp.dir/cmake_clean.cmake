@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lp.dir/lp/simplex_exact_test.cc.o"
+  "CMakeFiles/test_lp.dir/lp/simplex_exact_test.cc.o.d"
+  "CMakeFiles/test_lp.dir/lp/simplex_test.cc.o"
+  "CMakeFiles/test_lp.dir/lp/simplex_test.cc.o.d"
+  "test_lp"
+  "test_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mapreduce.dir/mapreduce/mapreduce_test.cc.o"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/mapreduce_test.cc.o.d"
+  "test_mapreduce"
+  "test_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net.dir/net/framing_protocol_test.cc.o"
+  "CMakeFiles/test_net.dir/net/framing_protocol_test.cc.o.d"
+  "CMakeFiles/test_net.dir/net/fuzz_test.cc.o"
+  "CMakeFiles/test_net.dir/net/fuzz_test.cc.o.d"
+  "CMakeFiles/test_net.dir/net/journal_test.cc.o"
+  "CMakeFiles/test_net.dir/net/journal_test.cc.o.d"
+  "CMakeFiles/test_net.dir/net/live_deployment_test.cc.o"
+  "CMakeFiles/test_net.dir/net/live_deployment_test.cc.o.d"
+  "CMakeFiles/test_net.dir/net/reprobe_test.cc.o"
+  "CMakeFiles/test_net.dir/net/reprobe_test.cc.o.d"
+  "test_net"
+  "test_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/campaign_test.cc" "tests/CMakeFiles/test_sim.dir/sim/campaign_test.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/campaign_test.cc.o.d"
+  "/root/repo/tests/sim/channel_filefarm_test.cc" "tests/CMakeFiles/test_sim.dir/sim/channel_filefarm_test.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/channel_filefarm_test.cc.o.d"
+  "/root/repo/tests/sim/energy_test.cc" "tests/CMakeFiles/test_sim.dir/sim/energy_test.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/energy_test.cc.o.d"
+  "/root/repo/tests/sim/event_queue_test.cc" "tests/CMakeFiles/test_sim.dir/sim/event_queue_test.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/event_queue_test.cc.o.d"
+  "/root/repo/tests/sim/simulator_test.cc" "tests/CMakeFiles/test_sim.dir/sim/simulator_test.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/simulator_test.cc.o.d"
+  "/root/repo/tests/sim/timeline_svg_test.cc" "tests/CMakeFiles/test_sim.dir/sim/timeline_svg_test.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/timeline_svg_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cwc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cwc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/cwc_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasks/CMakeFiles/cwc_tasks.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cwc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/battery/CMakeFiles/cwc_battery.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cwc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

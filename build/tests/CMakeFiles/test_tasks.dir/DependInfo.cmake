@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tasks/blur_test.cc" "tests/CMakeFiles/test_tasks.dir/tasks/blur_test.cc.o" "gcc" "tests/CMakeFiles/test_tasks.dir/tasks/blur_test.cc.o.d"
+  "/root/repo/tests/tasks/logscan_sales_test.cc" "tests/CMakeFiles/test_tasks.dir/tasks/logscan_sales_test.cc.o" "gcc" "tests/CMakeFiles/test_tasks.dir/tasks/logscan_sales_test.cc.o.d"
+  "/root/repo/tests/tasks/migration_test.cc" "tests/CMakeFiles/test_tasks.dir/tasks/migration_test.cc.o" "gcc" "tests/CMakeFiles/test_tasks.dir/tasks/migration_test.cc.o.d"
+  "/root/repo/tests/tasks/partition_test.cc" "tests/CMakeFiles/test_tasks.dir/tasks/partition_test.cc.o" "gcc" "tests/CMakeFiles/test_tasks.dir/tasks/partition_test.cc.o.d"
+  "/root/repo/tests/tasks/primes_test.cc" "tests/CMakeFiles/test_tasks.dir/tasks/primes_test.cc.o" "gcc" "tests/CMakeFiles/test_tasks.dir/tasks/primes_test.cc.o.d"
+  "/root/repo/tests/tasks/wordcount_test.cc" "tests/CMakeFiles/test_tasks.dir/tasks/wordcount_test.cc.o" "gcc" "tests/CMakeFiles/test_tasks.dir/tasks/wordcount_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tasks/CMakeFiles/cwc_tasks.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cwc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

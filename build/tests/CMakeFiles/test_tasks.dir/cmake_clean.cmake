@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tasks.dir/tasks/blur_test.cc.o"
+  "CMakeFiles/test_tasks.dir/tasks/blur_test.cc.o.d"
+  "CMakeFiles/test_tasks.dir/tasks/logscan_sales_test.cc.o"
+  "CMakeFiles/test_tasks.dir/tasks/logscan_sales_test.cc.o.d"
+  "CMakeFiles/test_tasks.dir/tasks/migration_test.cc.o"
+  "CMakeFiles/test_tasks.dir/tasks/migration_test.cc.o.d"
+  "CMakeFiles/test_tasks.dir/tasks/partition_test.cc.o"
+  "CMakeFiles/test_tasks.dir/tasks/partition_test.cc.o.d"
+  "CMakeFiles/test_tasks.dir/tasks/primes_test.cc.o"
+  "CMakeFiles/test_tasks.dir/tasks/primes_test.cc.o.d"
+  "CMakeFiles/test_tasks.dir/tasks/wordcount_test.cc.o"
+  "CMakeFiles/test_tasks.dir/tasks/wordcount_test.cc.o.d"
+  "test_tasks"
+  "test_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwc_phone.dir/cwc_phone.cpp.o"
+  "CMakeFiles/cwc_phone.dir/cwc_phone.cpp.o.d"
+  "cwc_phone"
+  "cwc_phone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwc_phone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

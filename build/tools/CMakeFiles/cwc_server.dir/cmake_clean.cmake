@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwc_server.dir/cwc_server.cpp.o"
+  "CMakeFiles/cwc_server.dir/cwc_server.cpp.o.d"
+  "cwc_server"
+  "cwc_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwc_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwc_sim_tool.dir/cwc_sim.cpp.o"
+  "CMakeFiles/cwc_sim_tool.dir/cwc_sim.cpp.o.d"
+  "cwc_sim"
+  "cwc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwc_sim_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
