@@ -1,19 +1,36 @@
 #include "core/controller.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "common/log.h"
+#include "obs/metrics.h"
 
 namespace cwc::core {
 
 namespace {
 constexpr double kEpsKb = 1e-6;
+
+/// Fig. 6 reports |predicted - measured| / measured as relative error;
+/// bucket the common range finely (out-of-range errors clamp into the
+/// last bucket, and the histogram's max still records them exactly).
+obs::HistogramMetric& prediction_error_histogram() {
+  return obs::histogram("prediction.rel_error", 0.0, 1.0, 20);
 }
+}  // namespace
 
 CwcController::CwcController(std::unique_ptr<Scheduler> scheduler, PredictionModel prediction)
     : scheduler_(std::move(scheduler)), prediction_(std::move(prediction)) {
   if (!scheduler_) throw std::invalid_argument("CwcController: null scheduler");
+  // Pre-register the headline failure/telemetry metrics so every snapshot
+  // carries them (zero-valued on clean runs), not just failing ones.
+  obs::counter("controller.scheduling_instants");
+  obs::counter("controller.rescheduled_kb");
+  obs::counter("controller.failures.online");
+  obs::counter("controller.failures.offline");
+  obs::gauge("controller.fa_depth");
+  prediction_error_histogram();
 }
 
 void CwcController::register_phone(const PhoneSpec& spec) {
@@ -72,6 +89,10 @@ InitialLoad CwcController::outstanding_load() const {
 }
 
 Schedule CwcController::reschedule() {
+  obs::counter("controller.scheduling_instants").inc();
+  // F_A depth as each instant saw it (the backlog drains below).
+  obs::histogram("controller.fa_depth_at_instant", 0.0, 64.0, 16)
+      .observe(static_cast<double>(failed_.size()));
   // Assemble the batch: pending new jobs plus the failed backlog, with
   // breakable remainders of the same job coalesced. Atomic remainders keep
   // their checkpoint so the new phone can resume instead of restarting.
@@ -101,6 +122,7 @@ Schedule CwcController::reschedule() {
   Schedule schedule = scheduler_->build(batch, available, prediction_, outstanding_load());
   pending_.clear();
   failed_.clear();
+  obs::gauge("controller.fa_depth").set(0.0);
 
   // Install the new pieces at the back of each phone's queue.
   for (const PhonePlan& plan : schedule.plans) {
@@ -138,12 +160,23 @@ void CwcController::on_piece_complete(PhoneId phone, Millis local_exec_ms) {
   state.queue.pop_front();
   state.executables.insert(qp.piece.job);
   const JobSpec& spec = jobs_.at(qp.piece.job);
+  // Fig. 6's quantity: how far the c_ij estimate the scheduler used was
+  // from the runtime the phone just reported — before the report refines it.
+  if (qp.piece.input_kb > kEpsKb && local_exec_ms > 0.0) {
+    const MsPerKb predicted = prediction_.predict(spec.task_name, state.spec);
+    const MsPerKb measured = local_exec_ms / qp.piece.input_kb;
+    if (measured > 0.0) {
+      prediction_error_histogram().observe(std::abs(predicted - measured) / measured);
+    }
+  }
   prediction_.observe(spec.task_name, phone, qp.piece.input_kb, local_exec_ms);
 }
 
 void CwcController::fail_piece(const QueuedPiece& qp, Kilobytes remaining,
                                std::vector<std::uint8_t> checkpoint) {
   if (remaining <= kEpsKb && jobs_.at(qp.piece.job).input_kb > kEpsKb) return;
+  // Fig. 12c's shaded work: every KB that re-enters F_A is rework.
+  obs::counter("controller.rescheduled_kb").inc(remaining);
   const JobSpec& spec = jobs_.at(qp.piece.job);
   if (spec.kind == JobKind::kBreakable && checkpoint.empty()) {
     // Breakable remainders restart fresh (the partial result stays at the
@@ -165,6 +198,7 @@ void CwcController::on_piece_failed(PhoneId phone, Kilobytes processed_kb,
   if (state.queue.empty()) {
     throw std::logic_error("failure report from phone with empty queue");
   }
+  obs::counter("controller.failures.online").inc();
   const QueuedPiece current = state.queue.front();
   state.queue.pop_front();
   const JobSpec& spec = jobs_.at(current.piece.job);
@@ -181,10 +215,12 @@ void CwcController::on_piece_failed(PhoneId phone, Kilobytes processed_kb,
     state.queue.pop_front();
   }
   state.plugged = false;
+  obs::gauge("controller.fa_depth").set(static_cast<double>(failed_.size()));
 }
 
 void CwcController::on_phone_lost(PhoneId phone) {
   auto& state = phones_.at(phone);
+  obs::counter("controller.failures.offline").inc();
   log_info("cwc-server") << "phone " << phone << " lost (offline failure); requeueing "
                          << state.queue.size() << " pieces";
   while (!state.queue.empty()) {
@@ -193,6 +229,7 @@ void CwcController::on_phone_lost(PhoneId phone) {
     state.queue.pop_front();
   }
   state.plugged = false;
+  obs::gauge("controller.fa_depth").set(static_cast<double>(failed_.size()));
 }
 
 bool CwcController::all_done() const {

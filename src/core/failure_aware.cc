@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace cwc::core {
 
 FailureAwareScheduler::FailureAwareScheduler(std::unique_ptr<Scheduler> base,
@@ -32,6 +34,9 @@ Schedule FailureAwareScheduler::build(const std::vector<JobSpec>& jobs,
     if (risk_of(phone.id) < options_.exclusion_threshold) pool.push_back(phone);
   }
   if (pool.empty()) pool = phones;  // everyone is risky: use what we have
+  obs::counter("scheduler.failure_aware.builds").inc();
+  obs::counter("scheduler.failure_aware.excluded_phones")
+      .inc(static_cast<double>(phones.size() - pool.size()));
 
   // Inflate the remaining phones' expected costs by the *expected rework*:
   // only a fraction of placed work is actually lost when the phone fails

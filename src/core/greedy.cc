@@ -5,6 +5,9 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/timer.h"
+
 namespace cwc::core {
 
 namespace {
@@ -139,6 +142,7 @@ std::optional<Schedule> GreedyScheduler::pack_with_capacity(
     const std::vector<JobSpec>& jobs, const std::vector<PhoneSpec>& phones,
     const PredictionModel& prediction, Millis capacity,
     const InitialLoad& initial_load) const {
+  obs::counter("scheduler.pack_attempts").inc();
   // Precompute the c_ij matrix and the slowest phone's costs (sort keys).
   std::vector<std::vector<MsPerKb>> c(jobs.size(), std::vector<MsPerKb>(phones.size()));
   for (std::size_t j = 0; j < jobs.size(); ++j) {
@@ -208,7 +212,10 @@ std::optional<Schedule> GreedyScheduler::pack_with_capacity(
           best_bin = b;
         }
       }
-      if (best_bin == bins.size()) return std::nullopt;  // line 23-24
+      if (best_bin == bins.size()) {  // line 23-24
+        obs::counter("scheduler.pack_failures").inc();
+        return std::nullopt;
+      }
       bins[best_bin].open = true;
       chosen_item = 0;
       chosen_bin = best_bin;
@@ -218,7 +225,10 @@ std::optional<Schedule> GreedyScheduler::pack_with_capacity(
     if (!fit.fits || fit.amount <= 0.0) {
       // Zero-size jobs (exec only) pack with amount 0; anything else here
       // means the capacity is infeasible.
-      if (!(fit.fits && items[chosen_item].remaining <= kEps)) return std::nullopt;
+      if (!(fit.fits && items[chosen_item].remaining <= kEps)) {
+        obs::counter("scheduler.pack_failures").inc();
+        return std::nullopt;
+      }
     }
     pack_into(ctx, bins[chosen_bin], items[chosen_item], fit);
     Item item = items[chosen_item];
@@ -248,6 +258,9 @@ Schedule GreedyScheduler::build(const std::vector<JobSpec>& jobs,
                                 const InitialLoad& initial_load) const {
   if (phones.empty()) throw std::invalid_argument("GreedyScheduler: no phones");
 
+  obs::counter("scheduler.builds").inc();
+  obs::ScopedTimer build_timer(obs::histogram("scheduler.build_ms", 0.0, 250.0, 25));
+
   auto [lb, ub] = capacity_bounds(jobs, phones, prediction, initial_load);
   std::optional<Schedule> best = pack_with_capacity(jobs, phones, prediction, ub, initial_load);
   // UB should always be feasible (every item fits alone in any bin at UB);
@@ -258,6 +271,7 @@ Schedule GreedyScheduler::build(const std::vector<JobSpec>& jobs,
   }
   if (!best) throw std::runtime_error("GreedyScheduler: no feasible packing found");
 
+  std::size_t bisections = 0;
   for (std::size_t iter = 0;
        iter < options_.max_bisections && (ub - lb) > options_.capacity_tolerance * ub; ++iter) {
     const Millis mid = (lb + ub) / 2.0;
@@ -267,7 +281,17 @@ Schedule GreedyScheduler::build(const std::vector<JobSpec>& jobs,
     } else {
       lb = mid;
     }
+    bisections = iter + 1;
   }
+
+  // Convergence telemetry: how hard the binary search worked and how wide
+  // the capacity bracket was when it stopped.
+  obs::counter("scheduler.bisections").inc(static_cast<double>(bisections));
+  obs::gauge("scheduler.last_bisections").set(static_cast<double>(bisections));
+  obs::gauge("scheduler.last_capacity_gap").set(ub > 0.0 ? (ub - lb) / ub : 0.0);
+  std::size_t partitions = 0;
+  for (const auto& [job, parts] : best->partitions_per_job()) partitions += parts;
+  obs::counter("scheduler.partitions_created").inc(static_cast<double>(partitions));
 
   annotate_costs(*best, jobs, phones, prediction);
   return *best;

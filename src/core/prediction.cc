@@ -1,6 +1,9 @@
 #include "core/prediction.h"
 
+#include <cmath>
 #include <stdexcept>
+
+#include "obs/metrics.h"
 
 namespace cwc::core {
 
@@ -32,12 +35,17 @@ MsPerKb PredictionModel::predict(const std::string& task, const PhoneSpec& phone
 void PredictionModel::observe(const std::string& task, PhoneId phone, Kilobytes processed_kb,
                               Millis local_ms) {
   if (processed_kb <= 0.0 || local_ms <= 0.0) return;
+  obs::counter("prediction.observations").inc();
   const MsPerKb measured = local_ms / processed_kb;
   const auto key = std::make_pair(task, phone);
   const auto it = learned_.find(key);
   if (it == learned_.end()) {
     learned_[key] = measured;
   } else {
+    // How far the *refined* per-phone estimate still drifts between
+    // reports — converges toward 0 as the EWMA locks on (Fig. 6's arc).
+    obs::histogram("prediction.update_rel_error", 0.0, 1.0, 20)
+        .observe(std::abs(measured - it->second) / measured);
     it->second += learning_rate_ * (measured - it->second);
   }
 }

@@ -5,6 +5,7 @@
 #include <chrono>
 
 #include "common/log.h"
+#include "obs/metrics.h"
 
 namespace cwc::net {
 
@@ -17,6 +18,13 @@ double elapsed_ms(Clock::time_point since) {
 
 void sleep_ms(double ms) {
   if (ms > 0.0) std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+/// All agent sends flow through here so frame/byte counters stay exact.
+void send_frame(TcpConnection& conn, const Blob& payload) {
+  write_frame(conn, payload);
+  obs::counter("net.agent.frames_sent").inc();
+  obs::counter("net.agent.bytes_sent").inc(static_cast<double>(payload.size()));
 }
 }  // namespace
 
@@ -54,12 +62,16 @@ std::optional<Blob> PhoneAgent::next_frame(TcpConnection& conn, FrameDecoder& de
     return frame;
   }
   while (!stop_.load()) {
-    if (auto frame = decoder.pop()) return frame;
+    if (auto frame = decoder.pop()) {
+      obs::counter("net.agent.frames_received").inc();
+      return frame;
+    }
     pollfd pfd{conn.fd(), POLLIN, 0};
     if (::poll(&pfd, 1, 100) <= 0) continue;  // re-check stop_ every 100 ms
     const auto data = conn.recv_some();
     if (!data) continue;
     if (data->empty()) return std::nullopt;  // server closed the connection
+    obs::counter("net.agent.bytes_received").inc(static_cast<double>(data->size()));
     decoder.feed(*data);
   }
   return std::nullopt;
@@ -71,13 +83,15 @@ void PhoneAgent::service_keepalives(TcpConnection& conn, FrameDecoder& decoder) 
   while (::poll(&pfd, 1, 0) > 0 && (pfd.revents & POLLIN)) {
     const auto data = conn.recv_some();
     if (!data || data->empty()) return;  // drained or peer closed
+    obs::counter("net.agent.bytes_received").inc(static_cast<double>(data->size()));
     decoder.feed(*data);
   }
   // Answer keep-alives immediately; anything else (e.g. a probe chunk or
   // the shutdown notice) is stashed for the main protocol loop.
   while (auto frame = decoder.pop()) {
+    obs::counter("net.agent.frames_received").inc();
     if (peek_type(*frame) == MsgType::kKeepAlive) {
-      write_frame(conn, encode_keepalive_ack(decode_keepalive(*frame).seq));
+      send_frame(conn, encode_keepalive_ack(decode_keepalive(*frame).seq));
     } else {
       stash_.push_back(std::move(*frame));
     }
@@ -110,6 +124,7 @@ void PhoneAgent::run() {
     }
     if (stop_.load()) return;
     sleep_ms(config_.reconnect_backoff);
+    obs::counter("net.agent.reconnects").inc();
     log_info("agent") << "phone " << config_.id << " reconnecting ("
                       << reconnects_left << " attempts left)";
   }
@@ -129,7 +144,7 @@ bool PhoneAgent::session() {
   reg.phone = config_.id;
   reg.cpu_mhz = config_.cpu_mhz;
   reg.ram_kb = config_.ram_kb;
-  write_frame(conn, encode(reg));
+  send_frame(conn, encode(reg));
 
   const auto ack_frame = next_frame(conn, decoder);
   if (!ack_frame || !decode_register_ack(*ack_frame).accepted) {
@@ -153,7 +168,7 @@ bool PhoneAgent::session() {
         handle_assignment(conn, decoder, decode_assign_piece(*frame));
         break;
       case MsgType::kKeepAlive:
-        write_frame(conn, encode_keepalive_ack(decode_keepalive(*frame).seq));
+        send_frame(conn, encode_keepalive_ack(decode_keepalive(*frame).seq));
         break;
       case MsgType::kShutdown:
         return false;  // orderly end of the batch
@@ -173,7 +188,7 @@ void PhoneAgent::handle_probe(TcpConnection& conn, FrameDecoder& decoder,
     if (!frame) throw std::runtime_error("probe stream interrupted");
     // Keep-alives interleave freely with probe data; answer and move on.
     if (peek_type(*frame) == MsgType::kKeepAlive) {
-      write_frame(conn, encode_keepalive_ack(decode_keepalive(*frame).seq));
+      send_frame(conn, encode_keepalive_ack(decode_keepalive(*frame).seq));
       continue;
     }
     if (peek_type(*frame) != MsgType::kProbeData) {
@@ -186,7 +201,7 @@ void PhoneAgent::handle_probe(TcpConnection& conn, FrameDecoder& decoder,
   const double ms = std::max(0.1, elapsed_ms(start));
   ProbeReportMsg report;
   report.measured_kbps = static_cast<double>(received) / 1024.0 / (ms / 1000.0);
-  write_frame(conn, encode(report));
+  send_frame(conn, encode(report));
 }
 
 void PhoneAgent::handle_assignment(TcpConnection& conn, FrameDecoder& decoder,
@@ -201,8 +216,9 @@ void PhoneAgent::handle_assignment(TcpConnection& conn, FrameDecoder& decoder,
     PieceFailedMsg failure;
     failure.job = assignment.job;
     failure.piece_seq = assignment.piece_seq;
-    write_frame(conn, encode(failure));
+    send_frame(conn, encode(failure));
     ++pieces_failed_;
+    obs::counter("net.agent.pieces_failed").inc();
     return;
   }
 
@@ -222,6 +238,7 @@ void PhoneAgent::handle_assignment(TcpConnection& conn, FrameDecoder& decoder,
     if (unplugged_.load()) {
       // Owner unplugged mid-execution: suspend, checkpoint, migrate.
       ++pieces_failed_;
+      obs::counter("net.agent.pieces_failed").inc();
       if (offline_.load()) return;  // silent death: nothing is reported
       const tasks::Checkpoint checkpoint = task->checkpoint();
       PieceFailedMsg failure;
@@ -234,7 +251,7 @@ void PhoneAgent::handle_assignment(TcpConnection& conn, FrameDecoder& decoder,
       w.write_bytes(checkpoint.state);
       failure.checkpoint = w.take();
       failure.local_exec_ms = elapsed_ms(exec_start);
-      write_frame(conn, encode(failure));
+      send_frame(conn, encode(failure));
       return;
     }
     const auto step_start = Clock::now();
@@ -265,8 +282,9 @@ void PhoneAgent::handle_assignment(TcpConnection& conn, FrameDecoder& decoder,
   completion.piece_seq = assignment.piece_seq;
   completion.partial_result = task->partial_result();
   completion.local_exec_ms = elapsed_ms(exec_start);
-  write_frame(conn, encode(completion));
+  send_frame(conn, encode(completion));
   ++pieces_completed_;
+  obs::counter("net.agent.pieces_completed").inc();
 }
 
 }  // namespace cwc::net

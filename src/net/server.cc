@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "common/log.h"
+#include "obs/metrics.h"
 
 namespace cwc::net {
 
@@ -22,6 +23,13 @@ std::size_t snap_forward(const Blob& data, std::size_t pos, std::size_t end) {
   while (pos < end && data[pos] != '\n') ++pos;
   return pos < end ? pos + 1 : end;
 }
+
+/// All server sends flow through here so frame/byte counters stay exact.
+void send_frame(TcpConnection& conn, const Blob& payload) {
+  write_frame(conn, payload);
+  obs::counter("net.server.frames_sent").inc();
+  obs::counter("net.server.bytes_sent").inc(static_cast<double>(payload.size()));
+}
 }  // namespace
 
 CwcServer::CwcServer(std::unique_ptr<core::Scheduler> scheduler,
@@ -35,6 +43,15 @@ CwcServer::CwcServer(std::unique_ptr<core::Scheduler> scheduler,
   if (!config_.journal_path.empty()) {
     journal_ = std::make_unique<Journal>(config_.journal_path);
   }
+  // Pre-register the traffic counters so even a run where no phone ever
+  // connects (the snapshot most worth reading) exports them zero-valued.
+  obs::counter("net.server.frames_sent");
+  obs::counter("net.server.frames_received");
+  obs::counter("net.server.bytes_sent");
+  obs::counter("net.server.bytes_received");
+  obs::counter("net.server.keepalives_sent");
+  obs::counter("net.server.keepalive.drops");
+  obs::counter("net.server.phones_lost");
   listener_.set_nonblocking(true);
 }
 
@@ -130,6 +147,7 @@ void CwcServer::service_connection(Connection& c) {
       drop_connection(c, /*lost=*/true);
       return;
     }
+    obs::counter("net.server.bytes_received").inc(static_cast<double>(data->size()));
     c.decoder.feed(*data);
   }
   while (c.conn.valid()) {
@@ -140,6 +158,7 @@ void CwcServer::service_connection(Connection& c) {
 }
 
 void CwcServer::handle_frame(Connection& c, const Blob& frame) {
+  obs::counter("net.server.frames_received").inc();
   c.keepalive_outstanding = 0;  // any traffic proves the phone is alive
   switch (peek_type(frame)) {
     case MsgType::kRegister: {
@@ -152,7 +171,7 @@ void CwcServer::handle_frame(Connection& c, const Blob& frame) {
       controller_.register_phone(spec);
       c.phone = msg.phone;
       c.registered = true;
-      write_frame(c.conn, encode(RegisterAckMsg{true}));
+      send_frame(c.conn, encode(RegisterAckMsg{true}));
       start_probe(c);
       break;
     }
@@ -185,12 +204,13 @@ void CwcServer::start_probe(Connection& c) {
   ProbeRequestMsg request;
   request.chunks = config_.probe_chunks;
   request.chunk_bytes = config_.probe_chunk_bytes;
-  write_frame(c.conn, encode(request));
+  send_frame(c.conn, encode(request));
   for (std::uint32_t i = 0; i < request.chunks; ++i) {
-    write_frame(c.conn, encode_probe_data(request.chunk_bytes));
+    send_frame(c.conn, encode_probe_data(request.chunk_bytes));
   }
   c.probing = true;
   ++probes_sent_;
+  obs::counter("net.server.probes_sent").inc();
 }
 
 std::vector<std::pair<std::size_t, std::size_t>> CwcServer::carve_slice(JobState& job,
@@ -254,7 +274,7 @@ void CwcServer::assign_next_piece(Connection& c) {
   }
   c.piece_job = msg.job;
   c.busy = true;
-  write_frame(c.conn, encode(msg));
+  send_frame(c.conn, encode(msg));
 }
 
 void CwcServer::on_complete(Connection& c, const PieceCompleteMsg& msg) {
@@ -281,6 +301,7 @@ void CwcServer::on_complete(Connection& c, const PieceCompleteMsg& msg) {
 void CwcServer::on_failed(Connection& c, const PieceFailedMsg& msg) {
   if (!c.busy || msg.piece_seq != c.piece_seq) return;
   ++failures_received_;
+  obs::counter("net.server.failures_received").inc();
   c.busy = false;
   JobState& job = jobs_.at(msg.job);
 
@@ -344,6 +365,7 @@ void CwcServer::drop_connection(Connection& c, bool lost) {
   if (!c.conn.valid()) return;
   if (lost && c.registered) {
     ++phones_lost_;
+    obs::counter("net.server.phones_lost").inc();
     if (c.busy) {
       // Nothing was reported: the whole in-flight slice returns to the pool.
       JobState& job = jobs_.at(c.piece_job);
@@ -366,12 +388,14 @@ void CwcServer::send_keepalives(double) {
     Connection& c = *connection;
     if (!c.conn.valid() || !c.registered) continue;
     if (c.keepalive_outstanding >= config_.keepalive_misses) {
+      obs::counter("net.server.keepalive.drops").inc();
       drop_connection(c, /*lost=*/true);
       continue;
     }
     try {
-      write_frame(c.conn, encode_keepalive(++c.keepalive_seq));
+      send_frame(c.conn, encode_keepalive(++c.keepalive_seq));
       ++c.keepalive_outstanding;
+      obs::counter("net.server.keepalives_sent").inc();
     } catch (const SocketError&) {
       drop_connection(c, /*lost=*/true);
     }
@@ -383,6 +407,7 @@ void CwcServer::scheduling_instant() {
   if (controller_.plugged_phones().empty()) return;
   controller_.reschedule();
   ++scheduling_rounds_;
+  obs::counter("net.server.scheduling_rounds").inc();
   for (auto& connection : connections_) {
     if (connection->conn.valid()) assign_next_piece(*connection);
   }
@@ -492,7 +517,7 @@ bool CwcServer::run(int expected_phones, Millis timeout) {
         for (auto& connection : connections_) {
           if (connection->conn.valid()) {
             try {
-              write_frame(connection->conn, encode_shutdown());
+              send_frame(connection->conn, encode_shutdown());
             } catch (const SocketError&) {
             }
             connection->conn.close();

@@ -1,0 +1,97 @@
+#include "obs/metrics.h"
+
+namespace cwc::obs {
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+HistogramMetric& MetricsRegistry::histogram(const std::string& name, double lo, double hi,
+                                            std::size_t buckets) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<HistogramMetric>(lo, hi, buckets);
+  return *slot;
+}
+
+bool MetricsRegistry::has_counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.count(name) > 0;
+}
+
+bool MetricsRegistry::has_gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return gauges_.count(name) > 0;
+}
+
+bool MetricsRegistry::has_histogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return histograms_.count(name) > 0;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const HistogramMetric* MetricsRegistry::find_histogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+namespace {
+template <typename Map>
+std::vector<std::string> keys_of(const Map& map) {
+  std::vector<std::string> names;
+  names.reserve(map.size());
+  for (const auto& [name, metric] : map) names.push_back(name);
+  return names;  // std::map iterates sorted
+}
+}  // namespace
+
+std::vector<std::string> MetricsRegistry::counter_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return keys_of(counters_);
+}
+
+std::vector<std::string> MetricsRegistry::gauge_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return keys_of(gauges_);
+}
+
+std::vector<std::string> MetricsRegistry::histogram_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return keys_of(histograms_);
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace cwc::obs

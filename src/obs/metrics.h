@@ -1,0 +1,162 @@
+// Process-wide runtime telemetry for the CWC stack.
+//
+// The paper's evaluation quantities — prediction error (Fig. 6), binary-
+// search convergence, rescheduled work after unplug failures (Fig. 12c),
+// keep-alive misses — were previously recomputed ad hoc by each bench.
+// This registry gives every layer one place to record them:
+//
+//   obs::counter("controller.rescheduled_kb").add(remaining);
+//   obs::gauge("sim.makespan_ms").set(makespan);
+//   obs::histogram("prediction.rel_error", 0.0, 1.0, 20).observe(err);
+//
+// Metrics are created on first use and live for the process lifetime (the
+// registry owns them; returned references stay valid until reset()).
+// Counters and gauges are lock-free atomics so hot paths — the scheduler's
+// packing loop, the server's frame handlers — pay one relaxed CAS per
+// event. Histograms take a mutex (they update buckets plus an OnlineStats
+// accumulator); keep them off per-byte paths.
+//
+// Snapshot export (JSON/CSV) lives in obs/snapshot.h; RAII timing helpers
+// in obs/timer.h.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace cwc::obs {
+
+namespace detail {
+/// Relaxed add for pre-C++20-hardware-support atomic doubles (CAS loop).
+inline void atomic_add(std::atomic<double>& target, double v) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + v, std::memory_order_relaxed)) {
+  }
+}
+}  // namespace detail
+
+/// Monotonically increasing value (events, KB, frames...).
+class Counter {
+ public:
+  void inc(double v = 1.0) { detail::atomic_add(value_, v); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Last-write-wins instantaneous value (queue depth, utilization...).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double v) { detail::atomic_add(value_, v); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket distribution over [lo, hi) with summary statistics; wraps
+/// common/stats.h's Histogram + OnlineStats under one mutex.
+class HistogramMetric {
+ public:
+  HistogramMetric(double lo, double hi, std::size_t buckets)
+      : lo_(lo), hi_(hi), histogram_(lo, hi, buckets) {}
+
+  void observe(double x) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    histogram_.add(x);
+    stats_.add(x);
+  }
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::size_t bucket_count() const { return histogram_.bucket_count(); }
+
+  /// Consistent (count, mean, min, max, bucket counts) view.
+  struct View {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::vector<std::size_t> buckets;
+  };
+  View view() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    View v;
+    v.count = stats_.count();
+    v.mean = stats_.mean();
+    v.min = stats_.min();
+    v.max = stats_.max();
+    v.buckets.reserve(histogram_.bucket_count());
+    for (std::size_t b = 0; b < histogram_.bucket_count(); ++b) {
+      v.buckets.push_back(histogram_.count(b));
+    }
+    return v;
+  }
+
+ private:
+  double lo_;
+  double hi_;
+  mutable std::mutex mutex_;
+  Histogram histogram_;
+  OnlineStats stats_;
+};
+
+/// Named metrics, created on first access. Thread-safe; references returned
+/// remain valid until reset().
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// The (lo, hi, buckets) shape is fixed by the first caller; later calls
+  /// with a different shape get the existing histogram unchanged.
+  HistogramMetric& histogram(const std::string& name, double lo, double hi,
+                             std::size_t buckets);
+
+  bool has_counter(const std::string& name) const;
+  bool has_gauge(const std::string& name) const;
+  bool has_histogram(const std::string& name) const;
+
+  /// Read-only lookups (no creation); nullptr when absent.
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  const HistogramMetric* find_histogram(const std::string& name) const;
+
+  /// Sorted names, for export and tests.
+  std::vector<std::string> counter_names() const;
+  std::vector<std::string> gauge_names() const;
+  std::vector<std::string> histogram_names() const;
+
+  /// Drops every metric. Outstanding references become dangling; tests
+  /// call this between cases and re-fetch.
+  void reset();
+
+  /// The process-wide registry all CWC instrumentation writes to.
+  static MetricsRegistry& global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+};
+
+/// Shorthands for the global registry — the form instrumentation sites use.
+inline Counter& counter(const std::string& name) {
+  return MetricsRegistry::global().counter(name);
+}
+inline Gauge& gauge(const std::string& name) {
+  return MetricsRegistry::global().gauge(name);
+}
+inline HistogramMetric& histogram(const std::string& name, double lo, double hi,
+                                  std::size_t buckets) {
+  return MetricsRegistry::global().histogram(name, lo, hi, buckets);
+}
+
+}  // namespace cwc::obs

@@ -1,0 +1,381 @@
+#include "obs/snapshot.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/strings.h"
+
+namespace cwc::obs {
+
+namespace {
+
+/// Shortest representation that round-trips a double exactly.
+std::string format_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  double parsed = 0.0;
+  std::sscanf(buf, "%lf", &parsed);
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[40];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", precision, v);
+    std::sscanf(shorter, "%lf", &parsed);
+    if (parsed == v) return shorter;
+  }
+  return buf;
+}
+
+/// Metric names are flag-safe identifiers (dots, dashes, alnum); escape the
+/// JSON specials anyway so arbitrary names cannot corrupt the document.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += ch;
+    }
+  }
+  return out;
+}
+
+void append_scalar_section(std::string& out, const char* section,
+                           const std::map<std::string, double>& values, bool trailing_comma) {
+  out += "  \"";
+  out += section;
+  out += "\": {";
+  bool first = true;
+  for (const auto& [name, value] : values) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) + "\": " + format_double(value);
+  }
+  out += first ? "}" : "\n  }";
+  if (trailing_comma) out += ",";
+  out += "\n";
+}
+
+// --- Minimal JSON reader for the snapshot schema ---------------------------
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  void expect(char ch) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != ch) {
+      fail(std::string("expected '") + ch + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume(char ch) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ch) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char ch = text_[pos_++];
+      if (ch == '\\') {
+        if (pos_ >= text_.size()) fail("truncated escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': ch = '\n'; break;
+          case 't': ch = '\t'; break;
+          case 'r': ch = '\r'; break;
+          default: ch = esc;
+        }
+      }
+      out += ch;
+    }
+    if (pos_ >= text_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  double number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '-' ||
+            text_[pos_] == '+' || text_[pos_] == '.' || text_[pos_] == 'e' ||
+            text_[pos_] == 'E' || text_[pos_] == 'i' || text_[pos_] == 'n' ||
+            text_[pos_] == 'f' || text_[pos_] == 'a')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected number");
+    try {
+      return std::stod(text_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      fail("malformed number");
+    }
+    return 0.0;  // unreachable
+  }
+
+  void done() {
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content");
+  }
+
+  [[noreturn]] void fail(const std::string& why) {
+    throw std::runtime_error("snapshot JSON: " + why + " at byte " + std::to_string(pos_));
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+std::map<std::string, double> parse_scalar_object(JsonReader& reader) {
+  std::map<std::string, double> out;
+  reader.expect('{');
+  if (reader.consume('}')) return out;
+  do {
+    const std::string name = reader.string();
+    reader.expect(':');
+    out[name] = reader.number();
+  } while (reader.consume(','));
+  reader.expect('}');
+  return out;
+}
+
+HistogramSnapshot parse_histogram(JsonReader& reader) {
+  HistogramSnapshot h;
+  reader.expect('{');
+  do {
+    const std::string field = reader.string();
+    reader.expect(':');
+    if (field == "buckets") {
+      reader.expect('[');
+      if (!reader.consume(']')) {
+        do {
+          h.buckets.push_back(static_cast<std::size_t>(reader.number()));
+        } while (reader.consume(','));
+        reader.expect(']');
+      }
+    } else if (field == "lo") {
+      h.lo = reader.number();
+    } else if (field == "hi") {
+      h.hi = reader.number();
+    } else if (field == "count") {
+      h.count = static_cast<std::size_t>(reader.number());
+    } else if (field == "mean") {
+      h.mean = reader.number();
+    } else if (field == "min") {
+      h.min = reader.number();
+    } else if (field == "max") {
+      h.max = reader.number();
+    } else {
+      reader.fail("unknown histogram field " + field);
+    }
+  } while (reader.consume(','));
+  reader.expect('}');
+  return h;
+}
+
+}  // namespace
+
+Snapshot capture(const MetricsRegistry& registry) {
+  Snapshot snapshot;
+  // Names are captured first, then values; metrics created in between
+  // simply miss this snapshot (they will be in the next one).
+  for (const std::string& name : registry.counter_names()) {
+    if (const Counter* metric = registry.find_counter(name)) {
+      snapshot.counters[name] = metric->value();
+    }
+  }
+  for (const std::string& name : registry.gauge_names()) {
+    if (const Gauge* metric = registry.find_gauge(name)) {
+      snapshot.gauges[name] = metric->value();
+    }
+  }
+  for (const std::string& name : registry.histogram_names()) {
+    const HistogramMetric* metric = registry.find_histogram(name);
+    if (!metric) continue;
+    const HistogramMetric::View view = metric->view();
+    HistogramSnapshot h;
+    h.lo = metric->lo();
+    h.hi = metric->hi();
+    h.count = view.count;
+    h.mean = view.mean;
+    h.min = view.min;
+    h.max = view.max;
+    h.buckets = view.buckets;
+    snapshot.histograms[name] = std::move(h);
+  }
+  return snapshot;
+}
+
+std::string to_json(const Snapshot& snapshot) {
+  std::string out = "{\n";
+  append_scalar_section(out, "counters", snapshot.counters, true);
+  append_scalar_section(out, "gauges", snapshot.gauges, true);
+  out += "  \"histograms\": {";
+  bool first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) + "\": {\"lo\": " + format_double(h.lo) +
+           ", \"hi\": " + format_double(h.hi) + ", \"count\": " + std::to_string(h.count) +
+           ", \"mean\": " + format_double(h.mean) + ", \"min\": " + format_double(h.min) +
+           ", \"max\": " + format_double(h.max) + ", \"buckets\": [";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b > 0) out += ", ";
+      out += std::to_string(h.buckets[b]);
+    }
+    out += "]}";
+  }
+  out += first ? "}" : "\n  }";
+  out += "\n}\n";
+  return out;
+}
+
+Snapshot from_json(const std::string& text) {
+  Snapshot snapshot;
+  JsonReader reader(text);
+  bool saw_counters = false, saw_gauges = false, saw_histograms = false;
+  reader.expect('{');
+  do {
+    const std::string section = reader.string();
+    reader.expect(':');
+    if (section == "counters") {
+      saw_counters = true;
+      snapshot.counters = parse_scalar_object(reader);
+    } else if (section == "gauges") {
+      saw_gauges = true;
+      snapshot.gauges = parse_scalar_object(reader);
+    } else if (section == "histograms") {
+      saw_histograms = true;
+      reader.expect('{');
+      if (!reader.consume('}')) {
+        do {
+          const std::string name = reader.string();
+          reader.expect(':');
+          snapshot.histograms[name] = parse_histogram(reader);
+        } while (reader.consume(','));
+        reader.expect('}');
+      }
+    } else {
+      reader.fail("unknown section " + section);
+    }
+  } while (reader.consume(','));
+  reader.expect('}');
+  reader.done();
+  if (!saw_counters || !saw_gauges || !saw_histograms) {
+    throw std::runtime_error("snapshot JSON: missing section");
+  }
+  return snapshot;
+}
+
+std::string to_csv(const Snapshot& snapshot) {
+  std::string out = "kind,name,field,value\n";
+  const auto row = [&out](const char* kind, const std::string& name, const std::string& field,
+                          const std::string& value) {
+    out += kind;
+    out += ',' + name + ',' + field + ',' + value + '\n';
+  };
+  for (const auto& [name, value] : snapshot.counters) {
+    row("counter", name, "value", format_double(value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    row("gauge", name, "value", format_double(value));
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    row("histogram", name, "lo", format_double(h.lo));
+    row("histogram", name, "hi", format_double(h.hi));
+    row("histogram", name, "count", std::to_string(h.count));
+    row("histogram", name, "mean", format_double(h.mean));
+    row("histogram", name, "min", format_double(h.min));
+    row("histogram", name, "max", format_double(h.max));
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      row("histogram", name, "bucket_" + std::to_string(b), std::to_string(h.buckets[b]));
+    }
+  }
+  return out;
+}
+
+Snapshot from_csv(const std::string& text) {
+  Snapshot snapshot;
+  std::istringstream lines(text);
+  std::string line;
+  bool header = true;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    if (header) {
+      if (line != "kind,name,field,value") {
+        throw std::runtime_error("snapshot CSV: bad header: " + line);
+      }
+      header = false;
+      continue;
+    }
+    const std::vector<std::string> cells = split(line, ',');
+    if (cells.size() != 4) throw std::runtime_error("snapshot CSV: malformed row: " + line);
+    const std::string& kind = cells[0];
+    const std::string& name = cells[1];
+    const std::string& field = cells[2];
+    double value = 0.0;
+    try {
+      value = std::stod(cells[3]);
+    } catch (const std::exception&) {
+      throw std::runtime_error("snapshot CSV: malformed value: " + line);
+    }
+    if (kind == "counter") {
+      snapshot.counters[name] = value;
+    } else if (kind == "gauge") {
+      snapshot.gauges[name] = value;
+    } else if (kind == "histogram") {
+      HistogramSnapshot& h = snapshot.histograms[name];
+      if (field == "lo") {
+        h.lo = value;
+      } else if (field == "hi") {
+        h.hi = value;
+      } else if (field == "count") {
+        h.count = static_cast<std::size_t>(value);
+      } else if (field == "mean") {
+        h.mean = value;
+      } else if (field == "min") {
+        h.min = value;
+      } else if (field == "max") {
+        h.max = value;
+      } else if (field.rfind("bucket_", 0) == 0) {
+        const std::size_t index = static_cast<std::size_t>(std::stoul(field.substr(7)));
+        if (h.buckets.size() <= index) h.buckets.resize(index + 1, 0);
+        h.buckets[index] = static_cast<std::size_t>(value);
+      } else {
+        throw std::runtime_error("snapshot CSV: unknown histogram field: " + field);
+      }
+    } else {
+      throw std::runtime_error("snapshot CSV: unknown kind: " + kind);
+    }
+  }
+  return snapshot;
+}
+
+void write_snapshot_file(const std::string& path, const MetricsRegistry& registry) {
+  const Snapshot snapshot = capture(registry);
+  const bool csv = path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) throw std::runtime_error("cannot write metrics snapshot to " + path);
+  file << (csv ? to_csv(snapshot) : to_json(snapshot));
+  if (!file.flush()) throw std::runtime_error("short write of metrics snapshot to " + path);
+}
+
+}  // namespace cwc::obs

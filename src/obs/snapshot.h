@@ -1,0 +1,66 @@
+// Point-in-time export of a MetricsRegistry, round-trippable through JSON
+// and CSV so runs can emit machine-readable telemetry (`--metrics-out` on
+// the tools) and tests can parse what a run produced.
+//
+// JSON shape:
+//   {
+//     "counters":   {"name": value, ...},
+//     "gauges":     {"name": value, ...},
+//     "histograms": {"name": {"lo": .., "hi": .., "count": N, "mean": ..,
+//                             "min": .., "max": .., "buckets": [c0, c1, ...]}}
+//   }
+//
+// CSV shape (one row per scalar, histogram buckets flattened):
+//   kind,name,field,value
+//   counter,net.server.frames_sent,value,12
+//   histogram,prediction.rel_error,mean,0.034
+//   histogram,prediction.rel_error,bucket_0,17
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace cwc::obs {
+
+struct HistogramSnapshot {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::size_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::vector<std::size_t> buckets;
+
+  bool operator==(const HistogramSnapshot&) const = default;
+};
+
+struct Snapshot {
+  std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  bool operator==(const Snapshot&) const = default;
+};
+
+/// Captures every metric currently in the registry.
+Snapshot capture(const MetricsRegistry& registry = MetricsRegistry::global());
+
+std::string to_json(const Snapshot& snapshot);
+std::string to_csv(const Snapshot& snapshot);
+
+/// Inverse of to_json / to_csv. Throws std::runtime_error on malformed
+/// input. The JSON parser accepts any whitespace layout but only the
+/// snapshot schema above (it is not a general JSON library).
+Snapshot from_json(const std::string& text);
+Snapshot from_csv(const std::string& text);
+
+/// Writes the registry's snapshot to `path`; format chosen by extension
+/// (".csv" = CSV, anything else = JSON). Throws std::runtime_error when
+/// the file cannot be written.
+void write_snapshot_file(const std::string& path,
+                         const MetricsRegistry& registry = MetricsRegistry::global());
+
+}  // namespace cwc::obs

@@ -1,0 +1,42 @@
+// RAII timing spans over std::chrono::steady_clock.
+//
+//   {
+//     obs::ScopedTimer timer(obs::histogram("scheduler.build_ms", 0, 1000, 25));
+//     ... work ...
+//   }  // elapsed ms recorded on scope exit
+//
+// A span can also accumulate into a Counter (total time spent in a code
+// path) — useful when the distribution is not interesting but the sum is.
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace cwc::obs {
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(HistogramMetric& sink) : histogram_(&sink) {}
+  explicit ScopedTimer(Counter& sink) : counter_(&sink) {}
+  ~ScopedTimer() {
+    const double ms = elapsed_ms();
+    if (histogram_) histogram_->observe(ms);
+    if (counter_) counter_->inc(ms);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Milliseconds since construction (monotonic clock).
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_ = std::chrono::steady_clock::now();
+  HistogramMetric* histogram_ = nullptr;
+  Counter* counter_ = nullptr;
+};
+
+}  // namespace cwc::obs

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/log.h"
+#include "obs/metrics.h"
 #include "tasks/registry.h"
 
 namespace cwc::sim {
@@ -100,6 +101,8 @@ void TestbedSimulation::finish_piece(PhoneId phone_id, std::uint64_t epoch) {
     result_.original_makespan = std::max(result_.original_makespan, now);
   }
 
+  obs::counter("sim.pieces_completed").inc();
+  phone.busy_ms += now - phone.transfer_start;
   phone.busy = false;
   controller_.on_piece_complete(phone_id, now - phone.transfer_end);
   start_next_piece(phone_id);
@@ -123,6 +126,7 @@ void TestbedSimulation::apply_failure(const FailureEvent& event) {
       }
       if (!controller_.is_plugged(event.phone)) {
         controller_.set_plugged(event.phone, true);
+        obs::counter("sim.replugs").inc();
         log_info("sim") << "phone " << event.phone << " plugged in at " << to_seconds(now)
                         << " s";
       }
@@ -130,6 +134,7 @@ void TestbedSimulation::apply_failure(const FailureEvent& event) {
     }
     case FailureKind::kUnplugOnline: {
       if (!phone.alive) return;
+      obs::counter("sim.failures.online").inc();
       ++phone.epoch;  // invalidate the in-flight completion event
       phone.alive = false;
       if (!phone.busy) {
@@ -137,6 +142,7 @@ void TestbedSimulation::apply_failure(const FailureEvent& event) {
         return;
       }
       phone.busy = false;
+      phone.busy_ms += now - phone.transfer_start;
       const core::JobSpec& job = controller_.job(phone.piece.job);
       Kilobytes processed = 0.0;
       Millis local_ms = 0.0;
@@ -169,6 +175,7 @@ void TestbedSimulation::apply_failure(const FailureEvent& event) {
     }
     case FailureKind::kUnplugOffline: {
       if (!phone.alive) return;
+      obs::counter("sim.failures.offline").inc();
       ++phone.epoch;
       phone.alive = false;
       // Record what the phone was doing when it vanished (nothing, when it
@@ -184,6 +191,9 @@ void TestbedSimulation::apply_failure(const FailureEvent& event) {
                                       phone.piece_rescheduled});
         }
       }
+      if (phone.busy && now > phone.transfer_start) {
+        phone.busy_ms += now - phone.transfer_start;
+      }
       phone.busy = false;
       // The server notices only after the keep-alive budget expires — and
       // only if the phone has not replugged in the meantime (the epoch
@@ -197,6 +207,8 @@ void TestbedSimulation::apply_failure(const FailureEvent& event) {
         if (lost.alive || lost.epoch != epoch_at_failure) return;  // it came back
         // Everything the lost phone held becomes rescheduled work (the
         // shaded bars of Fig. 12c).
+        obs::counter("sim.keepalive.misses").inc(static_cast<double>(options_.keepalive_misses));
+        obs::counter("sim.failures.offline_detected").inc();
         for (JobId job : controller_.queued_jobs(id)) ever_failed_jobs_.insert(job);
         controller_.on_phone_lost(id);
         log_info("sim") << "server detected loss of phone " << id << " at "
@@ -245,6 +257,22 @@ SimResult TestbedSimulation::run() {
     events_.run_one();
   }
   maybe_finish();
+
+  // End-of-run telemetry: fleet utilization (Fig. 12a's idle tails) and
+  // how far the round-0 prediction landed from reality.
+  obs::gauge("sim.makespan_ms").set(result_.makespan);
+  obs::gauge("sim.predicted_makespan_ms").set(result_.predicted_makespan);
+  if (result_.predicted_makespan > 0.0) {
+    obs::gauge("sim.makespan_rel_error")
+        .set(std::abs(result_.makespan - result_.predicted_makespan) /
+             result_.predicted_makespan);
+  }
+  for (const auto& [id, phone] : runtime_) {
+    const std::string prefix = "sim.phone." + std::to_string(id);
+    obs::gauge(prefix + ".busy_ms").set(phone.busy_ms);
+    obs::gauge(prefix + ".utilization")
+        .set(result_.makespan > 0.0 ? phone.busy_ms / result_.makespan : 0.0);
+  }
   return result_;
 }
 

@@ -112,6 +112,9 @@ class TestbedSimulation {
     Millis execute_end = 0.0;
     core::JobPiece piece;
     bool piece_rescheduled = false;
+    /// Total transfer+execute time spent on pieces (including the partial
+    /// work of failed pieces) — the numerator of per-phone utilization.
+    Millis busy_ms = 0.0;
   };
 
   void schedule_instant();

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "core/greedy.h"
+#include "obs/metrics.h"
 
 namespace cwc::core {
 namespace {
@@ -183,6 +184,85 @@ TEST(Controller, ReportsFromIdlePhoneThrow) {
 
 TEST(Controller, NullSchedulerThrows) {
   EXPECT_THROW(CwcController(nullptr), std::invalid_argument);
+}
+
+TEST(ControllerTelemetry, HeadlineMetricsPreRegisteredByConstructor) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  registry.reset();
+  auto controller = make_controller();
+  // Even before any scheduling happens, the headline metrics exist (so a
+  // clean run's snapshot still carries them, zero-valued).
+  EXPECT_TRUE(registry.has_counter("controller.scheduling_instants"));
+  EXPECT_TRUE(registry.has_counter("controller.rescheduled_kb"));
+  EXPECT_TRUE(registry.has_counter("controller.failures.online"));
+  EXPECT_TRUE(registry.has_counter("controller.failures.offline"));
+  EXPECT_TRUE(registry.has_gauge("controller.fa_depth"));
+  EXPECT_TRUE(registry.has_histogram("prediction.rel_error"));
+}
+
+TEST(ControllerTelemetry, RescheduledKbEqualsFailureRemainder) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  registry.reset();
+  auto controller = make_controller();
+  controller.register_phone(make_phone(0));
+  controller.register_phone(make_phone(1));
+  controller.submit(make_job(1000.0));
+  controller.reschedule();
+  EXPECT_DOUBLE_EQ(registry.counter("controller.scheduling_instants").value(), 1.0);
+
+  auto work = controller.current_work(0);
+  ASSERT_TRUE(work.has_value());
+  const Kilobytes piece_kb = work->piece.input_kb;
+  ASSERT_GT(piece_kb, 100.0);
+
+  // The rescheduled-KB counter records exactly the unprocessed remainder.
+  controller.on_piece_failed(0, 100.0, {}, 900.0);
+  EXPECT_NEAR(registry.counter("controller.rescheduled_kb").value(), piece_kb - 100.0, 1e-6);
+  EXPECT_DOUBLE_EQ(registry.counter("controller.failures.online").value(), 1.0);
+  EXPECT_DOUBLE_EQ(registry.gauge("controller.fa_depth").value(),
+                   static_cast<double>(controller.failed_backlog().size()));
+
+  // The next instant drains F_A and zeroes the depth gauge; the KB counter
+  // is monotone and keeps its total.
+  const Schedule recovery = controller.reschedule();
+  EXPECT_NEAR(recovery.assigned_kb(work->piece.job), piece_kb - 100.0, 1e-6);
+  EXPECT_DOUBLE_EQ(registry.gauge("controller.fa_depth").value(), 0.0);
+  EXPECT_DOUBLE_EQ(registry.counter("controller.scheduling_instants").value(), 2.0);
+  EXPECT_NEAR(registry.counter("controller.rescheduled_kb").value(), piece_kb - 100.0, 1e-6);
+}
+
+TEST(ControllerTelemetry, OfflineLossCountsWholeQueueAsRescheduled) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  registry.reset();
+  auto controller = make_controller();
+  controller.register_phone(make_phone(0));
+  controller.submit(make_job(200.0, JobKind::kAtomic));
+  controller.submit(make_job(150.0, JobKind::kAtomic));
+  controller.reschedule();
+  EXPECT_EQ(controller.queued_pieces(), 2u);
+
+  controller.on_phone_lost(0);
+  EXPECT_DOUBLE_EQ(registry.counter("controller.failures.offline").value(), 1.0);
+  EXPECT_DOUBLE_EQ(registry.counter("controller.failures.online").value(), 0.0);
+  // Everything the lost phone held became rescheduled work.
+  EXPECT_NEAR(registry.counter("controller.rescheduled_kb").value(), 350.0, 1e-6);
+  EXPECT_DOUBLE_EQ(registry.gauge("controller.fa_depth").value(), 2.0);
+}
+
+TEST(ControllerTelemetry, PredictionErrorObservedOnCompletions) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  registry.reset();
+  auto controller = make_controller();
+  controller.register_phone(make_phone(0));
+  controller.submit(make_job(100.0));
+  controller.reschedule();
+  auto work = controller.current_work(0);
+  ASSERT_TRUE(work.has_value());
+  // Predicted 10 ms/KB; report 8 ms/KB -> relative error |10-8|/8 = 0.25.
+  controller.on_piece_complete(0, work->piece.input_kb * 8.0);
+  const auto view = registry.histogram("prediction.rel_error", 0.0, 1.0, 20).view();
+  ASSERT_EQ(view.count, 1u);
+  EXPECT_NEAR(view.mean, 0.25, 1e-9);
 }
 
 TEST(Controller, DuplicateJobIdRejected) {

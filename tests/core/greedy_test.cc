@@ -293,5 +293,56 @@ TEST_P(GreedyInvariantTest, SchedulesAreAlwaysValid) {
 
 INSTANTIATE_TEST_SUITE_P(RandomInstances, GreedyInvariantTest, ::testing::Range(0, 15));
 
+// Monotonicity sweep: packing feasibility and makespan respond sanely to
+// more capacity / more phones on random testbed instances.
+class GreedyMonotonicityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GreedyMonotonicityTest, FeasiblePackStaysFeasibleAtLargerCapacity) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 211 + 13);
+  const auto prediction = paper_prediction();
+  auto phones = paper_testbed(rng);
+  rng.shuffle(phones);
+  phones.resize(static_cast<std::size_t>(rng.uniform_int(3, 12)));
+  const auto jobs = paper_workload(rng, rng.uniform(0.02, 0.15));
+
+  const GreedyScheduler scheduler;
+  const auto [lb, ub] = scheduler.capacity_bounds(jobs, phones, prediction);
+  // UB is feasible by construction (the single worst bin holds everything),
+  // and raising the capacity can never break feasibility.
+  ASSERT_TRUE(scheduler.pack_with_capacity(jobs, phones, prediction, ub).has_value());
+  const Schedule schedule = scheduler.build(jobs, phones, prediction);
+  validate_schedule(schedule, jobs, phones);
+  for (const double factor : {1.05, 1.5, 3.0, 10.0}) {
+    const Millis capacity = schedule.predicted_makespan * factor;
+    const auto pack = scheduler.pack_with_capacity(jobs, phones, prediction, capacity);
+    ASSERT_TRUE(pack.has_value()) << "capacity " << capacity << " (factor " << factor << ")";
+    validate_schedule(*pack, jobs, phones);
+    EXPECT_LE(pack->predicted_makespan, capacity + 1e-6);
+  }
+}
+
+TEST_P(GreedyMonotonicityTest, AddingAPhoneNeverWorsensMakespan) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 307 + 29);
+  const auto prediction = paper_prediction();
+  auto all = paper_testbed(rng);
+  rng.shuffle(all);
+  const std::size_t base_count = static_cast<std::size_t>(rng.uniform_int(3, 17));
+  std::vector<PhoneSpec> phones(all.begin(),
+                                all.begin() + static_cast<std::ptrdiff_t>(base_count));
+  const auto jobs = paper_workload(rng, rng.uniform(0.02, 0.15));
+
+  const GreedyScheduler scheduler;
+  const Schedule before = scheduler.build(jobs, phones, prediction);
+  validate_schedule(before, jobs, phones);
+  phones.push_back(all[base_count]);  // one more phone joins the fleet
+  const Schedule after = scheduler.build(jobs, phones, prediction);
+  validate_schedule(after, jobs, phones);
+  // The greedy heuristic is not exactly monotone, but an extra phone must
+  // never worsen the makespan beyond the binary search's resolution.
+  EXPECT_LE(after.predicted_makespan, before.predicted_makespan * 1.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, GreedyMonotonicityTest, ::testing::Range(0, 20));
+
 }  // namespace
 }  // namespace cwc::core

@@ -1,0 +1,223 @@
+// Semantics of the metrics registry: counters, gauges, histograms, the
+// create-on-first-use contract, reset, and thread safety of the atomic
+// paths (the scheduler and the net layer increment concurrently).
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/timer.h"
+
+namespace cwc::obs {
+namespace {
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  // Each case starts from an empty registry; the fixture uses a local
+  // registry so the global one (shared with other suites) is untouched.
+  MetricsRegistry registry;
+};
+
+TEST_F(MetricsTest, CounterStartsAtZeroAndAccumulates) {
+  Counter& c = registry.counter("events");
+  EXPECT_DOUBLE_EQ(c.value(), 0.0);
+  c.inc();
+  c.inc(2.5);
+  EXPECT_DOUBLE_EQ(c.value(), 3.5);
+}
+
+TEST_F(MetricsTest, GaugeLastWriteWinsAndAdd) {
+  Gauge& g = registry.gauge("depth");
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(7.0);
+  g.set(3.0);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+  g.add(-1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+}
+
+TEST_F(MetricsTest, SameNameReturnsSameInstance) {
+  Counter& a = registry.counter("x");
+  Counter& b = registry.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.inc(4.0);
+  EXPECT_DOUBLE_EQ(b.value(), 4.0);
+
+  Gauge& g1 = registry.gauge("y");
+  Gauge& g2 = registry.gauge("y");
+  EXPECT_EQ(&g1, &g2);
+
+  HistogramMetric& h1 = registry.histogram("z", 0.0, 10.0, 5);
+  HistogramMetric& h2 = registry.histogram("z", 0.0, 10.0, 5);
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST_F(MetricsTest, CounterGaugeHistogramNamespacesAreIndependent) {
+  registry.counter("shared").inc(1.0);
+  registry.gauge("shared").set(2.0);
+  registry.histogram("shared", 0.0, 1.0, 4).observe(0.5);
+  EXPECT_DOUBLE_EQ(registry.counter("shared").value(), 1.0);
+  EXPECT_DOUBLE_EQ(registry.gauge("shared").value(), 2.0);
+  EXPECT_EQ(registry.histogram("shared", 0.0, 1.0, 4).view().count, 1u);
+}
+
+TEST_F(MetricsTest, HistogramShapeFixedByFirstCaller) {
+  HistogramMetric& h = registry.histogram("lat", 0.0, 100.0, 10);
+  // Later callers with a different shape get the existing histogram.
+  HistogramMetric& again = registry.histogram("lat", 0.0, 1.0, 2);
+  EXPECT_EQ(&h, &again);
+  EXPECT_DOUBLE_EQ(again.lo(), 0.0);
+  EXPECT_DOUBLE_EQ(again.hi(), 100.0);
+  EXPECT_EQ(again.bucket_count(), 10u);
+}
+
+TEST_F(MetricsTest, HistogramBucketsAndSummary) {
+  HistogramMetric& h = registry.histogram("lat", 0.0, 10.0, 5);
+  h.observe(1.0);   // bucket 0
+  h.observe(3.0);   // bucket 1
+  h.observe(3.5);   // bucket 1
+  h.observe(9.9);   // bucket 4
+  const auto v = h.view();
+  EXPECT_EQ(v.count, 4u);
+  EXPECT_DOUBLE_EQ(v.min, 1.0);
+  EXPECT_DOUBLE_EQ(v.max, 9.9);
+  EXPECT_NEAR(v.mean, (1.0 + 3.0 + 3.5 + 9.9) / 4.0, 1e-12);
+  ASSERT_EQ(v.buckets.size(), 5u);
+  EXPECT_EQ(v.buckets[0], 1u);
+  EXPECT_EQ(v.buckets[1], 2u);
+  EXPECT_EQ(v.buckets[2], 0u);
+  EXPECT_EQ(v.buckets[3], 0u);
+  EXPECT_EQ(v.buckets[4], 1u);
+}
+
+TEST_F(MetricsTest, HasAndFindDoNotCreate) {
+  EXPECT_FALSE(registry.has_counter("c"));
+  EXPECT_EQ(registry.find_counter("c"), nullptr);
+  EXPECT_FALSE(registry.has_gauge("g"));
+  EXPECT_EQ(registry.find_gauge("g"), nullptr);
+  EXPECT_FALSE(registry.has_histogram("h"));
+  EXPECT_EQ(registry.find_histogram("h"), nullptr);
+  EXPECT_TRUE(registry.counter_names().empty());
+
+  registry.counter("c").inc();
+  EXPECT_TRUE(registry.has_counter("c"));
+  ASSERT_NE(registry.find_counter("c"), nullptr);
+  EXPECT_DOUBLE_EQ(registry.find_counter("c")->value(), 1.0);
+}
+
+TEST_F(MetricsTest, NamesAreSorted) {
+  registry.counter("b");
+  registry.counter("a");
+  registry.counter("c");
+  const auto names = registry.counter_names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+  EXPECT_EQ(names[2], "c");
+}
+
+TEST_F(MetricsTest, ResetDropsEverything) {
+  registry.counter("c").inc(5.0);
+  registry.gauge("g").set(1.0);
+  registry.histogram("h", 0.0, 1.0, 4).observe(0.5);
+  registry.reset();
+  EXPECT_FALSE(registry.has_counter("c"));
+  EXPECT_FALSE(registry.has_gauge("g"));
+  EXPECT_FALSE(registry.has_histogram("h"));
+  // Re-fetch after reset starts fresh.
+  EXPECT_DOUBLE_EQ(registry.counter("c").value(), 0.0);
+}
+
+TEST_F(MetricsTest, GlobalRegistryIsSingletonAndShorthandsUseIt) {
+  MetricsRegistry& g = MetricsRegistry::global();
+  EXPECT_EQ(&g, &MetricsRegistry::global());
+  g.reset();
+  counter("obs_test.shorthand").inc(2.0);
+  EXPECT_DOUBLE_EQ(g.counter("obs_test.shorthand").value(), 2.0);
+  gauge("obs_test.g").set(3.0);
+  EXPECT_DOUBLE_EQ(g.gauge("obs_test.g").value(), 3.0);
+  histogram("obs_test.h", 0.0, 1.0, 2).observe(0.25);
+  EXPECT_EQ(g.histogram("obs_test.h", 0.0, 1.0, 2).view().count, 1u);
+  g.reset();
+}
+
+TEST_F(MetricsTest, ConcurrentCounterIncrementsAreExact) {
+  constexpr int kThreads = 8;
+  constexpr int kIncsPerThread = 10000;
+  Counter& c = registry.counter("concurrent");
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kIncsPerThread; ++i) c.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(c.value(), static_cast<double>(kThreads * kIncsPerThread));
+}
+
+TEST_F(MetricsTest, ConcurrentCreationReturnsOneInstancePerName) {
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this] {
+      for (int i = 0; i < 500; ++i) {
+        registry.counter("created." + std::to_string(i)).inc();
+        registry.gauge("g." + std::to_string(i)).add(1.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_EQ(registry.counter_names().size(), 500u);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_DOUBLE_EQ(registry.counter("created." + std::to_string(i)).value(),
+                     static_cast<double>(kThreads));
+    EXPECT_DOUBLE_EQ(registry.gauge("g." + std::to_string(i)).value(),
+                     static_cast<double>(kThreads));
+  }
+}
+
+TEST_F(MetricsTest, ConcurrentHistogramObserves) {
+  constexpr int kThreads = 4;
+  constexpr int kObsPerThread = 2000;
+  HistogramMetric& h = registry.histogram("hist", 0.0, 1.0, 10);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kObsPerThread; ++i) {
+        h.observe(static_cast<double>((t * kObsPerThread + i) % 100) / 100.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto v = h.view();
+  EXPECT_EQ(v.count, static_cast<std::size_t>(kThreads * kObsPerThread));
+  std::size_t bucket_total = 0;
+  for (const std::size_t b : v.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, v.count);
+}
+
+TEST_F(MetricsTest, ScopedTimerRecordsIntoHistogram) {
+  HistogramMetric& h = registry.histogram("span_ms", 0.0, 1000.0, 10);
+  {
+    ScopedTimer timer(h);
+    EXPECT_GE(timer.elapsed_ms(), 0.0);
+  }
+  const auto v = h.view();
+  EXPECT_EQ(v.count, 1u);
+  EXPECT_GE(v.min, 0.0);
+}
+
+TEST_F(MetricsTest, ScopedTimerAccumulatesIntoCounter) {
+  Counter& c = registry.counter("total_ms");
+  { ScopedTimer timer(c); }
+  { ScopedTimer timer(c); }
+  EXPECT_GE(c.value(), 0.0);
+}
+
+}  // namespace
+}  // namespace cwc::obs

@@ -1,0 +1,163 @@
+// Snapshot export/import: capture fidelity, JSON and CSV round-trips, and
+// the file writer's extension-based format selection.
+#include "obs/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cwc::obs {
+namespace {
+
+/// A registry populated with one of everything, including awkward values
+/// (negative gauge, fractional counter, out-of-range histogram samples).
+void populate(MetricsRegistry& registry) {
+  registry.counter("net.frames_sent").inc(42.0);
+  registry.counter("controller.rescheduled_kb").inc(1536.25);
+  registry.gauge("sim.makespan_ms").set(51677.93686935623);
+  registry.gauge("controller.drift").set(-0.75);
+  HistogramMetric& h = registry.histogram("prediction.rel_error", 0.0, 1.0, 4);
+  h.observe(0.05);
+  h.observe(0.3);
+  h.observe(0.31);
+  h.observe(2.0);  // clamped into the last bucket by common/stats.h
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(SnapshotTest, CaptureReflectsRegistryContents) {
+  MetricsRegistry registry;
+  populate(registry);
+  const Snapshot snap = capture(registry);
+  EXPECT_EQ(snap.counters.size(), 2u);
+  EXPECT_DOUBLE_EQ(snap.counters.at("net.frames_sent"), 42.0);
+  EXPECT_DOUBLE_EQ(snap.counters.at("controller.rescheduled_kb"), 1536.25);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("controller.drift"), -0.75);
+  const HistogramSnapshot& h = snap.histograms.at("prediction.rel_error");
+  EXPECT_DOUBLE_EQ(h.lo, 0.0);
+  EXPECT_DOUBLE_EQ(h.hi, 1.0);
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_DOUBLE_EQ(h.min, 0.05);
+  EXPECT_DOUBLE_EQ(h.max, 2.0);
+  ASSERT_EQ(h.buckets.size(), 4u);
+  EXPECT_EQ(h.buckets[0], 1u);   // 0.05
+  EXPECT_EQ(h.buckets[1], 2u);   // 0.3, 0.31
+  EXPECT_EQ(h.buckets[3], 1u);   // 2.0 clamps into the top bucket
+}
+
+TEST(SnapshotTest, CaptureOfEmptyRegistryIsEmpty) {
+  MetricsRegistry registry;
+  const Snapshot snap = capture(registry);
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+}
+
+TEST(SnapshotTest, JsonRoundTripIsExact) {
+  MetricsRegistry registry;
+  populate(registry);
+  const Snapshot snap = capture(registry);
+  const std::string json = to_json(snap);
+  EXPECT_EQ(from_json(json), snap);
+}
+
+TEST(SnapshotTest, JsonRoundTripOfEmptySnapshot) {
+  const Snapshot empty;
+  EXPECT_EQ(from_json(to_json(empty)), empty);
+}
+
+TEST(SnapshotTest, JsonEscapesSpecialCharactersInNames) {
+  MetricsRegistry registry;
+  registry.counter("weird\"name\\with\ttabs").inc(1.0);
+  const Snapshot snap = capture(registry);
+  EXPECT_EQ(from_json(to_json(snap)), snap);
+}
+
+TEST(SnapshotTest, JsonToleratesArbitraryWhitespace) {
+  MetricsRegistry registry;
+  registry.counter("a").inc(2.0);
+  const Snapshot snap = capture(registry);
+  std::string json = to_json(snap);
+  // Re-layout: inject newlines and spaces around every structural token.
+  std::string spaced;
+  for (const char c : json) {
+    if (c == '{' || c == '}' || c == ':' || c == ',' || c == '[' || c == ']') {
+      spaced += "\n ";
+      spaced += c;
+      spaced += " \n";
+    } else {
+      spaced += c;
+    }
+  }
+  EXPECT_EQ(from_json(spaced), snap);
+}
+
+TEST(SnapshotTest, FromJsonRejectsMalformedInput) {
+  EXPECT_THROW(from_json(""), std::runtime_error);
+  EXPECT_THROW(from_json("{"), std::runtime_error);
+  EXPECT_THROW(from_json("[]"), std::runtime_error);
+  EXPECT_THROW(from_json(R"({"counters": {"a": }, "gauges": {}, "histograms": {}})"),
+               std::runtime_error);
+  EXPECT_THROW(from_json(R"({"counters": {}, "gauges": {}})"), std::runtime_error);
+}
+
+TEST(SnapshotTest, CsvRoundTripIsExact) {
+  MetricsRegistry registry;
+  populate(registry);
+  const Snapshot snap = capture(registry);
+  const std::string csv = to_csv(snap);
+  EXPECT_EQ(from_csv(csv), snap);
+}
+
+TEST(SnapshotTest, CsvHasHeaderAndOneRowPerScalar) {
+  MetricsRegistry registry;
+  registry.counter("c").inc(3.0);
+  registry.gauge("g").set(4.0);
+  const std::string csv = to_csv(capture(registry));
+  EXPECT_EQ(csv.rfind("kind,name,field,value", 0), 0u);
+  EXPECT_NE(csv.find("counter,c,value,3"), std::string::npos);
+  EXPECT_NE(csv.find("gauge,g,value,4"), std::string::npos);
+}
+
+TEST(SnapshotTest, FromCsvRejectsMalformedInput) {
+  EXPECT_THROW(from_csv("not,a,header\n"), std::runtime_error);
+  EXPECT_THROW(from_csv("kind,name,field,value\nbogus,a,value,1\n"), std::runtime_error);
+  EXPECT_THROW(from_csv("kind,name,field,value\ncounter,a,value,notanumber\n"),
+               std::runtime_error);
+}
+
+TEST(SnapshotTest, WriteSnapshotFilePicksFormatByExtension) {
+  MetricsRegistry registry;
+  populate(registry);
+  const Snapshot snap = capture(registry);
+
+  const std::string json_path = ::testing::TempDir() + "/cwc_obs_snapshot_test.json";
+  write_snapshot_file(json_path, registry);
+  EXPECT_EQ(from_json(read_file(json_path)), snap);
+  std::remove(json_path.c_str());
+
+  const std::string csv_path = ::testing::TempDir() + "/cwc_obs_snapshot_test.csv";
+  write_snapshot_file(csv_path, registry);
+  const std::string csv_text = read_file(csv_path);
+  EXPECT_EQ(csv_text.rfind("kind,name,field,value", 0), 0u);
+  EXPECT_EQ(from_csv(csv_text), snap);
+  std::remove(csv_path.c_str());
+}
+
+TEST(SnapshotTest, WriteSnapshotFileThrowsOnUnwritablePath) {
+  MetricsRegistry registry;
+  EXPECT_THROW(write_snapshot_file("/nonexistent-dir/x/y/z.json", registry),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cwc::obs

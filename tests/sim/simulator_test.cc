@@ -2,10 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <memory>
+#include <sstream>
 
 #include "core/greedy.h"
 #include "core/testbed.h"
+#include "obs/metrics.h"
+#include "obs/snapshot.h"
 
 namespace cwc::sim {
 namespace {
@@ -200,6 +204,139 @@ TEST(Simulator, TrueCostUsesHiddenEfficiency) {
   PhoneSpec overclocked = baseline;
   overclocked.cpu_mhz *= 2.0;
   EXPECT_NEAR(sim.true_cost(core::kPrimeTask, overclocked), normal / 2.0, 1e-9);
+}
+
+// --- Telemetry consistency: the global metrics must agree with SimResult ---
+
+TEST(SimulatorTelemetry, CountersMatchResultOnCleanRun) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  registry.reset();
+  Rng rng(21);
+  auto sim = make_sim(core::paper_testbed(rng), 21);
+  for (const JobSpec& job : small_workload(rng)) sim.submit(job);
+  const SimResult result = sim.run();
+  ASSERT_TRUE(result.completed);
+
+  EXPECT_DOUBLE_EQ(registry.counter("controller.scheduling_instants").value(),
+                   static_cast<double>(result.scheduling_rounds));
+  // Without failures nothing re-enters F_A.
+  EXPECT_DOUBLE_EQ(registry.counter("controller.rescheduled_kb").value(), 0.0);
+  EXPECT_DOUBLE_EQ(registry.counter("controller.failures.online").value(), 0.0);
+  EXPECT_DOUBLE_EQ(registry.counter("sim.failures.online").value(), 0.0);
+  EXPECT_DOUBLE_EQ(registry.counter("sim.failures.offline").value(), 0.0);
+  EXPECT_DOUBLE_EQ(registry.counter("sim.keepalive.misses").value(), 0.0);
+
+  // Each completed piece leaves exactly one execute segment on a clean run.
+  std::size_t executes = 0;
+  Millis segment_ms = 0.0;
+  for (const TimelineSegment& segment : result.timeline) {
+    if (segment.kind == TimelineSegment::Kind::kExecute) ++executes;
+    segment_ms += segment.end - segment.start;
+  }
+  EXPECT_DOUBLE_EQ(registry.counter("sim.pieces_completed").value(),
+                   static_cast<double>(executes));
+
+  // The binary search respects the bisection budget (default 48).
+  EXPECT_GE(registry.counter("scheduler.bisections").value(), 1.0);
+  EXPECT_LE(registry.gauge("scheduler.last_bisections").value(), 48.0);
+
+  // Per-phone busy time sums to the total timeline span, and utilizations
+  // are proper fractions of the makespan.
+  EXPECT_DOUBLE_EQ(registry.gauge("sim.makespan_ms").value(), result.makespan);
+  double busy_total = 0.0;
+  for (PhoneId id = 0; id < 18; ++id) {
+    const std::string prefix = "sim.phone." + std::to_string(id);
+    ASSERT_TRUE(registry.has_gauge(prefix + ".utilization")) << prefix;
+    const double utilization = registry.gauge(prefix + ".utilization").value();
+    EXPECT_GE(utilization, 0.0);
+    EXPECT_LE(utilization, 1.0 + 1e-9);
+    busy_total += registry.gauge(prefix + ".busy_ms").value();
+  }
+  EXPECT_NEAR(busy_total, segment_ms, 1e-3);
+}
+
+TEST(SimulatorTelemetry, FailureCountersMatchInjections) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  registry.reset();
+  Rng rng(5);
+  auto sim = make_sim(core::paper_testbed(rng), 5);
+  for (const JobSpec& job : small_workload(rng, 0.05)) sim.submit(job);
+  sim.inject({seconds(10.0), 1, FailureKind::kUnplugOnline});
+  sim.inject({seconds(20.0), 6, FailureKind::kUnplugOnline});
+  sim.inject({seconds(30.0), 17, FailureKind::kUnplugOnline});
+  const SimResult result = sim.run();
+  ASSERT_TRUE(result.completed);
+
+  EXPECT_DOUBLE_EQ(registry.counter("sim.failures.online").value(), 3.0);
+  EXPECT_DOUBLE_EQ(registry.counter("controller.scheduling_instants").value(),
+                   static_cast<double>(result.scheduling_rounds));
+  // A busy phone's unplug reaches the controller as an online failure; an
+  // idle one only changes plug state.
+  EXPECT_GE(registry.counter("controller.failures.online").value(), 1.0);
+  EXPECT_LE(registry.counter("controller.failures.online").value(), 3.0);
+  // The remainders are real work: positive, but bounded by the workload.
+  Kilobytes workload_kb = 0.0;
+  Rng workload_rng(5);
+  (void)core::paper_testbed(workload_rng);
+  for (const JobSpec& job : small_workload(workload_rng, 0.05)) workload_kb += job.input_kb;
+  const double rescheduled = registry.counter("controller.rescheduled_kb").value();
+  EXPECT_GT(rescheduled, 0.0);
+  EXPECT_LE(rescheduled, workload_kb);
+}
+
+TEST(SimulatorTelemetry, OfflineLossCountsKeepaliveMisses) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  registry.reset();
+  Rng rng(6);
+  SimOptions options;
+  options.keepalive_period = seconds(30.0);
+  options.keepalive_misses = 3;
+  auto sim = make_sim(core::paper_testbed(rng), 6, options);
+  for (const JobSpec& job : small_workload(rng)) sim.submit(job);
+  sim.inject({seconds(10.0), 0, FailureKind::kUnplugOffline});
+  const SimResult result = sim.run();
+  ASSERT_TRUE(result.completed);
+
+  EXPECT_DOUBLE_EQ(registry.counter("sim.failures.offline").value(), 1.0);
+  EXPECT_DOUBLE_EQ(registry.counter("sim.failures.offline_detected").value(), 1.0);
+  EXPECT_DOUBLE_EQ(registry.counter("sim.keepalive.misses").value(), 3.0);
+  EXPECT_DOUBLE_EQ(registry.counter("controller.failures.offline").value(), 1.0);
+}
+
+// The ISSUE's acceptance check: a run's --metrics-out file is valid JSON
+// containing the scheduler-bisection, failure-reschedule, prediction-error,
+// and per-phone utilization metrics. Exercised here through the same
+// write_snapshot_file() call the tools make.
+TEST(SimulatorTelemetry, SnapshotFileCarriesHeadlineMetrics) {
+  obs::MetricsRegistry::global().reset();
+  Rng rng(23);
+  auto sim = make_sim(core::paper_testbed(rng), 23);
+  for (const JobSpec& job : small_workload(rng, 0.05)) sim.submit(job);
+  sim.inject({seconds(15.0), 4, FailureKind::kUnplugOnline});
+  const SimResult result = sim.run();
+  ASSERT_TRUE(result.completed);
+
+  const std::string path = ::testing::TempDir() + "/cwc_sim_metrics_test.json";
+  obs::write_snapshot_file(path);
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::ostringstream text;
+  text << in.rdbuf();
+  const obs::Snapshot snap = obs::from_json(text.str());
+  std::remove(path.c_str());
+
+  EXPECT_TRUE(snap.counters.count("scheduler.bisections"));
+  EXPECT_TRUE(snap.counters.count("scheduler.builds"));
+  EXPECT_TRUE(snap.counters.count("controller.rescheduled_kb"));
+  EXPECT_GT(snap.counters.at("controller.rescheduled_kb"), 0.0);
+  EXPECT_TRUE(snap.histograms.count("prediction.rel_error"));
+  EXPECT_GT(snap.histograms.at("prediction.rel_error").count, 0u);
+  for (PhoneId id = 0; id < 18; ++id) {
+    const std::string name = "sim.phone." + std::to_string(id) + ".utilization";
+    ASSERT_TRUE(snap.gauges.count(name)) << name;
+    EXPECT_GE(snap.gauges.at(name), 0.0);
+    EXPECT_LE(snap.gauges.at(name), 1.0 + 1e-9);
+  }
 }
 
 }  // namespace

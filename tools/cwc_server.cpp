@@ -23,6 +23,7 @@
 #include "core/greedy.h"
 #include "core/testbed.h"
 #include "net/server.h"
+#include "obs/snapshot.h"
 #include "tasks/generators.h"
 #include "tasks/logscan.h"
 #include "tasks/primes.h"
@@ -45,6 +46,7 @@ constexpr const char* kUsage = R"(cwc_server: the CWC central server
                        NAME in {prime-count, word-count:error,
                        log-scan:disk failure, sales-aggregate, photo-blur}
   --keepalive-ms=N     keep-alive period (default 5000, 3 misses tolerated)
+  --metrics-out=FILE   write a telemetry snapshot (.csv = CSV, else JSON)
   --verbose            info-level logging
 )";
 
@@ -84,8 +86,9 @@ void print_result(const std::string& task, const net::Blob& result) {
 
 int main(int argc, char** argv) {
   const Flags flags = Flags::parse(argc, argv);
-  const auto unknown = flags.unknown({"port", "bind-all", "phones", "timeout-s", "task",
-                                      "input", "generate", "keepalive-ms", "verbose", "help"});
+  const auto unknown =
+      flags.unknown({"port", "bind-all", "phones", "timeout-s", "task", "input", "generate",
+                     "keepalive-ms", "metrics-out", "verbose", "help"});
   if (!unknown.empty() || flags.get_bool("help")) {
     for (const auto& flag : unknown) std::fprintf(stderr, "unknown flag: --%s\n", flag.c_str());
     std::fputs(kUsage, stderr);
@@ -139,6 +142,11 @@ int main(int argc, char** argv) {
 
   const bool done = server.run(phones, seconds(static_cast<double>(
                                            flags.get_int("timeout-s", 600))));
+  // Telemetry is most valuable on failed runs, so write it before bailing.
+  if (flags.has("metrics-out")) {
+    obs::write_snapshot_file(flags.get("metrics-out"));
+    std::printf("metrics snapshot: %s\n", flags.get("metrics-out").c_str());
+  }
   if (!done) {
     std::fprintf(stderr, "timed out with incomplete jobs\n");
     return 1;

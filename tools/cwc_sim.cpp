@@ -13,6 +13,7 @@
 #include "common/flags.h"
 #include "common/log.h"
 #include "common/rng.h"
+#include "obs/snapshot.h"
 #include "core/failure_aware.h"
 #include "core/greedy.h"
 #include "core/testbed.h"
@@ -31,6 +32,7 @@ constexpr const char* kUsage = R"(cwc_sim: CWC testbed simulator
   --offline            make injected unplugs silent (keep-alive loss)
   --seed=N             RNG seed (default 42)
   --svg=FILE           write the execution timeline as SVG
+  --metrics-out=FILE   write a telemetry snapshot (.csv = CSV, else JSON)
   --verbose            info-level logging
 )";
 
@@ -45,8 +47,8 @@ std::unique_ptr<core::Scheduler> make_scheduler(const std::string& name) {
 
 int main(int argc, char** argv) {
   const Flags flags = Flags::parse(argc, argv);
-  const auto unknown = flags.unknown(
-      {"scheduler", "phones", "scale", "unplugs", "offline", "seed", "svg", "verbose", "help"});
+  const auto unknown = flags.unknown({"scheduler", "phones", "scale", "unplugs", "offline",
+                                      "seed", "svg", "metrics-out", "verbose", "help"});
   if (!unknown.empty() || flags.get_bool("help")) {
     for (const auto& flag : unknown) std::fprintf(stderr, "unknown flag: --%s\n", flag.c_str());
     std::fputs(kUsage, stderr);
@@ -105,6 +107,10 @@ int main(int argc, char** argv) {
                 std::to_string(jobs.size()) + " jobs";
     sim::write_timeline_svg(result, flags.get("svg"), svg);
     std::printf("timeline:  wrote %s\n", flags.get("svg").c_str());
+  }
+  if (flags.has("metrics-out")) {
+    obs::write_snapshot_file(flags.get("metrics-out"));
+    std::printf("metrics:   wrote %s\n", flags.get("metrics-out").c_str());
   }
   return result.completed ? 0 : 1;
 }

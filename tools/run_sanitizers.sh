@@ -1,0 +1,19 @@
+#!/bin/sh
+# Configure, build, and run the test suite under ASan + UBSan.
+#
+#   tools/run_sanitizers.sh            # the full suite
+#   tools/run_sanitizers.sh test_obs   # tests matching a ctest -R regex
+#
+# Uses the `asan` preset from CMakePresets.json (build dir: build-asan).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake --preset asan
+cmake --build --preset asan -j "$(nproc)"
+
+if [ "$#" -gt 0 ]; then
+  ctest --preset asan -R "$1"
+else
+  ctest --preset asan
+fi
