@@ -56,7 +56,46 @@ BENCHMARK(BM_GreedyBuild)
     ->Args({6, 30})
     ->Args({18, 150})
     ->Args({36, 300})
+    ->Args({128, 1024})
+    ->Args({512, 2048})
     ->Unit(benchmark::kMillisecond);
+
+// Steady-state rescheduling: the previous instant's makespan warm-starts
+// the capacity search (what CwcController does at every instant after the
+// first). Compare against the same-shape BM_GreedyBuild cold build.
+void BM_GreedyBuildWarm(benchmark::State& state) {
+  const auto instance =
+      make_instance(static_cast<std::size_t>(state.range(0)),
+                    static_cast<std::size_t>(state.range(1)));
+  const core::GreedyScheduler scheduler;
+  const core::Schedule cold =
+      scheduler.build(instance.jobs, instance.phones, instance.prediction);
+  const std::optional<Millis> hint = cold.predicted_makespan;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.build_with_hint(instance.jobs, instance.phones,
+                                                       instance.prediction, {}, hint));
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " phones, " +
+                 std::to_string(state.range(1)) + " jobs, warm");
+}
+BENCHMARK(BM_GreedyBuildWarm)
+    ->Args({36, 300})
+    ->Args({128, 1024})
+    ->Unit(benchmark::kMillisecond);
+
+// Speculative bisection: K packing probes per round on K threads.
+void BM_GreedyBuildParallelProbes(benchmark::State& state) {
+  const auto instance = make_instance(36, 300);
+  core::GreedyScheduler::Options options;
+  options.parallel_probes = static_cast<std::size_t>(state.range(0));
+  const core::GreedyScheduler scheduler(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        scheduler.build(instance.jobs, instance.phones, instance.prediction));
+  }
+  state.SetLabel("36 phones, 300 jobs, " + std::to_string(state.range(0)) + " probes");
+}
+BENCHMARK(BM_GreedyBuildParallelProbes)->Arg(4)->Unit(benchmark::kMillisecond);
 
 void BM_SinglePacking(benchmark::State& state) {
   const auto instance = make_instance(18, 150);
@@ -70,6 +109,32 @@ void BM_SinglePacking(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SinglePacking)->Unit(benchmark::kMillisecond);
+
+// One packing attempt against a shared, pre-built PackProblem — the unit
+// the bisection loop actually repeats (no per-attempt predict sweep).
+void BM_PreparedPacking(benchmark::State& state) {
+  const auto instance = make_instance(36, 300);
+  const core::GreedyScheduler scheduler;
+  const auto problem =
+      scheduler.prepare(instance.jobs, instance.phones, instance.prediction);
+  const Millis capacity = (problem.lb + problem.ub) / 2.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.pack_with_capacity(problem, capacity));
+  }
+}
+BENCHMARK(BM_PreparedPacking)->Unit(benchmark::kMillisecond);
+
+// Cost of building the shared PackProblem (the once-per-build c_ij predict
+// sweep, item order, and capacity bounds).
+void BM_PrepareProblem(benchmark::State& state) {
+  const auto instance = make_instance(36, 300);
+  const core::GreedyScheduler scheduler;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        scheduler.prepare(instance.jobs, instance.phones, instance.prediction));
+  }
+}
+BENCHMARK(BM_PrepareProblem)->Unit(benchmark::kMillisecond);
 
 void BM_Baselines(benchmark::State& state) {
   const auto instance = make_instance(18, 150);

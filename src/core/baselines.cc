@@ -2,6 +2,7 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 #include "core/scheduler.h"
 
@@ -11,9 +12,27 @@ void annotate_costs(Schedule& schedule, const std::vector<JobSpec>& jobs,
                     const std::vector<PhoneSpec>& phones, const PredictionModel& prediction) {
   std::map<PhoneId, const PhoneSpec*> phone_by_id;
   for (const PhoneSpec& phone : phones) phone_by_id[phone.id] = &phone;
+  // One job lookup table for the whole schedule; plan_cost rebuilds its own
+  // per plan, which on wide fleets costs more than the annotation itself.
+  std::map<JobId, const JobSpec*> job_by_id;
+  for (const JobSpec& job : jobs) job_by_id[job.id] = &job;
   schedule.predicted_makespan = 0.0;
   for (PhonePlan& plan : schedule.plans) {
-    plan.predicted_finish = plan_cost(plan, jobs, *phone_by_id.at(plan.phone), prediction);
+    const PhoneSpec& phone = *phone_by_id.at(plan.phone);
+    Millis total = 0.0;
+    std::set<JobId> executable_shipped;
+    for (const JobPiece& piece : plan.pieces) {
+      const auto it = job_by_id.find(piece.job);
+      if (it == job_by_id.end()) {
+        throw std::logic_error("annotate_costs: piece references unknown job " +
+                               std::to_string(piece.job));
+      }
+      const JobSpec& job = *it->second;
+      const bool first_piece = executable_shipped.insert(piece.job).second;
+      total += completion_time(job, phone, prediction.predict(job.task_name, phone),
+                               piece.input_kb, first_piece);
+    }
+    plan.predicted_finish = total;
     schedule.predicted_makespan = std::max(schedule.predicted_makespan, plan.predicted_finish);
   }
 }

@@ -119,7 +119,16 @@ Schedule CwcController::reschedule() {
     throw std::runtime_error("CwcController::reschedule: no plugged phones");
   }
 
-  Schedule schedule = scheduler_->build(batch, available, prediction_, outstanding_load());
+  // Warm start: the previous instant's achieved makespan is the natural
+  // first capacity probe for the next one (steady-state instants schedule
+  // similar batches over a similar fleet).
+  Schedule schedule =
+      scheduler_->build_with_hint(batch, available, prediction_, outstanding_load(),
+                                  capacity_hint_);
+  if (schedule.predicted_makespan > 0.0) {
+    capacity_hint_ = schedule.predicted_makespan;
+    obs::gauge("controller.capacity_hint_ms").set(schedule.predicted_makespan);
+  }
   pending_.clear();
   failed_.clear();
   obs::gauge("controller.fa_depth").set(0.0);

@@ -75,6 +75,12 @@ class CwcController {
   bool has_pending_work() const { return !pending_.empty() || !failed_.empty(); }
   const std::vector<FailedPiece>& failed_backlog() const { return failed_; }
 
+  /// The capacity hint the next scheduling instant will pass to the
+  /// scheduler: the previous instant's achieved makespan (nullopt before
+  /// the first instant). Search-based schedulers use it to warm-start
+  /// their capacity bracketing; baselines ignore it.
+  std::optional<Millis> capacity_hint() const { return capacity_hint_; }
+
   // --- Per-phone execution cycle --------------------------------------------
   /// The piece the phone should work on now (front of its queue), with the
   /// checkpoint to resume from if this piece came back from a failure.
@@ -133,6 +139,7 @@ class CwcController {
   std::map<JobId, JobSpec> jobs_;
   std::vector<JobSpec> pending_;
   std::vector<FailedPiece> failed_;
+  std::optional<Millis> capacity_hint_;
   JobId next_job_id_ = 0;
 };
 

@@ -3,7 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
+#include <set>
 #include <stdexcept>
+#include <string>
+#include <thread>
+#include <unordered_map>
 
 #include "obs/metrics.h"
 #include "obs/timer.h"
@@ -14,53 +19,55 @@ namespace {
 
 constexpr double kEps = 1e-9;
 
-/// Working state of one bin (phone) during a packing attempt.
+using PackProblem = GreedyScheduler::PackProblem;
+
+/// Working state of one bin (phone) during a packing attempt. The job ->
+/// piece-slot map replaces the former linear scan over `pieces`, so fit
+/// computation is O(1) per (item, bin) regardless of how many pieces the
+/// bin already holds.
 struct Bin {
   std::size_t phone_index = 0;
   bool open = false;
   Millis height = 0.0;
   std::vector<JobPiece> pieces;  // in packing order; merged per job
+  std::unordered_map<std::uint32_t, std::size_t> piece_slot;  // job index -> pieces slot
+};
 
-  /// Index into `pieces` of this job's piece, or npos.
-  std::size_t piece_of(JobId job) const {
-    for (std::size_t k = 0; k < pieces.size(); ++k) {
-      if (pieces[k].job == job) return k;
-    }
-    return static_cast<std::size_t>(-1);
+/// Sorted-list entry: a job with some input remaining. The packer keeps
+/// these in a std::set ordered by decreasing sort key (ties: lower job
+/// index first), making remove-front and re-insert O(log n) instead of the
+/// former O(n) vector erase / sorted_insert churn.
+struct ItemKey {
+  double sort_key = 0.0;  // remaining * c_sj, kept current on re-insertion
+  std::uint32_t job_index = 0;
+
+  bool operator<(const ItemKey& other) const {
+    if (sort_key != other.sort_key) return sort_key > other.sort_key;
+    return job_index < other.job_index;
   }
 };
 
-/// One unpacked item: a job with some input remaining.
-struct Item {
-  std::size_t job_index = 0;
-  Kilobytes remaining = 0.0;
-  double sort_key = 0.0;  // remaining * c_sj, kept current on re-insertion
-};
-
-struct PackContext {
-  const std::vector<JobSpec>& jobs;
-  const std::vector<PhoneSpec>& phones;
-  const std::vector<std::vector<MsPerKb>>& c;  // c[job][phone]
-  Millis capacity;
-  Kilobytes min_partition;
-};
-
-/// How much of `item` fits into `bin` (additional KB), and at what cost.
+/// How much of a job fits into `bin` (additional KB), and at what cost.
 struct Fit {
   bool fits = false;
   Kilobytes amount = 0.0;  // additional input KB that can be packed
   Millis cost = 0.0;       // height increase for packing `amount`
 };
 
-Fit compute_fit(const PackContext& ctx, const Item& item, const Bin& bin) {
-  const JobSpec& job = ctx.jobs[item.job_index];
-  const PhoneSpec& phone = ctx.phones[bin.phone_index];
-  const MsPerKb c_ij = ctx.c[item.job_index][bin.phone_index];
-  const std::size_t existing = bin.piece_of(job.id);
-  const bool has_piece = existing != static_cast<std::size_t>(-1);
+/// `placed_kb` is the KB of this job already in the bin, or a negative
+/// sentinel when the job has no piece there yet (the executable cost is
+/// still owed). Passed in from the packer's flat placed matrix so the hot
+/// path does no hash lookups.
+Fit compute_fit(const PackProblem& p, Millis capacity, Kilobytes min_partition,
+                std::uint32_t job_index, Kilobytes remaining, std::size_t phone_index,
+                Millis bin_height, Kilobytes placed_kb) {
+  const JobSpec& job = (*p.jobs)[job_index];
+  const PhoneSpec& phone = (*p.phones)[phone_index];
+  const MsPerKb c_ij = p.c(job_index, phone_index);
+  const bool has_piece = placed_kb >= 0.0;
   const Millis exec_cost = has_piece ? 0.0 : job.exec_kb * phone.b;
-  const Millis available = ctx.capacity - bin.height - exec_cost;
-  const Kilobytes existing_kb = has_piece ? bin.pieces[existing].input_kb : 0.0;
+  const Millis available = capacity - bin_height - exec_cost;
+  const Kilobytes existing_kb = has_piece ? placed_kb : 0.0;
   const Kilobytes ram_room = phone.ram_kb - existing_kb;
 
   Fit fit;
@@ -68,148 +75,213 @@ Fit compute_fit(const PackContext& ctx, const Item& item, const Bin& bin) {
   const double per_kb = phone.b + c_ij;
   const Kilobytes max_by_time = per_kb > 0.0 ? available / per_kb
                                              : std::numeric_limits<double>::infinity();
-  const Kilobytes max_amount = std::min({item.remaining, max_by_time, ram_room});
+  const Kilobytes max_amount = std::min({remaining, max_by_time, ram_room});
 
   if (job.kind == JobKind::kAtomic) {
     // Atomic jobs must be placed whole (and never merge: they are packed
     // exactly once).
-    if (max_amount + kEps * (1.0 + item.remaining) < item.remaining) return fit;
+    if (max_amount + kEps * (1.0 + remaining) < remaining) return fit;
     fit.fits = true;
-    fit.amount = item.remaining;
+    fit.amount = remaining;
   } else {
-    const Kilobytes needed = std::min(item.remaining, ctx.min_partition);
+    const Kilobytes needed = std::min(remaining, min_partition);
     if (max_amount + kEps < needed) return fit;
     fit.fits = true;
-    fit.amount = std::min(item.remaining, max_amount);
+    fit.amount = std::min(remaining, max_amount);
   }
   fit.cost = exec_cost + fit.amount * per_kb;
   return fit;
 }
 
-/// Packs `amount` of the item into the bin, merging with an existing piece
-/// of the same job (the executable ships once per phone).
-void pack_into(const PackContext& ctx, Bin& bin, const Item& item, const Fit& fit) {
-  const JobSpec& job = ctx.jobs[item.job_index];
-  const std::size_t existing = bin.piece_of(job.id);
-  if (existing == static_cast<std::size_t>(-1)) {
-    bin.pieces.push_back({job.id, fit.amount});
-  } else {
-    bin.pieces[existing].input_kb += fit.amount;
-  }
-  bin.height += fit.cost;
-}
-
-/// Maintains the items sorted by decreasing sort key.
-void sorted_insert(std::vector<Item>& items, Item item) {
-  const auto pos = std::lower_bound(items.begin(), items.end(), item,
-                                    [](const Item& a, const Item& b) {
-                                      return a.sort_key > b.sort_key;
-                                    });
-  items.insert(pos, item);
-}
-
 }  // namespace
+
+GreedyScheduler::PackProblem GreedyScheduler::prepare(const std::vector<JobSpec>& jobs,
+                                                      const std::vector<PhoneSpec>& phones,
+                                                      const PredictionModel& prediction,
+                                                      const InitialLoad& initial_load) const {
+  PackProblem p;
+  p.jobs = &jobs;
+  p.phones = &phones;
+
+  // The c_ij matrix. predict() is a string-keyed map lookup — the expensive
+  // part of a packing attempt — so issue it once per *task* (jobs of the
+  // same task share a row) and copy rows per job.
+  p.cost.resize(jobs.size() * phones.size());
+  std::map<std::string, std::vector<MsPerKb>> task_rows;
+  for (const JobSpec& job : jobs) {
+    auto [it, inserted] = task_rows.try_emplace(job.task_name);
+    if (!inserted) continue;
+    it->second.resize(phones.size());
+    for (std::size_t i = 0; i < phones.size(); ++i) {
+      it->second[i] = prediction.predict(job.task_name, phones[i]);
+    }
+  }
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const std::vector<MsPerKb>& row = task_rows.at(jobs[j].task_name);
+    std::copy(row.begin(), row.end(), p.cost.begin() + static_cast<std::ptrdiff_t>(j * phones.size()));
+  }
+
+  if (!phones.empty()) {
+    p.slowest = static_cast<std::size_t>(
+        std::min_element(phones.begin(), phones.end(),
+                         [](const PhoneSpec& a, const PhoneSpec& b) {
+                           return a.cpu_mhz < b.cpu_mhz;
+                         }) -
+        phones.begin());
+  }
+
+  p.initial_height.assign(phones.size(), 0.0);
+  for (std::size_t i = 0; i < phones.size(); ++i) {
+    if (const auto it = initial_load.find(phones[i].id); it != initial_load.end()) {
+      p.initial_height[i] = it->second;
+    }
+  }
+
+  // Items sorted by decreasing slowest-phone execution time R_j * c_sj.
+  p.order.resize(jobs.size());
+  for (std::uint32_t j = 0; j < jobs.size(); ++j) p.order[j] = j;
+  std::sort(p.order.begin(), p.order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    const double ka = jobs[a].input_kb * p.c(a, p.slowest);
+    const double kb = jobs[b].input_kb * p.c(b, p.slowest);
+    if (ka != kb) return ka > kb;
+    return a < b;
+  });
+
+  // Both capacity bounds from the shared matrix in one sweep — the former
+  // capacity_bounds re-predicted every (job, phone) pair twice over.
+  // UB: all items in the single worst bin (on top of its existing load).
+  // LB: a magical bin with the aggregate processing+bandwidth capability of
+  // all phones and no executable cost (the paper's loose initial bound).
+  std::vector<Millis> bin_total = p.initial_height;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    double aggregate_rate = 0.0;  // KB per ms across all phones
+    for (std::size_t i = 0; i < phones.size(); ++i) {
+      const double per_kb = phones[i].b + p.c(j, i);
+      bin_total[i] += jobs[j].exec_kb * phones[i].b + jobs[j].input_kb * per_kb;
+      if (per_kb > 0.0) aggregate_rate += 1.0 / per_kb;
+    }
+    if (aggregate_rate > 0.0) p.lb += jobs[j].input_kb / aggregate_rate;
+  }
+  for (const Millis total : bin_total) p.ub = std::max(p.ub, total);
+  return p;
+}
 
 std::pair<Millis, Millis> GreedyScheduler::capacity_bounds(
     const std::vector<JobSpec>& jobs, const std::vector<PhoneSpec>& phones,
     const PredictionModel& prediction, const InitialLoad& initial_load) const {
-  // UB: all items in the single worst bin (on top of its existing load).
-  Millis ub = 0.0;
-  for (const PhoneSpec& phone : phones) {
-    const auto load_it = initial_load.find(phone.id);
-    Millis total = load_it != initial_load.end() ? load_it->second : 0.0;
-    for (const JobSpec& job : jobs) {
-      total += completion_time(job, phone, prediction.predict(job.task_name, phone),
-                               job.input_kb);
-    }
-    ub = std::max(ub, total);
-  }
-  // LB: a magical bin with the aggregate processing+bandwidth capability of
-  // all phones and no executable cost (the paper's loose initial bound).
-  Millis lb = 0.0;
-  for (const JobSpec& job : jobs) {
-    double aggregate_rate = 0.0;  // KB per ms across all phones
-    for (const PhoneSpec& phone : phones) {
-      const double per_kb = phone.b + prediction.predict(job.task_name, phone);
-      if (per_kb > 0.0) aggregate_rate += 1.0 / per_kb;
-    }
-    if (aggregate_rate > 0.0) lb += job.input_kb / aggregate_rate;
-  }
-  return {lb, ub};
+  const PackProblem problem = prepare(jobs, phones, prediction, initial_load);
+  return {problem.lb, problem.ub};
 }
 
-std::optional<Schedule> GreedyScheduler::pack_with_capacity(
-    const std::vector<JobSpec>& jobs, const std::vector<PhoneSpec>& phones,
-    const PredictionModel& prediction, Millis capacity,
-    const InitialLoad& initial_load) const {
+std::optional<Schedule> GreedyScheduler::pack_with_capacity(const PackProblem& problem,
+                                                            Millis capacity) const {
   obs::counter("scheduler.pack_attempts").inc();
-  // Precompute the c_ij matrix and the slowest phone's costs (sort keys).
-  std::vector<std::vector<MsPerKb>> c(jobs.size(), std::vector<MsPerKb>(phones.size()));
-  for (std::size_t j = 0; j < jobs.size(); ++j) {
-    for (std::size_t i = 0; i < phones.size(); ++i) {
-      c[j][i] = prediction.predict(jobs[j].task_name, phones[i]);
-    }
-  }
-  const std::size_t slowest = static_cast<std::size_t>(
-      std::min_element(phones.begin(), phones.end(),
-                       [](const PhoneSpec& a, const PhoneSpec& b) {
-                         return a.cpu_mhz < b.cpu_mhz;
-                       }) -
-      phones.begin());
+  const std::vector<JobSpec>& jobs = *problem.jobs;
+  const std::vector<PhoneSpec>& phones = *problem.phones;
+  const Kilobytes min_partition = options_.min_partition_kb;
 
-  PackContext ctx{jobs, phones, c, capacity, options_.min_partition_kb};
-
-  std::vector<Item> items;
-  items.reserve(jobs.size());
-  for (std::size_t j = 0; j < jobs.size(); ++j) {
-    items.push_back({j, jobs[j].input_kb, jobs[j].input_kb * c[j][slowest]});
+  std::vector<Kilobytes> remaining(jobs.size());
+  std::set<ItemKey> items;
+  for (const std::uint32_t j : problem.order) {
+    remaining[j] = jobs[j].input_kb;
+    items.insert(items.end(), ItemKey{jobs[j].input_kb * problem.c(j, problem.slowest), j});
   }
-  std::sort(items.begin(), items.end(),
-            [](const Item& a, const Item& b) { return a.sort_key > b.sort_key; });
 
   std::vector<Bin> bins(phones.size());
+  // Open bins sorted by ascending (height, index): "the opened bin of
+  // minimum height that fits" is then simply the *first* fit in this order,
+  // so the common packing round computes one fit instead of |bins|.
+  std::vector<std::uint32_t> open_order;
+  open_order.reserve(phones.size());
+  const auto bin_before = [&bins](std::uint32_t a, std::uint32_t b) {
+    if (bins[a].height != bins[b].height) return bins[a].height < bins[b].height;
+    return a < b;
+  };
+  const auto open_insert = [&](std::uint32_t b) {
+    open_order.insert(std::lower_bound(open_order.begin(), open_order.end(), b, bin_before), b);
+  };
   for (std::size_t i = 0; i < phones.size(); ++i) {
     bins[i].phone_index = i;
     // A phone still working off earlier assignments starts loaded and is
     // already "open" (it is in active use; no partition-count penalty for
     // continuing to use it).
-    if (const auto it = initial_load.find(phones[i].id); it != initial_load.end()) {
-      bins[i].height = it->second;
-      bins[i].open = bins[i].height > 0.0;
-    }
+    bins[i].height = problem.initial_height[i];
+    bins[i].open = bins[i].height > 0.0;
+    if (bins[i].open) open_insert(static_cast<std::uint32_t>(i));
   }
 
+  // No-fit memo: once an item fails to fit a bin, no later *bin* change can
+  // make it fit — heights only grow (shrinking the time budget), RAM room
+  // for the item is untouched by other jobs' pieces, and the executable-
+  // cost discount only appears when this very item was packed there, which
+  // bumps the item's version. So a failed (item, bin) pair stays failed
+  // until the item's remaining size changes, and the memo is stamped with
+  // the item version alone. This turns the repeated deep "does anything
+  // fit?" scans (the dominant cost: most rounds re-examine pairs that
+  // cannot have changed) into single loads.
+  std::vector<std::uint32_t> item_version(jobs.size(), 1);
+  std::vector<std::uint32_t> no_fit(jobs.size() * bins.size(), 0);
+  // Item-level watermark on top of the pair memo: an item that failed
+  // against *every* open bin can only fit once a new bin opens (epoch
+  // bumps) or the item itself changes (version bumps), so the deep
+  // "nothing fits anywhere" rescans collapse to one load per item.
+  std::uint32_t opened_epoch = 1;
+  std::vector<std::uint32_t> all_fail_version(jobs.size(), 0);
+  std::vector<std::uint32_t> all_fail_epoch(jobs.size(), 0);
+  // KB of job j already placed in bin b (negative sentinel: no piece yet,
+  // the executable cost is still owed). Mirrors Bin::piece_slot as a flat
+  // array so the fit hot path is pure arithmetic on contiguous memory.
+  std::vector<Kilobytes> placed(jobs.size() * bins.size(), -1.0);
+
   while (!items.empty()) {
-    // Line 4: first item in L that fits in any opened bin.
-    std::size_t chosen_item = items.size();
+    // Line 4: first item in L that fits in any opened bin; line 6: among
+    // fitting opened bins, the one with minimum height (first in
+    // open_order).
+    auto chosen_item = items.end();
     std::size_t chosen_bin = bins.size();
-    for (std::size_t k = 0; k < items.size() && chosen_item == items.size(); ++k) {
-      Millis best_height = std::numeric_limits<Millis>::infinity();
-      for (std::size_t b = 0; b < bins.size(); ++b) {
-        if (!bins[b].open) continue;
-        const Fit fit = compute_fit(ctx, items[k], bins[b]);
-        // Line 6: among fitting opened bins, the one with minimum height.
-        if (fit.fits && bins[b].height < best_height) {
-          best_height = bins[b].height;
-          chosen_item = k;
+    Fit chosen_fit;
+    for (auto it = items.begin(); it != items.end() && chosen_item == items.end(); ++it) {
+      const std::uint32_t ji = it->job_index;
+      const std::uint32_t stamp = item_version[ji];
+      if (all_fail_version[ji] == stamp && all_fail_epoch[ji] == opened_epoch) continue;
+      std::uint32_t* memo_row = no_fit.data() + ji * bins.size();
+      const Kilobytes* placed_row = placed.data() + ji * bins.size();
+      for (const std::uint32_t b : open_order) {
+        if (memo_row[b] == stamp) continue;  // known not to fit, item unchanged
+        const Fit fit = compute_fit(problem, capacity, min_partition, ji, remaining[ji], b,
+                                    bins[b].height, placed_row[b]);
+        if (fit.fits) {
+          chosen_item = it;
           chosen_bin = b;
+          chosen_fit = fit;
+          break;
         }
+        memo_row[b] = stamp;
+      }
+      if (chosen_item == items.end()) {
+        all_fail_version[ji] = stamp;
+        all_fail_epoch[ji] = opened_epoch;
       }
     }
 
-    if (chosen_item == items.size()) {
+    if (chosen_item == items.end()) {
       // Line 13-16: nothing fits; open the best unopened bin for the
       // largest (first) item — the bin packing it with minimum height
       // increase, i.e. minimum Equation-1 cost.
-      const Item& largest = items.front();
+      const auto largest = items.begin();
       Millis best_cost = std::numeric_limits<Millis>::infinity();
       std::size_t best_bin = bins.size();
+      Fit best_fit;
       for (std::size_t b = 0; b < bins.size(); ++b) {
         if (bins[b].open) continue;
-        const Fit fit = compute_fit(ctx, largest, bins[b]);
+        const Fit fit =
+            compute_fit(problem, capacity, min_partition, largest->job_index,
+                        remaining[largest->job_index], b, bins[b].height,
+                        placed[largest->job_index * bins.size() + b]);
         if (fit.fits && fit.cost < best_cost) {
           best_cost = fit.cost;
           best_bin = b;
+          best_fit = fit;
         }
       }
       if (best_bin == bins.size()) {  // line 23-24
@@ -217,69 +289,175 @@ std::optional<Schedule> GreedyScheduler::pack_with_capacity(
         return std::nullopt;
       }
       bins[best_bin].open = true;
-      chosen_item = 0;
+      open_insert(static_cast<std::uint32_t>(best_bin));
+      ++opened_epoch;  // invalidates the items' fails-everywhere watermarks
+      chosen_item = largest;
       chosen_bin = best_bin;
+      chosen_fit = best_fit;
     }
 
-    const Fit fit = compute_fit(ctx, items[chosen_item], bins[chosen_bin]);
-    if (!fit.fits || fit.amount <= 0.0) {
+    const std::uint32_t j = chosen_item->job_index;
+    if (!chosen_fit.fits || chosen_fit.amount <= 0.0) {
       // Zero-size jobs (exec only) pack with amount 0; anything else here
       // means the capacity is infeasible.
-      if (!(fit.fits && items[chosen_item].remaining <= kEps)) {
+      if (!(chosen_fit.fits && remaining[j] <= kEps)) {
         obs::counter("scheduler.pack_failures").inc();
         return std::nullopt;
       }
     }
-    pack_into(ctx, bins[chosen_bin], items[chosen_item], fit);
-    Item item = items[chosen_item];
-    items.erase(items.begin() + static_cast<std::ptrdiff_t>(chosen_item));
-    item.remaining -= fit.amount;
-    if (item.remaining > kEps * (1.0 + jobs[item.job_index].input_kb)) {
+
+    // Pack, merging with an existing piece of the same job (the executable
+    // ships once per phone).
+    Bin& bin = bins[chosen_bin];
+    if (const auto slot = bin.piece_slot.find(j); slot == bin.piece_slot.end()) {
+      bin.piece_slot.emplace(j, bin.pieces.size());
+      bin.pieces.push_back({jobs[j].id, chosen_fit.amount});
+      placed[j * bins.size() + chosen_bin] = chosen_fit.amount;
+    } else {
+      bin.pieces[slot->second].input_kb += chosen_fit.amount;
+      placed[j * bins.size() + chosen_bin] += chosen_fit.amount;
+    }
+    if (chosen_fit.cost > 0.0) {
+      // Re-sort the grown bin into the open order (heights only grow).
+      const auto pos = std::lower_bound(open_order.begin(), open_order.end(),
+                                        static_cast<std::uint32_t>(chosen_bin), bin_before);
+      open_order.erase(std::find(pos, open_order.end(), static_cast<std::uint32_t>(chosen_bin)));
+      bin.height += chosen_fit.cost;
+      open_insert(static_cast<std::uint32_t>(chosen_bin));
+    }
+
+    items.erase(chosen_item);
+    ++item_version[j];
+    remaining[j] -= chosen_fit.amount;
+    if (remaining[j] > kEps * (1.0 + jobs[j].input_kb)) {
       // Lines 10-11: re-insert the remainder and keep L sorted.
-      item.sort_key = item.remaining * c[item.job_index][slowest];
-      sorted_insert(items, item);
+      items.insert(ItemKey{remaining[j] * problem.c(j, problem.slowest), j});
     }
   }
 
   Schedule schedule;
   schedule.plans.reserve(phones.size());
-  for (const Bin& bin : bins) {
+  for (Bin& bin : bins) {
     PhonePlan plan;
     plan.phone = phones[bin.phone_index].id;
-    plan.pieces = bin.pieces;
+    plan.pieces = std::move(bin.pieces);
     schedule.plans.push_back(std::move(plan));
   }
   return schedule;
+}
+
+std::optional<Schedule> GreedyScheduler::pack_with_capacity(
+    const std::vector<JobSpec>& jobs, const std::vector<PhoneSpec>& phones,
+    const PredictionModel& prediction, Millis capacity,
+    const InitialLoad& initial_load) const {
+  const PackProblem problem = prepare(jobs, phones, prediction, initial_load);
+  return pack_with_capacity(problem, capacity);
 }
 
 Schedule GreedyScheduler::build(const std::vector<JobSpec>& jobs,
                                 const std::vector<PhoneSpec>& phones,
                                 const PredictionModel& prediction,
                                 const InitialLoad& initial_load) const {
+  return build_with_hint(jobs, phones, prediction, initial_load, std::nullopt);
+}
+
+Schedule GreedyScheduler::build_with_hint(const std::vector<JobSpec>& jobs,
+                                          const std::vector<PhoneSpec>& phones,
+                                          const PredictionModel& prediction,
+                                          const InitialLoad& initial_load,
+                                          std::optional<Millis> capacity_hint) const {
   if (phones.empty()) throw std::invalid_argument("GreedyScheduler: no phones");
 
   obs::counter("scheduler.builds").inc();
   obs::ScopedTimer build_timer(obs::histogram("scheduler.build_ms", 0.0, 250.0, 25));
 
-  auto [lb, ub] = capacity_bounds(jobs, phones, prediction, initial_load);
-  std::optional<Schedule> best = pack_with_capacity(jobs, phones, prediction, ub, initial_load);
-  // UB should always be feasible (every item fits alone in any bin at UB);
-  // grow defensively if numerical corner cases disagree.
-  for (int attempt = 0; attempt < 8 && !best; ++attempt) {
-    ub *= 2.0;
-    best = pack_with_capacity(jobs, phones, prediction, ub, initial_load);
-  }
-  if (!best) throw std::runtime_error("GreedyScheduler: no feasible packing found");
+  const PackProblem problem = prepare(jobs, phones, prediction, initial_load);
+  Millis lb = problem.lb;
+  Millis ub = problem.ub;
+  std::optional<Schedule> best;
 
+  // Warm start: the previous scheduling instant's achieved capacity usually
+  // brackets the new optimum tightly. A feasible hint becomes the upper
+  // bound, and one downward probe narrows the bracket to
+  // [hint * shrink, hint]; an infeasible hint still raises the lower bound
+  // (pack feasibility is treated as monotone in capacity, exactly as the
+  // bisection itself assumes) and the search falls back to the cold UB.
+  if (capacity_hint && *capacity_hint > 0.0 && *capacity_hint < ub) {
+    if (auto packed = pack_with_capacity(problem, *capacity_hint)) {
+      obs::counter("scheduler.warm_start_hits").inc();
+      best = std::move(packed);
+      ub = *capacity_hint;
+      const Millis low = std::max(lb, *capacity_hint * options_.warm_start_shrink);
+      if (low < ub) {
+        if (auto tighter = pack_with_capacity(problem, low)) {
+          best = std::move(tighter);
+          ub = low;
+        } else {
+          lb = low;
+        }
+      }
+    } else {
+      obs::counter("scheduler.warm_start_misses").inc();
+      lb = std::max(lb, *capacity_hint);
+    }
+  }
+
+  if (!best) {
+    best = pack_with_capacity(problem, ub);
+    // UB should always be feasible (every item fits alone in any bin at UB);
+    // grow defensively if numerical corner cases disagree.
+    for (int attempt = 0; attempt < 8 && !best; ++attempt) {
+      ub *= 2.0;
+      best = pack_with_capacity(problem, ub);
+    }
+    if (!best) throw std::runtime_error("GreedyScheduler: no feasible packing found");
+  }
+
+  const std::size_t probes =
+      options_.parallel_probes > 1 ? std::min<std::size_t>(options_.parallel_probes, 8) : 0;
   std::size_t bisections = 0;
   for (std::size_t iter = 0;
        iter < options_.max_bisections && (ub - lb) > options_.capacity_tolerance * ub; ++iter) {
-    const Millis mid = (lb + ub) / 2.0;
-    if (auto packed = pack_with_capacity(jobs, phones, prediction, mid, initial_load)) {
-      best = std::move(packed);
-      ub = mid;
+    if (probes != 0) {
+      // Speculative round: K capacities split the bracket into K + 1 equal
+      // parts and pack concurrently. Feasibility is monotone (the bisection
+      // invariant), so the lowest feasible probe is the new upper bound and
+      // the probe just below it the new lower bound — deterministic, since
+      // the capacities are fixed before any thread runs.
+      std::vector<Millis> caps(probes);
+      for (std::size_t k = 0; k < probes; ++k) {
+        caps[k] = lb + (ub - lb) * static_cast<double>(k + 1) / static_cast<double>(probes + 1);
+      }
+      std::vector<std::optional<Schedule>> results(probes);
+      std::vector<std::thread> workers;
+      workers.reserve(probes);
+      for (std::size_t k = 0; k < probes; ++k) {
+        workers.emplace_back([&, k] { results[k] = pack_with_capacity(problem, caps[k]); });
+      }
+      for (std::thread& w : workers) w.join();
+
+      std::size_t first_feasible = probes;
+      for (std::size_t k = 0; k < probes; ++k) {
+        if (results[k]) {
+          first_feasible = k;
+          break;
+        }
+      }
+      if (first_feasible == probes) {
+        lb = caps[probes - 1];
+      } else {
+        best = std::move(results[first_feasible]);
+        ub = caps[first_feasible];
+        if (first_feasible > 0) lb = caps[first_feasible - 1];
+      }
     } else {
-      lb = mid;
+      const Millis mid = (lb + ub) / 2.0;
+      if (auto packed = pack_with_capacity(problem, mid)) {
+        best = std::move(packed);
+        ub = mid;
+      } else {
+        lb = mid;
+      }
     }
     bisections = iter + 1;
   }

@@ -21,9 +21,18 @@
 // Extensions implemented here from the paper's footnotes: partitions
 // respect each phone's RAM (l_ij <= r_i), and a job's executable is shipped
 // to a phone at most once even when several of its partitions land there.
+//
+// Hot-path structure: everything a packing attempt needs that does not
+// depend on the trial capacity — above all the c_ij prediction matrix,
+// whose PredictionModel::predict calls (string-keyed map lookups) dominate
+// a naive implementation — is hoisted into a PackProblem built once per
+// build() and shared read-only by every bisection attempt.
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "core/scheduler.h"
 
@@ -38,29 +47,84 @@ class GreedyScheduler final : public Scheduler {
     /// Smallest breakable partition worth shipping (KB). Prevents the
     /// packer from filling bins with unboundedly small slivers.
     Kilobytes min_partition_kb = 1.0;
+    /// Warm start: when a capacity hint packs, one downward probe at
+    /// hint * warm_start_shrink tightens the bracket to [shrunk, hint] so
+    /// steady-state reschedules converge in a handful of bisections.
+    double warm_start_shrink = 0.9;
+    /// Speculative packings per bisection round (0 or 1 = plain sequential
+    /// bisection, the default). K probes split the bracket into K + 1 equal
+    /// parts and pack concurrently on K transient threads, shrinking the
+    /// bracket (K + 1)x per round. Probe capacities are fixed before the
+    /// round starts, so the outcome is deterministic regardless of thread
+    /// timing; each thread only reads the shared PackProblem.
+    std::size_t parallel_probes = 0;
   };
 
   GreedyScheduler() : options_(Options{}) {}
   explicit GreedyScheduler(Options options) : options_(options) {}
 
+  /// The capacity-independent view of one scheduling instance, built once
+  /// per build() and shared (read-only) across all packing attempts and the
+  /// capacity bounds: the c_ij matrix, the slowest phone, the items'
+  /// initial packing order, per-phone starting heights from the initial
+  /// load, and the binary search's initial bounds. Holds pointers into the
+  /// caller's vectors: `jobs` and `phones` must outlive the problem.
+  struct PackProblem {
+    const std::vector<JobSpec>* jobs = nullptr;
+    const std::vector<PhoneSpec>* phones = nullptr;
+    /// Row-major c_ij: cost[job * phones->size() + phone].
+    std::vector<MsPerKb> cost;
+    /// Index of the slowest phone (sort keys are R_j * c_sj).
+    std::size_t slowest = 0;
+    /// Starting height per bin (0 for unloaded phones); loaded bins start
+    /// open.
+    std::vector<Millis> initial_height;
+    /// Job indices sorted by decreasing sort key (ties: lower index first).
+    std::vector<std::uint32_t> order;
+    /// Binary search bounds: ub = every item in the single worst bin (plus
+    /// its initial load); lb = one "magical" bin with the aggregate
+    /// bandwidth and processing capability of all phones and no executable
+    /// cost.
+    Millis lb = 0.0;
+    Millis ub = 0.0;
+
+    MsPerKb c(std::size_t job, std::size_t phone) const {
+      return cost[job * phones->size() + phone];
+    }
+  };
+
   const char* name() const override { return "cwc-greedy"; }
   Schedule build(const std::vector<JobSpec>& jobs, const std::vector<PhoneSpec>& phones,
                  const PredictionModel& prediction,
                  const InitialLoad& initial_load = {}) const override;
+  Schedule build_with_hint(const std::vector<JobSpec>& jobs,
+                           const std::vector<PhoneSpec>& phones,
+                           const PredictionModel& prediction, const InitialLoad& initial_load,
+                           std::optional<Millis> capacity_hint) const override;
+
+  /// Builds the shared problem: one O(tasks x phones) predict sweep (rows
+  /// are shared by jobs of the same task), the item order, and both
+  /// capacity bounds in a single pass over the matrix.
+  PackProblem prepare(const std::vector<JobSpec>& jobs, const std::vector<PhoneSpec>& phones,
+                      const PredictionModel& prediction,
+                      const InitialLoad& initial_load = {}) const;
 
   /// One packing attempt at a fixed capacity (Algorithm 1 proper); nullopt
   /// when the capacity is infeasible. Exposed for tests and benches. Bins
   /// start at their initial load (and count as opened when loaded).
+  /// Thread-safe: only reads the problem.
+  std::optional<Schedule> pack_with_capacity(const PackProblem& problem, Millis capacity) const;
+
+  /// Convenience overload that prepares a fresh problem first. Prefer the
+  /// PackProblem overload when packing the same instance repeatedly.
   std::optional<Schedule> pack_with_capacity(const std::vector<JobSpec>& jobs,
                                              const std::vector<PhoneSpec>& phones,
                                              const PredictionModel& prediction,
                                              Millis capacity,
                                              const InitialLoad& initial_load = {}) const;
 
-  /// The binary search's initial bounds: UB = every item in the single
-  /// worst bin (plus its initial load); LB = one "magical" bin with the
-  /// aggregate bandwidth and processing capability of all phones and no
-  /// executable cost.
+  /// The binary search's initial bounds (see PackProblem::lb/ub); prepares
+  /// a fresh problem internally.
   std::pair<Millis, Millis> capacity_bounds(const std::vector<JobSpec>& jobs,
                                             const std::vector<PhoneSpec>& phones,
                                             const PredictionModel& prediction,

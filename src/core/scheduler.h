@@ -3,6 +3,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,20 @@ class Scheduler {
   virtual Schedule build(const std::vector<JobSpec>& jobs, const std::vector<PhoneSpec>& phones,
                          const PredictionModel& prediction,
                          const InitialLoad& initial_load = {}) const = 0;
+
+  /// Capacity-hinted build. `capacity_hint` is a capacity (ms) believed to
+  /// be near the achievable makespan — typically the previous scheduling
+  /// instant's result — which search-based schedulers use to warm-start
+  /// their bracketing. Semantics are otherwise identical to build(); the
+  /// default ignores the hint, so baseline schedulers need no changes.
+  virtual Schedule build_with_hint(const std::vector<JobSpec>& jobs,
+                                   const std::vector<PhoneSpec>& phones,
+                                   const PredictionModel& prediction,
+                                   const InitialLoad& initial_load,
+                                   std::optional<Millis> capacity_hint) const {
+    (void)capacity_hint;
+    return build(jobs, phones, prediction, initial_load);
+  }
 };
 
 /// Baseline 1: "splits each breakable job into |P| pieces without

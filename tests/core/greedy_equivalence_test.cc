@@ -1,0 +1,351 @@
+// Equivalence harness for the PackProblem hot-path overhaul: the optimized
+// packer (shared c_ij matrix, sorted open-bin order, no-fit memo, flat
+// placed matrix) must produce *identical* schedules to a straightforward
+// reference implementation of Algorithm 1 — the pre-overhaul structure with
+// linear scans and a re-sorted item vector — across randomized instances.
+//
+// Tie-breaking note: where the paper's algorithm is agnostic (equal sort
+// keys, equal bin heights) both implementations resolve deterministically
+// by lower job / bin index, so "identical" means exact double-for-double
+// equality of every piece, not approximate makespans.
+#include "core/greedy.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/testbed.h"
+
+namespace cwc::core {
+namespace {
+
+constexpr double kEps = 1e-9;  // same tolerance as the production packer
+
+// --- Reference implementation (Algorithm 1, no hot-path structure) --------
+
+struct RefBin {
+  std::size_t phone_index = 0;
+  bool open = false;
+  Millis height = 0.0;
+  std::vector<JobPiece> pieces;
+
+  std::size_t piece_of(JobId job) const {
+    for (std::size_t k = 0; k < pieces.size(); ++k) {
+      if (pieces[k].job == job) return k;
+    }
+    return static_cast<std::size_t>(-1);
+  }
+};
+
+struct RefItem {
+  std::size_t job_index = 0;
+  Kilobytes remaining = 0.0;
+  double sort_key = 0.0;
+};
+
+struct RefFit {
+  bool fits = false;
+  Kilobytes amount = 0.0;
+  Millis cost = 0.0;
+};
+
+RefFit ref_fit(const std::vector<JobSpec>& jobs, const std::vector<PhoneSpec>& phones,
+               const std::vector<std::vector<MsPerKb>>& c, Millis capacity,
+               Kilobytes min_partition, const RefItem& item, const RefBin& bin) {
+  const JobSpec& job = jobs[item.job_index];
+  const PhoneSpec& phone = phones[bin.phone_index];
+  const std::size_t existing = bin.piece_of(job.id);
+  const bool has_piece = existing != static_cast<std::size_t>(-1);
+  const Millis exec_cost = has_piece ? 0.0 : job.exec_kb * phone.b;
+  const Millis available = capacity - bin.height - exec_cost;
+  const Kilobytes existing_kb = has_piece ? bin.pieces[existing].input_kb : 0.0;
+  const Kilobytes ram_room = phone.ram_kb - existing_kb;
+
+  RefFit fit;
+  if (available < -kEps || ram_room <= kEps) return fit;
+  const double per_kb = phone.b + c[item.job_index][bin.phone_index];
+  const Kilobytes max_by_time =
+      per_kb > 0.0 ? available / per_kb : std::numeric_limits<double>::infinity();
+  const Kilobytes max_amount = std::min({item.remaining, max_by_time, ram_room});
+  if (job.kind == JobKind::kAtomic) {
+    if (max_amount + kEps * (1.0 + item.remaining) < item.remaining) return fit;
+    fit.fits = true;
+    fit.amount = item.remaining;
+  } else {
+    const Kilobytes needed = std::min(item.remaining, min_partition);
+    if (max_amount + kEps < needed) return fit;
+    fit.fits = true;
+    fit.amount = std::min(item.remaining, max_amount);
+  }
+  fit.cost = exec_cost + fit.amount * per_kb;
+  return fit;
+}
+
+std::optional<Schedule> ref_pack(const std::vector<JobSpec>& jobs,
+                                 const std::vector<PhoneSpec>& phones,
+                                 const PredictionModel& prediction, Millis capacity,
+                                 const InitialLoad& initial_load,
+                                 Kilobytes min_partition = 1.0) {
+  std::vector<std::vector<MsPerKb>> c(jobs.size(), std::vector<MsPerKb>(phones.size()));
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    for (std::size_t i = 0; i < phones.size(); ++i) {
+      c[j][i] = prediction.predict(jobs[j].task_name, phones[i]);
+    }
+  }
+  const std::size_t slowest = static_cast<std::size_t>(
+      std::min_element(phones.begin(), phones.end(),
+                       [](const PhoneSpec& a, const PhoneSpec& b) {
+                         return a.cpu_mhz < b.cpu_mhz;
+                       }) -
+      phones.begin());
+
+  const auto item_before = [](const RefItem& a, const RefItem& b) {
+    if (a.sort_key != b.sort_key) return a.sort_key > b.sort_key;
+    return a.job_index < b.job_index;
+  };
+  std::vector<RefItem> items;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    items.push_back({j, jobs[j].input_kb, jobs[j].input_kb * c[j][slowest]});
+  }
+  std::sort(items.begin(), items.end(), item_before);
+
+  std::vector<RefBin> bins(phones.size());
+  for (std::size_t i = 0; i < phones.size(); ++i) {
+    bins[i].phone_index = i;
+    if (const auto it = initial_load.find(phones[i].id); it != initial_load.end()) {
+      bins[i].height = it->second;
+      bins[i].open = bins[i].height > 0.0;
+    }
+  }
+
+  while (!items.empty()) {
+    std::size_t chosen_item = items.size();
+    std::size_t chosen_bin = bins.size();
+    for (std::size_t k = 0; k < items.size() && chosen_item == items.size(); ++k) {
+      Millis best_height = std::numeric_limits<Millis>::infinity();
+      for (std::size_t b = 0; b < bins.size(); ++b) {
+        if (!bins[b].open) continue;
+        const RefFit fit =
+            ref_fit(jobs, phones, c, capacity, min_partition, items[k], bins[b]);
+        if (fit.fits && bins[b].height < best_height) {
+          best_height = bins[b].height;
+          chosen_item = k;
+          chosen_bin = b;
+        }
+      }
+    }
+
+    if (chosen_item == items.size()) {
+      const RefItem& largest = items.front();
+      Millis best_cost = std::numeric_limits<Millis>::infinity();
+      std::size_t best_bin = bins.size();
+      for (std::size_t b = 0; b < bins.size(); ++b) {
+        if (bins[b].open) continue;
+        const RefFit fit =
+            ref_fit(jobs, phones, c, capacity, min_partition, largest, bins[b]);
+        if (fit.fits && fit.cost < best_cost) {
+          best_cost = fit.cost;
+          best_bin = b;
+        }
+      }
+      if (best_bin == bins.size()) return std::nullopt;
+      bins[best_bin].open = true;
+      chosen_item = 0;
+      chosen_bin = best_bin;
+    }
+
+    const RefFit fit = ref_fit(jobs, phones, c, capacity, min_partition,
+                               items[chosen_item], bins[chosen_bin]);
+    if (!fit.fits || fit.amount <= 0.0) {
+      if (!(fit.fits && items[chosen_item].remaining <= kEps)) return std::nullopt;
+    }
+    RefBin& bin = bins[chosen_bin];
+    const std::size_t existing = bin.piece_of(jobs[items[chosen_item].job_index].id);
+    if (existing == static_cast<std::size_t>(-1)) {
+      bin.pieces.push_back({jobs[items[chosen_item].job_index].id, fit.amount});
+    } else {
+      bin.pieces[existing].input_kb += fit.amount;
+    }
+    bin.height += fit.cost;
+
+    RefItem item = items[chosen_item];
+    items.erase(items.begin() + static_cast<std::ptrdiff_t>(chosen_item));
+    item.remaining -= fit.amount;
+    if (item.remaining > kEps * (1.0 + jobs[item.job_index].input_kb)) {
+      item.sort_key = item.remaining * c[item.job_index][slowest];
+      items.insert(std::lower_bound(items.begin(), items.end(), item, item_before), item);
+    }
+  }
+
+  Schedule schedule;
+  for (const RefBin& bin : bins) {
+    PhonePlan plan;
+    plan.phone = phones[bin.phone_index].id;
+    plan.pieces = bin.pieces;
+    schedule.plans.push_back(std::move(plan));
+  }
+  return schedule;
+}
+
+// --- Comparison helpers ---------------------------------------------------
+
+void expect_identical(const std::optional<Schedule>& got, const std::optional<Schedule>& want,
+                      const std::string& context) {
+  ASSERT_EQ(got.has_value(), want.has_value()) << context;
+  if (!got) return;
+  ASSERT_EQ(got->plans.size(), want->plans.size()) << context;
+  for (std::size_t p = 0; p < got->plans.size(); ++p) {
+    const PhonePlan& a = got->plans[p];
+    const PhonePlan& b = want->plans[p];
+    EXPECT_EQ(a.phone, b.phone) << context << " plan " << p;
+    ASSERT_EQ(a.pieces.size(), b.pieces.size()) << context << " plan " << p;
+    for (std::size_t k = 0; k < a.pieces.size(); ++k) {
+      EXPECT_EQ(a.pieces[k].job, b.pieces[k].job)
+          << context << " plan " << p << " piece " << k;
+      // Exact equality: the overhaul reorganized the computation but must
+      // not change a single arithmetic result.
+      EXPECT_EQ(a.pieces[k].input_kb, b.pieces[k].input_kb)
+          << context << " plan " << p << " piece " << k;
+    }
+  }
+}
+
+struct RandomInstance {
+  std::vector<PhoneSpec> phones;
+  std::vector<JobSpec> jobs;
+  InitialLoad initial_load;
+  PredictionModel prediction = paper_prediction();
+};
+
+RandomInstance make_random_instance(std::uint64_t seed, bool with_atomic,
+                                    bool with_initial_load, bool with_zero_size) {
+  Rng rng(seed);
+  RandomInstance inst;
+  auto base = paper_testbed(rng);
+  rng.shuffle(base);
+  const std::size_t phone_count = static_cast<std::size_t>(rng.uniform_int(3, 14));
+  for (std::size_t i = 0; i < phone_count; ++i) {
+    PhoneSpec phone = base[i % base.size()];
+    phone.id = static_cast<PhoneId>(i);
+    phone.b = rng.uniform(1.0, 70.0);
+    if (rng.uniform(0.0, 1.0) < 0.2) phone.ram_kb = rng.uniform(500.0, 5000.0);
+    inst.phones.push_back(phone);
+  }
+  auto workload = paper_workload(rng, rng.uniform(0.05, 0.25));
+  for (std::size_t j = 0; j < workload.size(); ++j) {
+    JobSpec job = workload[j];
+    job.id = static_cast<JobId>(j);
+    if (!with_atomic) job.kind = JobKind::kBreakable;
+    if (with_zero_size && j % 7 == 0) job.input_kb = 0.0;
+    inst.jobs.push_back(job);
+  }
+  if (with_initial_load) {
+    for (const PhoneSpec& phone : inst.phones) {
+      if (rng.uniform(0.0, 1.0) < 0.5) {
+        inst.initial_load[phone.id] = rng.uniform(100.0, 50000.0);
+      }
+    }
+  }
+  return inst;
+}
+
+class GreedyEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GreedyEquivalenceTest, PackMatchesReferenceAcrossCapacities) {
+  const int seed = GetParam();
+  const RandomInstance inst = make_random_instance(
+      static_cast<std::uint64_t>(seed) * 131 + 5, /*with_atomic=*/seed % 2 == 0,
+      /*with_initial_load=*/seed % 3 == 0, /*with_zero_size=*/seed % 4 == 0);
+  const GreedyScheduler scheduler;
+  const auto problem =
+      scheduler.prepare(inst.jobs, inst.phones, inst.prediction, inst.initial_load);
+
+  // Probe the whole feasibility range, including capacities the bisection
+  // would visit and ones that are clearly infeasible: the implementations
+  // must agree on failure too.
+  for (const double t : {0.0, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+    const Millis capacity = problem.lb + (problem.ub - problem.lb) * t;
+    const auto fast = scheduler.pack_with_capacity(problem, capacity);
+    const auto slow = ref_pack(inst.jobs, inst.phones, inst.prediction, capacity,
+                               inst.initial_load);
+    expect_identical(fast, slow,
+                     "seed " + std::to_string(seed) + " t=" + std::to_string(t));
+  }
+}
+
+TEST_P(GreedyEquivalenceTest, ColdBuildMatchesReferenceBisection) {
+  const int seed = GetParam();
+  const RandomInstance inst = make_random_instance(
+      static_cast<std::uint64_t>(seed) * 977 + 3, /*with_atomic=*/seed % 2 == 1,
+      /*with_initial_load=*/seed % 3 == 1, /*with_zero_size=*/false);
+  const GreedyScheduler scheduler;
+
+  // Reference binary search, mirroring the production defaults.
+  const auto problem =
+      scheduler.prepare(inst.jobs, inst.phones, inst.prediction, inst.initial_load);
+  Millis lb = problem.lb;
+  Millis ub = problem.ub;
+  std::optional<Schedule> best =
+      ref_pack(inst.jobs, inst.phones, inst.prediction, ub, inst.initial_load);
+  for (int attempt = 0; attempt < 8 && !best; ++attempt) {
+    ub *= 2.0;
+    best = ref_pack(inst.jobs, inst.phones, inst.prediction, ub, inst.initial_load);
+  }
+  ASSERT_TRUE(best.has_value());
+  for (std::size_t iter = 0; iter < 48 && (ub - lb) > 1e-3 * ub; ++iter) {
+    const Millis mid = (lb + ub) / 2.0;
+    if (auto packed =
+            ref_pack(inst.jobs, inst.phones, inst.prediction, mid, inst.initial_load)) {
+      best = std::move(packed);
+      ub = mid;
+    } else {
+      lb = mid;
+    }
+  }
+
+  Schedule built =
+      scheduler.build(inst.jobs, inst.phones, inst.prediction, inst.initial_load);
+  validate_schedule(built, inst.jobs, inst.phones);
+  // Strip the annotation (the reference schedule is unannotated).
+  for (PhonePlan& plan : built.plans) plan.predicted_finish = 0.0;
+  built.predicted_makespan = 0.0;
+  expect_identical(std::optional<Schedule>(std::move(built)), best,
+                   "seed " + std::to_string(seed));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, GreedyEquivalenceTest, ::testing::Range(0, 24));
+
+// The legacy convenience overload (jobs/phones/prediction) and the shared
+// PackProblem overload must be interchangeable.
+TEST(GreedyEquivalence, ConvenienceOverloadMatchesPreparedProblem) {
+  const RandomInstance inst = make_random_instance(42, true, true, true);
+  const GreedyScheduler scheduler;
+  const auto problem =
+      scheduler.prepare(inst.jobs, inst.phones, inst.prediction, inst.initial_load);
+  const Millis capacity = (problem.lb + problem.ub) / 2.0;
+  expect_identical(
+      scheduler.pack_with_capacity(problem, capacity),
+      scheduler.pack_with_capacity(inst.jobs, inst.phones, inst.prediction, capacity,
+                                   inst.initial_load),
+      "overloads");
+}
+
+// capacity_bounds must equal the bounds computed by the shared problem (it
+// used to run its own two predict sweeps).
+TEST(GreedyEquivalence, CapacityBoundsMatchPreparedProblem) {
+  const RandomInstance inst = make_random_instance(43, true, true, false);
+  const GreedyScheduler scheduler;
+  const auto problem =
+      scheduler.prepare(inst.jobs, inst.phones, inst.prediction, inst.initial_load);
+  const auto [lb, ub] =
+      scheduler.capacity_bounds(inst.jobs, inst.phones, inst.prediction, inst.initial_load);
+  EXPECT_EQ(lb, problem.lb);
+  EXPECT_EQ(ub, problem.ub);
+}
+
+}  // namespace
+}  // namespace cwc::core

@@ -1,0 +1,197 @@
+// Warm-started bisection and speculative parallel probes: the two capacity
+// search accelerators added on top of the shared PackProblem. Warm starts
+// reuse the previous scheduling instant's achieved makespan as the initial
+// upper bound; parallel probes pack several capacities per round on
+// threads. Both must never worsen the schedule the search converges to
+// (beyond the binary search's own resolution) and must fall back cleanly
+// when the hint is useless.
+#include "core/greedy.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/controller.h"
+#include "core/testbed.h"
+#include "obs/metrics.h"
+
+namespace cwc::core {
+namespace {
+
+struct Instance {
+  std::vector<PhoneSpec> phones;
+  std::vector<JobSpec> jobs;
+  PredictionModel prediction = paper_prediction();
+};
+
+Instance make_instance(std::uint64_t seed, double scale = 0.1) {
+  Rng rng(seed);
+  Instance inst;
+  inst.phones = paper_testbed(rng);
+  inst.jobs = paper_workload(rng, scale);
+  return inst;
+}
+
+// The binary search stops at relative gap capacity_tolerance; two searches
+// that converge from different brackets may differ by a few multiples of
+// it. Default tolerance is 1e-3.
+constexpr double kSearchSlack = 1.005;
+
+class GreedyWarmStartTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GreedyWarmStartTest, WarmBuildNeverWorseThanCold) {
+  const Instance inst = make_instance(static_cast<std::uint64_t>(GetParam()) * 53 + 1,
+                                      0.05 + 0.01 * GetParam());
+  const GreedyScheduler scheduler;
+  const Schedule cold = scheduler.build(inst.jobs, inst.phones, inst.prediction);
+  const Schedule warm = scheduler.build_with_hint(inst.jobs, inst.phones, inst.prediction,
+                                                  {}, cold.predicted_makespan);
+  validate_schedule(warm, inst.jobs, inst.phones);
+  EXPECT_LE(warm.predicted_makespan, cold.predicted_makespan * kSearchSlack);
+}
+
+TEST_P(GreedyWarmStartTest, InfeasibleHintFallsBackCleanly) {
+  const Instance inst = make_instance(static_cast<std::uint64_t>(GetParam()) * 71 + 9);
+  const GreedyScheduler scheduler;
+  const Schedule cold = scheduler.build(inst.jobs, inst.phones, inst.prediction);
+  // A hint far below the achievable makespan cannot pack; the search must
+  // recover via the cold upper bound and still converge to the same place.
+  const Schedule warm = scheduler.build_with_hint(inst.jobs, inst.phones, inst.prediction,
+                                                  {}, cold.predicted_makespan * 0.1);
+  validate_schedule(warm, inst.jobs, inst.phones);
+  EXPECT_LE(warm.predicted_makespan, cold.predicted_makespan * kSearchSlack);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, GreedyWarmStartTest, ::testing::Range(0, 8));
+
+TEST(GreedyWarmStart, HintAboveUpperBoundIsIgnored) {
+  const Instance inst = make_instance(11);
+  const GreedyScheduler scheduler;
+  const auto [lb, ub] = scheduler.capacity_bounds(inst.jobs, inst.phones, inst.prediction);
+  const Schedule cold = scheduler.build(inst.jobs, inst.phones, inst.prediction);
+  // A hint at/above UB adds no information; the search runs exactly cold.
+  const Schedule hinted =
+      scheduler.build_with_hint(inst.jobs, inst.phones, inst.prediction, {}, ub * 2.0);
+  EXPECT_EQ(hinted.predicted_makespan, cold.predicted_makespan);
+  ASSERT_EQ(hinted.plans.size(), cold.plans.size());
+  for (std::size_t p = 0; p < cold.plans.size(); ++p) {
+    ASSERT_EQ(hinted.plans[p].pieces.size(), cold.plans[p].pieces.size());
+    for (std::size_t k = 0; k < cold.plans[p].pieces.size(); ++k) {
+      EXPECT_EQ(hinted.plans[p].pieces[k].job, cold.plans[p].pieces[k].job);
+      EXPECT_EQ(hinted.plans[p].pieces[k].input_kb, cold.plans[p].pieces[k].input_kb);
+    }
+  }
+}
+
+TEST(GreedyWarmStart, NonPositiveAndMissingHintsBehaveLikeCold) {
+  const Instance inst = make_instance(13);
+  const GreedyScheduler scheduler;
+  const Schedule cold = scheduler.build(inst.jobs, inst.phones, inst.prediction);
+  const Schedule none = scheduler.build_with_hint(inst.jobs, inst.phones, inst.prediction,
+                                                  {}, std::nullopt);
+  const Schedule zero =
+      scheduler.build_with_hint(inst.jobs, inst.phones, inst.prediction, {}, 0.0);
+  EXPECT_EQ(none.predicted_makespan, cold.predicted_makespan);
+  EXPECT_EQ(zero.predicted_makespan, cold.predicted_makespan);
+}
+
+TEST(GreedyWarmStart, WarmStartConvergesInFewerPacks) {
+  const Instance inst = make_instance(17, 0.15);
+  const GreedyScheduler scheduler;
+  const Schedule cold = scheduler.build(inst.jobs, inst.phones, inst.prediction);
+  const double cold_bisections = obs::gauge("scheduler.last_bisections").value();
+  const Schedule warm = scheduler.build_with_hint(inst.jobs, inst.phones, inst.prediction,
+                                                  {}, cold.predicted_makespan);
+  const double warm_bisections = obs::gauge("scheduler.last_bisections").value();
+  // The hint narrows the initial bracket from [lb, worst-single-bin] to
+  // [0.9 * hint, hint], which saves a large share of the bisections.
+  EXPECT_LT(warm_bisections, cold_bisections);
+  EXPECT_LE(warm.predicted_makespan, cold.predicted_makespan * kSearchSlack);
+}
+
+TEST(GreedyWarmStart, ControllerFeedsAchievedMakespanForward) {
+  auto scheduler = std::make_unique<GreedyScheduler>();
+  CwcController controller(std::move(scheduler), paper_prediction());
+  Rng rng(23);
+  for (const PhoneSpec& phone : paper_testbed(rng)) controller.register_phone(phone);
+  ASSERT_FALSE(controller.capacity_hint().has_value());
+
+  for (JobSpec job : paper_workload(rng, 0.05)) {
+    job.id = kInvalidJob;  // let the controller assign ids
+    controller.submit(job);
+  }
+  const Schedule first = controller.reschedule();
+  ASSERT_TRUE(controller.capacity_hint().has_value());
+  EXPECT_EQ(*controller.capacity_hint(), first.predicted_makespan);
+
+  // The next instant warm-starts from the previous makespan and the hint
+  // keeps tracking the latest schedule.
+  for (JobSpec job : paper_workload(rng, 0.05)) {
+    job.id = kInvalidJob;
+    controller.submit(job);
+  }
+  const Schedule second = controller.reschedule();
+  EXPECT_EQ(*controller.capacity_hint(), second.predicted_makespan);
+}
+
+// --- Speculative parallel probes ------------------------------------------
+
+class GreedyParallelProbesTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GreedyParallelProbesTest, MatchesSequentialQualityAndIsDeterministic) {
+  const Instance inst = make_instance(static_cast<std::uint64_t>(GetParam()) * 97 + 31);
+  const GreedyScheduler sequential;
+  GreedyScheduler::Options options;
+  options.parallel_probes = 4;
+  const GreedyScheduler parallel(options);
+
+  const Schedule seq = sequential.build(inst.jobs, inst.phones, inst.prediction);
+  const Schedule par1 = parallel.build(inst.jobs, inst.phones, inst.prediction);
+  const Schedule par2 = parallel.build(inst.jobs, inst.phones, inst.prediction);
+  validate_schedule(par1, inst.jobs, inst.phones);
+
+  // Probe capacities are fixed before any thread runs, so repeated builds
+  // are bit-identical regardless of thread scheduling.
+  ASSERT_EQ(par1.plans.size(), par2.plans.size());
+  for (std::size_t p = 0; p < par1.plans.size(); ++p) {
+    ASSERT_EQ(par1.plans[p].pieces.size(), par2.plans[p].pieces.size());
+    for (std::size_t k = 0; k < par1.plans[p].pieces.size(); ++k) {
+      EXPECT_EQ(par1.plans[p].pieces[k].job, par2.plans[p].pieces[k].job);
+      EXPECT_EQ(par1.plans[p].pieces[k].input_kb, par2.plans[p].pieces[k].input_kb);
+    }
+  }
+  // The K-way bracket shrink visits different capacities than the midpoint
+  // bisection, but both stop within the same relative tolerance.
+  EXPECT_LE(par1.predicted_makespan, seq.predicted_makespan * kSearchSlack);
+  EXPECT_GE(par1.predicted_makespan * kSearchSlack, seq.predicted_makespan);
+}
+
+TEST_P(GreedyParallelProbesTest, WorksCombinedWithWarmStart) {
+  const Instance inst = make_instance(static_cast<std::uint64_t>(GetParam()) * 113 + 7);
+  GreedyScheduler::Options options;
+  options.parallel_probes = 3;
+  const GreedyScheduler parallel(options);
+  const Schedule cold = parallel.build(inst.jobs, inst.phones, inst.prediction);
+  const Schedule warm = parallel.build_with_hint(inst.jobs, inst.phones, inst.prediction,
+                                                 {}, cold.predicted_makespan);
+  validate_schedule(warm, inst.jobs, inst.phones);
+  EXPECT_LE(warm.predicted_makespan, cold.predicted_makespan * kSearchSlack);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, GreedyParallelProbesTest, ::testing::Range(0, 6));
+
+TEST(GreedyParallelProbes, SingleProbeIsSequential) {
+  const Instance inst = make_instance(41);
+  GreedyScheduler::Options options;
+  options.parallel_probes = 1;  // K <= 1 stays on the sequential path
+  const GreedyScheduler one(options);
+  const GreedyScheduler plain;
+  const Schedule a = one.build(inst.jobs, inst.phones, inst.prediction);
+  const Schedule b = plain.build(inst.jobs, inst.phones, inst.prediction);
+  EXPECT_EQ(a.predicted_makespan, b.predicted_makespan);
+}
+
+}  // namespace
+}  // namespace cwc::core

@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# Scheduler perf gate: builds the optimized preset, runs the scheduler
+# microbenches in JSON mode, and compares them against the numbers recorded
+# in BENCH_scheduler.json at the repo root.
+#
+#   tools/run_benches.sh            # run + compare; exit 1 on >25% regression
+#   tools/run_benches.sh --update   # run + rewrite the recorded numbers
+#
+# BENCH_scheduler.json keeps two series: "pre_pr" (the last numbers measured
+# before the PackProblem hot-path overhaul; never rewritten by this script)
+# and "current" (the recorded expectation this script gates against).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+REPO_ROOT="$(pwd)"
+RECORD="${REPO_ROOT}/BENCH_scheduler.json"
+MODE="${1:-check}"
+FILTER='BM_Greedy|BM_SinglePacking|BM_PreparedPacking|BM_PrepareProblem'
+# Older google-benchmark releases reject a unit suffix on min_time.
+MIN_TIME="${CWC_BENCH_MIN_TIME:-0.2}"
+
+cmake --preset default >/dev/null
+cmake --build --preset default --target micro_scheduler -j >/dev/null
+
+RAW="$(mktemp)"
+trap 'rm -f "${RAW}"' EXIT
+# Median of 3 repetitions: single runs vary well past the gate threshold
+# on busy machines.
+./build/bench/micro_scheduler \
+  --benchmark_filter="${FILTER}" \
+  --benchmark_min_time="${MIN_TIME}" \
+  --benchmark_repetitions="${CWC_BENCH_REPETITIONS:-3}" \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_format=json >"${RAW}"
+
+MODE="${MODE}" RAW="${RAW}" RECORD="${RECORD}" python3 - <<'PY'
+import json
+import os
+import sys
+
+mode = os.environ["MODE"]
+raw_path = os.environ["RAW"]
+record_path = os.environ["RECORD"]
+THRESHOLD = 0.25  # fail when slower than recorded by more than this
+
+with open(raw_path) as f:
+    raw = json.load(f)
+measured = {
+    b["name"].removesuffix("_median"): round(b["real_time"], 4)
+    for b in raw["benchmarks"]
+    if b.get("aggregate_name", "") == "median"
+}
+if not measured:  # repetitions=1: no aggregates, use the plain iterations
+    measured = {
+        b["name"]: round(b["real_time"], 4)
+        for b in raw["benchmarks"]
+        if b.get("run_type", "iteration") == "iteration"
+    }
+if not measured:
+    sys.exit("run_benches: benchmark run produced no measurements")
+
+try:
+    with open(record_path) as f:
+        record = json.load(f)
+except FileNotFoundError:
+    record = {"unit": "ms", "pre_pr": {}, "current": {}}
+
+if mode == "--update":
+    record["current"] = measured
+    pre = record.get("pre_pr", {})
+    record["speedup_vs_pre_pr"] = {
+        name: round(pre[name] / measured[name], 2)
+        for name in sorted(pre)
+        if name in measured and measured[name] > 0
+    }
+    with open(record_path, "w") as f:
+        json.dump(record, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"run_benches: recorded {len(measured)} benchmarks to {record_path}")
+    sys.exit(0)
+
+recorded = record.get("current", {})
+if not recorded:
+    sys.exit(f"run_benches: no recorded numbers in {record_path}; "
+             "run tools/run_benches.sh --update first")
+
+regressions = []
+width = max(len(n) for n in measured)
+for name in sorted(measured):
+    now = measured[name]
+    base = recorded.get(name)
+    if base is None:
+        print(f"  {name:<{width}}  {now:>10.3f} ms  (new, no recorded number)")
+        continue
+    delta = (now - base) / base if base > 0 else 0.0
+    marker = ""
+    if delta > THRESHOLD:
+        marker = "  << REGRESSION"
+        regressions.append((name, base, now, delta))
+    print(f"  {name:<{width}}  {now:>10.3f} ms  recorded {base:.3f} ms  "
+          f"({delta:+.1%}){marker}")
+
+for name in sorted(recorded):
+    if name not in measured:
+        print(f"  {name:<{width}}  (recorded but not measured this run)")
+
+if regressions:
+    print(f"\nrun_benches: {len(regressions)} benchmark(s) regressed more "
+          f"than {THRESHOLD:.0%} vs {record_path}:")
+    for name, base, now, delta in regressions:
+        print(f"  {name}: {base:.3f} ms -> {now:.3f} ms ({delta:+.1%})")
+    print("If the slowdown is intended, re-record with tools/run_benches.sh --update")
+    sys.exit(1)
+print("\nrun_benches: all benchmarks within threshold")
+PY
