@@ -10,6 +10,7 @@
 #include "core/relaxation.h"
 #include "core/testbed.h"
 #include "lp/simplex.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -58,6 +59,37 @@ BENCHMARK(BM_GreedyBuild)
     ->Args({36, 300})
     ->Args({128, 1024})
     ->Args({512, 2048})
+    ->Unit(benchmark::kMillisecond);
+
+// Tracing overhead on the scheduler hot path. The greedy build's probe
+// loop carries one obs::trace_enabled() check (a relaxed atomic load) per
+// packing attempt; range(2) toggles the recorder so /0 measures the
+// disabled path (gated <2% vs BM_GreedyBuild in tools/run_benches.sh) and
+// /1 the full cost of recording capacity-probe events into the ring.
+void BM_GreedyBuildTracing(benchmark::State& state) {
+  const auto instance =
+      make_instance(static_cast<std::size_t>(state.range(0)),
+                    static_cast<std::size_t>(state.range(1)));
+  const core::GreedyScheduler scheduler;
+  obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+  if (state.range(2) != 0) {
+    recorder.enable();
+  } else {
+    recorder.disable();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        scheduler.build(instance.jobs, instance.phones, instance.prediction));
+  }
+  recorder.disable();
+  recorder.clear();
+  state.SetLabel(std::to_string(state.range(0)) + " phones, " +
+                 std::to_string(state.range(1)) + " jobs, tracing " +
+                 (state.range(2) != 0 ? "on" : "off"));
+}
+BENCHMARK(BM_GreedyBuildTracing)
+    ->Args({18, 150, 0})
+    ->Args({18, 150, 1})
     ->Unit(benchmark::kMillisecond);
 
 // Steady-state rescheduling: the previous instant's makespan warm-starts

@@ -3,8 +3,24 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "obs/trace.h"
 
 namespace cwc::battery {
+
+namespace {
+
+/// Trace the MIMD duty-cycle state whenever the sleep time changes (the
+/// paper's Fig. 10 sawtooth, reconstructable from the event trace).
+void trace_sleep_change(Millis sleep_ms) {
+  if (!obs::trace_enabled()) return;
+  obs::TraceEvent event;
+  event.type = obs::TraceEventType::kThrottleState;
+  event.t = obs::trace_now();
+  event.value = sleep_ms;
+  obs::trace_record(event);
+}
+
+}  // namespace
 
 void SimulatedChargeEnvironment::record() {
   if (model_.reported_percent() != last_percent_) {
@@ -85,6 +101,7 @@ ThrottleReport run_mimd_throttler(ChargeEnvironment& env, const ThrottlerConfig&
   ++report.delta_refreshes;
   int percent_at_delta = env.battery_percent();
   Millis sleep_time = delta / 2.0;
+  trace_sleep_change(sleep_time);
 
   while (!env.battery_full()) {
     // The charging profile drifts (other tasks, supply changes); re-measure
@@ -116,6 +133,7 @@ ThrottleReport run_mimd_throttler(ChargeEnvironment& env, const ThrottlerConfig&
       // Charging stalled even with the duty cycle; back off hard and retry.
       sleep_time = std::min(sleep_time * config.sleep_increase, config.max_sleep);
       ++report.mimd_increases;
+      trace_sleep_change(sleep_time);
       continue;
     }
 
@@ -129,6 +147,7 @@ ThrottleReport run_mimd_throttler(ChargeEnvironment& env, const ThrottlerConfig&
       sleep_time = std::max(sleep_time * config.sleep_decrease, config.min_sleep);
       ++report.mimd_decreases;
     }
+    trace_sleep_change(sleep_time);
   }
 
   report.elapsed = env.now() - t0;

@@ -28,4 +28,8 @@ std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 /// Joins items with a separator.
 std::string join(const std::vector<std::string>& items, std::string_view sep);
 
+/// Shortest decimal representation that parses back to exactly `v` (for
+/// JSON emitters whose output must round-trip doubles bit-exactly).
+std::string shortest_double(double v);
+
 }  // namespace cwc

@@ -6,11 +6,29 @@
 
 #include "common/log.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cwc::core {
 
 namespace {
 constexpr double kEpsKb = 1e-6;
+
+/// One lifecycle trace event for a queued piece; no-op when tracing is off.
+void trace_piece(obs::TraceEventType type, JobId job, const PieceIdentity& id, PhoneId phone,
+                 double value, std::uint8_t flags = obs::TraceEvent::kNone) {
+  if (!obs::trace_enabled()) return;
+  obs::TraceEvent event;
+  event.type = type;
+  event.flags = flags;
+  event.t = obs::trace_now();
+  event.value = value;
+  event.job = job;
+  event.piece = id.piece;
+  event.attempt = id.attempt;
+  event.phone = phone;
+  event.instant = id.instant;
+  obs::trace_record(event);
+}
 
 /// Fig. 6 reports |predicted - measured| / measured as relative error;
 /// bucket the common range finely (out-of-range errors clamp into the
@@ -31,12 +49,23 @@ CwcController::CwcController(std::unique_ptr<Scheduler> scheduler, PredictionMod
   obs::counter("controller.failures.offline");
   obs::gauge("controller.fa_depth");
   prediction_error_histogram();
+  // Touch the trace recorder so its trace.* counters are pre-registered in
+  // every process that hosts a controller (zero-valued when tracing is off).
+  obs::TraceRecorder::global();
 }
 
 void CwcController::register_phone(const PhoneSpec& spec) {
+  const auto it = phones_.find(spec.id);
+  const bool replug = it != phones_.end() && !it->second.plugged;
+  const bool fresh = it == phones_.end();
   auto& state = phones_[spec.id];
   state.spec = spec;
   state.plugged = true;
+  if (fresh || replug) {
+    trace_piece(fresh ? obs::TraceEventType::kPhoneRegistered
+                      : obs::TraceEventType::kPhoneReplugged,
+                kInvalidJob, PieceIdentity{}, spec.id, 0.0);
+  }
 }
 
 void CwcController::update_bandwidth(PhoneId phone, MsPerKb b) {
@@ -44,7 +73,11 @@ void CwcController::update_bandwidth(PhoneId phone, MsPerKb b) {
 }
 
 void CwcController::set_plugged(PhoneId phone, bool plugged) {
-  phones_.at(phone).plugged = plugged;
+  auto& state = phones_.at(phone);
+  if (plugged && !state.plugged) {
+    trace_piece(obs::TraceEventType::kPhoneReplugged, kInvalidJob, PieceIdentity{}, phone, 0.0);
+  }
+  state.plugged = plugged;
 }
 
 bool CwcController::is_plugged(PhoneId phone) const { return phones_.at(phone).plugged; }
@@ -90,6 +123,7 @@ InitialLoad CwcController::outstanding_load() const {
 
 Schedule CwcController::reschedule() {
   obs::counter("controller.scheduling_instants").inc();
+  const std::int64_t instant = instant_seq_++;
   // F_A depth as each instant saw it (the backlog drains below).
   obs::histogram("controller.fa_depth_at_instant", 0.0, 64.0, 16)
       .observe(static_cast<double>(failed_.size()));
@@ -119,6 +153,13 @@ Schedule CwcController::reschedule() {
     throw std::runtime_error("CwcController::reschedule: no plugged phones");
   }
 
+  {
+    PieceIdentity id;
+    id.instant = instant;
+    trace_piece(obs::TraceEventType::kInstantBegin, kInvalidJob, id, kInvalidPhone,
+                static_cast<double>(batch.size()));
+  }
+
   // Warm start: the previous instant's achieved makespan is the natural
   // first capacity probe for the next one (steady-state instants schedule
   // similar batches over a similar fleet).
@@ -133,7 +174,9 @@ Schedule CwcController::reschedule() {
   failed_.clear();
   obs::gauge("controller.fa_depth").set(0.0);
 
-  // Install the new pieces at the back of each phone's queue.
+  // Install the new pieces at the back of each phone's queue, stamping each
+  // with its causal identity (piece id, attempt = job failures so far, the
+  // instant that placed it).
   for (const PhonePlan& plan : schedule.plans) {
     auto& state = phones_.at(plan.phone);
     for (const JobPiece& piece : plan.pieces) {
@@ -143,8 +186,23 @@ Schedule CwcController::reschedule() {
       if (const auto cp = checkpoints.find(piece.job); cp != checkpoints.end()) {
         qp.checkpoint = cp->second;
       }
+      qp.identity.piece = next_piece_id_++;
+      qp.identity.instant = instant;
+      if (const auto fc = job_failures_.find(piece.job); fc != job_failures_.end()) {
+        qp.identity.attempt = fc->second;
+      }
+      trace_piece(obs::TraceEventType::kPieceScheduled, piece.job, qp.identity, plan.phone,
+                  piece.input_kb,
+                  qp.identity.attempt > 0 ? obs::TraceEvent::kRescheduledWork
+                                          : obs::TraceEvent::kNone);
       state.queue.push_back(std::move(qp));
     }
+  }
+  {
+    PieceIdentity id;
+    id.instant = instant;
+    trace_piece(obs::TraceEventType::kInstantEnd, kInvalidJob, id, kInvalidPhone,
+                schedule.predicted_makespan);
   }
   return schedule;
 }
@@ -157,6 +215,7 @@ std::optional<CwcController::Work> CwcController::current_work(PhoneId phone) co
   work.piece = qp.piece;
   work.checkpoint = qp.checkpoint;
   work.executable_cached = state.executables.count(qp.piece.job) > 0;
+  work.identity = qp.identity;
   return work;
 }
 
@@ -168,6 +227,10 @@ void CwcController::on_piece_complete(PhoneId phone, Millis local_exec_ms) {
   const QueuedPiece qp = state.queue.front();
   state.queue.pop_front();
   state.executables.insert(qp.piece.job);
+  trace_piece(obs::TraceEventType::kPieceCompleted, qp.piece.job, qp.identity, phone,
+              local_exec_ms,
+              qp.identity.attempt > 0 ? obs::TraceEvent::kRescheduledWork
+                                      : obs::TraceEvent::kNone);
   const JobSpec& spec = jobs_.at(qp.piece.job);
   // Fig. 6's quantity: how far the c_ij estimate the scheduler used was
   // from the runtime the phone just reported — before the report refines it.
@@ -181,11 +244,14 @@ void CwcController::on_piece_complete(PhoneId phone, Millis local_exec_ms) {
   prediction_.observe(spec.task_name, phone, qp.piece.input_kb, local_exec_ms);
 }
 
-void CwcController::fail_piece(const QueuedPiece& qp, Kilobytes remaining,
+void CwcController::fail_piece(PhoneId phone, const QueuedPiece& qp, Kilobytes remaining,
                                std::vector<std::uint8_t> checkpoint) {
   if (remaining <= kEpsKb && jobs_.at(qp.piece.job).input_kb > kEpsKb) return;
   // Fig. 12c's shaded work: every KB that re-enters F_A is rework.
   obs::counter("controller.rescheduled_kb").inc(remaining);
+  ++job_failures_[qp.piece.job];
+  trace_piece(obs::TraceEventType::kPieceRescheduled, qp.piece.job, qp.identity, phone,
+              remaining);
   const JobSpec& spec = jobs_.at(qp.piece.job);
   if (spec.kind == JobKind::kBreakable && checkpoint.empty()) {
     // Breakable remainders restart fresh (the partial result stays at the
@@ -215,11 +281,13 @@ void CwcController::on_piece_failed(PhoneId phone, Kilobytes processed_kb,
   prediction_.observe(spec.task_name, phone, processed_kb, local_exec_ms);
   log_info("cwc-server") << "phone " << phone << " failed online on job "
                          << current.piece.job << " after " << processed_kb << " KB";
+  trace_piece(obs::TraceEventType::kPieceFailedOnline, current.piece.job, current.identity,
+              phone, processed_kb);
 
-  fail_piece(current, current.piece.input_kb - processed_kb, std::move(checkpoint));
+  fail_piece(phone, current, current.piece.input_kb - processed_kb, std::move(checkpoint));
   // The rest of the queue is requeued untouched.
   while (!state.queue.empty()) {
-    fail_piece(state.queue.front(), state.queue.front().piece.input_kb,
+    fail_piece(phone, state.queue.front(), state.queue.front().piece.input_kb,
                state.queue.front().checkpoint);
     state.queue.pop_front();
   }
@@ -233,8 +301,10 @@ void CwcController::on_phone_lost(PhoneId phone) {
   log_info("cwc-server") << "phone " << phone << " lost (offline failure); requeueing "
                          << state.queue.size() << " pieces";
   while (!state.queue.empty()) {
-    fail_piece(state.queue.front(), state.queue.front().piece.input_kb,
-               state.queue.front().checkpoint);
+    const QueuedPiece& front = state.queue.front();
+    trace_piece(obs::TraceEventType::kPieceFailedOffline, front.piece.job, front.identity,
+                phone, front.piece.input_kb);
+    fail_piece(phone, front, front.piece.input_kb, front.checkpoint);
     state.queue.pop_front();
   }
   state.plugged = false;

@@ -43,6 +43,15 @@ struct FailedPiece {
   std::vector<std::uint8_t> checkpoint;
 };
 
+/// Causal identity of a queued piece, threaded through trace events and the
+/// wire protocol so a piece's history (original placement, every failure,
+/// every re-placement) can be stitched back together from the event trace.
+struct PieceIdentity {
+  std::int32_t piece = -1;   ///< controller-wide piece sequence number
+  std::int32_t attempt = 0;  ///< job failure count when the piece was cut
+  std::int64_t instant = -1; ///< scheduling instant that placed the piece
+};
+
 class CwcController {
  public:
   explicit CwcController(std::unique_ptr<Scheduler> scheduler,
@@ -88,6 +97,7 @@ class CwcController {
     JobPiece piece;
     std::vector<std::uint8_t> checkpoint;  ///< empty = start fresh
     bool executable_cached = false;  ///< job's executable already on phone
+    PieceIdentity identity;          ///< trace IDs for this piece
   };
   std::optional<Work> current_work(PhoneId phone) const;
 
@@ -120,6 +130,7 @@ class CwcController {
   struct QueuedPiece {
     JobPiece piece;
     std::vector<std::uint8_t> checkpoint;
+    PieceIdentity identity;
   };
   struct PhoneState {
     PhoneSpec spec;
@@ -130,7 +141,7 @@ class CwcController {
 
   /// Predicted outstanding work per plugged phone (for rescheduling bias).
   InitialLoad outstanding_load() const;
-  void fail_piece(const QueuedPiece& qp, Kilobytes remaining,
+  void fail_piece(PhoneId phone, const QueuedPiece& qp, Kilobytes remaining,
                   std::vector<std::uint8_t> checkpoint);
 
   std::unique_ptr<Scheduler> scheduler_;
@@ -141,6 +152,9 @@ class CwcController {
   std::vector<FailedPiece> failed_;
   std::optional<Millis> capacity_hint_;
   JobId next_job_id_ = 0;
+  std::int32_t next_piece_id_ = 0;          ///< trace: piece sequence
+  std::int64_t instant_seq_ = 0;            ///< trace: scheduling instants
+  std::map<JobId, std::int32_t> job_failures_;  ///< trace: attempt numbers
 };
 
 }  // namespace cwc::core

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cwc::core {
 
@@ -49,6 +50,14 @@ Schedule FailureAwareScheduler::build(const std::vector<JobSpec>& jobs,
         std::min(options_.max_inflation, 1.0 / std::max(1e-6, 1.0 - expected_loss));
     phone.b *= inflation;
     phone.cpu_mhz /= inflation;
+    if (inflation > 1.0 && obs::trace_enabled()) {
+      obs::TraceEvent event;
+      event.type = obs::TraceEventType::kRiskInflated;
+      event.t = obs::trace_now();
+      event.phone = phone.id;
+      event.value = inflation;
+      obs::trace_record(event);
+    }
   }
 
   Schedule schedule = base_->build(jobs, adjusted, prediction, initial_load);

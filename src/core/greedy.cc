@@ -12,6 +12,7 @@
 
 #include "obs/metrics.h"
 #include "obs/timer.h"
+#include "obs/trace.h"
 
 namespace cwc::core {
 
@@ -176,6 +177,23 @@ std::pair<Millis, Millis> GreedyScheduler::capacity_bounds(
 std::optional<Schedule> GreedyScheduler::pack_with_capacity(const PackProblem& problem,
                                                             Millis capacity) const {
   obs::counter("scheduler.pack_attempts").inc();
+  // Every packing attempt funnels through here — warm starts, defensive UB
+  // growth, sequential bisection, and the parallel probe rounds (which run
+  // on worker threads; the recorder is thread-safe). One trace event per
+  // attempt shows how the capacity search converged.
+  struct ProbeTrace {
+    Millis capacity;
+    bool feasible = false;
+    ~ProbeTrace() {
+      if (!obs::trace_enabled()) return;
+      obs::TraceEvent event;
+      event.type = obs::TraceEventType::kCapacityProbe;
+      event.t = obs::trace_now();
+      event.value = capacity;
+      if (feasible) event.flags = obs::TraceEvent::kProbeFeasible;
+      obs::trace_record(event);
+    }
+  } probe{capacity};
   const std::vector<JobSpec>& jobs = *problem.jobs;
   const std::vector<PhoneSpec>& phones = *problem.phones;
   const Kilobytes min_partition = options_.min_partition_kb;
@@ -335,6 +353,7 @@ std::optional<Schedule> GreedyScheduler::pack_with_capacity(const PackProblem& p
     }
   }
 
+  probe.feasible = true;
   Schedule schedule;
   schedule.plans.reserve(phones.size());
   for (Bin& bin : bins) {

@@ -6,6 +6,7 @@
 
 #include "common/log.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cwc::net {
 
@@ -206,9 +207,33 @@ void PhoneAgent::handle_probe(TcpConnection& conn, FrameDecoder& decoder,
 
 void PhoneAgent::handle_assignment(TcpConnection& conn, FrameDecoder& decoder,
                                    const AssignPieceMsg& assignment) {
+  // Phone-side trace events carry the causal IDs the server put on the wire
+  // (trace_piece/attempt/instant), so in-process loopback deployments —
+  // where agent threads share the process-global recorder — produce one
+  // stitched trace across both sides of the protocol.
+  const auto emit = [this, &assignment](obs::TraceEventType type, Millis start, Millis end,
+                                        double value) {
+    if (!obs::trace_enabled()) return;
+    obs::TraceEvent event;
+    event.type = type;
+    event.t = start;
+    event.dur = end - start;
+    event.value = value;
+    event.job = assignment.job;
+    event.piece = assignment.trace_piece;
+    event.attempt = assignment.trace_attempt;
+    event.instant = assignment.trace_instant;
+    event.phone = config_.id;
+    if (assignment.trace_attempt > 0) event.flags = obs::TraceEvent::kRescheduledWork;
+    obs::trace_record(event);
+  };
+
   // The framed payload already traversed loopback; emulate the time the
   // executable + input would have needed on the phone's real link.
+  const Millis ship_start = obs::trace_now();
   pace_link(assignment.executable.size() + assignment.input.size(), conn, decoder);
+  emit(obs::TraceEventType::kPieceShipped, ship_start, obs::trace_now(),
+       static_cast<double>(assignment.input.size()) / 1024.0);
 
   const tasks::TaskFactory* factory = registry_->find(assignment.task_name);
   if (!factory) {
@@ -232,8 +257,10 @@ void PhoneAgent::handle_assignment(TcpConnection& conn, FrameDecoder& decoder,
   }
 
   const auto exec_start = Clock::now();
+  const Millis exec_trace_start = obs::trace_now();
   const tasks::ByteView input(assignment.input);
   std::size_t budget = config_.step_bytes;
+  std::size_t stepped_bytes = 0;
   while (!task->done(input)) {
     if (unplugged_.load()) {
       // Owner unplugged mid-execution: suspend, checkpoint, migrate.
@@ -251,6 +278,8 @@ void PhoneAgent::handle_assignment(TcpConnection& conn, FrameDecoder& decoder,
       w.write_bytes(checkpoint.state);
       failure.checkpoint = w.take();
       failure.local_exec_ms = elapsed_ms(exec_start);
+      emit(obs::TraceEventType::kPieceStarted, exec_trace_start, obs::trace_now(),
+           failure.local_exec_ms);
       send_frame(conn, encode(failure));
       return;
     }
@@ -259,6 +288,12 @@ void PhoneAgent::handle_assignment(TcpConnection& conn, FrameDecoder& decoder,
     if (consumed == 0 && !task->done(input)) {
       budget *= 2;
       continue;
+    }
+    stepped_bytes += consumed;
+    if (obs::trace_enabled()) {
+      const Millis now = obs::trace_now();
+      emit(obs::TraceEventType::kPieceProgress, now, now,
+           static_cast<double>(stepped_bytes) / 1024.0);
     }
     // CPU emulation: stretch this step to the phone's pace, answering
     // keep-alives during the stretch (the Android service is concurrent).
@@ -282,6 +317,8 @@ void PhoneAgent::handle_assignment(TcpConnection& conn, FrameDecoder& decoder,
   completion.piece_seq = assignment.piece_seq;
   completion.partial_result = task->partial_result();
   completion.local_exec_ms = elapsed_ms(exec_start);
+  emit(obs::TraceEventType::kPieceStarted, exec_trace_start, obs::trace_now(),
+       completion.local_exec_ms);
   send_frame(conn, encode(completion));
   ++pieces_completed_;
   obs::counter("net.agent.pieces_completed").inc();

@@ -98,6 +98,9 @@ Blob encode(const AssignPieceMsg& msg) {
   w.write_bytes(msg.executable);
   w.write_bytes(msg.input);
   w.write_bytes(msg.checkpoint);
+  w.write_i32(msg.trace_piece);
+  w.write_i32(msg.trace_attempt);
+  w.write_i64(msg.trace_instant);
   return w.take();
 }
 
@@ -111,6 +114,9 @@ AssignPieceMsg decode_assign_piece(const Blob& frame) {
   msg.executable = r.read_bytes();
   msg.input = r.read_bytes();
   msg.checkpoint = r.read_bytes();
+  msg.trace_piece = r.read_i32();
+  msg.trace_attempt = r.read_i32();
+  msg.trace_instant = r.read_i64();
   return msg;
 }
 

@@ -82,6 +82,11 @@ struct AssignPieceMsg {
   Blob executable;
   Blob input;                        ///< the input slice
   Blob checkpoint;                   ///< non-empty when resuming migrated work
+  /// Trace context (obs/trace.h causal IDs), propagated so spans emitted on
+  /// the phone side stitch into the same trace as the server's events.
+  std::int32_t trace_piece = -1;     ///< controller piece id
+  std::int32_t trace_attempt = -1;   ///< job failure count at placement
+  std::int64_t trace_instant = -1;   ///< scheduling instant that placed it
 };
 Blob encode(const AssignPieceMsg& msg);
 AssignPieceMsg decode_assign_piece(const Blob& frame);

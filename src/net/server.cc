@@ -8,6 +8,7 @@
 
 #include "common/log.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cwc::net {
 
@@ -273,8 +274,26 @@ void CwcServer::assign_next_piece(Connection& c) {
     }
   }
   c.piece_job = msg.job;
+  c.piece_identity = work->identity;
+  msg.trace_piece = work->identity.piece;
+  msg.trace_attempt = work->identity.attempt;
+  msg.trace_instant = work->identity.instant;
   c.busy = true;
   send_frame(c.conn, encode(msg));
+  // Mark the moment the piece left the server (the phone agent records the
+  // actual transfer/execution spans under the same causal IDs).
+  if (obs::trace_enabled()) {
+    obs::TraceEvent event;
+    event.type = obs::TraceEventType::kPieceShipped;
+    event.t = obs::trace_now();
+    event.value = static_cast<double>(msg.input.size()) / 1024.0;
+    event.job = msg.job;
+    event.piece = work->identity.piece;
+    event.attempt = work->identity.attempt;
+    event.instant = work->identity.instant;
+    event.phone = c.phone;
+    obs::trace_record(event);
+  }
 }
 
 void CwcServer::on_complete(Connection& c, const PieceCompleteMsg& msg) {
@@ -389,6 +408,14 @@ void CwcServer::send_keepalives(double) {
     if (!c.conn.valid() || !c.registered) continue;
     if (c.keepalive_outstanding >= config_.keepalive_misses) {
       obs::counter("net.server.keepalive.drops").inc();
+      if (obs::trace_enabled()) {
+        obs::TraceEvent event;
+        event.type = obs::TraceEventType::kKeepAliveMissed;
+        event.t = obs::trace_now();
+        event.phone = c.phone;
+        event.value = static_cast<double>(c.keepalive_outstanding);
+        obs::trace_record(event);
+      }
       drop_connection(c, /*lost=*/true);
       continue;
     }
@@ -396,6 +423,14 @@ void CwcServer::send_keepalives(double) {
       send_frame(c.conn, encode_keepalive(++c.keepalive_seq));
       ++c.keepalive_outstanding;
       obs::counter("net.server.keepalives_sent").inc();
+      if (obs::trace_enabled()) {
+        obs::TraceEvent event;
+        event.type = obs::TraceEventType::kKeepAliveSent;
+        event.t = obs::trace_now();
+        event.phone = c.phone;
+        event.value = static_cast<double>(c.keepalive_seq);
+        obs::trace_record(event);
+      }
     } catch (const SocketError&) {
       drop_connection(c, /*lost=*/true);
     }
@@ -452,7 +487,21 @@ bool CwcServer::run(int expected_phones, Millis timeout) {
   double last_instant = -1e18;
   bool first_schedule_done = false;
 
+  // Trace timestamps follow this run's loop clock (ms since run() began).
+  // The lambda captures `start` by value, so it stays valid for as long as
+  // it is installed; the guard restores the default clock on any exit path.
+  if (obs::trace_enabled()) {
+    obs::TraceRecorder::global().set_clock([start] { return ms_since(start); });
+  }
+  struct ClockGuard {
+    ~ClockGuard() { obs::TraceRecorder::global().set_clock(nullptr); }
+  } clock_guard;
+
   while (ms_since(start) < timeout) {
+    if (config_.stop && config_.stop->load(std::memory_order_relaxed)) {
+      log_info("cwc-server") << "stop requested; leaving run loop";
+      break;
+    }
     // Poll listener + live connections.
     std::vector<pollfd> fds;
     fds.push_back({listener_.fd(), POLLIN, 0});

@@ -16,6 +16,7 @@
 // after a failure).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -52,6 +53,10 @@ struct ServerConfig {
   bool bind_all_interfaces = false;
   /// Batch journal for crash recovery (empty = journaling disabled).
   std::string journal_path;
+  /// Optional external stop request (e.g. set from a SIGINT/SIGTERM
+  /// handler): run() returns at the next loop iteration when the pointed-to
+  /// flag becomes true, so callers can flush metrics and traces cleanly.
+  const std::atomic<bool>* stop = nullptr;
 };
 
 class CwcServer {
@@ -115,6 +120,7 @@ class CwcServer {
     /// pieces have a single range whose begin is the resume offset.
     std::vector<std::pair<std::size_t, std::size_t>> piece_fragments;
     JobId piece_job = kInvalidJob;
+    core::PieceIdentity piece_identity;  ///< trace IDs of the in-flight piece
     int keepalive_outstanding = 0;
     std::uint64_t keepalive_seq = 0;
     double last_probe_ms = 0.0;  ///< run-clock time of the last probe

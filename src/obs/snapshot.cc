@@ -13,21 +13,6 @@ namespace cwc::obs {
 
 namespace {
 
-/// Shortest representation that round-trips a double exactly.
-std::string format_double(double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  double parsed = 0.0;
-  std::sscanf(buf, "%lf", &parsed);
-  for (int precision = 1; precision < 17; ++precision) {
-    char shorter[40];
-    std::snprintf(shorter, sizeof(shorter), "%.*g", precision, v);
-    std::sscanf(shorter, "%lf", &parsed);
-    if (parsed == v) return shorter;
-  }
-  return buf;
-}
-
 /// Metric names are flag-safe identifiers (dots, dashes, alnum); escape the
 /// JSON specials anyway so arbitrary names cannot corrupt the document.
 std::string json_escape(const std::string& s) {
@@ -55,7 +40,7 @@ void append_scalar_section(std::string& out, const char* section,
   for (const auto& [name, value] : values) {
     out += first ? "\n" : ",\n";
     first = false;
-    out += "    \"" + json_escape(name) + "\": " + format_double(value);
+    out += "    \"" + json_escape(name) + "\": " + shortest_double(value);
   }
   out += first ? "}" : "\n  }";
   if (trailing_comma) out += ",";
@@ -233,10 +218,10 @@ std::string to_json(const Snapshot& snapshot) {
   for (const auto& [name, h] : snapshot.histograms) {
     out += first ? "\n" : ",\n";
     first = false;
-    out += "    \"" + json_escape(name) + "\": {\"lo\": " + format_double(h.lo) +
-           ", \"hi\": " + format_double(h.hi) + ", \"count\": " + std::to_string(h.count) +
-           ", \"mean\": " + format_double(h.mean) + ", \"min\": " + format_double(h.min) +
-           ", \"max\": " + format_double(h.max) + ", \"buckets\": [";
+    out += "    \"" + json_escape(name) + "\": {\"lo\": " + shortest_double(h.lo) +
+           ", \"hi\": " + shortest_double(h.hi) + ", \"count\": " + std::to_string(h.count) +
+           ", \"mean\": " + shortest_double(h.mean) + ", \"min\": " + shortest_double(h.min) +
+           ", \"max\": " + shortest_double(h.max) + ", \"buckets\": [";
     for (std::size_t b = 0; b < h.buckets.size(); ++b) {
       if (b > 0) out += ", ";
       out += std::to_string(h.buckets[b]);
@@ -293,18 +278,18 @@ std::string to_csv(const Snapshot& snapshot) {
     out += ',' + name + ',' + field + ',' + value + '\n';
   };
   for (const auto& [name, value] : snapshot.counters) {
-    row("counter", name, "value", format_double(value));
+    row("counter", name, "value", shortest_double(value));
   }
   for (const auto& [name, value] : snapshot.gauges) {
-    row("gauge", name, "value", format_double(value));
+    row("gauge", name, "value", shortest_double(value));
   }
   for (const auto& [name, h] : snapshot.histograms) {
-    row("histogram", name, "lo", format_double(h.lo));
-    row("histogram", name, "hi", format_double(h.hi));
+    row("histogram", name, "lo", shortest_double(h.lo));
+    row("histogram", name, "hi", shortest_double(h.hi));
     row("histogram", name, "count", std::to_string(h.count));
-    row("histogram", name, "mean", format_double(h.mean));
-    row("histogram", name, "min", format_double(h.min));
-    row("histogram", name, "max", format_double(h.max));
+    row("histogram", name, "mean", shortest_double(h.mean));
+    row("histogram", name, "min", shortest_double(h.min));
+    row("histogram", name, "max", shortest_double(h.max));
     for (std::size_t b = 0; b < h.buckets.size(); ++b) {
       row("histogram", name, "bucket_" + std::to_string(b), std::to_string(h.buckets[b]));
     }

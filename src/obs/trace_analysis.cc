@@ -1,0 +1,207 @@
+#include "obs/trace_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <tuple>
+
+#include "common/strings.h"
+
+namespace cwc::obs {
+
+namespace {
+
+bool is_failure(TraceEventType type) {
+  return type == TraceEventType::kPieceFailedOnline ||
+         type == TraceEventType::kPieceFailedOffline;
+}
+
+bool is_terminal(TraceEventType type) {
+  return type == TraceEventType::kPieceCompleted || is_failure(type);
+}
+
+/// The attempt's work was lost. kPieceRescheduled alone covers pieces that
+/// were queued on a phone that went away before they ever started — those
+/// have no online/offline failure report, just the controller pulling the
+/// piece back into the pending pool.
+bool is_lost(TraceEventType type) {
+  return is_failure(type) || type == TraceEventType::kPieceRescheduled;
+}
+
+/// Key identifying one attempt of one piece.
+using AttemptKey = std::tuple<JobId, std::int32_t, std::int32_t>;
+
+AttemptKey attempt_key(const TraceEvent& event) {
+  return {event.job, event.piece, event.attempt};
+}
+
+}  // namespace
+
+TraceAnalysis analyze(const std::vector<TraceEvent>& events, double straggler_factor) {
+  TraceAnalysis analysis;
+
+  // Pass 1: index terminal events per attempt and find the overall span.
+  std::map<AttemptKey, const TraceEvent*> terminal;
+  for (const TraceEvent& event : events) {
+    analysis.makespan = std::max(analysis.makespan, event.t + event.dur);
+    if ((is_terminal(event.type) || event.type == TraceEventType::kPieceRescheduled) &&
+        event.piece >= 0) {
+      // A reschedule is only the terminal when no completion/failure report
+      // exists for the attempt (never-started piece on a lost phone).
+      const TraceEvent*& slot = terminal[attempt_key(event)];
+      if (!slot || is_terminal(event.type)) slot = &event;
+    }
+  }
+
+  // Pass 2: per-phone breakdowns. A ship/exec span is productive when its
+  // attempt eventually completed, overhead when it ended in a failure.
+  std::map<PhoneId, PhoneBreakdown> phones;
+  for (const TraceEvent& event : events) {
+    if (event.phone == kInvalidPhone) continue;
+    PhoneBreakdown& b = phones[event.phone];
+    b.phone = event.phone;
+    b.finish = std::max(b.finish, event.t + event.dur);
+    const bool span = event.type == TraceEventType::kPieceShipped ||
+                      event.type == TraceEventType::kPieceStarted;
+    if (span) {
+      const auto it = terminal.find(attempt_key(event));
+      const bool lost = it != terminal.end() && is_lost(it->second->type);
+      if (lost) {
+        b.overhead_ms += event.dur;
+      } else if (event.type == TraceEventType::kPieceShipped) {
+        b.ship_ms += event.dur;
+      } else {
+        b.compute_ms += event.dur;
+      }
+    } else if (event.type == TraceEventType::kPieceCompleted) {
+      ++b.completed;
+    } else if (is_failure(event.type)) {
+      ++b.failed;
+    }
+  }
+  for (auto& [phone, b] : phones) {
+    b.idle_ms = std::max(0.0, analysis.makespan - b.ship_ms - b.compute_ms - b.overhead_ms);
+    analysis.phones.push_back(b);
+  }
+
+  // Pass 3: migration chains — jobs with at least one lost piece, told as
+  // the chronological list of terminal events across their attempts.
+  std::map<JobId, MigrationChain> chains;
+  for (const auto& [key, event] : terminal) {
+    MigrationChain& chain = chains[event->job];
+    chain.job = event->job;
+    chain.hops.push_back({event->phone, event->piece, event->attempt, event->type, event->t,
+                          event->value});
+    if (is_lost(event->type)) ++chain.failures;
+  }
+  for (auto& [job, chain] : chains) {
+    if (chain.failures == 0) continue;
+    std::sort(chain.hops.begin(), chain.hops.end(),
+              [](const MigrationHop& a, const MigrationHop& b) { return a.t < b.t; });
+    analysis.chains.push_back(std::move(chain));
+  }
+
+  // Pass 4: critical path. Start at the last-finishing completion; walk its
+  // attempt back through exec/ship/scheduled, then — while the attempt is a
+  // retry — through the latest prior failure of the same job, and repeat.
+  const TraceEvent* last_done = nullptr;
+  for (const TraceEvent& event : events) {
+    if (event.type != TraceEventType::kPieceCompleted) continue;
+    if (!last_done || event.t + event.dur > last_done->t + last_done->dur) last_done = &event;
+  }
+  if (last_done) {
+    std::vector<TraceEvent> path;
+    const TraceEvent* cursor = last_done;
+    // Bounded by the number of attempts, which is bounded by event count.
+    for (std::size_t guard = 0; cursor && guard <= events.size(); ++guard) {
+      path.push_back(*cursor);
+      const AttemptKey key = attempt_key(*cursor);
+      // The attempt's own lifecycle, latest-first before the cursor.
+      for (const TraceEventType step :
+           {TraceEventType::kPieceStarted, TraceEventType::kPieceShipped,
+            TraceEventType::kPieceScheduled}) {
+        const TraceEvent* found = nullptr;
+        for (const TraceEvent& event : events) {
+          if (event.type == step && attempt_key(event) == key && event.t <= path.back().t) {
+            if (!found || event.t > found->t) found = &event;
+          }
+        }
+        if (found) path.push_back(*found);
+      }
+      // A retry was caused by some earlier failure of the same job: chain
+      // through the latest failure at or before this attempt was placed.
+      cursor = nullptr;
+      if (std::get<2>(key) > 0) {
+        const Millis placed = path.back().t;
+        for (const TraceEvent& event : events) {
+          if (is_lost(event.type) && event.job == std::get<0>(key) && event.t <= placed) {
+            if (!cursor || event.t > cursor->t) cursor = &event;
+          }
+        }
+      }
+    }
+    std::reverse(path.begin(), path.end());
+    analysis.critical_path = std::move(path);
+  }
+
+  // Pass 5: stragglers — finish time well past the median phone's.
+  if (!analysis.phones.empty()) {
+    std::vector<Millis> finishes;
+    for (const PhoneBreakdown& b : analysis.phones) finishes.push_back(b.finish);
+    std::sort(finishes.begin(), finishes.end());
+    const Millis median = finishes[finishes.size() / 2];
+    for (const PhoneBreakdown& b : analysis.phones) {
+      if (median > 0 && b.finish > straggler_factor * median) {
+        analysis.stragglers.push_back(b.phone);
+      }
+    }
+  }
+  return analysis;
+}
+
+std::string text_timeline(const std::vector<TraceEvent>& events, int width) {
+  width = std::max(8, width);
+  Millis makespan = 0;
+  std::map<PhoneId, std::string> rows;
+  for (const TraceEvent& event : events) {
+    makespan = std::max(makespan, event.t + event.dur);
+    if (event.phone != kInvalidPhone) rows.emplace(event.phone, std::string());
+  }
+  if (rows.empty() || makespan <= 0) return "(no per-phone events)\n";
+
+  for (auto& [phone, row] : rows) row.assign(static_cast<std::size_t>(width), '.');
+  const auto col = [&](Millis t) {
+    const int c = static_cast<int>(t / makespan * width);
+    return std::clamp(c, 0, width - 1);
+  };
+  // Paint transfers first so execution (the interesting part) wins ties on
+  // shared cells.
+  for (const int pass : {0, 1}) {
+    for (const TraceEvent& event : events) {
+      if (event.phone == kInvalidPhone || event.dur <= 0) continue;
+      char glyph = 0;
+      if (pass == 0 && event.type == TraceEventType::kPieceShipped) {
+        glyph = '=';
+      } else if (pass == 1 && event.type == TraceEventType::kPieceStarted) {
+        glyph = (event.flags & TraceEvent::kRescheduledWork) ? 'r' : '#';
+      }
+      if (!glyph) continue;
+      std::string& row = rows[event.phone];
+      for (int c = col(event.t); c <= col(event.t + event.dur); ++c) {
+        row[static_cast<std::size_t>(c)] = glyph;
+      }
+    }
+  }
+
+  std::string out = format("timeline 0 .. %.0f ms  ('=' ship, '#' exec, 'r' rescheduled exec, "
+                           "'.' idle)\n",
+                           makespan);
+  for (const auto& [phone, row] : rows) {
+    out += format("phone %3d |", static_cast<int>(phone));
+    out += row;
+    out += "|\n";
+  }
+  return out;
+}
+
+}  // namespace cwc::obs

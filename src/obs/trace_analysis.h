@@ -1,0 +1,68 @@
+// Analyses over a runtime event trace (obs/trace.h): per-phone makespan
+// breakdowns, migration chains of failed pieces, the critical path to the
+// last-finishing piece, straggler detection, and a textual Fig. 12
+// timeline. `tools/cwc_trace` is the CLI front-end; tests assert on the
+// structures directly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace cwc::obs {
+
+/// Where one phone's wall-clock went, in the spirit of the paper's Fig. 12
+/// discussion: shipping input, computing, overhead (work later lost to a
+/// failure), and idle.
+struct PhoneBreakdown {
+  PhoneId phone = kInvalidPhone;
+  Millis ship_ms = 0;      ///< transfer spans of pieces that completed
+  Millis compute_ms = 0;   ///< execution spans of pieces that completed
+  Millis overhead_ms = 0;  ///< ship+exec spans of pieces that later failed
+  Millis idle_ms = 0;      ///< makespan minus the above (clamped at 0)
+  Millis finish = 0;       ///< end of this phone's last span
+  int completed = 0;       ///< pieces finished on this phone
+  int failed = 0;          ///< pieces lost on this phone (online + offline)
+};
+
+/// One stop in a piece's life: which phone held attempt N and how it ended.
+struct MigrationHop {
+  PhoneId phone = kInvalidPhone;
+  std::int32_t piece = -1;
+  std::int32_t attempt = -1;
+  TraceEventType outcome = TraceEventType::kPieceCompleted;
+  Millis t = 0;        ///< time of the terminal event
+  double value = 0;    ///< terminal event payload (KB / exec ms)
+};
+
+/// The hop-by-hop history of a job that lost at least one piece.
+struct MigrationChain {
+  JobId job = kInvalidJob;
+  std::vector<MigrationHop> hops;  ///< chronological
+  int failures = 0;                ///< failed hops in the chain
+};
+
+/// Full analysis of one trace.
+struct TraceAnalysis {
+  Millis makespan = 0;                   ///< end of the last span in the trace
+  std::vector<PhoneBreakdown> phones;    ///< sorted by phone id
+  std::vector<MigrationChain> chains;    ///< jobs with >= 1 failure
+  /// Chronological causal chain ending at the last-finishing piece: its
+  /// completion, back through its execution/transfer/scheduling, and — when
+  /// the final attempt > 0 — through the failure that forced each earlier
+  /// attempt, back to the original placement.
+  std::vector<TraceEvent> critical_path;
+  std::vector<PhoneId> stragglers;       ///< finish > factor x median finish
+};
+
+/// Runs every analysis. `straggler_factor` is the finish-time multiple of
+/// the median beyond which a phone is flagged.
+TraceAnalysis analyze(const std::vector<TraceEvent>& events, double straggler_factor = 1.2);
+
+/// Renders the trace as a fixed-width textual timeline, one row per phone
+/// (the Fig. 12 view): '=' transfer, '#' execution, 'r' execution of
+/// rescheduled work, '.' idle.
+std::string text_timeline(const std::vector<TraceEvent>& events, int width = 64);
+
+}  // namespace cwc::obs

@@ -1,0 +1,372 @@
+#include "obs/trace_export.h"
+
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/strings.h"
+#include "obs/metrics.h"
+
+namespace cwc::obs {
+
+namespace {
+
+// Track assignment: pid 1 is the whole CWC run; tid 1 is the server /
+// controller track, phone P maps to tid P + 2 (so phone 0 is not confused
+// with Chrome's reserved tid 0).
+constexpr int kPid = 1;
+constexpr int kServerTid = 1;
+
+int tid_for(const TraceEvent& event) {
+  return event.phone == kInvalidPhone ? kServerTid : static_cast<int>(event.phone) + 2;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += ch;
+    }
+  }
+  return out;
+}
+
+void append_event(std::string& out, const TraceEvent& event) {
+  const bool span = event.dur > 0.0;
+  out += "    {\"name\": \"";
+  out += trace_event_name(event.type);
+  out += "\", \"cat\": \"cwc\", \"ph\": \"";
+  out += span ? 'X' : 'i';
+  out += "\", \"pid\": " + std::to_string(kPid) +
+         ", \"tid\": " + std::to_string(tid_for(event)) +
+         // Chrome timestamps are microseconds; the exact millisecond values
+         // ride in args so parse_chrome_trace() round-trips bit-exactly.
+         ", \"ts\": " + shortest_double(event.t * 1000.0);
+  if (span) {
+    out += ", \"dur\": " + shortest_double(event.dur * 1000.0);
+  } else {
+    out += ", \"s\": \"t\"";  // thread-scoped instant
+  }
+  out += ", \"args\": {\"t_ms\": " + shortest_double(event.t);
+  if (event.dur != 0.0) out += ", \"dur_ms\": " + shortest_double(event.dur);
+  if (event.value != 0.0) out += ", \"value\": " + shortest_double(event.value);
+  if (event.job != kInvalidJob) out += ", \"job\": " + std::to_string(event.job);
+  if (event.piece >= 0) out += ", \"piece\": " + std::to_string(event.piece);
+  if (event.attempt >= 0) out += ", \"attempt\": " + std::to_string(event.attempt);
+  if (event.phone != kInvalidPhone) out += ", \"phone\": " + std::to_string(event.phone);
+  if (event.instant >= 0) out += ", \"instant\": " + std::to_string(event.instant);
+  if (event.flags != TraceEvent::kNone) {
+    out += ", \"flags\": " + std::to_string(static_cast<int>(event.flags));
+  }
+  out += ", \"seq\": " + std::to_string(event.seq);
+  out += "}}";
+}
+
+void append_metadata(std::string& out, int tid, const std::string& name, bool& first) {
+  out += first ? "\n" : ",\n";
+  first = false;
+  out += "    {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": " + std::to_string(kPid) +
+         ", \"tid\": " + std::to_string(tid) + ", \"args\": {\"name\": \"" + json_escape(name) +
+         "\"}},\n";
+  out += "    {\"name\": \"thread_sort_index\", \"ph\": \"M\", \"pid\": " + std::to_string(kPid) +
+         ", \"tid\": " + std::to_string(tid) + ", \"args\": {\"sort_index\": " +
+         std::to_string(tid) + "}}";
+}
+
+// --- Minimal JSON reader for the trace schema ------------------------------
+// Same idiom as obs/snapshot.cc: a strict reader for the document this
+// module emits, with enough generality (skip_value) to pass over fields a
+// newer writer might add.
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  void expect(char ch) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != ch) {
+      fail(std::string("expected '") + ch + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume(char ch) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ch) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char ch = text_[pos_++];
+      if (ch == '\\') {
+        if (pos_ >= text_.size()) fail("truncated escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': ch = '\n'; break;
+          case 't': ch = '\t'; break;
+          case 'r': ch = '\r'; break;
+          default: ch = esc;
+        }
+      }
+      out += ch;
+    }
+    if (pos_ >= text_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  double number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '-' ||
+            text_[pos_] == '+' || text_[pos_] == '.' || text_[pos_] == 'e' ||
+            text_[pos_] == 'E' || text_[pos_] == 'i' || text_[pos_] == 'n' ||
+            text_[pos_] == 'f' || text_[pos_] == 'a')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected number");
+    try {
+      return std::stod(text_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      fail("malformed number");
+    }
+    return 0.0;  // unreachable
+  }
+
+  /// Consumes any JSON value (used for fields this reader does not model).
+  void skip_value() {
+    const char ch = peek();
+    if (ch == '"') {
+      string();
+    } else if (ch == '{') {
+      expect('{');
+      if (consume('}')) return;
+      do {
+        string();
+        expect(':');
+        skip_value();
+      } while (consume(','));
+      expect('}');
+    } else if (ch == '[') {
+      expect('[');
+      if (consume(']')) return;
+      do {
+        skip_value();
+      } while (consume(','));
+      expect(']');
+    } else if (ch == 't' || ch == 'f' || ch == 'n') {
+      while (pos_ < text_.size() && std::isalpha(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    } else {
+      number();
+    }
+  }
+
+  void done() {
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content");
+  }
+
+  [[noreturn]] void fail(const std::string& why) {
+    throw std::runtime_error("trace JSON: " + why + " at byte " + std::to_string(pos_));
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+/// One traceEvents[] entry. Returns true when the entry is a CWC event
+/// (ph "X"/"i" with a recognised name); metadata and foreign events are
+/// consumed but reported false.
+bool parse_trace_event(JsonReader& reader, TraceEvent& out) {
+  std::string name, ph;
+  bool saw_t_ms = false;
+  double ts = 0.0, dur_us = 0.0;
+  TraceEvent event;
+  reader.expect('{');
+  if (!reader.consume('}')) {
+    do {
+      const std::string field = reader.string();
+      reader.expect(':');
+      if (field == "name") {
+        name = reader.string();
+      } else if (field == "ph") {
+        ph = reader.string();
+      } else if (field == "ts") {
+        ts = reader.number();
+      } else if (field == "dur") {
+        dur_us = reader.number();
+      } else if (field == "args") {
+        reader.expect('{');
+        if (!reader.consume('}')) {
+          do {
+            const std::string arg = reader.string();
+            reader.expect(':');
+            if (arg == "t_ms") {
+              event.t = reader.number();
+              saw_t_ms = true;
+            } else if (arg == "dur_ms") {
+              event.dur = reader.number();
+            } else if (arg == "value") {
+              event.value = reader.number();
+            } else if (arg == "job") {
+              event.job = static_cast<JobId>(reader.number());
+            } else if (arg == "piece") {
+              event.piece = static_cast<std::int32_t>(reader.number());
+            } else if (arg == "attempt") {
+              event.attempt = static_cast<std::int32_t>(reader.number());
+            } else if (arg == "phone") {
+              event.phone = static_cast<PhoneId>(reader.number());
+            } else if (arg == "instant") {
+              event.instant = static_cast<std::int64_t>(reader.number());
+            } else if (arg == "flags") {
+              event.flags = static_cast<std::uint8_t>(reader.number());
+            } else if (arg == "seq") {
+              event.seq = static_cast<std::uint64_t>(reader.number());
+            } else {
+              reader.skip_value();
+            }
+          } while (reader.consume(','));
+          reader.expect('}');
+        }
+      } else {
+        reader.skip_value();
+      }
+    } while (reader.consume(','));
+    reader.expect('}');
+  }
+  if (ph != "X" && ph != "i" && ph != "I") return false;
+  if (!trace_event_from_name(name, event.type)) return false;
+  if (!saw_t_ms) event.t = ts / 1000.0;
+  if (event.dur == 0.0 && dur_us != 0.0) event.dur = dur_us / 1000.0;
+  out = event;
+  return true;
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const std::vector<TraceEvent>& events, std::uint64_t recorded,
+                            std::uint64_t dropped) {
+  std::string out = "{\n  \"traceEvents\": [";
+  bool first = true;
+
+  // Track metadata first: a named track per phone (plus the server track),
+  // so Perfetto shows "phone 3" instead of a bare tid.
+  std::set<int> phone_tids;
+  bool server_track = false;
+  for (const TraceEvent& event : events) {
+    if (event.phone == kInvalidPhone) {
+      server_track = true;
+    } else {
+      phone_tids.insert(static_cast<int>(event.phone));
+    }
+  }
+  out += "\n    {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " + std::to_string(kPid) +
+         ", \"args\": {\"name\": \"cwc\"}}";
+  first = false;
+  if (server_track) append_metadata(out, kServerTid, "server", first);
+  for (const int phone : phone_tids) {
+    append_metadata(out, phone + 2, "phone " + std::to_string(phone), first);
+  }
+
+  for (const TraceEvent& event : events) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    append_event(out, event);
+  }
+  out += first ? "]" : "\n  ]";
+  out += ",\n  \"displayTimeUnit\": \"ms\",\n  \"otherData\": {\"events_recorded\": " +
+         std::to_string(recorded) + ", \"events_dropped\": " + std::to_string(dropped) +
+         "}\n}\n";
+  return out;
+}
+
+ParsedTrace parse_chrome_trace(const std::string& text) {
+  ParsedTrace parsed;
+  JsonReader reader(text);
+  bool saw_events = false;
+  reader.expect('{');
+  do {
+    const std::string section = reader.string();
+    reader.expect(':');
+    if (section == "traceEvents") {
+      saw_events = true;
+      reader.expect('[');
+      if (!reader.consume(']')) {
+        do {
+          TraceEvent event;
+          if (parse_trace_event(reader, event)) parsed.events.push_back(event);
+        } while (reader.consume(','));
+        reader.expect(']');
+      }
+    } else if (section == "otherData") {
+      reader.expect('{');
+      if (!reader.consume('}')) {
+        do {
+          const std::string field = reader.string();
+          reader.expect(':');
+          if (field == "events_recorded") {
+            parsed.events_recorded = static_cast<std::uint64_t>(reader.number());
+          } else if (field == "events_dropped") {
+            parsed.events_dropped = static_cast<std::uint64_t>(reader.number());
+          } else {
+            reader.skip_value();
+          }
+        } while (reader.consume(','));
+        reader.expect('}');
+      }
+    } else {
+      reader.skip_value();
+    }
+  } while (reader.consume(','));
+  reader.expect('}');
+  reader.done();
+  if (!saw_events) throw std::runtime_error("trace JSON: missing traceEvents");
+  return parsed;
+}
+
+void write_trace_file(const std::string& path, TraceRecorder& recorder, std::uint64_t since) {
+  const std::vector<TraceEvent> events = recorder.snapshot(since);
+  const std::string json =
+      to_chrome_trace(events, recorder.events_recorded(), recorder.events_dropped());
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) throw std::runtime_error("cannot write trace to " + path);
+  file << json;
+  if (!file.flush()) throw std::runtime_error("short write of trace to " + path);
+  counter("trace.export_bytes").inc(static_cast<double>(json.size()));
+}
+
+ParsedTrace read_trace_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("cannot read trace file " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return parse_chrome_trace(buffer.str());
+}
+
+}  // namespace cwc::obs

@@ -1,0 +1,56 @@
+// Chrome trace-event JSON export of a runtime event trace — the format
+// Perfetto (ui.perfetto.dev) and chrome://tracing load directly.
+//
+// Layout: one process ("cwc"), one named track per phone plus a "server"
+// track for scheduler/controller events. Span events (piece transfer,
+// execution, scheduling instants, capacity probes) become complete events
+// (ph "X"); everything else becomes a thread-scoped instant (ph "i").
+// The causal IDs ride in each event's "args" block, so the original
+// TraceEvent stream round-trips through parse_chrome_trace() — that is
+// what `tools/cwc_trace` ingests.
+//
+// Top-level shape:
+//   {
+//     "traceEvents": [ {...}, ... ],
+//     "displayTimeUnit": "ms",
+//     "otherData": {"events_recorded": N, "events_dropped": M}
+//   }
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace cwc::obs {
+
+/// Renders events as Chrome trace-event JSON. `recorded`/`dropped` are the
+/// recorder tallies embedded in "otherData" (cwc_trace warns when events
+/// were dropped by ring overflow).
+std::string to_chrome_trace(const std::vector<TraceEvent>& events,
+                            std::uint64_t recorded = 0, std::uint64_t dropped = 0);
+
+/// A parsed trace file: the event stream plus the recorder tallies.
+struct ParsedTrace {
+  std::vector<TraceEvent> events;
+  std::uint64_t events_recorded = 0;
+  std::uint64_t events_dropped = 0;
+};
+
+/// Inverse of to_chrome_trace. Metadata events (ph "M") and foreign events
+/// without CWC args are skipped. Throws std::runtime_error on malformed
+/// input (this is a reader for the schema above, not a general JSON
+/// library).
+ParsedTrace parse_chrome_trace(const std::string& text);
+
+/// Snapshots `recorder` (events with seq >= since) and writes the Chrome
+/// trace JSON to `path`. Updates `trace.export_bytes`. Throws
+/// std::runtime_error when the file cannot be written.
+void write_trace_file(const std::string& path,
+                      TraceRecorder& recorder = TraceRecorder::global(),
+                      std::uint64_t since = 0);
+
+/// Reads and parses a trace file written by write_trace_file.
+ParsedTrace read_trace_file(const std::string& path);
+
+}  // namespace cwc::obs

@@ -5,9 +5,36 @@
 
 #include "common/log.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/timeline_svg.h"
 #include "tasks/registry.h"
 
 namespace cwc::sim {
+
+namespace {
+
+/// One transfer/execution span on a phone's track. The simulator emits
+/// these instead of appending timeline records directly; SimResult's
+/// timeline is reconstructed from the trace at the end of run().
+void emit_span(obs::TraceEventType type, PhoneId phone, JobId job,
+               const core::PieceIdentity& id, bool rescheduled, Millis start, Millis end,
+               double value) {
+  if (!obs::trace_enabled()) return;
+  obs::TraceEvent event;
+  event.type = type;
+  event.t = start;
+  event.dur = end - start;
+  event.value = value;
+  event.job = job;
+  event.piece = id.piece;
+  event.attempt = id.attempt;
+  event.phone = phone;
+  event.instant = id.instant;
+  if (rescheduled) event.flags = obs::TraceEvent::kRescheduledWork;
+  obs::trace_record(event);
+}
+
+}  // namespace
 
 TestbedSimulation::TestbedSimulation(std::unique_ptr<core::Scheduler> scheduler,
                                      core::PredictionModel prediction,
@@ -75,6 +102,7 @@ void TestbedSimulation::start_next_piece(PhoneId phone_id) {
   phone.transfer_end = now + transfer;
   phone.execute_end = now + transfer + execute;
   phone.piece = work->piece;
+  phone.identity = work->identity;
   phone.piece_rescheduled = ever_failed_jobs_.count(work->piece.job) > 0;
 
   const std::uint64_t epoch = phone.epoch;
@@ -89,13 +117,12 @@ void TestbedSimulation::finish_piece(PhoneId phone_id, std::uint64_t epoch) {
 
   const Millis now = events_.now();
   if (phone.transfer_end > phone.transfer_start) {
-    result_.timeline.push_back({phone_id, phone.transfer_start, phone.transfer_end,
-                                TimelineSegment::Kind::kTransfer, phone.piece.job,
-                                phone.piece_rescheduled});
+    emit_span(obs::TraceEventType::kPieceShipped, phone_id, phone.piece.job, phone.identity,
+              phone.piece_rescheduled, phone.transfer_start, phone.transfer_end,
+              phone.piece.input_kb);
   }
-  result_.timeline.push_back({phone_id, phone.transfer_end, now,
-                              TimelineSegment::Kind::kExecute, phone.piece.job,
-                              phone.piece_rescheduled});
+  emit_span(obs::TraceEventType::kPieceStarted, phone_id, phone.piece.job, phone.identity,
+            phone.piece_rescheduled, phone.transfer_end, now, now - phone.transfer_end);
   result_.makespan = std::max(result_.makespan, now);
   if (!phone.piece_rescheduled) {
     result_.original_makespan = std::max(result_.original_makespan, now);
@@ -152,17 +179,16 @@ void TestbedSimulation::apply_failure(const FailureEvent& event) {
             exec_total > 0.0 ? std::min(1.0, (now - phone.transfer_end) / exec_total) : 1.0;
         processed = phone.piece.input_kb * fraction;
         local_ms = now - phone.transfer_end;
-        result_.timeline.push_back({event.phone, phone.transfer_start, phone.transfer_end,
-                                    TimelineSegment::Kind::kTransfer, phone.piece.job,
-                                    phone.piece_rescheduled});
-        result_.timeline.push_back({event.phone, phone.transfer_end, now,
-                                    TimelineSegment::Kind::kExecute, phone.piece.job,
-                                    phone.piece_rescheduled});
+        emit_span(obs::TraceEventType::kPieceShipped, event.phone, phone.piece.job,
+                  phone.identity, phone.piece_rescheduled, phone.transfer_start,
+                  phone.transfer_end, phone.piece.input_kb);
+        emit_span(obs::TraceEventType::kPieceStarted, event.phone, phone.piece.job,
+                  phone.identity, phone.piece_rescheduled, phone.transfer_end, now, local_ms);
       } else {
         // Failed mid-transfer: nothing processed, partial transfer shown.
-        result_.timeline.push_back({event.phone, phone.transfer_start, now,
-                                    TimelineSegment::Kind::kTransfer, phone.piece.job,
-                                    phone.piece_rescheduled});
+        emit_span(obs::TraceEventType::kPieceShipped, event.phone, phone.piece.job,
+                  phone.identity, phone.piece_rescheduled, phone.transfer_start, now,
+                  phone.piece.input_kb);
       }
       // Fabricate the checkpoint blob for atomic jobs (the wire deployment
       // carries real task state; the simulator only needs its presence so
@@ -181,14 +207,13 @@ void TestbedSimulation::apply_failure(const FailureEvent& event) {
       // Record what the phone was doing when it vanished (nothing, when it
       // was idle between pieces).
       if (phone.busy && now > phone.transfer_start) {
-        result_.timeline.push_back({event.phone, phone.transfer_start,
-                                    std::min(now, phone.transfer_end),
-                                    TimelineSegment::Kind::kTransfer, phone.piece.job,
-                                    phone.piece_rescheduled});
+        emit_span(obs::TraceEventType::kPieceShipped, event.phone, phone.piece.job,
+                  phone.identity, phone.piece_rescheduled, phone.transfer_start,
+                  std::min(now, phone.transfer_end), phone.piece.input_kb);
         if (now > phone.transfer_end) {
-          result_.timeline.push_back({event.phone, phone.transfer_end, now,
-                                      TimelineSegment::Kind::kExecute, phone.piece.job,
-                                      phone.piece_rescheduled});
+          emit_span(obs::TraceEventType::kPieceStarted, event.phone, phone.piece.job,
+                    phone.identity, phone.piece_rescheduled, phone.transfer_end, now,
+                    now - phone.transfer_end);
         }
       }
       if (phone.busy && now > phone.transfer_start) {
@@ -209,6 +234,14 @@ void TestbedSimulation::apply_failure(const FailureEvent& event) {
         // shaded bars of Fig. 12c).
         obs::counter("sim.keepalive.misses").inc(static_cast<double>(options_.keepalive_misses));
         obs::counter("sim.failures.offline_detected").inc();
+        if (obs::trace_enabled()) {
+          obs::TraceEvent missed;
+          missed.type = obs::TraceEventType::kKeepAliveMissed;
+          missed.t = events_.now();
+          missed.phone = id;
+          missed.value = static_cast<double>(options_.keepalive_misses);
+          obs::trace_record(missed);
+        }
         for (JobId job : controller_.queued_jobs(id)) ever_failed_jobs_.insert(job);
         controller_.on_phone_lost(id);
         log_info("sim") << "server detected loss of phone " << id << " at "
@@ -239,6 +272,19 @@ void TestbedSimulation::chain_instant() {
 SimResult TestbedSimulation::run() {
   result_ = SimResult{};
 
+  // The timeline is reconstructed from the event trace, so the recorder is
+  // always on during a simulated run; the watermark scopes the snapshot to
+  // this run's events. The recorder's clock follows simulated time while
+  // the run is in flight (and is restored even if an event handler throws,
+  // so a destroyed simulation can never leave a dangling clock behind).
+  obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+  if (!recorder.enabled()) recorder.enable();
+  result_.trace_begin = recorder.watermark();
+  recorder.set_clock([this] { return events_.now(); });
+  struct ClockGuard {
+    ~ClockGuard() { obs::TraceRecorder::global().set_clock(nullptr); }
+  } clock_guard;
+
   // Failure events are armed once; run() may be called again for a later
   // batch (the controller and clock persist), in which case only events
   // still in the future remain relevant.
@@ -257,6 +303,10 @@ SimResult TestbedSimulation::run() {
     events_.run_one();
   }
   maybe_finish();
+
+  // The run's ad-hoc timeline records are gone: the Fig. 12 segments are a
+  // *view* of the trace stream, computed once at the end of the run.
+  result_.timeline = segments_from_trace(recorder.snapshot(result_.trace_begin));
 
   // End-of-run telemetry: fleet utilization (Fig. 12a's idle tails) and
   // how far the round-0 prediction landed from reality.

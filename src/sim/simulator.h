@@ -69,12 +69,20 @@ struct SimResult {
   Millis makespan = 0.0;       ///< completion time of the last piece
   Millis predicted_makespan = 0.0;  ///< scheduler's round-0 prediction
   std::size_t scheduling_rounds = 0;
+  /// Derived from the run's event trace at the end of run() (see
+  /// sim/timeline_svg.h segments_from_trace): one segment per transfer /
+  /// execution span the phones actually performed, sorted by start time.
   std::vector<TimelineSegment> timeline;
   core::Schedule first_schedule;
 
   /// Completion time of the last piece that was *not* rescheduled work —
   /// Fig. 12c reports recovery cost as (makespan - original makespan).
   Millis original_makespan = 0.0;
+
+  /// Trace watermark taken as the run began: pass to
+  /// obs::TraceRecorder::snapshot() / write_trace_file() to export exactly
+  /// this run's events from the global recorder.
+  std::uint64_t trace_begin = 0;
 };
 
 /// Simulates one CWC batch run end to end.
@@ -111,6 +119,7 @@ class TestbedSimulation {
     Millis transfer_end = 0.0;
     Millis execute_end = 0.0;
     core::JobPiece piece;
+    core::PieceIdentity identity;  ///< trace IDs of the in-flight piece
     bool piece_rescheduled = false;
     /// Total transfer+execute time spent on pieces (including the partial
     /// work of failed pieces) — the numerator of per-phone utilization.

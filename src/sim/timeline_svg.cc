@@ -11,6 +11,27 @@
 
 namespace cwc::sim {
 
+std::vector<TimelineSegment> segments_from_trace(const std::vector<obs::TraceEvent>& events) {
+  std::vector<TimelineSegment> out;
+  for (const obs::TraceEvent& event : events) {
+    TimelineSegment segment;
+    if (event.type == obs::TraceEventType::kPieceShipped) {
+      segment.kind = TimelineSegment::Kind::kTransfer;
+    } else if (event.type == obs::TraceEventType::kPieceStarted) {
+      segment.kind = TimelineSegment::Kind::kExecute;
+    } else {
+      continue;
+    }
+    segment.phone = event.phone;
+    segment.start = event.t;
+    segment.end = event.t + event.dur;
+    segment.job = event.job;
+    segment.rescheduled = (event.flags & obs::TraceEvent::kRescheduledWork) != 0;
+    out.push_back(segment);
+  }
+  return out;
+}
+
 std::string timeline_svg(const SimResult& result, const SvgOptions& options) {
   std::set<PhoneId> phones;
   for (const TimelineSegment& segment : result.timeline) phones.insert(segment.phone);

@@ -4,10 +4,20 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
+#include "obs/trace.h"
 #include "sim/simulator.h"
 
 namespace cwc::sim {
+
+/// Converts a runtime event trace into Fig. 12 timeline segments: each
+/// kPieceShipped span becomes a kTransfer segment, each kPieceStarted span
+/// a kExecute segment (flagged rescheduled when the event carries
+/// kRescheduledWork). Events of other types are ignored; segment order
+/// follows the trace's (time, seq) order. This is how TestbedSimulation
+/// builds SimResult::timeline — the trace stream is the source of truth.
+std::vector<TimelineSegment> segments_from_trace(const std::vector<obs::TraceEvent>& events);
 
 struct SvgOptions {
   int width_px = 960;

@@ -1,5 +1,10 @@
 // Charging-behaviour study (Section 3.1 of the paper).
 //
+// NOTE ON NAMING: `src/trace/` models charging/availability *input* traces
+// — the user-study logs the scheduler plans against. It is unrelated to
+// `src/obs/trace*`, the *runtime event* trace (what happened when during a
+// run, exported to Perfetto). See DESIGN.md §"Event tracing".
+//
 // The paper instruments 15 volunteers' phones with an app that logs state
 // transitions (plugged / unplugged / shutdown) with local-time timestamps,
 // plus the bytes transferred during each plugged interval. We cannot rerun

@@ -75,6 +75,9 @@ TEST(Protocol, AssignPieceRoundTrip) {
   msg.executable.assign(100, 0xEE);
   msg.input = {10, 20, 30};
   msg.checkpoint = {1, 2};
+  msg.trace_piece = 77;
+  msg.trace_attempt = 2;
+  msg.trace_instant = 5;
   const Blob frame = encode(msg);
   const AssignPieceMsg decoded = decode_assign_piece(frame);
   EXPECT_EQ(decoded.job, 42);
@@ -84,6 +87,16 @@ TEST(Protocol, AssignPieceRoundTrip) {
   EXPECT_EQ(decoded.executable.size(), 100u);
   EXPECT_EQ(decoded.input, (Blob{10, 20, 30}));
   EXPECT_EQ(decoded.checkpoint, (Blob{1, 2}));
+  EXPECT_EQ(decoded.trace_piece, 77);
+  EXPECT_EQ(decoded.trace_attempt, 2);
+  EXPECT_EQ(decoded.trace_instant, 5);
+}
+
+TEST(Protocol, AssignPieceTraceContextDefaultsToUnset) {
+  const AssignPieceMsg decoded = decode_assign_piece(encode(AssignPieceMsg{}));
+  EXPECT_EQ(decoded.trace_piece, -1);
+  EXPECT_EQ(decoded.trace_attempt, -1);
+  EXPECT_EQ(decoded.trace_instant, -1);
 }
 
 TEST(Protocol, CompleteAndFailedRoundTrip) {

@@ -1,0 +1,148 @@
+// Chrome trace-event JSON export: schema shape (Perfetto-loadable spans,
+// instants, and track metadata), bit-exact round-trip through the
+// companion parser, drop accounting in otherData, and the file writer's
+// trace.export_bytes counter.
+#include "obs/trace_export.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace cwc::obs {
+namespace {
+
+std::vector<TraceEvent> one_of_each_type() {
+  std::vector<TraceEvent> events;
+  for (std::size_t i = 0; i < kTraceEventTypeCount; ++i) {
+    TraceEvent event;
+    event.type = static_cast<TraceEventType>(i);
+    event.t = 10.0 * static_cast<double>(i) + 0.125;
+    event.dur = (i % 2 == 0) ? 3.25 : 0.0;  // alternate spans and instants
+    event.value = static_cast<double>(i) * 1.5;
+    event.job = static_cast<JobId>(i);
+    event.piece = static_cast<std::int32_t>(100 + i);
+    event.attempt = static_cast<std::int32_t>(i % 3);
+    event.phone = static_cast<PhoneId>(i % 5);
+    event.instant = static_cast<std::int64_t>(i / 4);
+    event.flags = (i % 4 == 0) ? TraceEvent::kRescheduledWork : TraceEvent::kNone;
+    event.seq = i + 1;
+    events.push_back(event);
+  }
+  return events;
+}
+
+TEST(TraceExport, RoundTripsEveryEventTypeBitExactly) {
+  const std::vector<TraceEvent> events = one_of_each_type();
+  const ParsedTrace parsed = parse_chrome_trace(to_chrome_trace(events, 17, 3));
+  ASSERT_EQ(parsed.events.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(parsed.events[i], events[i]) << "event " << i << " ("
+                                           << trace_event_name(events[i].type) << ")";
+  }
+  EXPECT_EQ(parsed.events_recorded, 17u);
+  EXPECT_EQ(parsed.events_dropped, 3u);
+}
+
+TEST(TraceExport, RoundTripsAwkwardDoubles) {
+  TraceEvent event;
+  event.type = TraceEventType::kPieceStarted;
+  event.t = 0.1 + 0.2;          // the classic 0.30000000000000004
+  event.dur = 1.0 / 3.0;
+  event.value = 1e-17;
+  const ParsedTrace parsed = parse_chrome_trace(to_chrome_trace({event}, 1, 0));
+  ASSERT_EQ(parsed.events.size(), 1u);
+  EXPECT_EQ(parsed.events[0].t, event.t);
+  EXPECT_EQ(parsed.events[0].dur, event.dur);
+  EXPECT_EQ(parsed.events[0].value, event.value);
+}
+
+TEST(TraceExport, SchemaIsChromeTraceShaped) {
+  TraceEvent span;
+  span.type = TraceEventType::kPieceStarted;
+  span.t = 5.0;
+  span.dur = 2.0;
+  span.phone = 3;
+  TraceEvent instant;
+  instant.type = TraceEventType::kKeepAliveSent;
+  instant.t = 1.0;  // no phone: lands on the server track
+  const std::string json = to_chrome_trace({span, instant}, 2, 0);
+
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  // The span: complete event on phone 3's track (tid = phone + 2), µs units
+  // (numbers may print in exponent form, so only anchor the field names).
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\": 5, \"ts\": "), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": "), std::string::npos);
+  // The instant: thread-scoped on the server track.
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"s\": \"t\""), std::string::npos);
+  // Named tracks for Perfetto.
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"phone 3\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"server\""), std::string::npos);
+}
+
+TEST(TraceExport, ParserSkipsMetadataAndForeignEvents) {
+  const std::string json = R"({
+    "traceEvents": [
+      {"name": "thread_name", "ph": "M", "pid": 1, "tid": 2, "args": {"name": "x"}},
+      {"name": "someone_elses_event", "ph": "X", "ts": 1, "dur": 1, "args": {}},
+      {"name": "piece_completed", "ph": "i", "ts": 2000, "s": "t",
+       "args": {"t_ms": 2, "job": 7, "seq": 9, "a_future_field": [1, {"deep": true}]}}
+    ],
+    "otherData": {"events_recorded": 1, "events_dropped": 0}
+  })";
+  const ParsedTrace parsed = parse_chrome_trace(json);
+  ASSERT_EQ(parsed.events.size(), 1u);
+  EXPECT_EQ(parsed.events[0].type, TraceEventType::kPieceCompleted);
+  EXPECT_EQ(parsed.events[0].job, 7);
+  EXPECT_EQ(parsed.events[0].seq, 9u);
+}
+
+TEST(TraceExport, MissingTraceEventsIsAnError) {
+  EXPECT_THROW(parse_chrome_trace(R"({"otherData": {}})"), std::runtime_error);
+  EXPECT_THROW(parse_chrome_trace("not json"), std::runtime_error);
+}
+
+TEST(TraceExport, EmptyTraceIsStillValid) {
+  const ParsedTrace parsed = parse_chrome_trace(to_chrome_trace({}, 0, 0));
+  EXPECT_TRUE(parsed.events.empty());
+  EXPECT_EQ(parsed.events_recorded, 0u);
+  EXPECT_EQ(parsed.events_dropped, 0u);
+}
+
+TEST(TraceExport, WriteReadFileAndExportBytesCounter) {
+  TraceRecorder recorder;
+  recorder.enable();
+  TraceEvent event;
+  event.type = TraceEventType::kPieceScheduled;
+  event.t = 1.0;
+  event.job = 4;
+  event.piece = 2;
+  event.attempt = 0;
+  event.phone = 1;
+  recorder.record(event);
+
+  const std::string path = ::testing::TempDir() + "/cwc_trace_export_test.json";
+  const double bytes_before = counter("trace.export_bytes").value();
+  write_trace_file(path, recorder);
+  EXPECT_GT(counter("trace.export_bytes").value(), bytes_before);
+
+  const ParsedTrace parsed = read_trace_file(path);
+  ASSERT_EQ(parsed.events.size(), 1u);
+  EXPECT_EQ(parsed.events[0].job, 4);
+  EXPECT_EQ(parsed.events[0].piece, 2);
+  EXPECT_EQ(parsed.events_recorded, 1u);
+  std::remove(path.c_str());
+
+  EXPECT_THROW(read_trace_file(path), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cwc::obs

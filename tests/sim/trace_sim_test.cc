@@ -1,0 +1,182 @@
+// End-to-end tracing through the simulator: a deterministic (fixed-seed)
+// paper-testbed run with one injected online and one injected offline
+// failure, asserted through every consumer of the trace stream — the raw
+// recorder snapshot, the Chrome JSON round-trip, the analyzer (breakdown,
+// migration chains, critical path, text timeline), and the
+// segments_from_trace timeline view.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "core/greedy.h"
+#include "core/testbed.h"
+#include "obs/trace.h"
+#include "obs/trace_analysis.h"
+#include "obs/trace_export.h"
+#include "sim/simulator.h"
+#include "sim/timeline_svg.h"
+
+namespace cwc::sim {
+namespace {
+
+using core::JobSpec;
+
+/// One fixed-seed run with both failure kinds; every test reads this.
+struct TracedRun {
+  SimResult result;
+  std::vector<obs::TraceEvent> events;
+};
+
+std::size_t phones_in(const std::vector<obs::TraceEvent>& events) {
+  std::set<PhoneId> phones;
+  for (const obs::TraceEvent& event : events) {
+    if (event.phone != kInvalidPhone) phones.insert(event.phone);
+  }
+  return phones.size();
+}
+
+const TracedRun& traced_run() {
+  static const TracedRun* run = [] {
+    Rng rng(41);
+    TestbedSimulation sim(std::make_unique<core::GreedyScheduler>(),
+                          core::paper_prediction(), core::paper_testbed(rng), SimOptions{},
+                          41);
+    Rng workload_rng(41);
+    for (const JobSpec& job : core::paper_workload(workload_rng, 0.05)) sim.submit(job);
+    sim.inject({seconds(10.0), 2, FailureKind::kUnplugOnline});
+    sim.inject({seconds(15.0), 9, FailureKind::kUnplugOffline});
+    auto* traced = new TracedRun;
+    traced->result = sim.run();
+    traced->events =
+        obs::TraceRecorder::global().snapshot(traced->result.trace_begin);
+    return traced;
+  }();
+  return *run;
+}
+
+TEST(TraceSim, RunEmitsTheFullTaxonomyCore) {
+  const TracedRun& run = traced_run();
+  ASSERT_TRUE(run.result.completed);
+  ASSERT_FALSE(run.events.empty());
+  std::set<obs::TraceEventType> seen;
+  for (const obs::TraceEvent& event : run.events) seen.insert(event.type);
+  for (const obs::TraceEventType expected :
+       {obs::TraceEventType::kPieceScheduled, obs::TraceEventType::kPieceShipped,
+        obs::TraceEventType::kPieceStarted, obs::TraceEventType::kPieceCompleted,
+        obs::TraceEventType::kPieceFailedOnline, obs::TraceEventType::kPieceFailedOffline,
+        obs::TraceEventType::kPieceRescheduled, obs::TraceEventType::kInstantBegin,
+        obs::TraceEventType::kInstantEnd, obs::TraceEventType::kCapacityProbe,
+        // kPhoneRegistered is emitted at controller registration, which for
+        // the simulator happens at construction — before run()'s watermark —
+        // so it is deliberately absent from a run-scoped snapshot.
+        obs::TraceEventType::kKeepAliveMissed}) {
+    EXPECT_TRUE(seen.count(expected)) << "missing " << obs::trace_event_name(expected);
+  }
+}
+
+TEST(TraceSim, EventsCarryCausalIdsAndRunClockTimes) {
+  const TracedRun& run = traced_run();
+  for (const obs::TraceEvent& event : run.events) {
+    EXPECT_GE(event.t, 0.0);
+    EXPECT_LE(event.t + event.dur, run.result.makespan + 1e-6);
+    if (event.type == obs::TraceEventType::kPieceScheduled) {
+      EXPECT_NE(event.job, kInvalidJob);
+      EXPECT_GE(event.piece, 0);
+      EXPECT_GE(event.attempt, 0);
+      EXPECT_NE(event.phone, kInvalidPhone);
+      EXPECT_GE(event.instant, 0);
+    }
+  }
+}
+
+TEST(TraceSim, TimelineIsTheTraceView) {
+  const TracedRun& run = traced_run();
+  // SimResult::timeline must be exactly what segments_from_trace derives.
+  const auto derived = segments_from_trace(run.events);
+  ASSERT_EQ(run.result.timeline.size(), derived.size());
+  ASSERT_FALSE(derived.empty());
+  for (std::size_t i = 0; i < derived.size(); ++i) {
+    EXPECT_EQ(run.result.timeline[i].phone, derived[i].phone);
+    EXPECT_DOUBLE_EQ(run.result.timeline[i].start, derived[i].start);
+    EXPECT_DOUBLE_EQ(run.result.timeline[i].end, derived[i].end);
+  }
+}
+
+TEST(TraceSim, ChromeJsonRoundTripsTheRun) {
+  const TracedRun& run = traced_run();
+  const obs::ParsedTrace parsed =
+      obs::parse_chrome_trace(obs::to_chrome_trace(run.events, run.events.size(), 0));
+  ASSERT_EQ(parsed.events.size(), run.events.size());
+  for (std::size_t i = 0; i < run.events.size(); ++i) {
+    ASSERT_EQ(parsed.events[i], run.events[i]) << "event " << i;
+  }
+}
+
+TEST(TraceSim, AnalyzerAccountsForEveryPhonesMakespan) {
+  const TracedRun& run = traced_run();
+  const obs::TraceAnalysis analysis = obs::analyze(run.events);
+  EXPECT_NEAR(analysis.makespan, run.result.makespan, 1e-6);
+  ASSERT_EQ(analysis.phones.size(), phones_in(run.events));
+  ASSERT_GE(analysis.phones.size(), 2u);
+  for (const obs::PhoneBreakdown& phone : analysis.phones) {
+    // ship + compute + overhead + idle covers the whole makespan.
+    EXPECT_NEAR(phone.ship_ms + phone.compute_ms + phone.overhead_ms + phone.idle_ms,
+                analysis.makespan, 1e-3);
+    EXPECT_LE(phone.finish, analysis.makespan + 1e-6);
+  }
+}
+
+TEST(TraceSim, MigrationChainsCoverBothInjectedFailures) {
+  const TracedRun& run = traced_run();
+  const obs::TraceAnalysis analysis = obs::analyze(run.events);
+  ASSERT_FALSE(analysis.chains.empty());
+  bool online_chain = false, offline_chain = false;
+  for (const obs::MigrationChain& chain : analysis.chains) {
+    EXPECT_GE(chain.failures, 1);
+    EXPECT_GE(chain.hops.size(), 2u) << "a chain needs the failed hop and the retry";
+    for (std::size_t i = 1; i < chain.hops.size(); ++i) {
+      EXPECT_LE(chain.hops[i - 1].t, chain.hops[i].t) << "hops must be chronological";
+    }
+    for (const obs::MigrationHop& hop : chain.hops) {
+      online_chain |= hop.outcome == obs::TraceEventType::kPieceFailedOnline;
+      offline_chain |= hop.outcome == obs::TraceEventType::kPieceFailedOffline;
+    }
+    // Every chain ends in a completion (the workload finished).
+    EXPECT_EQ(chain.hops.back().outcome, obs::TraceEventType::kPieceCompleted);
+  }
+  EXPECT_TRUE(online_chain) << "the phone-2 online unplug should appear in a chain";
+  EXPECT_TRUE(offline_chain) << "the phone-9 offline unplug should appear in a chain";
+}
+
+TEST(TraceSim, CriticalPathEndsAtTheLastFinishingPiece) {
+  const TracedRun& run = traced_run();
+  const obs::TraceAnalysis analysis = obs::analyze(run.events);
+  ASSERT_FALSE(analysis.critical_path.empty());
+  const obs::TraceEvent& last = analysis.critical_path.back();
+  EXPECT_EQ(last.type, obs::TraceEventType::kPieceCompleted);
+  EXPECT_NEAR(last.t + last.dur, analysis.makespan, 1e-6);
+  // The path must be chronological and start at a scheduling decision.
+  for (std::size_t i = 1; i < analysis.critical_path.size(); ++i) {
+    EXPECT_LE(analysis.critical_path[i - 1].t, analysis.critical_path[i].t + 1e-9);
+  }
+  EXPECT_EQ(analysis.critical_path.front().type, obs::TraceEventType::kPieceScheduled);
+}
+
+TEST(TraceSim, TextTimelineHasOneRowPerPhone) {
+  const TracedRun& run = traced_run();
+  const std::string timeline = obs::text_timeline(run.events, 48);
+  // Header plus one "phone N |....|" row per phone that did anything.
+  std::size_t rows = 0;
+  for (std::size_t pos = timeline.find("phone ");
+       pos != std::string::npos; pos = timeline.find("phone ", pos + 1)) {
+    ++rows;
+  }
+  EXPECT_EQ(rows, phones_in(run.events));
+  EXPECT_NE(timeline.find('#'), std::string::npos) << "some execution must be painted";
+  EXPECT_NE(timeline.find('r'), std::string::npos) << "rescheduled work must be painted";
+}
+
+}  // namespace
+}  // namespace cwc::sim

@@ -12,6 +12,7 @@
 //   # analyze a real log file for disk failures
 //   cwc_server --port=7000 --phones=2 --task="log-scan:disk failure" \
 //              --input=/var/log/syslog
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -24,6 +25,8 @@
 #include "core/testbed.h"
 #include "net/server.h"
 #include "obs/snapshot.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "tasks/generators.h"
 #include "tasks/logscan.h"
 #include "tasks/primes.h"
@@ -47,8 +50,18 @@ constexpr const char* kUsage = R"(cwc_server: the CWC central server
                        log-scan:disk failure, sales-aggregate, photo-blur}
   --keepalive-ms=N     keep-alive period (default 5000, 3 misses tolerated)
   --metrics-out=FILE   write a telemetry snapshot (.csv = CSV, else JSON)
+  --trace-out=FILE     write the run's event trace as Chrome trace-event JSON
+                       (open in https://ui.perfetto.dev, or feed to cwc_trace)
   --verbose            info-level logging
+
+On SIGINT/SIGTERM the event loop stops at the next iteration and the
+--metrics-out / --trace-out files are still written before exiting.
 )";
+
+/// Set from the signal handler; polled by the server event loop.
+std::atomic<bool> g_stop{false};
+
+void request_stop(int) { g_stop.store(true); }
 
 tasks::Bytes generate_input(const std::string& name, double kb, Rng& rng) {
   if (name == "prime-count") return tasks::make_integer_input(rng, kb);
@@ -88,7 +101,7 @@ int main(int argc, char** argv) {
   const Flags flags = Flags::parse(argc, argv);
   const auto unknown =
       flags.unknown({"port", "bind-all", "phones", "timeout-s", "task", "input", "generate",
-                     "keepalive-ms", "metrics-out", "verbose", "help"});
+                     "keepalive-ms", "metrics-out", "trace-out", "verbose", "help"});
   if (!unknown.empty() || flags.get_bool("help")) {
     for (const auto& flag : unknown) std::fprintf(stderr, "unknown flag: --%s\n", flag.c_str());
     std::fputs(kUsage, stderr);
@@ -102,8 +115,18 @@ int main(int argc, char** argv) {
   config.bind_all_interfaces = flags.get_bool("bind-all");
   config.keepalive_period = static_cast<Millis>(flags.get_int("keepalive-ms", 5000));
   config.scheduling_period = 500.0;
+  config.stop = &g_stop;
   net::CwcServer server(std::make_unique<core::GreedyScheduler>(), core::paper_prediction(),
                         &registry, config);
+
+  // Stop cleanly on Ctrl-C / kill so telemetry and traces still flush.
+  struct sigaction sa = {};
+  sa.sa_handler = request_stop;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+
+  const std::uint64_t trace_begin = obs::TraceRecorder::global().watermark();
+  if (flags.has("trace-out")) obs::TraceRecorder::global().enable();
 
   Rng rng(20260706);  // fixed seed: reproducible tool runs
   std::vector<std::pair<JobId, std::string>> submitted;
@@ -142,10 +165,20 @@ int main(int argc, char** argv) {
 
   const bool done = server.run(phones, seconds(static_cast<double>(
                                            flags.get_int("timeout-s", 600))));
-  // Telemetry is most valuable on failed runs, so write it before bailing.
+  // Telemetry is most valuable on failed or interrupted runs, so write it
+  // before bailing (the stop flag turned a signal into a clean loop exit).
   if (flags.has("metrics-out")) {
     obs::write_snapshot_file(flags.get("metrics-out"));
     std::printf("metrics snapshot: %s\n", flags.get("metrics-out").c_str());
+  }
+  if (flags.has("trace-out")) {
+    obs::write_trace_file(flags.get("trace-out"), obs::TraceRecorder::global(), trace_begin);
+    std::printf("trace: wrote %s (analyze with cwc_trace, or load in Perfetto)\n",
+                flags.get("trace-out").c_str());
+  }
+  if (g_stop.load()) {
+    std::fprintf(stderr, "interrupted by signal; telemetry flushed\n");
+    return 130;
   }
   if (!done) {
     std::fprintf(stderr, "timed out with incomplete jobs\n");

@@ -14,6 +14,7 @@
 #include "common/log.h"
 #include "common/rng.h"
 #include "obs/snapshot.h"
+#include "obs/trace_export.h"
 #include "core/failure_aware.h"
 #include "core/greedy.h"
 #include "core/testbed.h"
@@ -33,6 +34,8 @@ constexpr const char* kUsage = R"(cwc_sim: CWC testbed simulator
   --seed=N             RNG seed (default 42)
   --svg=FILE           write the execution timeline as SVG
   --metrics-out=FILE   write a telemetry snapshot (.csv = CSV, else JSON)
+  --trace-out=FILE     write the run's event trace as Chrome trace-event JSON
+                       (open in https://ui.perfetto.dev, or feed to cwc_trace)
   --verbose            info-level logging
 )";
 
@@ -48,7 +51,8 @@ std::unique_ptr<core::Scheduler> make_scheduler(const std::string& name) {
 int main(int argc, char** argv) {
   const Flags flags = Flags::parse(argc, argv);
   const auto unknown = flags.unknown({"scheduler", "phones", "scale", "unplugs", "offline",
-                                      "seed", "svg", "metrics-out", "verbose", "help"});
+                                      "seed", "svg", "metrics-out", "trace-out", "verbose",
+                                      "help"});
   if (!unknown.empty() || flags.get_bool("help")) {
     for (const auto& flag : unknown) std::fprintf(stderr, "unknown flag: --%s\n", flag.c_str());
     std::fputs(kUsage, stderr);
@@ -111,6 +115,14 @@ int main(int argc, char** argv) {
   if (flags.has("metrics-out")) {
     obs::write_snapshot_file(flags.get("metrics-out"));
     std::printf("metrics:   wrote %s\n", flags.get("metrics-out").c_str());
+  }
+  if (flags.has("trace-out")) {
+    // The simulator enables the recorder itself; trace_begin scopes the
+    // export to this run's events.
+    obs::write_trace_file(flags.get("trace-out"), obs::TraceRecorder::global(),
+                          result.trace_begin);
+    std::printf("trace:     wrote %s (analyze with cwc_trace, or load in Perfetto)\n",
+                flags.get("trace-out").c_str());
   }
   return result.completed ? 0 : 1;
 }

@@ -104,12 +104,34 @@ for name in sorted(recorded):
     if name not in measured:
         print(f"  {name:<{width}}  (recorded but not measured this run)")
 
+failed = False
 if regressions:
     print(f"\nrun_benches: {len(regressions)} benchmark(s) regressed more "
           f"than {THRESHOLD:.0%} vs {record_path}:")
     for name, base, now, delta in regressions:
         print(f"  {name}: {base:.3f} ms -> {now:.3f} ms ({delta:+.1%})")
     print("If the slowdown is intended, re-record with tools/run_benches.sh --update")
+    failed = True
+
+# Tracing-overhead gate: the disabled-recorder scheduler build must stay
+# within TRACING_THRESHOLD of the identical untraced-bench build (the emit
+# sites cost one relaxed atomic load each when tracing is off).
+TRACING_THRESHOLD = 0.02
+plain = measured.get("BM_GreedyBuild/18/150")
+traced_off = measured.get("BM_GreedyBuildTracing/18/150/0")
+traced_on = measured.get("BM_GreedyBuildTracing/18/150/1")
+if plain and traced_off:
+    overhead = (traced_off - plain) / plain
+    verdict = "OK" if overhead <= TRACING_THRESHOLD else "<< REGRESSION"
+    print(f"\ntracing disabled-path overhead: {overhead:+.2%} "
+          f"(gate {TRACING_THRESHOLD:.0%}) {verdict}")
+    if traced_on and plain > 0:
+        print(f"tracing enabled-path overhead:  {(traced_on - plain) / plain:+.2%} "
+              "(informational)")
+    if overhead > TRACING_THRESHOLD:
+        failed = True
+
+if failed:
     sys.exit(1)
 print("\nrun_benches: all benchmarks within threshold")
 PY
