@@ -5,6 +5,7 @@
 // are lightweight, and thus, a rudimentary low cost PC will suffice".
 #include <benchmark/benchmark.h>
 
+#include "common/fault.h"
 #include "common/rng.h"
 #include "core/greedy.h"
 #include "core/relaxation.h"
@@ -88,6 +89,44 @@ void BM_GreedyBuildTracing(benchmark::State& state) {
                  (state.range(2) != 0 ? "on" : "off"));
 }
 BENCHMARK(BM_GreedyBuildTracing)
+    ->Args({18, 150, 0})
+    ->Args({18, 150, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// Fault-injection overhead on the scheduler hot path. Every packing
+// attempt carries one fault::check() whose disarmed path is a single
+// relaxed atomic load (same discipline as tracing); range(2) arms the
+// injector with a never-firing rule so /0 measures the disabled path
+// (gated <2% vs BM_GreedyBuild in tools/run_benches.sh) and /1 the cost
+// of the armed lookup (rule scan under the injector mutex).
+void BM_GreedyBuildFaultGate(benchmark::State& state) {
+  const auto instance =
+      make_instance(static_cast<std::size_t>(state.range(0)),
+                    static_cast<std::size_t>(state.range(1)));
+  const core::GreedyScheduler scheduler;
+  fault::FaultInjector& injector = fault::FaultInjector::global();
+  injector.reset();
+  if (state.range(2) != 0) {
+    // Armed with a rule that can never fire (explicit hit index 0 is
+    // unreachable: hits are 1-based), so the loop measures pure lookup
+    // cost without perturbing the packing.
+    fault::FaultRule rule;
+    rule.point = fault::FaultPoint::kSchedulerPack;
+    rule.action.kind = fault::FaultAction::Kind::kDelay;
+    rule.hits = {0};
+    injector.add_rule(rule);
+    injector.arm(1);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        scheduler.build(instance.jobs, instance.phones, instance.prediction));
+  }
+  injector.reset();
+  state.SetLabel(std::to_string(state.range(0)) + " phones, " +
+                 std::to_string(state.range(1)) + " jobs, faults " +
+                 (state.range(2) != 0 ? "armed" : "off"));
+}
+BENCHMARK(BM_GreedyBuildFaultGate)
     ->Args({18, 150, 0})
     ->Args({18, 150, 1})
     ->Unit(benchmark::kMillisecond);

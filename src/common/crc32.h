@@ -1,0 +1,39 @@
+// CRC-32 (IEEE 802.3 polynomial, the zlib variant) for integrity checks
+// on durable state — notably journal records, where a torn write must be
+// distinguishable from a valid short record during crash recovery.
+// Header-only; the lookup table is built at compile time.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace cwc {
+
+namespace detail {
+inline constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table = make_crc32_table();
+}  // namespace detail
+
+/// CRC-32 of `data`, optionally chained via `seed` (pass a previous
+/// result to continue over split buffers).
+inline std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t seed = 0) {
+  std::uint32_t crc = ~seed;
+  for (const std::uint8_t byte : data) {
+    crc = (crc >> 8) ^ detail::kCrc32Table[(crc ^ byte) & 0xFFu];
+  }
+  return ~crc;
+}
+
+}  // namespace cwc

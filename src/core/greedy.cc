@@ -1,6 +1,7 @@
 #include "core/greedy.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <map>
@@ -10,6 +11,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "common/fault.h"
 #include "obs/metrics.h"
 #include "obs/timer.h"
 #include "obs/trace.h"
@@ -177,6 +179,13 @@ std::pair<Millis, Millis> GreedyScheduler::capacity_bounds(
 std::optional<Schedule> GreedyScheduler::pack_with_capacity(const PackProblem& problem,
                                                             Millis capacity) const {
   obs::counter("scheduler.pack_attempts").inc();
+  // Chaos hook: a delay here models a scheduler hiccup (GC pause, CPU
+  // contention) without changing the packing result. Only kDelay is
+  // honored — the scheduler is a pure function; there is nothing to drop.
+  if (const fault::FaultAction action = fault::check(fault::FaultPoint::kSchedulerPack);
+      action.kind == fault::FaultAction::Kind::kDelay) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(action.delay_ms));
+  }
   // Every packing attempt funnels through here — warm starts, defensive UB
   // growth, sequential bisection, and the parallel probe rounds (which run
   // on worker threads; the recorder is thread-safe). One trace event per

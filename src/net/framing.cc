@@ -1,7 +1,10 @@
 #include "net/framing.h"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
+
+#include "common/fault.h"
 
 namespace cwc::net {
 
@@ -18,6 +21,22 @@ void write_frame(TcpConnection& conn, std::span<const std::uint8_t> payload) {
 }
 
 void FrameDecoder::feed(std::span<const std::uint8_t> data) {
+  if (const fault::FaultAction action = fault::check(fault::FaultPoint::kFrameDecode);
+      action && !data.empty()) {
+    // kCorrupt flips a bit inside the incoming chunk: if it lands in a
+    // length prefix the decoder sees an oversized frame (torn stream) and
+    // the connection must be dropped and re-established. kDrop discards
+    // the chunk, leaving the stream torn mid-frame.
+    if (action.kind == fault::FaultAction::Kind::kDrop) return;
+    if (action.kind == fault::FaultAction::Kind::kCorrupt) {
+      std::vector<std::uint8_t> mangled(data.begin(), data.end());
+      const auto at = static_cast<std::size_t>(
+          static_cast<double>(mangled.size()) * std::clamp(action.fraction, 0.0, 1.0));
+      mangled[std::min(at, mangled.size() - 1)] ^= 0x80;
+      buffer_.insert(buffer_.end(), mangled.begin(), mangled.end());
+      return;
+    }
+  }
   buffer_.insert(buffer_.end(), data.begin(), data.end());
 }
 

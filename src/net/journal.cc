@@ -5,17 +5,37 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
+#include <thread>
 
 #include "common/buffer.h"
+#include "common/crc32.h"
+#include "common/fault.h"
 
 namespace cwc::net {
 
 namespace {
 enum class RecordType : std::uint8_t { kSubmit = 1, kProgress = 2, kAtomicDone = 3 };
+
+/// Records beyond this are treated as corruption during replay (a torn
+/// write can fabricate an arbitrary length prefix).
+constexpr std::uint32_t kMaxRecordBytes = 256 * 1024 * 1024;
+
+std::uint32_t read_u32le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
 }
+
+void write_u32le(std::uint8_t* p, std::uint32_t value) {
+  p[0] = static_cast<std::uint8_t>(value);
+  p[1] = static_cast<std::uint8_t>(value >> 8);
+  p[2] = static_cast<std::uint8_t>(value >> 16);
+  p[3] = static_cast<std::uint8_t>(value >> 24);
+}
+}  // namespace
 
 Journal::Journal(std::string path, bool truncate) : path_(std::move(path)) {
   const int flags = O_WRONLY | O_CREAT | O_APPEND | (truncate ? O_TRUNC : 0);
@@ -30,24 +50,48 @@ Journal::~Journal() {
 }
 
 void Journal::append(const Blob& record) {
-  // Length-prefixed so replay can detect a torn final record.
-  std::uint8_t header[4];
-  const auto size = static_cast<std::uint32_t>(record.size());
-  header[0] = static_cast<std::uint8_t>(size);
-  header[1] = static_cast<std::uint8_t>(size >> 8);
-  header[2] = static_cast<std::uint8_t>(size >> 16);
-  header[3] = static_cast<std::uint8_t>(size >> 24);
-  Blob framed(header, header + 4);
+  // [u32 length][u32 crc32] header. The length lets replay walk records;
+  // the CRC lets it tell a torn or corrupted write apart from a valid
+  // record so recovery can keep the longest valid prefix.
+  std::uint8_t header[8];
+  write_u32le(header, static_cast<std::uint32_t>(record.size()));
+  write_u32le(header + 4, crc32(record));
+  Blob framed(header, header + 8);
   framed.insert(framed.end(), record.begin(), record.end());
+
+  std::size_t limit = framed.size();
+  bool fail_after = false;
+  if (const fault::FaultAction action = fault::check(fault::FaultPoint::kJournalAppend)) {
+    switch (action.kind) {
+      case fault::FaultAction::Kind::kDrop:
+        return;  // record silently lost (durability gap)
+      case fault::FaultAction::Kind::kDelay:
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(action.delay_ms));
+        break;
+      case fault::FaultAction::Kind::kReset:
+        throw std::runtime_error("Journal: injected write failure");
+      case fault::FaultAction::Kind::kPartial:
+      case fault::FaultAction::Kind::kCorrupt:
+        // Torn write: only a prefix reaches the disk, then the write fails.
+        limit = static_cast<std::size_t>(static_cast<double>(framed.size()) *
+                                         std::clamp(action.fraction, 0.0, 1.0));
+        fail_after = true;
+        break;
+      default:
+        break;
+    }
+  }
+
   std::size_t written = 0;
-  while (written < framed.size()) {
-    const ssize_t n = ::write(fd_, framed.data() + written, framed.size() - written);
+  while (written < limit) {
+    const ssize_t n = ::write(fd_, framed.data() + written, limit - written);
     if (n < 0) {
       if (errno == EINTR) continue;
       throw std::runtime_error("Journal: write failed: " + std::string(std::strerror(errno)));
     }
     written += static_cast<std::size_t>(n);
   }
+  if (fail_after) throw std::runtime_error("Journal: injected torn write");
 }
 
 void Journal::record_submit(JobId job, const std::string& task_name, const Blob& input) {
@@ -110,46 +154,62 @@ std::map<JobId, Journal::RecoveredJob> Journal::replay(const std::string& path) 
   if (!file) throw std::runtime_error("Journal::replay: cannot read " + path);
   Blob contents((std::istreambuf_iterator<char>(file)), std::istreambuf_iterator<char>());
 
+  // Recovery keeps the longest valid prefix: the walk stops at the first
+  // record that is torn (length overruns the file), fails its CRC, or
+  // does not decode. Everything before that point was durably written and
+  // is kept; everything after is redone, the same semantics as work that
+  // was in flight when the server crashed.
   std::map<JobId, RecoveredJob> jobs;
   std::size_t offset = 0;
-  while (offset + 4 <= contents.size()) {
-    const std::uint32_t size = static_cast<std::uint32_t>(contents[offset]) |
-                               (static_cast<std::uint32_t>(contents[offset + 1]) << 8) |
-                               (static_cast<std::uint32_t>(contents[offset + 2]) << 16) |
-                               (static_cast<std::uint32_t>(contents[offset + 3]) << 24);
-    if (offset + 4 + size > contents.size()) break;  // torn final record
-    BufferReader r(std::span<const std::uint8_t>(contents.data() + offset + 4, size));
-    offset += 4 + size;
+  while (offset + 8 <= contents.size()) {
+    const std::uint32_t size = read_u32le(contents.data() + offset);
+    const std::uint32_t expected_crc = read_u32le(contents.data() + offset + 4);
+    if (size > kMaxRecordBytes) break;                   // fabricated length
+    if (offset + 8 + size > contents.size()) break;      // torn final record
+    const std::span<const std::uint8_t> payload(contents.data() + offset + 8, size);
+    if (crc32(payload) != expected_crc) break;           // torn/corrupt write
+    offset += 8 + size;
+
+    // Decode into locals first so a malformed record cannot leave a job
+    // half-mutated before the walk stops.
+    BufferReader r(payload);
     try {
       const auto type = static_cast<RecordType>(r.read_u8());
       const JobId job = r.read_i32();
       switch (type) {
         case RecordType::kSubmit: {
+          std::string task_name = r.read_string();
+          Blob input = r.read_bytes();
           RecoveredJob& state = jobs[job];
-          state.task_name = r.read_string();
-          state.input = r.read_bytes();
+          state.task_name = std::move(task_name);
+          state.input = std::move(input);
           break;
         }
         case RecordType::kProgress: {
-          RecoveredJob& state = jobs[job];
+          Ranges ranges;
           const std::uint32_t range_count = r.read_u32();
           for (std::uint32_t k = 0; k < range_count; ++k) {
             const std::uint64_t begin = r.read_u64();
             const std::uint64_t end = r.read_u64();
-            state.completed_ranges.push_back({begin, end});
+            ranges.push_back({begin, end});
           }
-          state.partials.push_back(r.read_bytes());
+          Blob partial = r.read_bytes();
+          RecoveredJob& state = jobs[job];
+          state.completed_ranges.insert(state.completed_ranges.end(), ranges.begin(),
+                                        ranges.end());
+          state.partials.push_back(std::move(partial));
           break;
         }
         case RecordType::kAtomicDone: {
-          jobs[job].atomic_result = r.read_bytes();
+          Blob result = r.read_bytes();
+          jobs[job].atomic_result = std::move(result);
           break;
         }
         default:
-          throw std::runtime_error("Journal::replay: unknown record type");
+          return jobs;  // unknown record type: stop at the valid prefix
       }
     } catch (const BufferUnderflow&) {
-      throw std::runtime_error("Journal::replay: corrupted record in " + path);
+      return jobs;  // undecodable record: stop at the valid prefix
     }
   }
   return jobs;

@@ -64,8 +64,10 @@ class Journal {
     std::uint64_t remaining_bytes() const;
   };
 
-  /// Reads a journal file back; tolerates a truncated final record (the
-  /// crash may have interrupted a write). Throws on unreadable files.
+  /// Reads a journal file back, recovering the longest valid prefix:
+  /// replay stops at the first truncated, torn, or CRC-failing record
+  /// (the crash may have interrupted a write) and keeps everything before
+  /// it. Throws only on unreadable files.
   static std::map<JobId, RecoveredJob> replay(const std::string& path);
 
  private:

@@ -2,9 +2,12 @@
 
 #include <poll.h>
 
+#include <algorithm>
+#include <cerrno>
 #include <chrono>
 
 #include "common/log.h"
+#include "common/rng.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -56,16 +59,22 @@ void PhoneAgent::join() {
   if (thread_.joinable()) thread_.join();
 }
 
-std::optional<Blob> PhoneAgent::next_frame(TcpConnection& conn, FrameDecoder& decoder) {
+std::optional<Blob> PhoneAgent::next_frame(TcpConnection& conn, FrameDecoder& decoder,
+                                           Millis deadline_ms) {
   if (!stash_.empty()) {
     Blob frame = std::move(stash_.front());
     stash_.pop_front();
     return frame;
   }
+  const auto wait_start = Clock::now();
   while (!stop_.load()) {
     if (auto frame = decoder.pop()) {
       obs::counter("net.agent.frames_received").inc();
       return frame;
+    }
+    if (deadline_ms > 0.0 && elapsed_ms(wait_start) >= deadline_ms) {
+      obs::counter("net.agent.rpc_timeouts").inc();
+      return std::nullopt;  // RPC deadline expired
     }
     pollfd pfd{conn.fd(), POLLIN, 0};
     if (::poll(&pfd, 1, 100) <= 0) continue;  // re-check stop_ every 100 ms
@@ -116,6 +125,13 @@ void PhoneAgent::pace_link(std::size_t bytes, TcpConnection& conn, FrameDecoder&
 
 void PhoneAgent::run() {
   int reconnects_left = config_.max_reconnects;
+  // Bounded exponential backoff with seeded jitter. The jitter spreads a
+  // herd of agents that lost the same server so their reconnects do not
+  // arrive in lockstep; the seed keeps the schedule reproducible.
+  Rng jitter_rng(config_.backoff_seed != 0
+                     ? config_.backoff_seed
+                     : 0x9e3779b97f4a7c15ULL ^ static_cast<std::uint64_t>(config_.id));
+  double backoff = config_.reconnect_backoff;
   while (session()) {
     if (stop_.load() || reconnects_left-- <= 0) return;
     // Wait until the owner has replugged the phone before reconnecting
@@ -124,14 +140,30 @@ void PhoneAgent::run() {
       sleep_ms(config_.reconnect_backoff);
     }
     if (stop_.load()) return;
-    sleep_ms(config_.reconnect_backoff);
+    if (session_registered_) backoff = config_.reconnect_backoff;  // reset on success
+    double delay = backoff;
+    if (config_.reconnect_jitter > 0.0) {
+      delay *= jitter_rng.uniform(1.0 - config_.reconnect_jitter,
+                                  1.0 + config_.reconnect_jitter);
+    }
+    if (obs::trace_enabled()) {
+      obs::TraceEvent event;
+      event.type = obs::TraceEventType::kRetryBackoff;
+      event.t = obs::trace_now();
+      event.phone = config_.id;
+      event.value = delay;
+      obs::trace_record(event);
+    }
     obs::counter("net.agent.reconnects").inc();
-    log_info("agent") << "phone " << config_.id << " reconnecting ("
+    log_info("agent") << "phone " << config_.id << " reconnecting in " << delay << " ms ("
                       << reconnects_left << " attempts left)";
+    sleep_ms(delay);
+    backoff = std::min(backoff * 2.0, config_.reconnect_backoff_max);
   }
 }
 
 bool PhoneAgent::session() {
+  session_registered_ = false;
   TcpConnection conn;
   try {
     conn = TcpConnection::connect_ipv4(config_.server_host, port_);
@@ -141,43 +173,65 @@ bool PhoneAgent::session() {
   FrameDecoder decoder;
   stash_.clear();
 
-  RegisterMsg reg;
-  reg.phone = config_.id;
-  reg.cpu_mhz = config_.cpu_mhz;
-  reg.ram_kb = config_.ram_kb;
-  send_frame(conn, encode(reg));
+  // Socket errors anywhere in the session (including mid-assignment) end
+  // this connection only; the reconnect loop decides whether to retry.
+  try {
+    RegisterMsg reg;
+    reg.phone = config_.id;
+    reg.cpu_mhz = config_.cpu_mhz;
+    reg.ram_kb = config_.ram_kb;
+    send_frame(conn, encode(reg));
 
-  const auto ack_frame = next_frame(conn, decoder);
-  if (!ack_frame || !decode_register_ack(*ack_frame).accepted) {
-    throw std::runtime_error("registration rejected");
-  }
-
-  while (!stop_.load()) {
-    const auto frame = next_frame(conn, decoder);
-    if (!frame) return true;  // connection lost: maybe reconnect
-
-    if (offline_.load() && unplugged_.load()) {
-      // Silent mode: the radio is gone; drop everything until replugged.
-      continue;
+    const auto ack_frame = next_frame(conn, decoder, config_.rpc_timeout);
+    if (!ack_frame) return true;  // disconnect or ack deadline: retry
+    if (!decode_register_ack(*ack_frame).accepted) {
+      throw std::runtime_error("registration rejected");
     }
+    session_registered_ = true;
 
-    switch (peek_type(*frame)) {
-      case MsgType::kProbeRequest:
-        handle_probe(conn, decoder, decode_probe_request(*frame));
-        break;
-      case MsgType::kAssignPiece:
-        handle_assignment(conn, decoder, decode_assign_piece(*frame));
-        break;
-      case MsgType::kKeepAlive:
-        send_frame(conn, encode_keepalive_ack(decode_keepalive(*frame).seq));
-        break;
-      case MsgType::kShutdown:
-        return false;  // orderly end of the batch
-      default:
-        log_warn("agent") << "phone " << config_.id << " ignoring unexpected frame";
+    while (!stop_.load()) {
+      const auto frame = next_frame(conn, decoder);
+      if (!frame) return true;  // connection lost: maybe reconnect
+
+      if (offline_.load() && unplugged_.load()) {
+        // Silent mode: the radio is gone; drop everything until replugged.
+        continue;
+      }
+
+      switch (peek_type(*frame)) {
+        case MsgType::kProbeRequest:
+          handle_probe(conn, decoder, decode_probe_request(*frame));
+          break;
+        case MsgType::kAssignPiece:
+          handle_assignment(conn, decoder, decode_assign_piece(*frame));
+          break;
+        case MsgType::kKeepAlive:
+          send_frame(conn, encode_keepalive_ack(decode_keepalive(*frame).seq));
+          break;
+        case MsgType::kShutdown:
+          return false;  // orderly end of the batch
+        default:
+          log_warn("agent") << "phone " << config_.id << " ignoring unexpected frame";
+      }
+    }
+    return false;
+  } catch (const SocketError& e) {
+    log_warn("agent") << "phone " << config_.id << " connection error: " << e.what();
+    obs::counter("net.agent.connection_errors").inc();
+    return true;  // reconnect if budget remains
+  }
+}
+
+void PhoneAgent::cache_completion(std::int32_t piece, std::int32_t attempt,
+                                  CachedReport report) {
+  const auto key = std::make_pair(piece, attempt);
+  if (completed_cache_.emplace(key, std::move(report)).second) {
+    completed_order_.push_back(key);
+    while (completed_order_.size() > kCompletedCacheCap) {
+      completed_cache_.erase(completed_order_.front());
+      completed_order_.pop_front();
     }
   }
-  return false;
 }
 
 void PhoneAgent::handle_probe(TcpConnection& conn, FrameDecoder& decoder,
@@ -185,15 +239,17 @@ void PhoneAgent::handle_probe(TcpConnection& conn, FrameDecoder& decoder,
   const auto start = Clock::now();
   std::size_t received = 0;
   for (std::uint32_t i = 0; i < request.chunks;) {
-    const auto frame = next_frame(conn, decoder);
-    if (!frame) throw std::runtime_error("probe stream interrupted");
+    const auto frame = next_frame(conn, decoder, config_.rpc_timeout);
+    // An interrupted probe is a connection-level failure: end the session
+    // (and reconnect) rather than killing the agent thread.
+    if (!frame) throw SocketError("probe stream interrupted", ECONNRESET);
     // Keep-alives interleave freely with probe data; answer and move on.
     if (peek_type(*frame) == MsgType::kKeepAlive) {
       send_frame(conn, encode_keepalive_ack(decode_keepalive(*frame).seq));
       continue;
     }
     if (peek_type(*frame) != MsgType::kProbeData) {
-      throw std::runtime_error("probe stream interrupted");
+      throw SocketError("probe stream interrupted", ECONNRESET);
     }
     pace_link(frame->size(), conn, decoder);
     received += frame->size();
@@ -207,6 +263,30 @@ void PhoneAgent::handle_probe(TcpConnection& conn, FrameDecoder& decoder,
 
 void PhoneAgent::handle_assignment(TcpConnection& conn, FrameDecoder& decoder,
                                    const AssignPieceMsg& assignment) {
+  // Idempotent re-delivery: if this (piece, attempt) already completed —
+  // the server retried because the assignment frame or our report was
+  // lost — replay the cached report instead of executing twice.
+  if (assignment.trace_piece >= 0) {
+    const auto cached =
+        completed_cache_.find({assignment.trace_piece, assignment.trace_attempt});
+    if (cached != completed_cache_.end()) {
+      PieceCompleteMsg completion;
+      completion.job = assignment.job;
+      completion.piece_seq = assignment.piece_seq;
+      completion.piece = assignment.trace_piece;
+      completion.attempt = assignment.trace_attempt;
+      completion.partial_result = cached->second.partial_result;
+      completion.local_exec_ms = cached->second.local_exec_ms;
+      // Count before sending: the server may complete the batch (and a
+      // test may read this counter) the instant the frame lands.
+      ++reports_replayed_;
+      obs::counter("net.agent.reports_replayed").inc();
+      send_frame(conn, encode(completion));
+      log_info("agent") << "phone " << config_.id << " replayed report for piece "
+                        << assignment.trace_piece << " attempt " << assignment.trace_attempt;
+      return;
+    }
+  }
   // Phone-side trace events carry the causal IDs the server put on the wire
   // (trace_piece/attempt/instant), so in-process loopback deployments —
   // where agent threads share the process-global recorder — produce one
@@ -241,6 +321,8 @@ void PhoneAgent::handle_assignment(TcpConnection& conn, FrameDecoder& decoder,
     PieceFailedMsg failure;
     failure.job = assignment.job;
     failure.piece_seq = assignment.piece_seq;
+    failure.piece = assignment.trace_piece;
+    failure.attempt = assignment.trace_attempt;
     send_frame(conn, encode(failure));
     ++pieces_failed_;
     obs::counter("net.agent.pieces_failed").inc();
@@ -271,6 +353,8 @@ void PhoneAgent::handle_assignment(TcpConnection& conn, FrameDecoder& decoder,
       PieceFailedMsg failure;
       failure.job = assignment.job;
       failure.piece_seq = assignment.piece_seq;
+      failure.piece = assignment.trace_piece;
+      failure.attempt = assignment.trace_attempt;
       failure.processed_bytes = checkpoint.bytes_processed;
       failure.partial_result = task->partial_result();
       BufferWriter w;
@@ -315,10 +399,18 @@ void PhoneAgent::handle_assignment(TcpConnection& conn, FrameDecoder& decoder,
   PieceCompleteMsg completion;
   completion.job = assignment.job;
   completion.piece_seq = assignment.piece_seq;
+  completion.piece = assignment.trace_piece;
+  completion.attempt = assignment.trace_attempt;
   completion.partial_result = task->partial_result();
   completion.local_exec_ms = elapsed_ms(exec_start);
   emit(obs::TraceEventType::kPieceStarted, exec_trace_start, obs::trace_now(),
        completion.local_exec_ms);
+  if (assignment.trace_piece >= 0) {
+    cache_completion(assignment.trace_piece, assignment.trace_attempt,
+                     {completion.partial_result, completion.local_exec_ms});
+  }
+  // Cache before sending: if this send fails, the re-delivered assignment
+  // after reconnect is answered from the cache instead of re-executed.
   send_frame(conn, encode(completion));
   ++pieces_completed_;
   obs::counter("net.agent.pieces_completed").inc();

@@ -26,9 +26,11 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <optional>
 #include <string>
 #include <thread>
+#include <utility>
 
 #include "common/types.h"
 #include "net/framing.h"
@@ -46,7 +48,20 @@ struct PhoneAgentConfig {
   /// phone was declared lost while "unplugged" and later replugged).
   /// 0 disables reconnection; the thread then exits on disconnect.
   int max_reconnects = 0;
+  /// Reconnect backoff: bounded exponential with jitter. The delay starts
+  /// at `reconnect_backoff`, doubles per consecutive failed session, is
+  /// capped at `reconnect_backoff_max`, and each sleep is scaled by a
+  /// uniform factor in [1 - jitter, 1 + jitter] (drawn from a seeded Rng,
+  /// so runs are reproducible). A session that reaches registration resets
+  /// the delay to the base value.
   Millis reconnect_backoff = 250.0;
+  Millis reconnect_backoff_max = 5000.0;
+  double reconnect_jitter = 0.2;
+  /// Seed for the jitter stream (0 = derive from the phone id).
+  std::uint64_t backoff_seed = 0;
+  /// Deadline for the registration-ack RPC (0 = wait forever). On expiry
+  /// the session counts as failed and the reconnect loop takes over.
+  Millis rpc_timeout = 0.0;
   double cpu_mhz = 1000.0;
   Kilobytes ram_kb = megabytes(1024.0);
   /// Wall-clock pacing target for execution; 0 = run at host speed.
@@ -74,6 +89,12 @@ class PhoneAgent {
   void start();
   /// Waits for the agent thread to exit (it exits on kShutdown or error).
   void join();
+  /// Asks the agent loop to exit at its next stop-check without waiting.
+  /// A reconnecting agent can miss the server's orderly kShutdown frame
+  /// (the batch may finish while it is mid-backoff); callers that only
+  /// care that the work is done should stop() before join() rather than
+  /// wait out the full reconnect budget.
+  void stop() { stop_.store(true); }
 
   /// Simulates the owner unplugging the phone. With `offline` the agent
   /// goes silent (keep-alive loss); otherwise it reports the failure.
@@ -98,6 +119,7 @@ class PhoneAgent {
 
   std::size_t pieces_completed() const { return pieces_completed_.load(); }
   std::size_t pieces_failed() const { return pieces_failed_.load(); }
+  std::size_t reports_replayed() const { return reports_replayed_.load(); }
   bool finished() const { return finished_.load(); }
 
  private:
@@ -109,8 +131,10 @@ class PhoneAgent {
   void handle_assignment(TcpConnection& conn, FrameDecoder& decoder,
                          const AssignPieceMsg& assignment);
   /// Next frame for the main protocol loop: stashed frames first, then a
-  /// stop-aware poll/recv loop. Returns nullopt on disconnect or stop.
-  std::optional<Blob> next_frame(TcpConnection& conn, FrameDecoder& decoder);
+  /// stop-aware poll/recv loop. Returns nullopt on disconnect, stop, or —
+  /// when `deadline_ms` > 0 — after that much wall-clock with no frame.
+  std::optional<Blob> next_frame(TcpConnection& conn, FrameDecoder& decoder,
+                                 Millis deadline_ms = 0.0);
   /// Answers any keep-alives waiting on the socket without blocking and
   /// stashes other frames for the main loop; the real Android service
   /// handles keep-alives concurrently with task execution.
@@ -130,8 +154,23 @@ class PhoneAgent {
   std::atomic<double> link_kbps_{0.0};
   std::atomic<std::size_t> pieces_completed_{0};
   std::atomic<std::size_t> pieces_failed_{0};
+  std::atomic<std::size_t> reports_replayed_{0};
   std::atomic<bool> finished_{false};
   std::deque<Blob> stash_;  ///< frames set aside by service_keepalives
+  bool session_registered_ = false;  ///< last session reached registration
+
+  /// Bounded cache of completed (piece, attempt) -> report, so a
+  /// re-delivered assignment (the server's retry after a lost frame or
+  /// lost report) is answered idempotently from the cache instead of
+  /// being executed — and banked — twice.
+  struct CachedReport {
+    Blob partial_result;
+    Millis local_exec_ms = 0.0;
+  };
+  std::map<std::pair<std::int32_t, std::int32_t>, CachedReport> completed_cache_;
+  std::deque<std::pair<std::int32_t, std::int32_t>> completed_order_;
+  static constexpr std::size_t kCompletedCacheCap = 32;
+  void cache_completion(std::int32_t piece, std::int32_t attempt, CachedReport report);
 };
 
 }  // namespace cwc::net

@@ -124,6 +124,8 @@ Blob encode(const PieceCompleteMsg& msg) {
   BufferWriter w = begin(MsgType::kPieceComplete);
   w.write_i32(msg.job);
   w.write_u32(msg.piece_seq);
+  w.write_i32(msg.piece);
+  w.write_i32(msg.attempt);
   w.write_bytes(msg.partial_result);
   w.write_f64(msg.local_exec_ms);
   return w.take();
@@ -134,6 +136,8 @@ PieceCompleteMsg decode_piece_complete(const Blob& frame) {
   PieceCompleteMsg msg;
   msg.job = r.read_i32();
   msg.piece_seq = r.read_u32();
+  msg.piece = r.read_i32();
+  msg.attempt = r.read_i32();
   msg.partial_result = r.read_bytes();
   msg.local_exec_ms = r.read_f64();
   return msg;
@@ -143,6 +147,8 @@ Blob encode(const PieceFailedMsg& msg) {
   BufferWriter w = begin(MsgType::kPieceFailed);
   w.write_i32(msg.job);
   w.write_u32(msg.piece_seq);
+  w.write_i32(msg.piece);
+  w.write_i32(msg.attempt);
   w.write_u64(msg.processed_bytes);
   w.write_bytes(msg.partial_result);
   w.write_bytes(msg.checkpoint);
@@ -155,6 +161,8 @@ PieceFailedMsg decode_piece_failed(const Blob& frame) {
   PieceFailedMsg msg;
   msg.job = r.read_i32();
   msg.piece_seq = r.read_u32();
+  msg.piece = r.read_i32();
+  msg.attempt = r.read_i32();
   msg.processed_bytes = r.read_u64();
   msg.partial_result = r.read_bytes();
   msg.checkpoint = r.read_bytes();

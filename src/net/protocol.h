@@ -94,6 +94,11 @@ AssignPieceMsg decode_assign_piece(const Blob& frame);
 struct PieceCompleteMsg {
   JobId job = kInvalidJob;
   std::uint32_t piece_seq = 0;
+  /// (piece, attempt) identity echoed from the assignment so the server
+  /// can recognize re-delivered reports idempotently (a retried
+  /// AssignPiece may provoke a duplicate report for the same attempt).
+  std::int32_t piece = -1;
+  std::int32_t attempt = -1;
   Blob partial_result;
   Millis local_exec_ms = 0.0;
 };
@@ -103,6 +108,8 @@ PieceCompleteMsg decode_piece_complete(const Blob& frame);
 struct PieceFailedMsg {
   JobId job = kInvalidJob;
   std::uint32_t piece_seq = 0;
+  std::int32_t piece = -1;            ///< assignment identity echo (see PieceCompleteMsg)
+  std::int32_t attempt = -1;
   std::uint64_t processed_bytes = 0;  ///< prefix of the slice consumed
   Blob partial_result;                ///< result over the processed prefix
   Blob checkpoint;                    ///< migratable state (atomic tasks)

@@ -5,7 +5,9 @@
 #include <algorithm>
 #include <chrono>
 #include <stdexcept>
+#include <thread>
 
+#include "common/fault.h"
 #include "common/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -51,8 +53,16 @@ CwcServer::CwcServer(std::unique_ptr<core::Scheduler> scheduler,
   obs::counter("net.server.bytes_sent");
   obs::counter("net.server.bytes_received");
   obs::counter("net.server.keepalives_sent");
+  obs::counter("net.server.keepalive.misses");
+  obs::counter("net.server.keepalive.stale_acks");
   obs::counter("net.server.keepalive.drops");
   obs::counter("net.server.phones_lost");
+  obs::counter("net.server.stale_reports");
+  obs::counter("net.server.assign_retries");
+  obs::counter("net.server.corrupt_streams");
+  obs::counter("net.server.duplicate_registrations");
+  obs::counter("net.server.rpc_timeouts");
+  obs::counter("net.server.journal_errors");
   listener_.set_nonblocking(true);
 }
 
@@ -71,9 +81,25 @@ JobId CwcServer::submit(const std::string& task_name, Blob input) {
   if (state.spec.kind == JobKind::kBreakable) {
     state.pending_ranges.push_back({0, state.input.size()});
   }
-  if (journal_) journal_->record_submit(id, task_name, state.input);
+  if (journal_) {
+    try {
+      journal_->record_submit(id, task_name, state.input);
+    } catch (const std::exception& e) {
+      on_journal_error(e);
+    }
+  }
   jobs_[id] = std::move(state);
   return id;
+}
+
+void CwcServer::on_journal_error(const std::exception& error) {
+  // A failed append may leave a torn record at the file tail; anything
+  // appended after it would be unreachable to replay (which stops at the
+  // first invalid record). Disable journaling for the rest of the run
+  // rather than banking unrecoverable state — the batch itself proceeds.
+  log_warn("cwc-server") << "journal write failed, disabling journaling: " << error.what();
+  obs::counter("net.server.journal_errors").inc();
+  journal_.reset();
 }
 
 std::map<JobId, JobId> CwcServer::recover_from(const std::string& journal_path) {
@@ -122,8 +148,12 @@ std::map<JobId, JobId> CwcServer::recover_from(const std::string& journal_path) 
     // nothing of it is covered yet, so bank the partials as zero-length
     // progress markers).
     if (journal_) {
-      for (const Blob& partial : job.partials) {
-        journal_->record_progress(id, {}, partial);
+      try {
+        for (const Blob& partial : job.partials) {
+          journal_->record_progress(id, {}, partial);
+        }
+      } catch (const std::exception& e) {
+        on_journal_error(e);
       }
     }
     mapping[old_id] = id;
@@ -136,34 +166,60 @@ void CwcServer::accept_new_connections() {
     conn->set_nonblocking(true);
     auto connection = std::make_unique<Connection>();
     connection->conn = std::move(*conn);
+    connection->connected_ms = now_ms_;
     connections_.push_back(std::move(connection));
   }
 }
 
 void CwcServer::service_connection(Connection& c) {
-  while (true) {
-    const auto data = c.conn.recv_some();
-    if (!data) break;  // would block: drained
-    if (data->empty()) {
-      drop_connection(c, /*lost=*/true);
-      return;
+  // Nothing a single misbehaving connection does may take down the loop:
+  // socket errors and corrupted streams (oversized frame length, torn
+  // framing) cost that connection only. The phone's in-flight work goes
+  // back to the pool and the agent reconnects with backoff.
+  try {
+    while (true) {
+      const auto data = c.conn.recv_some();
+      if (!data) break;  // would block: drained
+      if (data->empty()) {
+        drop_connection(c, /*lost=*/true);
+        return;
+      }
+      obs::counter("net.server.bytes_received").inc(static_cast<double>(data->size()));
+      c.decoder.feed(*data);
     }
-    obs::counter("net.server.bytes_received").inc(static_cast<double>(data->size()));
-    c.decoder.feed(*data);
-  }
-  while (c.conn.valid()) {
-    const auto frame = c.decoder.pop();
-    if (!frame) break;
-    handle_frame(c, *frame);
+    while (c.conn.valid()) {
+      const auto frame = c.decoder.pop();
+      if (!frame) break;
+      handle_frame(c, *frame);
+    }
+  } catch (const SocketError& e) {
+    log_warn("cwc-server") << "socket error on phone " << c.phone << ": " << e.what();
+    drop_connection(c, /*lost=*/true);
+  } catch (const std::runtime_error& e) {
+    obs::counter("net.server.corrupt_streams").inc();
+    log_warn("cwc-server") << "corrupted stream from phone " << c.phone << ": " << e.what();
+    drop_connection(c, /*lost=*/true);
   }
 }
 
 void CwcServer::handle_frame(Connection& c, const Blob& frame) {
   obs::counter("net.server.frames_received").inc();
-  c.keepalive_outstanding = 0;  // any traffic proves the phone is alive
   switch (peek_type(frame)) {
     case MsgType::kRegister: {
       const RegisterMsg msg = decode_register(frame);
+      // A reconnecting agent may race its own half-dead previous
+      // connection (the server has not yet missed enough keep-alives to
+      // notice). The new connection wins: retire the stale one first so
+      // its in-flight piece returns to the pool before re-registration.
+      for (auto& other : connections_) {
+        if (other.get() != &c && other->conn.valid() && other->registered &&
+            other->phone == msg.phone) {
+          obs::counter("net.server.duplicate_registrations").inc();
+          log_warn("cwc-server") << "phone " << msg.phone
+                                 << " re-registered; dropping stale connection";
+          drop_connection(*other, /*lost=*/true);
+        }
+      }
       core::PhoneSpec spec;
       spec.id = msg.phone;
       spec.cpu_mhz = msg.cpu_mhz;
@@ -193,9 +249,20 @@ void CwcServer::handle_frame(Connection& c, const Blob& frame) {
     case MsgType::kPieceFailed:
       on_failed(c, decode_piece_failed(frame));
       break;
-    case MsgType::kKeepAliveAck:
-      c.keepalive_outstanding = 0;
+    case MsgType::kKeepAliveAck: {
+      // Only an ack of the *latest* ping proves current liveness and
+      // resets the consecutive-miss count. A stale ack (an earlier ping's
+      // reply finally surfacing) does not: the phone may have been
+      // unreachable since.
+      const KeepAliveMsg msg = decode_keepalive_ack(frame);
+      if (msg.seq == c.keepalive_seq) {
+        c.keepalive_acked = msg.seq;
+        c.keepalive_missed = 0;
+      } else {
+        obs::counter("net.server.keepalive.stale_acks").inc();
+      }
       break;
+    }
     default:
       log_warn("cwc-server") << "unexpected frame from phone " << c.phone;
   }
@@ -210,6 +277,7 @@ void CwcServer::start_probe(Connection& c) {
     send_frame(c.conn, encode_probe_data(request.chunk_bytes));
   }
   c.probing = true;
+  c.last_probe_ms = now_ms_;
   ++probes_sent_;
   obs::counter("net.server.probes_sent").inc();
 }
@@ -279,7 +347,33 @@ void CwcServer::assign_next_piece(Connection& c) {
   msg.trace_attempt = work->identity.attempt;
   msg.trace_instant = work->identity.instant;
   c.busy = true;
-  send_frame(c.conn, encode(msg));
+  // Keep the encoded frame so the retry timer can re-deliver it verbatim
+  // (same piece_seq and (piece, attempt) identity → idempotent on the
+  // agent side).
+  c.assign_frame = encode(msg);
+  c.assign_sent_ms = now_ms_;
+  c.assign_retries = 0;
+  bool deliver = true;
+  if (const fault::FaultAction action = fault::check(fault::FaultPoint::kAssignPiece)) {
+    if (action.kind == fault::FaultAction::Kind::kDrop) {
+      deliver = false;  // frame lost in flight; the retry timer recovers
+    } else if (action.kind == fault::FaultAction::Kind::kDelay) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(action.delay_ms));
+    } else {
+      drop_connection(c, /*lost=*/true);
+      return;
+    }
+  }
+  if (deliver) {
+    try {
+      send_frame(c.conn, c.assign_frame);
+    } catch (const SocketError& e) {
+      log_warn("cwc-server") << "assignment send to phone " << c.phone
+                             << " failed: " << e.what();
+      drop_connection(c, /*lost=*/true);
+      return;
+    }
+  }
   // Mark the moment the piece left the server (the phone agent records the
   // actual transfer/execution spans under the same causal IDs).
   if (obs::trace_enabled()) {
@@ -296,21 +390,61 @@ void CwcServer::assign_next_piece(Connection& c) {
   }
 }
 
+bool CwcServer::report_matches_inflight(const Connection& c, std::uint32_t piece_seq,
+                                        std::int32_t piece, std::int32_t attempt) const {
+  if (!c.busy || piece_seq != c.piece_seq) return false;
+  // When the report echoes the assignment identity, require an exact
+  // (piece, attempt) match: a duplicate report for an attempt that was
+  // already superseded (re-assignment after a retry) must not be banked
+  // twice.
+  if (piece >= 0 && (piece != c.piece_identity.piece || attempt != c.piece_identity.attempt)) {
+    return false;
+  }
+  return true;
+}
+
+namespace {
+/// kReportHandling fault gate: true = discard the report (the retry timer
+/// and agent-side replay recover it).
+bool report_fault_drops() {
+  if (const fault::FaultAction action = fault::check(fault::FaultPoint::kReportHandling)) {
+    if (action.kind == fault::FaultAction::Kind::kDrop) return true;
+    if (action.kind == fault::FaultAction::Kind::kDelay) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(action.delay_ms));
+    }
+  }
+  return false;
+}
+}  // namespace
+
 void CwcServer::on_complete(Connection& c, const PieceCompleteMsg& msg) {
-  if (!c.busy || msg.piece_seq != c.piece_seq) return;  // stale report
+  if (report_fault_drops()) return;
+  if (!report_matches_inflight(c, msg.piece_seq, msg.piece, msg.attempt)) {
+    obs::counter("net.server.stale_reports").inc();
+    return;
+  }
   c.busy = false;
+  c.assign_frame.clear();
   JobState& job = jobs_.at(msg.job);
   job.partials.push_back(msg.partial_result);
   if (job.spec.kind == JobKind::kBreakable) {
     for (const auto& [begin, end] : c.piece_fragments) job.bytes_completed += end - begin;
     if (journal_) {
-      journal_->record_progress(msg.job,
-                                Journal::Ranges(c.piece_fragments.begin(),
-                                                c.piece_fragments.end()),
-                                msg.partial_result);
+      try {
+        journal_->record_progress(msg.job,
+                                  Journal::Ranges(c.piece_fragments.begin(),
+                                                  c.piece_fragments.end()),
+                                  msg.partial_result);
+      } catch (const std::exception& e) {
+        on_journal_error(e);
+      }
     }
   } else if (journal_) {
-    journal_->record_atomic_done(msg.job, msg.partial_result);
+    try {
+      journal_->record_atomic_done(msg.job, msg.partial_result);
+    } catch (const std::exception& e) {
+      on_journal_error(e);
+    }
   }
   controller_.on_piece_complete(c.phone, msg.local_exec_ms);
   maybe_finish_job(msg.job);
@@ -318,10 +452,15 @@ void CwcServer::on_complete(Connection& c, const PieceCompleteMsg& msg) {
 }
 
 void CwcServer::on_failed(Connection& c, const PieceFailedMsg& msg) {
-  if (!c.busy || msg.piece_seq != c.piece_seq) return;
+  if (report_fault_drops()) return;
+  if (!report_matches_inflight(c, msg.piece_seq, msg.piece, msg.attempt)) {
+    obs::counter("net.server.stale_reports").inc();
+    return;
+  }
   ++failures_received_;
   obs::counter("net.server.failures_received").inc();
   c.busy = false;
+  c.assign_frame.clear();
   JobState& job = jobs_.at(msg.job);
 
   Kilobytes processed_kb = 0.0;
@@ -400,38 +539,104 @@ void CwcServer::drop_connection(Connection& c, bool lost) {
   }
   c.conn.close();
   c.ready = false;
+  c.busy = false;
+  c.probing = false;
+  c.assign_frame.clear();
 }
 
 void CwcServer::send_keepalives(double) {
   for (auto& connection : connections_) {
     Connection& c = *connection;
     if (!c.conn.valid() || !c.registered) continue;
-    if (c.keepalive_outstanding >= config_.keepalive_misses) {
-      obs::counter("net.server.keepalive.drops").inc();
+    // A miss is a tick where the latest ping is still unanswered. Acks of
+    // that ping reset the count in handle_frame, so `keepalive_missed`
+    // counts *consecutive* misses only, and a phone is declared lost
+    // after `keepalive_misses` of them: worst-case detection latency is
+    // period x (misses + 1) — the ping sent just after the phone died
+    // plus the tolerated silent ticks.
+    if (c.keepalive_seq > c.keepalive_acked) {
+      ++c.keepalive_missed;
+      obs::counter("net.server.keepalive.misses").inc();
       if (obs::trace_enabled()) {
         obs::TraceEvent event;
         event.type = obs::TraceEventType::kKeepAliveMissed;
         event.t = obs::trace_now();
         event.phone = c.phone;
-        event.value = static_cast<double>(c.keepalive_outstanding);
+        event.value = static_cast<double>(c.keepalive_missed);
         obs::trace_record(event);
       }
-      drop_connection(c, /*lost=*/true);
+      if (c.keepalive_missed >= config_.keepalive_misses) {
+        obs::counter("net.server.keepalive.drops").inc();
+        drop_connection(c, /*lost=*/true);
+        continue;
+      }
+    }
+    // The seq is consumed even when the injected fault swallows the ping:
+    // the phone never sees it, cannot ack it, and the miss accounting
+    // above runs exactly as it would for a ping lost on a real network.
+    const std::uint64_t seq = ++c.keepalive_seq;
+    if (const fault::FaultAction action = fault::check(fault::FaultPoint::kKeepAliveSend);
+        action.kind == fault::FaultAction::Kind::kDrop) {
       continue;
     }
     try {
-      send_frame(c.conn, encode_keepalive(++c.keepalive_seq));
-      ++c.keepalive_outstanding;
+      send_frame(c.conn, encode_keepalive(seq));
       obs::counter("net.server.keepalives_sent").inc();
       if (obs::trace_enabled()) {
         obs::TraceEvent event;
         event.type = obs::TraceEventType::kKeepAliveSent;
         event.t = obs::trace_now();
         event.phone = c.phone;
-        event.value = static_cast<double>(c.keepalive_seq);
+        event.value = static_cast<double>(seq);
         obs::trace_record(event);
       }
     } catch (const SocketError&) {
+      drop_connection(c, /*lost=*/true);
+    }
+  }
+}
+
+void CwcServer::retry_assignments(double now_ms) {
+  if (config_.assign_retry_period <= 0.0) return;
+  for (auto& connection : connections_) {
+    Connection& c = *connection;
+    if (!c.conn.valid() || !c.busy || c.assign_frame.empty()) continue;
+    // Exponential re-delivery interval: period, 2x, 4x, ...
+    const double interval =
+        config_.assign_retry_period *
+        static_cast<double>(std::uint64_t{1} << std::min(c.assign_retries, 20));
+    if (now_ms - c.assign_sent_ms < interval) continue;
+    if (c.assign_retries >= config_.assign_max_retries) {
+      log_warn("cwc-server") << "phone " << c.phone << " unresponsive after "
+                             << c.assign_retries << " assignment retries; declaring lost";
+      drop_connection(c, /*lost=*/true);
+      continue;
+    }
+    ++c.assign_retries;
+    c.assign_sent_ms = now_ms;
+    obs::counter("net.server.assign_retries").inc();
+    log_info("cwc-server") << "re-delivering assignment to phone " << c.phone << " (retry "
+                           << c.assign_retries << ")";
+    try {
+      send_frame(c.conn, c.assign_frame);
+    } catch (const SocketError&) {
+      drop_connection(c, /*lost=*/true);
+    }
+  }
+}
+
+void CwcServer::enforce_rpc_deadlines(double now_ms) {
+  if (config_.rpc_timeout <= 0.0) return;
+  for (auto& connection : connections_) {
+    Connection& c = *connection;
+    if (!c.conn.valid()) continue;
+    if (!c.registered && now_ms - c.connected_ms >= config_.rpc_timeout) {
+      obs::counter("net.server.rpc_timeouts").inc();
+      log_warn("cwc-server") << "connection never registered within deadline; closing";
+      drop_connection(c, /*lost=*/false);
+    } else if (c.probing && now_ms - c.last_probe_ms >= config_.rpc_timeout) {
+      obs::counter("net.server.rpc_timeouts").inc();
+      log_warn("cwc-server") << "phone " << c.phone << " probe timed out; dropping";
       drop_connection(c, /*lost=*/true);
     }
   }
@@ -510,12 +715,18 @@ bool CwcServer::run(int expected_phones, Millis timeout) {
     }
     ::poll(fds.data(), fds.size(), 20);
 
+    now_ms_ = ms_since(start);
     accept_new_connections();
     for (auto& connection : connections_) {
       if (connection->conn.valid()) service_connection(*connection);
     }
+    // Connections closed this iteration (agent resets, corrupt streams,
+    // keep-alive drops) would otherwise accumulate across reconnects.
+    std::erase_if(connections_,
+                  [](const std::unique_ptr<Connection>& c) { return !c->conn.valid(); });
 
     const double now = ms_since(start);
+    now_ms_ = now;
     int ready = 0;
     for (auto& connection : connections_) {
       if (connection->conn.valid() && connection->ready) ++ready;
@@ -555,6 +766,9 @@ bool CwcServer::run(int expected_phones, Millis timeout) {
         }
       }
     }
+
+    retry_assignments(now);
+    enforce_rpc_deadlines(now);
 
     if (now - last_keepalive >= config_.keepalive_period) {
       send_keepalives(now);

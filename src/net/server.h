@@ -48,6 +48,17 @@ struct ServerConfig {
   /// The paper: WiFi needs only infrequent probes, but cellular links
   /// "require more frequent bandwidth measurements".
   Millis reprobe_period = 0.0;
+  /// Re-send a still-unreported assignment after this long, doubling the
+  /// interval on each retry (0 = never re-send). Assignments carry stable
+  /// (piece, attempt) IDs, and agents replay completed work idempotently,
+  /// so re-delivery is safe when the original frame or its report was
+  /// lost. After `assign_max_retries` re-sends the phone is declared lost.
+  Millis assign_retry_period = 0.0;
+  int assign_max_retries = 5;
+  /// Deadline for in-flight RPC exchanges (0 = none): a connection that
+  /// does not register, or a probe that never reports, within this window
+  /// is dropped instead of wedging a server slot forever.
+  Millis rpc_timeout = 0.0;
   /// Listening port (0 = kernel-assigned) and interface scope.
   std::uint16_t port = 0;
   bool bind_all_interfaces = false;
@@ -121,9 +132,22 @@ class CwcServer {
     std::vector<std::pair<std::size_t, std::size_t>> piece_fragments;
     JobId piece_job = kInvalidJob;
     core::PieceIdentity piece_identity;  ///< trace IDs of the in-flight piece
-    int keepalive_outstanding = 0;
-    std::uint64_t keepalive_seq = 0;
-    double last_probe_ms = 0.0;  ///< run-clock time of the last probe
+    /// Keep-alive liveness: a miss is one keep-alive tick where the most
+    /// recently sent ping is still unacknowledged; any ack of the latest
+    /// ping resets the count, so only *consecutive* misses accumulate.
+    /// The phone is declared lost at `keepalive_misses` consecutive
+    /// misses — worst-case detection latency period x (misses + 1).
+    std::uint64_t keepalive_seq = 0;    ///< seq of the last ping sent
+    std::uint64_t keepalive_acked = 0;  ///< highest latest-ping ack seen
+    int keepalive_missed = 0;           ///< consecutive unanswered ticks
+    /// In-flight assignment for idempotent re-delivery: the encoded frame
+    /// is kept until its report arrives so a retry timer can re-send it
+    /// verbatim (same piece_seq, same (piece, attempt) identity).
+    Blob assign_frame;
+    double assign_sent_ms = 0.0;  ///< run-clock time of the last (re)send
+    int assign_retries = 0;
+    double connected_ms = 0.0;    ///< run-clock time the socket was accepted
+    double last_probe_ms = 0.0;   ///< run-clock time of the last probe
   };
 
   void accept_new_connections();
@@ -131,10 +155,22 @@ class CwcServer {
   void handle_frame(Connection& c, const Blob& frame);
   void start_probe(Connection& c);
   void assign_next_piece(Connection& c);
+  /// True when the report matches the in-flight piece on this connection
+  /// (piece_seq and, when echoed, the (piece, attempt) identity).
+  bool report_matches_inflight(const Connection& c, std::uint32_t piece_seq,
+                               std::int32_t piece, std::int32_t attempt) const;
   void on_complete(Connection& c, const PieceCompleteMsg& msg);
   void on_failed(Connection& c, const PieceFailedMsg& msg);
   void drop_connection(Connection& c, bool lost);
   void send_keepalives(double now_ms);
+  /// Re-sends overdue in-flight assignments (see assign_retry_period).
+  void retry_assignments(double now_ms);
+  /// Drops connections whose registration or probe exchange has exceeded
+  /// rpc_timeout.
+  void enforce_rpc_deadlines(double now_ms);
+  /// Journal write failed: log, count, and disable journaling (the file
+  /// tail may be torn; replay recovers the longest valid prefix).
+  void on_journal_error(const std::exception& error);
   void scheduling_instant();
   void maybe_finish_job(JobId job);
   bool all_jobs_done() const;
@@ -153,6 +189,7 @@ class CwcServer {
   std::size_t phones_lost_ = 0;
   std::size_t failures_received_ = 0;
   std::size_t scheduling_rounds_ = 0;
+  double now_ms_ = 0.0;  ///< run-clock time of the current loop iteration
   bool shutdown_sent_ = false;
 };
 

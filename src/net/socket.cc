@@ -7,10 +7,32 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
+
+#include "common/fault.h"
 
 namespace cwc::net {
+
+namespace {
+/// Applies the non-payload-altering fault kinds shared by every socket
+/// site: kDelay stalls, kReset throws as a peer reset. Payload-shaping
+/// kinds (kDrop, kPartial) are interpreted by each call site.
+void apply_common_fault(const fault::FaultAction& action, const char* site) {
+  switch (action.kind) {
+    case fault::FaultAction::Kind::kDelay:
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(action.delay_ms));
+      break;
+    case fault::FaultAction::Kind::kReset:
+      throw SocketError(std::string("injected fault: ") + site, ECONNRESET);
+    default:
+      break;
+  }
+}
+}  // namespace
 
 FileDescriptor::~FileDescriptor() { reset(); }
 
@@ -64,6 +86,14 @@ TcpConnection TcpConnection::connect_ipv4(const std::string& address, std::uint1
   if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
     throw SocketError("inet_pton: invalid IPv4 address " + address, EINVAL);
   }
+  if (const fault::FaultAction action = fault::check(fault::FaultPoint::kSocketConnect)) {
+    // kDrop behaves like kReset here: there is no "silently skip" for a
+    // connect, the caller needs a connection or an error.
+    if (action.kind == fault::FaultAction::Kind::kDrop) {
+      throw SocketError("injected fault: connect", ECONNREFUSED);
+    }
+    apply_common_fault(action, "connect");
+  }
   if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
     throw SocketError("connect", errno);
   }
@@ -73,6 +103,20 @@ TcpConnection TcpConnection::connect_ipv4(const std::string& address, std::uint1
 }
 
 void TcpConnection::send_all(std::span<const std::uint8_t> data) {
+  if (const fault::FaultAction action = fault::check(fault::FaultPoint::kSocketWrite)) {
+    if (action.kind == fault::FaultAction::Kind::kDrop) return;  // bytes vanish
+    if (action.kind == fault::FaultAction::Kind::kPartial) {
+      const auto cut = static_cast<std::size_t>(
+          static_cast<double>(data.size()) * std::clamp(action.fraction, 0.0, 1.0));
+      if (cut > 0) send_all_raw(data.subspan(0, cut));
+      throw SocketError("injected fault: partial write", ECONNRESET);
+    }
+    apply_common_fault(action, "send");
+  }
+  send_all_raw(data);
+}
+
+void TcpConnection::send_all_raw(std::span<const std::uint8_t> data) {
   std::size_t sent = 0;
   while (sent < data.size()) {
     const ssize_t n = ::send(fd_.get(), data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
@@ -85,6 +129,13 @@ void TcpConnection::send_all(std::span<const std::uint8_t> data) {
 }
 
 std::optional<std::vector<std::uint8_t>> TcpConnection::recv_some(std::size_t max) {
+  if (const fault::FaultAction action = fault::check(fault::FaultPoint::kSocketRead)) {
+    // kDrop reads as "no data right now"; the bytes stay queued in the
+    // kernel, so this models delivery delay rather than loss (TCP would
+    // retransmit real loss anyway).
+    if (action.kind == fault::FaultAction::Kind::kDrop) return std::nullopt;
+    apply_common_fault(action, "recv");
+  }
   std::vector<std::uint8_t> buffer(max);
   while (true) {
     const ssize_t n = ::recv(fd_.get(), buffer.data(), buffer.size(), 0);

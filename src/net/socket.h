@@ -69,6 +69,10 @@ class TcpConnection {
   void close() { fd_.reset(); }
 
  private:
+  /// send_all without the fault-injection check (used to emit the prefix
+  /// of an injected partial write).
+  void send_all_raw(std::span<const std::uint8_t> data);
+
   FileDescriptor fd_;
 };
 

@@ -1,0 +1,29 @@
+#include "obs/fault_obs.h"
+
+#include <string>
+
+#include "common/fault.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace cwc::obs {
+
+void arm_fault_telemetry() {
+  for (std::size_t i = 0; i < fault::kFaultPointCount; ++i) {
+    counter(std::string("fault.fired.") +
+            fault::fault_point_name(static_cast<fault::FaultPoint>(i)));
+  }
+  fault::FaultInjector::global().set_observer(
+      [](fault::FaultPoint point, const fault::FaultAction& action) {
+        counter(std::string("fault.fired.") + fault::fault_point_name(point)).inc();
+        if (!trace_enabled()) return;
+        TraceEvent event;
+        event.type = TraceEventType::kFaultInjected;
+        event.t = trace_now();
+        event.value = static_cast<double>(point);
+        event.dur = action.kind == fault::FaultAction::Kind::kDelay ? action.delay_ms : 0.0;
+        trace_record(event);
+      });
+}
+
+}  // namespace cwc::obs

@@ -1,0 +1,16 @@
+// Telemetry glue between the fault injector (common/fault.h, which cannot
+// depend on obs) and the metrics + trace layers. Arming telemetry installs
+// a FaultInjector observer that publishes every fire as a
+// `fault.fired.<point>` counter increment and a kFaultInjected trace event,
+// so chaos runs show up in --metrics-out snapshots and Perfetto timelines
+// alongside the retries and recoveries they provoke.
+#pragma once
+
+namespace cwc::obs {
+
+/// Installs the metrics/trace observer on fault::FaultInjector::global()
+/// and pre-registers the `fault.fired.<point>` counters (zero-valued until
+/// a fire). Idempotent; call after configuring rules, before arm().
+void arm_fault_telemetry();
+
+}  // namespace cwc::obs

@@ -28,6 +28,8 @@ constexpr const char* kTypeNames[kTraceEventTypeCount] = {
     "throttle_state",       // kThrottleState
     "phone_registered",     // kPhoneRegistered
     "phone_replugged",      // kPhoneReplugged
+    "fault_injected",       // kFaultInjected
+    "retry_backoff",        // kRetryBackoff
 };
 
 Millis default_clock() {

@@ -60,11 +60,13 @@ enum class TraceEventType : std::uint8_t {
   kThrottleState,        ///< MIMD throttler sleep change (value = sleep ms)
   kPhoneRegistered,      ///< phone joined the pool
   kPhoneReplugged,       ///< phone re-entered the pool after a failure
+  kFaultInjected,        ///< fault point fired (value = fault point index)
+  kRetryBackoff,         ///< reconnect/retry backoff sleep (value = delay ms)
 };
 
 /// Number of distinct TraceEventType values (for tables and validation).
 inline constexpr std::size_t kTraceEventTypeCount =
-    static_cast<std::size_t>(TraceEventType::kPhoneReplugged) + 1;
+    static_cast<std::size_t>(TraceEventType::kRetryBackoff) + 1;
 
 /// Stable machine name of an event type ("piece_scheduled", ...).
 const char* trace_event_name(TraceEventType type);

@@ -5,9 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 
+#include "common/fault.h"
 #include "common/rng.h"
 #include "core/greedy.h"
 #include "core/testbed.h"
@@ -71,6 +73,105 @@ TEST(Journal, ToleratesTornFinalRecord) {
   const auto jobs = Journal::replay(path);
   ASSERT_EQ(jobs.size(), 1u);
   EXPECT_TRUE(jobs.at(1).done(false));
+  std::remove(path.c_str());
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(file), std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  file.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(Journal, TruncatedTailRecoversLongestValidPrefixAtEveryOffset) {
+  const std::string path = temp_journal("every_offset");
+  // Three records, remembering the file size after each one (appends go
+  // straight to the fd, so sizes are visible immediately).
+  Journal journal(path, /*truncate=*/true);
+  journal.record_submit(1, "prime-count", {1, 2, 3});
+  const std::size_t after_submit = read_file(path).size();
+  journal.record_progress(1, {{0, 3}}, {0x11});
+  const std::size_t after_progress = read_file(path).size();
+  journal.record_submit(2, "photo-blur", {9});
+  const auto full = read_file(path);
+
+  const std::string cut_path = temp_journal("every_offset_cut");
+  for (std::size_t cut = 0; cut <= full.size(); ++cut) {
+    write_file(cut_path, {full.begin(), full.begin() + static_cast<std::ptrdiff_t>(cut)});
+    std::map<JobId, Journal::RecoveredJob> jobs;
+    ASSERT_NO_THROW(jobs = Journal::replay(cut_path)) << "cut at byte " << cut;
+    // Exactly the records that fit whole before the cut survive.
+    if (cut < after_submit) {
+      EXPECT_TRUE(jobs.empty()) << "cut at byte " << cut;
+    } else if (cut < after_progress) {
+      ASSERT_EQ(jobs.size(), 1u) << "cut at byte " << cut;
+      EXPECT_TRUE(jobs.at(1).partials.empty()) << "cut at byte " << cut;
+    } else if (cut < full.size()) {
+      ASSERT_EQ(jobs.size(), 1u) << "cut at byte " << cut;
+      EXPECT_EQ(jobs.at(1).partials.size(), 1u) << "cut at byte " << cut;
+      EXPECT_TRUE(jobs.at(1).done(false)) << "cut at byte " << cut;
+    } else {
+      EXPECT_EQ(jobs.size(), 2u);
+    }
+  }
+  std::remove(path.c_str());
+  std::remove(cut_path.c_str());
+}
+
+TEST(Journal, CorruptedMidFileRecordStopsAtValidPrefix) {
+  const std::string path = temp_journal("midfile");
+  Journal journal(path, /*truncate=*/true);
+  journal.record_submit(1, "prime-count", {1, 2, 3});
+  const std::size_t after_submit = read_file(path).size();
+  journal.record_progress(1, {{0, 3}}, {0x11});
+  journal.record_submit(2, "photo-blur", {9});
+  const auto pristine = read_file(path);
+
+  // Flip a byte inside record 2's payload: its CRC no longer matches, so
+  // replay keeps record 1 only — even though record 3 after it is intact.
+  auto payload_corrupt = pristine;
+  payload_corrupt[after_submit + 8 + 2] ^= 0xFF;
+  write_file(path, payload_corrupt);
+  auto jobs = Journal::replay(path);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs.at(1).task_name, "prime-count");
+  EXPECT_TRUE(jobs.at(1).partials.empty());
+
+  // Same when the corruption hits the CRC field itself.
+  auto crc_corrupt = pristine;
+  crc_corrupt[after_submit + 5] ^= 0x01;
+  write_file(path, crc_corrupt);
+  jobs = Journal::replay(path);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_TRUE(jobs.at(1).partials.empty());
+  std::remove(path.c_str());
+}
+
+TEST(Journal, InjectedTornWriteRecoversPriorRecords) {
+  // End-to-end through the kJournalAppend fault point: the second append
+  // tears mid-record (a prefix reaches disk, then the write "fails");
+  // replay must come back with exactly the first record.
+  const std::string path = temp_journal("torn_inject");
+  fault::FaultInjector& injector = fault::FaultInjector::global();
+  injector.reset();
+  injector.add_rules(fault::parse_fault_spec("journal_append:partial@n=2"));
+  injector.arm(1);
+  {
+    Journal journal(path, /*truncate=*/true);
+    journal.record_submit(1, "prime-count", {1, 2, 3, 4});
+    EXPECT_THROW(journal.record_progress(1, {{0, 4}}, {0x22}), std::runtime_error);
+  }
+  injector.reset();
+
+  const auto jobs = Journal::replay(path);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs.at(1).input.size(), 4u);
+  EXPECT_TRUE(jobs.at(1).partials.empty());
+  EXPECT_FALSE(jobs.at(1).done(false));
   std::remove(path.c_str());
 }
 

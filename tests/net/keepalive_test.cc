@@ -1,0 +1,189 @@
+// Keep-alive liveness regression tests, driven by a raw TCP client that
+// speaks just enough of the wire protocol to register and then misbehave
+// on purpose. They pin the *consecutive*-miss semantics: a phone is
+// declared lost after `keepalive_misses` consecutive unanswered pings
+// (worst-case detection latency period x (misses + 1)), any ack of the
+// latest ping resets the count, and acks of stale pings do not.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "common/rng.h"
+#include "core/greedy.h"
+#include "core/testbed.h"
+#include "net/framing.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "tasks/generators.h"
+#include "tasks/registry.h"
+
+namespace cwc::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr double kPeriodMs = 100.0;
+constexpr int kMisses = 3;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+/// A server with one submitted job (so the event loop keeps running) and a
+/// tight keep-alive cadence, driven on a background thread until `stop`.
+struct LiveServer {
+  explicit LiveServer(const tasks::TaskRegistry& registry) {
+    ServerConfig config;
+    config.keepalive_period = kPeriodMs;
+    config.keepalive_misses = kMisses;
+    config.scheduling_period = 50.0;
+    config.probe_chunks = 2;
+    config.probe_chunk_bytes = 8 * 1024;
+    config.stop = &stop;
+    server = std::make_unique<CwcServer>(std::make_unique<core::GreedyScheduler>(),
+                                         core::paper_prediction(), &registry, config);
+    Rng rng(21);
+    server->submit("prime-count", tasks::make_integer_input(rng, 16.0));
+    loop = std::thread([this] { server->run(1, seconds(20.0)); });
+  }
+  /// Stops the loop and destroys the server, closing every server-side
+  /// socket — which unblocks raw clients parked in read_frame(). Call
+  /// before joining a client thread that may still be connected.
+  void shutdown() {
+    stop.store(true);
+    if (loop.joinable()) loop.join();
+    server.reset();
+  }
+  ~LiveServer() { shutdown(); }
+
+  std::atomic<bool> stop{false};
+  std::unique_ptr<CwcServer> server;
+  std::thread loop;
+};
+
+TcpConnection register_raw_phone(const CwcServer& server, PhoneId id) {
+  TcpConnection conn = TcpConnection::connect_ipv4("127.0.0.1", server.port());
+  RegisterMsg reg;
+  reg.phone = id;
+  reg.cpu_mhz = 1000.0;
+  reg.ram_kb = megabytes(512.0);
+  write_frame(conn, encode(reg));
+  return conn;
+}
+
+TEST(KeepAlive, SilentPhoneDetectedWithinLatencyBound) {
+  const tasks::TaskRegistry registry = tasks::TaskRegistry::with_builtins();
+  LiveServer live(registry);
+
+  // Register, then never answer anything — the phone "died" immediately.
+  TcpConnection conn = register_raw_phone(*live.server, 7);
+  const auto registered_at = Clock::now();
+
+  while (live.server->phones_lost() == 0 && ms_since(registered_at) < 8000.0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const double latency = ms_since(registered_at);
+  ASSERT_EQ(live.server->phones_lost(), 1u);
+
+  // Detection cannot happen before `misses` keep-alive ticks have elapsed
+  // after the first ping, and must happen by period x (misses + 1): the
+  // ping sent right after death plus the tolerated silent ticks. The upper
+  // bound carries slack for loop jitter on loaded CI machines.
+  EXPECT_GE(latency, kPeriodMs * kMisses - 60.0);
+  EXPECT_LE(latency, kPeriodMs * (kMisses + 1) + 700.0);
+}
+
+TEST(KeepAlive, StaleAcksDoNotPreventLossDetection) {
+  // The phone answers every ping — but always with the seq of the *first*
+  // ping it ever saw. Stale acks must not reset the consecutive-miss
+  // count: the old accounting (reset on any inbound frame) would keep
+  // this zombie alive forever.
+  const tasks::TaskRegistry registry = tasks::TaskRegistry::with_builtins();
+  LiveServer live(registry);
+
+  TcpConnection conn = register_raw_phone(*live.server, 8);
+  const auto registered_at = Clock::now();
+
+  std::atomic<bool> client_stop{false};
+  std::thread zombie([&] {
+    FrameDecoder decoder;
+    std::uint64_t stale_seq = 0;
+    bool have_stale = false;
+    try {
+      while (!client_stop.load()) {
+        const auto frame = read_frame(conn, decoder);
+        if (!frame) break;  // server dropped us: mission accomplished
+        if (peek_type(*frame) != MsgType::kKeepAlive) continue;
+        const std::uint64_t seq = decode_keepalive(*frame).seq;
+        if (!have_stale) {
+          stale_seq = seq;  // remember ping #1...
+          have_stale = true;
+        }
+        write_frame(conn, encode_keepalive_ack(stale_seq));  // ...ack only it
+      }
+    } catch (const SocketError&) {
+      // reset while writing the ack: also fine, the server dropped us
+    }
+  });
+
+  while (live.server->phones_lost() == 0 && ms_since(registered_at) < 8000.0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const double latency = ms_since(registered_at);
+  const std::size_t lost = live.server->phones_lost();
+  client_stop.store(true);
+  live.shutdown();  // closes the server side, unblocking read_frame
+  zombie.join();
+
+  EXPECT_EQ(lost, 1u);
+  // Ping #1's ack is genuine, so detection restarts from ping #2: one extra
+  // period on top of the silent-phone worst case.
+  EXPECT_LE(latency, kPeriodMs * (kMisses + 2) + 700.0);
+}
+
+TEST(KeepAlive, AckOfLatestPingResetsConsecutiveMisses) {
+  // The phone skips two pings, then acks the third immediately — forever.
+  // Consecutive misses never reach 3, so the phone must stay registered
+  // even though its *cumulative* miss count grows far past the limit.
+  const tasks::TaskRegistry registry = tasks::TaskRegistry::with_builtins();
+  LiveServer live(registry);
+
+  TcpConnection conn = register_raw_phone(*live.server, 9);
+
+  std::atomic<bool> client_stop{false};
+  std::atomic<int> pings_seen{0};
+  std::thread flaky([&] {
+    FrameDecoder decoder;
+    try {
+      while (!client_stop.load()) {
+        const auto frame = read_frame(conn, decoder);
+        if (!frame) break;
+        if (peek_type(*frame) != MsgType::kKeepAlive) continue;
+        const int seen = ++pings_seen;
+        if (seen % 3 == 0) {  // miss, miss, ack — never 3 misses in a row
+          write_frame(conn, encode_keepalive_ack(decode_keepalive(*frame).seq));
+        }
+      }
+    } catch (const SocketError&) {
+    }
+  });
+
+  // Survive long enough for ~10 keep-alive ticks (>= 6 cumulative misses).
+  const auto start = Clock::now();
+  while (pings_seen.load() < 10 && ms_since(start) < 8000.0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(pings_seen.load(), 10);
+  EXPECT_EQ(live.server->phones_lost(), 0u);
+
+  client_stop.store(true);
+  live.shutdown();  // closes the server side, unblocking read_frame
+  flaky.join();
+}
+
+}  // namespace
+}  // namespace cwc::net

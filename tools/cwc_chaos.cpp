@@ -1,0 +1,336 @@
+// cwc_chaos — chaos harness for the live server<->agent path.
+//
+// Runs a real CwcServer and N in-process PhoneAgents over loopback TCP
+// three times with identical inputs:
+//
+//   1. a fault-free reference run, recording each job's aggregated result;
+//   2. a chaos run under a seeded fault schedule (connection resets, torn
+//      frames via partial writes, dropped keep-alives, dropped assignment
+//      frames and completion reports);
+//   3. the same chaos run again, with the injector re-armed on the same
+//      seed.
+//
+// The harness exits 0 only when every job completes in every run and both
+// chaos runs produce results byte-identical to the reference — i.e. the
+// retry/backoff/replay machinery recovered every injected fault without
+// losing or double-counting work, deterministically.
+//
+// Examples:
+//   cwc_chaos                                   # default storm, 4 phones
+//   cwc_chaos --phones=6 --seed=7 --verbose
+//   cwc_chaos --spec="socket_write:reset@p=0.01" --seed=42
+#include <csignal>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/flags.h"
+#include "common/log.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "core/greedy.h"
+#include "core/testbed.h"
+#include "net/phone_agent.h"
+#include "net/server.h"
+#include "obs/fault_obs.h"
+#include "obs/snapshot.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
+#include "tasks/generators.h"
+#include "tasks/registry.h"
+
+using namespace cwc;
+
+namespace {
+
+constexpr const char* kUsage = R"(cwc_chaos: fault-injection chaos harness for the live path
+  --phones=N           in-process phone agents (default 4, minimum 1)
+  --jobs=SPEC          comma-separated NAME:KB jobs (default a small mixed
+                       batch of prime-count / word-count / log-scan, whose
+                       integer-sum aggregation is piece-boundary independent)
+  --spec=SPEC          fault schedule (grammar in src/common/fault.h;
+                       default: a bounded storm of resets, torn frames,
+                       dropped keep-alives, assignments, and reports)
+  --seed=N             fault-injector seed, reused for both chaos runs
+                       (default 20260806)
+  --timeout-s=N        per-run completion deadline (default 120)
+  --metrics-out=FILE   write a telemetry snapshot after the last run
+  --trace-out=FILE     write the chaos runs' trace as Chrome trace-event JSON
+  --verbose            info-level logging
+
+Exit status: 0 = all runs completed with byte-identical results;
+1 = a run timed out or results diverged; 2 = bad flags.
+)";
+
+// A bounded storm: every rule carries a limit (or an explicit hit list) so
+// the tail of the run is fault-free and completion is guaranteed; the
+// machinery being tested is what turns the bounded chaos into zero lost
+// work. socket_write fires on both server and agent sends (the injector is
+// process-wide), so "partial" models torn frames in either direction.
+constexpr const char* kDefaultSpec =
+    "socket_write:partial@every=45@limit=8;"
+    "socket_write:reset@every=97@limit=5;"
+    "socket_connect:drop@n=3,9;"
+    "keepalive_send:drop@every=4@limit=12;"
+    "assign_piece:drop@every=6@limit=6;"
+    "report_handling:drop@every=5@limit=6";
+
+std::atomic<bool> g_stop{false};
+
+void request_stop(int) { g_stop.store(true); }
+
+struct JobSpec {
+  std::string task;
+  double kb = 64.0;
+};
+
+tasks::Bytes generate_input(const std::string& name, double kb, Rng& rng) {
+  if (name == "prime-count") return tasks::make_integer_input(rng, kb);
+  if (name.rfind("word-count", 0) == 0) return tasks::make_text_input(rng, kb);
+  if (name.rfind("log-scan", 0) == 0) return tasks::make_log_input(rng, kb);
+  throw std::invalid_argument("cwc_chaos: no generator for task " + name +
+                              " (use prime-count / word-count:W / log-scan:P — their "
+                              "integer aggregation is piece-boundary independent)");
+}
+
+struct RunResult {
+  bool completed = false;
+  std::vector<net::Blob> results;  ///< one per job, submission order
+  std::uint64_t fault_fires = 0;
+};
+
+/// One full server+agents run over fresh sockets. The injector's state is
+/// whatever the caller armed (or disarmed) beforehand.
+RunResult run_once(const std::vector<JobSpec>& jobs, int phones, double timeout_s,
+                   std::uint64_t input_seed, const tasks::TaskRegistry& registry) {
+  net::ServerConfig config;
+  config.port = 0;  // kernel-assigned: runs never collide
+  config.keepalive_period = 150.0;
+  config.keepalive_misses = 3;
+  config.scheduling_period = 100.0;
+  config.probe_chunks = 2;
+  config.probe_chunk_bytes = 8 * 1024;
+  // The recovery machinery under test: re-deliver unreported assignments,
+  // bound wedged RPC exchanges.
+  config.assign_retry_period = 400.0;
+  config.assign_max_retries = 8;
+  config.rpc_timeout = 3000.0;
+  config.stop = &g_stop;
+
+  net::CwcServer server(std::make_unique<core::GreedyScheduler>(), core::paper_prediction(),
+                        &registry, config);
+
+  // Identical inputs every run: the generator Rng restarts from input_seed.
+  Rng rng(input_seed);
+  std::vector<JobId> ids;
+  ids.reserve(jobs.size());
+  for (const JobSpec& job : jobs) {
+    ids.push_back(server.submit(job.task, generate_input(job.task, job.kb, rng)));
+  }
+
+  std::vector<std::unique_ptr<net::PhoneAgent>> agents;
+  agents.reserve(static_cast<std::size_t>(phones));
+  for (int i = 0; i < phones; ++i) {
+    net::PhoneAgentConfig pc;
+    pc.id = static_cast<PhoneId>(i + 1);
+    // Generous reconnect budget with fast, seeded backoff: chaos drops
+    // connections on purpose and the agents must always find their way back.
+    pc.max_reconnects = 200;
+    pc.reconnect_backoff = 50.0;
+    pc.reconnect_backoff_max = 400.0;
+    pc.reconnect_jitter = 0.2;
+    pc.backoff_seed = 0x9e3779b9u + static_cast<std::uint64_t>(i);
+    pc.rpc_timeout = 2000.0;
+    // Heterogeneous-ish fleet, paced so pieces take long enough for
+    // keep-alive ticks and retry timers to actually engage.
+    pc.cpu_mhz = 600.0 + 200.0 * static_cast<double>(i % 4);
+    pc.emulated_compute_ms_per_kb = 1.0;
+    pc.step_bytes = 8 * 1024;
+    agents.push_back(std::make_unique<net::PhoneAgent>(server.port(), pc, &registry));
+    agents.back()->start();
+  }
+
+  RunResult run;
+  run.completed = server.run(phones, seconds(timeout_s));
+  run.fault_fires = fault::FaultInjector::global().total_fires();
+  // Destroying the agents requests stop and joins their threads; do it
+  // before reading results so no thread outlives the run.
+  agents.clear();
+  if (run.completed) {
+    for (JobId id : ids) run.results.push_back(server.result(id));
+  }
+  return run;
+}
+
+std::vector<JobSpec> parse_jobs(const std::string& spec) {
+  std::vector<JobSpec> jobs;
+  for (const auto& entry : split(spec, ',')) {
+    if (entry.empty()) continue;
+    const auto colon = entry.rfind(':');
+    JobSpec job;
+    // NAME may itself contain a colon (word-count:error); the KB suffix is
+    // the part after the *last* colon, and only when it parses as a number.
+    job.task = entry;
+    if (colon != std::string::npos) {
+      try {
+        std::size_t used = 0;
+        const double kb = std::stod(entry.substr(colon + 1), &used);
+        if (used == entry.size() - colon - 1) {
+          job.task = entry.substr(0, colon);
+          job.kb = kb;
+        }
+      } catch (const std::exception&) {
+        // no numeric suffix: the whole entry is the task name
+      }
+    }
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+bool results_match(const RunResult& reference, const RunResult& candidate, const char* label) {
+  if (!candidate.completed) {
+    std::fprintf(stderr, "cwc_chaos: %s did not complete all jobs\n", label);
+    return false;
+  }
+  if (candidate.results.size() != reference.results.size()) {
+    std::fprintf(stderr, "cwc_chaos: %s produced %zu results, expected %zu\n", label,
+                 candidate.results.size(), reference.results.size());
+    return false;
+  }
+  bool ok = true;
+  for (std::size_t i = 0; i < reference.results.size(); ++i) {
+    if (candidate.results[i] != reference.results[i]) {
+      std::fprintf(stderr,
+                   "cwc_chaos: %s job %zu result diverged from the fault-free "
+                   "reference (%zu vs %zu bytes)\n",
+                   label, i, candidate.results[i].size(), reference.results[i].size());
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+void print_fires() {
+  fault::FaultInjector& injector = fault::FaultInjector::global();
+  for (std::size_t p = 0; p < fault::kFaultPointCount; ++p) {
+    const auto point = static_cast<fault::FaultPoint>(p);
+    if (injector.fires(point) == 0) continue;
+    std::printf("    %-16s %llu fired / %llu hits\n", fault::fault_point_name(point),
+                static_cast<unsigned long long>(injector.fires(point)),
+                static_cast<unsigned long long>(injector.hits(point)));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
+  const auto unknown = flags.unknown({"phones", "jobs", "spec", "seed", "timeout-s",
+                                      "metrics-out", "trace-out", "verbose", "help"});
+  if (!unknown.empty() || flags.get_bool("help")) {
+    for (const auto& flag : unknown) std::fprintf(stderr, "unknown flag: --%s\n", flag.c_str());
+    std::fputs(kUsage, stderr);
+    return flags.get_bool("help") ? 0 : 2;
+  }
+  if (flags.get_bool("verbose")) set_log_level(LogLevel::kInfo);
+
+  const int phones = static_cast<int>(flags.get_int("phones", 4));
+  if (phones < 1) {
+    std::fputs("cwc_chaos: --phones must be >= 1\n", stderr);
+    return 2;
+  }
+  const std::string spec = flags.get("spec", kDefaultSpec);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 20260806));
+  const double timeout_s = static_cast<double>(flags.get_int("timeout-s", 120));
+  constexpr std::uint64_t kInputSeed = 0x5eedf00dULL;  // job inputs, not faults
+
+  std::vector<JobSpec> jobs;
+  std::vector<fault::FaultRule> rules;
+  try {
+    jobs = parse_jobs(flags.get("jobs", "prime-count:128,word-count:error:96,log-scan:disk "
+                                        "failure:96"));
+    rules = fault::parse_fault_spec(spec);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cwc_chaos: %s\n", e.what());
+    return 2;
+  }
+  if (jobs.empty()) {
+    std::fputs("cwc_chaos: --jobs parsed to an empty batch\n", stderr);
+    return 2;
+  }
+
+  struct sigaction sa = {};
+  sa.sa_handler = request_stop;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+
+  const std::uint64_t trace_begin = obs::TraceRecorder::global().watermark();
+  if (flags.has("trace-out")) obs::TraceRecorder::global().enable();
+
+  const tasks::TaskRegistry registry = tasks::TaskRegistry::with_builtins();
+  fault::FaultInjector& injector = fault::FaultInjector::global();
+
+  std::printf("cwc_chaos: %d phones, %zu jobs, fault seed %llu\n  spec: %s\n", phones,
+              jobs.size(), static_cast<unsigned long long>(seed), spec.c_str());
+
+  // Run 0: fault-free reference.
+  injector.reset();
+  std::printf("[1/3] fault-free reference run...\n");
+  std::fflush(stdout);
+  const RunResult reference = run_once(jobs, phones, timeout_s, kInputSeed, registry);
+  if (!reference.completed) {
+    std::fputs("cwc_chaos: fault-free reference run did not complete — the live "
+               "path is broken before any fault was injected\n",
+               stderr);
+    return 1;
+  }
+  std::printf("      complete (%zu results)\n", reference.results.size());
+
+  // Runs 1 and 2: the same seeded storm twice. reset() clears rules AND the
+  // telemetry observer, so both are re-installed per run; arm(seed) restarts
+  // the Bernoulli stream so run 2 replays run 1's schedule.
+  bool ok = true;
+  RunResult chaos[2];
+  for (int i = 0; i < 2; ++i) {
+    injector.reset();
+    injector.add_rules(rules);
+    obs::arm_fault_telemetry();
+    injector.arm(seed);
+    std::printf("[%d/3] chaos run %d...\n", i + 2, i + 1);
+    std::fflush(stdout);
+    chaos[i] = run_once(jobs, phones, timeout_s, kInputSeed, registry);
+    injector.disarm();
+    std::printf("      %s, %llu faults fired:\n",
+                chaos[i].completed ? "complete" : "INCOMPLETE",
+                static_cast<unsigned long long>(chaos[i].fault_fires));
+    print_fires();
+    const std::string label = "chaos run " + std::to_string(i + 1);
+    ok = results_match(reference, chaos[i], label.c_str()) && ok;
+    if (g_stop.load()) break;
+  }
+  injector.reset();
+
+  if (flags.has("metrics-out")) {
+    obs::write_snapshot_file(flags.get("metrics-out"));
+    std::printf("metrics snapshot: %s\n", flags.get("metrics-out").c_str());
+  }
+  if (flags.has("trace-out")) {
+    obs::write_trace_file(flags.get("trace-out"), obs::TraceRecorder::global(), trace_begin);
+    std::printf("trace: wrote %s\n", flags.get("trace-out").c_str());
+  }
+  if (g_stop.load()) {
+    std::fputs("cwc_chaos: interrupted by signal\n", stderr);
+    return 130;
+  }
+  if (!ok) {
+    std::fputs("cwc_chaos: FAIL — see divergence above\n", stderr);
+    return 1;
+  }
+  std::printf("cwc_chaos: PASS — both chaos runs completed all %zu jobs with results "
+              "byte-identical to the fault-free reference\n",
+              jobs.size());
+  return 0;
+}

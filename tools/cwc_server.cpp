@@ -17,6 +17,7 @@
 #include <fstream>
 #include <memory>
 
+#include "common/fault.h"
 #include "common/flags.h"
 #include "common/log.h"
 #include "common/rng.h"
@@ -24,6 +25,7 @@
 #include "core/greedy.h"
 #include "core/testbed.h"
 #include "net/server.h"
+#include "obs/fault_obs.h"
 #include "obs/snapshot.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
@@ -49,6 +51,12 @@ constexpr const char* kUsage = R"(cwc_server: the CWC central server
                        NAME in {prime-count, word-count:error,
                        log-scan:disk failure, sales-aggregate, photo-blur}
   --keepalive-ms=N     keep-alive period (default 5000, 3 misses tolerated)
+  --assign-retry-ms=N  re-deliver unreported assignments after N ms,
+                       doubling per retry (default 0 = never)
+  --fault-spec=SPEC    arm deterministic fault injection, e.g.
+                       "socket_write:reset@p=0.02;keepalive_send:drop@every=4"
+                       (grammar in src/common/fault.h)
+  --fault-seed=N       seed for probabilistic fault rules (default 1)
   --metrics-out=FILE   write a telemetry snapshot (.csv = CSV, else JSON)
   --trace-out=FILE     write the run's event trace as Chrome trace-event JSON
                        (open in https://ui.perfetto.dev, or feed to cwc_trace)
@@ -101,7 +109,8 @@ int main(int argc, char** argv) {
   const Flags flags = Flags::parse(argc, argv);
   const auto unknown =
       flags.unknown({"port", "bind-all", "phones", "timeout-s", "task", "input", "generate",
-                     "keepalive-ms", "metrics-out", "trace-out", "verbose", "help"});
+                     "keepalive-ms", "assign-retry-ms", "fault-spec", "fault-seed",
+                     "metrics-out", "trace-out", "verbose", "help"});
   if (!unknown.empty() || flags.get_bool("help")) {
     for (const auto& flag : unknown) std::fprintf(stderr, "unknown flag: --%s\n", flag.c_str());
     std::fputs(kUsage, stderr);
@@ -114,8 +123,23 @@ int main(int argc, char** argv) {
   config.port = static_cast<std::uint16_t>(flags.get_int("port", 7000));
   config.bind_all_interfaces = flags.get_bool("bind-all");
   config.keepalive_period = static_cast<Millis>(flags.get_int("keepalive-ms", 5000));
+  config.assign_retry_period = static_cast<Millis>(flags.get_int("assign-retry-ms", 0));
   config.scheduling_period = 500.0;
   config.stop = &g_stop;
+
+  if (flags.has("fault-spec")) {
+    try {
+      fault::FaultInjector& injector = fault::FaultInjector::global();
+      injector.add_rules(fault::parse_fault_spec(flags.get("fault-spec")));
+      obs::arm_fault_telemetry();
+      injector.arm(static_cast<std::uint64_t>(flags.get_int("fault-seed", 1)));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bad --fault-spec: %s\n", e.what());
+      return 2;
+    }
+    std::printf("fault injection armed: %s (seed %lld)\n", flags.get("fault-spec").c_str(),
+                static_cast<long long>(flags.get_int("fault-seed", 1)));
+  }
   net::CwcServer server(std::make_unique<core::GreedyScheduler>(), core::paper_prediction(),
                         &registry, config);
 

@@ -3,8 +3,14 @@
 # microbenches in JSON mode, and compares them against the numbers recorded
 # in BENCH_scheduler.json at the repo root.
 #
-#   tools/run_benches.sh            # run + compare; exit 1 on >25% regression
-#   tools/run_benches.sh --update   # run + rewrite the recorded numbers
+#   tools/run_benches.sh                # run + compare; exit 1 on >25% regression
+#   tools/run_benches.sh --update       # run + rewrite the recorded numbers
+#   tools/run_benches.sh --report-only  # run + compare, but always exit 0
+#
+# --report-only prints the same comparison (regressions are still marked)
+# without failing the invocation. CI uses it on shared runners, where
+# timing noise far exceeds the gate thresholds: the report lands in the job
+# log for humans, but cannot fail the pipeline.
 #
 # BENCH_scheduler.json keeps two series: "pre_pr" (the last numbers measured
 # before the PackProblem hot-path overhaul; never rewritten by this script)
@@ -24,13 +30,16 @@ cmake --build --preset default --target micro_scheduler -j >/dev/null
 
 RAW="$(mktemp)"
 trap 'rm -f "${RAW}"' EXIT
-# Median of 3 repetitions: single runs vary well past the gate threshold
-# on busy machines.
+# The table below compares medians of the repetitions; the sub-2% overhead
+# gates compare per-repetition minima, because timing noise on a CPU-bound
+# microbench is one-sided — the minimum is the best estimate of the true
+# cost, and medians of ~1 ms runs flip-flop past a 2% gate. (Random
+# interleaving was tried and rejected: restarting each chunk cache-cold
+# inflates the sub-millisecond benchmarks by tens of percent.)
 ./build/bench/micro_scheduler \
   --benchmark_filter="${FILTER}" \
   --benchmark_min_time="${MIN_TIME}" \
   --benchmark_repetitions="${CWC_BENCH_REPETITIONS:-3}" \
-  --benchmark_report_aggregates_only=true \
   --benchmark_format=json >"${RAW}"
 
 MODE="${MODE}" RAW="${RAW}" RECORD="${RECORD}" python3 - <<'PY'
@@ -45,19 +54,16 @@ THRESHOLD = 0.25  # fail when slower than recorded by more than this
 
 with open(raw_path) as f:
     raw = json.load(f)
-measured = {
-    b["name"].removesuffix("_median"): round(b["real_time"], 4)
-    for b in raw["benchmarks"]
-    if b.get("aggregate_name", "") == "median"
-}
-if not measured:  # repetitions=1: no aggregates, use the plain iterations
-    measured = {
-        b["name"]: round(b["real_time"], 4)
-        for b in raw["benchmarks"]
-        if b.get("run_type", "iteration") == "iteration"
-    }
-if not measured:
+runs = {}  # name -> real_time of every repetition
+for b in raw["benchmarks"]:
+    if b.get("run_type", "iteration") == "iteration":
+        runs.setdefault(b["name"], []).append(b["real_time"])
+if not runs:
     sys.exit("run_benches: benchmark run produced no measurements")
+measured = {
+    name: round(sorted(times)[len(times) // 2], 4) for name, times in runs.items()
+}
+floor = {name: round(min(times), 4) for name, times in runs.items()}
 
 try:
     with open(record_path) as f:
@@ -115,11 +121,13 @@ if regressions:
 
 # Tracing-overhead gate: the disabled-recorder scheduler build must stay
 # within TRACING_THRESHOLD of the identical untraced-bench build (the emit
-# sites cost one relaxed atomic load each when tracing is off).
+# sites cost one relaxed atomic load each when tracing is off). Gates
+# compare per-repetition minima, not medians — see the comment at the
+# benchmark invocation above.
 TRACING_THRESHOLD = 0.02
-plain = measured.get("BM_GreedyBuild/18/150")
-traced_off = measured.get("BM_GreedyBuildTracing/18/150/0")
-traced_on = measured.get("BM_GreedyBuildTracing/18/150/1")
+plain = floor.get("BM_GreedyBuild/18/150")
+traced_off = floor.get("BM_GreedyBuildTracing/18/150/0")
+traced_on = floor.get("BM_GreedyBuildTracing/18/150/1")
 if plain and traced_off:
     overhead = (traced_off - plain) / plain
     verdict = "OK" if overhead <= TRACING_THRESHOLD else "<< REGRESSION"
@@ -131,7 +139,27 @@ if plain and traced_off:
     if overhead > TRACING_THRESHOLD:
         failed = True
 
+# Fault-injection gate, same methodology: the disarmed fault::check() on
+# the packing hot path is one relaxed atomic load and must stay within
+# FAULT_THRESHOLD of the uninstrumented-equivalent build.
+FAULT_THRESHOLD = 0.02
+fault_off = floor.get("BM_GreedyBuildFaultGate/18/150/0")
+fault_on = floor.get("BM_GreedyBuildFaultGate/18/150/1")
+if plain and fault_off:
+    overhead = (fault_off - plain) / plain
+    verdict = "OK" if overhead <= FAULT_THRESHOLD else "<< REGRESSION"
+    print(f"fault-injection disabled-path overhead: {overhead:+.2%} "
+          f"(gate {FAULT_THRESHOLD:.0%}) {verdict}")
+    if fault_on and plain > 0:
+        print(f"fault-injection armed-path overhead:    "
+              f"{(fault_on - plain) / plain:+.2%} (informational)")
+    if overhead > FAULT_THRESHOLD:
+        failed = True
+
 if failed:
+    if mode == "--report-only":
+        print("\nrun_benches: regressions found, but --report-only always exits 0")
+        sys.exit(0)
     sys.exit(1)
 print("\nrun_benches: all benchmarks within threshold")
 PY
