@@ -1,6 +1,7 @@
 #include "net/journal.h"
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -20,8 +21,17 @@ namespace cwc::net {
 namespace {
 enum class RecordType : std::uint8_t { kSubmit = 1, kProgress = 2, kAtomicDone = 3 };
 
-/// Records beyond this are treated as corruption during replay (a torn
-/// write can fabricate an arbitrary length prefix).
+/// File header: magic + format version. Replay refuses any file that does
+/// not start with it — an old-format or foreign file must fail loudly
+/// instead of silently "recovering" an empty job map (every record of a
+/// pre-CRC journal fails the CRC check, which is indistinguishable from a
+/// fully corrupt file). Bump the trailing version byte on format changes.
+constexpr std::uint8_t kFileHeader[8] = {'C', 'W', 'C', 'J', 'N', 'L', 'v', 2};
+
+/// Hard cap on one record's payload, enforced at append time and again at
+/// replay (a torn write can fabricate an arbitrary length prefix). The
+/// append-time check matters: a larger record would be durably written in
+/// a form replay refuses to read, silently ending recovery there.
 constexpr std::uint32_t kMaxRecordBytes = 256 * 1024 * 1024;
 
 std::uint32_t read_u32le(const std::uint8_t* p) {
@@ -43,6 +53,48 @@ Journal::Journal(std::string path, bool truncate) : path_(std::move(path)) {
   if (fd_ < 0) {
     throw std::runtime_error("Journal: cannot open " + path_ + ": " + std::strerror(errno));
   }
+  struct stat st {};
+  if (::fstat(fd_, &st) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("Journal: cannot stat " + path_ + ": " + reason);
+  }
+  if (st.st_size == 0) {
+    // New (or truncated) journal: stamp the format header first so replay
+    // can tell this file apart from older formats.
+    std::size_t written = 0;
+    while (written < sizeof kFileHeader) {
+      const ssize_t n = ::write(fd_, kFileHeader + written, sizeof kFileHeader - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        const std::string reason = std::strerror(errno);
+        ::close(fd_);
+        fd_ = -1;
+        throw std::runtime_error("Journal: header write failed: " + reason);
+      }
+      written += static_cast<std::size_t>(n);
+    }
+    return;
+  }
+  // Appending to an existing journal: refuse a file this format cannot
+  // extend (appends after foreign bytes would be unreachable to replay).
+  std::uint8_t header[sizeof kFileHeader] = {};
+  bool ok = false;
+  const int read_fd = ::open(path_.c_str(), O_RDONLY);
+  if (read_fd >= 0) {
+    ok = ::read(read_fd, header, sizeof header) ==
+             static_cast<ssize_t>(sizeof header) &&
+         std::memcmp(header, kFileHeader, sizeof header) == 0;
+    ::close(read_fd);
+  }
+  if (!ok) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("Journal: " + path_ +
+                             " is not a v2 journal (old format or foreign file); refusing to "
+                             "append — recover or remove it first");
+  }
 }
 
 Journal::~Journal() {
@@ -50,6 +102,14 @@ Journal::~Journal() {
 }
 
 void Journal::append(const Blob& record) {
+  if (record.size() > kMaxRecordBytes) {
+    // Refuse before anything hits the disk: replay treats a length beyond
+    // the cap as a fabricated prefix and stops there, so writing this
+    // record would silently cut off it and every record after it.
+    throw std::runtime_error("Journal: record of " + std::to_string(record.size()) +
+                             " bytes exceeds the " + std::to_string(kMaxRecordBytes) +
+                             "-byte record cap");
+  }
   // [u32 length][u32 crc32] header. The length lets replay walk records;
   // the CRC lets it tell a torn or corrupted write apart from a valid
   // record so recovery can keep the longest valid prefix.
@@ -154,13 +214,31 @@ std::map<JobId, Journal::RecoveredJob> Journal::replay(const std::string& path) 
   if (!file) throw std::runtime_error("Journal::replay: cannot read " + path);
   Blob contents((std::istreambuf_iterator<char>(file)), std::istreambuf_iterator<char>());
 
+  // Format check before anything else. A file that does not start with the
+  // v2 header would fail every CRC and "recover" an empty job map — work
+  // silently dropped with no signal to the operator — so mismatches fail
+  // loudly instead. A strict prefix of the header (including an empty
+  // file) is the one benign case: a crash during journal creation, with
+  // nothing recorded yet.
+  if (contents.empty()) return {};
+  if (contents.size() < sizeof kFileHeader) {
+    if (std::memcmp(contents.data(), kFileHeader, contents.size()) == 0) return {};
+    throw std::runtime_error("Journal::replay: " + path +
+                             " is not a v2 journal (old format or foreign file)");
+  }
+  if (std::memcmp(contents.data(), kFileHeader, sizeof kFileHeader) != 0) {
+    throw std::runtime_error("Journal::replay: " + path +
+                             " is not a v2 journal (old format or foreign file); refusing to "
+                             "treat it as corrupt and drop its records");
+  }
+
   // Recovery keeps the longest valid prefix: the walk stops at the first
   // record that is torn (length overruns the file), fails its CRC, or
   // does not decode. Everything before that point was durably written and
   // is kept; everything after is redone, the same semantics as work that
   // was in flight when the server crashed.
   std::map<JobId, RecoveredJob> jobs;
-  std::size_t offset = 0;
+  std::size_t offset = sizeof kFileHeader;
   while (offset + 8 <= contents.size()) {
     const std::uint32_t size = read_u32le(contents.data() + offset);
     const std::uint32_t expected_crc = read_u32le(contents.data() + offset + 4);

@@ -3,7 +3,8 @@
 // The paper's server banks partial results and failed-task state in memory;
 // a real deployment wants that ledger durable, so a restarted server can
 // resume a half-finished overnight batch instead of redoing it. The journal
-// is an append-only file of framed records:
+// is an append-only file: a versioned magic header, then framed records
+// ([u32 length][u32 crc32][payload]):
 //
 //   kSubmit   — job id, task name, full input bytes
 //   kProgress — job id, [begin, end) input range completed, partial result
@@ -67,7 +68,9 @@ class Journal {
   /// Reads a journal file back, recovering the longest valid prefix:
   /// replay stops at the first truncated, torn, or CRC-failing record
   /// (the crash may have interrupted a write) and keeps everything before
-  /// it. Throws only on unreadable files.
+  /// it. Throws on unreadable files and on files that do not start with
+  /// the versioned format header (old-format or foreign files must fail
+  /// loudly, not silently recover nothing).
   static std::map<JobId, RecoveredJob> replay(const std::string& path);
 
  private:

@@ -184,8 +184,20 @@ bool PhoneAgent::session() {
 
     const auto ack_frame = next_frame(conn, decoder, config_.rpc_timeout);
     if (!ack_frame) return true;  // disconnect or ack deadline: retry
-    if (!decode_register_ack(*ack_frame).accepted) {
+    const RegisterAckMsg ack = decode_register_ack(*ack_frame);
+    if (!ack.accepted) {
       throw std::runtime_error("registration rejected");
+    }
+    // Replay-cache entries are keyed by (piece, attempt) ids that are
+    // process-local to one server run. A different epoch means a restarted
+    // server whose fresh ids can collide with cached ones — a stale entry
+    // would then answer a new assignment with the previous run's result
+    // and bank wrong bytes. Flush across epochs, keep within one (the
+    // reconnect-and-replay path the cache exists for).
+    if (ack.server_epoch != server_epoch_) {
+      completed_cache_.clear();
+      completed_order_.clear();
+      server_epoch_ = ack.server_epoch;
     }
     session_registered_ = true;
 

@@ -171,6 +171,10 @@ class PhoneAgent {
   std::deque<std::pair<std::int32_t, std::int32_t>> completed_order_;
   static constexpr std::size_t kCompletedCacheCap = 32;
   void cache_completion(std::int32_t piece, std::int32_t attempt, CachedReport report);
+  /// Server-run nonce from the last registration ack. Piece ids restart
+  /// with the server process, so the cache above is only valid within one
+  /// epoch; session() flushes it when the acked epoch changes.
+  std::uint64_t server_epoch_ = 0;
 };
 
 }  // namespace cwc::net

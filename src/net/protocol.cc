@@ -49,12 +49,17 @@ RegisterMsg decode_register(const Blob& frame) {
 Blob encode(const RegisterAckMsg& msg) {
   BufferWriter w = begin(MsgType::kRegisterAck);
   w.write_u8(msg.accepted ? 1 : 0);
+  w.write_u64(msg.server_epoch);
   return w.take();
 }
 
 RegisterAckMsg decode_register_ack(const Blob& frame) {
   BufferReader r = open(frame, MsgType::kRegisterAck);
-  return RegisterAckMsg{r.read_u8() != 0};
+  RegisterAckMsg msg;
+  msg.accepted = r.read_u8() != 0;
+  // Older servers ack with just the accepted flag; their epoch stays 0.
+  if (r.remaining() >= 8) msg.server_epoch = r.read_u64();
+  return msg;
 }
 
 Blob encode(const ProbeRequestMsg& msg) {

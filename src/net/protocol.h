@@ -52,6 +52,13 @@ RegisterMsg decode_register(const Blob& frame);
 
 struct RegisterAckMsg {
   bool accepted = false;
+  /// Random nonce identifying one server run. Piece ids restart at 0 when
+  /// a server restarts (recover_from included), so an agent that outlives
+  /// the server must flush its (piece, attempt) replay cache whenever this
+  /// changes — a cached report from the previous run could otherwise be
+  /// replayed for a colliding identity belonging to different work.
+  /// 0 when absent (acks from servers predating this field).
+  std::uint64_t server_epoch = 0;
 };
 Blob encode(const RegisterAckMsg& msg);
 RegisterAckMsg decode_register_ack(const Blob& frame);

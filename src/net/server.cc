@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <random>
 #include <stdexcept>
 #include <thread>
 
@@ -43,6 +44,15 @@ CwcServer::CwcServer(std::unique_ptr<core::Scheduler> scheduler,
       config_(config),
       listener_(config.port, !config.bind_all_interfaces) {
   if (!registry_) throw std::invalid_argument("CwcServer: null registry");
+  // The epoch must differ across process restarts (it invalidates agent
+  // replay caches keyed by process-local piece ids), so it cannot come
+  // from a fixed seed; it feeds no scheduling or result path, keeping
+  // seeded runs reproducible.
+  std::random_device entropy;
+  epoch_ = (static_cast<std::uint64_t>(entropy()) << 32) ^ entropy() ^
+           static_cast<std::uint64_t>(
+               std::chrono::steady_clock::now().time_since_epoch().count());
+  if (epoch_ == 0) epoch_ = 1;  // 0 is reserved for "epoch unknown"
   if (!config_.journal_path.empty()) {
     journal_ = std::make_unique<Journal>(config_.journal_path);
   }
@@ -228,7 +238,7 @@ void CwcServer::handle_frame(Connection& c, const Blob& frame) {
       controller_.register_phone(spec);
       c.phone = msg.phone;
       c.registered = true;
-      send_frame(c.conn, encode(RegisterAckMsg{true}));
+      send_frame(c.conn, encode(RegisterAckMsg{true, epoch_}));
       start_probe(c);
       break;
     }
@@ -504,7 +514,16 @@ void CwcServer::on_failed(Connection& c, const PieceFailedMsg& msg) {
           if (take > 0) covered.push_back({begin, begin + take});
           prefix -= take;
         }
-        journal_->record_progress(msg.job, covered, msg.partial_result);
+        // Contained like every other journal write: if the append throws
+        // here the exception would unwind before the unprocessed fragments
+        // below return to pending_ranges (and c.busy is already clear, so
+        // drop_connection could not re-queue them either) — the bytes would
+        // be lost and the job could never complete.
+        try {
+          journal_->record_progress(msg.job, covered, msg.partial_result);
+        } catch (const std::exception& e) {
+          on_journal_error(e);
+        }
       }
     }
     // Preserve order: unprocessed fragments go back to the front.

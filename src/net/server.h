@@ -98,6 +98,11 @@ class CwcServer {
 
   const core::CwcController& controller() const { return controller_; }
 
+  /// Random nonce identifying this server run, echoed in registration
+  /// acks so agents can invalidate replay caches across server restarts
+  /// (piece ids restart at 0 with the process).
+  std::uint64_t epoch() const { return epoch_; }
+
   /// Diagnostics.
   std::size_t probes_sent() const { return probes_sent_; }
   std::size_t phones_lost() const { return phones_lost_; }
@@ -185,6 +190,7 @@ class CwcServer {
   std::vector<std::unique_ptr<Connection>> connections_;
   std::map<JobId, JobState> jobs_;
   std::unique_ptr<Journal> journal_;
+  std::uint64_t epoch_ = 0;  ///< per-run nonce (see epoch())
   std::size_t probes_sent_ = 0;
   std::size_t phones_lost_ = 0;
   std::size_t failures_received_ = 0;

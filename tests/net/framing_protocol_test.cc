@@ -66,6 +66,23 @@ TEST(Protocol, RegisterRoundTrip) {
   EXPECT_DOUBLE_EQ(decoded.ram_kb, megabytes(768.0));
 }
 
+TEST(Protocol, RegisterAckRoundTripCarriesServerEpoch) {
+  const Blob frame = encode(RegisterAckMsg{true, 0xDEADBEEFCAFE1234ULL});
+  EXPECT_EQ(peek_type(frame), MsgType::kRegisterAck);
+  const RegisterAckMsg decoded = decode_register_ack(frame);
+  EXPECT_TRUE(decoded.accepted);
+  EXPECT_EQ(decoded.server_epoch, 0xDEADBEEFCAFE1234ULL);
+}
+
+TEST(Protocol, RegisterAckWithoutEpochDecodesAsEpochZero) {
+  // Acks from servers predating the epoch field carry only the accepted
+  // flag; they must still decode, with the epoch reading as "unknown".
+  const Blob legacy = {static_cast<std::uint8_t>(MsgType::kRegisterAck), 1};
+  const RegisterAckMsg decoded = decode_register_ack(legacy);
+  EXPECT_TRUE(decoded.accepted);
+  EXPECT_EQ(decoded.server_epoch, 0u);
+}
+
 TEST(Protocol, AssignPieceRoundTrip) {
   AssignPieceMsg msg;
   msg.job = 42;

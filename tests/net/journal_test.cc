@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "common/fault.h"
@@ -175,6 +176,58 @@ TEST(Journal, InjectedTornWriteRecoversPriorRecords) {
   std::remove(path.c_str());
 }
 
+TEST(Journal, OldFormatFileFailsLoudly) {
+  // A pre-CRC (v1) journal fails every CRC check; silently treating it as
+  // fully corrupt would drop recoverable work with no signal. Both replay
+  // and append-mode open must refuse such a file instead.
+  const std::string path = temp_journal("v1_format");
+  // v1 framing: [u32 length][payload], no file header, no CRC.
+  write_file(path, {5, 0, 0, 0, 1, 7, 0, 0, 0, 0x61, 0x62, 0x63});
+  EXPECT_THROW(Journal::replay(path), std::runtime_error);
+  EXPECT_THROW(Journal(path, /*truncate=*/false), std::runtime_error);
+  // Truncating re-stamps the file as v2.
+  {
+    Journal journal(path, /*truncate=*/true);
+    journal.record_submit(1, "prime-count", {1, 2});
+  }
+  EXPECT_EQ(Journal::replay(path).size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, EmptyAndHeaderOnlyFilesReplayEmpty) {
+  const std::string path = temp_journal("header_only");
+  // Zero-byte file (crash before the header write landed).
+  write_file(path, {});
+  EXPECT_TRUE(Journal::replay(path).empty());
+  // Freshly created journal: header stamped, no records yet.
+  { Journal journal(path, /*truncate=*/true); }
+  EXPECT_TRUE(Journal::replay(path).empty());
+  // Reopening an empty-but-valid journal for append must succeed.
+  { Journal journal(path, /*truncate=*/false); }
+  EXPECT_TRUE(Journal::replay(path).empty());
+  std::remove(path.c_str());
+}
+
+TEST(Journal, OversizedRecordRejectedAtAppend) {
+  // Replay refuses records beyond the cap (a torn write can fabricate an
+  // arbitrary length), so append must refuse them too — otherwise the
+  // record is durably written in a form recovery silently stops at.
+  const std::string path = temp_journal("oversized");
+  constexpr std::size_t kCap = 256u * 1024 * 1024;  // journal.cc kMaxRecordBytes
+  {
+    Journal journal(path, /*truncate=*/true);
+    EXPECT_THROW(journal.record_submit(1, "prime-count", Blob(kCap, 0)),
+                 std::runtime_error);
+    // Nothing of the rejected record reached the file; later appends stay
+    // reachable to replay.
+    journal.record_submit(2, "prime-count", {1, 2, 3});
+  }
+  const auto jobs = Journal::replay(path);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs.count(2), 1u);
+  std::remove(path.c_str());
+}
+
 TEST(Journal, OverlappingRangesNormalize) {
   Journal::RecoveredJob job;
   job.input.resize(100);
@@ -249,6 +302,95 @@ TEST(JournalRecovery, CrashedBatchResumesExactly) {
   ASSERT_TRUE(recovered.run(1, seconds(30.0)));
   EXPECT_EQ(tasks::PrimeCountFactory::decode(recovered.result(new_id)), expected);
   finisher.join();
+  std::remove(path.c_str());
+}
+
+TEST(JournalRecovery, ServerEpochsDistinctAcrossRuns) {
+  const tasks::TaskRegistry registry = tasks::TaskRegistry::with_builtins();
+  CwcServer a(std::make_unique<core::GreedyScheduler>(), core::paper_prediction(), &registry);
+  CwcServer b(std::make_unique<core::GreedyScheduler>(), core::paper_prediction(), &registry);
+  EXPECT_NE(a.epoch(), 0u);
+  EXPECT_NE(b.epoch(), 0u);
+  EXPECT_NE(a.epoch(), b.epoch());
+}
+
+TEST(JournalRecovery, SurvivingAgentDoesNotReplayAcrossServerRestart) {
+  // The agent's (piece, attempt) replay cache is keyed by ids that are
+  // process-local to one server run. An agent that outlives the server and
+  // reconnects to its recovered successor must not answer the new run's
+  // colliding ids (piece ids restart at 0) with the old run's cached
+  // partials — the registration ack's epoch nonce forces a flush.
+  const std::string path = temp_journal("epoch");
+  std::remove(path.c_str());
+
+  const tasks::TaskRegistry registry = tasks::TaskRegistry::with_builtins();
+  tasks::PrimeCountFactory factory;
+  // Several small jobs: each ships to the single phone as one whole piece,
+  // so by the crash some jobs are complete (their (piece, attempt) ids sit
+  // in the agent's cache) and some are not (recovered from the journal).
+  Rng rng(29);
+  constexpr int kJobs = 8;
+  std::vector<tasks::Bytes> inputs;
+  std::vector<std::uint64_t> expected;
+  for (int i = 0; i < kJobs; ++i) {
+    inputs.push_back(tasks::make_integer_input(rng, 48.0));
+    expected.push_back(
+        tasks::PrimeCountFactory::decode(tasks::run_to_completion(factory, inputs.back())));
+  }
+
+  ServerConfig config;
+  config.keepalive_period = 50.0;
+  config.scheduling_period = 50.0;
+  config.probe_chunks = 2;
+  config.probe_chunk_bytes = 16 * 1024;
+  config.journal_path = path;
+
+  // One agent that outlives both server runs: generous reconnect budget,
+  // short backoff so it finds the restarted server quickly.
+  PhoneAgentConfig phone;
+  phone.id = 0;
+  phone.cpu_mhz = 1000.0;
+  phone.emulated_compute_ms_per_kb = 20.0;  // ~1 s per job: run 1 cannot finish all 8
+  phone.max_reconnects = 200;
+  phone.reconnect_backoff = 50.0;
+  phone.reconnect_backoff_max = 200.0;
+  phone.rpc_timeout = 2000.0;
+
+  std::uint16_t port = 0;
+  std::vector<JobId> submitted;
+  std::optional<PhoneAgent> agent;
+  {
+    CwcServer server(std::make_unique<core::GreedyScheduler>(), core::paper_prediction(),
+                     &registry, config);
+    port = server.port();
+    for (const auto& input : inputs) submitted.push_back(server.submit("prime-count", input));
+    agent.emplace(port, phone, &registry);
+    agent->start();
+    EXPECT_FALSE(server.run(1, 2500.0));  // crash before completion
+    EXPECT_GT(agent->pieces_completed(), 0u);  // the replay cache is warm
+  }
+
+  // Restart on the same port (SO_REUSEADDR) so the surviving agent's
+  // reconnect loop finds the successor, then finish from the journal.
+  ServerConfig config2 = config;
+  config2.journal_path.clear();
+  config2.port = port;
+  CwcServer recovered(std::make_unique<core::GreedyScheduler>(), core::paper_prediction(),
+                      &registry, config2);
+  const auto mapping = recovered.recover_from(path);
+  ASSERT_EQ(mapping.size(), static_cast<std::size_t>(kJobs));
+  ASSERT_TRUE(recovered.run(1, seconds(60.0)));
+  // Every job — already-done and recovered alike — must aggregate to its
+  // own expected count: a stale replay would bank another job's bytes.
+  for (int i = 0; i < kJobs; ++i) {
+    const JobId new_id = mapping.at(submitted[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(tasks::PrimeCountFactory::decode(recovered.result(new_id)), expected[i])
+        << "job " << i;
+  }
+  // And none of those bytes came from the previous run's cache.
+  EXPECT_EQ(agent->reports_replayed(), 0u);
+  agent->stop();
+  agent->join();
   std::remove(path.c_str());
 }
 
