@@ -10,8 +10,8 @@
 
 #include "bench_util.h"
 #include "common/rng.h"
-#include "trace/behavior.h"
-#include "trace/stats.h"
+#include "charging/behavior.h"
+#include "charging/stats.h"
 
 int main() {
   using namespace cwc;
@@ -19,8 +19,8 @@ int main() {
   header("Figure 2", "charging behaviour of 15 users over a 60-day study");
 
   Rng rng(42);
-  const trace::StudyLog log = trace::generate_study(rng, 15, 60);
-  const trace::ChargingStats stats(log);
+  const charging::StudyLog log = charging::generate_study(rng, 15, 60);
+  const charging::ChargingStats stats(log);
 
   subhead("(a) CDF of charging interval lengths, day vs night");
   std::printf("night intervals: %zu, day intervals: %zu (fewer at night, as in the paper)\n",

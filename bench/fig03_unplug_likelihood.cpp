@@ -7,8 +7,8 @@
 
 #include "bench_util.h"
 #include "common/rng.h"
-#include "trace/behavior.h"
-#include "trace/stats.h"
+#include "charging/behavior.h"
+#include "charging/stats.h"
 
 int main() {
   using namespace cwc;
@@ -16,8 +16,8 @@ int main() {
   header("Figure 3", "when do owners unplug their phones?");
 
   Rng rng(42);
-  const trace::StudyLog log = trace::generate_study(rng, 15, 60);
-  const trace::ChargingStats stats(log);
+  const charging::StudyLog log = charging::generate_study(rng, 15, 60);
+  const charging::ChargingStats stats(log);
 
   subhead("(a) CDF of unplug events by hour of day (all users)");
   const auto cdf = stats.unplug_hour_cdf();

@@ -7,7 +7,9 @@
 
 #include "common/fault.h"
 #include "common/rng.h"
+#include "core/failure_aware.h"
 #include "core/greedy.h"
+#include "core/health.h"
 #include "core/relaxation.h"
 #include "core/testbed.h"
 #include "lp/simplex.h"
@@ -127,6 +129,43 @@ void BM_GreedyBuildFaultGate(benchmark::State& state) {
                  (state.range(2) != 0 ? "armed" : "off"));
 }
 BENCHMARK(BM_GreedyBuildFaultGate)
+    ->Args({18, 150, 0})
+    ->Args({18, 150, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// Health-provider overhead on the scheduler hot path. The failure-aware
+// wrapper reads one EWMA score per phone per build when a HealthProvider
+// is bound (combined_risk); range(2) toggles the binding so /0 measures
+// the unbound path (gated <2% vs itself with health bound in
+// tools/run_benches.sh) and /1 the full blend against a tracker with a
+// realistic spread of scores.
+void BM_GreedyBuildHealth(benchmark::State& state) {
+  const auto instance =
+      make_instance(static_cast<std::size_t>(state.range(0)),
+                    static_cast<std::size_t>(state.range(1)));
+  std::map<PhoneId, double> risk;
+  core::HealthTracker tracker;
+  Rng rng(29);
+  for (const core::PhoneSpec& phone : instance.phones) {
+    risk[phone.id] = rng.uniform(0.0, 0.4);
+    tracker.register_phone(phone.id);
+    // A realistic mid-batch spread: most phones clean, some with history.
+    const int signals = static_cast<int>(rng.uniform_int(0, 3));
+    for (int s = 0; s < signals; ++s) tracker.on_deadline_hit(phone.id);
+    tracker.on_success(phone.id);
+  }
+  core::FailureAwareScheduler scheduler(std::make_unique<core::GreedyScheduler>(),
+                                        std::move(risk));
+  if (state.range(2) != 0) scheduler.bind_health(&tracker);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        scheduler.build(instance.jobs, instance.phones, instance.prediction));
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " phones, " +
+                 std::to_string(state.range(1)) + " jobs, health " +
+                 (state.range(2) != 0 ? "bound" : "unbound"));
+}
+BENCHMARK(BM_GreedyBuildHealth)
     ->Args({18, 150, 0})
     ->Args({18, 150, 1})
     ->Unit(benchmark::kMillisecond);

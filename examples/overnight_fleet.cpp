@@ -2,7 +2,7 @@
 // night's batch to its employees' charging phones.
 //
 // The pieces this example glues together:
-//   - cwc::trace  generates tonight's charging behaviour for 18 employees
+//   - cwc::charging generates tonight's charging behaviour for 18 employees
 //     (when each phone goes on the charger and when its owner grabs it);
 //   - cwc::battery runs the MIMD throttler on each phone's battery model to
 //     check the batch never distorts a charging profile;
@@ -22,8 +22,8 @@
 #include "core/testbed.h"
 #include "sim/energy.h"
 #include "sim/simulator.h"
-#include "trace/availability.h"
-#include "trace/behavior.h"
+#include "charging/availability.h"
+#include "charging/behavior.h"
 
 using namespace cwc;
 
@@ -31,21 +31,21 @@ int main() {
   Rng rng(20260706);
 
   // --- Tonight's availability, from the charging-behaviour model -----------
-  const auto population = trace::UserBehavior::paper_population(rng, 18);
+  const auto population = charging::UserBehavior::paper_population(rng, 18);
   struct Night {
     double plug_h;    // hour the phone goes on charge (>= 22h)
     double unplug_h;  // hour the owner grabs it
   };
   std::vector<Night> nights;
   for (const auto& user : population) {
-    trace::StudyLog log;
+    charging::StudyLog log;
     log.user_count = 1;
     log.days = 1;
     Rng user_rng = rng.fork();
     generate_user_log(user, 1, user_rng, log);
     Night night{23.0, 31.0};  // default if the model skipped tonight
     for (const auto& interval : log.intervals) {
-      if (trace::is_night_hour(trace::hour_of_day(interval.start_h))) {
+      if (charging::is_night_hour(charging::hour_of_day(interval.start_h))) {
         night = {interval.start_h, interval.start_h + interval.duration_h};
         break;
       }
@@ -75,7 +75,7 @@ int main() {
 
   // --- Plan from history: who will be available, who is risky? --------------
   // A month of this population's charging logs predicts tonight.
-  trace::StudyLog history;
+  charging::StudyLog history;
   history.user_count = 18;
   history.days = 30;
   Rng history_rng = rng.fork();
@@ -83,8 +83,8 @@ int main() {
     Rng user_rng = history_rng.fork();
     generate_user_log(user, 30, user_rng, history);
   }
-  const trace::BatchWindowPlan plan =
-      trace::plan_batch_window(history, batch_release_h, 7.0);
+  const charging::BatchWindowPlan plan =
+      charging::plan_batch_window(history, batch_release_h, 7.0);
   std::printf("history plan: %.0f expected phone-hours tonight; %zu phones predicted "
               "available\n",
               plan.expected_capacity_hours(), plan.available_users(0.5).size());

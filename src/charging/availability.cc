@@ -1,8 +1,8 @@
-#include "trace/availability.h"
+#include "charging/availability.h"
 
 #include <algorithm>
 
-namespace cwc::trace {
+namespace cwc::charging {
 
 std::vector<int> BatchWindowPlan::available_users(double threshold) const {
   std::vector<int> out;
@@ -74,4 +74,4 @@ BatchWindowPlan plan_batch_window(const StudyLog& log, double release_hour,
   return plan;
 }
 
-}  // namespace cwc::trace
+}  // namespace cwc::charging

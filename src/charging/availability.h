@@ -16,9 +16,9 @@
 #include <vector>
 
 #include "common/types.h"
-#include "trace/behavior.h"
+#include "charging/behavior.h"
 
-namespace cwc::trace {
+namespace cwc::charging {
 
 /// Per-user availability estimate for one batch window.
 struct UserAvailability {
@@ -50,4 +50,4 @@ struct BatchWindowPlan {
 BatchWindowPlan plan_batch_window(const StudyLog& log, double release_hour,
                                   double window_hours);
 
-}  // namespace cwc::trace
+}  // namespace cwc::charging

@@ -1,9 +1,9 @@
-#include "trace/behavior.h"
+#include "charging/behavior.h"
 
 #include <algorithm>
 #include <cmath>
 
-namespace cwc::trace {
+namespace cwc::charging {
 
 UserBehavior UserBehavior::typical(int user_id, Rng& rng) {
   UserBehavior u;
@@ -131,4 +131,4 @@ StudyLog generate_study(Rng& rng, int users, int days) {
   return log;
 }
 
-}  // namespace cwc::trace
+}  // namespace cwc::charging

@@ -1,6 +1,6 @@
 // Charging-behaviour study (Section 3.1 of the paper).
 //
-// NOTE ON NAMING: `src/trace/` models charging/availability *input* traces
+// NOTE ON NAMING: `src/charging/` models charging/availability *input* traces
 // — the user-study logs the scheduler plans against. It is unrelated to
 // `src/obs/trace*`, the *runtime event* trace (what happened when during a
 // run, exported to Perfetto). See DESIGN.md §"Event tracing".
@@ -29,7 +29,7 @@
 
 #include "common/rng.h"
 
-namespace cwc::trace {
+namespace cwc::charging {
 
 /// Per-user behavioural parameters (all times in local hours).
 struct UserBehavior {
@@ -91,4 +91,4 @@ void generate_user_log(const UserBehavior& user, int days, Rng& rng, StudyLog& o
 /// Simulates the full study (the paper's 15 volunteers).
 StudyLog generate_study(Rng& rng, int users = 15, int days = 60);
 
-}  // namespace cwc::trace
+}  // namespace cwc::charging

@@ -1,4 +1,4 @@
-#include "trace/logfile.h"
+#include "charging/logfile.h"
 
 #include <algorithm>
 #include <cmath>
@@ -8,7 +8,7 @@
 
 #include "common/strings.h"
 
-namespace cwc::trace {
+namespace cwc::charging {
 
 std::string to_csv(const StudyLog& log) {
   std::ostringstream out;
@@ -79,4 +79,4 @@ StudyLog load_csv(const std::string& path) {
   return from_csv(contents);
 }
 
-}  // namespace cwc::trace
+}  // namespace cwc::charging

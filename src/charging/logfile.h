@@ -12,9 +12,9 @@
 
 #include <string>
 
-#include "trace/behavior.h"
+#include "charging/behavior.h"
 
-namespace cwc::trace {
+namespace cwc::charging {
 
 /// Serializes a log to CSV text.
 std::string to_csv(const StudyLog& log);
@@ -27,4 +27,4 @@ StudyLog from_csv(const std::string& text);
 void save_csv(const StudyLog& log, const std::string& path);
 StudyLog load_csv(const std::string& path);
 
-}  // namespace cwc::trace
+}  // namespace cwc::charging

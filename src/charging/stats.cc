@@ -1,9 +1,9 @@
-#include "trace/stats.h"
+#include "charging/stats.h"
 
 #include <array>
 #include <map>
 
-namespace cwc::trace {
+namespace cwc::charging {
 
 ChargingStats::ChargingStats(const StudyLog& log) : log_(log) {
   for (const ChargingInterval& interval : log.intervals) {
@@ -94,4 +94,4 @@ double ChargingStats::shutdown_fraction() const {
   return static_cast<double>(shutdowns) / static_cast<double>(log_.intervals.size());
 }
 
-}  // namespace cwc::trace
+}  // namespace cwc::charging

@@ -6,9 +6,9 @@
 #include <vector>
 
 #include "common/stats.h"
-#include "trace/behavior.h"
+#include "charging/behavior.h"
 
-namespace cwc::trace {
+namespace cwc::charging {
 
 /// Mean and standard deviation of idle night charging hours for one user
 /// (Fig. 2(c)'s error-bar series).
@@ -55,4 +55,4 @@ class ChargingStats {
   std::vector<double> night_data_;
 };
 
-}  // namespace cwc::trace
+}  // namespace cwc::charging

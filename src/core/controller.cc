@@ -38,9 +38,15 @@ obs::HistogramMetric& prediction_error_histogram() {
 }
 }  // namespace
 
-CwcController::CwcController(std::unique_ptr<Scheduler> scheduler, PredictionModel prediction)
-    : scheduler_(std::move(scheduler)), prediction_(std::move(prediction)) {
+CwcController::CwcController(std::unique_ptr<Scheduler> scheduler, PredictionModel prediction,
+                             HealthOptions health_options)
+    : scheduler_(std::move(scheduler)),
+      prediction_(std::move(prediction)),
+      health_(health_options) {
   if (!scheduler_) throw std::invalid_argument("CwcController: null scheduler");
+  // Risk-aware schedulers blend the live score into placement cost; the
+  // baselines' default bind_health is a no-op.
+  scheduler_->bind_health(&health_);
   // Pre-register the headline failure/telemetry metrics so every snapshot
   // carries them (zero-valued on clean runs), not just failing ones.
   obs::counter("controller.scheduling_instants");
@@ -61,6 +67,7 @@ void CwcController::register_phone(const PhoneSpec& spec) {
   auto& state = phones_[spec.id];
   state.spec = spec;
   state.plugged = true;
+  health_.register_phone(spec.id);
   if (fresh || replug) {
     trace_piece(fresh ? obs::TraceEventType::kPhoneRegistered
                       : obs::TraceEventType::kPhoneReplugged,
@@ -124,6 +131,11 @@ InitialLoad CwcController::outstanding_load() const {
 Schedule CwcController::reschedule() {
   obs::counter("controller.scheduling_instants").inc();
   const std::int64_t instant = instant_seq_++;
+  // Health time advances in scheduling instants (quarantine -> parole),
+  // and quarantined phones surrender their queued work before the batch
+  // is assembled so it can be re-placed this very instant.
+  health_.tick();
+  drain_quarantined();
   // F_A depth as each instant saw it (the backlog drains below).
   obs::histogram("controller.fa_depth_at_instant", 0.0, 64.0, 16)
       .observe(static_cast<double>(failed_.size()));
@@ -148,7 +160,20 @@ Schedule CwcController::reschedule() {
     if (!failed.checkpoint.empty()) checkpoints[failed.job] = failed.checkpoint;
   }
 
-  const std::vector<PhoneSpec> available = plugged_phones();
+  // The pack runs over plugged, non-quarantined phones. Safety valve: if
+  // quarantine has swallowed the whole fleet, parole everyone — probe
+  // pieces must be able to flow or the batch deadlocks with work in F_A
+  // and no phone allowed to take it.
+  std::vector<PhoneSpec> available;
+  for (const auto& [id, state] : phones_) {
+    if (state.plugged && health_.schedulable(id)) available.push_back(state.spec);
+  }
+  if (available.empty() && !plugged_phones().empty()) {
+    for (const auto& [id, state] : phones_) {
+      if (state.plugged) health_.grant_parole(id);
+    }
+    available = plugged_phones();
+  }
   if (available.empty()) {
     throw std::runtime_error("CwcController::reschedule: no plugged phones");
   }
@@ -198,6 +223,16 @@ Schedule CwcController::reschedule() {
       state.queue.push_back(std::move(qp));
     }
   }
+  // Parole probes: a paroled phone holds at most one piece — the probe
+  // whose completion reinstates it (or its reserved in-flight front).
+  // Excess placements return to F_A for the next instant.
+  for (auto& [id, state] : phones_) {
+    if (!health_.on_parole(id)) continue;
+    while (state.queue.size() > 1) {
+      return_to_backlog(state.queue.back());
+      state.queue.pop_back();
+    }
+  }
   {
     PieceIdentity id;
     id.instant = instant;
@@ -207,8 +242,54 @@ Schedule CwcController::reschedule() {
   return schedule;
 }
 
+void CwcController::return_to_backlog(const QueuedPiece& qp) {
+  if (qp.piece.input_kb <= kEpsKb && jobs_.at(qp.piece.job).input_kb > kEpsKb) return;
+  const JobSpec& spec = jobs_.at(qp.piece.job);
+  if (spec.kind == JobKind::kBreakable && qp.checkpoint.empty()) {
+    for (FailedPiece& existing : failed_) {
+      if (existing.job == qp.piece.job && existing.checkpoint.empty()) {
+        existing.remaining_kb += qp.piece.input_kb;
+        return;
+      }
+    }
+  }
+  failed_.push_back({qp.piece.job, qp.piece.input_kb, qp.checkpoint});
+}
+
+void CwcController::drain_quarantined() {
+  for (auto& [id, state] : phones_) {
+    if (!state.plugged || !health_.quarantined(id)) continue;
+    // The in-flight front (if any) is reserved: the substrate shipped it
+    // and a report is still expected; everything behind it is re-placed.
+    const std::size_t keep = state.in_flight && !state.queue.empty() ? 1 : 0;
+    while (state.queue.size() > keep) {
+      const QueuedPiece qp = state.queue.back();
+      state.queue.pop_back();
+      obs::counter("health.drained_kb").inc(qp.piece.input_kb);
+      trace_piece(obs::TraceEventType::kPieceRescheduled, qp.piece.job, qp.identity, id,
+                  qp.piece.input_kb);
+      return_to_backlog(qp);
+    }
+  }
+}
+
+void CwcController::set_in_flight(PhoneId phone, bool in_flight) {
+  phones_.at(phone).in_flight = in_flight;
+}
+
+bool CwcController::executable_cached(PhoneId phone, JobId job) const {
+  return phones_.at(phone).executables.count(job) > 0;
+}
+
+void CwcController::mark_executable_shipped(PhoneId phone, JobId job) {
+  phones_.at(phone).executables.insert(job);
+}
+
 std::optional<CwcController::Work> CwcController::current_work(PhoneId phone) const {
   const auto& state = phones_.at(phone);
+  // Quarantined phones receive no new work; a reserved in-flight front is
+  // already on the device, so there is nothing to hand out either way.
+  if (health_.quarantined(phone)) return std::nullopt;
   if (state.queue.empty()) return std::nullopt;
   const QueuedPiece& qp = state.queue.front();
   Work work;
@@ -219,15 +300,21 @@ std::optional<CwcController::Work> CwcController::current_work(PhoneId phone) co
   return work;
 }
 
-void CwcController::on_piece_complete(PhoneId phone, Millis local_exec_ms) {
+void CwcController::on_piece_complete(PhoneId phone, Millis local_exec_ms,
+                                      PhoneId executed_by) {
+  if (executed_by == kInvalidPhone) executed_by = phone;
   auto& state = phones_.at(phone);
+  auto& executor = phones_.at(executed_by);
   if (state.queue.empty()) {
     throw std::logic_error("completion report from phone with empty queue");
   }
   const QueuedPiece qp = state.queue.front();
   state.queue.pop_front();
-  state.executables.insert(qp.piece.job);
-  trace_piece(obs::TraceEventType::kPieceCompleted, qp.piece.job, qp.identity, phone,
+  state.in_flight = false;
+  // The *executor* now holds the executable — for a speculative win that
+  // is the backup phone, not the queue owner.
+  executor.executables.insert(qp.piece.job);
+  trace_piece(obs::TraceEventType::kPieceCompleted, qp.piece.job, qp.identity, executed_by,
               local_exec_ms,
               qp.identity.attempt > 0 ? obs::TraceEvent::kRescheduledWork
                                       : obs::TraceEvent::kNone);
@@ -235,13 +322,16 @@ void CwcController::on_piece_complete(PhoneId phone, Millis local_exec_ms) {
   // Fig. 6's quantity: how far the c_ij estimate the scheduler used was
   // from the runtime the phone just reported — before the report refines it.
   if (qp.piece.input_kb > kEpsKb && local_exec_ms > 0.0) {
-    const MsPerKb predicted = prediction_.predict(spec.task_name, state.spec);
+    const MsPerKb predicted = prediction_.predict(spec.task_name, executor.spec);
     const MsPerKb measured = local_exec_ms / qp.piece.input_kb;
     if (measured > 0.0) {
-      prediction_error_histogram().observe(std::abs(predicted - measured) / measured);
+      const double rel_error = std::abs(predicted - measured) / measured;
+      prediction_error_histogram().observe(rel_error);
+      health_.on_prediction_error(executed_by, rel_error);
     }
   }
-  prediction_.observe(spec.task_name, phone, qp.piece.input_kb, local_exec_ms);
+  health_.on_success(executed_by);
+  prediction_.observe(spec.task_name, executed_by, qp.piece.input_kb, local_exec_ms);
 }
 
 void CwcController::fail_piece(PhoneId phone, const QueuedPiece& qp, Kilobytes remaining,
@@ -274,8 +364,10 @@ void CwcController::on_piece_failed(PhoneId phone, Kilobytes processed_kb,
     throw std::logic_error("failure report from phone with empty queue");
   }
   obs::counter("controller.failures.online").inc();
+  health_.on_online_failure(phone);
   const QueuedPiece current = state.queue.front();
   state.queue.pop_front();
+  state.in_flight = false;
   const JobSpec& spec = jobs_.at(current.piece.job);
   processed_kb = std::clamp(processed_kb, 0.0, current.piece.input_kb);
   prediction_.observe(spec.task_name, phone, processed_kb, local_exec_ms);
@@ -298,6 +390,8 @@ void CwcController::on_piece_failed(PhoneId phone, Kilobytes processed_kb,
 void CwcController::on_phone_lost(PhoneId phone) {
   auto& state = phones_.at(phone);
   obs::counter("controller.failures.offline").inc();
+  health_.on_offline_failure(phone);
+  state.in_flight = false;
   log_info("cwc-server") << "phone " << phone << " lost (offline failure); requeueing "
                          << state.queue.size() << " pieces";
   while (!state.queue.empty()) {

@@ -28,6 +28,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/health.h"
 #include "core/model.h"
 #include "core/prediction.h"
 #include "core/scheduler.h"
@@ -55,7 +56,8 @@ struct PieceIdentity {
 class CwcController {
  public:
   explicit CwcController(std::unique_ptr<Scheduler> scheduler,
-                         PredictionModel prediction = PredictionModel());
+                         PredictionModel prediction = PredictionModel(),
+                         HealthOptions health_options = HealthOptions());
 
   // --- Phone registry -----------------------------------------------------
   /// Registers (or re-registers) a phone; newly registered phones are
@@ -80,8 +82,19 @@ class CwcController {
   /// costs, including each phone's pre-existing load).
   Schedule reschedule();
 
-  /// True if any work is waiting for a scheduling instant.
-  bool has_pending_work() const { return !pending_.empty() || !failed_.empty(); }
+  /// True if any work is waiting for a scheduling instant — including
+  /// pieces stranded on a phone that was quarantined while holding queued
+  /// work (the next instant drains them back into F_A).
+  bool has_pending_work() const {
+    if (!pending_.empty() || !failed_.empty()) return true;
+    for (const auto& [id, state] : phones_) {
+      if (state.plugged && health_.quarantined(id) &&
+          state.queue.size() > (state.in_flight ? 1u : 0u)) {
+        return true;
+      }
+    }
+    return false;
+  }
   const std::vector<FailedPiece>& failed_backlog() const { return failed_; }
 
   /// The capacity hint the next scheduling instant will pass to the
@@ -103,7 +116,13 @@ class CwcController {
 
   /// Completion report: pops the phone's current piece, feeds the
   /// prediction model with the reported local execution time.
-  void on_piece_complete(PhoneId phone, Millis local_exec_ms);
+  /// `executed_by` attributes the measurement (prediction refinement,
+  /// health credit, executable cache) to a different phone than the queue
+  /// owner — the speculative-backup case, where the backup phone did the
+  /// work but the piece lives on the original phone's queue. Defaults to
+  /// the owner.
+  void on_piece_complete(PhoneId phone, Millis local_exec_ms,
+                         PhoneId executed_by = kInvalidPhone);
 
   /// Online failure: the phone reports how much of the current piece it
   /// processed and its checkpoint; the remainder goes to F_A and the
@@ -126,6 +145,26 @@ class CwcController {
   const PredictionModel& prediction() const { return prediction_; }
   const Scheduler& scheduler() const { return *scheduler_; }
 
+  // --- Phone health ---------------------------------------------------------
+  /// Live health scores and quarantine state. Substrates report the
+  /// signals the controller cannot see itself (keep-alive miss streaks,
+  /// RPC deadline hits) directly on this tracker; completion/failure
+  /// signals are fed automatically by the report handlers above.
+  HealthTracker& health() { return health_; }
+  const HealthTracker& health() const { return health_; }
+
+  /// Marks the front of the phone's queue as physically in flight on the
+  /// device (shipped by the substrate, awaiting a report). A quarantined
+  /// phone's in-flight piece is reserved — kept at the queue front for the
+  /// eventual report — while the rest of its queue is drained back to F_A
+  /// at the next instant.
+  void set_in_flight(PhoneId phone, bool in_flight);
+
+  /// Executable-cache bookkeeping for out-of-band placements (the server's
+  /// speculative backups bypass current_work()).
+  bool executable_cached(PhoneId phone, JobId job) const;
+  void mark_executable_shipped(PhoneId phone, JobId job);
+
  private:
   struct QueuedPiece {
     JobPiece piece;
@@ -135,6 +174,7 @@ class CwcController {
   struct PhoneState {
     PhoneSpec spec;
     bool plugged = true;
+    bool in_flight = false;  ///< queue front is physically on the phone
     std::deque<QueuedPiece> queue;
     std::set<JobId> executables;  ///< jobs whose executable was shipped
   };
@@ -143,9 +183,16 @@ class CwcController {
   InitialLoad outstanding_load() const;
   void fail_piece(PhoneId phone, const QueuedPiece& qp, Kilobytes remaining,
                   std::vector<std::uint8_t> checkpoint);
+  /// Returns a never-attempted piece to F_A (coalescing) without counting
+  /// a failure against its job — quarantine drains and parole-probe trims.
+  void return_to_backlog(const QueuedPiece& qp);
+  /// Moves a quarantined phone's queued pieces (minus a reserved in-flight
+  /// front) back to F_A ahead of batch assembly.
+  void drain_quarantined();
 
   std::unique_ptr<Scheduler> scheduler_;
   PredictionModel prediction_;
+  HealthTracker health_;
   std::map<PhoneId, PhoneState> phones_;
   std::map<JobId, JobSpec> jobs_;
   std::vector<JobSpec> pending_;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/health.h"
+
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -25,6 +27,15 @@ double FailureAwareScheduler::risk_of(PhoneId phone) const {
   return it == risk_.end() ? 0.0 : it->second;
 }
 
+double FailureAwareScheduler::combined_risk(PhoneId phone) const {
+  const double static_risk = risk_of(phone);
+  if (!health_) return static_risk;
+  // Independent-hazards combination: the phone contributes its placed work
+  // only if neither the charging profile nor its live behaviour kills it.
+  const double live = std::clamp(health_->health_risk(phone), 0.0, 1.0);
+  return 1.0 - (1.0 - static_risk) * (1.0 - live);
+}
+
 Schedule FailureAwareScheduler::build(const std::vector<JobSpec>& jobs,
                                       const std::vector<PhoneSpec>& phones,
                                       const PredictionModel& prediction,
@@ -32,7 +43,7 @@ Schedule FailureAwareScheduler::build(const std::vector<JobSpec>& jobs,
   // Drop high-risk phones outright when safer alternatives exist.
   std::vector<PhoneSpec> pool;
   for (const PhoneSpec& phone : phones) {
-    if (risk_of(phone.id) < options_.exclusion_threshold) pool.push_back(phone);
+    if (combined_risk(phone.id) < options_.exclusion_threshold) pool.push_back(phone);
   }
   if (pool.empty()) pool = phones;  // everyone is risky: use what we have
   obs::counter("scheduler.failure_aware.builds").inc();
@@ -45,7 +56,7 @@ Schedule FailureAwareScheduler::build(const std::vector<JobSpec>& jobs,
   // scale — b_i directly, and c_ij via the clock the prediction divides by.
   std::vector<PhoneSpec> adjusted = pool;
   for (PhoneSpec& phone : adjusted) {
-    const double expected_loss = options_.expected_loss_fraction * risk_of(phone.id);
+    const double expected_loss = options_.expected_loss_fraction * combined_risk(phone.id);
     const double inflation =
         std::min(options_.max_inflation, 1.0 / std::max(1e-6, 1.0 - expected_loss));
     phone.b *= inflation;

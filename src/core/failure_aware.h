@@ -5,7 +5,7 @@
 //
 // The FailureAwareScheduler wraps any base scheduler with per-phone unplug
 // risk for the upcoming batch window (estimated from the owner's charging
-// profile, e.g. trace::ChargingStats::unplug_likelihood_by_hour). Expected
+// profile, e.g. charging::ChargingStats::unplug_likelihood_by_hour). Expected
 // placement cost on a risky phone is inflated by
 //     1 / (1 - expected_loss_fraction * risk),
 // so the packer mildly prefers reliable phones.
@@ -54,12 +54,21 @@ class FailureAwareScheduler final : public Scheduler {
                  const PredictionModel& prediction,
                  const InitialLoad& initial_load = {}) const override;
 
+  /// Blends the live health score into the static risk from here on:
+  ///     combined = 1 - (1 - static_risk) * (1 - health_risk)
+  /// (the phone survives the window only if neither hazard fires).
+  void bind_health(const HealthProvider* health) override { health_ = health; }
+
+  /// Static charging-profile risk only (the a-priori half).
   double risk_of(PhoneId phone) const;
+  /// Static risk blended with the bound health provider's live score.
+  double combined_risk(PhoneId phone) const;
 
  private:
   std::unique_ptr<Scheduler> base_;
   std::map<PhoneId, double> risk_;
   Options options_;
+  const HealthProvider* health_ = nullptr;  ///< not owned; may be null
 };
 
 }  // namespace cwc::core

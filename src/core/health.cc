@@ -1,0 +1,192 @@
+#include "core/health.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace cwc::core {
+
+const char* health_state_name(HealthState state) {
+  switch (state) {
+    case HealthState::kHealthy: return "healthy";
+    case HealthState::kProbation: return "probation";
+    case HealthState::kQuarantined: return "quarantined";
+    case HealthState::kParole: return "parole";
+  }
+  return "unknown";
+}
+
+HealthTracker::HealthTracker(HealthOptions options) : options_(options) {
+  if (options_.alpha <= 0.0 || options_.alpha > 1.0) {
+    throw std::invalid_argument("HealthTracker: alpha out of (0, 1]");
+  }
+  if (options_.probation_threshold >= options_.quarantine_threshold) {
+    throw std::invalid_argument("HealthTracker: probation must be below quarantine threshold");
+  }
+  if (options_.parole_after_ticks < 1) {
+    throw std::invalid_argument("HealthTracker: parole_after_ticks must be >= 1");
+  }
+  // Pre-register so every snapshot carries the health story, zero-valued
+  // on clean runs.
+  obs::counter("health.quarantines");
+  obs::counter("health.paroles");
+  obs::counter("health.reinstatements");
+  obs::counter("health.requarantines");
+  obs::gauge("health.quarantined_now");
+}
+
+void HealthTracker::register_phone(PhoneId phone) { phones_.try_emplace(phone); }
+
+void HealthTracker::transition(PhoneId phone, PhoneHealth& health, HealthState next) {
+  if (health.state == next) return;
+  const HealthState prev = health.state;
+  health.state = next;
+  if (next == HealthState::kQuarantined) {
+    health.quarantine_ticks = 0;
+    obs::counter(prev == HealthState::kParole ? "health.requarantines" : "health.quarantines")
+        .inc();
+    if (obs::trace_enabled()) {
+      obs::TraceEvent event;
+      event.type = obs::TraceEventType::kQuarantine;
+      event.t = obs::trace_now();
+      event.phone = phone;
+      event.value = health.score;
+      obs::trace_record(event);
+    }
+    log_info("health") << "phone " << phone << " quarantined (score " << health.score << ")";
+  } else if (next == HealthState::kParole) {
+    obs::counter("health.paroles").inc();
+  } else if (next == HealthState::kHealthy && prev == HealthState::kParole) {
+    obs::counter("health.reinstatements").inc();
+    log_info("health") << "phone " << phone << " reinstated after parole probe";
+  }
+  obs::gauge("health.quarantined_now").set(static_cast<double>(quarantined_count()));
+}
+
+void HealthTracker::observe(PhoneId phone, double severity) {
+  auto& health = phones_[phone];
+  severity = std::clamp(severity, 0.0, 1.0);
+  health.score += options_.alpha * (severity - health.score);
+
+  // Step the machine at most one level per signal: catastrophic single
+  // reports still pass through probation before quarantine.
+  switch (health.state) {
+    case HealthState::kHealthy:
+      if (health.score >= options_.probation_threshold) {
+        transition(phone, health, HealthState::kProbation);
+      }
+      break;
+    case HealthState::kProbation:
+      if (health.score >= options_.quarantine_threshold) {
+        transition(phone, health, HealthState::kQuarantined);
+      } else if (health.score <
+                 options_.probation_threshold * options_.recovery_fraction) {
+        transition(phone, health, HealthState::kHealthy);
+      }
+      break;
+    case HealthState::kQuarantined:
+      // Signals while quarantined only move the score; release is timed.
+      break;
+    case HealthState::kParole:
+      // The probe's outcome decides: any failure signal re-quarantines;
+      // success is handled in on_success (which needs to distinguish a
+      // clean completion from a merely-low score).
+      if (severity > 0.0) transition(phone, health, HealthState::kQuarantined);
+      break;
+  }
+}
+
+void HealthTracker::on_offline_failure(PhoneId phone) {
+  observe(phone, options_.offline_severity);
+}
+
+void HealthTracker::on_online_failure(PhoneId phone) {
+  observe(phone, options_.online_severity);
+}
+
+void HealthTracker::on_keepalive_miss(PhoneId phone, int streak) {
+  // A longer consecutive streak is stronger evidence; saturate at 3.
+  const double scale = std::min(3, std::max(1, streak)) / 3.0;
+  observe(phone, options_.keepalive_severity * scale);
+}
+
+void HealthTracker::on_deadline_hit(PhoneId phone) {
+  observe(phone, options_.deadline_severity);
+}
+
+void HealthTracker::on_prediction_error(PhoneId phone, double rel_error) {
+  if (!std::isfinite(rel_error) || rel_error < options_.prediction_error_floor) return;
+  observe(phone, std::min(options_.prediction_severity_cap,
+                          rel_error / options_.prediction_error_scale *
+                              options_.prediction_severity_cap));
+}
+
+void HealthTracker::on_success(PhoneId phone) {
+  auto& health = phones_[phone];
+  health.score += options_.alpha * (0.0 - health.score);
+  switch (health.state) {
+    case HealthState::kParole:
+      // Probe completed: full reinstatement, with a memory of the offence.
+      health.score = std::max(health.score, 0.0);
+      health.score = std::min(health.score, options_.reinstate_score);
+      transition(phone, health, HealthState::kHealthy);
+      break;
+    case HealthState::kProbation:
+      if (health.score < options_.probation_threshold * options_.recovery_fraction) {
+        transition(phone, health, HealthState::kHealthy);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void HealthTracker::grant_parole(PhoneId phone) {
+  const auto it = phones_.find(phone);
+  if (it == phones_.end()) return;
+  if (it->second.state == HealthState::kQuarantined) {
+    transition(phone, it->second, HealthState::kParole);
+  }
+}
+
+void HealthTracker::tick() {
+  for (auto& [phone, health] : phones_) {
+    if (health.state != HealthState::kQuarantined) continue;
+    if (++health.quarantine_ticks >= options_.parole_after_ticks) {
+      transition(phone, health, HealthState::kParole);
+    }
+  }
+}
+
+double HealthTracker::score(PhoneId phone) const {
+  const auto it = phones_.find(phone);
+  return it == phones_.end() ? 0.0 : it->second.score;
+}
+
+HealthState HealthTracker::state(PhoneId phone) const {
+  const auto it = phones_.find(phone);
+  return it == phones_.end() ? HealthState::kHealthy : it->second.state;
+}
+
+std::size_t HealthTracker::quarantined_count() const {
+  std::size_t n = 0;
+  for (const auto& [phone, health] : phones_) {
+    if (health.state == HealthState::kQuarantined) ++n;
+  }
+  return n;
+}
+
+double HealthTracker::health_risk(PhoneId phone) const {
+  const auto it = phones_.find(phone);
+  if (it == phones_.end()) return 0.0;
+  // Parole caps the reported risk: the packer must still be able to route
+  // the probe piece there rather than excluding the phone outright.
+  if (it->second.state == HealthState::kParole) return std::min(it->second.score, 0.6);
+  return std::clamp(it->second.score, 0.0, 1.0);
+}
+
+}  // namespace cwc::core

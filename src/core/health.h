@@ -1,0 +1,155 @@
+// Online phone-health scoring and quarantine — the runtime half of the
+// paper's Section 3 sketch ("profiling an individual user's behavior can
+// allow the prediction of device specific failures").
+//
+// The FailureAwareScheduler's charging-profile risk is *a priori*: it says
+// which phones are statistically likely to unplug, before the batch runs.
+// This module closes the feedback loop with what actually happens at
+// runtime. Every observed misbehaviour — an offline loss, an online unplug,
+// a keep-alive miss streak, an RPC deadline hit, a blown c_ij prediction —
+// feeds a per-phone EWMA score in [0, 1]; successes decay it. The score
+// drives a quarantine state machine:
+//
+//     healthy --(score >= probation)--> probation
+//     probation --(score >= quarantine)--> quarantined
+//     probation --(score recovers)--> healthy
+//     quarantined --(parole_ticks scheduling instants)--> parole
+//     parole --(probe piece completes)--> healthy
+//     parole --(any failure signal)--> quarantined  (timer restarts)
+//
+// Transitions only ever move one level per signal: a phone can never jump
+// healthy -> quarantined without first passing probation, no matter how
+// catastrophic a single report is (one observation is never proof of a bad
+// phone — it may have been the network's fault).
+//
+// Quarantined phones receive no new work; the controller reserves their
+// in-flight remainder for rescheduling. Paroled phones receive exactly one
+// probe piece; its completion reinstates them, its failure re-quarantines.
+// Time is measured in scheduling instants (tick()), not wall-clock, so the
+// machine is deterministic under both the simulator and the live server.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace cwc::core {
+
+/// Read-only view of live phone health, consumed by schedulers (see
+/// Scheduler::bind_health). Kept abstract so core scheduling code does not
+/// depend on the tracker's internals.
+class HealthProvider {
+ public:
+  virtual ~HealthProvider() = default;
+  /// Live failure-risk score in [0, 1]; 0 = no observed misbehaviour.
+  virtual double health_risk(PhoneId phone) const = 0;
+};
+
+enum class HealthState : std::uint8_t {
+  kHealthy = 0,
+  kProbation,    ///< elevated score; still schedulable, cost-inflated
+  kQuarantined,  ///< receives no new work until parole
+  kParole,       ///< eligible for exactly one probe piece
+};
+
+/// Stable machine name of a health state ("healthy", ...).
+const char* health_state_name(HealthState state);
+
+struct HealthOptions {
+  /// EWMA smoothing: score += alpha * (severity - score) per signal.
+  double alpha = 0.3;
+  /// Signal severities (the EWMA target each signal pulls toward).
+  /// Offline losses are worst: they stall the batch for the whole
+  /// keep-alive detection window and lose every queued piece.
+  double offline_severity = 1.0;
+  double online_severity = 0.7;
+  double keepalive_severity = 0.55;
+  double deadline_severity = 0.6;
+  /// Prediction error contributes severity scaled by rel_error /
+  /// prediction_error_scale (clamped to prediction_severity_cap); a phone
+  /// that merely runs 10% off its c_ij estimate barely registers.
+  double prediction_error_scale = 2.0;
+  double prediction_severity_cap = 0.4;
+  /// Relative errors below this are noise, not a health signal.
+  double prediction_error_floor = 0.5;
+  /// State thresholds on the EWMA score.
+  double probation_threshold = 0.45;
+  double quarantine_threshold = 0.8;
+  /// Hysteresis: probation drops back to healthy only below
+  /// probation_threshold * recovery_fraction (avoids flapping).
+  double recovery_fraction = 0.6;
+  /// Scheduling instants a phone sits quarantined before parole.
+  int parole_after_ticks = 3;
+  /// Score assigned on reinstatement (parole probe success); non-zero so a
+  /// repeat offender climbs back to probation faster than a clean phone.
+  double reinstate_score = 0.25;
+};
+
+/// Per-phone EWMA health scores + quarantine state machine. Not
+/// thread-safe; both substrates drive it from their single event loop.
+class HealthTracker final : public HealthProvider {
+ public:
+  explicit HealthTracker(HealthOptions options = {});
+
+  /// Registers a phone (idempotent); fresh phones start healthy, score 0.
+  void register_phone(PhoneId phone);
+
+  // --- Signals (each updates the EWMA, then steps the state machine) ----
+  void on_offline_failure(PhoneId phone);
+  void on_online_failure(PhoneId phone);
+  /// One keep-alive tick expired unanswered (`streak` = consecutive misses
+  /// so far; longer streaks weigh heavier).
+  void on_keepalive_miss(PhoneId phone, int streak);
+  /// An RPC (registration, probe, assignment ack) blew its deadline.
+  void on_deadline_hit(PhoneId phone);
+  /// A completed piece's |predicted - measured| / measured c_ij error.
+  void on_prediction_error(PhoneId phone, double rel_error);
+  /// A piece completed cleanly; decays the score toward 0 and resolves a
+  /// parole probe (parole -> healthy).
+  void on_success(PhoneId phone);
+
+  /// Advances quarantine timers by one scheduling instant
+  /// (quarantined -> parole after parole_after_ticks).
+  void tick();
+
+  /// Early release: quarantined -> parole immediately (no-op otherwise).
+  /// The controller's safety valve when every plugged phone is quarantined
+  /// — probe pieces must be able to flow or the batch deadlocks.
+  void grant_parole(PhoneId phone);
+
+  // --- Queries ----------------------------------------------------------
+  double score(PhoneId phone) const;
+  HealthState state(PhoneId phone) const;
+  bool quarantined(PhoneId phone) const { return state(phone) == HealthState::kQuarantined; }
+  bool on_parole(PhoneId phone) const { return state(phone) == HealthState::kParole; }
+  /// May the phone receive *new* work at all (healthy/probation/parole)?
+  bool schedulable(PhoneId phone) const { return !quarantined(phone); }
+  /// Phones currently quarantined.
+  std::size_t quarantined_count() const;
+
+  // --- HealthProvider ---------------------------------------------------
+  /// The EWMA score, except parole reports a capped risk so the packer can
+  /// still route a probe piece to the phone instead of excluding it.
+  double health_risk(PhoneId phone) const override;
+
+  const HealthOptions& options() const { return options_; }
+
+ private:
+  struct PhoneHealth {
+    double score = 0.0;
+    HealthState state = HealthState::kHealthy;
+    int quarantine_ticks = 0;  ///< instants served in quarantine
+  };
+
+  /// Folds one severity sample into the phone's EWMA and steps the state
+  /// machine at most one level in the indicated direction.
+  void observe(PhoneId phone, double severity);
+  void transition(PhoneId phone, PhoneHealth& health, HealthState next);
+
+  HealthOptions options_;
+  std::map<PhoneId, PhoneHealth> phones_;
+};
+
+}  // namespace cwc::core

@@ -13,6 +13,8 @@
 
 namespace cwc::core {
 
+class HealthProvider;  // core/health.h
+
 /// Predicted outstanding work (ms) per phone at a scheduling instant.
 /// Used when re-scheduling failed tasks mid-run (Section 5's instant B):
 /// phones still working have non-zero load, so the packer naturally routes
@@ -48,6 +50,12 @@ class Scheduler {
     (void)capacity_hint;
     return build(jobs, phones, prediction, initial_load);
   }
+
+  /// Attaches a live health-score source (core/health.h). Risk-aware
+  /// schedulers blend it into placement cost; the default ignores it, so
+  /// baseline schedulers stay health-blind. The provider must outlive the
+  /// scheduler (the CwcController owns both and binds in its constructor).
+  virtual void bind_health(const HealthProvider* health) { (void)health; }
 };
 
 /// Baseline 1: "splits each breakable job into |P| pieces without

@@ -1,0 +1,62 @@
+#include "core/speculation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cwc::core {
+
+Millis expected_remaining_ms(const InFlightPiece& piece) {
+  return std::abs(piece.predicted_ms - piece.elapsed_ms);
+}
+
+std::vector<SpeculationDecision> pieces_to_speculate(
+    const SpeculationOptions& options, double done_fraction,
+    const std::vector<InFlightPiece>& in_flight, std::size_t idle_healthy_phones) {
+  std::vector<SpeculationDecision> decisions;
+  if (!options.enabled || idle_healthy_phones == 0) return decisions;
+  if (done_fraction < options.completion_fraction) return decisions;
+
+  std::vector<Millis> remaining(in_flight.size(), 0.0);
+  for (std::size_t i = 0; i < in_flight.size(); ++i) {
+    remaining[i] = expected_remaining_ms(in_flight[i]);
+  }
+
+  for (std::size_t i = 0; i < in_flight.size(); ++i) {
+    const InFlightPiece& piece = in_flight[i];
+    if (!piece.breakable || piece.has_backup) continue;
+
+    // Median remaining time over the *other* in-flight pieces. With no
+    // peers the median is 0, so the last straggler in flight triggers on
+    // min_remaining_ms alone — exactly the case speculation exists for.
+    std::vector<Millis> peers;
+    peers.reserve(remaining.size());
+    for (std::size_t j = 0; j < remaining.size(); ++j) {
+      if (j != i) peers.push_back(remaining[j]);
+    }
+    Millis median = 0.0;
+    if (!peers.empty()) {
+      std::sort(peers.begin(), peers.end());
+      const std::size_t mid = peers.size() / 2;
+      median = peers.size() % 2 == 1 ? peers[mid] : 0.5 * (peers[mid - 1] + peers[mid]);
+    }
+
+    const Millis threshold = std::max(options.straggler_factor * median,
+                                      options.min_remaining_ms);
+    if (remaining[i] >= threshold) {
+      decisions.push_back({i, remaining[i], median});
+    }
+  }
+
+  // Worst straggler first; one idle phone per backup.
+  std::sort(decisions.begin(), decisions.end(),
+            [](const SpeculationDecision& a, const SpeculationDecision& b) {
+              if (a.expected_remaining != b.expected_remaining) {
+                return a.expected_remaining > b.expected_remaining;
+              }
+              return a.index < b.index;
+            });
+  if (decisions.size() > idle_healthy_phones) decisions.resize(idle_healthy_phones);
+  return decisions;
+}
+
+}  // namespace cwc::core

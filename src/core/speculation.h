@@ -1,0 +1,75 @@
+// Speculative re-execution of straggler pieces — MapReduce-style backup
+// tasks adapted to CWC's phone fleet.
+//
+// Near the end of a batch the makespan is hostage to the slowest in-flight
+// piece: one phone whose true c_ij is far worse than predicted (a hidden
+// thermal throttle, a background app, a lying clock) stalls everyone.
+// Once the batch is past `completion_fraction`, any piece whose expected
+// remaining time exceeds `straggler_factor x` the median of the other
+// in-flight pieces gets a backup launched on a healthy idle phone. The
+// first valid completion wins; the loser is cancelled (a CancelPiece frame
+// on the wire, an epoch bump in the simulator); duplicate or late reports
+// are arbitrated by the (piece, attempt) identity machinery and never
+// double-aggregated.
+//
+// This header is the *policy* only — a pure function over a snapshot of
+// in-flight state — shared verbatim by the live server and the simulator
+// so both substrates speculate identically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace cwc::core {
+
+struct SpeculationOptions {
+  bool enabled = false;
+  /// Fraction of the batch's input bytes that must be complete before any
+  /// backup launches (speculating early just wastes capacity: stragglers
+  /// only dominate the tail).
+  double completion_fraction = 0.75;
+  /// A piece is a straggler when its expected remaining time exceeds
+  /// straggler_factor x the median remaining time of the *other* in-flight
+  /// pieces.
+  double straggler_factor = 2.0;
+  /// Absolute floor on the straggler's expected remaining time: never
+  /// speculate on a piece about to finish anyway (also the sole trigger
+  /// threshold for the last piece in flight, whose peer median is 0).
+  Millis min_remaining_ms = 250.0;
+};
+
+/// Snapshot of one in-flight piece at a speculation check.
+struct InFlightPiece {
+  PhoneId phone = kInvalidPhone;   ///< the phone executing the original
+  std::int32_t piece = -1;         ///< controller piece id
+  std::int32_t attempt = 0;
+  Millis elapsed_ms = 0.0;         ///< time since the assignment started
+  Millis predicted_ms = 0.0;       ///< predicted ship+execute total
+  bool breakable = true;           ///< atomic pieces are never speculated
+                                   ///< (their checkpoint migrates instead)
+  bool has_backup = false;         ///< a backup is already running
+};
+
+/// One "launch a backup for in_flight[index]" decision.
+struct SpeculationDecision {
+  std::size_t index = 0;           ///< into the in_flight snapshot
+  Millis expected_remaining = 0.0;
+  Millis median_remaining = 0.0;   ///< over the other in-flight pieces
+};
+
+/// Expected remaining time of an in-flight piece. Before the prediction is
+/// exhausted this is simply predicted - elapsed; past it, the deficit
+/// |predicted - elapsed| grows linearly — we have no better model of an
+/// overdue piece than "it is at least this far off plan", and a monotone
+/// overdue signal is what the trigger needs.
+Millis expected_remaining_ms(const InFlightPiece& piece);
+
+/// The pieces that should get a backup now, worst straggler first, at most
+/// `idle_healthy_phones` of them. Pure function; deterministic.
+std::vector<SpeculationDecision> pieces_to_speculate(
+    const SpeculationOptions& options, double done_fraction,
+    const std::vector<InFlightPiece>& in_flight, std::size_t idle_healthy_phones);
+
+}  // namespace cwc::core

@@ -220,6 +220,12 @@ bool PhoneAgent::session() {
         case MsgType::kKeepAlive:
           send_frame(conn, encode_keepalive_ack(decode_keepalive(*frame).seq));
           break;
+        case MsgType::kCancelPiece:
+          // The in-flight piece it names already reported (our completion
+          // raced the cancel); the server arbitrates such duplicates by
+          // (piece, attempt) identity, so this is safely ignored.
+          obs::counter("net.agent.cancels_stale").inc();
+          break;
         case MsgType::kShutdown:
           return false;  // orderly end of the batch
         default:
@@ -232,6 +238,30 @@ bool PhoneAgent::session() {
     obs::counter("net.agent.connection_errors").inc();
     return true;  // reconnect if budget remains
   }
+}
+
+bool PhoneAgent::cancel_requested(const AssignPieceMsg& assignment) {
+  // service_keepalives stashes non-keepalive frames while we execute;
+  // cancels targeting the current assignment abandon it, anything else
+  // (a cancel for an attempt that already reported) is consumed here —
+  // it must not surface later as an "unexpected frame".
+  bool requested = false;
+  for (auto it = stash_.begin(); it != stash_.end();) {
+    if (peek_type(*it) != MsgType::kCancelPiece) {
+      ++it;
+      continue;
+    }
+    const CancelPieceMsg cancel = decode_cancel_piece(*it);
+    it = stash_.erase(it);
+    if (cancel.piece_seq == assignment.piece_seq &&
+        (cancel.piece < 0 || (cancel.piece == assignment.trace_piece &&
+                              cancel.attempt == assignment.trace_attempt))) {
+      requested = true;
+    } else {
+      obs::counter("net.agent.cancels_stale").inc();
+    }
+  }
+  return requested;
 }
 
 void PhoneAgent::cache_completion(std::int32_t piece, std::int32_t attempt,
@@ -356,6 +386,15 @@ void PhoneAgent::handle_assignment(TcpConnection& conn, FrameDecoder& decoder,
   std::size_t budget = config_.step_bytes;
   std::size_t stepped_bytes = 0;
   while (!task->done(input)) {
+    if (cancel_requested(assignment)) {
+      // The speculation twin won; abandon without reporting — the winner's
+      // result already settled this (piece, attempt) on the server.
+      ++pieces_cancelled_;
+      obs::counter("net.agent.cancels_honored").inc();
+      log_info("agent") << "phone " << config_.id << " abandoning cancelled piece "
+                        << assignment.trace_piece << " attempt " << assignment.trace_attempt;
+      return;
+    }
     if (unplugged_.load()) {
       // Owner unplugged mid-execution: suspend, checkpoint, migrate.
       ++pieces_failed_;

@@ -120,6 +120,7 @@ class PhoneAgent {
   std::size_t pieces_completed() const { return pieces_completed_.load(); }
   std::size_t pieces_failed() const { return pieces_failed_.load(); }
   std::size_t reports_replayed() const { return reports_replayed_.load(); }
+  std::size_t pieces_cancelled() const { return pieces_cancelled_.load(); }
   bool finished() const { return finished_.load(); }
 
  private:
@@ -143,6 +144,9 @@ class PhoneAgent {
   void responsive_sleep(double ms, TcpConnection& conn, FrameDecoder& decoder);
   /// Sleeps to pace `bytes` through the emulated link (keep-alive aware).
   void pace_link(std::size_t bytes, TcpConnection& conn, FrameDecoder& decoder);
+  /// True when a stashed CancelPiece matches the in-flight assignment (the
+  /// server's speculation twin won); stale cancels are consumed and counted.
+  bool cancel_requested(const AssignPieceMsg& assignment);
 
   std::uint16_t port_;
   PhoneAgentConfig config_;
@@ -155,6 +159,7 @@ class PhoneAgent {
   std::atomic<std::size_t> pieces_completed_{0};
   std::atomic<std::size_t> pieces_failed_{0};
   std::atomic<std::size_t> reports_replayed_{0};
+  std::atomic<std::size_t> pieces_cancelled_{0};
   std::atomic<bool> finished_{false};
   std::deque<Blob> stash_;  ///< frames set aside by service_keepalives
   bool session_registered_ = false;  ///< last session reached registration

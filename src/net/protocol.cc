@@ -199,4 +199,21 @@ KeepAliveMsg decode_keepalive_ack(const Blob& frame) {
 
 Blob encode_shutdown() { return begin(MsgType::kShutdown).take(); }
 
+Blob encode(const CancelPieceMsg& msg) {
+  BufferWriter w = begin(MsgType::kCancelPiece);
+  w.write_u32(msg.piece_seq);
+  w.write_i32(msg.piece);
+  w.write_i32(msg.attempt);
+  return w.take();
+}
+
+CancelPieceMsg decode_cancel_piece(const Blob& frame) {
+  BufferReader r = open(frame, MsgType::kCancelPiece);
+  CancelPieceMsg msg;
+  msg.piece_seq = r.read_u32();
+  msg.piece = r.read_i32();
+  msg.attempt = r.read_i32();
+  return msg;
+}
+
 }  // namespace cwc::net

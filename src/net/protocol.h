@@ -37,6 +37,8 @@ enum class MsgType : std::uint8_t {
   kKeepAlive = 9,
   kKeepAliveAck = 10,
   kShutdown = 11,      // server -> phone: batch finished, disconnect
+  kCancelPiece = 12,   // server -> phone: abandon the in-flight piece (a
+                       // speculative twin already completed it)
 };
 
 /// Type tag of an encoded frame; throws on empty frames.
@@ -134,5 +136,19 @@ KeepAliveMsg decode_keepalive(const Blob& frame);
 KeepAliveMsg decode_keepalive_ack(const Blob& frame);
 
 Blob encode_shutdown();
+
+/// Cancels the in-flight assignment identified by (piece_seq, piece,
+/// attempt): the first valid completion of a speculated piece won on the
+/// server, and the losing attempt should stop burning the phone's battery.
+/// The agent abandons execution without reporting; a cancel that no longer
+/// matches what the phone is running (the report already left) is ignored
+/// — the server arbitrates duplicates by identity either way.
+struct CancelPieceMsg {
+  std::uint32_t piece_seq = 0;
+  std::int32_t piece = -1;
+  std::int32_t attempt = -1;
+};
+Blob encode(const CancelPieceMsg& msg);
+CancelPieceMsg decode_cancel_piece(const Blob& frame);
 
 }  // namespace cwc::net

@@ -39,7 +39,7 @@ void send_frame(TcpConnection& conn, const Blob& payload) {
 CwcServer::CwcServer(std::unique_ptr<core::Scheduler> scheduler,
                      core::PredictionModel prediction, const tasks::TaskRegistry* registry,
                      ServerConfig config)
-    : controller_(std::move(scheduler), std::move(prediction)),
+    : controller_(std::move(scheduler), std::move(prediction), config.health),
       registry_(registry),
       config_(config),
       listener_(config.port, !config.bind_all_interfaces) {
@@ -73,6 +73,14 @@ CwcServer::CwcServer(std::unique_ptr<core::Scheduler> scheduler,
   obs::counter("net.server.duplicate_registrations");
   obs::counter("net.server.rpc_timeouts");
   obs::counter("net.server.journal_errors");
+  // Speculation counters, zero-valued when --speculation is off so the
+  // telemetry smoke check can always assert their presence.
+  obs::counter("spec.launched");
+  obs::counter("spec.wins_primary");
+  obs::counter("spec.wins_backup");
+  obs::counter("spec.cancels_sent");
+  obs::counter("spec.duplicate_completions");
+  obs::counter("spec.aborted");
   listener_.set_nonblocking(true);
 }
 
@@ -357,6 +365,15 @@ void CwcServer::assign_next_piece(Connection& c) {
   msg.trace_attempt = work->identity.attempt;
   msg.trace_instant = work->identity.instant;
   c.busy = true;
+  c.speculative = false;
+  // Straggler detection inputs: when the assignment left, and how long the
+  // scheduler believed ship+execute would take on this phone.
+  c.piece_started_ms = now_ms_;
+  const core::PhoneSpec& phone_spec = controller_.phone(c.phone);
+  c.piece_predicted_ms = core::completion_time(
+      job.spec, phone_spec, controller_.prediction().predict(job.spec.task_name, phone_spec),
+      work->piece.input_kb, !work->executable_cached);
+  controller_.set_in_flight(c.phone, true);
   // Keep the encoded frame so the retry timer can re-deliver it verbatim
   // (same piece_seq and (piece, attempt) identity → idempotent on the
   // agent side).
@@ -413,6 +430,225 @@ bool CwcServer::report_matches_inflight(const Connection& c, std::uint32_t piece
   return true;
 }
 
+CwcServer::Connection* CwcServer::find_connection(PhoneId phone) {
+  for (auto& connection : connections_) {
+    if (connection->conn.valid() && connection->registered && connection->phone == phone) {
+      return connection.get();
+    }
+  }
+  return nullptr;
+}
+
+void CwcServer::cancel_attempt(Connection& loser) {
+  // Clear the in-flight state *before* touching the socket: if the send
+  // fails mid-resolution, drop_connection's lost-handling must not see a
+  // busy connection and return fragments that the winning report is about
+  // to bank (or requeue a piece the winner is about to pop).
+  const CancelPieceMsg cancel{loser.piece_seq, loser.piece_identity.piece,
+                              loser.piece_identity.attempt};
+  const JobId job = loser.piece_job;
+  const core::PieceIdentity identity = loser.piece_identity;
+  loser.busy = false;
+  loser.speculative = false;
+  loser.assign_frame.clear();
+  if (obs::trace_enabled()) {
+    obs::TraceEvent event;
+    event.type = obs::TraceEventType::kPieceCancelled;
+    event.t = obs::trace_now();
+    event.job = job;
+    event.piece = identity.piece;
+    event.attempt = identity.attempt;
+    event.instant = identity.instant;
+    event.phone = loser.phone;
+    obs::trace_record(event);
+  }
+  try {
+    send_frame(loser.conn, encode(cancel));
+    obs::counter("spec.cancels_sent").inc();
+  } catch (const SocketError& e) {
+    // The agent will notice the dead socket and reconnect; its stale
+    // report, if any, is arbitrated away by the resolved identity.
+    log_warn("cwc-server") << "cancel send to phone " << loser.phone
+                           << " failed: " << e.what();
+    loser.conn.close();
+  }
+}
+
+PhoneId CwcServer::resolve_speculation(Connection& winner) {
+  const SpecKey key{winner.piece_identity.piece, winner.piece_identity.attempt};
+  const auto it = active_specs_.find(key);
+  if (it == active_specs_.end()) return winner.phone;
+  const ActiveSpec spec = it->second;
+  active_specs_.erase(it);
+  resolved_specs_.insert(key);
+  const bool backup_won = winner.phone == spec.backup && winner.speculative;
+  obs::counter(backup_won ? "spec.wins_backup" : "spec.wins_primary").inc();
+  if (backup_won) ++speculative_wins_backup_;
+  const PhoneId loser_phone = backup_won ? spec.primary : spec.backup;
+  if (Connection* loser = find_connection(loser_phone);
+      loser && loser->busy && loser->piece_identity.piece == key.first &&
+      loser->piece_identity.attempt == key.second) {
+    cancel_attempt(*loser);
+  }
+  log_info("cwc-server") << "speculation resolved for piece " << key.first << ": phone "
+                         << winner.phone << (backup_won ? " (backup)" : " (original)")
+                         << " won";
+  return spec.primary;
+}
+
+void CwcServer::abort_speculation(Connection& c) {
+  if (!c.busy) return;
+  const SpecKey key{c.piece_identity.piece, c.piece_identity.attempt};
+  const auto it = active_specs_.find(key);
+  if (it == active_specs_.end()) return;
+  const ActiveSpec spec = it->second;
+  if (c.speculative) {
+    // The backup died; the original keeps running untouched.
+    if (c.phone != spec.backup) return;
+    active_specs_.erase(it);
+    obs::counter("spec.aborted").inc();
+  } else {
+    // The original died with a backup in flight. Resolve the identity and
+    // cancel the backup: the failure path banks the original's reported
+    // prefix and requeues the suffix, so a racing full result from the
+    // backup must be dropped as a duplicate, never banked on top.
+    active_specs_.erase(it);
+    resolved_specs_.insert(key);
+    obs::counter("spec.aborted").inc();
+    if (Connection* backup = find_connection(spec.backup);
+        backup && backup->speculative && backup->busy &&
+        backup->piece_identity.piece == key.first &&
+        backup->piece_identity.attempt == key.second) {
+      cancel_attempt(*backup);
+    }
+  }
+}
+
+void CwcServer::maybe_speculate(double now_ms) {
+  if (!config_.speculation.enabled || jobs_.empty()) return;
+
+  // Batch completion fraction over input bytes (recovered already-done
+  // jobs live under synthetic negative ids and are excluded — they were
+  // finished by a previous process, not this batch).
+  double total_bytes = 0.0;
+  double done_bytes = 0.0;
+  for (const auto& [id, job] : jobs_) {
+    if (id < 0) continue;
+    const auto size = static_cast<double>(job.input.size());
+    total_bytes += size;
+    if (job.spec.kind == JobKind::kBreakable) {
+      done_bytes += std::min(static_cast<double>(job.bytes_completed), size);
+    } else if (job.done) {
+      done_bytes += size;
+    }
+  }
+  const double done_fraction = total_bytes > 0.0 ? done_bytes / total_bytes : 1.0;
+
+  // Snapshot the in-flight originals.
+  std::vector<core::InFlightPiece> in_flight;
+  std::vector<Connection*> owners;
+  for (auto& connection : connections_) {
+    Connection& c = *connection;
+    if (!c.conn.valid() || !c.registered || !c.busy || c.speculative) continue;
+    core::InFlightPiece piece;
+    piece.phone = c.phone;
+    piece.piece = c.piece_identity.piece;
+    piece.attempt = c.piece_identity.attempt;
+    piece.elapsed_ms = now_ms - c.piece_started_ms;
+    piece.predicted_ms = c.piece_predicted_ms;
+    piece.breakable = jobs_.at(c.piece_job).spec.kind == JobKind::kBreakable;
+    piece.has_backup = active_specs_.count({piece.piece, piece.attempt}) > 0;
+    in_flight.push_back(piece);
+    owners.push_back(&c);
+  }
+  if (in_flight.empty()) return;
+
+  // Backup candidates: ready, idle, queue-empty, plugged, fully healthy.
+  std::vector<Connection*> idle;
+  for (auto& connection : connections_) {
+    Connection& c = *connection;
+    if (!c.conn.valid() || !c.registered || !c.ready || c.busy || c.probing) continue;
+    if (!controller_.is_plugged(c.phone)) continue;
+    if (controller_.health().state(c.phone) != core::HealthState::kHealthy) continue;
+    if (controller_.current_work(c.phone)) continue;
+    idle.push_back(&c);
+  }
+
+  const auto decisions =
+      core::pieces_to_speculate(config_.speculation, done_fraction, in_flight, idle.size());
+  std::size_t next_idle = 0;
+  for (const core::SpeculationDecision& decision : decisions) {
+    if (next_idle >= idle.size()) break;
+    launch_backup(*owners[decision.index], *idle[next_idle++], decision);
+  }
+}
+
+void CwcServer::launch_backup(Connection& primary, Connection& backup,
+                              const core::SpeculationDecision& decision) {
+  JobState& job = jobs_.at(primary.piece_job);
+  AssignPieceMsg msg;
+  msg.job = primary.piece_job;
+  msg.piece_seq = ++backup.piece_seq;
+  msg.task_name = job.spec.task_name;
+  msg.kind = job.spec.kind;
+  if (!controller_.executable_cached(backup.phone, msg.job)) {
+    msg.executable.assign(static_cast<std::size_t>(job.spec.exec_kb * 1024.0), 0xEE);
+  }
+  // The backup re-executes the primary's exact byte ranges from scratch
+  // (breakable pieces carry no checkpoint), under the same (piece,
+  // attempt) identity so either report settles the same work.
+  for (const auto& [begin, end] : primary.piece_fragments) {
+    msg.input.insert(msg.input.end(), job.input.begin() + static_cast<std::ptrdiff_t>(begin),
+                     job.input.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+  msg.trace_piece = primary.piece_identity.piece;
+  msg.trace_attempt = primary.piece_identity.attempt;
+  msg.trace_instant = primary.piece_identity.instant;
+
+  backup.piece_fragments = primary.piece_fragments;
+  backup.piece_job = primary.piece_job;
+  backup.piece_identity = primary.piece_identity;
+  backup.busy = true;
+  backup.speculative = true;
+  backup.assign_frame = encode(msg);
+  backup.assign_sent_ms = now_ms_;
+  backup.assign_retries = 0;
+  backup.piece_started_ms = now_ms_;
+  const core::PhoneSpec& spec = controller_.phone(backup.phone);
+  const Kilobytes input_kb = static_cast<double>(msg.input.size()) / 1024.0;
+  backup.piece_predicted_ms = core::completion_time(
+      job.spec, spec, controller_.prediction().predict(job.spec.task_name, spec), input_kb,
+      !msg.executable.empty());
+  try {
+    send_frame(backup.conn, backup.assign_frame);
+  } catch (const SocketError& e) {
+    log_warn("cwc-server") << "backup launch to phone " << backup.phone
+                           << " failed: " << e.what();
+    drop_connection(backup, /*lost=*/true);
+    return;
+  }
+  active_specs_[{primary.piece_identity.piece, primary.piece_identity.attempt}] =
+      ActiveSpec{primary.phone, backup.phone, primary.piece_job};
+  ++speculative_launches_;
+  obs::counter("spec.launched").inc();
+  if (obs::trace_enabled()) {
+    obs::TraceEvent event;
+    event.type = obs::TraceEventType::kSpeculativeLaunch;
+    event.t = obs::trace_now();
+    event.value = decision.expected_remaining;
+    event.job = msg.job;
+    event.piece = primary.piece_identity.piece;
+    event.attempt = primary.piece_identity.attempt;
+    event.instant = primary.piece_identity.instant;
+    event.phone = backup.phone;
+    obs::trace_record(event);
+  }
+  log_info("cwc-server") << "speculative backup of piece " << primary.piece_identity.piece
+                         << " (phone " << primary.phone << ", expected remaining "
+                         << decision.expected_remaining << " ms) launched on phone "
+                         << backup.phone;
+}
+
 namespace {
 /// kReportHandling fault gate: true = discard the report (the retry timer
 /// and agent-side replay recover it).
@@ -430,10 +666,22 @@ bool report_fault_drops() {
 void CwcServer::on_complete(Connection& c, const PieceCompleteMsg& msg) {
   if (report_fault_drops()) return;
   if (!report_matches_inflight(c, msg.piece_seq, msg.piece, msg.attempt)) {
+    // A losing twin's report racing its CancelPiece lands here (its
+    // in-flight state was cleared when the speculation resolved): counted,
+    // never banked — the (piece, attempt) identity arbitrates duplicates.
+    if (msg.piece >= 0 && resolved_specs_.count({msg.piece, msg.attempt})) {
+      ++duplicate_completions_;
+      obs::counter("spec.duplicate_completions").inc();
+    }
     obs::counter("net.server.stale_reports").inc();
     return;
   }
+  // First valid completion wins: if this piece was speculated, cancel the
+  // twin attempt and attribute the queue pop to the owner phone while the
+  // measurement credits whoever actually executed it.
+  const PhoneId owner = resolve_speculation(c);
   c.busy = false;
+  c.speculative = false;
   c.assign_frame.clear();
   JobState& job = jobs_.at(msg.job);
   job.partials.push_back(msg.partial_result);
@@ -456,7 +704,7 @@ void CwcServer::on_complete(Connection& c, const PieceCompleteMsg& msg) {
       on_journal_error(e);
     }
   }
-  controller_.on_piece_complete(c.phone, msg.local_exec_ms);
+  controller_.on_piece_complete(owner, msg.local_exec_ms, /*executed_by=*/c.phone);
   maybe_finish_job(msg.job);
   assign_next_piece(c);
 }
@@ -469,6 +717,24 @@ void CwcServer::on_failed(Connection& c, const PieceFailedMsg& msg) {
   }
   ++failures_received_;
   obs::counter("net.server.failures_received").inc();
+  if (c.speculative) {
+    // A backup failed: the original is still running, so nothing is
+    // banked, no fragments return, and the owner's queue stays untouched
+    // (on_piece_failed would pop a queue entry this attempt never had).
+    abort_speculation(c);
+    c.busy = false;
+    c.speculative = false;
+    c.assign_frame.clear();
+    controller_.health().on_online_failure(c.phone);
+    controller_.set_plugged(c.phone, false);
+    log_info("cwc-server") << "online failure of speculative backup on phone " << c.phone
+                           << ", job " << msg.job;
+    return;
+  }
+  // An original failing with a backup in flight resolves the speculation:
+  // the failure path banks the reported prefix and requeues the suffix, so
+  // the backup is cancelled and its racing full result dropped.
+  abort_speculation(c);
   c.busy = false;
   c.assign_frame.clear();
   JobState& job = jobs_.at(msg.job);
@@ -544,14 +810,23 @@ void CwcServer::drop_connection(Connection& c, bool lost) {
     ++phones_lost_;
     obs::counter("net.server.phones_lost").inc();
     if (c.busy) {
-      // Nothing was reported: the whole in-flight slice returns to the pool.
-      JobState& job = jobs_.at(c.piece_job);
-      if (job.spec.kind == JobKind::kBreakable) {
-        for (auto it = c.piece_fragments.rbegin(); it != c.piece_fragments.rend(); ++it) {
-          job.pending_ranges.push_front(*it);
+      abort_speculation(c);
+      if (c.speculative) {
+        // Backup connections hold a *copy* of the primary's in-flight
+        // fragments; the primary still owns them, so nothing returns to
+        // the pool here.
+        c.busy = false;
+        c.speculative = false;
+      } else {
+        // Nothing was reported: the whole in-flight slice returns to the pool.
+        JobState& job = jobs_.at(c.piece_job);
+        if (job.spec.kind == JobKind::kBreakable) {
+          for (auto it = c.piece_fragments.rbegin(); it != c.piece_fragments.rend(); ++it) {
+            job.pending_ranges.push_front(*it);
+          }
         }
+        c.busy = false;
       }
-      c.busy = false;
     }
     controller_.on_phone_lost(c.phone);
     log_warn("cwc-server") << "phone " << c.phone << " declared lost";
@@ -567,6 +842,20 @@ void CwcServer::send_keepalives(double) {
   for (auto& connection : connections_) {
     Connection& c = *connection;
     if (!c.conn.valid() || !c.registered) continue;
+    // Quarantined phones are not pinged: their only expected traffic is
+    // the reserved in-flight report, and a miss streak accumulated while
+    // suspended must not count against the phone once paroled.
+    if (controller_.health().quarantined(c.phone)) {
+      c.keepalive_suspended = true;
+      continue;
+    }
+    if (c.keepalive_suspended) {
+      // Reinstatement: forgive the pre-quarantine streak and resynchronize
+      // the ack horizon so the first post-parole tick starts clean.
+      c.keepalive_suspended = false;
+      c.keepalive_missed = 0;
+      c.keepalive_acked = c.keepalive_seq;
+    }
     // A miss is a tick where the latest ping is still unanswered. Acks of
     // that ping reset the count in handle_frame, so `keepalive_missed`
     // counts *consecutive* misses only, and a phone is declared lost
@@ -576,6 +865,7 @@ void CwcServer::send_keepalives(double) {
     if (c.keepalive_seq > c.keepalive_acked) {
       ++c.keepalive_missed;
       obs::counter("net.server.keepalive.misses").inc();
+      controller_.health().on_keepalive_miss(c.phone, c.keepalive_missed);
       if (obs::trace_enabled()) {
         obs::TraceEvent event;
         event.type = obs::TraceEventType::kKeepAliveMissed;
@@ -634,6 +924,7 @@ void CwcServer::retry_assignments(double now_ms) {
     ++c.assign_retries;
     c.assign_sent_ms = now_ms;
     obs::counter("net.server.assign_retries").inc();
+    if (c.registered) controller_.health().on_deadline_hit(c.phone);
     log_info("cwc-server") << "re-delivering assignment to phone " << c.phone << " (retry "
                            << c.assign_retries << ")";
     try {
@@ -655,6 +946,7 @@ void CwcServer::enforce_rpc_deadlines(double now_ms) {
       drop_connection(c, /*lost=*/false);
     } else if (c.probing && now_ms - c.last_probe_ms >= config_.rpc_timeout) {
       obs::counter("net.server.rpc_timeouts").inc();
+      if (c.registered) controller_.health().on_deadline_hit(c.phone);
       log_warn("cwc-server") << "phone " << c.phone << " probe timed out; dropping";
       drop_connection(c, /*lost=*/true);
     }
@@ -709,6 +1001,7 @@ bool CwcServer::run(int expected_phones, Millis timeout) {
   const auto start = Clock::now();
   double last_keepalive = 0.0;
   double last_instant = -1e18;
+  double last_spec_check = 0.0;
   bool first_schedule_done = false;
 
   // Trace timestamps follow this run's loop clock (ms since run() began).
@@ -783,6 +1076,16 @@ bool CwcServer::run(int expected_phones, Millis timeout) {
             drop_connection(c, /*lost=*/true);
           }
         }
+      }
+    }
+
+    if (config_.speculation.enabled && first_schedule_done) {
+      const Millis period = config_.speculation_check_period > 0.0
+                                ? config_.speculation_check_period
+                                : config_.scheduling_period;
+      if (now - last_spec_check >= period) {
+        maybe_speculate(now);
+        last_spec_check = now;
       }
     }
 

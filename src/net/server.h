@@ -22,10 +22,13 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/controller.h"
+#include "core/speculation.h"
 #include "net/framing.h"
 #include "net/journal.h"
 #include "net/protocol.h"
@@ -64,6 +67,12 @@ struct ServerConfig {
   bool bind_all_interfaces = false;
   /// Batch journal for crash recovery (empty = journaling disabled).
   std::string journal_path;
+  /// Speculative re-execution of straggler pieces (core/speculation.h).
+  core::SpeculationOptions speculation;
+  /// Straggler-check cadence (0 = once per scheduling_period).
+  Millis speculation_check_period = 0.0;
+  /// Phone-health scoring and quarantine thresholds (core/health.h).
+  core::HealthOptions health;
   /// Optional external stop request (e.g. set from a SIGINT/SIGTERM
   /// handler): run() returns at the next loop iteration when the pointed-to
   /// flag becomes true, so callers can flush metrics and traces cleanly.
@@ -108,6 +117,9 @@ class CwcServer {
   std::size_t phones_lost() const { return phones_lost_; }
   std::size_t failures_received() const { return failures_received_; }
   std::size_t scheduling_rounds() const { return scheduling_rounds_; }
+  std::size_t speculative_launches() const { return speculative_launches_; }
+  std::size_t speculative_wins_backup() const { return speculative_wins_backup_; }
+  std::size_t duplicate_completions() const { return duplicate_completions_; }
 
  private:
   struct JobState {
@@ -153,6 +165,15 @@ class CwcServer {
     int assign_retries = 0;
     double connected_ms = 0.0;    ///< run-clock time the socket was accepted
     double last_probe_ms = 0.0;   ///< run-clock time of the last probe
+    /// Speculation: this connection runs a *backup* of another phone's
+    /// in-flight piece (same fragments, same (piece, attempt) identity;
+    /// the piece lives on the primary phone's controller queue).
+    bool speculative = false;
+    double piece_started_ms = 0.0;   ///< first send of the current assignment
+    Millis piece_predicted_ms = 0.0; ///< predicted ship+execute total
+    /// Liveness reset on parole: true while the phone sat quarantined with
+    /// keep-alives suppressed, so reinstatement forgives the stale streak.
+    bool keepalive_suspended = false;
   };
 
   void accept_new_connections();
@@ -167,6 +188,23 @@ class CwcServer {
   void on_complete(Connection& c, const PieceCompleteMsg& msg);
   void on_failed(Connection& c, const PieceFailedMsg& msg);
   void drop_connection(Connection& c, bool lost);
+  /// Straggler check: snapshots in-flight pieces, asks the shared policy
+  /// (core/speculation.h) which deserve a backup, and launches them on
+  /// healthy idle phones.
+  void maybe_speculate(double now_ms);
+  void launch_backup(Connection& primary, Connection& backup,
+                     const core::SpeculationDecision& decision);
+  /// Sends CancelPiece for the loser's in-flight attempt and frees the
+  /// connection for new work (its fragments stay with the resolved piece).
+  void cancel_attempt(Connection& loser);
+  /// The winning report for a speculated piece arrived on `winner`: cancel
+  /// the twin, resolve the spec entry, and return the queue-owner phone.
+  PhoneId resolve_speculation(Connection& winner);
+  /// Aborts any speculation the connection participates in (it failed or
+  /// vanished): a backup's loss leaves the primary running; a primary's
+  /// loss cancels its backup.
+  void abort_speculation(Connection& c);
+  Connection* find_connection(PhoneId phone);
   void send_keepalives(double now_ms);
   /// Re-sends overdue in-flight assignments (see assign_retry_period).
   void retry_assignments(double now_ms);
@@ -189,12 +227,26 @@ class CwcServer {
   TcpListener listener_;
   std::vector<std::unique_ptr<Connection>> connections_;
   std::map<JobId, JobState> jobs_;
+  /// Active speculations keyed by (piece, attempt) identity.
+  struct ActiveSpec {
+    PhoneId primary = kInvalidPhone;
+    PhoneId backup = kInvalidPhone;
+    JobId job = kInvalidJob;
+  };
+  using SpecKey = std::pair<std::int32_t, std::int32_t>;
+  std::map<SpecKey, ActiveSpec> active_specs_;
+  /// Identities whose speculation already resolved: a late twin report is
+  /// a counted duplicate, never banked again.
+  std::set<SpecKey> resolved_specs_;
   std::unique_ptr<Journal> journal_;
   std::uint64_t epoch_ = 0;  ///< per-run nonce (see epoch())
   std::size_t probes_sent_ = 0;
   std::size_t phones_lost_ = 0;
   std::size_t failures_received_ = 0;
   std::size_t scheduling_rounds_ = 0;
+  std::size_t speculative_launches_ = 0;
+  std::size_t speculative_wins_backup_ = 0;
+  std::size_t duplicate_completions_ = 0;
   double now_ms_ = 0.0;  ///< run-clock time of the current loop iteration
   bool shutdown_sent_ = false;
 };

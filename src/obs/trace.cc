@@ -30,6 +30,9 @@ constexpr const char* kTypeNames[kTraceEventTypeCount] = {
     "phone_replugged",      // kPhoneReplugged
     "fault_injected",       // kFaultInjected
     "retry_backoff",        // kRetryBackoff
+    "quarantine",           // kQuarantine
+    "speculative_launch",   // kSpeculativeLaunch
+    "piece_cancelled",      // kPieceCancelled
 };
 
 Millis default_clock() {

@@ -2,7 +2,7 @@
 //
 // NOTE ON NAMING: this is the *runtime event* trace (what happened when, in
 // the spirit of Chrome's trace-event/Perfetto model) — not to be confused
-// with `src/trace/`, which models charging/availability *input* traces (the
+// with `src/charging/`, which models charging/availability *input* traces (the
 // paper's Section 3 user-study logs). See DESIGN.md §"Event tracing".
 //
 // The PR-1 metrics layer exports aggregates — 14 pieces rescheduled, mean
@@ -62,11 +62,15 @@ enum class TraceEventType : std::uint8_t {
   kPhoneReplugged,       ///< phone re-entered the pool after a failure
   kFaultInjected,        ///< fault point fired (value = fault point index)
   kRetryBackoff,         ///< reconnect/retry backoff sleep (value = delay ms)
+  kQuarantine,           ///< phone entered quarantine (value = health score)
+  kSpeculativeLaunch,    ///< backup attempt launched (phone = backup phone,
+                         ///< value = expected remaining ms of the original)
+  kPieceCancelled,       ///< losing attempt cancelled (phone = loser)
 };
 
 /// Number of distinct TraceEventType values (for tables and validation).
 inline constexpr std::size_t kTraceEventTypeCount =
-    static_cast<std::size_t>(TraceEventType::kRetryBackoff) + 1;
+    static_cast<std::size_t>(TraceEventType::kPieceCancelled) + 1;
 
 /// Stable machine name of an event type ("piece_scheduled", ...).
 const char* trace_event_name(TraceEventType type);

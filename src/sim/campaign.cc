@@ -19,12 +19,12 @@ struct NightWindow {
   double unplugs_in_h = -1.0; ///< hours after release the owner grabs it
 };
 
-NightWindow night_window(const trace::UserBehavior& user, double release_hour, Rng& rng) {
-  trace::StudyLog log;
+NightWindow night_window(const charging::UserBehavior& user, double release_hour, Rng& rng) {
+  charging::StudyLog log;
   log.user_count = 1;
   log.days = 2;  // cover intervals that wrap past midnight
   Rng user_rng = rng.fork();
-  trace::generate_user_log(user, 2, user_rng, log);
+  charging::generate_user_log(user, 2, user_rng, log);
 
   NightWindow window;
   for (const auto& interval : log.intervals) {
@@ -35,7 +35,7 @@ NightWindow night_window(const trace::UserBehavior& user, double release_hour, R
       return window;
     }
     if (interval.start_h > release_hour && interval.start_h < release_hour + 10.0 &&
-        trace::is_night_hour(trace::hour_of_day(interval.start_h))) {
+        charging::is_night_hour(charging::hour_of_day(interval.start_h))) {
       window.joins_in_h = interval.start_h - release_hour;
       window.unplugs_in_h = end - release_hour;
       return window;
@@ -49,20 +49,20 @@ NightWindow night_window(const trace::UserBehavior& user, double release_hour, R
 CampaignResult run_campaign(const CampaignOptions& options) {
   Rng rng(options.seed);
   const auto phones = core::paper_testbed(rng);
-  const auto population = trace::UserBehavior::paper_population(rng, 18);
+  const auto population = charging::UserBehavior::paper_population(rng, 18);
 
   CampaignResult result;
 
   // History: a study log to estimate availability and unplug risk from.
   Rng history_rng = rng.fork();
-  trace::StudyLog history;
+  charging::StudyLog history;
   history.user_count = 18;
   history.days = options.history_days;
   for (const auto& user : population) {
     Rng user_rng = history_rng.fork();
-    trace::generate_user_log(user, options.history_days, user_rng, history);
+    charging::generate_user_log(user, options.history_days, user_rng, history);
   }
-  result.plan = trace::plan_batch_window(history, options.release_hour, options.window_hours);
+  result.plan = charging::plan_batch_window(history, options.release_hour, options.window_hours);
 
   for (int night = 0; night < options.nights; ++night) {
     NightOutcome outcome;

@@ -4,12 +4,12 @@
 //
 // Each night:
 //   - the charging-behaviour model decides when each employee's phone goes
-//     on the charger and when it is grabbed (trace::generate_user_log);
+//     on the charger and when it is grabbed (charging::generate_user_log);
 //   - phones plugged in at the release hour receive the batch; later
 //     plug-ins join as replug events; owner grabs become online failures;
 //   - the scheduler is either the plain greedy or the failure-aware
 //     wrapper fed with risks estimated from a *history* study log
-//     (trace::plan_batch_window) — yesterday's habits predict tonight;
+//     (charging::plan_batch_window) — yesterday's habits predict tonight;
 //   - predictions persist across nights (the controller is fresh per
 //     night, as a real deployment would restart the batch server, but the
 //     per-night outcome statistics accumulate).
@@ -19,8 +19,8 @@
 
 #include "common/rng.h"
 #include "core/model.h"
-#include "trace/availability.h"
-#include "trace/behavior.h"
+#include "charging/availability.h"
+#include "charging/behavior.h"
 
 namespace cwc::sim {
 
@@ -49,7 +49,7 @@ struct CampaignResult {
   int nights_completed = 0;
   double mean_makespan_min = 0.0;   ///< over completed nights
   double mean_phones = 0.0;
-  trace::BatchWindowPlan plan;      ///< the history-derived plan used
+  charging::BatchWindowPlan plan;      ///< the history-derived plan used
 };
 
 /// Runs a campaign over `options.nights` nights for the 18-phone testbed

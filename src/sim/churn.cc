@@ -1,0 +1,104 @@
+#include "sim/churn.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace cwc::sim {
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  while (begin <= s.size()) {
+    const std::size_t end = s.find(sep, begin);
+    if (end == std::string::npos) {
+      parts.push_back(s.substr(begin));
+      break;
+    }
+    parts.push_back(s.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return parts;
+}
+
+ChurnProfile parse_profile(const std::string& name) {
+  if (name == "slow") return ChurnProfile::kSlow;
+  if (name == "flaky") return ChurnProfile::kFlaky;
+  if (name == "flapping") return ChurnProfile::kFlapping;
+  throw std::invalid_argument("churn: unknown profile '" + name +
+                              "' (expected slow|flaky|flapping)");
+}
+
+}  // namespace
+
+std::vector<ChurnSpec> parse_churn(const std::string& spec) {
+  std::vector<ChurnSpec> result;
+  if (spec.empty()) return result;
+  for (const std::string& entry : split(spec, ',')) {
+    if (entry.empty()) continue;
+    const auto fields = split(entry, ':');
+    if (fields.size() < 2 || fields.size() > 3) {
+      throw std::invalid_argument("churn: malformed entry '" + entry +
+                                  "' (expected phone:profile[:factor])");
+    }
+    ChurnSpec parsed;
+    try {
+      parsed.phone = std::stoi(fields[0]);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("churn: bad phone id in '" + entry + "'");
+    }
+    parsed.profile = parse_profile(fields[1]);
+    if (fields.size() == 3) {
+      try {
+        parsed.factor = std::stod(fields[2]);
+      } catch (const std::exception&) {
+        throw std::invalid_argument("churn: bad factor in '" + entry + "'");
+      }
+      if (parsed.factor <= 0.0) {
+        throw std::invalid_argument("churn: factor must be positive in '" + entry + "'");
+      }
+    }
+    result.push_back(parsed);
+  }
+  return result;
+}
+
+void apply_slow_profiles(const std::vector<ChurnSpec>& specs,
+                         std::vector<core::PhoneSpec>& phones) {
+  for (const ChurnSpec& spec : specs) {
+    if (spec.profile != ChurnProfile::kSlow) continue;
+    for (core::PhoneSpec& phone : phones) {
+      if (phone.id == spec.phone) phone.hidden_efficiency /= spec.factor;
+    }
+  }
+}
+
+std::vector<FailureEvent> churn_events(const std::vector<ChurnSpec>& specs,
+                                       const ChurnOptions& options, std::uint64_t seed) {
+  std::vector<FailureEvent> events;
+  for (const ChurnSpec& spec : specs) {
+    if (spec.profile == ChurnProfile::kSlow) continue;
+    // Per-phone stream derived from (seed, phone) so adding a phone to the
+    // spec does not reshuffle the others' schedules.
+    std::uint64_t state = seed ^ (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(spec.phone) + 1));
+    Rng rng(splitmix64(state));
+    const FailureKind down = spec.profile == ChurnProfile::kFlaky ? FailureKind::kUnplugOnline
+                                                                  : FailureKind::kUnplugOffline;
+    Millis t = rng.exponential(options.mean_up);
+    while (t < options.horizon) {
+      events.push_back({t, spec.phone, down});
+      t += std::max(1.0, rng.exponential(options.mean_down));
+      if (t >= options.horizon) break;
+      events.push_back({t, spec.phone, FailureKind::kReplug});
+      t += std::max(1.0, rng.exponential(options.mean_up));
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const FailureEvent& a, const FailureEvent& b) { return a.time < b.time; });
+  return events;
+}
+
+}  // namespace cwc::sim

@@ -1,0 +1,59 @@
+// Seeded phone-churn model for robustness experiments.
+//
+// The paper's testbed assumed phones stay docked overnight; real fleets
+// misbehave. This module turns a compact churn spec — e.g.
+// "0:slow:10,3:flaky,5:flapping" — into concrete misbehaviour:
+//   - slow:<factor>   the phone's *hidden* efficiency is divided by the
+//                     factor, so the scheduler cannot see the slowdown and
+//                     must catch it through health scoring / speculation;
+//   - flaky           periodic online unplug/replug cycles (the phone
+//                     reports each failure and returns);
+//   - flapping        periodic offline unplug/replug cycles (the phone
+//                     goes silent; the server burns keep-alive misses).
+// Cycle times are drawn from seeded exponentials so every storm is
+// reproducible from the command line.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "core/model.h"
+#include "sim/simulator.h"
+
+namespace cwc::sim {
+
+enum class ChurnProfile { kSlow, kFlaky, kFlapping };
+
+struct ChurnSpec {
+  PhoneId phone = kInvalidPhone;
+  ChurnProfile profile = ChurnProfile::kFlaky;
+  /// Slowdown divisor for kSlow (hidden efficiency /= factor).
+  double factor = 10.0;
+};
+
+struct ChurnOptions {
+  /// Events are generated in [0, horizon).
+  Millis horizon = hours(1.0);
+  /// Mean uptime between failures (exponential).
+  Millis mean_up = minutes(5.0);
+  /// Mean outage length before the replug (exponential).
+  Millis mean_down = seconds(30.0);
+};
+
+/// Parses "phone:profile[:factor]" comma-separated specs, e.g.
+/// "0:slow:10,3:flaky". Throws std::invalid_argument on malformed input.
+std::vector<ChurnSpec> parse_churn(const std::string& spec);
+
+/// Applies the slow profiles in place (dividing hidden_efficiency, which
+/// the scheduler never sees). Phones absent from `phones` are ignored.
+void apply_slow_profiles(const std::vector<ChurnSpec>& specs,
+                         std::vector<core::PhoneSpec>& phones);
+
+/// Expands flaky/flapping profiles into a seeded unplug/replug event
+/// sequence over the horizon (slow profiles produce no events).
+std::vector<FailureEvent> churn_events(const std::vector<ChurnSpec>& specs,
+                                       const ChurnOptions& options, std::uint64_t seed);
+
+}  // namespace cwc::sim

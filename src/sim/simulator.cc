@@ -40,13 +40,20 @@ TestbedSimulation::TestbedSimulation(std::unique_ptr<core::Scheduler> scheduler,
                                      core::PredictionModel prediction,
                                      std::vector<core::PhoneSpec> phones, SimOptions options,
                                      std::uint64_t seed)
-    : controller_(std::move(scheduler), std::move(prediction)),
+    : controller_(std::move(scheduler), std::move(prediction), options.health),
       options_(options),
       rng_(seed) {
   for (const core::PhoneSpec& phone : phones) {
     controller_.register_phone(phone);
     runtime_[phone.id].spec = phone;
   }
+  // Pre-register speculation counters so they export zero-valued even in
+  // runs with --speculation off (the telemetry smoke check asserts them).
+  obs::counter("spec.launched");
+  obs::counter("spec.wins_primary");
+  obs::counter("spec.wins_backup");
+  obs::counter("spec.cancels_sent");
+  obs::counter("spec.aborted");
   // Default ground truth: the built-in tasks' reference measurements.
   const tasks::TaskRegistry registry = tasks::TaskRegistry::with_builtins();
   for (const std::string& name : registry.names()) {
@@ -104,6 +111,14 @@ void TestbedSimulation::start_next_piece(PhoneId phone_id) {
   phone.piece = work->piece;
   phone.identity = work->identity;
   phone.piece_rescheduled = ever_failed_jobs_.count(work->piece.job) > 0;
+  phone.speculative = false;
+  // Straggler detection compares elapsed time against what the *visible*
+  // model promised, not the hidden ground truth above.
+  phone.predicted_ms =
+      core::completion_time(job, phone.spec,
+                            controller_.prediction().predict(job.task_name, phone.spec),
+                            work->piece.input_kb, !work->executable_cached);
+  controller_.set_in_flight(phone_id, true);
 
   const std::uint64_t epoch = phone.epoch;
   events_.schedule_at(phone.execute_end, [this, phone_id, epoch] {
@@ -131,9 +146,159 @@ void TestbedSimulation::finish_piece(PhoneId phone_id, std::uint64_t epoch) {
   obs::counter("sim.pieces_completed").inc();
   phone.busy_ms += now - phone.transfer_start;
   phone.busy = false;
-  controller_.on_piece_complete(phone_id, now - phone.transfer_end);
+
+  // Speculation arbitration: the first finisher of a speculated piece wins;
+  // the queue pop is attributed to the owner phone while the measurement
+  // credits whoever actually executed it.
+  PhoneId owner = phone_id;
+  if (phone.speculative) {
+    owner = phone.spec_peer;
+    phone.speculative = false;
+    phone.spec_peer = kInvalidPhone;
+    PhoneRuntime& primary = runtime_.at(owner);
+    primary.spec_peer = kInvalidPhone;
+    if (primary.busy) {
+      // Cancel the original's in-flight attempt (its completion event is
+      // invalidated by the epoch bump).
+      ++primary.epoch;
+      primary.busy = false;
+      primary.busy_ms += now - primary.transfer_start;
+      emit_span(obs::TraceEventType::kPieceCancelled, owner, phone.piece.job, phone.identity,
+                phone.piece_rescheduled, now, now, 0.0);
+      obs::counter("spec.cancels_sent").inc();
+    }
+    obs::counter("spec.wins_backup").inc();
+    log_info("sim") << "speculative backup on phone " << phone_id << " won piece "
+                    << phone.identity.piece << " from phone " << owner;
+  } else if (phone.spec_peer != kInvalidPhone) {
+    // The original beat its backup: reclaim the backup phone.
+    cancel_backup(phone.spec_peer, /*count_as_cancel=*/true);
+    phone.spec_peer = kInvalidPhone;
+    obs::counter("spec.wins_primary").inc();
+  }
+
+  completed_kb_ += phone.piece.input_kb;
+  controller_.on_piece_complete(owner, now - phone.transfer_end, /*executed_by=*/phone_id);
   start_next_piece(phone_id);
+  if (owner != phone_id) start_next_piece(owner);
   maybe_finish();
+}
+
+void TestbedSimulation::cancel_backup(PhoneId backup_id, bool count_as_cancel) {
+  PhoneRuntime& backup = runtime_.at(backup_id);
+  if (!backup.speculative) return;
+  const Millis now = events_.now();
+  if (backup.busy) {
+    ++backup.epoch;  // invalidate the backup's completion event
+    backup.busy = false;
+    backup.busy_ms += now - backup.transfer_start;
+  }
+  backup.speculative = false;
+  backup.spec_peer = kInvalidPhone;
+  obs::counter(count_as_cancel ? "spec.cancels_sent" : "spec.aborted").inc();
+  emit_span(obs::TraceEventType::kPieceCancelled, backup_id, backup.piece.job, backup.identity,
+            backup.piece_rescheduled, now, now, 0.0);
+  if (backup.alive) start_next_piece(backup_id);
+}
+
+void TestbedSimulation::launch_backup(PhoneId primary_id, PhoneId backup_id,
+                                      Millis expected_remaining) {
+  PhoneRuntime& primary = runtime_.at(primary_id);
+  PhoneRuntime& backup = runtime_.at(backup_id);
+  const core::JobSpec& job = controller_.job(primary.piece.job);
+  const Millis now = events_.now();
+  const bool cached = controller_.executable_cached(backup_id, primary.piece.job);
+  const Millis transfer =
+      (cached ? 0.0 : job.exec_kb * backup.spec.b) + primary.piece.input_kb * backup.spec.b;
+  const double noise =
+      options_.exec_noise_sd > 0.0 ? rng_.lognormal(0.0, options_.exec_noise_sd) : 1.0;
+  const Millis execute =
+      primary.piece.input_kb * true_cost(job.task_name, backup.spec) * noise;
+
+  backup.busy = true;
+  backup.speculative = true;
+  backup.spec_peer = primary_id;
+  primary.spec_peer = backup_id;
+  backup.transfer_start = now;
+  backup.transfer_end = now + transfer;
+  backup.execute_end = now + transfer + execute;
+  backup.piece = primary.piece;
+  backup.identity = primary.identity;
+  backup.piece_rescheduled = primary.piece_rescheduled;
+  backup.predicted_ms = core::completion_time(
+      job, backup.spec, controller_.prediction().predict(job.task_name, backup.spec),
+      primary.piece.input_kb, !cached);
+
+  obs::counter("spec.launched").inc();
+  if (obs::trace_enabled()) {
+    obs::TraceEvent event;
+    event.type = obs::TraceEventType::kSpeculativeLaunch;
+    event.t = now;
+    event.value = expected_remaining;
+    event.job = primary.piece.job;
+    event.piece = primary.identity.piece;
+    event.attempt = primary.identity.attempt;
+    event.instant = primary.identity.instant;
+    event.phone = backup_id;
+    obs::trace_record(event);
+  }
+  log_info("sim") << "speculative backup of piece " << primary.identity.piece << " (phone "
+                  << primary_id << ", expected remaining " << expected_remaining
+                  << " ms) launched on phone " << backup_id;
+
+  const std::uint64_t epoch = backup.epoch;
+  events_.schedule_at(backup.execute_end,
+                      [this, backup_id, epoch] { finish_piece(backup_id, epoch); });
+}
+
+void TestbedSimulation::maybe_speculate() {
+  if (!options_.speculation.enabled) return;
+  const double done_fraction = total_kb_ > 0.0 ? std::min(1.0, completed_kb_ / total_kb_) : 1.0;
+
+  std::vector<core::InFlightPiece> in_flight;
+  std::vector<PhoneId> owners;
+  for (auto& [id, phone] : runtime_) {
+    if (!phone.alive || !phone.busy || phone.speculative) continue;
+    core::InFlightPiece piece;
+    piece.phone = id;
+    piece.piece = phone.identity.piece;
+    piece.attempt = phone.identity.attempt;
+    piece.elapsed_ms = events_.now() - phone.transfer_start;
+    piece.predicted_ms = phone.predicted_ms;
+    piece.breakable = controller_.job(phone.piece.job).kind == JobKind::kBreakable;
+    piece.has_backup = phone.spec_peer != kInvalidPhone;
+    in_flight.push_back(piece);
+    owners.push_back(id);
+  }
+  if (in_flight.empty()) return;
+
+  // Backup candidates: alive, idle, plugged, queue-empty, fully healthy.
+  std::vector<PhoneId> idle;
+  for (auto& [id, phone] : runtime_) {
+    if (!phone.alive || phone.busy) continue;
+    if (!controller_.is_plugged(id)) continue;
+    if (controller_.health().state(id) != core::HealthState::kHealthy) continue;
+    if (controller_.current_work(id)) continue;
+    idle.push_back(id);
+  }
+
+  const auto decisions =
+      core::pieces_to_speculate(options_.speculation, done_fraction, in_flight, idle.size());
+  std::size_t next_idle = 0;
+  for (const core::SpeculationDecision& decision : decisions) {
+    if (next_idle >= idle.size()) break;
+    launch_backup(owners[decision.index], idle[next_idle++], decision.expected_remaining);
+  }
+}
+
+void TestbedSimulation::chain_speculation_check() {
+  maybe_speculate();
+  if (result_.completed) return;
+  const Millis period = options_.speculation_check_period > 0.0
+                            ? options_.speculation_check_period
+                            : options_.scheduling_period;
+  if (events_.now() + period > options_.max_time) return;
+  events_.schedule_in(period, [this] { chain_speculation_check(); });
 }
 
 void TestbedSimulation::apply_failure(const FailureEvent& event) {
@@ -147,6 +312,13 @@ void TestbedSimulation::apply_failure(const FailureEvent& event) {
       // epoch bump cancels any pending offline-loss detection: the phone
       // reconnected before the keep-alive budget expired.
       if (!phone.alive) {
+        // A primary that went offline with a backup still racing restarts
+        // its piece from the queue on replug; the backup would otherwise
+        // double-complete the same piece.
+        if (phone.spec_peer != kInvalidPhone) {
+          cancel_backup(phone.spec_peer, /*count_as_cancel=*/false);
+          phone.spec_peer = kInvalidPhone;
+        }
         phone.alive = true;
         phone.busy = false;
         ++phone.epoch;
@@ -167,6 +339,28 @@ void TestbedSimulation::apply_failure(const FailureEvent& event) {
       if (!phone.busy) {
         controller_.set_plugged(event.phone, false);
         return;
+      }
+      if (phone.speculative) {
+        // A failing *backup* holds no queue entry: aborting the
+        // speculation and unplugging is the whole story (on_piece_failed
+        // would pop a piece this phone never owned).
+        PhoneRuntime& primary = runtime_.at(phone.spec_peer);
+        primary.spec_peer = kInvalidPhone;
+        phone.spec_peer = kInvalidPhone;
+        phone.speculative = false;
+        phone.busy = false;
+        phone.busy_ms += now - phone.transfer_start;
+        obs::counter("spec.aborted").inc();
+        controller_.health().on_online_failure(event.phone);
+        controller_.set_plugged(event.phone, false);
+        return;
+      }
+      if (phone.spec_peer != kInvalidPhone) {
+        // The original fails with a backup in flight: the failure path
+        // banks the processed prefix and requeues the remainder as a new
+        // attempt, so the backup's stale attempt must not race it.
+        cancel_backup(phone.spec_peer, /*count_as_cancel=*/false);
+        phone.spec_peer = kInvalidPhone;
       }
       phone.busy = false;
       phone.busy_ms += now - phone.transfer_start;
@@ -196,6 +390,7 @@ void TestbedSimulation::apply_failure(const FailureEvent& event) {
       std::vector<std::uint8_t> checkpoint;
       if (job.kind == JobKind::kAtomic && processed > 0.0) checkpoint = {1};
       ever_failed_jobs_.insert(phone.piece.job);
+      completed_kb_ += processed;  // banked progress counts toward done fraction
       controller_.on_piece_failed(event.phone, processed, std::move(checkpoint), local_ms);
       return;
     }
@@ -204,6 +399,14 @@ void TestbedSimulation::apply_failure(const FailureEvent& event) {
       obs::counter("sim.failures.offline").inc();
       ++phone.epoch;
       phone.alive = false;
+      if (phone.busy && phone.speculative) {
+        // A backup going silent aborts its speculation immediately (it
+        // holds no queue entry; the primary keeps running untouched).
+        runtime_.at(phone.spec_peer).spec_peer = kInvalidPhone;
+        phone.spec_peer = kInvalidPhone;
+        phone.speculative = false;
+        obs::counter("spec.aborted").inc();
+      }
       // Record what the phone was doing when it vanished (nothing, when it
       // was idle between pieces).
       if (phone.busy && now > phone.transfer_start) {
@@ -228,8 +431,16 @@ void TestbedSimulation::apply_failure(const FailureEvent& event) {
       const PhoneId id = event.phone;
       const std::uint64_t epoch_at_failure = phone.epoch;
       events_.schedule_in(detection, [this, id, epoch_at_failure] {
-        const PhoneRuntime& lost = runtime_.at(id);
+        PhoneRuntime& lost = runtime_.at(id);
         if (lost.alive || lost.epoch != epoch_at_failure) return;  // it came back
+        // A backup racing the lost original may win in the detection
+        // window (its completion pops the owner's queue before the loss
+        // requeues it). If it has not won by now, cancel it: requeueing
+        // creates a fresh attempt and the stale one must not race it.
+        if (lost.spec_peer != kInvalidPhone) {
+          cancel_backup(lost.spec_peer, /*count_as_cancel=*/false);
+          lost.spec_peer = kInvalidPhone;
+        }
         // Everything the lost phone held becomes rescheduled work (the
         // shaded bars of Fig. 12c).
         obs::counter("sim.keepalive.misses").inc(static_cast<double>(options_.keepalive_misses));
@@ -298,6 +509,15 @@ SimResult TestbedSimulation::run() {
   }
   // Scheduling instants: now, then one per period while work remains.
   events_.schedule_at(events_.now(), [this] { chain_instant(); });
+  // Straggler checks run on their own cadence, offset one period past the
+  // first instant so pieces have elapsed time to compare against.
+  if (options_.speculation.enabled && !spec_check_armed_) {
+    spec_check_armed_ = true;
+    const Millis period = options_.speculation_check_period > 0.0
+                              ? options_.speculation_check_period
+                              : options_.scheduling_period;
+    events_.schedule_in(period, [this] { chain_speculation_check(); });
+  }
 
   while (!result_.completed && !events_.empty() && events_.now() <= options_.max_time) {
     events_.run_one();

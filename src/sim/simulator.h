@@ -28,6 +28,7 @@
 #include "common/rng.h"
 #include "core/controller.h"
 #include "core/model.h"
+#include "core/speculation.h"
 #include "sim/event_queue.h"
 
 namespace cwc::sim {
@@ -42,6 +43,12 @@ struct SimOptions {
   int keepalive_misses = 3;
   /// Hard stop for runaway scenarios.
   Millis max_time = hours(24.0);
+  /// Phone-health scoring and quarantine thresholds (core/health.h).
+  core::HealthOptions health;
+  /// Speculative re-execution of straggler pieces (core/speculation.h).
+  core::SpeculationOptions speculation;
+  /// Straggler-check cadence (0 = once per scheduling_period).
+  Millis speculation_check_period = 0.0;
 };
 
 enum class FailureKind { kUnplugOnline, kUnplugOffline, kReplug };
@@ -97,7 +104,10 @@ class TestbedSimulation {
   /// model prediction error beyond hidden efficiencies.
   void set_ground_truth(const std::string& task, MsPerKb c_sj, double reference_mhz = 806.0);
 
-  void submit(core::JobSpec job) { controller_.submit(std::move(job)); }
+  void submit(core::JobSpec job) {
+    total_kb_ += job.input_kb;
+    controller_.submit(std::move(job));
+  }
   void inject(FailureEvent event) { failures_.push_back(event); }
 
   SimResult run();
@@ -121,6 +131,16 @@ class TestbedSimulation {
     core::JobPiece piece;
     core::PieceIdentity identity;  ///< trace IDs of the in-flight piece
     bool piece_rescheduled = false;
+    /// Straggler detection: the scheduler's visible prediction for the
+    /// in-flight piece (ship + execute, from the *prediction model*, not
+    /// the hidden ground truth).
+    Millis predicted_ms = 0.0;
+    /// True while running a *backup* of another phone's in-flight piece
+    /// (same identity; the piece lives on the primary's controller queue).
+    bool speculative = false;
+    /// The twin phone of an active speculation (primary <-> backup), or
+    /// kInvalidPhone when this phone's piece is not speculated.
+    PhoneId spec_peer = kInvalidPhone;
     /// Total transfer+execute time spent on pieces (including the partial
     /// work of failed pieces) — the numerator of per-phone utilization.
     Millis busy_ms = 0.0;
@@ -132,6 +152,12 @@ class TestbedSimulation {
   void finish_piece(PhoneId phone, std::uint64_t epoch);
   void apply_failure(const FailureEvent& event);
   void maybe_finish();
+  void chain_speculation_check();
+  void maybe_speculate();
+  void launch_backup(PhoneId primary_id, PhoneId backup_id, Millis expected_remaining);
+  /// Tears down an in-flight backup (its primary failed, won, or the
+  /// backup itself is failing); the primary keeps or reclaims the piece.
+  void cancel_backup(PhoneId backup_id, bool count_as_cancel);
 
   core::CwcController controller_;
   SimOptions options_;
@@ -143,6 +169,9 @@ class TestbedSimulation {
   bool failures_armed_ = false;
   std::set<JobId> ever_failed_jobs_;
   SimResult result_;
+  Kilobytes total_kb_ = 0.0;      ///< submitted input volume
+  Kilobytes completed_kb_ = 0.0;  ///< input volume of completed pieces
+  bool spec_check_armed_ = false;
 };
 
 }  // namespace cwc::sim

@@ -1,10 +1,10 @@
-#include "trace/availability.h"
+#include "charging/availability.h"
 
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
 
-namespace cwc::trace {
+namespace cwc::charging {
 namespace {
 
 /// Hand-built log: one user, three nights. Night 0: plugged 23:00-07:00.
@@ -110,4 +110,4 @@ TEST(Availability, EmptyLogGivesZeroes) {
 }
 
 }  // namespace
-}  // namespace cwc::trace
+}  // namespace cwc::charging

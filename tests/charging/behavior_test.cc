@@ -1,10 +1,10 @@
-#include "trace/behavior.h"
+#include "charging/behavior.h"
 
 #include <gtest/gtest.h>
 
-#include "trace/stats.h"
+#include "charging/stats.h"
 
-namespace cwc::trace {
+namespace cwc::charging {
 namespace {
 
 TEST(HourOfDay, WrapsCorrectly) {
@@ -167,4 +167,4 @@ TEST(ChargingStats, DeterministicForSameSeed) {
 }
 
 }  // namespace
-}  // namespace cwc::trace
+}  // namespace cwc::charging

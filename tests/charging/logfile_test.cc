@@ -1,13 +1,13 @@
-#include "trace/logfile.h"
+#include "charging/logfile.h"
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
 
 #include "common/rng.h"
-#include "trace/stats.h"
+#include "charging/stats.h"
 
-namespace cwc::trace {
+namespace cwc::charging {
 namespace {
 
 TEST(LogFile, RoundTripPreservesEverything) {
@@ -79,4 +79,4 @@ TEST(LogFile, EmptyInputYieldsEmptyLog) {
 }
 
 }  // namespace
-}  // namespace cwc::trace
+}  // namespace cwc::charging

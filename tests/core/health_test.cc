@@ -1,0 +1,220 @@
+#include "core/health.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace cwc::core {
+namespace {
+
+constexpr PhoneId kPhone = 7;
+
+HealthTracker make_tracker(HealthOptions options = {}) {
+  HealthTracker tracker(options);
+  tracker.register_phone(kPhone);
+  return tracker;
+}
+
+TEST(HealthTracker, FreshPhoneIsHealthyWithZeroScore) {
+  HealthTracker tracker = make_tracker();
+  EXPECT_EQ(tracker.state(kPhone), HealthState::kHealthy);
+  EXPECT_EQ(tracker.score(kPhone), 0.0);
+  EXPECT_EQ(tracker.health_risk(kPhone), 0.0);
+  EXPECT_TRUE(tracker.schedulable(kPhone));
+}
+
+TEST(HealthTracker, UnknownPhoneReportsHealthy) {
+  HealthTracker tracker;
+  EXPECT_EQ(tracker.state(99), HealthState::kHealthy);
+  EXPECT_EQ(tracker.score(99), 0.0);
+}
+
+TEST(HealthTracker, SingleCatastrophicSignalOnlyReachesProbation) {
+  // Even with alpha = 1 (the EWMA jumps straight to the severity) one
+  // offline loss must not skip probation: one observation is never proof.
+  HealthOptions options;
+  options.alpha = 1.0;
+  HealthTracker tracker = make_tracker(options);
+  tracker.on_offline_failure(kPhone);
+  EXPECT_EQ(tracker.state(kPhone), HealthState::kProbation);
+  EXPECT_TRUE(tracker.schedulable(kPhone));
+}
+
+TEST(HealthTracker, RepeatedFailuresEscalateToQuarantine) {
+  HealthOptions options;
+  options.alpha = 1.0;
+  HealthTracker tracker = make_tracker(options);
+  tracker.on_offline_failure(kPhone);  // healthy -> probation
+  tracker.on_offline_failure(kPhone);  // probation -> quarantined
+  EXPECT_EQ(tracker.state(kPhone), HealthState::kQuarantined);
+  EXPECT_FALSE(tracker.schedulable(kPhone));
+  EXPECT_EQ(tracker.quarantined_count(), 1u);
+}
+
+TEST(HealthTracker, SuccessesDecayProbationBackToHealthy) {
+  HealthOptions options;
+  options.alpha = 0.5;
+  HealthTracker tracker = make_tracker(options);
+  tracker.on_offline_failure(kPhone);
+  ASSERT_EQ(tracker.state(kPhone), HealthState::kProbation);
+  for (int i = 0; i < 10; ++i) tracker.on_success(kPhone);
+  EXPECT_EQ(tracker.state(kPhone), HealthState::kHealthy);
+  EXPECT_LT(tracker.score(kPhone), 0.1);
+}
+
+TEST(HealthTracker, RecoveryRequiresHysteresis) {
+  // Dropping just under probation_threshold is not enough: the phone stays
+  // in probation until the score falls below threshold * recovery_fraction.
+  HealthOptions options;
+  options.alpha = 1.0;
+  options.probation_threshold = 0.45;
+  options.recovery_fraction = 0.6;
+  HealthTracker tracker = make_tracker(options);
+  tracker.on_offline_failure(kPhone);
+  ASSERT_EQ(tracker.state(kPhone), HealthState::kProbation);
+  // Feed a mild signal that lands between the recovery floor and the
+  // probation threshold: still probation.
+  tracker.on_prediction_error(kPhone, 2.0);  // capped at prediction_severity_cap = 0.4
+  EXPECT_EQ(tracker.state(kPhone), HealthState::kProbation);
+}
+
+TEST(HealthTracker, QuarantineParolesAfterConfiguredTicks) {
+  HealthOptions options;
+  options.alpha = 1.0;
+  options.parole_after_ticks = 3;
+  HealthTracker tracker = make_tracker(options);
+  tracker.on_offline_failure(kPhone);
+  tracker.on_offline_failure(kPhone);
+  ASSERT_TRUE(tracker.quarantined(kPhone));
+  tracker.tick();
+  tracker.tick();
+  EXPECT_TRUE(tracker.quarantined(kPhone));
+  tracker.tick();
+  EXPECT_TRUE(tracker.on_parole(kPhone));
+  EXPECT_TRUE(tracker.schedulable(kPhone));
+}
+
+TEST(HealthTracker, ParoleProbeSuccessReinstates) {
+  HealthOptions options;
+  options.alpha = 0.5;
+  options.parole_after_ticks = 1;
+  HealthTracker tracker = make_tracker(options);
+  tracker.on_offline_failure(kPhone);  // score 0.5: probation
+  tracker.on_offline_failure(kPhone);  // score 0.75: still below quarantine
+  tracker.on_offline_failure(kPhone);  // score 0.875: quarantined
+  ASSERT_TRUE(tracker.quarantined(kPhone));
+  tracker.tick();
+  ASSERT_TRUE(tracker.on_parole(kPhone));
+  tracker.on_success(kPhone);
+  EXPECT_EQ(tracker.state(kPhone), HealthState::kHealthy);
+  // Reinstatement is not a clean slate: repeat offenders climb back faster.
+  EXPECT_DOUBLE_EQ(tracker.score(kPhone), options.reinstate_score);
+}
+
+TEST(HealthTracker, ParoleFailureReQuarantinesAndRestartsTimer) {
+  HealthOptions options;
+  options.alpha = 1.0;
+  options.parole_after_ticks = 2;
+  HealthTracker tracker = make_tracker(options);
+  tracker.on_offline_failure(kPhone);
+  tracker.on_offline_failure(kPhone);
+  tracker.tick();
+  tracker.tick();
+  ASSERT_TRUE(tracker.on_parole(kPhone));
+  tracker.on_online_failure(kPhone);
+  EXPECT_TRUE(tracker.quarantined(kPhone));
+  // The parole timer restarted: one tick is not enough a second time.
+  tracker.tick();
+  EXPECT_TRUE(tracker.quarantined(kPhone));
+  tracker.tick();
+  EXPECT_TRUE(tracker.on_parole(kPhone));
+}
+
+TEST(HealthTracker, GrantParoleReleasesEarlyAndIsOtherwiseNoOp) {
+  HealthOptions options;
+  options.alpha = 1.0;
+  options.parole_after_ticks = 100;
+  HealthTracker tracker = make_tracker(options);
+  tracker.grant_parole(kPhone);  // healthy: no-op
+  EXPECT_EQ(tracker.state(kPhone), HealthState::kHealthy);
+  tracker.on_offline_failure(kPhone);
+  tracker.on_offline_failure(kPhone);
+  ASSERT_TRUE(tracker.quarantined(kPhone));
+  tracker.grant_parole(kPhone);
+  EXPECT_TRUE(tracker.on_parole(kPhone));
+}
+
+TEST(HealthTracker, ParoleRiskIsCappedSoProbesCanRoute) {
+  HealthOptions options;
+  options.alpha = 1.0;
+  options.parole_after_ticks = 1;
+  HealthTracker tracker = make_tracker(options);
+  tracker.on_offline_failure(kPhone);
+  tracker.on_offline_failure(kPhone);
+  tracker.tick();
+  ASSERT_TRUE(tracker.on_parole(kPhone));
+  // The raw EWMA score is ~1.0, but a paroled phone must still look
+  // assignable to the packer or the probe piece can never reach it.
+  EXPECT_GE(tracker.score(kPhone), 0.9);
+  EXPECT_LE(tracker.health_risk(kPhone), 0.6);
+}
+
+TEST(HealthTracker, SmallPredictionErrorsAreNoise) {
+  HealthOptions options;
+  options.alpha = 1.0;
+  HealthTracker tracker = make_tracker(options);
+  tracker.on_prediction_error(kPhone, 0.3);  // below prediction_error_floor
+  EXPECT_EQ(tracker.score(kPhone), 0.0);
+  EXPECT_EQ(tracker.state(kPhone), HealthState::kHealthy);
+}
+
+// Property: no signal sequence, however adversarial, may ever move a phone
+// more than one state level at a time — in particular never healthy ->
+// quarantined directly — and quarantine is only ever left via tick()/
+// grant_parole() (to parole), never straight back to work.
+TEST(HealthTracker, PropertyTransitionsAreAlwaysSingleStep) {
+  Rng rng(20260807);
+  for (int trial = 0; trial < 200; ++trial) {
+    HealthOptions options;
+    options.alpha = rng.uniform(0.1, 1.0);
+    options.parole_after_ticks = static_cast<int>(rng.uniform_int(1, 5));
+    HealthTracker tracker(options);
+    tracker.register_phone(kPhone);
+    HealthState previous = tracker.state(kPhone);
+    for (int step = 0; step < 100; ++step) {
+      switch (rng.uniform_int(0, 6)) {
+        case 0: tracker.on_offline_failure(kPhone); break;
+        case 1: tracker.on_online_failure(kPhone); break;
+        case 2: tracker.on_keepalive_miss(kPhone, static_cast<int>(rng.uniform_int(1, 4))); break;
+        case 3: tracker.on_deadline_hit(kPhone); break;
+        case 4: tracker.on_prediction_error(kPhone, rng.uniform(0.0, 5.0)); break;
+        case 5: tracker.on_success(kPhone); break;
+        case 6: tracker.tick(); break;
+      }
+      const HealthState next = tracker.state(kPhone);
+      const auto level = [](HealthState s) { return static_cast<int>(s); };
+      // Legal moves: stay; +-1 along healthy<->probation<->quarantined;
+      // quarantined -> parole; parole -> healthy (probe success) or
+      // parole -> quarantined (any failure).
+      if (previous == HealthState::kParole) {
+        EXPECT_TRUE(next == HealthState::kParole || next == HealthState::kHealthy ||
+                    next == HealthState::kQuarantined)
+            << "parole moved to " << health_state_name(next);
+      } else if (previous == HealthState::kQuarantined) {
+        EXPECT_TRUE(next == HealthState::kQuarantined || next == HealthState::kParole)
+            << "quarantine moved to " << health_state_name(next);
+      } else {
+        EXPECT_LE(std::abs(level(next) - level(previous)), 1)
+            << health_state_name(previous) << " jumped to " << health_state_name(next);
+        EXPECT_NE(next, HealthState::kParole) << health_state_name(previous) << " entered parole";
+      }
+      // Score stays a valid probability-like quantity.
+      EXPECT_GE(tracker.score(kPhone), 0.0);
+      EXPECT_LE(tracker.score(kPhone), 1.0);
+      previous = next;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cwc::core

@@ -1,0 +1,104 @@
+#include "core/speculation.h"
+
+#include <gtest/gtest.h>
+
+namespace cwc::core {
+namespace {
+
+InFlightPiece piece(PhoneId phone, std::int32_t id, Millis elapsed, Millis predicted,
+                    bool breakable = true, bool has_backup = false) {
+  InFlightPiece p;
+  p.phone = phone;
+  p.piece = id;
+  p.attempt = 0;
+  p.elapsed_ms = elapsed;
+  p.predicted_ms = predicted;
+  p.breakable = breakable;
+  p.has_backup = has_backup;
+  return p;
+}
+
+SpeculationOptions enabled_options() {
+  SpeculationOptions options;
+  options.enabled = true;
+  options.completion_fraction = 0.75;
+  options.straggler_factor = 2.0;
+  options.min_remaining_ms = 250.0;
+  return options;
+}
+
+TEST(Speculation, ExpectedRemainingBeforeAndAfterPrediction) {
+  // On plan: simply predicted - elapsed.
+  EXPECT_DOUBLE_EQ(expected_remaining_ms(piece(1, 0, 400.0, 1000.0)), 600.0);
+  // Overdue: the deficit grows monotonically with elapsed time.
+  const Millis late1 = expected_remaining_ms(piece(1, 0, 1500.0, 1000.0));
+  const Millis late2 = expected_remaining_ms(piece(1, 0, 2000.0, 1000.0));
+  EXPECT_GT(late1, 0.0);
+  EXPECT_GT(late2, late1);
+}
+
+TEST(Speculation, DisabledOrEarlyBatchNeverSpeculates) {
+  const std::vector<InFlightPiece> in_flight = {piece(1, 0, 10000.0, 100.0),
+                                                piece(2, 1, 100.0, 120.0)};
+  SpeculationOptions off = enabled_options();
+  off.enabled = false;
+  EXPECT_TRUE(pieces_to_speculate(off, 0.99, in_flight, 4).empty());
+  // Enabled but the batch is not far enough along.
+  EXPECT_TRUE(pieces_to_speculate(enabled_options(), 0.5, in_flight, 4).empty());
+}
+
+TEST(Speculation, NoIdlePhonesMeansNoDecisions) {
+  const std::vector<InFlightPiece> in_flight = {piece(1, 0, 10000.0, 100.0),
+                                                piece(2, 1, 100.0, 120.0)};
+  EXPECT_TRUE(pieces_to_speculate(enabled_options(), 0.9, in_flight, 0).empty());
+}
+
+TEST(Speculation, FlagsTheOverduePieceAgainstThePeerMedian) {
+  const std::vector<InFlightPiece> in_flight = {
+      piece(1, 0, 100.0, 200.0),    // 100 ms remaining
+      piece(2, 1, 100.0, 220.0),    // 120 ms remaining
+      piece(3, 2, 2000.0, 300.0),   // 1700 ms overdue deficit
+  };
+  const auto decisions = pieces_to_speculate(enabled_options(), 0.9, in_flight, 4);
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(decisions[0].index, 2u);
+  EXPECT_GT(decisions[0].expected_remaining, 1000.0);
+  EXPECT_NEAR(decisions[0].median_remaining, 110.0, 15.0);
+}
+
+TEST(Speculation, WorstStragglerFirstAndCappedByIdleCount) {
+  const std::vector<InFlightPiece> in_flight = {
+      piece(1, 0, 100.0, 150.0),
+      piece(2, 1, 3000.0, 300.0),   // bad
+      piece(3, 2, 9000.0, 300.0),   // worse
+      piece(4, 3, 100.0, 160.0),
+  };
+  const auto decisions = pieces_to_speculate(enabled_options(), 0.9, in_flight, 1);
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(decisions[0].index, 2u);  // the worst one gets the only idle phone
+  const auto both = pieces_to_speculate(enabled_options(), 0.9, in_flight, 8);
+  ASSERT_EQ(both.size(), 2u);
+  EXPECT_EQ(both[0].index, 2u);
+  EXPECT_EQ(both[1].index, 1u);
+}
+
+TEST(Speculation, AtomicAndAlreadyBackedPiecesAreExcluded) {
+  const std::vector<InFlightPiece> in_flight = {
+      piece(1, 0, 100.0, 150.0),
+      piece(2, 1, 9000.0, 300.0, /*breakable=*/false),             // atomic: migrate, not race
+      piece(3, 2, 9000.0, 300.0, /*breakable=*/true, /*has_backup=*/true),  // already covered
+  };
+  EXPECT_TRUE(pieces_to_speculate(enabled_options(), 0.9, in_flight, 4).empty());
+}
+
+TEST(Speculation, MinRemainingFloorSuppressesNearlyDonePieces) {
+  // The last piece in flight has a peer median of 0, so min_remaining_ms is
+  // the only gate: a piece about to finish anyway is left alone.
+  const std::vector<InFlightPiece> nearly_done = {piece(1, 0, 180.0, 300.0)};  // 120 ms left
+  EXPECT_TRUE(pieces_to_speculate(enabled_options(), 0.9, nearly_done, 4).empty());
+  const std::vector<InFlightPiece> stuck = {piece(1, 0, 5000.0, 300.0)};
+  EXPECT_EQ(pieces_to_speculate(enabled_options(), 0.9, stuck, 4).size(), 1u);
+}
+
+}  // namespace
+}  // namespace cwc::core

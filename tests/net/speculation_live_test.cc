@@ -1,0 +1,103 @@
+// Live speculative re-execution over loopback TCP: a hidden-slow phone is
+// rescued by a backup on an idle peer, the primary/backup race is
+// arbitrated by (piece, attempt) identity, and the duplicate report is
+// dropped — the aggregated result must be exact (exactly-once banking),
+// no matter which twin wins.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "core/greedy.h"
+#include "core/testbed.h"
+#include "net/phone_agent.h"
+#include "net/server.h"
+#include "tasks/generators.h"
+#include "tasks/primes.h"
+#include "tasks/registry.h"
+
+namespace cwc::net {
+namespace {
+
+ServerConfig speculating_config() {
+  ServerConfig config;
+  config.keepalive_period = 200.0;
+  config.keepalive_misses = 3;
+  config.scheduling_period = 100.0;
+  config.probe_chunks = 2;
+  config.probe_chunk_bytes = 16 * 1024;
+  config.speculation.enabled = true;
+  // The fast phones finish their shares early, so the batch crosses this
+  // fraction with only the slow phone's piece in flight.
+  config.speculation.completion_fraction = 0.3;
+  config.speculation.straggler_factor = 1.5;
+  return config;
+}
+
+PhoneAgentConfig agent_config(PhoneId id, MsPerKb compute) {
+  PhoneAgentConfig config;
+  config.id = id;
+  config.cpu_mhz = 1000.0;  // identical advertised speed: the slowdown is hidden
+  config.emulated_compute_ms_per_kb = compute;
+  return config;
+}
+
+TEST(SpeculationLive, BackupRescuesHiddenStragglerExactlyOnce) {
+  const tasks::TaskRegistry registry = tasks::TaskRegistry::with_builtins();
+  CwcServer server(std::make_unique<core::GreedyScheduler>(), core::paper_prediction(),
+                   &registry, speculating_config());
+  Rng rng(11);
+  const auto input = tasks::make_integer_input(rng, 256.0);
+  tasks::PrimeCountFactory factory;
+  const std::uint64_t expected =
+      tasks::PrimeCountFactory::decode(tasks::run_to_completion(factory, input));
+  const JobId job = server.submit("prime-count", input);
+
+  // Three phones advertising the same CPU, so the scheduler splits the job
+  // roughly evenly — but phone 0 secretly computes 30x slower, turning its
+  // share into the straggling tail the fast idle phones must race.
+  PhoneAgent straggler(server.port(), agent_config(0, 30.0), &registry);
+  PhoneAgent fast1(server.port(), agent_config(1, 1.0), &registry);
+  PhoneAgent fast2(server.port(), agent_config(2, 1.0), &registry);
+  straggler.start();
+  fast1.start();
+  fast2.start();
+
+  ASSERT_TRUE(server.run(3, seconds(60.0)));
+  EXPECT_GE(server.speculative_launches(), 1u);
+  // Exactly-once: whichever twin reported first was banked, the other's
+  // report (or its cancel) must leave the count untouched.
+  EXPECT_EQ(tasks::PrimeCountFactory::decode(server.result(job)), expected);
+  straggler.join();
+  fast1.join();
+  fast2.join();
+}
+
+TEST(SpeculationLive, SpeculationOffLaunchesNothing) {
+  const tasks::TaskRegistry registry = tasks::TaskRegistry::with_builtins();
+  ServerConfig config = speculating_config();
+  config.speculation.enabled = false;
+  CwcServer server(std::make_unique<core::GreedyScheduler>(), core::paper_prediction(),
+                   &registry, config);
+  Rng rng(12);
+  const auto input = tasks::make_integer_input(rng, 96.0);
+  tasks::PrimeCountFactory factory;
+  const std::uint64_t expected =
+      tasks::PrimeCountFactory::decode(tasks::run_to_completion(factory, input));
+  const JobId job = server.submit("prime-count", input);
+
+  PhoneAgent slow(server.port(), agent_config(0, 20.0), &registry);
+  PhoneAgent fast(server.port(), agent_config(1, 1.0), &registry);
+  slow.start();
+  fast.start();
+
+  ASSERT_TRUE(server.run(2, seconds(60.0)));
+  EXPECT_EQ(server.speculative_launches(), 0u);
+  EXPECT_EQ(server.duplicate_completions(), 0u);
+  EXPECT_EQ(tasks::PrimeCountFactory::decode(server.result(job)), expected);
+  slow.join();
+  fast.join();
+}
+
+}  // namespace
+}  // namespace cwc::net

@@ -1,26 +1,40 @@
 // cwc_chaos — chaos harness for the live server<->agent path.
 //
 // Runs a real CwcServer and N in-process PhoneAgents over loopback TCP
-// three times with identical inputs:
+// four times with identical inputs:
 //
 //   1. a fault-free reference run, recording each job's aggregated result;
 //   2. a chaos run under a seeded fault schedule (connection resets, torn
 //      frames via partial writes, dropped keep-alives, dropped assignment
 //      frames and completion reports);
 //   3. the same chaos run again, with the injector re-armed on the same
-//      seed.
+//      seed;
+//   4. a server-restart run: a journaled server is cut off mid-batch, a
+//      fresh server recover_from()s its journal, and fresh agents finish
+//      the remainder.
 //
-// The harness exits 0 only when every job completes in every run and both
-// chaos runs produce results byte-identical to the reference — i.e. the
-// retry/backoff/replay machinery recovered every injected fault without
-// losing or double-counting work, deterministically.
+// With --speculation=on (the default) phone 1 is emulated 10x slower than
+// its advertised CPU so the scheduler genuinely over-assigns it, and the
+// harness additionally asserts that at least one speculative backup
+// launched across the non-reference runs — duplicate completions from
+// primary/backup races must never double-aggregate.
+//
+// The harness exits 0 only when every job completes in every run and all
+// runs produce results byte-identical to the reference — i.e. the
+// retry/backoff/replay/speculation machinery recovered every injected
+// fault without losing or double-counting work, deterministically.
 //
 // Examples:
 //   cwc_chaos                                   # default storm, 4 phones
 //   cwc_chaos --phones=6 --seed=7 --verbose
 //   cwc_chaos --spec="socket_write:reset@p=0.01" --seed=42
+//   cwc_chaos --speculation=off --restart=off   # PR-4-era three-leg run
+#include <unistd.h>
+
+#include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -56,12 +70,18 @@ constexpr const char* kUsage = R"(cwc_chaos: fault-injection chaos harness for t
   --seed=N             fault-injector seed, reused for both chaos runs
                        (default 20260806)
   --timeout-s=N        per-run completion deadline (default 120)
+  --speculation=on|off speculative re-execution of stragglers in every run
+                       except the reference; phone 1 is emulated 10x slow
+                       to force one (default on)
+  --straggler-factor=X speculation threshold multiplier (default 2)
+  --restart=on|off     run the journaled server-restart leg (default on)
   --metrics-out=FILE   write a telemetry snapshot after the last run
   --trace-out=FILE     write the chaos runs' trace as Chrome trace-event JSON
   --verbose            info-level logging
 
-Exit status: 0 = all runs completed with byte-identical results;
-1 = a run timed out or results diverged; 2 = bad flags.
+Exit status: 0 = all runs completed with byte-identical results (and, with
+speculation on, at least one backup launched); 1 = a run timed out,
+results diverged, or speculation never engaged; 2 = bad flags.
 )";
 
 // A bounded storm: every rule carries a limit (or an explicit hit list) so
@@ -95,16 +115,32 @@ tasks::Bytes generate_input(const std::string& name, double kb, Rng& rng) {
                               "integer aggregation is piece-boundary independent)");
 }
 
-struct RunResult {
-  bool completed = false;
-  std::vector<net::Blob> results;  ///< one per job, submission order
-  std::uint64_t fault_fires = 0;
+struct RunOptions {
+  double timeout_s = 120.0;
+  bool speculation = false;
+  double straggler_factor = 2.0;
+  /// Emulate phone 1 (agent index 0) 10x slower than its advertised CPU so
+  /// the scheduler over-assigns it and speculation has a genuine straggler.
+  bool slow_phone = false;
+  /// Base emulated pace for every agent. Results depend only on the job
+  /// inputs, so a leg may pace the fleet differently (the restart leg slows
+  /// it to widen the mid-batch window for the kill) and still byte-match.
+  double compute_ms_per_kb = 1.0;
+  /// Non-empty = journal this run (for the restart leg).
+  std::string journal_path;
 };
 
-/// One full server+agents run over fresh sockets. The injector's state is
-/// whatever the caller armed (or disarmed) beforehand.
-RunResult run_once(const std::vector<JobSpec>& jobs, int phones, double timeout_s,
-                   std::uint64_t input_seed, const tasks::TaskRegistry& registry) {
+struct RunResult {
+  bool completed = false;
+  std::vector<JobId> ids;          ///< submitted job ids, submission order
+  std::vector<net::Blob> results;  ///< one per job, submission order
+  std::uint64_t fault_fires = 0;
+  std::size_t spec_launches = 0;
+  std::size_t spec_duplicates = 0;
+  double wall_s = 0.0;  ///< wall-clock duration of server.run()
+};
+
+net::ServerConfig chaos_config(const RunOptions& options) {
   net::ServerConfig config;
   config.port = 0;  // kernel-assigned: runs never collide
   config.keepalive_period = 150.0;
@@ -118,18 +154,18 @@ RunResult run_once(const std::vector<JobSpec>& jobs, int phones, double timeout_
   config.assign_max_retries = 8;
   config.rpc_timeout = 3000.0;
   config.stop = &g_stop;
+  config.journal_path = options.journal_path;
+  config.speculation.enabled = options.speculation;
+  config.speculation.straggler_factor = options.straggler_factor;
+  // The harness batch is small; arm speculation at half-done so the slow
+  // phone's tail pieces are still in flight when the check first fires.
+  config.speculation.completion_fraction = 0.5;
+  return config;
+}
 
-  net::CwcServer server(std::make_unique<core::GreedyScheduler>(), core::paper_prediction(),
-                        &registry, config);
-
-  // Identical inputs every run: the generator Rng restarts from input_seed.
-  Rng rng(input_seed);
-  std::vector<JobId> ids;
-  ids.reserve(jobs.size());
-  for (const JobSpec& job : jobs) {
-    ids.push_back(server.submit(job.task, generate_input(job.task, job.kb, rng)));
-  }
-
+std::vector<std::unique_ptr<net::PhoneAgent>> start_agents(std::uint16_t port, int phones,
+                                                           const RunOptions& options,
+                                                           const tasks::TaskRegistry& registry) {
   std::vector<std::unique_ptr<net::PhoneAgent>> agents;
   agents.reserve(static_cast<std::size_t>(phones));
   for (int i = 0; i < phones; ++i) {
@@ -146,21 +182,105 @@ RunResult run_once(const std::vector<JobSpec>& jobs, int phones, double timeout_
     // Heterogeneous-ish fleet, paced so pieces take long enough for
     // keep-alive ticks and retry timers to actually engage.
     pc.cpu_mhz = 600.0 + 200.0 * static_cast<double>(i % 4);
-    pc.emulated_compute_ms_per_kb = 1.0;
+    pc.emulated_compute_ms_per_kb =
+        options.compute_ms_per_kb * ((i == 0 && options.slow_phone) ? 10.0 : 1.0);
     pc.step_bytes = 8 * 1024;
-    agents.push_back(std::make_unique<net::PhoneAgent>(server.port(), pc, &registry));
+    agents.push_back(std::make_unique<net::PhoneAgent>(port, pc, &registry));
     agents.back()->start();
   }
+  return agents;
+}
 
+/// One full server+agents run over fresh sockets. The injector's state is
+/// whatever the caller armed (or disarmed) beforehand.
+RunResult run_once(const std::vector<JobSpec>& jobs, int phones, const RunOptions& options,
+                   std::uint64_t input_seed, const tasks::TaskRegistry& registry) {
+  net::CwcServer server(std::make_unique<core::GreedyScheduler>(), core::paper_prediction(),
+                        &registry, chaos_config(options));
+
+  // Identical inputs every run: the generator Rng restarts from input_seed.
+  Rng rng(input_seed);
   RunResult run;
-  run.completed = server.run(phones, seconds(timeout_s));
+  run.ids.reserve(jobs.size());
+  for (const JobSpec& job : jobs) {
+    run.ids.push_back(server.submit(job.task, generate_input(job.task, job.kb, rng)));
+  }
+
+  auto agents = start_agents(server.port(), phones, options, registry);
+
+  const auto begin = std::chrono::steady_clock::now();
+  run.completed = server.run(phones, seconds(options.timeout_s));
+  run.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - begin).count();
   run.fault_fires = fault::FaultInjector::global().total_fires();
+  run.spec_launches = server.speculative_launches();
+  run.spec_duplicates = server.duplicate_completions();
   // Destroying the agents requests stop and joins their threads; do it
   // before reading results so no thread outlives the run.
   agents.clear();
   if (run.completed) {
-    for (JobId id : ids) run.results.push_back(server.result(id));
+    for (JobId id : run.ids) run.results.push_back(server.result(id));
   }
+  return run;
+}
+
+/// The restart leg: journal a run and cut it off well before the reference
+/// wall time, then have a fresh server recover_from() the journal and
+/// fresh agents finish the remainder. Byte-identical results must survive
+/// the restart wherever the cut lands (mid-piece, mid-transfer, or — if
+/// the first run happened to finish — a fully-complete journal).
+RunResult run_restart(const std::vector<JobSpec>& jobs, int phones, const RunOptions& options,
+                      std::uint64_t input_seed, const tasks::TaskRegistry& registry) {
+  const std::string journal =
+      "/tmp/cwc_chaos.journal." + std::to_string(static_cast<long long>(::getpid()));
+  RunResult run;
+
+  // Phase A: the journaled server dies (run() deadline) mid-batch. The
+  // fleet is paced 5x slower than the other legs so the batch comfortably
+  // outlives the deadline wherever agent registration lands.
+  RunOptions first = options;
+  first.journal_path = journal;
+  first.compute_ms_per_kb = 5.0 * options.compute_ms_per_kb;
+  first.timeout_s = 0.7;
+  const RunResult partial = run_once(jobs, phones, first, input_seed, registry);
+  run.spec_launches = partial.spec_launches;
+  run.spec_duplicates = partial.spec_duplicates;
+  std::printf("      server killed after %.1f s (%s); recovering from journal...\n",
+              partial.wall_s, partial.completed ? "batch had already finished" : "mid-batch");
+  std::fflush(stdout);
+
+  // Phase B: a fresh server adopts the journal; fresh agents (new port,
+  // empty replay caches) finish whatever the first server left behind.
+  RunOptions second = options;
+  second.journal_path = journal + ".2";
+  net::CwcServer server(std::make_unique<core::GreedyScheduler>(), core::paper_prediction(),
+                        &registry, chaos_config(second));
+  std::map<JobId, JobId> mapping;
+  try {
+    mapping = server.recover_from(journal);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cwc_chaos: journal recovery failed: %s\n", e.what());
+    std::remove(journal.c_str());
+    return run;
+  }
+
+  auto agents = start_agents(server.port(), phones, options, registry);
+  run.completed = server.run(phones, seconds(options.timeout_s));
+  run.spec_launches += server.speculative_launches();
+  run.spec_duplicates += server.duplicate_completions();
+  agents.clear();
+  if (run.completed) {
+    for (JobId old_id : partial.ids) {
+      const auto it = mapping.find(old_id);
+      if (it == mapping.end()) {
+        std::fprintf(stderr, "cwc_chaos: job %d missing from the recovered journal\n", old_id);
+        run.completed = false;
+        break;
+      }
+      run.results.push_back(server.result(it->second));
+    }
+  }
+  std::remove(journal.c_str());
+  std::remove(second.journal_path.c_str());
   return run;
 }
 
@@ -229,6 +349,7 @@ void print_fires() {
 int main(int argc, char** argv) {
   const Flags flags = Flags::parse(argc, argv);
   const auto unknown = flags.unknown({"phones", "jobs", "spec", "seed", "timeout-s",
+                                      "speculation", "straggler-factor", "restart",
                                       "metrics-out", "trace-out", "verbose", "help"});
   if (!unknown.empty() || flags.get_bool("help")) {
     for (const auto& flag : unknown) std::fprintf(stderr, "unknown flag: --%s\n", flag.c_str());
@@ -244,8 +365,15 @@ int main(int argc, char** argv) {
   }
   const std::string spec = flags.get("spec", kDefaultSpec);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 20260806));
-  const double timeout_s = static_cast<double>(flags.get_int("timeout-s", 120));
   constexpr std::uint64_t kInputSeed = 0x5eedf00dULL;  // job inputs, not faults
+
+  RunOptions options;
+  options.timeout_s = static_cast<double>(flags.get_int("timeout-s", 120));
+  options.speculation = flags.get("speculation", "on") == "on";
+  options.straggler_factor = flags.get_double("straggler-factor", 2.0);
+  options.slow_phone = options.speculation;
+  const bool restart_leg = flags.get("restart", "on") == "on";
+  const int total_legs = restart_leg ? 4 : 3;
 
   std::vector<JobSpec> jobs;
   std::vector<fault::FaultRule> rules;
@@ -276,42 +404,86 @@ int main(int argc, char** argv) {
   std::printf("cwc_chaos: %d phones, %zu jobs, fault seed %llu\n  spec: %s\n", phones,
               jobs.size(), static_cast<unsigned long long>(seed), spec.c_str());
 
-  // Run 0: fault-free reference.
+  // Run 0: fault-free, speculation-free reference — the ground truth every
+  // other leg must reproduce byte for byte. The fleet (including the slow
+  // phone) is identical across legs so only the machinery under test varies.
   injector.reset();
-  std::printf("[1/3] fault-free reference run...\n");
+  std::printf("[1/%d] fault-free reference run...\n", total_legs);
   std::fflush(stdout);
-  const RunResult reference = run_once(jobs, phones, timeout_s, kInputSeed, registry);
+  RunOptions reference_options = options;
+  reference_options.speculation = false;
+  const RunResult reference = run_once(jobs, phones, reference_options, kInputSeed, registry);
   if (!reference.completed) {
     std::fputs("cwc_chaos: fault-free reference run did not complete — the live "
                "path is broken before any fault was injected\n",
                stderr);
     return 1;
   }
-  std::printf("      complete (%zu results)\n", reference.results.size());
+  std::printf("      complete (%zu results, %.1f s)\n", reference.results.size(),
+              reference.wall_s);
 
   // Runs 1 and 2: the same seeded storm twice. reset() clears rules AND the
   // telemetry observer, so both are re-installed per run; arm(seed) restarts
   // the Bernoulli stream so run 2 replays run 1's schedule.
   bool ok = true;
+  std::size_t spec_launches = 0;
+  std::size_t spec_duplicates = 0;
   RunResult chaos[2];
   for (int i = 0; i < 2; ++i) {
     injector.reset();
     injector.add_rules(rules);
     obs::arm_fault_telemetry();
     injector.arm(seed);
-    std::printf("[%d/3] chaos run %d...\n", i + 2, i + 1);
+    std::printf("[%d/%d] chaos run %d...\n", i + 2, total_legs, i + 1);
     std::fflush(stdout);
-    chaos[i] = run_once(jobs, phones, timeout_s, kInputSeed, registry);
+    chaos[i] = run_once(jobs, phones, options, kInputSeed, registry);
     injector.disarm();
-    std::printf("      %s, %llu faults fired:\n",
-                chaos[i].completed ? "complete" : "INCOMPLETE",
+    std::printf("      %s, %llu faults fired", chaos[i].completed ? "complete" : "INCOMPLETE",
                 static_cast<unsigned long long>(chaos[i].fault_fires));
+    if (options.speculation) {
+      std::printf(", %zu backups launched, %zu duplicate completions dropped",
+                  chaos[i].spec_launches, chaos[i].spec_duplicates);
+    }
+    std::printf(":\n");
     print_fires();
+    spec_launches += chaos[i].spec_launches;
+    spec_duplicates += chaos[i].spec_duplicates;
     const std::string label = "chaos run " + std::to_string(i + 1);
     ok = results_match(reference, chaos[i], label.c_str()) && ok;
     if (g_stop.load()) break;
   }
   injector.reset();
+
+  // Run 3: the fault here is the server process itself dying mid-batch.
+  if (restart_leg && !g_stop.load()) {
+    std::printf("[%d/%d] server-restart run (journal + recover_from)...\n", total_legs,
+                total_legs);
+    std::fflush(stdout);
+    const RunResult restarted = run_restart(jobs, phones, options, kInputSeed, registry);
+    if (options.speculation) {
+      std::printf("      %s, %zu backups launched, %zu duplicate completions dropped\n",
+                  restarted.completed ? "complete" : "INCOMPLETE", restarted.spec_launches,
+                  restarted.spec_duplicates);
+    } else {
+      std::printf("      %s\n", restarted.completed ? "complete" : "INCOMPLETE");
+    }
+    spec_launches += restarted.spec_launches;
+    spec_duplicates += restarted.spec_duplicates;
+    ok = results_match(reference, restarted, "restart run") && ok;
+  }
+
+  if (options.speculation && !g_stop.load()) {
+    if (spec_launches == 0) {
+      std::fputs("cwc_chaos: speculation was enabled with a 10x-slow phone but no "
+                 "backup ever launched\n",
+                 stderr);
+      ok = false;
+    } else {
+      std::printf("speculation engaged: %zu backups launched, %zu duplicate completions "
+                  "dropped, zero double-aggregations (results byte-checked)\n",
+                  spec_launches, spec_duplicates);
+    }
+  }
 
   if (flags.has("metrics-out")) {
     obs::write_snapshot_file(flags.get("metrics-out"));
@@ -329,8 +501,8 @@ int main(int argc, char** argv) {
     std::fputs("cwc_chaos: FAIL — see divergence above\n", stderr);
     return 1;
   }
-  std::printf("cwc_chaos: PASS — both chaos runs completed all %zu jobs with results "
+  std::printf("cwc_chaos: PASS — all %d runs completed all %zu jobs with results "
               "byte-identical to the fault-free reference\n",
-              jobs.size());
+              total_legs - 1, jobs.size());
   return 0;
 }

@@ -53,6 +53,17 @@ constexpr const char* kUsage = R"(cwc_server: the CWC central server
   --keepalive-ms=N     keep-alive period (default 5000, 3 misses tolerated)
   --assign-retry-ms=N  re-deliver unreported assignments after N ms,
                        doubling per retry (default 0 = never)
+  --speculation=on|off speculative re-execution of straggler pieces
+                       (default off)
+  --straggler-factor=X back up a piece when its expected remaining time
+                       exceeds X times the median of the others (default 2)
+  --spec-fraction=X    only speculate once this fraction of the batch's
+                       input bytes is done (default 0.75)
+  --health-alpha=X     EWMA weight of the phone-health score (default 0.3)
+  --health-quarantine=X  quarantine a probationary phone when its health
+                       score reaches X (default 0.8)
+  --health-parole-ticks=N  scheduling instants a quarantined phone sits out
+                       before parole (default 3)
   --fault-spec=SPEC    arm deterministic fault injection, e.g.
                        "socket_write:reset@p=0.02;keepalive_send:drop@every=4"
                        (grammar in src/common/fault.h)
@@ -109,8 +120,10 @@ int main(int argc, char** argv) {
   const Flags flags = Flags::parse(argc, argv);
   const auto unknown =
       flags.unknown({"port", "bind-all", "phones", "timeout-s", "task", "input", "generate",
-                     "keepalive-ms", "assign-retry-ms", "fault-spec", "fault-seed",
-                     "metrics-out", "trace-out", "verbose", "help"});
+                     "keepalive-ms", "assign-retry-ms", "speculation", "straggler-factor",
+                     "spec-fraction", "health-alpha", "health-quarantine",
+                     "health-parole-ticks", "fault-spec", "fault-seed", "metrics-out",
+                     "trace-out", "verbose", "help"});
   if (!unknown.empty() || flags.get_bool("help")) {
     for (const auto& flag : unknown) std::fprintf(stderr, "unknown flag: --%s\n", flag.c_str());
     std::fputs(kUsage, stderr);
@@ -126,6 +139,12 @@ int main(int argc, char** argv) {
   config.assign_retry_period = static_cast<Millis>(flags.get_int("assign-retry-ms", 0));
   config.scheduling_period = 500.0;
   config.stop = &g_stop;
+  config.speculation.enabled = flags.get("speculation", "off") == "on";
+  config.speculation.straggler_factor = flags.get_double("straggler-factor", 2.0);
+  config.speculation.completion_fraction = flags.get_double("spec-fraction", 0.75);
+  config.health.alpha = flags.get_double("health-alpha", 0.3);
+  config.health.quarantine_threshold = flags.get_double("health-quarantine", 0.8);
+  config.health.parole_after_ticks = static_cast<int>(flags.get_int("health-parole-ticks", 3));
 
   if (flags.has("fault-spec")) {
     try {
@@ -211,6 +230,12 @@ int main(int argc, char** argv) {
   std::printf("all jobs complete (%zu scheduling rounds, %zu online failures, %zu phones "
               "lost)\n",
               server.scheduling_rounds(), server.failures_received(), server.phones_lost());
+  if (config.speculation.enabled) {
+    std::printf("speculation: %zu backups launched, %zu backup wins, %zu duplicate "
+                "completions dropped\n",
+                server.speculative_launches(), server.speculative_wins_backup(),
+                server.duplicate_completions());
+  }
   for (const auto& [job, name] : submitted) {
     std::printf("job %d [%s]:\n", job, name.c_str());
     print_result(name, server.result(job));

@@ -18,6 +18,8 @@
 #include "core/failure_aware.h"
 #include "core/greedy.h"
 #include "core/testbed.h"
+#include "obs/metrics.h"
+#include "sim/churn.h"
 #include "sim/energy.h"
 #include "sim/simulator.h"
 #include "sim/timeline_svg.h"
@@ -31,6 +33,18 @@ constexpr const char* kUsage = R"(cwc_sim: CWC testbed simulator
   --scale=X            workload scale; 1.0 = the paper's 150-task batch (default 1.0)
   --unplugs=N          unplug N random phones mid-run (online failures)
   --offline            make injected unplugs silent (keep-alive loss)
+  --churn=SPEC         phone-churn profiles, e.g. "0:slow:10,3:flaky,5:flapping"
+                       (slow:F divides the phone's hidden efficiency by F;
+                       flaky = online unplug/replug cycles; flapping =
+                       offline cycles; seeded from --seed)
+  --speculation=on|off speculative re-execution of straggler pieces
+                       (default off)
+  --straggler-factor=X back up a piece when its expected remaining time
+                       exceeds X times the median of the others (default 2)
+  --spec-fraction=X    only speculate past this done fraction (default 0.75)
+  --health-alpha=X     EWMA weight of the phone-health score (default 0.3)
+  --health-quarantine=X  quarantine threshold of the health score (default 0.8)
+  --health-parole-ticks=N  instants quarantined before parole (default 3)
   --seed=N             RNG seed (default 42)
   --svg=FILE           write the execution timeline as SVG
   --metrics-out=FILE   write a telemetry snapshot (.csv = CSV, else JSON)
@@ -51,8 +65,10 @@ std::unique_ptr<core::Scheduler> make_scheduler(const std::string& name) {
 int main(int argc, char** argv) {
   const Flags flags = Flags::parse(argc, argv);
   const auto unknown = flags.unknown({"scheduler", "phones", "scale", "unplugs", "offline",
-                                      "seed", "svg", "metrics-out", "trace-out", "verbose",
-                                      "help"});
+                                      "churn", "speculation", "straggler-factor",
+                                      "spec-fraction", "health-alpha", "health-quarantine",
+                                      "health-parole-ticks", "seed", "svg", "metrics-out",
+                                      "trace-out", "verbose", "help"});
   if (!unknown.empty() || flags.get_bool("help")) {
     for (const auto& flag : unknown) std::fprintf(stderr, "unknown flag: --%s\n", flag.c_str());
     std::fputs(kUsage, stderr);
@@ -71,8 +87,23 @@ int main(int argc, char** argv) {
   }
   phones.resize(fleet);
 
+  std::vector<sim::ChurnSpec> churn;
+  try {
+    churn = sim::parse_churn(flags.get("churn"));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cwc_sim: %s\n", e.what());
+    return 2;
+  }
+  sim::apply_slow_profiles(churn, phones);
+
   sim::SimOptions options;
   options.scheduling_period = seconds(120.0);
+  options.speculation.enabled = flags.get("speculation", "off") == "on";
+  options.speculation.straggler_factor = flags.get_double("straggler-factor", 2.0);
+  options.speculation.completion_fraction = flags.get_double("spec-fraction", 0.75);
+  options.health.alpha = flags.get_double("health-alpha", 0.3);
+  options.health.quarantine_threshold = flags.get_double("health-quarantine", 0.8);
+  options.health.parole_after_ticks = static_cast<int>(flags.get_int("health-parole-ticks", 3));
   sim::TestbedSimulation simulation(make_scheduler(flags.get("scheduler", "cwc-greedy")),
                                     core::paper_prediction(), phones, options, seed);
 
@@ -80,6 +111,11 @@ int main(int argc, char** argv) {
   const double scale = flags.get_double("scale", 1.0);
   const auto jobs = core::paper_workload(workload_rng, scale);
   for (const auto& job : jobs) simulation.submit(job);
+
+  sim::ChurnOptions churn_options;
+  for (const sim::FailureEvent& event : sim::churn_events(churn, churn_options, seed)) {
+    simulation.inject(event);
+  }
 
   const auto unplugs = static_cast<int>(flags.get_int("unplugs", 0));
   for (int k = 0; k < unplugs; ++k) {
@@ -99,6 +135,13 @@ int main(int argc, char** argv) {
   std::printf("makespan:  %.1f s (predicted %.1f s)\n", to_seconds(result.makespan),
               to_seconds(result.predicted_makespan));
   std::printf("rounds:    %zu scheduling instants\n", result.scheduling_rounds);
+  std::printf("health:    %.0f quarantines, %.0f paroles, %.0f reinstatements\n",
+              obs::counter("health.quarantines").value(),
+              obs::counter("health.paroles").value(),
+              obs::counter("health.reinstatements").value());
+  std::printf("spec:      %.0f launched, %.0f backup wins, %.0f primary wins, %.0f aborted\n",
+              obs::counter("spec.launched").value(), obs::counter("spec.wins_backup").value(),
+              obs::counter("spec.wins_primary").value(), obs::counter("spec.aborted").value());
 
   const sim::EnergyReport energy = sim::energy_of(result);
   std::printf("energy:    %.1f kJ fleet total (%.0fx less than a served+cooled Core 2 Duo\n"

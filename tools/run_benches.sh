@@ -156,6 +156,20 @@ if plain and fault_off:
     if overhead > FAULT_THRESHOLD:
         failed = True
 
+# Health-scoring gate, same methodology: binding a HealthProvider to the
+# failure-aware scheduler adds one EWMA map lookup per phone per build and
+# must stay within HEALTH_THRESHOLD of the identical unbound build.
+HEALTH_THRESHOLD = 0.02
+health_off = floor.get("BM_GreedyBuildHealth/18/150/0")
+health_on = floor.get("BM_GreedyBuildHealth/18/150/1")
+if health_off and health_on:
+    overhead = (health_on - health_off) / health_off
+    verdict = "OK" if overhead <= HEALTH_THRESHOLD else "<< REGRESSION"
+    print(f"health-scoring bound-path overhead:     {overhead:+.2%} "
+          f"(gate {HEALTH_THRESHOLD:.0%}) {verdict}")
+    if overhead > HEALTH_THRESHOLD:
+        failed = True
+
 if failed:
     if mode == "--report-only":
         print("\nrun_benches: regressions found, but --report-only always exits 0")
