@@ -10,6 +10,7 @@
 #include "core/failure_aware.h"
 #include "core/greedy.h"
 #include "core/health.h"
+#include "core/pod_packing.h"
 #include "core/relaxation.h"
 #include "core/testbed.h"
 #include "lp/simplex.h"
@@ -33,6 +34,9 @@ Instance make_instance(std::size_t phone_count, std::size_t job_count) {
     core::PhoneSpec phone = base[i % base.size()];
     phone.id = static_cast<PhoneId>(i);
     phone.b = rng.uniform(1.0, 70.0);
+    // Each testbed copy lives in its own trio of houses (as sim::scaled_fleet
+    // does), so large fleets carry a realistic zone spread for pod keying.
+    phone.zone += static_cast<std::int32_t>(3 * (i / base.size()));
     instance.phones.push_back(phone);
   }
   const auto workload = core::paper_workload(rng, 0.1);
@@ -206,6 +210,30 @@ void BM_GreedyBuildParallelProbes(benchmark::State& state) {
   state.SetLabel("36 phones, 300 jobs, " + std::to_string(state.range(0)) + " probes");
 }
 BENCHMARK(BM_GreedyBuildParallelProbes)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// Hierarchical pod packing at fleet sizes where the flat build falls off a
+// cliff (512/2048 flat ≈ seconds). Pods are auto-sized (~128 phones each)
+// and packed on worker threads; the 4096/16384 tier is the 10k-class
+// scaling story the flat packer cannot enter at all. The run_benches.sh
+// gate holds BM_PodBuild/512/2048 under an absolute wall-time budget.
+void BM_PodBuild(benchmark::State& state) {
+  const auto instance =
+      make_instance(static_cast<std::size_t>(state.range(0)),
+                    static_cast<std::size_t>(state.range(1)));
+  core::PodPackingScheduler::Options options;
+  options.pods = 0;  // auto: ~one pod per 128 phones
+  const core::PodPackingScheduler scheduler(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        scheduler.build(instance.jobs, instance.phones, instance.prediction));
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " phones, " +
+                 std::to_string(state.range(1)) + " jobs, auto pods");
+}
+BENCHMARK(BM_PodBuild)
+    ->Args({512, 2048})
+    ->Args({4096, 16384})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SinglePacking(benchmark::State& state) {
   const auto instance = make_instance(18, 150);

@@ -176,8 +176,9 @@ std::pair<Millis, Millis> GreedyScheduler::capacity_bounds(
   return {problem.lb, problem.ub};
 }
 
-std::optional<Schedule> GreedyScheduler::pack_with_capacity(const PackProblem& problem,
-                                                            Millis capacity) const {
+std::optional<Schedule> GreedyScheduler::pack_attempt(const PackProblem& problem,
+                                                      Millis capacity,
+                                                      PartialPack* partial) const {
   obs::counter("scheduler.pack_attempts").inc();
   // Chaos hook: a delay here models a scheduler hiccup (GC pause, CPU
   // contention) without changing the packing result. Only kDelay is
@@ -312,6 +313,13 @@ std::optional<Schedule> GreedyScheduler::pack_with_capacity(const PackProblem& p
         }
       }
       if (best_bin == bins.size()) {  // line 23-24
+        if (partial != nullptr) {
+          // Best-effort mode: shelve the largest item's remainder for the
+          // caller to re-home and keep packing the rest.
+          partial->leftovers.push_back({largest->job_index, remaining[largest->job_index]});
+          items.erase(largest);
+          continue;
+        }
         obs::counter("scheduler.pack_failures").inc();
         return std::nullopt;
       }
@@ -328,6 +336,11 @@ std::optional<Schedule> GreedyScheduler::pack_with_capacity(const PackProblem& p
       // Zero-size jobs (exec only) pack with amount 0; anything else here
       // means the capacity is infeasible.
       if (!(chosen_fit.fits && remaining[j] <= kEps)) {
+        if (partial != nullptr) {
+          partial->leftovers.push_back({j, remaining[j]});
+          items.erase(chosen_item);
+          continue;
+        }
         obs::counter("scheduler.pack_failures").inc();
         return std::nullopt;
       }
@@ -362,7 +375,12 @@ std::optional<Schedule> GreedyScheduler::pack_with_capacity(const PackProblem& p
     }
   }
 
-  probe.feasible = true;
+  probe.feasible = partial == nullptr || partial->leftovers.empty();
+  if (partial != nullptr) {
+    partial->heights.resize(bins.size());
+    for (std::size_t b = 0; b < bins.size(); ++b) partial->heights[b] = bins[b].height;
+    partial->placed = std::move(placed);
+  }
   Schedule schedule;
   schedule.plans.reserve(phones.size());
   for (Bin& bin : bins) {
@@ -372,6 +390,19 @@ std::optional<Schedule> GreedyScheduler::pack_with_capacity(const PackProblem& p
     schedule.plans.push_back(std::move(plan));
   }
   return schedule;
+}
+
+std::optional<Schedule> GreedyScheduler::pack_with_capacity(const PackProblem& problem,
+                                                            Millis capacity) const {
+  return pack_attempt(problem, capacity, nullptr);
+}
+
+GreedyScheduler::PartialPack GreedyScheduler::pack_partial(const PackProblem& problem,
+                                                           Millis capacity) const {
+  PartialPack partial;
+  auto schedule = pack_attempt(problem, capacity, &partial);
+  partial.schedule = std::move(*schedule);  // best-effort mode never fails
+  return partial;
 }
 
 std::optional<Schedule> GreedyScheduler::pack_with_capacity(

@@ -115,6 +115,31 @@ class GreedyScheduler final : public Scheduler {
   /// Thread-safe: only reads the problem.
   std::optional<Schedule> pack_with_capacity(const PackProblem& problem, Millis capacity) const;
 
+  /// An item (or remainder) that fit nowhere at the attempted capacity.
+  struct Leftover {
+    std::uint32_t job_index = 0;   ///< index into the problem's jobs vector
+    Kilobytes remaining_kb = 0.0;  ///< unplaced input (atomic: the whole job)
+  };
+
+  /// Result of a best-effort packing attempt (see pack_partial).
+  struct PartialPack {
+    Schedule schedule;             ///< plans in phone order, not annotated
+    std::vector<Millis> heights;   ///< final bin height per phone (incl. initial load)
+    /// Flat jobs x phones matrix of placed KB; negative sentinel = the job
+    /// has no piece on that phone (its executable cost is still owed).
+    std::vector<Kilobytes> placed;
+    std::vector<Leftover> leftovers;
+    bool complete() const { return leftovers.empty(); }
+  };
+
+  /// Best-effort variant of pack_with_capacity for hierarchical packers:
+  /// instead of failing when an item fits nowhere and no bin can open, the
+  /// item's remainder is moved to `leftovers` and packing continues, so a
+  /// caller can re-home the leftovers elsewhere (cross-pod rebalancing).
+  /// Identical placement decisions to pack_with_capacity when the capacity
+  /// is feasible. Thread-safe: only reads the problem.
+  PartialPack pack_partial(const PackProblem& problem, Millis capacity) const;
+
   /// Convenience overload that prepares a fresh problem first. Prefer the
   /// PackProblem overload when packing the same instance repeatedly.
   std::optional<Schedule> pack_with_capacity(const std::vector<JobSpec>& jobs,
@@ -131,6 +156,13 @@ class GreedyScheduler final : public Scheduler {
                                             const InitialLoad& initial_load = {}) const;
 
  private:
+  /// Shared core of pack_with_capacity / pack_partial. With `partial` null
+  /// the attempt fails fast (nullopt) the moment an item cannot be placed;
+  /// with `partial` set it never fails: unplaceable remainders are recorded
+  /// as leftovers and the bin state is exported through `partial`.
+  std::optional<Schedule> pack_attempt(const PackProblem& problem, Millis capacity,
+                                       PartialPack* partial) const;
+
   Options options_;
 };
 

@@ -45,6 +45,14 @@ class HealthProvider {
   virtual ~HealthProvider() = default;
   /// Live failure-risk score in [0, 1]; 0 = no observed misbehaviour.
   virtual double health_risk(PhoneId phone) const = 0;
+  /// May the phone receive *new* work at all? Default: yes. The tracker
+  /// reports false for quarantined phones; partition-aware schedulers use
+  /// this to drop them from their pools (defense in depth on top of the
+  /// controller's own quarantine filter).
+  virtual bool schedulable(PhoneId phone) const {
+    (void)phone;
+    return true;
+  }
 };
 
 enum class HealthState : std::uint8_t {
@@ -125,7 +133,7 @@ class HealthTracker final : public HealthProvider {
   bool quarantined(PhoneId phone) const { return state(phone) == HealthState::kQuarantined; }
   bool on_parole(PhoneId phone) const { return state(phone) == HealthState::kParole; }
   /// May the phone receive *new* work at all (healthy/probation/parole)?
-  bool schedulable(PhoneId phone) const { return !quarantined(phone); }
+  bool schedulable(PhoneId phone) const override { return !quarantined(phone); }
   /// Phones currently quarantined.
   std::size_t quarantined_count() const;
 

@@ -11,6 +11,7 @@
 //   E_j * b_i + x * (b_i + c_ij)
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "common/types.h"
@@ -26,6 +27,10 @@ struct PhoneSpec {
   MsPerKb b = 1.0;
   /// RAM available for input partitions (footnote 4's r_i constraint).
   Kilobytes ram_kb = megabytes(1024.0);
+  /// Declared locality zone (house / cell / site identifier). Phones in the
+  /// same zone share an uplink, so the pod packer groups them; 0 = unknown.
+  /// The flat scheduler ignores it.
+  std::int32_t zone = 0;
   /// True per-MHz efficiency relative to the reference phone. The
   /// *scheduler never sees this*; simulators use it as ground truth so the
   /// prediction model has something real to learn (Fig. 6's off-diagonal

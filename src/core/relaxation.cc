@@ -11,6 +11,7 @@ lp::Problem build_relaxation(const std::vector<JobSpec>& jobs,
                              const PredictionModel& prediction) {
   if (phones.empty()) throw std::invalid_argument("build_relaxation: no phones");
   lp::Problem problem;
+  problem.reserve(1 + jobs.size() * phones.size(), jobs.size() + phones.size());
   const std::size_t T = problem.add_variable(1.0, "T");
 
   // l[j][i] variable indices; jobs with zero input contribute nothing to
@@ -51,8 +52,15 @@ lp::Problem build_relaxation(const std::vector<JobSpec>& jobs,
 RelaxationResult relaxed_lower_bound(const std::vector<JobSpec>& jobs,
                                      const std::vector<PhoneSpec>& phones,
                                      const PredictionModel& prediction) {
+  return relaxed_lower_bound(jobs, phones, prediction, lp::SolverOptions{});
+}
+
+RelaxationResult relaxed_lower_bound(const std::vector<JobSpec>& jobs,
+                                     const std::vector<PhoneSpec>& phones,
+                                     const PredictionModel& prediction,
+                                     const lp::SolverOptions& options) {
   const lp::Problem problem = build_relaxation(jobs, phones, prediction);
-  const lp::Solution solution = lp::solve(problem);
+  const lp::Solution solution = lp::solve(problem, options);
   RelaxationResult result;
   result.lp_iterations = solution.iterations;
   if (solution.status == lp::SolveStatus::kOptimal) {

@@ -41,4 +41,13 @@ RelaxationResult relaxed_lower_bound(const std::vector<JobSpec>& jobs,
                                      const std::vector<PhoneSpec>& phones,
                                      const PredictionModel& prediction);
 
+/// Overload with explicit solver options. The pod packer solves one small
+/// LP per pod on the scheduling path, so it caps pivots well below the
+/// benchmarking default: a bound that is merely unfinished is still a
+/// bound only when optimal, so `solved` false simply skips the pruning.
+RelaxationResult relaxed_lower_bound(const std::vector<JobSpec>& jobs,
+                                     const std::vector<PhoneSpec>& phones,
+                                     const PredictionModel& prediction,
+                                     const lp::SolverOptions& options);
+
 }  // namespace cwc::core

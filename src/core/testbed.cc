@@ -67,6 +67,7 @@ std::vector<PhoneSpec> paper_testbed(Rng& rng) {
     phone.id = i;
     phone.cpu_mhz = clocks[i];
     phone.b = sample_b(radios[i], rng);
+    phone.zone = i / 6;  // house index: phones behind the same residential uplink
     phone.ram_kb = megabytes(i % 3 == 0 ? 512.0 : 1024.0);  // 0.5-1 GB free RAM
     // Most phones match their clock scaling within a few percent; phones 2
     // and 9 are markedly faster than their clock suggests (Fig. 6's

@@ -27,6 +27,16 @@ struct Constraint {
 /// constraints (the SCH relaxation only needs x >= 0).
 class Problem {
  public:
+  /// Pre-sizes the variable and constraint stores. Builders that know their
+  /// shape up front (the SCH relaxation: 1 + jobs*phones variables,
+  /// jobs + phones constraints) call this once so per-pod LP construction
+  /// inside the pod packer does not reallocate per variable.
+  void reserve(std::size_t variables, std::size_t constraints) {
+    costs_.reserve(variables);
+    names_.reserve(variables);
+    constraints_.reserve(constraints);
+  }
+
   /// Adds a variable with the given objective coefficient; returns its index.
   std::size_t add_variable(double cost, std::string name = {}) {
     costs_.push_back(cost);

@@ -180,6 +180,7 @@ bool PhoneAgent::session() {
     reg.phone = config_.id;
     reg.cpu_mhz = config_.cpu_mhz;
     reg.ram_kb = config_.ram_kb;
+    reg.zone = config_.zone;
     send_frame(conn, encode(reg));
 
     const auto ack_frame = next_frame(conn, decoder, config_.rpc_timeout);

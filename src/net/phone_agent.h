@@ -64,6 +64,8 @@ struct PhoneAgentConfig {
   Millis rpc_timeout = 0.0;
   double cpu_mhz = 1000.0;
   Kilobytes ram_kb = megabytes(1024.0);
+  /// Declared locality zone reported at registration (see PhoneSpec::zone).
+  std::int32_t zone = 0;
   /// Wall-clock pacing target for execution; 0 = run at host speed.
   MsPerKb emulated_compute_ms_per_kb = 0.0;
   /// Link emulation; 0 = loopback speed.

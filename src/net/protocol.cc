@@ -34,6 +34,7 @@ Blob encode(const RegisterMsg& msg) {
   w.write_i32(msg.phone);
   w.write_f64(msg.cpu_mhz);
   w.write_f64(msg.ram_kb);
+  w.write_i32(msg.zone);
   return w.take();
 }
 
@@ -43,6 +44,8 @@ RegisterMsg decode_register(const Blob& frame) {
   msg.phone = r.read_i32();
   msg.cpu_mhz = r.read_f64();
   msg.ram_kb = r.read_f64();
+  // Older agents register without a zone; they land in zone 0.
+  if (r.remaining() >= 4) msg.zone = r.read_i32();
   return msg;
 }
 

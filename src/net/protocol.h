@@ -48,6 +48,9 @@ struct RegisterMsg {
   PhoneId phone = kInvalidPhone;
   double cpu_mhz = 0.0;
   Kilobytes ram_kb = 0.0;
+  /// Declared locality zone (house / cell / site); the pod packer groups
+  /// phones sharing an uplink. 0 when absent (agents predating this field).
+  std::int32_t zone = 0;
 };
 Blob encode(const RegisterMsg& msg);
 RegisterMsg decode_register(const Blob& frame);

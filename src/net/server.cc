@@ -242,6 +242,7 @@ void CwcServer::handle_frame(Connection& c, const Blob& frame) {
       spec.id = msg.phone;
       spec.cpu_mhz = msg.cpu_mhz;
       spec.ram_kb = msg.ram_kb;
+      spec.zone = msg.zone;
       spec.b = 1.0;  // placeholder until the probe reports
       controller_.register_phone(spec);
       c.phone = msg.phone;

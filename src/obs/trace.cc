@@ -33,6 +33,8 @@ constexpr const char* kTypeNames[kTraceEventTypeCount] = {
     "quarantine",           // kQuarantine
     "speculative_launch",   // kSpeculativeLaunch
     "piece_cancelled",      // kPieceCancelled
+    "pod_packed",           // kPodPacked
+    "pod_rebalance",        // kPodRebalance
 };
 
 Millis default_clock() {

@@ -66,11 +66,15 @@ enum class TraceEventType : std::uint8_t {
   kSpeculativeLaunch,    ///< backup attempt launched (phone = backup phone,
                          ///< value = expected remaining ms of the original)
   kPieceCancelled,       ///< losing attempt cancelled (phone = loser)
+  kPodPacked,            ///< one pod finished packing at the chosen capacity
+                         ///< (piece = pod index, value = pod makespan ms)
+  kPodRebalance,         ///< cross-pod rebalance re-homed leftovers
+                         ///< (piece = piece count, value = KB moved)
 };
 
 /// Number of distinct TraceEventType values (for tables and validation).
 inline constexpr std::size_t kTraceEventTypeCount =
-    static_cast<std::size_t>(TraceEventType::kPieceCancelled) + 1;
+    static_cast<std::size_t>(TraceEventType::kPodRebalance) + 1;
 
 /// Stable machine name of an event type ("piece_scheduled", ...).
 const char* trace_event_name(TraceEventType type);

@@ -1,0 +1,23 @@
+#include "sim/fleet.h"
+
+#include "core/testbed.h"
+
+namespace cwc::sim {
+
+std::vector<core::PhoneSpec> scaled_fleet(Rng& rng, std::size_t count) {
+  std::vector<core::PhoneSpec> phones;
+  phones.reserve(count);
+  while (phones.size() < count) {
+    const std::size_t copy = phones.size() / 18;
+    std::vector<core::PhoneSpec> testbed = core::paper_testbed(rng);
+    for (core::PhoneSpec& phone : testbed) {
+      if (phones.size() >= count) break;
+      phone.id = static_cast<PhoneId>(phones.size());
+      phone.zone += static_cast<std::int32_t>(3 * copy);
+      phones.push_back(phone);
+    }
+  }
+  return phones;
+}
+
+}  // namespace cwc::sim

@@ -1,0 +1,28 @@
+// Fleet scaling: growing the 18-phone paper testbed to simulator- and
+// bench-sized fleets without flattening its structure.
+//
+// The naive loop (clone phone i % 18, bump the id) repeats the testbed's
+// bandwidth heterogeneity but squashes every copy into the same three
+// houses — a 10k-phone fleet would claim 3 residential uplinks. This
+// helper keeps each 18-phone copy in its own trio of houses (zones), so
+// zone-aware consumers — above all the pod packer's (zone, link class,
+// health band) keying — see a fleet of distinct households, which is what
+// a real CWC deployment at that scale would look like.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/model.h"
+
+namespace cwc::sim {
+
+/// `count` phones built from whole copies of core::paper_testbed(rng):
+/// ids 0..count-1, copy k living in zones (houses) 3k..3k+2. Each copy
+/// re-rolls the testbed's per-phone jitter (bandwidth sample, hidden
+/// efficiency) from `rng`, so clones are heterogeneous the way additional
+/// real households would be, yet fully determined by the seed.
+std::vector<core::PhoneSpec> scaled_fleet(Rng& rng, std::size_t count);
+
+}  // namespace cwc::sim

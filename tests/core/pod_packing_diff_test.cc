@@ -1,0 +1,232 @@
+// Differential equivalence suite: the hierarchical pod packer vs the flat
+// greedy reference on hundreds of seeded random instances.
+//
+// The pod packer exists for fleets the flat packer cannot handle in time,
+// so it can never be *proved* equal — decomposition genuinely changes the
+// packing. What this suite pins down instead is the safety contract:
+//   1. every schedule it emits is valid (full coverage, atomics whole,
+//      RAM respected) — validate_schedule, which fails on double-placed or
+//      dropped work;
+//   2. its makespan is within a bounded factor of the flat reference over
+//      the same schedulable pool;
+//   3. same-seed builds are byte-identical even with pods packing on
+//      worker threads (exact double equality piece by piece).
+#include "core/pod_packing.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/greedy.h"
+#include "core/health.h"
+
+namespace cwc::core {
+namespace {
+
+// Pod quality vs flat: whole-job LPT across pods concentrates work that
+// the flat packer would spread, so small instances can legitimately lose
+// up to ~2x; beyond 2.5x (plus slack for near-zero makespans) something is
+// wrong with the decomposition, not the instance.
+constexpr double kMakespanFactor = 2.5;
+constexpr Millis kMakespanSlack = 5.0;
+
+PredictionModel diff_prediction() {
+  PredictionModel model;
+  model.set_reference("alpha", 10.0, 1000.0);
+  model.set_reference("beta", 25.0, 1000.0);
+  model.set_reference("gamma", 4.0, 1000.0);
+  return model;
+}
+
+// Representative b_i per link class (see PodPackingScheduler::link_class),
+// jittered so classes overlap at the edges like real measurements.
+constexpr MsPerKb kLinkB[] = {0.5, 1.5, 4.0, 9.0, 22.0, 45.0};
+
+std::vector<PhoneSpec> random_phones(Rng& rng, std::size_t count) {
+  std::vector<PhoneSpec> phones(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    phones[i].id = static_cast<PhoneId>(i);
+    phones[i].cpu_mhz = rng.uniform(600.0, 1600.0);
+    phones[i].b = kLinkB[rng.uniform_int(0, 5)] * rng.uniform(0.85, 1.2);
+    phones[i].zone = static_cast<std::int32_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(count / 6) + 2));
+    // ~10% RAM-starved phones (600 KB): breakable pieces cap out on them,
+    // which is what pushes a starved pod's share into the rebalance path.
+    const std::int64_t ram_roll = rng.uniform_int(0, 9);
+    phones[i].ram_kb = ram_roll == 0 ? 600.0 : megabytes(ram_roll < 5 ? 256.0 : 1024.0);
+  }
+  return phones;
+}
+
+std::vector<JobSpec> random_jobs(Rng& rng, std::size_t count) {
+  const char* tasks[] = {"alpha", "beta", "gamma"};
+  std::vector<JobSpec> jobs(count);
+  for (std::size_t j = 0; j < count; ++j) {
+    jobs[j].id = static_cast<JobId>(j);
+    jobs[j].task_name = tasks[rng.uniform_int(0, 2)];
+    jobs[j].exec_kb = rng.uniform(0.0, 40.0);
+    if (rng.uniform_int(0, 3) == 0) {
+      jobs[j].kind = JobKind::kAtomic;
+      jobs[j].input_kb = rng.uniform(20.0, 400.0);
+    } else {
+      jobs[j].kind = JobKind::kBreakable;
+      // ~5% exec-only jobs: zero input, the executable still ships.
+      jobs[j].input_kb = rng.uniform_int(0, 19) == 0 ? 0.0 : rng.uniform(50.0, 4000.0);
+    }
+  }
+  return jobs;
+}
+
+/// Quarantines ~`fraction` of the fleet (alpha 1.0 walks a phone
+/// healthy -> probation -> quarantined in exactly two offline reports),
+/// always leaving at least two phones schedulable.
+HealthOptions strict_health() {
+  HealthOptions options;
+  options.alpha = 1.0;
+  return options;
+}
+
+void quarantine_some(HealthTracker& health, const std::vector<PhoneSpec>& phones, Rng& rng,
+                     double fraction) {
+  const std::size_t cap = phones.size() > 2 ? phones.size() - 2 : 0;
+  std::size_t quarantined = 0;
+  for (const PhoneSpec& phone : phones) {
+    health.register_phone(phone.id);
+    if (quarantined < cap && rng.uniform() < fraction) {
+      health.on_offline_failure(phone.id);
+      health.on_offline_failure(phone.id);
+      ASSERT_TRUE(health.quarantined(phone.id));
+      ++quarantined;
+    }
+  }
+}
+
+void expect_byte_identical(const Schedule& a, const Schedule& b) {
+  ASSERT_EQ(a.plans.size(), b.plans.size());
+  EXPECT_EQ(a.predicted_makespan, b.predicted_makespan);  // exact, not NEAR
+  for (std::size_t i = 0; i < a.plans.size(); ++i) {
+    EXPECT_EQ(a.plans[i].phone, b.plans[i].phone);
+    EXPECT_EQ(a.plans[i].predicted_finish, b.plans[i].predicted_finish);
+    ASSERT_EQ(a.plans[i].pieces.size(), b.plans[i].pieces.size()) << "phone " << i;
+    for (std::size_t k = 0; k < a.plans[i].pieces.size(); ++k) {
+      EXPECT_EQ(a.plans[i].pieces[k].job, b.plans[i].pieces[k].job);
+      EXPECT_EQ(a.plans[i].pieces[k].input_kb, b.plans[i].pieces[k].input_kb);
+    }
+  }
+}
+
+struct Shape {
+  std::size_t phones = 0;
+  std::size_t jobs = 0;
+};
+
+/// Seeded fleet shapes, biased small so the flat reference stays fast but
+/// reaching 512 phones (the flat packer's bench wall) at the tail.
+Shape shape_for(std::size_t instance, Rng& rng) {
+  if (instance % 50 == 48) return {static_cast<std::size_t>(rng.uniform_int(256, 384)), 24};
+  if (instance % 50 == 49) return {512, 16};
+  if (instance % 10 == 9) {
+    return {static_cast<std::size_t>(rng.uniform_int(48, 96)),
+            static_cast<std::size_t>(rng.uniform_int(16, 48))};
+  }
+  return {static_cast<std::size_t>(rng.uniform_int(6, 40)),
+          static_cast<std::size_t>(rng.uniform_int(3, 36))};
+}
+
+TEST(PodPackingDiff, MatchesFlatReferenceAcrossSeededInstances) {
+  constexpr std::size_t kInstances = 200;
+  const PredictionModel prediction = diff_prediction();
+  std::size_t rebalanced_instances = 0;
+
+  for (std::size_t instance = 0; instance < kInstances; ++instance) {
+    Rng rng(0xD1FF0000u + instance);
+    const Shape shape = shape_for(instance, rng);
+    const std::vector<PhoneSpec> phones = random_phones(rng, shape.phones);
+    const std::vector<JobSpec> jobs = random_jobs(rng, shape.jobs);
+
+    HealthTracker health(strict_health());
+    quarantine_some(health, phones, rng, 0.2);
+
+    // The flat reference schedules the same pool the pod packer will use:
+    // the schedulable phones.
+    std::vector<PhoneSpec> pool;
+    for (const PhoneSpec& phone : phones) {
+      if (health.schedulable(phone.id)) pool.push_back(phone);
+    }
+    ASSERT_GE(pool.size(), 2u) << "instance " << instance;
+    const GreedyScheduler flat;
+    const Schedule reference = flat.build(jobs, pool, prediction);
+    validate_schedule(reference, jobs, pool);
+
+    PodPackingScheduler::Options options;
+    // Forced pod counts: auto would delegate these small fleets to the
+    // flat path and test nothing. Every 8th instance keeps auto sizing to
+    // cover the delegation (and, at the 256+ tail shapes, real auto pods).
+    options.pods = instance % 8 == 7
+                       ? 0
+                       : static_cast<std::size_t>(rng.uniform_int(2, 8));
+    options.parallel_pods = 4;
+    const PodPackingScheduler pods(options);
+    PodPackingScheduler pods_bound(options);
+    pods_bound.bind_health(&health);
+
+    PodPackingScheduler::Diagnostics diag;
+    const Schedule schedule =
+        pods_bound.build_diagnosed(jobs, phones, prediction, {}, std::nullopt, &diag);
+    validate_schedule(schedule, jobs, phones);
+    if (diag.rebalanced_pieces > 0) ++rebalanced_instances;
+
+    // Quarantined phones must have received nothing.
+    for (const PhonePlan& plan : schedule.plans) {
+      if (!health.schedulable(plan.phone)) {
+        EXPECT_TRUE(plan.pieces.empty())
+            << "instance " << instance << ": quarantined phone " << plan.phone << " got work";
+      }
+    }
+
+    // Bounded quality loss vs flat over the identical pool.
+    EXPECT_LE(schedule.predicted_makespan,
+              reference.predicted_makespan * kMakespanFactor + kMakespanSlack)
+        << "instance " << instance << " (" << shape.phones << " phones, " << shape.jobs
+        << " jobs, " << diag.pods << " pods)";
+
+    // Same seed, same bytes — pods pack on 4 worker threads, so this is
+    // the determinism contract, not a tautology.
+    PodPackingScheduler again(options);
+    again.bind_health(&health);
+    const Schedule replay = again.build_diagnosed(jobs, phones, prediction, {}, std::nullopt,
+                                                  nullptr);
+    expect_byte_identical(schedule, replay);
+  }
+  // The storm must actually exercise the cross-pod rebalance path, not
+  // just instances where every pod packs its share locally.
+  EXPECT_GT(rebalanced_instances, 0u);
+}
+
+TEST(PodPackingDiff, WarmStartHintPreservesValidityAndDeterminism) {
+  const PredictionModel prediction = diff_prediction();
+  Rng rng(0xD1FFBEEF);
+  const std::vector<PhoneSpec> phones = random_phones(rng, 36);
+  const std::vector<JobSpec> jobs = random_jobs(rng, 24);
+
+  PodPackingScheduler::Options options;
+  options.pods = 4;
+  options.parallel_pods = 4;
+  const PodPackingScheduler scheduler(options);
+  const Schedule cold = scheduler.build(jobs, phones, prediction);
+  validate_schedule(cold, jobs, phones);
+
+  // A hint near the cold result (the steady-state reschedule case) and an
+  // absurdly low one (must be rejected, not believed).
+  for (const Millis hint : {cold.predicted_makespan * 1.05, cold.predicted_makespan * 0.01}) {
+    const Schedule warm = scheduler.build_with_hint(jobs, phones, prediction, {}, hint);
+    validate_schedule(warm, jobs, phones);
+    const Schedule warm2 = scheduler.build_with_hint(jobs, phones, prediction, {}, hint);
+    expect_byte_identical(warm, warm2);
+  }
+}
+
+}  // namespace
+}  // namespace cwc::core

@@ -1,0 +1,256 @@
+// Property suite for the pod packer's cross-pod rebalancing and pod
+// layout invariants, under a randomized storm of pod shapes including the
+// degenerate ones (single pod, empty pods, all-quarantined fleet).
+//
+// Invariants checked on every build:
+//   - no piece lands on a quarantined phone;
+//   - per-phone plan cost stays under the achieved capacity C*;
+//   - total work is conserved (validate_schedule: full coverage, atomics
+//     whole, RAM bounds);
+//   - the layout partitions exactly the schedulable pool.
+#include "core/pod_packing.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/greedy.h"
+#include "core/health.h"
+
+namespace cwc::core {
+namespace {
+
+PredictionModel prop_prediction() {
+  PredictionModel model;
+  model.set_reference("t", 10.0, 1000.0);
+  model.set_reference("u", 3.0, 1000.0);
+  return model;
+}
+
+PhoneSpec make_phone(PhoneId id, double mhz, MsPerKb b, std::int32_t zone,
+                     Kilobytes ram = megabytes(1024.0)) {
+  PhoneSpec p;
+  p.id = id;
+  p.cpu_mhz = mhz;
+  p.b = b;
+  p.zone = zone;
+  p.ram_kb = ram;
+  return p;
+}
+
+JobSpec make_job(JobId id, Kilobytes input, JobKind kind = JobKind::kBreakable,
+                 Kilobytes exec = 5.0, const char* task = "t") {
+  JobSpec j;
+  j.id = id;
+  j.task_name = task;
+  j.kind = kind;
+  j.exec_kb = exec;
+  j.input_kb = input;
+  return j;
+}
+
+/// Two offline reports with alpha=1 walk healthy -> probation -> quarantine.
+HealthTracker quarantine(const std::vector<PhoneSpec>& phones,
+                         const std::set<PhoneId>& victims) {
+  HealthOptions options;
+  options.alpha = 1.0;
+  HealthTracker health(options);
+  for (const PhoneSpec& phone : phones) {
+    health.register_phone(phone.id);
+    if (victims.count(phone.id) != 0) {
+      health.on_offline_failure(phone.id);
+      health.on_offline_failure(phone.id);
+    }
+  }
+  return health;
+}
+
+void check_invariants(const Schedule& schedule, const std::vector<JobSpec>& jobs,
+                      const std::vector<PhoneSpec>& phones, const PredictionModel& prediction,
+                      const HealthProvider* health,
+                      const PodPackingScheduler::Diagnostics& diag) {
+  validate_schedule(schedule, jobs, phones);
+  ASSERT_EQ(schedule.plans.size(), phones.size());
+  bool any_schedulable = false;
+  for (const PhoneSpec& phone : phones) {
+    any_schedulable = any_schedulable || health == nullptr || health->schedulable(phone.id);
+  }
+  for (std::size_t i = 0; i < schedule.plans.size(); ++i) {
+    const PhonePlan& plan = schedule.plans[i];
+    EXPECT_EQ(plan.phone, phones[i].id);
+    if (health != nullptr && any_schedulable && !health->schedulable(plan.phone)) {
+      EXPECT_TRUE(plan.pieces.empty()) << "quarantined phone " << plan.phone << " got work";
+    }
+    // Capacity bound: every phone finishes under the achieved C* (small
+    // relative slack for float accumulation across pieces).
+    const Millis cost = plan_cost(plan, jobs, phones[i], prediction);
+    EXPECT_LE(cost, diag.capacity + 1e-6 * (1.0 + diag.capacity))
+        << "phone " << plan.phone << " exceeds the achieved capacity";
+  }
+  // Work conservation, job by job (validate_schedule already throws on
+  // violation; this records the numbers on failure).
+  for (const JobSpec& job : jobs) {
+    EXPECT_NEAR(schedule.assigned_kb(job.id), job.input_kb,
+                1e-6 * (1.0 + job.input_kb));
+  }
+}
+
+TEST(PodPackingProperty, RebalanceRehomesRamStarvedPodShare) {
+  const PredictionModel prediction = prop_prediction();
+  // Zone 0: three RAM-starved phones (200 KB each — their pod can hold at
+  // most 600 KB of input, ever). Zone 1: three big phones. Forcing 2 pods
+  // keys them apart, and the 6000 KB batch cannot fit in pod 0 at any
+  // capacity, so the build MUST cross-pod rebalance to succeed.
+  std::vector<PhoneSpec> phones;
+  for (int i = 0; i < 3; ++i) phones.push_back(make_phone(i, 1000.0, 1.0, 0, 200.0));
+  for (int i = 3; i < 6; ++i) phones.push_back(make_phone(i, 1200.0, 1.5, 1));
+  std::vector<JobSpec> jobs;
+  for (int j = 0; j < 6; ++j) jobs.push_back(make_job(j, 1000.0));
+
+  PodPackingScheduler::Options options;
+  options.pods = 2;
+  options.parallel_pods = 2;
+  const PodPackingScheduler scheduler(options);
+  PodPackingScheduler::Diagnostics diag;
+  const Schedule schedule =
+      scheduler.build_diagnosed(jobs, phones, prediction, {}, std::nullopt, &diag);
+
+  EXPECT_EQ(diag.pods, 2u);
+  EXPECT_GT(diag.rebalance_attempts, 0u);
+  EXPECT_GT(diag.rebalanced_pieces, 0u);
+  EXPECT_GT(diag.rebalanced_kb, 0.0);
+  check_invariants(schedule, jobs, phones, prediction, nullptr, diag);
+}
+
+TEST(PodPackingProperty, SinglePodDelegatesToFlatPacking) {
+  const PredictionModel prediction = prop_prediction();
+  std::vector<PhoneSpec> phones = {make_phone(0, 1000.0, 1.0, 0), make_phone(1, 1400.0, 2.0, 1)};
+  std::vector<JobSpec> jobs = {make_job(0, 500.0), make_job(1, 80.0, JobKind::kAtomic)};
+
+  PodPackingScheduler::Options options;
+  options.pods = 1;
+  const PodPackingScheduler pods(options);
+  const Schedule pod_schedule = pods.build(jobs, phones, prediction);
+  const Schedule flat_schedule = GreedyScheduler().build(jobs, phones, prediction);
+  validate_schedule(pod_schedule, jobs, phones);
+  // One pod = the flat algorithm verbatim, down to the predicted makespan.
+  EXPECT_DOUBLE_EQ(pod_schedule.predicted_makespan, flat_schedule.predicted_makespan);
+}
+
+TEST(PodPackingProperty, EmptyPodsAndEmptyBatchAreHandled) {
+  const PredictionModel prediction = prop_prediction();
+  std::vector<PhoneSpec> phones;
+  for (int i = 0; i < 16; ++i) phones.push_back(make_phone(i, 1000.0, 1.0 + i % 4, i / 4));
+
+  // 8 pods, 2 jobs: at least six pods end up with an empty share.
+  PodPackingScheduler::Options options;
+  options.pods = 8;
+  options.parallel_pods = 3;
+  const PodPackingScheduler scheduler(options);
+  std::vector<JobSpec> jobs = {make_job(0, 900.0), make_job(1, 50.0, JobKind::kAtomic)};
+  PodPackingScheduler::Diagnostics diag;
+  const Schedule schedule =
+      scheduler.build_diagnosed(jobs, phones, prediction, {}, std::nullopt, &diag);
+  EXPECT_EQ(diag.pods, 8u);
+  check_invariants(schedule, jobs, phones, prediction, nullptr, diag);
+
+  // Empty batch: every plan exists and is empty.
+  const Schedule empty = scheduler.build({}, phones, prediction);
+  ASSERT_EQ(empty.plans.size(), phones.size());
+  for (const PhonePlan& plan : empty.plans) EXPECT_TRUE(plan.pieces.empty());
+}
+
+TEST(PodPackingProperty, AllQuarantinedFleetWaivesTheFilter) {
+  const PredictionModel prediction = prop_prediction();
+  std::vector<PhoneSpec> phones = {make_phone(0, 1000.0, 1.0, 0), make_phone(1, 1000.0, 1.0, 0),
+                                   make_phone(2, 1000.0, 4.0, 1)};
+  const HealthTracker health = quarantine(phones, {0, 1, 2});
+  std::vector<JobSpec> jobs = {make_job(0, 300.0)};
+
+  PodPackingScheduler::Options options;
+  options.pods = 2;
+  PodPackingScheduler scheduler(options);
+  scheduler.bind_health(&health);
+
+  const PodPackingScheduler::PodLayout layout = scheduler.layout(jobs, phones, prediction);
+  // Filter waived: nobody excluded, the pods cover the whole fleet.
+  EXPECT_TRUE(layout.excluded_phones.empty());
+  std::size_t covered = 0;
+  for (const auto& pod : layout.phone_indices) covered += pod.size();
+  EXPECT_EQ(covered, phones.size());
+
+  const Schedule schedule = scheduler.build(jobs, phones, prediction);
+  validate_schedule(schedule, jobs, phones);
+  EXPECT_NEAR(schedule.assigned_kb(0), 300.0, 1e-6);
+}
+
+TEST(PodPackingProperty, LayoutPartitionsExactlyTheSchedulablePool) {
+  const PredictionModel prediction = prop_prediction();
+  Rng rng(0x90D5);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t fleet = static_cast<std::size_t>(rng.uniform_int(4, 40));
+    std::vector<PhoneSpec> phones;
+    for (std::size_t i = 0; i < fleet; ++i) {
+      phones.push_back(make_phone(static_cast<PhoneId>(i), rng.uniform(700.0, 1500.0),
+                                  rng.uniform(0.5, 30.0),
+                                  static_cast<std::int32_t>(rng.uniform_int(0, 5))));
+    }
+    std::set<PhoneId> victims;
+    for (const PhoneSpec& phone : phones) {
+      if (victims.size() + 2 < phones.size() && rng.uniform() < 0.25) victims.insert(phone.id);
+    }
+    const HealthTracker health = quarantine(phones, victims);
+
+    std::vector<JobSpec> jobs;
+    const std::size_t batch = static_cast<std::size_t>(rng.uniform_int(1, 12));
+    for (std::size_t j = 0; j < batch; ++j) {
+      jobs.push_back(make_job(static_cast<JobId>(j), rng.uniform(40.0, 1500.0),
+                              rng.uniform_int(0, 3) == 0 ? JobKind::kAtomic
+                                                         : JobKind::kBreakable,
+                              rng.uniform(0.0, 20.0), rng.uniform_int(0, 1) == 0 ? "t" : "u"));
+    }
+
+    PodPackingScheduler::Options options;
+    options.pods = static_cast<std::size_t>(rng.uniform_int(1, 6));
+    options.parallel_pods = 2;
+    PodPackingScheduler scheduler(options);
+    scheduler.bind_health(&health);
+
+    // The layout is a partition: every schedulable phone in exactly one
+    // pod, every quarantined phone excluded.
+    const PodPackingScheduler::PodLayout layout = scheduler.layout(jobs, phones, prediction);
+    std::set<std::size_t> seen;
+    for (const auto& pod : layout.phone_indices) {
+      EXPECT_FALSE(pod.empty());
+      for (const std::size_t g : pod) {
+        EXPECT_TRUE(seen.insert(g).second) << "phone index " << g << " in two pods";
+        EXPECT_TRUE(health.schedulable(phones[g].id));
+      }
+    }
+    for (const std::size_t g : layout.excluded_phones) {
+      EXPECT_TRUE(seen.insert(g).second) << "excluded phone also podded";
+      EXPECT_FALSE(health.schedulable(phones[g].id));
+    }
+    EXPECT_EQ(seen.size(), phones.size());
+    // Job shares conserve each job's input across pods.
+    std::map<JobId, Kilobytes> shared;
+    for (const auto& share : layout.job_shares) {
+      for (const JobSpec& job : share) shared[job.id] += job.input_kb;
+    }
+    for (const JobSpec& job : jobs) {
+      EXPECT_NEAR(shared[job.id], job.input_kb, 1e-9 * (1.0 + job.input_kb)) << "job " << job.id;
+    }
+
+    PodPackingScheduler::Diagnostics diag;
+    const Schedule schedule =
+        scheduler.build_diagnosed(jobs, phones, prediction, {}, std::nullopt, &diag);
+    check_invariants(schedule, jobs, phones, prediction, &health, diag);
+  }
+}
+
+}  // namespace
+}  // namespace cwc::core

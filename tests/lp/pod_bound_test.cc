@@ -1,0 +1,74 @@
+// Per-pod LP lower bounds on fig13-style instances: the simplex relaxation
+// solved on a pod's own (job-share, phone-slice) sub-instance must never
+// exceed the makespan the greedy packer actually achieves for that pod —
+// otherwise using it to prune the capacity bisection would cut off feasible
+// capacities and the pod build would diverge or fail.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/greedy.h"
+#include "core/pod_packing.h"
+#include "core/relaxation.h"
+#include "core/testbed.h"
+
+namespace cwc::core {
+namespace {
+
+TEST(PodBound, PerPodRelaxationNeverExceedsAchievedPodMakespan) {
+  const PredictionModel prediction = paper_prediction();
+  for (const std::uint64_t seed : {0x13F1ull, 0x13F2ull, 0x13F3ull, 0x13F4ull}) {
+    Rng rng(seed);
+    const std::vector<PhoneSpec> phones = paper_testbed(rng);
+    const std::vector<JobSpec> jobs = paper_workload(rng, 0.08);
+
+    PodPackingScheduler::Options options;
+    options.pods = 3;
+    const PodPackingScheduler scheduler(options);
+    const PodPackingScheduler::PodLayout layout = scheduler.layout(jobs, phones, prediction);
+    ASSERT_EQ(layout.phone_indices.size(), 3u);
+
+    const GreedyScheduler flat;
+    for (std::size_t p = 0; p < layout.phone_indices.size(); ++p) {
+      const std::vector<JobSpec>& pod_jobs = layout.job_shares[p];
+      if (pod_jobs.empty()) continue;
+      std::vector<PhoneSpec> pod_phones;
+      for (const std::size_t g : layout.phone_indices[p]) pod_phones.push_back(phones[g]);
+
+      // Flat pack of the pod's own share — what the pod achieves before any
+      // cross-pod rebalancing can only raise phones toward the global cap,
+      // so this is the tightest makespan the bound must stay under.
+      const Schedule packed = flat.build(pod_jobs, pod_phones, prediction);
+      const RelaxationResult bound = relaxed_lower_bound(pod_jobs, pod_phones, prediction);
+      ASSERT_TRUE(bound.solved) << "seed " << seed << " pod " << p;
+      EXPECT_GT(bound.makespan, 0.0);
+      EXPECT_LE(bound.makespan, packed.predicted_makespan + 1e-6)
+          << "seed " << seed << " pod " << p << ": LP bound above the achieved makespan";
+    }
+
+    // The achieved global capacity respects every per-pod lower bound the
+    // build actually used for pruning.
+    PodPackingScheduler::Diagnostics diag;
+    const Schedule schedule =
+        scheduler.build_diagnosed(jobs, phones, prediction, {}, std::nullopt, &diag);
+    validate_schedule(schedule, jobs, phones);
+    ASSERT_EQ(diag.pod_lower_bounds.size(), diag.pods);
+    const double max_lb =
+        *std::max_element(diag.pod_lower_bounds.begin(), diag.pod_lower_bounds.end());
+    EXPECT_GE(diag.capacity, max_lb - 1e-6);
+    if (diag.rebalanced_pieces == 0) {
+      // Without rebalancing every pod packed exactly its own share, so its
+      // achieved height must sit at or above its LP bound. (A donor pod
+      // that shed leftovers may legitimately finish below its bound.)
+      for (std::size_t p = 0; p < diag.pods; ++p) {
+        EXPECT_LE(diag.pod_lower_bounds[p], diag.pod_makespans[p] + 1e-6)
+            << "seed " << seed << " pod " << p;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cwc::core

@@ -58,12 +58,29 @@ TEST(Protocol, RegisterRoundTrip) {
   msg.phone = 7;
   msg.cpu_mhz = 1512.5;
   msg.ram_kb = megabytes(768.0);
+  msg.zone = 42;
   const Blob frame = encode(msg);
   EXPECT_EQ(peek_type(frame), MsgType::kRegister);
   const RegisterMsg decoded = decode_register(frame);
   EXPECT_EQ(decoded.phone, 7);
   EXPECT_DOUBLE_EQ(decoded.cpu_mhz, 1512.5);
   EXPECT_DOUBLE_EQ(decoded.ram_kb, megabytes(768.0));
+  EXPECT_EQ(decoded.zone, 42);
+}
+
+TEST(Protocol, RegisterWithoutZoneDecodesAsZoneZero) {
+  // Registrations from agents predating the zone field stop after ram_kb;
+  // they must still decode, landing in the default zone.
+  RegisterMsg msg;
+  msg.phone = 3;
+  msg.cpu_mhz = 1000.0;
+  msg.ram_kb = megabytes(512.0);
+  msg.zone = 9;
+  Blob legacy = encode(msg);
+  legacy.resize(legacy.size() - 4);  // strip the trailing zone i32
+  const RegisterMsg decoded = decode_register(legacy);
+  EXPECT_EQ(decoded.phone, 3);
+  EXPECT_EQ(decoded.zone, 0);
 }
 
 TEST(Protocol, RegisterAckRoundTripCarriesServerEpoch) {

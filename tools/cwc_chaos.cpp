@@ -45,6 +45,7 @@
 #include "common/rng.h"
 #include "common/strings.h"
 #include "core/greedy.h"
+#include "core/pod_packing.h"
 #include "core/testbed.h"
 #include "net/phone_agent.h"
 #include "net/server.h"
@@ -75,6 +76,10 @@ constexpr const char* kUsage = R"(cwc_chaos: fault-injection chaos harness for t
                        to force one (default on)
   --straggler-factor=X speculation threshold multiplier (default 2)
   --restart=on|off     run the journaled server-restart leg (default on)
+  --pods=auto|N        schedule every run with hierarchical pod packing
+                       (auto = size pods automatically; N = force N pods)
+                       instead of flat greedy packing; results must still
+                       byte-match the flat reference run
   --metrics-out=FILE   write a telemetry snapshot after the last run
   --trace-out=FILE     write the chaos runs' trace as Chrome trace-event JSON
   --verbose            info-level logging
@@ -128,7 +133,18 @@ struct RunOptions {
   double compute_ms_per_kb = 1.0;
   /// Non-empty = journal this run (for the restart leg).
   std::string journal_path;
+  /// Schedule with the hierarchical pod packer instead of flat greedy.
+  /// (0 with use_pods = auto-sized pods.)
+  bool use_pods = false;
+  std::size_t pods = 0;
 };
+
+std::unique_ptr<core::Scheduler> chaos_scheduler(const RunOptions& options) {
+  if (!options.use_pods) return std::make_unique<core::GreedyScheduler>();
+  core::PodPackingScheduler::Options pod_options;
+  pod_options.pods = options.pods;
+  return std::make_unique<core::PodPackingScheduler>(pod_options);
+}
 
 struct RunResult {
   bool completed = false;
@@ -182,6 +198,7 @@ std::vector<std::unique_ptr<net::PhoneAgent>> start_agents(std::uint16_t port, i
     // Heterogeneous-ish fleet, paced so pieces take long enough for
     // keep-alive ticks and retry timers to actually engage.
     pc.cpu_mhz = 600.0 + 200.0 * static_cast<double>(i % 4);
+    pc.zone = i / 2;  // two agents per "house", so pod keying has structure
     pc.emulated_compute_ms_per_kb =
         options.compute_ms_per_kb * ((i == 0 && options.slow_phone) ? 10.0 : 1.0);
     pc.step_bytes = 8 * 1024;
@@ -195,8 +212,8 @@ std::vector<std::unique_ptr<net::PhoneAgent>> start_agents(std::uint16_t port, i
 /// whatever the caller armed (or disarmed) beforehand.
 RunResult run_once(const std::vector<JobSpec>& jobs, int phones, const RunOptions& options,
                    std::uint64_t input_seed, const tasks::TaskRegistry& registry) {
-  net::CwcServer server(std::make_unique<core::GreedyScheduler>(), core::paper_prediction(),
-                        &registry, chaos_config(options));
+  net::CwcServer server(chaos_scheduler(options), core::paper_prediction(), &registry,
+                        chaos_config(options));
 
   // Identical inputs every run: the generator Rng restarts from input_seed.
   Rng rng(input_seed);
@@ -252,8 +269,8 @@ RunResult run_restart(const std::vector<JobSpec>& jobs, int phones, const RunOpt
   // empty replay caches) finish whatever the first server left behind.
   RunOptions second = options;
   second.journal_path = journal + ".2";
-  net::CwcServer server(std::make_unique<core::GreedyScheduler>(), core::paper_prediction(),
-                        &registry, chaos_config(second));
+  net::CwcServer server(chaos_scheduler(second), core::paper_prediction(), &registry,
+                        chaos_config(second));
   std::map<JobId, JobId> mapping;
   try {
     mapping = server.recover_from(journal);
@@ -349,7 +366,7 @@ void print_fires() {
 int main(int argc, char** argv) {
   const Flags flags = Flags::parse(argc, argv);
   const auto unknown = flags.unknown({"phones", "jobs", "spec", "seed", "timeout-s",
-                                      "speculation", "straggler-factor", "restart",
+                                      "speculation", "straggler-factor", "restart", "pods",
                                       "metrics-out", "trace-out", "verbose", "help"});
   if (!unknown.empty() || flags.get_bool("help")) {
     for (const auto& flag : unknown) std::fprintf(stderr, "unknown flag: --%s\n", flag.c_str());
@@ -372,6 +389,18 @@ int main(int argc, char** argv) {
   options.speculation = flags.get("speculation", "on") == "on";
   options.straggler_factor = flags.get_double("straggler-factor", 2.0);
   options.slow_phone = options.speculation;
+  if (flags.has("pods")) {
+    options.use_pods = true;
+    const std::string pods = flags.get("pods", "auto");
+    if (pods != "auto") {
+      const int n = std::stoi(pods);
+      if (n <= 0) {
+        std::fputs("cwc_chaos: --pods must be 'auto' or a positive count\n", stderr);
+        return 2;
+      }
+      options.pods = static_cast<std::size_t>(n);
+    }
+  }
   const bool restart_leg = flags.get("restart", "on") == "on";
   const int total_legs = restart_leg ? 4 : 3;
 
@@ -412,6 +441,9 @@ int main(int argc, char** argv) {
   std::fflush(stdout);
   RunOptions reference_options = options;
   reference_options.speculation = false;
+  // The reference always packs flat, so a --pods storm doubles as a live
+  // pods-vs-flat differential: results must byte-match across schedulers.
+  reference_options.use_pods = false;
   const RunResult reference = run_once(jobs, phones, reference_options, kInputSeed, registry);
   if (!reference.completed) {
     std::fputs("cwc_chaos: fault-free reference run did not complete — the live "

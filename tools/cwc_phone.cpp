@@ -29,6 +29,8 @@ constexpr const char* kUsage = R"(cwc_phone: a CWC phone agent
   --id=N                 phone id reported at registration (default 0)
   --mhz=N                CPU clock reported at registration (default 1000)
   --ram-mb=N             RAM reported at registration (default 1024)
+  --zone=N               locality zone (house/site) reported at registration
+                         (default 0; the pod packer groups phones by zone)
   --compute-ms-per-kb=X  emulate a slower CPU (default 0 = host speed)
   --link-kbps=X          emulate a slower link (default 0 = full speed)
   --unplug-after-s=N     simulate the owner unplugging after N seconds
@@ -41,7 +43,7 @@ constexpr const char* kUsage = R"(cwc_phone: a CWC phone agent
 
 int main(int argc, char** argv) {
   const Flags flags = Flags::parse(argc, argv);
-  const auto unknown = flags.unknown({"host", "port", "id", "mhz", "ram-mb",
+  const auto unknown = flags.unknown({"host", "port", "id", "mhz", "ram-mb", "zone",
                                       "compute-ms-per-kb", "link-kbps", "unplug-after-s",
                                       "offline", "replug-after-s", "max-reconnects", "verbose",
                                       "help"});
@@ -57,6 +59,7 @@ int main(int argc, char** argv) {
   config.id = static_cast<PhoneId>(flags.get_int("id", 0));
   config.cpu_mhz = flags.get_double("mhz", 1000.0);
   config.ram_kb = megabytes(flags.get_double("ram-mb", 1024.0));
+  config.zone = static_cast<std::int32_t>(flags.get_int("zone", 0));
   config.emulated_compute_ms_per_kb = flags.get_double("compute-ms-per-kb", 0.0);
   config.emulated_link_kbps = flags.get_double("link-kbps", 0.0);
   config.max_reconnects = static_cast<int>(flags.get_int("max-reconnects", 5));

@@ -23,6 +23,7 @@
 #include "common/rng.h"
 #include "common/strings.h"
 #include "core/greedy.h"
+#include "core/pod_packing.h"
 #include "core/testbed.h"
 #include "net/server.h"
 #include "obs/fault_obs.h"
@@ -50,6 +51,9 @@ constexpr const char* kUsage = R"(cwc_server: the CWC central server
   --generate=SPEC      generate a synthetic job: NAME:KB (repeatable via commas)
                        NAME in {prime-count, word-count:error,
                        log-scan:disk failure, sales-aggregate, photo-blur}
+  --pods=auto|N        hierarchical pod packing: partition the fleet into N
+                       pods (auto = one pod per 128 schedulable phones) and
+                       pack them concurrently (default: flat greedy packing)
   --keepalive-ms=N     keep-alive period (default 5000, 3 misses tolerated)
   --assign-retry-ms=N  re-deliver unreported assignments after N ms,
                        doubling per retry (default 0 = never)
@@ -120,7 +124,7 @@ int main(int argc, char** argv) {
   const Flags flags = Flags::parse(argc, argv);
   const auto unknown =
       flags.unknown({"port", "bind-all", "phones", "timeout-s", "task", "input", "generate",
-                     "keepalive-ms", "assign-retry-ms", "speculation", "straggler-factor",
+                     "pods", "keepalive-ms", "assign-retry-ms", "speculation", "straggler-factor",
                      "spec-fraction", "health-alpha", "health-quarantine",
                      "health-parole-ticks", "fault-spec", "fault-seed", "metrics-out",
                      "trace-out", "verbose", "help"});
@@ -159,8 +163,23 @@ int main(int argc, char** argv) {
     std::printf("fault injection armed: %s (seed %lld)\n", flags.get("fault-spec").c_str(),
                 static_cast<long long>(flags.get_int("fault-seed", 1)));
   }
-  net::CwcServer server(std::make_unique<core::GreedyScheduler>(), core::paper_prediction(),
-                        &registry, config);
+  std::unique_ptr<core::Scheduler> scheduler;
+  if (flags.has("pods")) {
+    core::PodPackingScheduler::Options pod_options;
+    const std::string pods = flags.get("pods", "auto");
+    if (pods != "auto") {
+      const int n = std::stoi(pods);
+      if (n <= 0) {
+        std::fprintf(stderr, "--pods must be 'auto' or a positive count\n");
+        return 2;
+      }
+      pod_options.pods = static_cast<std::size_t>(n);
+    }
+    scheduler = std::make_unique<core::PodPackingScheduler>(pod_options);
+  } else {
+    scheduler = std::make_unique<core::GreedyScheduler>();
+  }
+  net::CwcServer server(std::move(scheduler), core::paper_prediction(), &registry, config);
 
   // Stop cleanly on Ctrl-C / kill so telemetry and traces still flush.
   struct sigaction sa = {};

@@ -17,10 +17,12 @@
 #include "obs/trace_export.h"
 #include "core/failure_aware.h"
 #include "core/greedy.h"
+#include "core/pod_packing.h"
 #include "core/testbed.h"
 #include "obs/metrics.h"
 #include "sim/churn.h"
 #include "sim/energy.h"
+#include "sim/fleet.h"
 #include "sim/simulator.h"
 #include "sim/timeline_svg.h"
 
@@ -28,7 +30,11 @@ using namespace cwc;
 
 namespace {
 constexpr const char* kUsage = R"(cwc_sim: CWC testbed simulator
-  --scheduler=NAME     cwc-greedy (default) | equal-split | round-robin | lpt
+  --scheduler=NAME     cwc-greedy (default) | cwc-pods | equal-split |
+                       round-robin | lpt
+  --pods=auto|N        hierarchical pod packing: partition the fleet into N
+                       pods (auto = one pod per 128 schedulable phones) and
+                       pack them concurrently. Implies --scheduler=cwc-pods.
   --phones=N           fleet size, cycling the 18-phone testbed (default 18)
   --scale=X            workload scale; 1.0 = the paper's 150-task batch (default 1.0)
   --unplugs=N          unplug N random phones mid-run (online failures)
@@ -53,7 +59,20 @@ constexpr const char* kUsage = R"(cwc_sim: CWC testbed simulator
   --verbose            info-level logging
 )";
 
-std::unique_ptr<core::Scheduler> make_scheduler(const std::string& name) {
+std::unique_ptr<core::Scheduler> make_scheduler(const std::string& name,
+                                                const std::string& pods) {
+  if (!pods.empty() || name == "cwc-pods") {
+    if (!pods.empty() && name != "cwc-greedy" && name != "cwc-pods") {
+      throw std::invalid_argument("--pods only applies to the cwc scheduler, not " + name);
+    }
+    core::PodPackingScheduler::Options options;
+    if (!pods.empty() && pods != "auto") {
+      const int n = std::stoi(pods);
+      if (n <= 0) throw std::invalid_argument("--pods must be 'auto' or a positive count");
+      options.pods = static_cast<std::size_t>(n);
+    }
+    return std::make_unique<core::PodPackingScheduler>(options);
+  }
   if (name == "cwc-greedy") return std::make_unique<core::GreedyScheduler>();
   if (name == "equal-split") return std::make_unique<core::EqualSplitScheduler>();
   if (name == "round-robin") return std::make_unique<core::RoundRobinScheduler>();
@@ -64,7 +83,7 @@ std::unique_ptr<core::Scheduler> make_scheduler(const std::string& name) {
 
 int main(int argc, char** argv) {
   const Flags flags = Flags::parse(argc, argv);
-  const auto unknown = flags.unknown({"scheduler", "phones", "scale", "unplugs", "offline",
+  const auto unknown = flags.unknown({"scheduler", "pods", "phones", "scale", "unplugs", "offline",
                                       "churn", "speculation", "straggler-factor",
                                       "spec-fraction", "health-alpha", "health-quarantine",
                                       "health-parole-ticks", "seed", "svg", "metrics-out",
@@ -78,14 +97,8 @@ int main(int argc, char** argv) {
 
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
   Rng rng(seed);
-  auto phones = core::paper_testbed(rng);
   const auto fleet = static_cast<std::size_t>(flags.get_int("phones", 18));
-  while (phones.size() < fleet) {
-    core::PhoneSpec clone = phones[phones.size() % 18];
-    clone.id = static_cast<PhoneId>(phones.size());
-    phones.push_back(clone);
-  }
-  phones.resize(fleet);
+  auto phones = sim::scaled_fleet(rng, std::max<std::size_t>(fleet, 1));
 
   std::vector<sim::ChurnSpec> churn;
   try {
@@ -104,8 +117,10 @@ int main(int argc, char** argv) {
   options.health.alpha = flags.get_double("health-alpha", 0.3);
   options.health.quarantine_threshold = flags.get_double("health-quarantine", 0.8);
   options.health.parole_after_ticks = static_cast<int>(flags.get_int("health-parole-ticks", 3));
-  sim::TestbedSimulation simulation(make_scheduler(flags.get("scheduler", "cwc-greedy")),
-                                    core::paper_prediction(), phones, options, seed);
+  auto scheduler = make_scheduler(flags.get("scheduler", "cwc-greedy"), flags.get("pods"));
+  const std::string scheduler_name = scheduler->name();
+  sim::TestbedSimulation simulation(std::move(scheduler), core::paper_prediction(), phones,
+                                    options, seed);
 
   Rng workload_rng = rng.fork();
   const double scale = flags.get_double("scale", 1.0);
@@ -129,8 +144,8 @@ int main(int argc, char** argv) {
   }
 
   const sim::SimResult result = simulation.run();
-  std::printf("\nscheduler: %s | %zu phones | %zu jobs (scale %.2f)\n",
-              flags.get("scheduler", "cwc-greedy").c_str(), phones.size(), jobs.size(), scale);
+  std::printf("\nscheduler: %s | %zu phones | %zu jobs (scale %.2f)\n", scheduler_name.c_str(),
+              phones.size(), jobs.size(), scale);
   std::printf("completed: %s\n", result.completed ? "yes" : "NO (max sim time reached)");
   std::printf("makespan:  %.1f s (predicted %.1f s)\n", to_seconds(result.makespan),
               to_seconds(result.predicted_makespan));

@@ -21,7 +21,7 @@ cd "$(dirname "$0")/.."
 REPO_ROOT="$(pwd)"
 RECORD="${REPO_ROOT}/BENCH_scheduler.json"
 MODE="${1:-check}"
-FILTER='BM_Greedy|BM_SinglePacking|BM_PreparedPacking|BM_PrepareProblem'
+FILTER='BM_Greedy|BM_SinglePacking|BM_PreparedPacking|BM_PrepareProblem|BM_PodBuild'
 # Older google-benchmark releases reject a unit suffix on min_time.
 MIN_TIME="${CWC_BENCH_MIN_TIME:-0.2}"
 
@@ -168,6 +168,19 @@ if health_off and health_on:
     print(f"health-scoring bound-path overhead:     {overhead:+.2%} "
           f"(gate {HEALTH_THRESHOLD:.0%}) {verdict}")
     if overhead > HEALTH_THRESHOLD:
+        failed = True
+
+# Pod-build wall-time gate: an absolute budget, not a relative one. The
+# hierarchical packer's whole reason to exist is holding the 512/2048 build
+# well under the flat packer's seconds-long wall; if it creeps toward that
+# budget, the decomposition has rotted regardless of what was recorded.
+POD_BUDGET_MS = 500.0
+pod = floor.get("BM_PodBuild/512/2048")
+if pod is not None:
+    verdict = "OK" if pod <= POD_BUDGET_MS else "<< REGRESSION"
+    print(f"pod build 512/2048 wall time: {pod:.1f} ms "
+          f"(absolute budget {POD_BUDGET_MS:.0f} ms) {verdict}")
+    if pod > POD_BUDGET_MS:
         failed = True
 
 if failed:
