@@ -15,6 +15,7 @@
 #include "core/testbed.h"
 #include "lp/simplex.h"
 #include "obs/trace.h"
+#include "sim/simulator.h"
 
 namespace {
 
@@ -294,6 +295,45 @@ void BM_LpRelaxation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LpRelaxation)->Args({6, 30})->Args({18, 150})->Unit(benchmark::kMillisecond);
+
+// Repeat-campaign shipping: the same batch simulated twice with phone
+// chunk caches persisting in between. ship_kb_batch1/2 are the bytes that
+// crossed the links per batch; ship_reduction = batch1/batch2 is gated
+// >= 3x in tools/run_benches.sh. Locality routing is off so the second
+// batch replays the first's deterministic schedule and the counter
+// isolates the content-cache dedup (the routing win has its own sim-test
+// gate in tests/sim/locality_test.cc).
+void BM_ShipBytesRepeat(benchmark::State& state) {
+  double first = 0.0;
+  double second = 0.0;
+  for (auto _ : state) {
+    sim::FleetChunkState chunks;
+    for (int batch = 0; batch < 2; ++batch) {
+      Rng fleet_rng(7);
+      sim::SimOptions options;
+      options.scheduling_period = seconds(120.0);
+      options.chunk_kb = 64.0;
+      options.cache_mb = 64.0;
+      options.locality_aware = false;
+      sim::TestbedSimulation simulation(std::make_unique<core::GreedyScheduler>(),
+                                        core::paper_prediction(),
+                                        core::paper_testbed(fleet_rng), options, 42);
+      simulation.share_chunk_state(&chunks);
+      Rng workload_rng(13);
+      for (const auto& job : core::paper_workload(workload_rng, 0.1)) {
+        simulation.submit(job);
+      }
+      const sim::SimResult result = simulation.run();
+      (batch == 0 ? first : second) = result.shipped_kb;
+      benchmark::DoNotOptimize(result.makespan);
+    }
+  }
+  state.counters["ship_kb_batch1"] = first;
+  state.counters["ship_kb_batch2"] = second;
+  state.counters["ship_reduction"] = second > 0.0 ? first / second : 0.0;
+  state.SetLabel("18 phones, identical batch x2, caches persist");
+}
+BENCHMARK(BM_ShipBytesRepeat)->Unit(benchmark::kMillisecond);
 
 void BM_PredictionPredict(benchmark::State& state) {
   const auto instance = make_instance(18, 150);

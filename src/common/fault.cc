@@ -18,6 +18,7 @@ constexpr const char* kPointNames[kFaultPointCount] = {
     "assign_piece",     // kAssignPiece
     "report_handling",  // kReportHandling
     "scheduler_pack",   // kSchedulerPack
+    "chunk_cache",      // kChunkCache
 };
 
 [[noreturn]] void spec_error(const std::string& rule, const std::string& why) {

@@ -54,9 +54,10 @@ enum class FaultPoint : std::uint8_t {
   kAssignPiece,        ///< CwcServer::assign_next_piece, before the send
   kReportHandling,     ///< CwcServer::on_complete / on_failed, on entry
   kSchedulerPack,      ///< GreedyScheduler::pack_with_capacity, per probe
+  kChunkCache,         ///< chunk-cache lookup (corrupt = bit-rotted entry)
 };
 inline constexpr std::size_t kFaultPointCount =
-    static_cast<std::size_t>(FaultPoint::kSchedulerPack) + 1;
+    static_cast<std::size_t>(FaultPoint::kChunkCache) + 1;
 
 /// Stable machine name ("socket_write", ...).
 const char* fault_point_name(FaultPoint point);

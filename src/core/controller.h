@@ -145,6 +145,11 @@ class CwcController {
   const PredictionModel& prediction() const { return prediction_; }
   const Scheduler& scheduler() const { return *scheduler_; }
 
+  /// Forwards a data-locality source (core/locality.h) to the scheduler;
+  /// the substrate owning the chunk directories calls this once at setup.
+  /// The provider must outlive the controller.
+  void bind_locality(const LocalityProvider* locality) { scheduler_->bind_locality(locality); }
+
   // --- Phone health ---------------------------------------------------------
   /// Live health scores and quarantine state. Substrates report the
   /// signals the controller cannot see itself (keep-alive miss streaks,

@@ -59,6 +59,11 @@ class FailureAwareScheduler final : public Scheduler {
   /// (the phone survives the window only if neither hazard fires).
   void bind_health(const HealthProvider* health) override { health_ = health; }
 
+  /// Locality is orthogonal to risk: forward it to the base scheduler.
+  void bind_locality(const LocalityProvider* locality) override {
+    base_->bind_locality(locality);
+  }
+
   /// Static charging-profile risk only (the a-priori half).
   double risk_of(PhoneId phone) const;
   /// Static risk blended with the bound health provider's live score.

@@ -12,6 +12,7 @@
 #include <unordered_map>
 
 #include "common/fault.h"
+#include "core/locality.h"
 #include "obs/metrics.h"
 #include "obs/timer.h"
 #include "obs/trace.h"
@@ -68,16 +69,28 @@ Fit compute_fit(const PackProblem& p, Millis capacity, Kilobytes min_partition,
   const PhoneSpec& phone = (*p.phones)[phone_index];
   const MsPerKb c_ij = p.c(job_index, phone_index);
   const bool has_piece = placed_kb >= 0.0;
-  const Millis exec_cost = has_piece ? 0.0 : job.exec_kb * phone.b;
-  const Millis available = capacity - bin_height - exec_cost;
+  // One-time cost owed on the first placement of this job in this bin: the
+  // executable ship minus any cached-bytes credit (first_ms; negative when
+  // the phone holds input chunks). Without a bound LocalityProvider the
+  // matrix is empty and this is exactly the old exec_kb * b_i.
+  const Millis first =
+      has_piece ? 0.0
+                : (p.first_ms.empty() ? job.exec_kb * phone.b
+                                      : p.first_ms[job_index * p.phones->size() + phone_index]);
+  const Millis available = capacity - bin_height;
   const Kilobytes existing_kb = has_piece ? placed_kb : 0.0;
   const Kilobytes ram_room = phone.ram_kb - existing_kb;
 
   Fit fit;
-  if (available < -kEps || ram_room <= kEps) return fit;
+  if (available - first < -kEps || ram_room <= kEps) return fit;
   const double per_kb = phone.b + c_ij;
-  const Kilobytes max_by_time = per_kb > 0.0 ? available / per_kb
-                                             : std::numeric_limits<double>::infinity();
+  // Placement cost is max(amount * c_ij, first + amount * per_kb): the
+  // credit discounts transfer, never compute, so a bin's height still only
+  // grows (the memo/open-order invariants depend on that). Both linear
+  // pieces must fit under the remaining capacity.
+  Kilobytes max_by_time = std::numeric_limits<double>::infinity();
+  if (c_ij > 0.0) max_by_time = std::min(max_by_time, available / c_ij);
+  if (per_kb > 0.0) max_by_time = std::min(max_by_time, (available - first) / per_kb);
   const Kilobytes max_amount = std::min({remaining, max_by_time, ram_room});
 
   if (job.kind == JobKind::kAtomic) {
@@ -92,7 +105,7 @@ Fit compute_fit(const PackProblem& p, Millis capacity, Kilobytes min_partition,
     fit.fits = true;
     fit.amount = std::min(remaining, max_amount);
   }
-  fit.cost = exec_cost + fit.amount * per_kb;
+  fit.cost = std::max(fit.amount * c_ij, first + fit.amount * per_kb);
   return fit;
 }
 
@@ -122,6 +135,22 @@ GreedyScheduler::PackProblem GreedyScheduler::prepare(const std::vector<JobSpec>
   for (std::size_t j = 0; j < jobs.size(); ++j) {
     const std::vector<MsPerKb>& row = task_rows.at(jobs[j].task_name);
     std::copy(row.begin(), row.end(), p.cost.begin() + static_cast<std::ptrdiff_t>(j * phones.size()));
+  }
+
+  // Cached-bytes credit (locality.h): first-placement cost per (job, phone)
+  // = exec ship minus cached KB, clamped to the job's total bytes. Negative
+  // values mean cached *input* chunks subsidize the first partition placed
+  // there. Locality-blind builds skip the allocation entirely.
+  if (locality_ != nullptr) {
+    p.first_ms.resize(jobs.size() * phones.size());
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      for (std::size_t i = 0; i < phones.size(); ++i) {
+        const Kilobytes credit =
+            std::min(std::max(0.0, locality_->cached_kb(jobs[j].id, phones[i].id)),
+                     jobs[j].exec_kb + jobs[j].input_kb);
+        p.first_ms[j * phones.size() + i] = (jobs[j].exec_kb - credit) * phones[i].b;
+      }
+    }
   }
 
   if (!phones.empty()) {
@@ -161,7 +190,13 @@ GreedyScheduler::PackProblem GreedyScheduler::prepare(const std::vector<JobSpec>
     for (std::size_t i = 0; i < phones.size(); ++i) {
       const double per_kb = phones[i].b + p.c(j, i);
       bin_total[i] += jobs[j].exec_kb * phones[i].b + jobs[j].input_kb * per_kb;
-      if (per_kb > 0.0) aggregate_rate += 1.0 / per_kb;
+      // A phone holding input chunks of this job (negative first-placement
+      // cost) may transfer part of it for free, so the magical bin must
+      // assume bandwidth-free service there to stay a valid lower bound.
+      const double per_kb_lb = (!p.first_ms.empty() && p.first_ms[j * phones.size() + i] < 0.0)
+                                   ? p.c(j, i)
+                                   : per_kb;
+      if (per_kb_lb > 0.0) aggregate_rate += 1.0 / per_kb_lb;
     }
     if (aggregate_rate > 0.0) p.lb += jobs[j].input_kb / aggregate_rate;
   }

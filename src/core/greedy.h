@@ -87,6 +87,13 @@ class GreedyScheduler final : public Scheduler {
     /// cost.
     Millis lb = 0.0;
     Millis ub = 0.0;
+    /// Row-major one-time first-placement cost (ms) per (job, phone):
+    /// exec_kb * b_i minus the bound LocalityProvider's cached-bytes credit
+    /// (so it goes *negative* when a phone holds input chunks — input
+    /// locality then out-competes otherwise-equal phones). Empty when no
+    /// provider is bound; the packer falls back to exec_kb * b_i, keeping
+    /// the locality-blind fast path allocation-free and byte-identical.
+    std::vector<Millis> first_ms;
 
     MsPerKb c(std::size_t job, std::size_t phone) const {
       return cost[job * phones->size() + phone];
@@ -101,6 +108,11 @@ class GreedyScheduler final : public Scheduler {
                            const std::vector<PhoneSpec>& phones,
                            const PredictionModel& prediction, const InitialLoad& initial_load,
                            std::optional<Millis> capacity_hint) const override;
+
+  /// Cached-bytes credit: prepare() folds the provider into first_ms (see
+  /// PackProblem), generalizing the executable discount. Null restores the
+  /// locality-blind behaviour.
+  void bind_locality(const LocalityProvider* locality) override { locality_ = locality; }
 
   /// Builds the shared problem: one O(tasks x phones) predict sweep (rows
   /// are shared by jobs of the same task), the item order, and both
@@ -164,6 +176,7 @@ class GreedyScheduler final : public Scheduler {
                                        PartialPack* partial) const;
 
   Options options_;
+  const LocalityProvider* locality_ = nullptr;  ///< not owned; may be null
 };
 
 }  // namespace cwc::core

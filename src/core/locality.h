@@ -1,0 +1,47 @@
+// Data-locality credit for the schedulers — the generalization of the
+// once-per-phone executable discount to arbitrary cached bytes.
+//
+// A LocalityProvider answers "how many KB of job j's bytes (executable +
+// input chunks) does phone i already hold?". Schedulers that bind one fold
+// the answer into the first-placement cost of PackProblem (see
+// GreedyScheduler::PackProblem::first_ms), so repeat workloads *route* to
+// phones that already hold their data instead of merely shipping less.
+// ChunkLocalityIndex is the concrete provider over the server's (or the
+// simulator's) per-phone ChunkDirectory mirrors and per-job chunk
+// manifests.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/chunk.h"
+#include "core/model.h"
+
+namespace cwc::core {
+
+class LocalityProvider {
+ public:
+  virtual ~LocalityProvider() = default;
+  /// KB of `job`'s content (executable + input chunks) already cached on
+  /// `phone`. 0 for unknown jobs/phones — the locality-blind default.
+  virtual Kilobytes cached_kb(JobId job, PhoneId phone) const = 0;
+};
+
+/// Concrete provider: per-job chunk manifests intersected with non-owning
+/// per-phone ChunkDirectory views. Registered directories must outlive the
+/// index (the server/simulator own both).
+class ChunkLocalityIndex final : public LocalityProvider {
+ public:
+  void set_manifest(JobId job, std::vector<ChunkId> chunks);
+  void clear_manifest(JobId job);
+  void attach_directory(PhoneId phone, const ChunkDirectory* directory);
+  void detach_directory(PhoneId phone);
+
+  Kilobytes cached_kb(JobId job, PhoneId phone) const override;
+
+ private:
+  std::map<JobId, std::vector<ChunkId>> manifests_;
+  std::map<PhoneId, const ChunkDirectory*> directories_;
+};
+
+}  // namespace cwc::core

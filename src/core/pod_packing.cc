@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "core/health.h"
+#include "core/locality.h"
 #include "core/relaxation.h"
 #include "obs/metrics.h"
 #include "obs/timer.h"
@@ -214,8 +215,18 @@ PodPackingScheduler::PodLayout PodPackingScheduler::make_layout(
       for (std::size_t p = 0; p < P; ++p) {
         for (const std::size_t g : layout.phone_indices[p]) {
           if (phones[g].ram_kb + kEps < job.input_kb) continue;
-          const double cost =
-              job.exec_kb * phones[g].b + job.input_kb * (phones[g].b + row[g]);
+          // Cached-bytes credit on the one-time transfer, mirroring
+          // GreedyScheduler's first_ms: a phone already holding the bytes
+          // wins the LPT placement, never below the pure compute cost.
+          Millis first = job.exec_kb * phones[g].b;
+          if (locality_ != nullptr) {
+            const Kilobytes credit =
+                std::min(std::max(0.0, locality_->cached_kb(job.id, phones[g].id)),
+                         job.exec_kb + job.input_kb);
+            first = (job.exec_kb - credit) * phones[g].b;
+          }
+          const double cost = std::max(job.input_kb * row[g],
+                                       first + job.input_kb * (phones[g].b + row[g]));
           const double finish = phone_proj[g] + cost;
           if (finish < best_finish || (finish == best_finish && g < best_g)) {
             best_g = g;
@@ -399,7 +410,7 @@ Schedule PodPackingScheduler::build_diagnosed(const std::vector<JobSpec>& jobs,
       lp::SolverOptions solver;
       solver.max_iterations = options_.lp_bound_max_iterations;
       const RelaxationResult relaxed =
-          relaxed_lower_bound(pod.jobs, pod.phones, prediction, solver);
+          relaxed_lower_bound(pod.jobs, pod.phones, prediction, solver, locality_);
       if (relaxed.solved) {
         lp_solved[p] = 1;
         if (relaxed.makespan > pod.lb) {

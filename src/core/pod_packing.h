@@ -122,6 +122,15 @@ class PodPackingScheduler final : public Scheduler {
   /// controller's parole valve needs probe pieces to flow).
   void bind_health(const HealthProvider* health) override { health_ = health; }
 
+  /// Locality flows three ways: into the inner per-pod packer (credit in
+  /// each pod's PackProblem), into the atomic-job LPT routing (a warm phone
+  /// wins the tie), and into the per-pod LP bounds (conservative credit so
+  /// pruning stays valid).
+  void bind_locality(const LocalityProvider* locality) override {
+    locality_ = locality;
+    inner_.bind_locality(locality);
+  }
+
   /// The partition a build would use — pool filtering, pod keying, job
   /// shares — without packing anything. Exposed for the differential,
   /// property, and LP-bound suites.
@@ -158,6 +167,7 @@ class PodPackingScheduler final : public Scheduler {
   Options options_;
   GreedyScheduler inner_;
   const HealthProvider* health_ = nullptr;
+  const LocalityProvider* locality_ = nullptr;
 };
 
 }  // namespace cwc::core

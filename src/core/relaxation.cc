@@ -1,7 +1,9 @@
 #include "core/relaxation.h"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "core/locality.h"
 #include "lp/simplex.h"
 
 namespace cwc::core {
@@ -9,6 +11,13 @@ namespace cwc::core {
 lp::Problem build_relaxation(const std::vector<JobSpec>& jobs,
                              const std::vector<PhoneSpec>& phones,
                              const PredictionModel& prediction) {
+  return build_relaxation(jobs, phones, prediction, nullptr);
+}
+
+lp::Problem build_relaxation(const std::vector<JobSpec>& jobs,
+                             const std::vector<PhoneSpec>& phones,
+                             const PredictionModel& prediction,
+                             const LocalityProvider* locality) {
   if (phones.empty()) throw std::invalid_argument("build_relaxation: no phones");
   lp::Problem problem;
   problem.reserve(1 + jobs.size() * phones.size(), jobs.size() + phones.size());
@@ -31,8 +40,19 @@ lp::Problem build_relaxation(const std::vector<JobSpec>& jobs,
     for (std::size_t j = 0; j < jobs.size(); ++j) {
       if (jobs[j].input_kb <= 0.0) continue;
       const MsPerKb c_ij = prediction.predict(jobs[j].task_name, phones[i]);
-      const double weight =
-          jobs[j].exec_kb * phones[i].b / jobs[j].input_kb + phones[i].b + c_ij;
+      // Cached-bytes credit (locality.h): cached executable bytes shrink
+      // the amortized exec term; once the credit spills into *input* bytes
+      // the bandwidth term is dropped outright for this pair. The flat
+      // part of an input credit cannot be expressed per-KB without risking
+      // an overestimate, and a lower bound must only ever shrink.
+      double exec_kb = jobs[j].exec_kb;
+      double bandwidth = phones[i].b;
+      if (locality != nullptr) {
+        const Kilobytes credit = std::max(0.0, locality->cached_kb(jobs[j].id, phones[i].id));
+        if (credit > exec_kb) bandwidth = 0.0;
+        exec_kb = std::max(0.0, exec_kb - credit);
+      }
+      const double weight = exec_kb * phones[i].b / jobs[j].input_kb + bandwidth + c_ij;
       terms.emplace_back(l[j][i], weight);
     }
     terms.emplace_back(T, -1.0);
@@ -59,7 +79,15 @@ RelaxationResult relaxed_lower_bound(const std::vector<JobSpec>& jobs,
                                      const std::vector<PhoneSpec>& phones,
                                      const PredictionModel& prediction,
                                      const lp::SolverOptions& options) {
-  const lp::Problem problem = build_relaxation(jobs, phones, prediction);
+  return relaxed_lower_bound(jobs, phones, prediction, options, nullptr);
+}
+
+RelaxationResult relaxed_lower_bound(const std::vector<JobSpec>& jobs,
+                                     const std::vector<PhoneSpec>& phones,
+                                     const PredictionModel& prediction,
+                                     const lp::SolverOptions& options,
+                                     const LocalityProvider* locality) {
+  const lp::Problem problem = build_relaxation(jobs, phones, prediction, locality);
   const lp::Solution solution = lp::solve(problem, options);
   RelaxationResult result;
   result.lp_iterations = solution.iterations;

@@ -24,6 +24,8 @@
 
 namespace cwc::core {
 
+class LocalityProvider;  // core/locality.h
+
 struct RelaxationResult {
   bool solved = false;
   Millis makespan = 0.0;        ///< T_relaxed (0 when !solved)
@@ -49,5 +51,20 @@ RelaxationResult relaxed_lower_bound(const std::vector<JobSpec>& jobs,
                                      const std::vector<PhoneSpec>& phones,
                                      const PredictionModel& prediction,
                                      const lp::SolverOptions& options);
+
+/// Locality-aware variants: a bound LocalityProvider's cached-bytes credit
+/// shrinks each pair's cost coefficient conservatively (see the comment at
+/// the credit fold in relaxation.cc), so the relaxation stays a valid lower
+/// bound for locality-aware packers. Null `locality` matches the plain
+/// overloads exactly.
+lp::Problem build_relaxation(const std::vector<JobSpec>& jobs,
+                             const std::vector<PhoneSpec>& phones,
+                             const PredictionModel& prediction,
+                             const LocalityProvider* locality);
+RelaxationResult relaxed_lower_bound(const std::vector<JobSpec>& jobs,
+                                     const std::vector<PhoneSpec>& phones,
+                                     const PredictionModel& prediction,
+                                     const lp::SolverOptions& options,
+                                     const LocalityProvider* locality);
 
 }  // namespace cwc::core

@@ -13,7 +13,8 @@
 
 namespace cwc::core {
 
-class HealthProvider;  // core/health.h
+class HealthProvider;    // core/health.h
+class LocalityProvider;  // core/locality.h
 
 /// Predicted outstanding work (ms) per phone at a scheduling instant.
 /// Used when re-scheduling failed tasks mid-run (Section 5's instant B):
@@ -56,6 +57,12 @@ class Scheduler {
   /// baseline schedulers stay health-blind. The provider must outlive the
   /// scheduler (the CwcController owns both and binds in its constructor).
   virtual void bind_health(const HealthProvider* health) { (void)health; }
+
+  /// Attaches a data-locality source (core/locality.h). Locality-aware
+  /// schedulers credit cached bytes against first-placement cost; the
+  /// default ignores it, so baseline schedulers stay locality-blind. The
+  /// provider must outlive the scheduler.
+  virtual void bind_locality(const LocalityProvider* locality) { (void)locality; }
 };
 
 /// Baseline 1: "splits each breakable job into |P| pieces without

@@ -6,6 +6,7 @@
 #include <cerrno>
 #include <chrono>
 
+#include "common/fault.h"
 #include "common/log.h"
 #include "common/rng.h"
 #include "obs/metrics.h"
@@ -34,7 +35,8 @@ void send_frame(TcpConnection& conn, const Blob& payload) {
 
 PhoneAgent::PhoneAgent(std::uint16_t server_port, PhoneAgentConfig config,
                        const tasks::TaskRegistry* registry)
-    : port_(server_port), config_(config), registry_(registry) {
+    : port_(server_port), config_(config), registry_(registry),
+      chunk_cache_(config.cache_bytes) {
   if (!registry_) throw std::invalid_argument("PhoneAgent: null registry");
   link_kbps_.store(config.emulated_link_kbps);
 }
@@ -181,6 +183,13 @@ bool PhoneAgent::session() {
     reg.cpu_mhz = config_.cpu_mhz;
     reg.ram_kb = config_.ram_kb;
     reg.zone = config_.zone;
+    if (chunk_cache_.enabled()) {
+      // Advertise what survived (this process's) previous sessions so the
+      // server's directory mirror resyncs to reality, oldest first so its
+      // LRU replay converges on the same eviction order.
+      reg.cache_budget_bytes = chunk_cache_.budget();
+      reg.cache_manifest = chunk_cache_.ids_oldest_first();
+    }
     send_frame(conn, encode(reg));
 
     const auto ack_frame = next_frame(conn, decoder, config_.rpc_timeout);
@@ -304,8 +313,110 @@ void PhoneAgent::handle_probe(TcpConnection& conn, FrameDecoder& decoder,
   send_frame(conn, encode(report));
 }
 
+bool PhoneAgent::reconstruct_chunks(TcpConnection& conn, AssignPieceMsg& msg) {
+  std::vector<ChunkId> missing;
+  // Bind every referenced chunk to its payload, keyed by its byte offset in
+  // the original blob. Payloads are copied out of the cache immediately:
+  // cache inserts below may rehash/evict, so no pointer into it is held
+  // across iterations.
+  const auto gather = [&](const std::vector<ChunkWire>& chunks, const Blob& wire_payloads)
+      -> std::map<std::uint64_t, Blob> {
+    std::map<std::uint64_t, Blob> by_offset;
+    std::size_t cursor = 0;
+    for (const ChunkWire& chunk : chunks) {
+      const std::size_t size = chunk_size_of(chunk.id);
+      if (chunk.shipped) {
+        if (cursor + size > wire_payloads.size()) {
+          throw SocketError("chunked assignment payload truncated", EPROTO);
+        }
+        Blob payload(wire_payloads.begin() + static_cast<std::ptrdiff_t>(cursor),
+                     wire_payloads.begin() + static_cast<std::ptrdiff_t>(cursor + size));
+        cursor += size;
+        if (!chunk_matches(chunk.id, payload)) {
+          // Torn in transit; ask for it again rather than executing on
+          // corrupt bytes.
+          missing.push_back(chunk.id);
+          continue;
+        }
+        chunk_cache_.insert(chunk.id, payload);
+        by_offset[chunk.offset] = std::move(payload);
+      } else {
+        // The fault point models a bit-rotted cache entry: the corruption
+        // lands *before* the verifying lookup, so find() sees it, evicts,
+        // and reports the chunk absent — the re-fetch path heals it.
+        if (const fault::FaultAction action = fault::check(fault::FaultPoint::kChunkCache)) {
+          if (action.kind == fault::FaultAction::Kind::kDelay) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(action.delay_ms));
+          } else {
+            chunk_cache_.corrupt_for_test(chunk.id);
+          }
+        }
+        if (const std::vector<std::uint8_t>* payload = chunk_cache_.find(chunk.id)) {
+          by_offset[chunk.offset] = *payload;
+        } else {
+          missing.push_back(chunk.id);
+        }
+      }
+    }
+    return by_offset;
+  };
+
+  const auto exec_chunks = gather(msg.exec_chunks, msg.executable);
+  const auto input_chunks = gather(msg.input_chunks, msg.input);
+
+  if (!missing.empty()) {
+    ChunkRequestMsg request;
+    request.piece_seq = msg.piece_seq;
+    request.piece = msg.trace_piece;
+    request.attempt = msg.trace_attempt;
+    request.missing = std::move(missing);
+    ++chunk_refetches_;
+    obs::counter("net.agent.chunk_refetches").inc();
+    log_info("agent") << "phone " << config_.id << " missing " << request.missing.size()
+                      << " chunks for piece " << msg.trace_piece << "; requesting re-ship";
+    send_frame(conn, encode(request));
+    return false;
+  }
+
+  // Splices a byte range of the original blob out of its covering chunks
+  // (the map key at or below `pos` owns that position).
+  const auto splice = [](const std::map<std::uint64_t, Blob>& by_offset, std::uint64_t begin,
+                         std::uint64_t end, Blob& out) {
+    std::uint64_t pos = begin;
+    while (pos < end) {
+      auto it = by_offset.upper_bound(pos);
+      if (it == by_offset.begin()) throw SocketError("chunked assignment has a gap", EPROTO);
+      --it;
+      const std::uint64_t off = it->first;
+      const Blob& payload = it->second;
+      if (pos >= off + payload.size()) {
+        throw SocketError("chunked assignment has a gap", EPROTO);
+      }
+      const std::uint64_t take_end = std::min<std::uint64_t>(end, off + payload.size());
+      out.insert(out.end(), payload.begin() + static_cast<std::ptrdiff_t>(pos - off),
+                 payload.begin() + static_cast<std::ptrdiff_t>(take_end - off));
+      pos = take_end;
+    }
+  };
+
+  if (!msg.exec_chunks.empty()) {
+    Blob executable;
+    for (const auto& [offset, payload] : exec_chunks) {
+      executable.insert(executable.end(), payload.begin(), payload.end());
+    }
+    msg.executable = std::move(executable);
+  }
+  Blob input;
+  for (const auto& [begin, end] : msg.input_fragments) {
+    splice(input_chunks, begin, end, input);
+  }
+  msg.input = std::move(input);
+  return true;
+}
+
 void PhoneAgent::handle_assignment(TcpConnection& conn, FrameDecoder& decoder,
-                                   const AssignPieceMsg& assignment) {
+                                   AssignPieceMsg assignment) {
   // Idempotent re-delivery: if this (piece, attempt) already completed —
   // the server retried because the assignment frame or our report was
   // lost — replay the cached report instead of executing twice.
@@ -357,6 +468,13 @@ void PhoneAgent::handle_assignment(TcpConnection& conn, FrameDecoder& decoder,
   pace_link(assignment.executable.size() + assignment.input.size(), conn, decoder);
   emit(obs::TraceEventType::kPieceShipped, ship_start, obs::trace_now(),
        static_cast<double>(assignment.input.size()) / 1024.0);
+
+  // Chunked shipping: the blobs so far carry only the chunks the server's
+  // directory said were missing (which is why the link pacing above sees
+  // only the truly shipped bytes); everything else comes from the cache.
+  if (assignment.chunked && !reconstruct_chunks(conn, assignment)) {
+    return;  // ChunkRequest sent; the re-shipped assignment arrives fresh
+  }
 
   const tasks::TaskFactory* factory = registry_->find(assignment.task_name);
   if (!factory) {

@@ -32,6 +32,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/chunk.h"
 #include "common/types.h"
 #include "net/framing.h"
 #include "net/protocol.h"
@@ -77,6 +78,10 @@ struct PhoneAgentConfig {
   /// module decides the fraction; the agent enforces it by sleeping
   /// (1/duty - 1) x the busy time after each step.
   double duty_cycle = 1.0;
+  /// Byte budget of the content-addressed chunk cache (common/chunk.h),
+  /// kept across jobs and reconnects. 0 disables the cache: the agent
+  /// registers without a budget and the server ships everything whole.
+  std::uint64_t cache_bytes = 0;
 };
 
 class PhoneAgent {
@@ -123,6 +128,7 @@ class PhoneAgent {
   std::size_t pieces_failed() const { return pieces_failed_.load(); }
   std::size_t reports_replayed() const { return reports_replayed_.load(); }
   std::size_t pieces_cancelled() const { return pieces_cancelled_.load(); }
+  std::size_t chunk_refetches() const { return chunk_refetches_.load(); }
   bool finished() const { return finished_.load(); }
 
  private:
@@ -132,7 +138,14 @@ class PhoneAgent {
   bool session();
   void handle_probe(TcpConnection& conn, FrameDecoder& decoder, const ProbeRequestMsg& request);
   void handle_assignment(TcpConnection& conn, FrameDecoder& decoder,
-                         const AssignPieceMsg& assignment);
+                         AssignPieceMsg assignment);
+  /// Re-assembles a chunked assignment's executable and input in place from
+  /// the shipped payloads plus the local cache (every cached chunk is
+  /// CRC-verified at lookup — the kChunkCache fault point corrupts entries
+  /// right before it). Returns false after sending a ChunkRequest when
+  /// chunks the server believed cached are missing or corrupt; the re-sent
+  /// assignment then arrives as a fresh frame with them shipped.
+  bool reconstruct_chunks(TcpConnection& conn, AssignPieceMsg& msg);
   /// Next frame for the main protocol loop: stashed frames first, then a
   /// stop-aware poll/recv loop. Returns nullopt on disconnect, stop, or —
   /// when `deadline_ms` > 0 — after that much wall-clock with no frame.
@@ -162,7 +175,11 @@ class PhoneAgent {
   std::atomic<std::size_t> pieces_failed_{0};
   std::atomic<std::size_t> reports_replayed_{0};
   std::atomic<std::size_t> pieces_cancelled_{0};
+  std::atomic<std::size_t> chunk_refetches_{0};
   std::atomic<bool> finished_{false};
+  /// Content-addressed payload cache, owned by the agent thread but kept on
+  /// the object so it survives reconnects (its manifest re-registers).
+  ChunkCache chunk_cache_;
   std::deque<Blob> stash_;  ///< frames set aside by service_keepalives
   bool session_registered_ = false;  ///< last session reached registration
 

@@ -35,6 +35,9 @@ Blob encode(const RegisterMsg& msg) {
   w.write_f64(msg.cpu_mhz);
   w.write_f64(msg.ram_kb);
   w.write_i32(msg.zone);
+  w.write_u64(msg.cache_budget_bytes);
+  w.write_u32(static_cast<std::uint32_t>(msg.cache_manifest.size()));
+  for (const ChunkId id : msg.cache_manifest) w.write_u64(id);
   return w.take();
 }
 
@@ -46,6 +49,13 @@ RegisterMsg decode_register(const Blob& frame) {
   msg.ram_kb = r.read_f64();
   // Older agents register without a zone; they land in zone 0.
   if (r.remaining() >= 4) msg.zone = r.read_i32();
+  // Older agents have no chunk cache: budget 0 -> full shipping.
+  if (r.remaining() >= 8) msg.cache_budget_bytes = r.read_u64();
+  if (r.remaining() >= 4) {
+    const std::uint32_t count = r.read_u32();
+    msg.cache_manifest.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) msg.cache_manifest.push_back(r.read_u64());
+  }
   return msg;
 }
 
@@ -109,6 +119,26 @@ Blob encode(const AssignPieceMsg& msg) {
   w.write_i32(msg.trace_piece);
   w.write_i32(msg.trace_attempt);
   w.write_i64(msg.trace_instant);
+  // The chunk section is appended only for cache-enabled phones, so frames
+  // to legacy (or cache-less) agents stay byte-identical to the old format.
+  if (msg.chunked) {
+    w.write_u8(1);
+    const auto write_chunks = [&w](const std::vector<ChunkWire>& chunks) {
+      w.write_u32(static_cast<std::uint32_t>(chunks.size()));
+      for (const ChunkWire& chunk : chunks) {
+        w.write_u64(chunk.id);
+        w.write_u64(chunk.offset);
+        w.write_u8(chunk.shipped ? 1 : 0);
+      }
+    };
+    write_chunks(msg.exec_chunks);
+    write_chunks(msg.input_chunks);
+    w.write_u32(static_cast<std::uint32_t>(msg.input_fragments.size()));
+    for (const auto& [begin, end] : msg.input_fragments) {
+      w.write_u64(begin);
+      w.write_u64(end);
+    }
+  }
   return w.take();
 }
 
@@ -125,6 +155,29 @@ AssignPieceMsg decode_assign_piece(const Blob& frame) {
   msg.trace_piece = r.read_i32();
   msg.trace_attempt = r.read_i32();
   msg.trace_instant = r.read_i64();
+  if (r.remaining() >= 1 && r.read_u8() != 0) {
+    msg.chunked = true;
+    const auto read_chunks = [&r](std::vector<ChunkWire>& chunks) {
+      const std::uint32_t count = r.read_u32();
+      chunks.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        ChunkWire chunk;
+        chunk.id = r.read_u64();
+        chunk.offset = r.read_u64();
+        chunk.shipped = r.read_u8() != 0;
+        chunks.push_back(chunk);
+      }
+    };
+    read_chunks(msg.exec_chunks);
+    read_chunks(msg.input_chunks);
+    const std::uint32_t fragments = r.read_u32();
+    msg.input_fragments.reserve(fragments);
+    for (std::uint32_t i = 0; i < fragments; ++i) {
+      const std::uint64_t begin = r.read_u64();
+      const std::uint64_t end = r.read_u64();
+      msg.input_fragments.emplace_back(begin, end);
+    }
+  }
   return msg;
 }
 
@@ -216,6 +269,28 @@ CancelPieceMsg decode_cancel_piece(const Blob& frame) {
   msg.piece_seq = r.read_u32();
   msg.piece = r.read_i32();
   msg.attempt = r.read_i32();
+  return msg;
+}
+
+Blob encode(const ChunkRequestMsg& msg) {
+  BufferWriter w = begin(MsgType::kChunkRequest);
+  w.write_u32(msg.piece_seq);
+  w.write_i32(msg.piece);
+  w.write_i32(msg.attempt);
+  w.write_u32(static_cast<std::uint32_t>(msg.missing.size()));
+  for (const ChunkId id : msg.missing) w.write_u64(id);
+  return w.take();
+}
+
+ChunkRequestMsg decode_chunk_request(const Blob& frame) {
+  BufferReader r = open(frame, MsgType::kChunkRequest);
+  ChunkRequestMsg msg;
+  msg.piece_seq = r.read_u32();
+  msg.piece = r.read_i32();
+  msg.attempt = r.read_i32();
+  const std::uint32_t count = r.read_u32();
+  msg.missing.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) msg.missing.push_back(r.read_u64());
   return msg;
 }
 

@@ -16,9 +16,11 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/buffer.h"
+#include "common/chunk.h"
 #include "common/types.h"
 
 namespace cwc::net {
@@ -39,6 +41,8 @@ enum class MsgType : std::uint8_t {
   kShutdown = 11,      // server -> phone: batch finished, disconnect
   kCancelPiece = 12,   // server -> phone: abandon the in-flight piece (a
                        // speculative twin already completed it)
+  kChunkRequest = 13,  // phone -> server: chunks the assignment said were
+                       // cached are missing/corrupt; re-ship them
 };
 
 /// Type tag of an encoded frame; throws on empty frames.
@@ -51,6 +55,13 @@ struct RegisterMsg {
   /// Declared locality zone (house / cell / site); the pod packer groups
   /// phones sharing an uplink. 0 when absent (agents predating this field).
   std::int32_t zone = 0;
+  /// Chunk-cache byte budget the agent maintains across jobs; 0 when the
+  /// cache is disabled *or* the agent predates content-addressed shipping —
+  /// either way the server falls back to full shipping.
+  std::uint64_t cache_budget_bytes = 0;
+  /// Cached chunk ids, oldest first, advertised so the server's per-phone
+  /// directory resyncs to the cache that survived the reconnect.
+  std::vector<ChunkId> cache_manifest;
 };
 Blob encode(const RegisterMsg& msg);
 RegisterMsg decode_register(const Blob& frame);
@@ -84,6 +95,16 @@ struct ProbeReportMsg {
 Blob encode(const ProbeReportMsg& msg);
 ProbeReportMsg decode_probe_report(const Blob& frame);
 
+/// One grid chunk referenced by a chunked assignment: its content id, its
+/// byte offset in the blob it came from (the synthesized executable, or the
+/// *original* job input for input chunks), and whether its payload rides in
+/// this frame (shipped) or is expected in the phone's cache.
+struct ChunkWire {
+  ChunkId id = 0;
+  std::uint64_t offset = 0;
+  bool shipped = false;
+};
+
 struct AssignPieceMsg {
   JobId job = kInvalidJob;
   std::uint32_t piece_seq = 0;       ///< echoed back in reports
@@ -99,6 +120,19 @@ struct AssignPieceMsg {
   std::int32_t trace_piece = -1;     ///< controller piece id
   std::int32_t trace_attempt = -1;   ///< job failure count at placement
   std::int64_t trace_instant = -1;   ///< scheduling instant that placed it
+  /// Content-addressed shipping (common/chunk.h), used only for phones that
+  /// registered a cache budget. When set, `executable`/`input` carry ONLY
+  /// the shipped chunks' payloads (concatenated in manifest order); the
+  /// full executable is the exec_chunks grid, and the input slice is
+  /// re-assembled by walking input_fragments over the input_chunks grid.
+  /// Legacy decoders never see these trailing fields and legacy frames
+  /// (chunked == false) are byte-identical to the pre-chunk format.
+  bool chunked = false;
+  std::vector<ChunkWire> exec_chunks;
+  std::vector<ChunkWire> input_chunks;
+  /// [begin, end) byte ranges of the original job input forming the slice,
+  /// in slice order.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> input_fragments;
 };
 Blob encode(const AssignPieceMsg& msg);
 AssignPieceMsg decode_assign_piece(const Blob& frame);
@@ -153,5 +187,19 @@ struct CancelPieceMsg {
 };
 Blob encode(const CancelPieceMsg& msg);
 CancelPieceMsg decode_cancel_piece(const Blob& frame);
+
+/// Phone -> server: chunks the assignment for (piece_seq, piece, attempt)
+/// marked as cached are missing or failed their CRC check. The server
+/// evicts them from its directory mirror and re-sends the assignment with
+/// those chunks shipped — the self-healing path that makes directory drift
+/// and cache corruption cost bytes instead of correctness.
+struct ChunkRequestMsg {
+  std::uint32_t piece_seq = 0;
+  std::int32_t piece = -1;
+  std::int32_t attempt = -1;
+  std::vector<ChunkId> missing;
+};
+Blob encode(const ChunkRequestMsg& msg);
+ChunkRequestMsg decode_chunk_request(const Blob& frame);
 
 }  // namespace cwc::net

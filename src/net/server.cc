@@ -81,6 +81,13 @@ CwcServer::CwcServer(std::unique_ptr<core::Scheduler> scheduler,
   obs::counter("spec.cancels_sent");
   obs::counter("spec.duplicate_completions");
   obs::counter("spec.aborted");
+  // Content-addressed shipping counters, pre-registered so cache-less runs
+  // (legacy agents, --chunk-kb 0) export them zero-valued too.
+  obs::counter("cache.hit_kb");
+  obs::counter("cache.miss_kb");
+  obs::counter("cache.evicted_kb");
+  obs::counter("cache.refetch_kb");
+  controller_.bind_locality(&locality_);
   listener_.set_nonblocking(true);
 }
 
@@ -98,6 +105,19 @@ JobId CwcServer::submit(const std::string& task_name, Blob input) {
   state.input = std::move(input);
   if (state.spec.kind == JobKind::kBreakable) {
     state.pending_ranges.push_back({0, state.input.size()});
+  }
+  if (config_.chunk_bytes > 0) {
+    // Pre-compute the job's chunk grids once: assignments index into these
+    // instead of re-hashing, and their ids form the locality manifest the
+    // scheduler matches against per-phone directories.
+    const Blob exec_blob(static_cast<std::size_t>(state.spec.exec_kb * 1024.0), 0xEE);
+    state.exec_chunks = chunk_blob(exec_blob, config_.chunk_bytes);
+    state.input_chunks = chunk_blob(state.input, config_.chunk_bytes);
+    std::vector<ChunkId> manifest;
+    manifest.reserve(state.exec_chunks.size() + state.input_chunks.size());
+    for (const ChunkRef& ref : state.exec_chunks) manifest.push_back(ref.id);
+    for (const ChunkRef& ref : state.input_chunks) manifest.push_back(ref.id);
+    locality_.set_manifest(id, std::move(manifest));
   }
   if (journal_) {
     try {
@@ -247,6 +267,19 @@ void CwcServer::handle_frame(Connection& c, const Blob& frame) {
       controller_.register_phone(spec);
       c.phone = msg.phone;
       c.registered = true;
+      if (config_.chunk_bytes > 0 && msg.cache_budget_bytes > 0) {
+        // Resync the directory mirror wholesale from the agent's advertised
+        // manifest: whatever survived on the phone across the reconnect is
+        // the truth, and its LRU order is replayed oldest-first.
+        ChunkDirectory& dir = chunk_dirs_[msg.phone];
+        dir.set_budget(msg.cache_budget_bytes);
+        dir.seed(msg.cache_manifest);
+        locality_.attach_directory(msg.phone, &dir);
+      } else {
+        // Legacy or cache-less agent: full shipping, no locality credit.
+        locality_.detach_directory(msg.phone);
+        chunk_dirs_.erase(msg.phone);
+      }
       send_frame(c.conn, encode(RegisterAckMsg{true, epoch_}));
       start_probe(c);
       break;
@@ -267,6 +300,9 @@ void CwcServer::handle_frame(Connection& c, const Blob& frame) {
       break;
     case MsgType::kPieceFailed:
       on_failed(c, decode_piece_failed(frame));
+      break;
+    case MsgType::kChunkRequest:
+      on_chunk_request(c, decode_chunk_request(frame));
       break;
     case MsgType::kKeepAliveAck: {
       // Only an ack of the *latest* ping proves current liveness and
@@ -365,6 +401,15 @@ void CwcServer::assign_next_piece(Connection& c) {
   msg.trace_piece = work->identity.piece;
   msg.trace_attempt = work->identity.attempt;
   msg.trace_instant = work->identity.instant;
+  if (chunking_enabled(c)) {
+    // Atomic assignments carry the whole input (fragments only track the
+    // resume offset); breakable ones carry exactly the carved fragments.
+    auto wire_fragments = job.spec.kind == JobKind::kAtomic
+                              ? std::vector<std::pair<std::size_t, std::size_t>>{
+                                    {0, job.input.size()}}
+                              : c.piece_fragments;
+    chunk_assignment(c, msg, job, std::move(wire_fragments));
+  }
   c.busy = true;
   c.speculative = false;
   // Straggler detection inputs: when the assignment left, and how long the
@@ -611,15 +656,23 @@ void CwcServer::launch_backup(Connection& primary, Connection& backup,
   backup.piece_identity = primary.piece_identity;
   backup.busy = true;
   backup.speculative = true;
+  // Predicted cost uses the full slice size (the backup executes it all
+  // even when most bytes come from its cache).
+  const Kilobytes input_kb = static_cast<double>(msg.input.size()) / 1024.0;
+  const bool ships_executable = !msg.executable.empty();
+  // Backups benefit from the chunk cache too: msg.input concatenates the
+  // primary's fragments verbatim, so those ranges describe it on the wire.
+  if (chunking_enabled(backup)) {
+    chunk_assignment(backup, msg, job, primary.piece_fragments);
+  }
   backup.assign_frame = encode(msg);
   backup.assign_sent_ms = now_ms_;
   backup.assign_retries = 0;
   backup.piece_started_ms = now_ms_;
   const core::PhoneSpec& spec = controller_.phone(backup.phone);
-  const Kilobytes input_kb = static_cast<double>(msg.input.size()) / 1024.0;
   backup.piece_predicted_ms = core::completion_time(
       job.spec, spec, controller_.prediction().predict(job.spec.task_name, spec), input_kb,
-      !msg.executable.empty());
+      ships_executable);
   try {
     send_frame(backup.conn, backup.assign_frame);
   } catch (const SocketError& e) {
@@ -803,6 +856,154 @@ void CwcServer::on_failed(Connection& c, const PieceFailedMsg& msg) {
   log_info("cwc-server") << "online failure: phone " << c.phone << ", job " << msg.job
                          << ", processed " << processed_kb << " KB";
   maybe_finish_job(msg.job);
+}
+
+bool CwcServer::chunking_enabled(const Connection& c) const {
+  return config_.chunk_bytes > 0 && chunk_dirs_.count(c.phone) != 0;
+}
+
+void CwcServer::chunk_assignment(Connection& c, AssignPieceMsg& msg, const JobState& job,
+                                 std::vector<std::pair<std::size_t, std::size_t>> wire_fragments) {
+  ChunkDirectory& dir = chunk_dirs_.at(c.phone);
+  msg.chunked = true;
+  msg.input_fragments.assign(wire_fragments.begin(), wire_fragments.end());
+
+  double hit_kb = 0.0;
+  double miss_kb = 0.0;
+  double evicted_bytes = 0.0;
+
+  // Walks one chunk: records it in `out`, keeps its payload only when the
+  // directory says the phone lacks it, and updates the LRU mirror either way.
+  const auto place = [&](const ChunkRef& ref, const Blob& source, std::vector<ChunkWire>& out,
+                         Blob& payloads) {
+    ChunkWire wire{ref.id, ref.offset, false};
+    const double kb = static_cast<double>(chunk_size_of(ref.id)) / 1024.0;
+    if (dir.contains(ref.id)) {
+      dir.touch(ref.id);
+      hit_kb += kb;
+    } else {
+      wire.shipped = true;
+      evicted_bytes += static_cast<double>(dir.insert(ref.id));
+      miss_kb += kb;
+      const auto offset = static_cast<std::ptrdiff_t>(ref.offset);
+      payloads.insert(payloads.end(), source.begin() + offset,
+                      source.begin() + offset + static_cast<std::ptrdiff_t>(chunk_size_of(ref.id)));
+    }
+    out.push_back(wire);
+  };
+
+  // Executable: the whole grid, unless the legacy per-job executable cache
+  // already suppressed it (msg.executable empty = the agent holds a copy
+  // keyed by job id; no chunks needed at all).
+  if (!msg.executable.empty()) {
+    Blob exec_payloads;
+    for (const ChunkRef& ref : job.exec_chunks) {
+      place(ref, msg.executable, msg.exec_chunks, exec_payloads);
+    }
+    msg.executable = std::move(exec_payloads);
+  }
+
+  // Input: the grid chunks covering each wire fragment, indexed straight
+  // into the job's pre-computed grid (no re-hashing). Adjacent fragments
+  // can share a boundary chunk — list it once.
+  Blob input_payloads;
+  std::set<std::uint64_t> listed;
+  for (const auto& [begin, end] : wire_fragments) {
+    if (end <= begin) continue;
+    const std::size_t first = begin / config_.chunk_bytes;
+    const std::size_t last = (end - 1) / config_.chunk_bytes;
+    for (std::size_t k = first; k <= last && k < job.input_chunks.size(); ++k) {
+      const ChunkRef& ref = job.input_chunks[k];
+      if (!listed.insert(ref.offset).second) continue;
+      place(ref, job.input, msg.input_chunks, input_payloads);
+    }
+  }
+  msg.input = std::move(input_payloads);
+
+  obs::counter("cache.hit_kb").inc(hit_kb);
+  obs::counter("cache.miss_kb").inc(miss_kb);
+  obs::counter("cache.evicted_kb").inc(evicted_bytes / 1024.0);
+  if (hit_kb > 0.0 && obs::trace_enabled()) {
+    obs::TraceEvent event;
+    event.type = obs::TraceEventType::kChunkCacheHit;
+    event.t = obs::trace_now();
+    event.value = hit_kb;
+    event.job = msg.job;
+    event.piece = c.piece_identity.piece;
+    event.attempt = c.piece_identity.attempt;
+    event.instant = c.piece_identity.instant;
+    event.phone = c.phone;
+    obs::trace_record(event);
+  }
+}
+
+void CwcServer::on_chunk_request(Connection& c, const ChunkRequestMsg& msg) {
+  if (!report_matches_inflight(c, msg.piece_seq, msg.piece, msg.attempt) ||
+      c.assign_frame.empty()) {
+    obs::counter("net.server.stale_reports").inc();
+    return;
+  }
+  AssignPieceMsg assign = decode_assign_piece(c.assign_frame);
+  if (!assign.chunked) return;
+  const std::set<ChunkId> missing(msg.missing.begin(), msg.missing.end());
+  JobState& job = jobs_.at(c.piece_job);
+
+  // Rebuild both payload blobs with the missing ids flipped to shipped.
+  // The executable payload source is re-synthesized padding; the input
+  // payload source is the original job input (chunk offsets address it).
+  Blob exec_blob;
+  if (!assign.exec_chunks.empty()) {
+    exec_blob.assign(static_cast<std::size_t>(job.spec.exec_kb * 1024.0), 0xEE);
+  }
+  double reshipped_kb = 0.0;
+  const auto rebuild = [&](std::vector<ChunkWire>& chunks, const Blob& source) {
+    Blob payloads;
+    for (ChunkWire& chunk : chunks) {
+      if (!chunk.shipped && missing.count(chunk.id) != 0) {
+        chunk.shipped = true;
+        reshipped_kb += static_cast<double>(chunk_size_of(chunk.id)) / 1024.0;
+      }
+      if (chunk.shipped) {
+        const auto offset = static_cast<std::ptrdiff_t>(chunk.offset);
+        payloads.insert(payloads.end(), source.begin() + offset,
+                        source.begin() + offset +
+                            static_cast<std::ptrdiff_t>(chunk_size_of(chunk.id)));
+      }
+    }
+    return payloads;
+  };
+  assign.executable = rebuild(assign.exec_chunks, exec_blob);
+  assign.input = rebuild(assign.input_chunks, job.input);
+  // Re-shipping restores the chunks on the phone, so the directory keeps
+  // (refreshes) them; the agent re-inserts on receipt symmetrically.
+  if (const auto dir = chunk_dirs_.find(c.phone); dir != chunk_dirs_.end()) {
+    for (const ChunkId id : msg.missing) dir->second.insert(id);
+  }
+
+  c.assign_frame = encode(assign);
+  c.assign_sent_ms = now_ms_;
+  obs::counter("cache.refetch_kb").inc(reshipped_kb);
+  if (obs::trace_enabled()) {
+    obs::TraceEvent event;
+    event.type = obs::TraceEventType::kChunkRefetch;
+    event.t = obs::trace_now();
+    event.value = reshipped_kb;
+    event.job = c.piece_job;
+    event.piece = c.piece_identity.piece;
+    event.attempt = c.piece_identity.attempt;
+    event.instant = c.piece_identity.instant;
+    event.phone = c.phone;
+    obs::trace_record(event);
+  }
+  log_info("cwc-server") << "phone " << c.phone << " re-fetched " << msg.missing.size()
+                         << " chunks (" << reshipped_kb << " KB) for piece "
+                         << c.piece_identity.piece;
+  try {
+    send_frame(c.conn, c.assign_frame);
+  } catch (const SocketError& e) {
+    log_warn("cwc-server") << "chunk re-ship to phone " << c.phone << " failed: " << e.what();
+    drop_connection(c, /*lost=*/true);
+  }
 }
 
 void CwcServer::drop_connection(Connection& c, bool lost) {

@@ -27,7 +27,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/chunk.h"
 #include "core/controller.h"
+#include "core/locality.h"
 #include "core/speculation.h"
 #include "net/framing.h"
 #include "net/journal.h"
@@ -73,6 +75,11 @@ struct ServerConfig {
   Millis speculation_check_period = 0.0;
   /// Phone-health scoring and quarantine thresholds (core/health.h).
   core::HealthOptions health;
+  /// Grid size for content-addressed shipping (common/chunk.h). Executables
+  /// and inputs are chunked on this grid and only chunks missing from a
+  /// phone's cache are shipped; 0 disables chunking (full shipping for
+  /// every phone, as do agents that register without a cache budget).
+  std::size_t chunk_bytes = 64 * 1024;
   /// Optional external stop request (e.g. set from a SIGINT/SIGTERM
   /// handler): run() returns at the next loop iteration when the pointed-to
   /// flag becomes true, so callers can flush metrics and traces cleanly.
@@ -125,6 +132,12 @@ class CwcServer {
   struct JobState {
     core::JobSpec spec;
     Blob input;
+    /// Content-addressed shipping: the grid chunks of the synthesized
+    /// executable and of the original input (empty when chunking is off).
+    /// Input chunk offsets are positions in `input`, so any slice can be
+    /// re-assembled from cached chunks plus its fragment ranges.
+    std::vector<ChunkRef> exec_chunks;
+    std::vector<ChunkRef> input_chunks;
     /// Unshipped byte ranges (breakable jobs). Atomic jobs ship whole.
     std::deque<std::pair<std::size_t, std::size_t>> pending_ranges;
     std::vector<Blob> partials;
@@ -187,6 +200,21 @@ class CwcServer {
                                std::int32_t piece, std::int32_t attempt) const;
   void on_complete(Connection& c, const PieceCompleteMsg& msg);
   void on_failed(Connection& c, const PieceFailedMsg& msg);
+  /// True when assignments to this phone should use chunked shipping (the
+  /// server chunks and the phone registered a cache budget).
+  bool chunking_enabled(const Connection& c) const;
+  /// Rewrites a fully-materialized assignment (msg.executable = whole
+  /// synthesized executable or empty, msg.input = whole slice) into chunked
+  /// form for a cache-enabled phone: consults the phone's directory, keeps
+  /// only missing chunks' payloads in the blobs, and updates the directory
+  /// and cache counters. `wire_fragments` are the byte ranges of the
+  /// original job input that msg.input concatenates.
+  void chunk_assignment(Connection& c, AssignPieceMsg& msg, const JobState& job,
+                        std::vector<std::pair<std::size_t, std::size_t>> wire_fragments);
+  /// The phone reported cached chunks missing/corrupt: evict them from the
+  /// directory mirror and re-send the in-flight assignment with those
+  /// chunks force-shipped.
+  void on_chunk_request(Connection& c, const ChunkRequestMsg& msg);
   void drop_connection(Connection& c, bool lost);
   /// Straggler check: snapshots in-flight pieces, asks the shared policy
   /// (core/speculation.h) which deserve a backup, and launches them on
@@ -227,6 +255,12 @@ class CwcServer {
   TcpListener listener_;
   std::vector<std::unique_ptr<Connection>> connections_;
   std::map<JobId, JobState> jobs_;
+  /// Per-phone chunk directory mirrors (only phones that registered a
+  /// cache budget have one) and the locality index the scheduler reads
+  /// them through. std::map node stability keeps the attached pointers
+  /// valid as phones come and go.
+  std::map<PhoneId, ChunkDirectory> chunk_dirs_;
+  core::ChunkLocalityIndex locality_;
   /// Active speculations keyed by (piece, attempt) identity.
   struct ActiveSpec {
     PhoneId primary = kInvalidPhone;

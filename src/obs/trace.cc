@@ -35,6 +35,8 @@ constexpr const char* kTypeNames[kTraceEventTypeCount] = {
     "piece_cancelled",      // kPieceCancelled
     "pod_packed",           // kPodPacked
     "pod_rebalance",        // kPodRebalance
+    "chunk_cache_hit",      // kChunkCacheHit
+    "chunk_refetch",        // kChunkRefetch
 };
 
 Millis default_clock() {

@@ -70,11 +70,15 @@ enum class TraceEventType : std::uint8_t {
                          ///< (piece = pod index, value = pod makespan ms)
   kPodRebalance,         ///< cross-pod rebalance re-homed leftovers
                          ///< (piece = piece count, value = KB moved)
+  kChunkCacheHit,        ///< chunk-cache hits on one assignment
+                         ///< (value = KB served from the phone's cache)
+  kChunkRefetch,         ///< CRC-mismatched / missing chunks re-fetched
+                         ///< (value = KB re-shipped)
 };
 
 /// Number of distinct TraceEventType values (for tables and validation).
 inline constexpr std::size_t kTraceEventTypeCount =
-    static_cast<std::size_t>(TraceEventType::kPodRebalance) + 1;
+    static_cast<std::size_t>(TraceEventType::kChunkRefetch) + 1;
 
 /// Stable machine name of an event type ("piece_scheduled", ...).
 const char* trace_event_name(TraceEventType type);

@@ -66,6 +66,7 @@ TraceAnalysis analyze(const std::vector<TraceEvent>& events, double straggler_fa
     if (span) {
       const auto it = terminal.find(attempt_key(event));
       const bool lost = it != terminal.end() && is_lost(it->second->type);
+      if (event.type == TraceEventType::kPieceShipped) b.shipped_kb += event.value;
       if (lost) {
         b.overhead_ms += event.dur;
       } else if (event.type == TraceEventType::kPieceShipped) {
@@ -73,6 +74,8 @@ TraceAnalysis analyze(const std::vector<TraceEvent>& events, double straggler_fa
       } else {
         b.compute_ms += event.dur;
       }
+    } else if (event.type == TraceEventType::kChunkCacheHit) {
+      b.cache_hit_kb += event.value;
     } else if (event.type == TraceEventType::kPieceCompleted) {
       ++b.completed;
     } else if (is_failure(event.type)) {

@@ -24,6 +24,11 @@ struct PhoneBreakdown {
   Millis finish = 0;       ///< end of this phone's last span
   int completed = 0;       ///< pieces finished on this phone
   int failed = 0;          ///< pieces lost on this phone (online + offline)
+  /// Content-addressed shipping accounting: bytes that crossed the link to
+  /// this phone (kPieceShipped values) vs bytes served from its chunk
+  /// cache (kChunkCacheHit values). Both 0 on traces without chunking.
+  Kilobytes shipped_kb = 0;
+  Kilobytes cache_hit_kb = 0;
 };
 
 /// One stop in a piece's life: which phone held attempt N and how it ended.

@@ -64,6 +64,11 @@ CampaignResult run_campaign(const CampaignOptions& options) {
   }
   result.plan = charging::plan_batch_window(history, options.release_hour, options.window_hours);
 
+  // Phone chunk caches persist across nights (each night's simulation is
+  // fresh, as a real deployment restarts the batch server, but the phones
+  // keep their caches) — night N warms night N+1.
+  FleetChunkState fleet_chunks;
+
   for (int night = 0; night < options.nights; ++night) {
     NightOutcome outcome;
     outcome.night = night;
@@ -79,8 +84,12 @@ CampaignResult run_campaign(const CampaignOptions& options) {
     SimOptions sim_options;
     sim_options.scheduling_period = minutes(2.0);
     sim_options.max_time = hours(options.window_hours);
+    sim_options.chunk_kb = options.chunk_kb;
+    sim_options.cache_mb = options.cache_mb;
+    sim_options.locality_aware = options.locality_aware;
     TestbedSimulation simulation(std::move(scheduler), core::paper_prediction(), phones,
                                  sim_options, rng.next_u64());
+    simulation.share_chunk_state(&fleet_chunks);
 
     Rng workload_rng = rng.fork();
     for (const auto& job : core::paper_workload(workload_rng, options.workload_scale)) {
@@ -115,6 +124,8 @@ CampaignResult run_campaign(const CampaignOptions& options) {
     outcome.completed = sim_result.completed;
     outcome.makespan = sim_result.makespan;
     outcome.scheduling_rounds = sim_result.scheduling_rounds;
+    outcome.shipped_kb = sim_result.shipped_kb;
+    outcome.cache_hit_kb = sim_result.cache_hit_kb;
     result.nights.push_back(outcome);
   }
 

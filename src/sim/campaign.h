@@ -33,6 +33,12 @@ struct CampaignOptions {
   /// History depth (days) used to estimate availability/risk.
   int history_days = 30;
   std::uint64_t seed = 1;
+  /// Content-addressed shipping across nights (sim/simulator.h): when both
+  /// are > 0, one FleetChunkState persists over the campaign, so night N's
+  /// caches warm night N+1 — the repeat-campaign effect.
+  Kilobytes chunk_kb = 0.0;
+  double cache_mb = 0.0;
+  bool locality_aware = true;
 };
 
 struct NightOutcome {
@@ -42,6 +48,8 @@ struct NightOutcome {
   bool completed = false;    ///< batch finished inside the window
   Millis makespan = 0.0;
   std::size_t scheduling_rounds = 0;
+  Kilobytes shipped_kb = 0.0;    ///< bytes that crossed the links tonight
+  Kilobytes cache_hit_kb = 0.0;  ///< bytes served from phone caches
 };
 
 struct CampaignResult {

@@ -34,6 +34,24 @@ void emit_span(obs::TraceEventType type, PhoneId phone, JobId job,
   obs::trace_record(event);
 }
 
+/// Synthetic content address in the live (crc32 << 32) | size format: the
+/// simulator has no payload bytes to hash, so the "crc" half is a mix of a
+/// content key (what the bytes *are*) and the grid index. Identical
+/// content keys yield identical ids across batches — the property the
+/// repeat-campaign dedup rests on.
+ChunkId synthetic_chunk_id(std::uint64_t content_key, std::uint64_t index,
+                           std::uint64_t size) {
+  std::uint64_t h = content_key ^ (index * 0x9E3779B97F4A7C15ull);
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDull;
+  h ^= h >> 33;
+  return (h << 32) | (size & 0xFFFFFFFFull);
+}
+
+/// All simulated executables of the same size share content, mirroring the
+/// live server's constant-padding executable blobs.
+constexpr std::uint64_t kExecContentKey = 0xE0ECE0ECE0ECE0ECull;
+
 }  // namespace
 
 TestbedSimulation::TestbedSimulation(std::unique_ptr<core::Scheduler> scheduler,
@@ -54,6 +72,12 @@ TestbedSimulation::TestbedSimulation(std::unique_ptr<core::Scheduler> scheduler,
   obs::counter("spec.wins_backup");
   obs::counter("spec.cancels_sent");
   obs::counter("spec.aborted");
+  // Same for the chunk-cache counters (the repeat-leg smoke asserts them).
+  obs::counter("cache.hit_kb");
+  obs::counter("cache.miss_kb");
+  obs::counter("cache.evicted_kb");
+  chunks_ = &owned_chunks_;
+  if (chunking_enabled()) attach_fleet();
   // Default ground truth: the built-in tasks' reference measurements.
   const tasks::TaskRegistry registry = tasks::TaskRegistry::with_builtins();
   for (const std::string& name : registry.names()) {
@@ -70,6 +94,105 @@ MsPerKb TestbedSimulation::true_cost(const std::string& task,
                                      const core::PhoneSpec& phone) const {
   const auto& [c_sj, ref_mhz] = ground_truth_.at(task);
   return c_sj * ref_mhz / phone.cpu_mhz / phone.hidden_efficiency;
+}
+
+void TestbedSimulation::share_chunk_state(FleetChunkState* state) {
+  chunks_ = state != nullptr ? state : &owned_chunks_;
+  if (chunking_enabled()) attach_fleet();
+}
+
+void TestbedSimulation::attach_fleet() {
+  const auto budget =
+      static_cast<std::uint64_t>(options_.cache_mb * 1024.0 * 1024.0);
+  for (const auto& [id, phone] : runtime_) {
+    ChunkDirectory& dir = chunks_->directories[id];
+    if (dir.budget() == 0) dir.set_budget(budget);
+    if (options_.locality_aware) locality_.attach_directory(id, &dir);
+  }
+  if (options_.locality_aware) controller_.bind_locality(&locality_);
+}
+
+void TestbedSimulation::register_job_chunks(JobId id) {
+  if (!chunking_enabled()) return;
+  const core::JobSpec& job = controller_.job(id);
+  const auto chunk_bytes = static_cast<std::uint64_t>(options_.chunk_kb * 1024.0);
+  JobChunks jc;
+  jc.input_bytes = static_cast<std::uint64_t>(job.input_kb * 1024.0);
+  const auto exec_bytes = static_cast<std::uint64_t>(job.exec_kb * 1024.0);
+  for (std::uint64_t off = 0; off < exec_bytes; off += chunk_bytes) {
+    const std::uint64_t size = std::min(chunk_bytes, exec_bytes - off);
+    jc.exec.push_back(synthetic_chunk_id(kExecContentKey, off / chunk_bytes, size));
+  }
+  // Input content key: task name + per-task occurrence. A re-submitted
+  // identical workload replays the same (task, occurrence) sequence and
+  // lands on the same ids (warm batches); two same-task jobs within one
+  // batch carry distinct inputs and stay distinct.
+  const std::uint64_t occurrence = task_occurrence_[job.task_name]++;
+  const std::uint64_t content_key =
+      (static_cast<std::uint64_t>(
+           crc32({reinterpret_cast<const std::uint8_t*>(job.task_name.data()),
+                  job.task_name.size()}))
+       << 20) ^
+      (occurrence * 0xD1B54A32D192ED03ull);
+  for (std::uint64_t off = 0; off < jc.input_bytes; off += chunk_bytes) {
+    const std::uint64_t size = std::min(chunk_bytes, jc.input_bytes - off);
+    jc.input.push_back(synthetic_chunk_id(content_key, off / chunk_bytes, size));
+  }
+  if (options_.locality_aware) {
+    std::vector<ChunkId> manifest = jc.exec;
+    manifest.insert(manifest.end(), jc.input.begin(), jc.input.end());
+    locality_.set_manifest(id, std::move(manifest));
+  }
+  job_chunks_[id] = std::move(jc);
+}
+
+TestbedSimulation::ShipAccount TestbedSimulation::chunked_ship(
+    PhoneId phone, JobId job, bool ship_exec, std::uint64_t begin, std::uint64_t end,
+    const core::PieceIdentity& identity) {
+  ShipAccount acct;
+  ChunkDirectory& dir = chunks_->directories.at(phone);
+  const JobChunks& jc = job_chunks_.at(job);
+  const auto account = [&](ChunkId id, Kilobytes& ship_bucket) {
+    const Kilobytes kb = static_cast<double>(chunk_size_of(id)) / 1024.0;
+    if (dir.contains(id)) {
+      dir.touch(id);
+      acct.hit_kb += kb;
+    } else {
+      const std::uint64_t evicted = dir.insert(id);
+      if (evicted > 0) {
+        obs::counter("cache.evicted_kb").inc(static_cast<double>(evicted) / 1024.0);
+      }
+      ship_bucket += kb;
+    }
+  };
+  if (ship_exec) {
+    for (ChunkId id : jc.exec) account(id, acct.exec_kb);
+  }
+  if (end > begin && !jc.input.empty()) {
+    const auto chunk_bytes = static_cast<std::uint64_t>(options_.chunk_kb * 1024.0);
+    const std::uint64_t first = begin / chunk_bytes;
+    const std::uint64_t last =
+        std::min<std::uint64_t>((end - 1) / chunk_bytes, jc.input.size() - 1);
+    for (std::uint64_t k = first; k <= last; ++k) account(jc.input[k], acct.input_kb);
+  }
+  if (acct.hit_kb > 0.0) obs::counter("cache.hit_kb").inc(acct.hit_kb);
+  const Kilobytes miss_kb = acct.exec_kb + acct.input_kb;
+  if (miss_kb > 0.0) obs::counter("cache.miss_kb").inc(miss_kb);
+  cache_hit_kb_total_ += acct.hit_kb;
+  shipped_kb_total_ += miss_kb;
+  if (acct.hit_kb > 0.0 && obs::trace_enabled()) {
+    obs::TraceEvent event;
+    event.type = obs::TraceEventType::kChunkCacheHit;
+    event.t = events_.now();
+    event.value = acct.hit_kb;
+    event.job = job;
+    event.piece = identity.piece;
+    event.attempt = identity.attempt;
+    event.instant = identity.instant;
+    event.phone = phone;
+    obs::trace_record(event);
+  }
+  return acct;
 }
 
 void TestbedSimulation::schedule_instant() {
@@ -96,9 +219,36 @@ void TestbedSimulation::start_next_piece(PhoneId phone_id) {
 
   const core::JobSpec& job = controller_.job(work->piece.job);
   const Millis now = events_.now();
-  const Millis transfer =
-      (work->executable_cached ? 0.0 : job.exec_kb * phone.spec.b) +
-      work->piece.input_kb * phone.spec.b;
+  Kilobytes ship_exec_kb = work->executable_cached ? 0.0 : job.exec_kb;
+  Kilobytes ship_input_kb = work->piece.input_kb;
+  phone.claimed = {0, 0};
+  if (chunking_enabled()) {
+    // Claim this piece's byte range on the job's input grid: sequentially
+    // from the per-job cursor, so an identical re-submission claims the
+    // same ranges (atomic pieces always cover the whole input). The cursor
+    // wraps when failures push re-shipped work past the input size — the
+    // re-claimed range approximates, never exceeds, the real re-ship.
+    const JobChunks& jc = job_chunks_.at(work->piece.job);
+    if (job.kind == JobKind::kAtomic) {
+      phone.claimed = {0, jc.input_bytes};
+    } else if (jc.input_bytes > 0) {
+      const auto bytes =
+          static_cast<std::uint64_t>(work->piece.input_kb * 1024.0 + 0.5);
+      std::uint64_t& cursor = claim_cursor_[work->piece.job];
+      const std::uint64_t begin = cursor % jc.input_bytes;
+      phone.claimed = {begin, std::min(jc.input_bytes, begin + bytes)};
+      cursor = begin + bytes;
+    }
+    const ShipAccount acct =
+        chunked_ship(phone_id, work->piece.job, !work->executable_cached,
+                     phone.claimed.first, phone.claimed.second, work->identity);
+    ship_exec_kb = acct.exec_kb;
+    ship_input_kb = acct.input_kb;
+  } else {
+    shipped_kb_total_ += ship_exec_kb + ship_input_kb;
+  }
+  phone.shipped_kb = ship_input_kb;
+  const Millis transfer = (ship_exec_kb + ship_input_kb) * phone.spec.b;
   // Ground-truth execution time: hidden efficiency plus lognormal noise.
   const double noise =
       options_.exec_noise_sd > 0.0 ? rng_.lognormal(0.0, options_.exec_noise_sd) : 1.0;
@@ -132,9 +282,12 @@ void TestbedSimulation::finish_piece(PhoneId phone_id, std::uint64_t epoch) {
 
   const Millis now = events_.now();
   if (phone.transfer_end > phone.transfer_start) {
+    // Span value = KB that actually crossed the link (chunk misses only),
+    // matching the live server; cwc_trace's hit-rate column divides
+    // kChunkCacheHit KB by (hit + shipped).
     emit_span(obs::TraceEventType::kPieceShipped, phone_id, phone.piece.job, phone.identity,
               phone.piece_rescheduled, phone.transfer_start, phone.transfer_end,
-              phone.piece.input_kb);
+              phone.shipped_kb);
   }
   emit_span(obs::TraceEventType::kPieceStarted, phone_id, phone.piece.job, phone.identity,
             phone.piece_rescheduled, phone.transfer_end, now, now - phone.transfer_end);
@@ -208,8 +361,21 @@ void TestbedSimulation::launch_backup(PhoneId primary_id, PhoneId backup_id,
   const core::JobSpec& job = controller_.job(primary.piece.job);
   const Millis now = events_.now();
   const bool cached = controller_.executable_cached(backup_id, primary.piece.job);
-  const Millis transfer =
-      (cached ? 0.0 : job.exec_kb * backup.spec.b) + primary.piece.input_kb * backup.spec.b;
+  Kilobytes ship_exec_kb = cached ? 0.0 : job.exec_kb;
+  Kilobytes ship_input_kb = primary.piece.input_kb;
+  if (chunking_enabled()) {
+    // The backup re-ships the primary's claimed range to its own cache.
+    const ShipAccount acct =
+        chunked_ship(backup_id, primary.piece.job, !cached, primary.claimed.first,
+                     primary.claimed.second, primary.identity);
+    ship_exec_kb = acct.exec_kb;
+    ship_input_kb = acct.input_kb;
+  } else {
+    shipped_kb_total_ += ship_exec_kb + ship_input_kb;
+  }
+  backup.claimed = primary.claimed;
+  backup.shipped_kb = ship_input_kb;
+  const Millis transfer = (ship_exec_kb + ship_input_kb) * backup.spec.b;
   const double noise =
       options_.exec_noise_sd > 0.0 ? rng_.lognormal(0.0, options_.exec_noise_sd) : 1.0;
   const Millis execute =
@@ -375,14 +541,14 @@ void TestbedSimulation::apply_failure(const FailureEvent& event) {
         local_ms = now - phone.transfer_end;
         emit_span(obs::TraceEventType::kPieceShipped, event.phone, phone.piece.job,
                   phone.identity, phone.piece_rescheduled, phone.transfer_start,
-                  phone.transfer_end, phone.piece.input_kb);
+                  phone.transfer_end, phone.shipped_kb);
         emit_span(obs::TraceEventType::kPieceStarted, event.phone, phone.piece.job,
                   phone.identity, phone.piece_rescheduled, phone.transfer_end, now, local_ms);
       } else {
         // Failed mid-transfer: nothing processed, partial transfer shown.
         emit_span(obs::TraceEventType::kPieceShipped, event.phone, phone.piece.job,
                   phone.identity, phone.piece_rescheduled, phone.transfer_start, now,
-                  phone.piece.input_kb);
+                  phone.shipped_kb);
       }
       // Fabricate the checkpoint blob for atomic jobs (the wire deployment
       // carries real task state; the simulator only needs its presence so
@@ -412,7 +578,7 @@ void TestbedSimulation::apply_failure(const FailureEvent& event) {
       if (phone.busy && now > phone.transfer_start) {
         emit_span(obs::TraceEventType::kPieceShipped, event.phone, phone.piece.job,
                   phone.identity, phone.piece_rescheduled, phone.transfer_start,
-                  std::min(now, phone.transfer_end), phone.piece.input_kb);
+                  std::min(now, phone.transfer_end), phone.shipped_kb);
         if (now > phone.transfer_end) {
           emit_span(obs::TraceEventType::kPieceStarted, event.phone, phone.piece.job,
                     phone.identity, phone.piece_rescheduled, phone.transfer_end, now,
@@ -530,6 +696,9 @@ SimResult TestbedSimulation::run() {
 
   // End-of-run telemetry: fleet utilization (Fig. 12a's idle tails) and
   // how far the round-0 prediction landed from reality.
+  result_.shipped_kb = shipped_kb_total_;
+  result_.cache_hit_kb = cache_hit_kb_total_;
+  obs::gauge("sim.shipped_kb").set(shipped_kb_total_);
   obs::gauge("sim.makespan_ms").set(result_.makespan);
   obs::gauge("sim.predicted_makespan_ms").set(result_.predicted_makespan);
   if (result_.predicted_makespan > 0.0) {

@@ -23,15 +23,26 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/chunk.h"
 #include "common/rng.h"
 #include "core/controller.h"
+#include "core/locality.h"
 #include "core/model.h"
 #include "core/speculation.h"
 #include "sim/event_queue.h"
 
 namespace cwc::sim {
+
+/// Per-phone chunk directories that outlive one simulated batch. A repeat
+/// campaign constructs a fresh TestbedSimulation per batch and shares one
+/// of these across them (share_chunk_state), mirroring real agents whose
+/// caches persist between nightly batches.
+struct FleetChunkState {
+  std::map<PhoneId, ChunkDirectory> directories;
+};
 
 struct SimOptions {
   /// Multiplicative lognormal noise sd on per-piece execution time.
@@ -49,6 +60,17 @@ struct SimOptions {
   core::SpeculationOptions speculation;
   /// Straggler-check cadence (0 = once per scheduling_period).
   Millis speculation_check_period = 0.0;
+  /// Content-addressed shipping mirror (common/chunk.h): grid size and
+  /// per-phone cache budget. Both > 0 enables chunk-level transfer
+  /// accounting — only chunks missing from a phone's directory pay
+  /// transfer time. Chunk ids are synthetic but stable across identical
+  /// re-submissions, so repeat campaigns hit.
+  Kilobytes chunk_kb = 0.0;
+  double cache_mb = 0.0;
+  /// When chunking is on, also bind the locality index to the scheduler so
+  /// assignment *routes* toward warm phones; off = locality-blind baseline
+  /// (same caching, no routing credit) for A/B comparisons.
+  bool locality_aware = true;
 };
 
 enum class FailureKind { kUnplugOnline, kUnplugOffline, kReplug };
@@ -90,6 +112,14 @@ struct SimResult {
   /// obs::TraceRecorder::snapshot() / write_trace_file() to export exactly
   /// this run's events from the global recorder.
   std::uint64_t trace_begin = 0;
+
+  /// Bytes that actually crossed the links this run (executables + input
+  /// pieces, minus chunk-cache hits). Without chunking this equals the
+  /// full shipped volume, so warm-vs-cold and aware-vs-blind comparisons
+  /// read straight off this field.
+  Kilobytes shipped_kb = 0.0;
+  /// Bytes served from per-phone chunk caches instead of the link.
+  Kilobytes cache_hit_kb = 0.0;
 };
 
 /// Simulates one CWC batch run end to end.
@@ -104,11 +134,20 @@ class TestbedSimulation {
   /// model prediction error beyond hidden efficiencies.
   void set_ground_truth(const std::string& task, MsPerKb c_sj, double reference_mhz = 806.0);
 
-  void submit(core::JobSpec job) {
+  JobId submit(core::JobSpec job) {
     total_kb_ += job.input_kb;
-    controller_.submit(std::move(job));
+    const JobId id = controller_.submit(std::move(job));
+    register_job_chunks(id);
+    return id;
   }
   void inject(FailureEvent event) { failures_.push_back(event); }
+
+  /// Points this simulation at externally-owned per-phone chunk
+  /// directories (repeat campaigns: caches persist across batches). Call
+  /// right after construction, before submit()/run(). Directories for
+  /// this fleet's phones are created on demand with the configured budget;
+  /// existing ones keep their contents.
+  void share_chunk_state(FleetChunkState* state);
 
   SimResult run();
 
@@ -144,6 +183,12 @@ class TestbedSimulation {
     /// Total transfer+execute time spent on pieces (including the partial
     /// work of failed pieces) — the numerator of per-phone utilization.
     Millis busy_ms = 0.0;
+    /// Input KB that crossed the link for the in-flight piece (misses
+    /// only under chunking) — the kPieceShipped span value.
+    Kilobytes shipped_kb = 0.0;
+    /// Input byte range [first, second) the in-flight piece claimed from
+    /// the job's chunk grid; a backup re-ships the primary's range.
+    std::pair<std::uint64_t, std::uint64_t> claimed{0, 0};
   };
 
   void schedule_instant();
@@ -159,6 +204,27 @@ class TestbedSimulation {
   /// backup itself is failing); the primary keeps or reclaims the piece.
   void cancel_backup(PhoneId backup_id, bool count_as_cancel);
 
+  bool chunking_enabled() const {
+    return options_.chunk_kb > 0.0 && options_.cache_mb > 0.0;
+  }
+  /// Creates/adopts this fleet's directories in *chunks_ and (re)attaches
+  /// them to the locality index when locality_aware.
+  void attach_fleet();
+  /// Builds the job's synthetic chunk grids and publishes its manifest to
+  /// the locality index. No-op when chunking is off.
+  void register_job_chunks(JobId id);
+  /// Chunk-level transfer accounting for one assignment against `phone`'s
+  /// directory: misses are inserted (LRU-evicting) and returned as the KB
+  /// to ship; hits are touched and counted. Emits the hit trace event.
+  struct ShipAccount {
+    Kilobytes exec_kb = 0.0;   ///< executable KB that must ship
+    Kilobytes input_kb = 0.0;  ///< input KB that must ship
+    Kilobytes hit_kb = 0.0;    ///< KB served from the phone's cache
+  };
+  ShipAccount chunked_ship(PhoneId phone, JobId job, bool ship_exec,
+                           std::uint64_t begin, std::uint64_t end,
+                           const core::PieceIdentity& identity);
+
   core::CwcController controller_;
   SimOptions options_;
   EventQueue events_;
@@ -172,6 +238,29 @@ class TestbedSimulation {
   Kilobytes total_kb_ = 0.0;      ///< submitted input volume
   Kilobytes completed_kb_ = 0.0;  ///< input volume of completed pieces
   bool spec_check_armed_ = false;
+
+  /// Content-addressed shipping mirror (chunking_enabled()). Directories
+  /// live in *chunks_ — by default the owned state, or an external
+  /// FleetChunkState after share_chunk_state().
+  struct JobChunks {
+    std::vector<ChunkId> exec;   ///< grid over the synthetic executable
+    std::vector<ChunkId> input;  ///< grid over the job input
+    std::uint64_t input_bytes = 0;
+  };
+  FleetChunkState owned_chunks_;
+  FleetChunkState* chunks_ = nullptr;
+  core::ChunkLocalityIndex locality_;
+  std::map<JobId, JobChunks> job_chunks_;
+  /// Next unclaimed input-grid offset per job: each shipped piece claims
+  /// the next input_kb bytes, so identical re-submissions claim identical
+  /// ranges (stable ids -> repeat batches hit).
+  std::map<JobId, std::uint64_t> claim_cursor_;
+  /// Per-task submission counter feeding the synthetic input content key:
+  /// same task+occurrence -> same content across batches, distinct jobs of
+  /// one task within a batch stay distinct.
+  std::map<std::string, std::uint64_t> task_occurrence_;
+  Kilobytes shipped_kb_total_ = 0.0;
+  Kilobytes cache_hit_kb_total_ = 0.0;
 };
 
 }  // namespace cwc::sim

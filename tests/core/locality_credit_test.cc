@@ -1,0 +1,188 @@
+// Data-locality credit in the schedulers: a bound LocalityProvider routes
+// repeat work to phones that already hold the bytes, a null/zero provider
+// leaves schedules byte-identical to the unbound baseline, and the
+// locality-aware LP relaxation stays a valid lower bound even when the
+// credit exceeds the executable (negative first-placement cost).
+#include "core/locality.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "core/greedy.h"
+#include "core/relaxation.h"
+
+namespace cwc::core {
+namespace {
+
+PredictionModel simple_prediction() {
+  PredictionModel model;
+  model.set_reference("t", 10.0, 1000.0);
+  return model;
+}
+
+PhoneSpec make_phone(PhoneId id, double mhz, MsPerKb b) {
+  PhoneSpec p;
+  p.id = id;
+  p.cpu_mhz = mhz;
+  p.b = b;
+  p.ram_kb = megabytes(1024);
+  return p;
+}
+
+JobSpec make_job(JobId id, Kilobytes input, JobKind kind = JobKind::kBreakable,
+                 Kilobytes exec = 10.0) {
+  JobSpec j;
+  j.id = id;
+  j.task_name = "t";
+  j.kind = kind;
+  j.exec_kb = exec;
+  j.input_kb = input;
+  return j;
+}
+
+/// Table-driven provider for tests; anything not set reads as 0 KB.
+class StubLocality final : public LocalityProvider {
+ public:
+  void set(JobId job, PhoneId phone, Kilobytes kb) { credit_[{job, phone}] = kb; }
+  Kilobytes cached_kb(JobId job, PhoneId phone) const override {
+    const auto it = credit_.find({job, phone});
+    return it == credit_.end() ? 0.0 : it->second;
+  }
+
+ private:
+  std::map<std::pair<JobId, PhoneId>, Kilobytes> credit_;
+};
+
+bool schedules_identical(const Schedule& a, const Schedule& b) {
+  if (a.plans.size() != b.plans.size()) return false;
+  for (std::size_t i = 0; i < a.plans.size(); ++i) {
+    if (a.plans[i].phone != b.plans[i].phone) return false;
+    if (a.plans[i].pieces.size() != b.plans[i].pieces.size()) return false;
+    for (std::size_t k = 0; k < a.plans[i].pieces.size(); ++k) {
+      if (a.plans[i].pieces[k].job != b.plans[i].pieces[k].job) return false;
+      if (a.plans[i].pieces[k].input_kb != b.plans[i].pieces[k].input_kb) return false;
+    }
+  }
+  return true;
+}
+
+TEST(LocalityCredit, RoutesAtomicJobToWarmPhone) {
+  // Two identical phones; the executable dominates the transfer cost. With
+  // the bytes already cached on phone 1, the greedy packer must place the
+  // job there instead of the index-order default.
+  GreedyScheduler scheduler;
+  const auto prediction = simple_prediction();
+  const std::vector<PhoneSpec> phones = {make_phone(0, 1000.0, 1.0), make_phone(1, 1000.0, 1.0)};
+  const std::vector<JobSpec> jobs = {make_job(7, 50.0, JobKind::kAtomic, /*exec=*/500.0)};
+
+  StubLocality warm;
+  warm.set(7, 1, 500.0);  // phone 1 holds the whole executable
+  scheduler.bind_locality(&warm);
+  const Schedule schedule = scheduler.build(jobs, phones, prediction);
+  validate_schedule(schedule, jobs, phones);
+
+  Kilobytes on_warm = 0.0;
+  for (const auto& plan : schedule.plans) {
+    for (const auto& piece : plan.pieces) {
+      if (plan.phone == 1) on_warm += piece.input_kb;
+    }
+  }
+  EXPECT_EQ(on_warm, 50.0);
+  // The annotated makespan stays the conservative Equation-1 cost (full
+  // executable ship): the credit steers placement, but the promise made to
+  // speculation/backup logic never assumes the cache survives.
+  EXPECT_NEAR(schedule.predicted_makespan, 500.0 * 1.0 + 50.0 * (1.0 + 10.0), 1e-6);
+}
+
+TEST(LocalityCredit, ZeroCreditProviderMatchesUnbound) {
+  GreedyScheduler unbound;
+  GreedyScheduler bound;
+  StubLocality empty;  // answers 0 for everything
+  bound.bind_locality(&empty);
+
+  const auto prediction = simple_prediction();
+  const std::vector<PhoneSpec> phones = {make_phone(0, 1400.0, 0.8), make_phone(1, 900.0, 2.5),
+                                         make_phone(2, 1100.0, 1.3)};
+  const std::vector<JobSpec> jobs = {make_job(0, 900.0), make_job(1, 300.0, JobKind::kAtomic),
+                                     make_job(2, 1200.0)};
+  const Schedule a = unbound.build(jobs, phones, prediction);
+  const Schedule b = bound.build(jobs, phones, prediction);
+  EXPECT_TRUE(schedules_identical(a, b));
+  EXPECT_EQ(a.predicted_makespan, b.predicted_makespan);
+}
+
+TEST(LocalityCredit, RebindingNullRestoresBlindSchedule) {
+  GreedyScheduler scheduler;
+  StubLocality warm;
+  warm.set(0, 1, 800.0);
+  const auto prediction = simple_prediction();
+  const std::vector<PhoneSpec> phones = {make_phone(0, 1000.0, 1.0), make_phone(1, 1000.0, 1.0)};
+  const std::vector<JobSpec> jobs = {make_job(0, 200.0, JobKind::kAtomic, /*exec=*/400.0)};
+
+  const Schedule blind = scheduler.build(jobs, phones, prediction);
+  scheduler.bind_locality(&warm);
+  const Schedule aware = scheduler.build(jobs, phones, prediction);
+  scheduler.bind_locality(nullptr);
+  const Schedule blind_again = scheduler.build(jobs, phones, prediction);
+
+  EXPECT_FALSE(schedules_identical(blind, aware));
+  EXPECT_TRUE(schedules_identical(blind, blind_again));
+}
+
+TEST(LocalityCredit, LowerBoundStaysValidWithCreditBeyondExecutable) {
+  // Input chunks cached too: the per-pair credit exceeds E_j, so the
+  // greedy first-placement cost goes negative. The locality-aware
+  // relaxation must still lower-bound the locality-aware packer.
+  GreedyScheduler scheduler;
+  StubLocality warm;
+  const auto prediction = simple_prediction();
+  const std::vector<PhoneSpec> phones = {make_phone(0, 1000.0, 1.0), make_phone(1, 1200.0, 2.0)};
+  const std::vector<JobSpec> jobs = {make_job(0, 600.0), make_job(1, 400.0, JobKind::kAtomic)};
+  warm.set(0, 0, 400.0);  // exec (10) + most of the input
+  warm.set(1, 1, 410.0);  // everything
+  scheduler.bind_locality(&warm);
+
+  const Schedule schedule = scheduler.build(jobs, phones, prediction);
+  validate_schedule(schedule, jobs, phones);
+  const RelaxationResult bound =
+      relaxed_lower_bound(jobs, phones, prediction, lp::SolverOptions{}, &warm);
+  ASSERT_TRUE(bound.solved);
+  EXPECT_LE(bound.makespan, schedule.predicted_makespan + 1e-6);
+
+  // Null provider matches the plain overload exactly.
+  const RelaxationResult plain = relaxed_lower_bound(jobs, phones, prediction);
+  const RelaxationResult null_bound =
+      relaxed_lower_bound(jobs, phones, prediction, lp::SolverOptions{}, nullptr);
+  ASSERT_TRUE(plain.solved);
+  ASSERT_TRUE(null_bound.solved);
+  EXPECT_DOUBLE_EQ(plain.makespan, null_bound.makespan);
+}
+
+TEST(ChunkLocalityIndex, IntersectsManifestWithDirectories) {
+  ChunkLocalityIndex index;
+  ChunkDirectory dir(megabytes(1.0) * 1024.0);
+  // Three 100 KB chunks; the phone holds the first two.
+  const ChunkId a = (1ull << 32) | (100 * 1024);
+  const ChunkId b = (2ull << 32) | (100 * 1024);
+  const ChunkId c = (3ull << 32) | (100 * 1024);
+  dir.insert(a);
+  dir.insert(b);
+  index.set_manifest(5, {a, b, c});
+  index.attach_directory(9, &dir);
+
+  EXPECT_NEAR(index.cached_kb(5, 9), 200.0, 1e-9);
+  EXPECT_EQ(index.cached_kb(5, 8), 0.0);   // unknown phone
+  EXPECT_EQ(index.cached_kb(4, 9), 0.0);   // unknown job
+
+  index.detach_directory(9);
+  EXPECT_EQ(index.cached_kb(5, 9), 0.0);
+  index.attach_directory(9, &dir);
+  index.clear_manifest(5);
+  EXPECT_EQ(index.cached_kb(5, 9), 0.0);
+}
+
+}  // namespace
+}  // namespace cwc::core

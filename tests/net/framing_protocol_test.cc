@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/buffer.h"
 #include "net/framing.h"
 #include "net/protocol.h"
 
@@ -70,15 +71,14 @@ TEST(Protocol, RegisterRoundTrip) {
 
 TEST(Protocol, RegisterWithoutZoneDecodesAsZoneZero) {
   // Registrations from agents predating the zone field stop after ram_kb;
-  // they must still decode, landing in the default zone.
-  RegisterMsg msg;
-  msg.phone = 3;
-  msg.cpu_mhz = 1000.0;
-  msg.ram_kb = megabytes(512.0);
-  msg.zone = 9;
-  Blob legacy = encode(msg);
-  legacy.resize(legacy.size() - 4);  // strip the trailing zone i32
-  const RegisterMsg decoded = decode_register(legacy);
+  // they must still decode, landing in the default zone. Written field by
+  // field because encode() now also appends the chunk-cache section.
+  BufferWriter legacy;
+  legacy.write_u8(static_cast<std::uint8_t>(MsgType::kRegister));
+  legacy.write_i32(3);
+  legacy.write_f64(1000.0);
+  legacy.write_f64(megabytes(512.0));
+  const RegisterMsg decoded = decode_register(legacy.take());
   EXPECT_EQ(decoded.phone, 3);
   EXPECT_EQ(decoded.zone, 0);
 }

@@ -76,6 +76,15 @@ constexpr const char* kUsage = R"(cwc_chaos: fault-injection chaos harness for t
                        to force one (default on)
   --straggler-factor=X speculation threshold multiplier (default 2)
   --restart=on|off     run the journaled server-restart leg (default on)
+  --cache-mb=X         give every agent an X-MB content-addressed chunk
+                       cache (16 KB server grid) and — unless --spec
+                       overrides — add a bounded cache-corruption storm
+                       (chunk_cache:corrupt@every=3@limit=9): corrupted
+                       entries must CRC-mismatch and re-fetch, with results
+                       still byte-identical (default 0 = caches off).
+                       Corruption rules must be bounded (@limit=/@n=/p<1):
+                       an unbounded @every= re-corrupts the entry on every
+                       re-verification and the re-fetch loop never drains.
   --pods=auto|N        schedule every run with hierarchical pod packing
                        (auto = size pods automatically; N = force N pods)
                        instead of flat greedy packing; results must still
@@ -137,6 +146,8 @@ struct RunOptions {
   /// (0 with use_pods = auto-sized pods.)
   bool use_pods = false;
   std::size_t pods = 0;
+  /// Per-agent chunk-cache budget (0 = no caches, server ships whole).
+  double cache_mb = 0.0;
 };
 
 std::unique_ptr<core::Scheduler> chaos_scheduler(const RunOptions& options) {
@@ -153,6 +164,7 @@ struct RunResult {
   std::uint64_t fault_fires = 0;
   std::size_t spec_launches = 0;
   std::size_t spec_duplicates = 0;
+  std::size_t chunk_refetches = 0;  ///< agent-side CRC-miss re-fetch round-trips
   double wall_s = 0.0;  ///< wall-clock duration of server.run()
 };
 
@@ -176,6 +188,9 @@ net::ServerConfig chaos_config(const RunOptions& options) {
   // The harness batch is small; arm speculation at half-done so the slow
   // phone's tail pieces are still in flight when the check first fires.
   config.speculation.completion_fraction = 0.5;
+  // A small grid so even the harness's modest jobs span many chunks (the
+  // corruption storm needs entries to land on).
+  if (options.cache_mb > 0.0) config.chunk_bytes = 16 * 1024;
   return config;
 }
 
@@ -202,6 +217,7 @@ std::vector<std::unique_ptr<net::PhoneAgent>> start_agents(std::uint16_t port, i
     pc.emulated_compute_ms_per_kb =
         options.compute_ms_per_kb * ((i == 0 && options.slow_phone) ? 10.0 : 1.0);
     pc.step_bytes = 8 * 1024;
+    pc.cache_bytes = static_cast<std::uint64_t>(options.cache_mb * 1024.0 * 1024.0);
     agents.push_back(std::make_unique<net::PhoneAgent>(port, pc, &registry));
     agents.back()->start();
   }
@@ -231,6 +247,7 @@ RunResult run_once(const std::vector<JobSpec>& jobs, int phones, const RunOption
   run.fault_fires = fault::FaultInjector::global().total_fires();
   run.spec_launches = server.speculative_launches();
   run.spec_duplicates = server.duplicate_completions();
+  for (const auto& agent : agents) run.chunk_refetches += agent->chunk_refetches();
   // Destroying the agents requests stop and joins their threads; do it
   // before reading results so no thread outlives the run.
   agents.clear();
@@ -367,7 +384,7 @@ int main(int argc, char** argv) {
   const Flags flags = Flags::parse(argc, argv);
   const auto unknown = flags.unknown({"phones", "jobs", "spec", "seed", "timeout-s",
                                       "speculation", "straggler-factor", "restart", "pods",
-                                      "metrics-out", "trace-out", "verbose", "help"});
+                                      "cache-mb", "metrics-out", "trace-out", "verbose", "help"});
   if (!unknown.empty() || flags.get_bool("help")) {
     for (const auto& flag : unknown) std::fprintf(stderr, "unknown flag: --%s\n", flag.c_str());
     std::fputs(kUsage, stderr);
@@ -380,7 +397,14 @@ int main(int argc, char** argv) {
     std::fputs("cwc_chaos: --phones must be >= 1\n", stderr);
     return 2;
   }
-  const std::string spec = flags.get("spec", kDefaultSpec);
+  const double cache_mb = flags.get_double("cache-mb", 0.0);
+  std::string spec = flags.get("spec", kDefaultSpec);
+  // With caches on and no explicit spec, add the bounded cache-corruption
+  // storm: entries rot, the agent's CRC check catches them, and the
+  // re-fetch path must still produce byte-identical results.
+  if (cache_mb > 0.0 && !flags.has("spec")) {
+    spec += ";chunk_cache:corrupt@every=3@limit=9";
+  }
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 20260806));
   constexpr std::uint64_t kInputSeed = 0x5eedf00dULL;  // job inputs, not faults
 
@@ -389,6 +413,7 @@ int main(int argc, char** argv) {
   options.speculation = flags.get("speculation", "on") == "on";
   options.straggler_factor = flags.get_double("straggler-factor", 2.0);
   options.slow_phone = options.speculation;
+  options.cache_mb = cache_mb;
   if (flags.has("pods")) {
     options.use_pods = true;
     const std::string pods = flags.get("pods", "auto");
@@ -475,6 +500,9 @@ int main(int argc, char** argv) {
     if (options.speculation) {
       std::printf(", %zu backups launched, %zu duplicate completions dropped",
                   chaos[i].spec_launches, chaos[i].spec_duplicates);
+    }
+    if (options.cache_mb > 0.0) {
+      std::printf(", %zu chunk refetches", chaos[i].chunk_refetches);
     }
     std::printf(":\n");
     print_fires();

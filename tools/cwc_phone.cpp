@@ -37,6 +37,9 @@ constexpr const char* kUsage = R"(cwc_phone: a CWC phone agent
   --offline              make the unplug silent (keep-alive loss)
   --replug-after-s=N     plug back in N seconds after the unplug
   --max-reconnects=N     reconnect budget after the server drops us (default 5)
+  --cache-mb=X           content-addressed chunk cache budget in MB, kept
+                         across jobs and reconnects (default 0 = off: the
+                         server ships every assignment whole)
   --verbose              info-level logging
 )";
 }  // namespace
@@ -45,8 +48,8 @@ int main(int argc, char** argv) {
   const Flags flags = Flags::parse(argc, argv);
   const auto unknown = flags.unknown({"host", "port", "id", "mhz", "ram-mb", "zone",
                                       "compute-ms-per-kb", "link-kbps", "unplug-after-s",
-                                      "offline", "replug-after-s", "max-reconnects", "verbose",
-                                      "help"});
+                                      "offline", "replug-after-s", "max-reconnects", "cache-mb",
+                                      "verbose", "help"});
   if (!unknown.empty() || flags.get_bool("help")) {
     for (const auto& flag : unknown) std::fprintf(stderr, "unknown flag: --%s\n", flag.c_str());
     std::fputs(kUsage, stderr);
@@ -63,6 +66,8 @@ int main(int argc, char** argv) {
   config.emulated_compute_ms_per_kb = flags.get_double("compute-ms-per-kb", 0.0);
   config.emulated_link_kbps = flags.get_double("link-kbps", 0.0);
   config.max_reconnects = static_cast<int>(flags.get_int("max-reconnects", 5));
+  config.cache_bytes =
+      static_cast<std::uint64_t>(flags.get_double("cache-mb", 0.0) * 1024.0 * 1024.0);
 
   const tasks::TaskRegistry registry = tasks::TaskRegistry::with_builtins();
   net::PhoneAgent agent(static_cast<std::uint16_t>(flags.get_int("port", 7000)), config,

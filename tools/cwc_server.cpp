@@ -54,6 +54,10 @@ constexpr const char* kUsage = R"(cwc_server: the CWC central server
   --pods=auto|N        hierarchical pod packing: partition the fleet into N
                        pods (auto = one pod per 128 schedulable phones) and
                        pack them concurrently (default: flat greedy packing)
+  --chunk-kb=N         content-addressed shipping grid size in KB: agents
+                       that registered a cache budget receive only the
+                       chunks they are missing (default 64; 0 disables
+                       chunking and ships every assignment whole)
   --keepalive-ms=N     keep-alive period (default 5000, 3 misses tolerated)
   --assign-retry-ms=N  re-deliver unreported assignments after N ms,
                        doubling per retry (default 0 = never)
@@ -124,7 +128,8 @@ int main(int argc, char** argv) {
   const Flags flags = Flags::parse(argc, argv);
   const auto unknown =
       flags.unknown({"port", "bind-all", "phones", "timeout-s", "task", "input", "generate",
-                     "pods", "keepalive-ms", "assign-retry-ms", "speculation", "straggler-factor",
+                     "pods", "chunk-kb", "keepalive-ms", "assign-retry-ms", "speculation",
+                     "straggler-factor",
                      "spec-fraction", "health-alpha", "health-quarantine",
                      "health-parole-ticks", "fault-spec", "fault-seed", "metrics-out",
                      "trace-out", "verbose", "help"});
@@ -139,6 +144,8 @@ int main(int argc, char** argv) {
   net::ServerConfig config;
   config.port = static_cast<std::uint16_t>(flags.get_int("port", 7000));
   config.bind_all_interfaces = flags.get_bool("bind-all");
+  config.chunk_bytes =
+      static_cast<std::size_t>(flags.get_double("chunk-kb", 64.0) * 1024.0);
   config.keepalive_period = static_cast<Millis>(flags.get_int("keepalive-ms", 5000));
   config.assign_retry_period = static_cast<Millis>(flags.get_int("assign-retry-ms", 0));
   config.scheduling_period = 500.0;

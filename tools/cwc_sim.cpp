@@ -51,6 +51,16 @@ constexpr const char* kUsage = R"(cwc_sim: CWC testbed simulator
   --health-alpha=X     EWMA weight of the phone-health score (default 0.3)
   --health-quarantine=X  quarantine threshold of the health score (default 0.8)
   --health-parole-ticks=N  instants quarantined before parole (default 3)
+  --chunk-kb=N         content-addressed shipping: chunk grid size in KB
+                       (0 = off, ship everything whole; default 0)
+  --cache-mb=X         per-phone chunk-cache budget in MB (required with
+                       --chunk-kb; both > 0 enable chunking)
+  --locality=on|off    route assignments toward phones already holding a
+                       job's chunks (default on; off = blind baseline that
+                       still caches but never routes for it)
+  --batches=N          run the identical batch N times with phone caches
+                       persisting in between (repeat-campaign model;
+                       default 1). Prints per-batch shipped KB.
   --seed=N             RNG seed (default 42)
   --svg=FILE           write the execution timeline as SVG
   --metrics-out=FILE   write a telemetry snapshot (.csv = CSV, else JSON)
@@ -86,7 +96,8 @@ int main(int argc, char** argv) {
   const auto unknown = flags.unknown({"scheduler", "pods", "phones", "scale", "unplugs", "offline",
                                       "churn", "speculation", "straggler-factor",
                                       "spec-fraction", "health-alpha", "health-quarantine",
-                                      "health-parole-ticks", "seed", "svg", "metrics-out",
+                                      "health-parole-ticks", "chunk-kb", "cache-mb", "locality",
+                                      "batches", "seed", "svg", "metrics-out",
                                       "trace-out", "verbose", "help"});
   if (!unknown.empty() || flags.get_bool("help")) {
     for (const auto& flag : unknown) std::fprintf(stderr, "unknown flag: --%s\n", flag.c_str());
@@ -117,39 +128,71 @@ int main(int argc, char** argv) {
   options.health.alpha = flags.get_double("health-alpha", 0.3);
   options.health.quarantine_threshold = flags.get_double("health-quarantine", 0.8);
   options.health.parole_after_ticks = static_cast<int>(flags.get_int("health-parole-ticks", 3));
-  auto scheduler = make_scheduler(flags.get("scheduler", "cwc-greedy"), flags.get("pods"));
-  const std::string scheduler_name = scheduler->name();
-  sim::TestbedSimulation simulation(std::move(scheduler), core::paper_prediction(), phones,
-                                    options, seed);
+  options.chunk_kb = flags.get_double("chunk-kb", 0.0);
+  options.cache_mb = flags.get_double("cache-mb", 0.0);
+  options.locality_aware = flags.get("locality", "on") == "on";
+  const std::string scheduler_name =
+      make_scheduler(flags.get("scheduler", "cwc-greedy"), flags.get("pods"))->name();
 
-  Rng workload_rng = rng.fork();
+  // The same workload, churn, and unplug events replay in every batch (all
+  // are derived once, ahead of the batch loop): with --batches > 1 only
+  // the chunk caches carry over, so the shipped-KB delta between batch 1
+  // and batch N is purely the cache effect.
+  const std::uint64_t workload_seed = rng.fork().next_u64();
   const double scale = flags.get_double("scale", 1.0);
-  const auto jobs = core::paper_workload(workload_rng, scale);
-  for (const auto& job : jobs) simulation.submit(job);
+  {
+    Rng preview(workload_seed);
+    std::printf("workload: %zu jobs (scale %.2f)\n",
+                core::paper_workload(preview, scale).size(), scale);
+  }
 
   sim::ChurnOptions churn_options;
-  for (const sim::FailureEvent& event : sim::churn_events(churn, churn_options, seed)) {
-    simulation.inject(event);
-  }
+  std::vector<sim::FailureEvent> injected = sim::churn_events(churn, churn_options, seed);
 
   const auto unplugs = static_cast<int>(flags.get_int("unplugs", 0));
   for (int k = 0; k < unplugs; ++k) {
     const auto phone = static_cast<PhoneId>(rng.uniform_int(0, static_cast<std::int64_t>(fleet) - 1));
     const Millis when = seconds(rng.uniform(30.0, 600.0 * scale + 60.0));
-    simulation.inject({when, phone,
-                       flags.get_bool("offline") ? sim::FailureKind::kUnplugOffline
-                                                 : sim::FailureKind::kUnplugOnline});
+    injected.push_back({when, phone,
+                        flags.get_bool("offline") ? sim::FailureKind::kUnplugOffline
+                                                  : sim::FailureKind::kUnplugOnline});
     std::printf("injecting %s unplug: phone %d at %.0f s\n",
                 flags.get_bool("offline") ? "offline" : "online", phone, to_seconds(when));
   }
 
-  const sim::SimResult result = simulation.run();
+  const int batches = std::max(1, static_cast<int>(flags.get_int("batches", 1)));
+  sim::FleetChunkState fleet_chunks;
+  sim::SimResult result;
+  std::size_t job_count = 0;
+  for (int batch = 0; batch < batches; ++batch) {
+    sim::TestbedSimulation simulation(
+        make_scheduler(flags.get("scheduler", "cwc-greedy"), flags.get("pods")),
+        core::paper_prediction(), phones, options, seed);
+    simulation.share_chunk_state(&fleet_chunks);
+    Rng workload_rng(workload_seed);
+    const auto jobs = core::paper_workload(workload_rng, scale);
+    job_count = jobs.size();
+    for (const auto& job : jobs) simulation.submit(job);
+    for (const sim::FailureEvent& event : injected) simulation.inject(event);
+    result = simulation.run();
+    if (batches > 1) {
+      std::printf("batch %d: makespan %.1f s, shipped %.0f KB, cache hits %.0f KB\n",
+                  batch + 1, to_seconds(result.makespan), result.shipped_kb,
+                  result.cache_hit_kb);
+    }
+  }
+
   std::printf("\nscheduler: %s | %zu phones | %zu jobs (scale %.2f)\n", scheduler_name.c_str(),
-              phones.size(), jobs.size(), scale);
+              phones.size(), job_count, scale);
   std::printf("completed: %s\n", result.completed ? "yes" : "NO (max sim time reached)");
   std::printf("makespan:  %.1f s (predicted %.1f s)\n", to_seconds(result.makespan),
               to_seconds(result.predicted_makespan));
   std::printf("rounds:    %zu scheduling instants\n", result.scheduling_rounds);
+  if (options.chunk_kb > 0.0 && options.cache_mb > 0.0) {
+    std::printf("shipped:   %.0f KB over the links, %.0f KB served from caches (%s)\n",
+                result.shipped_kb, result.cache_hit_kb,
+                options.locality_aware ? "locality-aware" : "locality-blind");
+  }
   std::printf("health:    %.0f quarantines, %.0f paroles, %.0f reinstatements\n",
               obs::counter("health.quarantines").value(),
               obs::counter("health.paroles").value(),
@@ -166,7 +209,7 @@ int main(int argc, char** argv) {
   if (flags.has("svg")) {
     sim::SvgOptions svg;
     svg.title = "cwc_sim: " + flags.get("scheduler", "cwc-greedy") + ", " +
-                std::to_string(jobs.size()) + " jobs";
+                std::to_string(job_count) + " jobs";
     sim::write_timeline_svg(result, flags.get("svg"), svg);
     std::printf("timeline:  wrote %s\n", flags.get("svg").c_str());
   }

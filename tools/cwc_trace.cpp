@@ -82,13 +82,22 @@ int main(int argc, char** argv) {
       obs::analyze(trace.events, flags.get_double("straggler-factor", 1.2));
   std::printf("makespan: %.1f s\n\n", to_seconds(analysis.makespan));
 
-  // Per-phone breakdown (the Fig. 12 accounting).
-  std::printf("phone    ship%%  compute%%  overhead%%  idle%%  done  lost  finish_s\n");
+  // Per-phone breakdown (the Fig. 12 accounting). The cache column shows
+  // per-phone chunk-cache hit rate — the fraction of piece bytes served
+  // locally instead of crossing the link — only for traces with chunking.
+  bool any_cache = false;
+  for (const auto& p : analysis.phones) any_cache = any_cache || p.cache_hit_kb > 0.0;
+  std::printf("phone    ship%%  compute%%  overhead%%  idle%%  done  lost  finish_s%s\n",
+              any_cache ? "  cache%" : "");
   for (const auto& p : analysis.phones) {
-    std::printf("%5d    %5.1f  %8.1f  %9.1f  %5.1f  %4d  %4d  %8.1f\n", p.phone,
+    std::printf("%5d    %5.1f  %8.1f  %9.1f  %5.1f  %4d  %4d  %8.1f", p.phone,
                 pct(p.ship_ms, analysis.makespan), pct(p.compute_ms, analysis.makespan),
                 pct(p.overhead_ms, analysis.makespan), pct(p.idle_ms, analysis.makespan),
                 p.completed, p.failed, to_seconds(p.finish));
+    if (any_cache) {
+      std::printf("  %6.1f", pct(p.cache_hit_kb, p.cache_hit_kb + p.shipped_kb));
+    }
+    std::printf("\n");
   }
 
   if (!analysis.stragglers.empty()) {

@@ -21,7 +21,7 @@ cd "$(dirname "$0")/.."
 REPO_ROOT="$(pwd)"
 RECORD="${REPO_ROOT}/BENCH_scheduler.json"
 MODE="${1:-check}"
-FILTER='BM_Greedy|BM_SinglePacking|BM_PreparedPacking|BM_PrepareProblem|BM_PodBuild'
+FILTER='BM_Greedy|BM_SinglePacking|BM_PreparedPacking|BM_PrepareProblem|BM_PodBuild|BM_ShipBytesRepeat'
 # Older google-benchmark releases reject a unit suffix on min_time.
 MIN_TIME="${CWC_BENCH_MIN_TIME:-0.2}"
 
@@ -168,6 +168,23 @@ if health_off and health_on:
     print(f"health-scoring bound-path overhead:     {overhead:+.2%} "
           f"(gate {HEALTH_THRESHOLD:.0%}) {verdict}")
     if overhead > HEALTH_THRESHOLD:
+        failed = True
+
+# Repeat-shipping gate: BM_ShipBytesRepeat simulates the same batch twice
+# with phone chunk caches persisting in between and reports shipped KB per
+# batch as counters. The second batch must ship at least SHIP_FACTOR times
+# fewer bytes — the content-addressed cache's whole reason to exist.
+SHIP_FACTOR = 3.0
+ship = [b.get("ship_reduction") for b in raw["benchmarks"]
+        if b["name"].startswith("BM_ShipBytesRepeat")
+        and b.get("run_type", "iteration") == "iteration"
+        and b.get("ship_reduction") is not None]
+if ship:
+    reduction = min(ship)
+    verdict = "OK" if reduction >= SHIP_FACTOR else "<< REGRESSION"
+    print(f"repeat-batch shipped-byte reduction: {reduction:.1f}x "
+          f"(gate >= {SHIP_FACTOR:.0f}x) {verdict}")
+    if reduction < SHIP_FACTOR:
         failed = True
 
 # Pod-build wall-time gate: an absolute budget, not a relative one. The
