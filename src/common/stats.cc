@@ -103,10 +103,20 @@ Histogram::Histogram(double lo, double hi, std::size_t buckets)
 }
 
 void Histogram::add(double x) {
-  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
-  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width);
-  idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(idx)];
+  // Non-finite samples clamp into the edge buckets rather than being
+  // dropped or cast while NaN/inf (casting a NaN double to an integer is
+  // UB and can land on an arbitrary bucket index). NaN carries no ordering
+  // information, so it counts as an underflow like -inf; +inf overflows.
+  std::size_t idx;
+  if (std::isnan(x) || x <= lo_) {
+    idx = 0;
+  } else if (!std::isfinite(x) || x >= hi_) {
+    idx = counts_.size() - 1;
+  } else {
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    idx = std::min(static_cast<std::size_t>((x - lo_) / width), counts_.size() - 1);
+  }
+  ++counts_[idx];
   ++total_;
 }
 

@@ -15,6 +15,7 @@
 #include "common/buffer.h"
 #include "common/crc32.h"
 #include "common/fault.h"
+#include "obs/latency_hist.h"
 
 namespace cwc::net {
 
@@ -142,6 +143,9 @@ void Journal::append(const Blob& record) {
     }
   }
 
+  // Time the write syscalls only (not the CRC framing above): this is the
+  // durability stall the event loop actually eats per banked record.
+  const auto write_start = std::chrono::steady_clock::now();
   std::size_t written = 0;
   while (written < limit) {
     const ssize_t n = ::write(fd_, framed.data() + written, limit - written);
@@ -151,6 +155,10 @@ void Journal::append(const Blob& record) {
     }
     written += static_cast<std::size_t>(n);
   }
+  obs::latency("server.journal_append_ms")
+      .record(std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                        write_start)
+                  .count());
   if (fail_after) throw std::runtime_error("Journal: injected torn write");
 }
 

@@ -1,0 +1,73 @@
+// Live telemetry exposition: a minimal single-threaded HTTP GET server.
+//
+// `cwc_server --obs-port=P` (and anything else that wants a live view)
+// starts one of these; it serves the process-wide metrics registries:
+//
+//   GET /metrics        Prometheus text format: counters, gauges, latency
+//                       histograms (as _bucket/_count/_sum plus quantile
+//                       gauges). `phone.<id>.field` gauges render as
+//                       cwc_phone_field{phone="<id>"} label series.
+//   GET /metrics.json   The obs/snapshot.h JSON document, plus a
+//                       "latency" section with per-histogram quantiles.
+//   GET /healthz        "ok\n", 200 — liveness for scripts and cwc_top.
+//
+// Deliberately not a web framework: one accept loop on its own thread,
+// one request per connection (Connection: close), GET only, no TLS, no
+// keep-alive. The fleet-facing wire protocol stays on the main poll loop;
+// this side-channel can afford to be boring and sequential. cwc_top and
+// the CI smoke leg are the intended clients, not the open internet —
+// bind it to loopback (the default) unless you know better.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "net/socket.h"
+
+namespace cwc::net {
+
+/// Renders the global registries (obs::MetricsRegistry + obs::LatencyRegistry)
+/// in Prometheus text exposition format. Metric names are sanitized
+/// (dots/dashes -> underscores, "cwc_" prefix); per-phone gauges named
+/// `phone.<id>.<field>` become `cwc_phone_<field>{phone="<id>"}` series so
+/// one fleet-wide metric carries every phone's row.
+std::string render_prometheus();
+
+/// The /metrics.json document: the snapshot JSON with a "latency" object
+/// appended ({"name": {"count": N, "p50": .., "p95": .., "p99": ..}}).
+std::string render_metrics_json();
+
+class ObsHttpServer {
+ public:
+  /// Binds immediately (throws SocketError on failure); port() is valid
+  /// after construction even with port 0 (kernel-assigned).
+  explicit ObsHttpServer(std::uint16_t port, bool loopback_only = true);
+  ~ObsHttpServer();
+  ObsHttpServer(const ObsHttpServer&) = delete;
+  ObsHttpServer& operator=(const ObsHttpServer&) = delete;
+
+  std::uint16_t port() const { return listener_.port(); }
+
+  /// Starts the accept/serve thread. No-op if already running.
+  void start();
+  /// Stops and joins the thread; safe to call repeatedly (the destructor
+  /// calls it too).
+  void stop();
+
+  std::uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void serve_loop();
+  void handle_connection(TcpConnection conn);
+
+  TcpListener listener_;
+  std::thread thread_;
+  std::atomic<bool> stop_flag_{false};
+  std::atomic<std::uint64_t> requests_served_{0};
+};
+
+}  // namespace cwc::net

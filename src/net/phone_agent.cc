@@ -103,11 +103,32 @@ void PhoneAgent::service_keepalives(TcpConnection& conn, FrameDecoder& decoder) 
   while (auto frame = decoder.pop()) {
     obs::counter("net.agent.frames_received").inc();
     if (peek_type(*frame) == MsgType::kKeepAlive) {
-      send_frame(conn, encode_keepalive_ack(decode_keepalive(*frame).seq));
+      ack_keepalive(conn, decode_keepalive(*frame).seq);
     } else {
       stash_.push_back(std::move(*frame));
     }
   }
+}
+
+AgentStats PhoneAgent::current_stats() const {
+  AgentStats stats;
+  stats.cache_hit_kb = cache_hit_kb_.load(std::memory_order_relaxed);
+  stats.cache_miss_kb = cache_miss_kb_.load(std::memory_order_relaxed);
+  stats.cache_bytes = chunk_cache_.bytes();
+  stats.cache_budget_bytes = chunk_cache_.enabled() ? chunk_cache_.budget() : 0;
+  stats.replay_depth = static_cast<std::uint32_t>(completed_cache_.size());
+  stats.charging = !unplugged_.load(std::memory_order_relaxed);
+  if (exec_hist_.count() > 0) {
+    const auto q = exec_hist_.quantiles();
+    stats.exec_p50_ms = q.p50;
+    stats.exec_p95_ms = q.p95;
+    stats.exec_p99_ms = q.p99;
+  }
+  return stats;
+}
+
+void PhoneAgent::ack_keepalive(TcpConnection& conn, std::uint64_t seq) {
+  send_frame(conn, encode_keepalive_ack(seq, current_stats()));
 }
 
 void PhoneAgent::responsive_sleep(double ms, TcpConnection& conn, FrameDecoder& decoder) {
@@ -228,7 +249,7 @@ bool PhoneAgent::session() {
           handle_assignment(conn, decoder, decode_assign_piece(*frame));
           break;
         case MsgType::kKeepAlive:
-          send_frame(conn, encode_keepalive_ack(decode_keepalive(*frame).seq));
+          ack_keepalive(conn, decode_keepalive(*frame).seq);
           break;
         case MsgType::kCancelPiece:
           // The in-flight piece it names already reported (our completion
@@ -297,7 +318,7 @@ void PhoneAgent::handle_probe(TcpConnection& conn, FrameDecoder& decoder,
     if (!frame) throw SocketError("probe stream interrupted", ECONNRESET);
     // Keep-alives interleave freely with probe data; answer and move on.
     if (peek_type(*frame) == MsgType::kKeepAlive) {
-      send_frame(conn, encode_keepalive_ack(decode_keepalive(*frame).seq));
+      ack_keepalive(conn, decode_keepalive(*frame).seq);
       continue;
     }
     if (peek_type(*frame) != MsgType::kProbeData) {
@@ -339,6 +360,9 @@ bool PhoneAgent::reconstruct_chunks(TcpConnection& conn, AssignPieceMsg& msg) {
           continue;
         }
         chunk_cache_.insert(chunk.id, payload);
+        cache_miss_kb_.store(cache_miss_kb_.load(std::memory_order_relaxed) +
+                                 static_cast<double>(size) / 1024.0,
+                             std::memory_order_relaxed);
         by_offset[chunk.offset] = std::move(payload);
       } else {
         // The fault point models a bit-rotted cache entry: the corruption
@@ -353,6 +377,9 @@ bool PhoneAgent::reconstruct_chunks(TcpConnection& conn, AssignPieceMsg& msg) {
           }
         }
         if (const std::vector<std::uint8_t>* payload = chunk_cache_.find(chunk.id)) {
+          cache_hit_kb_.store(cache_hit_kb_.load(std::memory_order_relaxed) +
+                                  static_cast<double>(size) / 1024.0,
+                              std::memory_order_relaxed);
           by_offset[chunk.offset] = *payload;
         } else {
           missing.push_back(chunk.id);
@@ -532,6 +559,7 @@ void PhoneAgent::handle_assignment(TcpConnection& conn, FrameDecoder& decoder,
       w.write_bytes(checkpoint.state);
       failure.checkpoint = w.take();
       failure.local_exec_ms = elapsed_ms(exec_start);
+      exec_hist_.record(failure.local_exec_ms);
       emit(obs::TraceEventType::kPieceStarted, exec_trace_start, obs::trace_now(),
            failure.local_exec_ms);
       send_frame(conn, encode(failure));
@@ -573,6 +601,7 @@ void PhoneAgent::handle_assignment(TcpConnection& conn, FrameDecoder& decoder,
   completion.attempt = assignment.trace_attempt;
   completion.partial_result = task->partial_result();
   completion.local_exec_ms = elapsed_ms(exec_start);
+  exec_hist_.record(completion.local_exec_ms);
   emit(obs::TraceEventType::kPieceStarted, exec_trace_start, obs::trace_now(),
        completion.local_exec_ms);
   if (assignment.trace_piece >= 0) {

@@ -37,6 +37,7 @@
 #include "net/framing.h"
 #include "net/protocol.h"
 #include "net/socket.h"
+#include "obs/latency_hist.h"
 #include "tasks/registry.h"
 
 namespace cwc::net {
@@ -162,6 +163,12 @@ class PhoneAgent {
   /// True when a stashed CancelPiece matches the in-flight assignment (the
   /// server's speculation twin won); stale cancels are consumed and counted.
   bool cancel_requested(const AssignPieceMsg& assignment);
+  /// Sends the keep-alive ack with the agent's telemetry block attached —
+  /// the single choke point for all three ack sites (session loop, probe
+  /// loop, service_keepalives), so shipped stats never drift between them.
+  void ack_keepalive(TcpConnection& conn, std::uint64_t seq);
+  /// Phone-local facts the server cannot observe, shipped on every ack.
+  AgentStats current_stats() const;
 
   std::uint16_t port_;
   PhoneAgentConfig config_;
@@ -180,6 +187,14 @@ class PhoneAgent {
   /// Content-addressed payload cache, owned by the agent thread but kept on
   /// the object so it survives reconnects (its manifest re-registers).
   ChunkCache chunk_cache_;
+  /// Cumulative chunk bytes served locally vs. shipped, reported in the
+  /// keep-alive stats block (the server's cache.* counters aggregate the
+  /// fleet; these are this phone's share).
+  std::atomic<double> cache_hit_kb_{0.0};
+  std::atomic<double> cache_miss_kb_{0.0};
+  /// Local piece-turnaround distribution (assignment decoded -> report
+  /// sent); its p50/p95/p99 ship with every keep-alive ack.
+  obs::LatencyHistogram exec_hist_;
   std::deque<Blob> stash_;  ///< frames set aside by service_keepalives
   bool session_registered_ = false;  ///< last session reached registration
 

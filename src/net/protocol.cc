@@ -243,6 +243,25 @@ Blob encode_keepalive_ack(std::uint64_t seq) {
   return w.take();
 }
 
+Blob encode_keepalive_ack(std::uint64_t seq, const AgentStats& stats) {
+  BufferWriter w = begin(MsgType::kKeepAliveAck);
+  w.write_u64(seq);
+  // Trailing stats block, led by a version byte so the layout can grow
+  // again without another flag. Legacy decoders stop at the seq and never
+  // look here; the stats-free overload above stays byte-identical.
+  w.write_u8(1);
+  w.write_f64(stats.cache_hit_kb);
+  w.write_f64(stats.cache_miss_kb);
+  w.write_u64(stats.cache_bytes);
+  w.write_u64(stats.cache_budget_bytes);
+  w.write_u32(stats.replay_depth);
+  w.write_u8(stats.charging ? 1 : 0);
+  w.write_f64(stats.exec_p50_ms);
+  w.write_f64(stats.exec_p95_ms);
+  w.write_f64(stats.exec_p99_ms);
+  return w.take();
+}
+
 KeepAliveMsg decode_keepalive(const Blob& frame) {
   BufferReader r = open(frame, MsgType::kKeepAlive);
   return KeepAliveMsg{r.read_u64()};
@@ -251,6 +270,26 @@ KeepAliveMsg decode_keepalive(const Blob& frame) {
 KeepAliveMsg decode_keepalive_ack(const Blob& frame) {
   BufferReader r = open(frame, MsgType::kKeepAliveAck);
   return KeepAliveMsg{r.read_u64()};
+}
+
+KeepAliveAckMsg decode_keepalive_ack_stats(const Blob& frame) {
+  BufferReader r = open(frame, MsgType::kKeepAliveAck);
+  KeepAliveAckMsg msg;
+  msg.seq = r.read_u64();
+  if (r.remaining() == 0) return msg;  // legacy agent: seq only
+  const std::uint8_t version = r.read_u8();
+  if (version < 1) return msg;
+  msg.has_stats = true;
+  msg.stats.cache_hit_kb = r.read_f64();
+  msg.stats.cache_miss_kb = r.read_f64();
+  msg.stats.cache_bytes = r.read_u64();
+  msg.stats.cache_budget_bytes = r.read_u64();
+  msg.stats.replay_depth = r.read_u32();
+  msg.stats.charging = r.read_u8() != 0;
+  msg.stats.exec_p50_ms = r.read_f64();
+  msg.stats.exec_p95_ms = r.read_f64();
+  msg.stats.exec_p99_ms = r.read_f64();
+  return msg;
 }
 
 Blob encode_shutdown() { return begin(MsgType::kShutdown).take(); }

@@ -167,10 +167,40 @@ PieceFailedMsg decode_piece_failed(const Blob& frame);
 struct KeepAliveMsg {
   std::uint64_t seq = 0;
 };
+
+/// Telemetry an agent piggy-backs on its keep-alive ack — the fleet's
+/// heartbeat doubles as its stats channel, so live visibility costs zero
+/// extra frames. All values are cumulative-or-instantaneous phone-local
+/// facts the server cannot otherwise observe.
+struct AgentStats {
+  double cache_hit_kb = 0.0;        ///< chunk bytes served from local cache
+  double cache_miss_kb = 0.0;       ///< chunk bytes that had to ship
+  std::uint64_t cache_bytes = 0;    ///< current chunk-cache occupancy
+  std::uint64_t cache_budget_bytes = 0;  ///< configured cache budget (0 = off)
+  std::uint32_t replay_depth = 0;   ///< (piece, attempt) replay-cache entries
+  bool charging = true;             ///< false once the phone unplugs
+  double exec_p50_ms = 0.0;         ///< local piece-turnaround quantiles,
+  double exec_p95_ms = 0.0;         ///<   from the agent's own latency
+  double exec_p99_ms = 0.0;         ///<   histogram (0 until first piece)
+};
+
+struct KeepAliveAckMsg {
+  std::uint64_t seq = 0;
+  /// False when the ack came from an agent predating shipped stats — the
+  /// trailing block is optional exactly like RegisterMsg.zone, and the
+  /// stats-free encoding is pinned byte-identical to the legacy frame.
+  bool has_stats = false;
+  AgentStats stats;
+};
+
 Blob encode_keepalive(std::uint64_t seq);
 Blob encode_keepalive_ack(std::uint64_t seq);
+/// Ack with the trailing stats block attached.
+Blob encode_keepalive_ack(std::uint64_t seq, const AgentStats& stats);
 KeepAliveMsg decode_keepalive(const Blob& frame);
 KeepAliveMsg decode_keepalive_ack(const Blob& frame);
+/// Full decode including the optional stats block (absent → has_stats false).
+KeepAliveAckMsg decode_keepalive_ack_stats(const Blob& frame);
 
 Blob encode_shutdown();
 

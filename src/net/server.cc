@@ -10,6 +10,7 @@
 
 #include "common/fault.h"
 #include "common/log.h"
+#include "obs/latency_hist.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -87,6 +88,20 @@ CwcServer::CwcServer(std::unique_ptr<core::Scheduler> scheduler,
   obs::counter("cache.miss_kb");
   obs::counter("cache.evicted_kb");
   obs::counter("cache.refetch_kb");
+  // Live latency histograms (lock-free; see obs/latency_hist.h), created
+  // up front so /metrics exposes them with zero counts from the first
+  // scrape onward.
+  obs::latency("server.keepalive_rtt_ms");
+  obs::latency("server.assign_report_ms");
+  obs::latency("server.journal_append_ms");
+  // Fleet roll-up gauges, refreshed every keep-alive tick.
+  obs::gauge("fleet.phones_connected");
+  obs::gauge("fleet.phones_charging");
+  obs::gauge("fleet.pieces_in_flight");
+  obs::gauge("fleet.cache_bytes");
+  obs::gauge("fleet.replay_depth");
+  obs::gauge("fleet.cache_hit_kb");
+  obs::gauge("fleet.cache_miss_kb");
   controller_.bind_locality(&locality_);
   listener_.set_nonblocking(true);
 }
@@ -309,12 +324,24 @@ void CwcServer::handle_frame(Connection& c, const Blob& frame) {
       // resets the consecutive-miss count. A stale ack (an earlier ping's
       // reply finally surfacing) does not: the phone may have been
       // unreachable since.
-      const KeepAliveMsg msg = decode_keepalive_ack(frame);
+      const KeepAliveAckMsg msg = decode_keepalive_ack_stats(frame);
       if (msg.seq == c.keepalive_seq) {
         c.keepalive_acked = msg.seq;
         c.keepalive_missed = 0;
+        const double rtt_ms = std::chrono::duration<double, std::milli>(
+                                  std::chrono::steady_clock::now() - c.keepalive_sent_at)
+                                  .count();
+        obs::latency("server.keepalive_rtt_ms").record(rtt_ms);
+        obs::gauge("phone." + std::to_string(c.phone) + ".keepalive_rtt_ms").set(rtt_ms);
       } else {
         obs::counter("net.server.keepalive.stale_acks").inc();
+      }
+      // Stats ride every ack — stale or not, the phone-local facts they
+      // carry are current as of the send.
+      if (msg.has_stats) {
+        c.has_stats = true;
+        c.last_stats = msg.stats;
+        publish_phone_gauges(c);
       }
       break;
     }
@@ -733,6 +760,9 @@ void CwcServer::on_complete(Connection& c, const PieceCompleteMsg& msg) {
   // First valid completion wins: if this piece was speculated, cancel the
   // twin attempt and attribute the queue pop to the owner phone while the
   // measurement credits whoever actually executed it.
+  // Full assignment round-trip (first send of this assignment -> valid
+  // report), the live counterpart of the sim's ship+execute spans.
+  obs::latency("server.assign_report_ms").record(now_ms_ - c.piece_started_ms);
   const PhoneId owner = resolve_speculation(c);
   c.busy = false;
   c.speculative = false;
@@ -1092,6 +1122,7 @@ void CwcServer::send_keepalives(double) {
     }
     try {
       send_frame(c.conn, encode_keepalive(seq));
+      c.keepalive_sent_at = Clock::now();
       obs::counter("net.server.keepalives_sent").inc();
       if (obs::trace_enabled()) {
         obs::TraceEvent event;
@@ -1105,6 +1136,61 @@ void CwcServer::send_keepalives(double) {
       drop_connection(c, /*lost=*/true);
     }
   }
+  // The keep-alive tick is the fleet's natural telemetry cadence: refresh
+  // every connected phone's gauges (health can change without an ack
+  // arriving) and roll them up fleet-wide.
+  for (auto& connection : connections_) {
+    if (connection->conn.valid() && connection->registered) {
+      publish_phone_gauges(*connection);
+    }
+  }
+  publish_fleet_gauges();
+}
+
+void CwcServer::publish_phone_gauges(const Connection& c) {
+  if (c.phone == kInvalidPhone) return;
+  const std::string prefix = "phone." + std::to_string(c.phone) + ".";
+  obs::gauge(prefix + "health_state")
+      .set(static_cast<double>(controller_.health().state(c.phone)));
+  obs::gauge(prefix + "in_flight").set(c.busy ? 1.0 : 0.0);
+  if (!c.has_stats) return;
+  const AgentStats& s = c.last_stats;
+  const double cache_pct =
+      s.cache_budget_bytes > 0 ? 100.0 * static_cast<double>(s.cache_bytes) /
+                                     static_cast<double>(s.cache_budget_bytes)
+                               : 0.0;
+  obs::gauge(prefix + "cache_pct").set(cache_pct);
+  obs::gauge(prefix + "cache_hit_kb").set(s.cache_hit_kb);
+  obs::gauge(prefix + "cache_miss_kb").set(s.cache_miss_kb);
+  obs::gauge(prefix + "replay_depth").set(static_cast<double>(s.replay_depth));
+  obs::gauge(prefix + "charging").set(s.charging ? 1.0 : 0.0);
+  obs::gauge(prefix + "exec_p50_ms").set(s.exec_p50_ms);
+  obs::gauge(prefix + "exec_p95_ms").set(s.exec_p95_ms);
+  obs::gauge(prefix + "exec_p99_ms").set(s.exec_p99_ms);
+}
+
+void CwcServer::publish_fleet_gauges() {
+  double connected = 0, charging = 0, in_flight = 0;
+  double cache_bytes = 0, replay_depth = 0, hit_kb = 0, miss_kb = 0;
+  for (const auto& connection : connections_) {
+    const Connection& c = *connection;
+    if (!c.conn.valid() || !c.registered) continue;
+    ++connected;
+    if (c.busy) ++in_flight;
+    if (!c.has_stats) continue;
+    if (c.last_stats.charging) ++charging;
+    cache_bytes += static_cast<double>(c.last_stats.cache_bytes);
+    replay_depth += static_cast<double>(c.last_stats.replay_depth);
+    hit_kb += c.last_stats.cache_hit_kb;
+    miss_kb += c.last_stats.cache_miss_kb;
+  }
+  obs::gauge("fleet.phones_connected").set(connected);
+  obs::gauge("fleet.phones_charging").set(charging);
+  obs::gauge("fleet.pieces_in_flight").set(in_flight);
+  obs::gauge("fleet.cache_bytes").set(cache_bytes);
+  obs::gauge("fleet.replay_depth").set(replay_depth);
+  obs::gauge("fleet.cache_hit_kb").set(hit_kb);
+  obs::gauge("fleet.cache_miss_kb").set(miss_kb);
 }
 
 void CwcServer::retry_assignments(double now_ms) {

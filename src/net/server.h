@@ -17,6 +17,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -170,6 +171,13 @@ class CwcServer {
     std::uint64_t keepalive_seq = 0;    ///< seq of the last ping sent
     std::uint64_t keepalive_acked = 0;  ///< highest latest-ping ack seen
     int keepalive_missed = 0;           ///< consecutive unanswered ticks
+    /// Wall-clock send time of the latest ping (the run clock ticks at
+    /// poll granularity — too coarse for a loopback RTT histogram).
+    std::chrono::steady_clock::time_point keepalive_sent_at{};
+    /// Latest telemetry block shipped on a keep-alive ack; stays false for
+    /// legacy agents, whose acks carry the seq alone.
+    bool has_stats = false;
+    AgentStats last_stats;
     /// In-flight assignment for idempotent re-delivery: the encoded frame
     /// is kept until its report arrives so a retry timer can re-send it
     /// verbatim (same piece_seq, same (piece, attempt) identity).
@@ -234,6 +242,12 @@ class CwcServer {
   void abort_speculation(Connection& c);
   Connection* find_connection(PhoneId phone);
   void send_keepalives(double now_ms);
+  /// Publishes this phone's gauges (health state, cache%, in-flight,
+  /// shipped stats) under `phone.<id>.*` — the per-phone rows /metrics and
+  /// cwc_top render.
+  void publish_phone_gauges(const Connection& c);
+  /// Rolls the per-connection stats blocks up into `fleet.*` gauges.
+  void publish_fleet_gauges();
   /// Re-sends overdue in-flight assignments (see assign_retry_period).
   void retry_assignments(double now_ms);
   /// Drops connections whose registration or probe exchange has exceeded

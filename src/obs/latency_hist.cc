@@ -1,0 +1,167 @@
+#include "obs/latency_hist.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace cwc::obs {
+
+namespace {
+// The sum keeps record() wait-free by accumulating nanosecond fixed point
+// with one relaxed fetch_add (a CAS loop on an atomic double retries under
+// contention — exactly what the keep-alive ack path cannot afford). NaN
+// and negative samples contribute zero; the 1e9 ms (~11.5 day) cap keeps
+// even absurd samples from ever overflowing the 64-bit accumulator.
+std::uint64_t to_fixed_ns(double ms) {
+  if (!(ms > 0.0)) return 0;
+  return static_cast<std::uint64_t>(std::min(ms, 1.0e9) * 1.0e6 + 0.5);
+}
+}  // namespace
+
+std::size_t LatencyHistogram::bucket_index(double ms) {
+  // Read the IEEE-754 fields directly instead of frexp: a normal double is
+  // 1.mantissa * 2^(e-1023), so the octave is the unbiased exponent and the
+  // sub-bucket is the top log2(kSubBuckets) mantissa bits. This keeps the
+  // hot record() path to a handful of integer ops with no libm call.
+  static_assert(kSubBuckets == 8, "sub-bucket extraction reads 3 mantissa bits");
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &ms, sizeof bits);
+  // Sign bit: negative values (and -NaN) carry no latency → underflow.
+  if (bits >> 63) return 0;
+  const auto exp_field = static_cast<int>((bits >> 52) & 0x7ff);
+  const int exp = exp_field - 1023;
+  // Zero, subnormals, and anything below the tracked range → underflow.
+  if (exp < kMinExp) return 0;
+  if (exp >= kMaxExp) {
+    // Saturated exponent field is +inf or NaN; NaN carries no ordering
+    // information and joins the underflow bucket like out-of-range lows.
+    const bool is_nan = exp_field == 0x7ff && (bits << 12) != 0;
+    return is_nan ? 0 : kBuckets - 1;
+  }
+  const auto sub = static_cast<std::size_t>((bits >> 49) & 0x7);
+  return 1 + static_cast<std::size_t>(exp - kMinExp) * kSubBuckets + sub;
+}
+
+double LatencyHistogram::bucket_low(std::size_t i) {
+  if (i == 0) return 0.0;
+  if (i >= kBuckets - 1) return std::ldexp(1.0, kMaxExp);
+  const std::size_t k = i - 1;
+  const int octave = static_cast<int>(k) / kSubBuckets;
+  const int sub = static_cast<int>(k) % kSubBuckets;
+  return std::ldexp(1.0 + static_cast<double>(sub) / kSubBuckets, kMinExp + octave);
+}
+
+double LatencyHistogram::bucket_high(std::size_t i) {
+  if (i >= kBuckets - 1) return std::ldexp(1.0, kMaxExp) * 2.0;  // nominal cap
+  return bucket_low(i + 1);
+}
+
+void LatencyHistogram::record(double ms) {
+  buckets_[bucket_index(ms)].fetch_add(1, std::memory_order_relaxed);
+  sum_ns_.fetch_add(to_fixed_ns(ms), std::memory_order_relaxed);
+}
+
+std::uint64_t LatencyHistogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const auto c = other.buckets_[i].load(std::memory_order_relaxed);
+    if (c) buckets_[i].fetch_add(c, std::memory_order_relaxed);
+  }
+  sum_ns_.fetch_add(other.sum_ns_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+}
+
+double LatencyHistogram::quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  // Snapshot the buckets once so the rank and the scan agree even while
+  // record() runs concurrently.
+  std::array<std::uint64_t, kBuckets> snap;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    snap[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += snap[i];
+  }
+  if (total == 0) return 0.0;
+  // Rank of the q-th sample, 1-based; q=0 → first sample, q=1 → last.
+  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (snap[i] == 0) continue;
+    if (seen + snap[i] >= rank) {
+      // Interpolate linearly within the bucket by the rank's position.
+      const double frac =
+          static_cast<double>(rank - seen) / static_cast<double>(snap[i]);
+      return bucket_low(i) + frac * (bucket_high(i) - bucket_low(i));
+    }
+    seen += snap[i];
+  }
+  return bucket_high(kBuckets - 1);
+}
+
+LatencyHistogram::Quantiles LatencyHistogram::quantiles() const {
+  Quantiles out;
+  out.count = count();
+  if (out.count == 0) return out;
+  out.p50 = quantile(0.50);
+  out.p95 = quantile(0.95);
+  out.p99 = quantile(0.99);
+  for (std::size_t i = kBuckets; i-- > 0;) {
+    if (buckets_[i].load(std::memory_order_relaxed)) {
+      out.max = bucket_high(i);
+      break;
+    }
+  }
+  return out;
+}
+
+void LatencyHistogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  sum_ns_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<LatencyHistogram::Bucket> LatencyHistogram::nonzero_buckets() const {
+  std::vector<Bucket> out;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const auto c = buckets_[i].load(std::memory_order_relaxed);
+    if (c) out.push_back({bucket_low(i), bucket_high(i), c});
+  }
+  return out;
+}
+
+LatencyHistogram& LatencyRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = hists_[name];
+  if (!slot) slot = std::make_unique<LatencyHistogram>();
+  return *slot;
+}
+
+const LatencyHistogram* LatencyRegistry::find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = hists_.find(name);
+  return it == hists_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> LatencyRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(hists_.size());
+  for (const auto& [name, hist] : hists_) out.push_back(name);
+  return out;
+}
+
+void LatencyRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  hists_.clear();
+}
+
+LatencyRegistry& LatencyRegistry::global() {
+  static LatencyRegistry registry;
+  return registry;
+}
+
+}  // namespace cwc::obs

@@ -1,0 +1,122 @@
+// Lock-free log-bucketed latency histograms for hot live paths.
+//
+// The registry's HistogramMetric takes a mutex per observe() — fine for the
+// scheduler's once-per-instant spans, unaffordable on paths that fire per
+// frame (keep-alive acks, journal appends). LatencyHistogram records with a
+// single relaxed fetch_add into a log2-spaced bucket, so it stays enabled by
+// default; the <2% overhead gate lives in tools/run_benches.sh
+// (BM_KeepAliveHist).
+//
+//   obs::latency("server.keepalive_rtt_ms").record(rtt_ms);
+//   ...
+//   const auto q = obs::latency("server.keepalive_rtt_ms").quantiles();
+//   // q.p50 / q.p95 / q.p99
+//
+// Buckets: values in milliseconds, 8 sub-buckets per octave (power of two)
+// from 2^-10 ms (~1 us) to 2^22 ms (~70 min), plus explicit underflow and
+// overflow buckets. Geometric spacing bounds the relative quantile error at
+// one sub-bucket width (~9%), which the accuracy test pins against a
+// reference sort. merge() is a bucket-wise add, so per-thread or per-agent
+// histograms fold into fleet-wide ones associatively.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cwc::obs {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kMinExp = -10;                 // 2^-10 ms ~ 1 us
+  static constexpr int kMaxExp = 22;                  // 2^22 ms ~ 70 min
+  static constexpr int kSubBuckets = 8;               // per octave
+  static constexpr std::size_t kBuckets =
+      static_cast<std::size_t>(kMaxExp - kMinExp) * kSubBuckets + 2;  // +under/overflow
+
+  LatencyHistogram() = default;
+  // Atomic arrays are not copyable; a snapshot-copy is what callers want.
+  LatencyHistogram(const LatencyHistogram& other) { merge(other); }
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// Record one sample, in milliseconds. Wait-free: one relaxed fetch_add
+  /// per counter. NaN clamps to underflow, +inf to overflow.
+  void record(double ms);
+
+  /// Bucket-wise accumulate `other` into this histogram. Relaxed loads on
+  /// the source make this a snapshot-merge: safe concurrent with record().
+  void merge(const LatencyHistogram& other);
+
+  /// Total recorded samples (sum over the buckets; cold path).
+  std::uint64_t count() const;
+  /// Sum of all samples in ms. Nanosecond fixed point internally, so the
+  /// hot path is one relaxed fetch_add instead of a CAS loop on a double;
+  /// sum()/count() is the mean to ~1 ns per sample.
+  double sum() const {
+    return static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) / 1.0e6;
+  }
+
+  struct Quantiles {
+    std::uint64_t count = 0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double max = 0.0;  // upper bound of the highest non-empty bucket
+  };
+  Quantiles quantiles() const;
+
+  /// Arbitrary quantile in [0, 1], interpolated within the bucket.
+  double quantile(double q) const;
+
+  /// Zero every bucket (not atomic across buckets; callers quiesce first).
+  void reset();
+
+  /// Non-empty buckets as (low_ms, high_ms, count), for exports.
+  struct Bucket {
+    double low_ms;
+    double high_ms;
+    std::uint64_t count;
+  };
+  std::vector<Bucket> nonzero_buckets() const;
+
+  /// Bucket bounds for index `i` (0 = underflow, kBuckets-1 = overflow).
+  static double bucket_low(std::size_t i);
+  static double bucket_high(std::size_t i);
+  /// Bucket index for a sample; exposed for tests.
+  static std::size_t bucket_index(double ms);
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> sum_ns_{0};
+};
+
+/// Named process-wide latency histograms. Separate from MetricsRegistry so
+/// the snapshot JSON/CSV schema (obs/snapshot.h) stays untouched; the live
+/// exposition (/metrics) and the time-series sampler read both registries.
+class LatencyRegistry {
+ public:
+  /// Created on first use; the reference stays valid until reset().
+  LatencyHistogram& histogram(const std::string& name);
+
+  const LatencyHistogram* find(const std::string& name) const;
+  std::vector<std::string> names() const;
+  void reset();
+
+  static LatencyRegistry& global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> hists_;
+};
+
+/// Shorthand mirroring obs::counter()/obs::gauge().
+inline LatencyHistogram& latency(const std::string& name) {
+  return LatencyRegistry::global().histogram(name);
+}
+
+}  // namespace cwc::obs

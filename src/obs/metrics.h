@@ -21,6 +21,7 @@
 #pragma once
 
 #include <atomic>
+#include <cmath>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -69,6 +70,14 @@ class HistogramMetric {
       : lo_(lo), hi_(hi), histogram_(lo, hi, buckets) {}
 
   void observe(double x) {
+    // Non-finite samples clamp to the range edges: the histogram already
+    // folds them into its edge buckets, but a single NaN fed to the
+    // OnlineStats accumulator would poison mean/min/max forever.
+    if (std::isnan(x)) {
+      x = lo_;
+    } else if (!std::isfinite(x)) {
+      x = x > 0 ? hi_ : lo_;
+    }
     std::lock_guard<std::mutex> lock(mutex_);
     histogram_.add(x);
     stats_.add(x);

@@ -363,4 +363,17 @@ void write_snapshot_file(const std::string& path, const MetricsRegistry& registr
   if (!file.flush()) throw std::runtime_error("short write of metrics snapshot to " + path);
 }
 
+bool write_snapshot_file_atomic(const std::string& path, const MetricsRegistry& registry) {
+  const Snapshot snapshot = capture(registry);
+  const bool csv = path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+    if (!file) return false;
+    file << (csv ? to_csv(snapshot) : to_json(snapshot));
+    if (!file.flush()) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
 }  // namespace cwc::obs

@@ -63,4 +63,11 @@ Snapshot from_csv(const std::string& text);
 void write_snapshot_file(const std::string& path,
                          const MetricsRegistry& registry = MetricsRegistry::global());
 
+/// Like write_snapshot_file but via tmp-file + rename, so a reader polling
+/// `path` mid-run (--metrics-interval-ms) never sees a torn document.
+/// Returns false instead of throwing — periodic rewrites should not kill
+/// a healthy run over a transient I/O error.
+bool write_snapshot_file_atomic(const std::string& path,
+                                const MetricsRegistry& registry = MetricsRegistry::global());
+
 }  // namespace cwc::obs

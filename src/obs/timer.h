@@ -20,9 +20,16 @@ class ScopedTimer {
   explicit ScopedTimer(HistogramMetric& sink) : histogram_(&sink) {}
   explicit ScopedTimer(Counter& sink) : counter_(&sink) {}
   ~ScopedTimer() {
-    const double ms = elapsed_ms();
-    if (histogram_) histogram_->observe(ms);
-    if (counter_) counter_->inc(ms);
+    // Destructors are implicitly noexcept, and this one also runs while an
+    // exception is unwinding through the timed scope — observe() locking a
+    // mutex can throw std::system_error, which here would mean terminate().
+    // A span that fails to record is better than a dead process.
+    try {
+      const double ms = elapsed_ms();
+      if (histogram_) histogram_->observe(ms);
+      if (counter_) counter_->inc(ms);
+    } catch (...) {
+    }
   }
   ScopedTimer(const ScopedTimer&) = delete;
   ScopedTimer& operator=(const ScopedTimer&) = delete;

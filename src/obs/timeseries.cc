@@ -1,0 +1,152 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/strings.h"
+#include "obs/latency_hist.h"
+#include "obs/metrics.h"
+
+namespace cwc::obs {
+
+namespace {
+/// shortest_double prefers scientific notation ("2.5e+02" for 250), which
+/// makes a time axis unreadable; integral coordinates print as integers.
+std::string json_number(double v) {
+  if (v == std::floor(v) && std::fabs(v) < 9.0e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  return shortest_double(v);
+}
+}  // namespace
+
+std::vector<TimePoint> SeriesRing::rate_per_s() const {
+  std::vector<TimePoint> out;
+  if (samples_.size() < 2) return out;
+  out.reserve(samples_.size() - 1);
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    const TimePoint& a = samples_[i - 1];
+    const TimePoint& b = samples_[i];
+    const double dt_s = (b.t_ms - a.t_ms) / 1000.0;
+    double rate = 0.0;
+    if (dt_s > 0.0 && b.value >= a.value) rate = (b.value - a.value) / dt_s;
+    out.push_back({b.t_ms, rate});
+  }
+  return out;
+}
+
+SeriesRing& TimeSeriesSampler::ring(const std::string& name) {
+  return series_.try_emplace(name, capacity_).first->second;
+}
+
+void TimeSeriesSampler::sample_now(double t_ms) {
+  const MetricsRegistry& reg = MetricsRegistry::global();
+  const LatencyRegistry& lat = LatencyRegistry::global();
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::string& name : reg.counter_names()) {
+    if (const Counter* c = reg.find_counter(name)) ring(name).push(t_ms, c->value());
+  }
+  for (const std::string& name : reg.gauge_names()) {
+    if (const Gauge* g = reg.find_gauge(name)) ring(name).push(t_ms, g->value());
+  }
+  for (const std::string& name : lat.names()) {
+    const LatencyHistogram* h = lat.find(name);
+    if (!h) continue;
+    const auto q = h->quantiles();
+    ring(name + ".count").push(t_ms, static_cast<double>(q.count));
+    ring(name + ".p50").push(t_ms, q.p50);
+    ring(name + ".p95").push(t_ms, q.p95);
+    ring(name + ".p99").push(t_ms, q.p99);
+  }
+  ++captures_;
+}
+
+void TimeSeriesSampler::start(std::uint64_t interval_ms) {
+  if (thread_.joinable()) return;
+  interval_ms_ = interval_ms;
+  stop_flag_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this, interval_ms] {
+    const auto t0 = std::chrono::steady_clock::now();
+    while (!stop_flag_.load(std::memory_order_relaxed)) {
+      const auto now = std::chrono::steady_clock::now();
+      sample_now(std::chrono::duration<double, std::milli>(now - t0).count());
+      // Sleep in short slices so stop() never waits a full interval.
+      auto remaining = std::chrono::milliseconds(interval_ms);
+      while (remaining.count() > 0 && !stop_flag_.load(std::memory_order_relaxed)) {
+        const auto slice = std::min(remaining, std::chrono::milliseconds(20));
+        std::this_thread::sleep_for(slice);
+        remaining -= slice;
+      }
+    }
+  });
+}
+
+void TimeSeriesSampler::stop() {
+  if (!thread_.joinable()) return;
+  stop_flag_.store(true, std::memory_order_relaxed);
+  thread_.join();
+}
+
+std::vector<std::string> TimeSeriesSampler::series_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(series_.size());
+  for (const auto& [name, ring] : series_) out.push_back(name);
+  return out;
+}
+
+std::vector<TimePoint> TimeSeriesSampler::series(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = series_.find(name);
+  return it == series_.end() ? std::vector<TimePoint>{} : it->second.points();
+}
+
+std::vector<TimePoint> TimeSeriesSampler::rate_per_s(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = series_.find(name);
+  return it == series_.end() ? std::vector<TimePoint>{} : it->second.rate_per_s();
+}
+
+std::size_t TimeSeriesSampler::sample_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return captures_;
+}
+
+std::string TimeSeriesSampler::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\n  \"interval_ms\": " + std::to_string(interval_ms_) +
+                    ",\n  \"series\": {";
+  bool first_series = true;
+  for (const auto& [name, ring] : series_) {
+    if (ring.empty()) continue;
+    out += first_series ? "\n" : ",\n";
+    first_series = false;
+    out += "    \"" + name + "\": [";
+    bool first_point = true;
+    for (const TimePoint& p : ring.points()) {
+      if (!first_point) out += ", ";
+      first_point = false;
+      out += "[" + json_number(p.t_ms) + ", " + json_number(p.value) + "]";
+    }
+    out += "]";
+  }
+  out += first_series ? "}" : "\n  }";
+  out += "\n}\n";
+  return out;
+}
+
+bool write_timeseries_file(const std::string& path, const TimeSeriesSampler& sampler) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+    if (!file) return false;
+    file << sampler.to_json();
+    if (!file.flush()) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+}  // namespace cwc::obs

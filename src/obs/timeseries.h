@@ -1,0 +1,112 @@
+// Time-series capture of the metrics registries.
+//
+// Snapshots (obs/snapshot.h) answer "where did the run end up"; campaign
+// plots and the live /metrics plane need "how did it get there". The
+// sampler walks every counter, gauge, and latency histogram at a fixed
+// cadence and appends (t_ms, value) into a bounded per-metric ring, so
+// memory stays flat no matter how long the server runs.
+//
+//   obs::TimeSeriesSampler sampler;            // samples the global registries
+//   sampler.start(250);                        // background thread, 250 ms cadence
+//   ...
+//   sampler.stop();
+//   obs::write_timeseries_file("ts.json", sampler);
+//
+// The simulator calls sample_now(virtual_ms) instead of start() so series
+// land on the virtual clock; tests do the same for determinism. Counters
+// are cumulative, so rate_per_s() differentiates adjacent samples to get
+// events/s or bytes/s; gauges are sampled as-is. Latency histograms
+// contribute one series per quantile (name.p50/.p95/.p99) plus name.count.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cwc::obs {
+
+struct TimePoint {
+  double t_ms = 0.0;
+  double value = 0.0;
+};
+
+/// One metric's bounded history. Push drops the oldest sample past capacity.
+class SeriesRing {
+ public:
+  explicit SeriesRing(std::size_t capacity) : capacity_(capacity) {}
+
+  void push(double t_ms, double value) {
+    if (samples_.size() == capacity_) samples_.pop_front();
+    samples_.push_back({t_ms, value});
+  }
+
+  std::size_t size() const { return samples_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return samples_.empty(); }
+  const TimePoint& front() const { return samples_.front(); }
+  const TimePoint& back() const { return samples_.back(); }
+  std::vector<TimePoint> points() const { return {samples_.begin(), samples_.end()}; }
+
+  /// Per-second rate between consecutive samples: element i is the slope
+  /// from sample i to i+1 stamped at the later time. Counter resets (value
+  /// decreasing) clamp to zero instead of going negative. Size is size()-1.
+  std::vector<TimePoint> rate_per_s() const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<TimePoint> samples_;
+};
+
+class TimeSeriesSampler {
+ public:
+  /// `capacity` bounds every per-metric ring (default ~20 min at 250 ms).
+  explicit TimeSeriesSampler(std::size_t capacity = 4096) : capacity_(capacity) {}
+  ~TimeSeriesSampler() { stop(); }
+  TimeSeriesSampler(const TimeSeriesSampler&) = delete;
+  TimeSeriesSampler& operator=(const TimeSeriesSampler&) = delete;
+
+  /// Capture every metric currently in the global registries at time
+  /// `t_ms`. Metrics that appear later join on their first capture.
+  void sample_now(double t_ms);
+
+  /// Spawn a background thread sampling every `interval_ms` on the wall
+  /// clock (t = ms since start()). No-op if already running.
+  void start(std::uint64_t interval_ms);
+  /// Join the background thread; safe to call repeatedly.
+  void stop();
+  bool running() const { return thread_.joinable(); }
+
+  std::vector<std::string> series_names() const;
+  /// Empty vector when the series does not exist.
+  std::vector<TimePoint> series(const std::string& name) const;
+  std::vector<TimePoint> rate_per_s(const std::string& name) const;
+  /// Number of capture passes taken so far (sample_now calls / thread ticks).
+  std::size_t sample_count() const;
+
+  /// {"interval_ms":..., "series":{"name":[[t,v],...],...}} — sorted keys,
+  /// shortest round-trippable doubles.
+  std::string to_json() const;
+
+ private:
+  SeriesRing& ring(const std::string& name);
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::map<std::string, SeriesRing> series_;
+  std::size_t captures_ = 0;
+  std::uint64_t interval_ms_ = 0;
+
+  std::thread thread_;
+  std::atomic<bool> stop_flag_{false};
+};
+
+/// Write sampler.to_json() to `path` (tmp-file + rename, like snapshots).
+/// Returns false on I/O failure.
+bool write_timeseries_file(const std::string& path, const TimeSeriesSampler& sampler);
+
+}  // namespace cwc::obs

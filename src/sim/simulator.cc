@@ -204,6 +204,9 @@ void TestbedSimulation::schedule_instant() {
     result_.predicted_makespan = schedule.predicted_makespan;
   }
   ++result_.scheduling_rounds;
+  // Sampled on the virtual clock so campaign series line up with the live
+  // server's wall-clock samples metric-for-metric.
+  if (sampler_) sampler_->sample_now(events_.now());
   log_info("sim") << "scheduling instant at " << to_seconds(events_.now())
                   << " s (round " << result_.scheduling_rounds << ")";
   for (auto& [id, phone] : runtime_) {

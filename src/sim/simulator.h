@@ -32,6 +32,7 @@
 #include "core/locality.h"
 #include "core/model.h"
 #include "core/speculation.h"
+#include "obs/timeseries.h"
 #include "sim/event_queue.h"
 
 namespace cwc::sim {
@@ -151,6 +152,12 @@ class TestbedSimulation {
 
   SimResult run();
 
+  /// Mirrors the live server's time-series sampling on the *virtual*
+  /// clock: when set, the sampler captures the registries at every
+  /// scheduling instant, stamped with simulated time — so campaign plots
+  /// line up with live /metrics series. Not owned; must outlive run().
+  void set_sampler(obs::TimeSeriesSampler* sampler) { sampler_ = sampler; }
+
   const core::CwcController& controller() const { return controller_; }
   core::CwcController& controller() { return controller_; }
 
@@ -261,6 +268,7 @@ class TestbedSimulation {
   std::map<std::string, std::uint64_t> task_occurrence_;
   Kilobytes shipped_kb_total_ = 0.0;
   Kilobytes cache_hit_kb_total_ = 0.0;
+  obs::TimeSeriesSampler* sampler_ = nullptr;  ///< see set_sampler()
 };
 
 }  // namespace cwc::sim

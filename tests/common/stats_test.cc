@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 namespace cwc {
@@ -131,6 +132,21 @@ TEST(Histogram, CountsAndClamping) {
   EXPECT_EQ(h.count(2), 1u);
   EXPECT_EQ(h.count(4), 2u);
   EXPECT_DOUBLE_EQ(h.fraction(0), 0.4);
+}
+
+TEST(Histogram, NonFiniteSamplesClampIntoEdgeBuckets) {
+  // NaN cast to an integer index is UB; the histogram folds NaN and -inf
+  // into the first bucket and +inf into the last, so total() always
+  // matches the sample count.
+  Histogram h(0.0, 10.0, 5);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(-std::numeric_limits<double>::infinity());
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(1e300);
+  h.add(-1e300);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(0), 3u);  // NaN, -inf, -1e300
+  EXPECT_EQ(h.count(4), 2u);  // +inf, 1e300
 }
 
 TEST(Histogram, BucketBounds) {

@@ -167,6 +167,55 @@ TEST(Protocol, KeepaliveRoundTrip) {
   EXPECT_EQ(decode_keepalive_ack(ack).seq, 77u);
 }
 
+TEST(Protocol, KeepaliveAckStatsRoundTrip) {
+  AgentStats stats;
+  stats.cache_hit_kb = 1536.5;
+  stats.cache_miss_kb = 640.25;
+  stats.cache_bytes = 7 * 1024 * 1024;
+  stats.cache_budget_bytes = 16 * 1024 * 1024;
+  stats.replay_depth = 9;
+  stats.charging = false;
+  stats.exec_p50_ms = 12.5;
+  stats.exec_p95_ms = 80.0;
+  stats.exec_p99_ms = 141.75;
+
+  const Blob ack = encode_keepalive_ack(42, stats);
+  EXPECT_EQ(peek_type(ack), MsgType::kKeepAliveAck);
+  // The legacy decoder still works on a stats-bearing frame (seq leads).
+  EXPECT_EQ(decode_keepalive_ack(ack).seq, 42u);
+
+  const KeepAliveAckMsg msg = decode_keepalive_ack_stats(ack);
+  EXPECT_EQ(msg.seq, 42u);
+  ASSERT_TRUE(msg.has_stats);
+  EXPECT_DOUBLE_EQ(msg.stats.cache_hit_kb, 1536.5);
+  EXPECT_DOUBLE_EQ(msg.stats.cache_miss_kb, 640.25);
+  EXPECT_EQ(msg.stats.cache_bytes, 7u * 1024 * 1024);
+  EXPECT_EQ(msg.stats.cache_budget_bytes, 16u * 1024 * 1024);
+  EXPECT_EQ(msg.stats.replay_depth, 9u);
+  EXPECT_FALSE(msg.stats.charging);
+  EXPECT_DOUBLE_EQ(msg.stats.exec_p50_ms, 12.5);
+  EXPECT_DOUBLE_EQ(msg.stats.exec_p95_ms, 80.0);
+  EXPECT_DOUBLE_EQ(msg.stats.exec_p99_ms, 141.75);
+}
+
+TEST(Protocol, LegacyKeepaliveAckIsPinnedByteIdentical) {
+  // The stats block is trailing-optional: the stats-free encoder must
+  // stay byte-for-byte what pre-telemetry agents sent, so mixed fleets
+  // interoperate. Pinned layout: type byte + u64 seq = 9 bytes.
+  const Blob legacy = encode_keepalive_ack(0x0102030405060708);
+  ASSERT_EQ(legacy.size(), 9u);
+  EXPECT_EQ(legacy[0], static_cast<std::uint8_t>(MsgType::kKeepAliveAck));
+  const std::uint8_t seq_le[8] = {0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01};
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(legacy[1 + i], seq_le[i]) << "byte " << i;
+
+  // A legacy frame decodes to "no stats", defaults intact.
+  const KeepAliveAckMsg msg = decode_keepalive_ack_stats(legacy);
+  EXPECT_EQ(msg.seq, 0x0102030405060708u);
+  EXPECT_FALSE(msg.has_stats);
+  EXPECT_TRUE(msg.stats.charging);  // untouched defaults
+  EXPECT_EQ(msg.stats.replay_depth, 0u);
+}
+
 TEST(Protocol, ProbeMessages) {
   ProbeRequestMsg request;
   request.chunks = 4;

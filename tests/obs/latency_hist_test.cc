@@ -1,0 +1,184 @@
+// LatencyHistogram semantics: bucket indexing, quantile accuracy against a
+// reference sort, merge associativity, clamping of non-finite samples, and
+// a multi-threaded hammer (run under ASan/UBSan by tools/run_sanitizers.sh).
+#include "obs/latency_hist.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace cwc::obs {
+namespace {
+
+TEST(LatencyHist, BucketIndexIsMonotoneAndInRange) {
+  std::size_t prev = 0;
+  for (double ms = 1e-4; ms < 5e6; ms *= 1.07) {
+    const std::size_t idx = LatencyHistogram::bucket_index(ms);
+    ASSERT_LT(idx, LatencyHistogram::kBuckets);
+    ASSERT_GE(idx, prev) << "bucket index must not decrease at " << ms << " ms";
+    prev = idx;
+    // The sample must fall inside its bucket's bounds.
+    EXPECT_GE(ms, LatencyHistogram::bucket_low(idx));
+    EXPECT_LT(ms, LatencyHistogram::bucket_high(idx) * (1.0 + 1e-12));
+  }
+}
+
+TEST(LatencyHist, EdgeSamplesLandInEdgeBuckets) {
+  EXPECT_EQ(LatencyHistogram::bucket_index(0.0), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_index(-5.0), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_index(std::numeric_limits<double>::quiet_NaN()), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_index(1e12),
+            LatencyHistogram::kBuckets - 1);
+  EXPECT_EQ(LatencyHistogram::bucket_index(std::numeric_limits<double>::infinity()),
+            LatencyHistogram::kBuckets - 1);
+
+  LatencyHistogram hist;
+  hist.record(std::numeric_limits<double>::quiet_NaN());
+  hist.record(std::numeric_limits<double>::infinity());
+  hist.record(-1.0);
+  EXPECT_EQ(hist.count(), 3u);  // clamped, never dropped
+}
+
+TEST(LatencyHist, QuantilesTrackReferenceSort) {
+  // Log-uniform samples spanning microseconds to minutes — the shape of
+  // real keep-alive RTT + journal append mixtures. Geometric bucketing
+  // bounds relative error at one sub-bucket width (2^e/8 within octave
+  // [2^e, 2^(e+1)]), i.e. 12.5% worst case.
+  Rng rng(1234);
+  LatencyHistogram hist;
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) {
+    const double ms = std::exp(rng.uniform(std::log(0.01), std::log(60000.0)));
+    samples.push_back(ms);
+    hist.record(ms);
+  }
+  std::sort(samples.begin(), samples.end());
+  ASSERT_EQ(hist.count(), samples.size());
+  for (const double q : {0.10, 0.50, 0.90, 0.95, 0.99}) {
+    const double reference =
+        samples[static_cast<std::size_t>(q * (samples.size() - 1))];
+    const double estimate = hist.quantile(q);
+    EXPECT_NEAR(estimate, reference, reference * 0.13)
+        << "q=" << q << " reference=" << reference << " estimate=" << estimate;
+  }
+  const auto quantiles = hist.quantiles();
+  EXPECT_EQ(quantiles.count, samples.size());
+  EXPECT_LE(quantiles.p50, quantiles.p95);
+  EXPECT_LE(quantiles.p95, quantiles.p99);
+  EXPECT_GE(quantiles.max, samples.back());
+}
+
+TEST(LatencyHist, SumAndMeanAreExact) {
+  LatencyHistogram hist;
+  hist.record(1.0);
+  hist.record(2.0);
+  hist.record(9.0);
+  EXPECT_EQ(hist.count(), 3u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 12.0);
+}
+
+TEST(LatencyHist, MergeIsAssociativeAndCommutative) {
+  Rng rng(77);
+  LatencyHistogram a, b, c;
+  for (int i = 0; i < 500; ++i) a.record(rng.uniform(0.1, 10.0));
+  for (int i = 0; i < 300; ++i) b.record(rng.uniform(5.0, 500.0));
+  for (int i = 0; i < 200; ++i) c.record(rng.uniform(100.0, 50000.0));
+
+  LatencyHistogram left;   // (a + b) + c
+  left.merge(a);
+  left.merge(b);
+  left.merge(c);
+  LatencyHistogram right;  // a + (c + b)
+  LatencyHistogram cb;
+  cb.merge(c);
+  cb.merge(b);
+  right.merge(a);
+  right.merge(cb);
+
+  EXPECT_EQ(left.count(), 1000u);
+  EXPECT_EQ(left.count(), right.count());
+  EXPECT_DOUBLE_EQ(left.sum(), right.sum());
+  const auto lb = left.nonzero_buckets();
+  const auto rb = right.nonzero_buckets();
+  ASSERT_EQ(lb.size(), rb.size());
+  for (std::size_t i = 0; i < lb.size(); ++i) {
+    EXPECT_DOUBLE_EQ(lb[i].low_ms, rb[i].low_ms);
+    EXPECT_EQ(lb[i].count, rb[i].count);
+  }
+  EXPECT_DOUBLE_EQ(left.quantile(0.5), right.quantile(0.5));
+}
+
+TEST(LatencyHist, CopyIsASnapshotMerge) {
+  LatencyHistogram hist;
+  hist.record(4.0);
+  hist.record(8.0);
+  const LatencyHistogram copy(hist);
+  EXPECT_EQ(copy.count(), 2u);
+  EXPECT_DOUBLE_EQ(copy.sum(), 12.0);
+  hist.record(16.0);
+  EXPECT_EQ(copy.count(), 2u);  // detached from the original
+}
+
+TEST(LatencyHist, ResetZeroesEverything) {
+  LatencyHistogram hist;
+  hist.record(3.0);
+  hist.reset();
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 0.0);
+  EXPECT_TRUE(hist.nonzero_buckets().empty());
+}
+
+TEST(LatencyHist, ConcurrentRecordsLoseNothing) {
+  // The wait-free contract: N threads hammering record() (and a reader
+  // taking quantile snapshots mid-flight) must account for every sample.
+  // tools/run_sanitizers.sh runs this under ASan/UBSan.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  LatencyHistogram hist;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&hist, t] {
+      Rng rng(static_cast<std::uint64_t>(t) + 1);
+      for (int i = 0; i < kPerThread; ++i) hist.record(rng.uniform(0.5, 50.0));
+    });
+  }
+  std::thread reader([&hist] {
+    for (int i = 0; i < 200; ++i) {
+      const auto q = hist.quantiles();
+      ASSERT_LE(q.p50, q.p99 + 1e-9);
+    }
+  });
+  for (auto& w : writers) w.join();
+  reader.join();
+  EXPECT_EQ(hist.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  const auto q = hist.quantiles();
+  EXPECT_GT(q.p50, 0.4);
+  // Interpolation can overshoot the true maximum by up to one sub-bucket
+  // width (50 ms lands in bucket [48, 52)).
+  EXPECT_LT(q.p99, 52.5);
+}
+
+TEST(LatencyRegistry, NamedHistogramsAreStable) {
+  LatencyRegistry registry;
+  LatencyHistogram& a = registry.histogram("x");
+  LatencyHistogram& b = registry.histogram("x");
+  EXPECT_EQ(&a, &b);
+  a.record(1.0);
+  EXPECT_EQ(registry.find("x")->count(), 1u);
+  EXPECT_EQ(registry.find("missing"), nullptr);
+  const auto names = registry.names();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "x");
+  registry.reset();
+  EXPECT_TRUE(registry.names().empty());
+}
+
+}  // namespace
+}  // namespace cwc::obs

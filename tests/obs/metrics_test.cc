@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -217,6 +220,36 @@ TEST_F(MetricsTest, ScopedTimerAccumulatesIntoCounter) {
   { ScopedTimer timer(c); }
   { ScopedTimer timer(c); }
   EXPECT_GE(c.value(), 0.0);
+}
+
+TEST_F(MetricsTest, ScopedTimerRecordsDuringExceptionUnwind) {
+  // The span must land even when an exception unwinds through the timed
+  // scope — aborted work is exactly the latency you want on a dashboard.
+  HistogramMetric& h = registry.histogram("unwind_ms", 0.0, 1000.0, 10);
+  Counter& c = registry.counter("unwind_total_ms");
+  try {
+    ScopedTimer span(h);
+    ScopedTimer total(c);
+    throw std::runtime_error("boom");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(h.view().count, 1u);
+  EXPECT_GE(c.value(), 0.0);
+}
+
+TEST_F(MetricsTest, HistogramObserveClampsNonFiniteSamples) {
+  // One NaN must not poison the summary stats forever.
+  HistogramMetric& h = registry.histogram("nan_ms", 0.0, 10.0, 5);
+  h.observe(std::numeric_limits<double>::quiet_NaN());
+  h.observe(std::numeric_limits<double>::infinity());
+  h.observe(4.0);
+  const auto v = h.view();
+  EXPECT_EQ(v.count, 3u);
+  EXPECT_TRUE(std::isfinite(v.mean));
+  EXPECT_DOUBLE_EQ(v.min, 0.0);    // NaN clamped to lo
+  EXPECT_DOUBLE_EQ(v.max, 10.0);   // +inf clamped to hi
+  EXPECT_EQ(v.buckets[0], 1u);
+  EXPECT_EQ(v.buckets[4], 1u);
 }
 
 }  // namespace

@@ -1,0 +1,170 @@
+// Time-series sampling: ring bounding, rate computation (including counter
+// resets), deterministic manual sampling against the global registries, and
+// the JSON export. Manual sample_now() on explicit timestamps keeps every
+// case deterministic — the background thread is only exercised for
+// start/stop lifecycle.
+#include "obs/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "obs/latency_hist.h"
+#include "obs/metrics.h"
+
+namespace cwc::obs {
+namespace {
+
+TEST(SeriesRing, BoundedPushDropsOldest) {
+  SeriesRing ring(3);
+  for (int i = 0; i < 5; ++i) ring.push(i * 100.0, i);
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_DOUBLE_EQ(ring.front().t_ms, 200.0);
+  EXPECT_DOUBLE_EQ(ring.back().value, 4.0);
+}
+
+TEST(SeriesRing, RatePerSecondDifferentiates) {
+  SeriesRing ring(16);
+  ring.push(0.0, 0.0);
+  ring.push(1000.0, 5.0);   // 5 events over 1 s
+  ring.push(3000.0, 9.0);   // 4 events over 2 s
+  const auto rates = ring.rate_per_s();
+  ASSERT_EQ(rates.size(), 2u);
+  EXPECT_DOUBLE_EQ(rates[0].t_ms, 1000.0);
+  EXPECT_DOUBLE_EQ(rates[0].value, 5.0);
+  EXPECT_DOUBLE_EQ(rates[1].value, 2.0);
+}
+
+TEST(SeriesRing, CounterResetClampsToZero) {
+  // A restarted process re-registers counters at zero; the slope must not
+  // go negative.
+  SeriesRing ring(16);
+  ring.push(0.0, 100.0);
+  ring.push(1000.0, 3.0);
+  const auto rates = ring.rate_per_s();
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(rates[0].value, 0.0);
+}
+
+class TimeSeriesSamplerTest : public ::testing::Test {
+ protected:
+  // The sampler reads the *global* registries; isolate by resetting them
+  // around each case (other suites recreate their metrics on first use).
+  void SetUp() override {
+    MetricsRegistry::global().reset();
+    LatencyRegistry::global().reset();
+  }
+  void TearDown() override {
+    MetricsRegistry::global().reset();
+    LatencyRegistry::global().reset();
+  }
+};
+
+TEST_F(TimeSeriesSamplerTest, ManualSamplingCapturesCountersAndGauges) {
+  TimeSeriesSampler sampler;
+  counter("ts.events").inc(2.0);
+  gauge("ts.depth").set(7.0);
+  sampler.sample_now(0.0);
+  counter("ts.events").inc(3.0);
+  gauge("ts.depth").set(4.0);
+  sampler.sample_now(1000.0);
+
+  const auto events = sampler.series("ts.events");
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_DOUBLE_EQ(events[0].value, 2.0);
+  EXPECT_DOUBLE_EQ(events[1].value, 5.0);
+  const auto depth = sampler.series("ts.depth");
+  ASSERT_EQ(depth.size(), 2u);
+  EXPECT_DOUBLE_EQ(depth[1].value, 4.0);
+
+  const auto rates = sampler.rate_per_s("ts.events");
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(rates[0].value, 3.0);
+
+  EXPECT_TRUE(sampler.series("ts.missing").empty());
+  EXPECT_EQ(sampler.sample_count(), 2u);
+}
+
+TEST_F(TimeSeriesSamplerTest, LatencyHistogramsYieldQuantileSeries) {
+  TimeSeriesSampler sampler;
+  latency("ts.rtt_ms").record(5.0);
+  latency("ts.rtt_ms").record(6.0);
+  sampler.sample_now(0.0);
+  const auto names = sampler.series_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "ts.rtt_ms.count"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "ts.rtt_ms.p99"), names.end());
+  const auto count = sampler.series("ts.rtt_ms.count");
+  ASSERT_EQ(count.size(), 1u);
+  EXPECT_DOUBLE_EQ(count[0].value, 2.0);
+  const auto p50 = sampler.series("ts.rtt_ms.p50");
+  ASSERT_EQ(p50.size(), 1u);
+  EXPECT_GT(p50[0].value, 4.0);
+  EXPECT_LT(p50[0].value, 7.5);
+}
+
+TEST_F(TimeSeriesSamplerTest, LateMetricsJoinOnFirstCapture) {
+  TimeSeriesSampler sampler;
+  counter("ts.early").inc();
+  sampler.sample_now(0.0);
+  counter("ts.late").inc();
+  sampler.sample_now(500.0);
+  EXPECT_EQ(sampler.series("ts.early").size(), 2u);
+  const auto late = sampler.series("ts.late");
+  ASSERT_EQ(late.size(), 1u);
+  EXPECT_DOUBLE_EQ(late[0].t_ms, 500.0);
+}
+
+TEST_F(TimeSeriesSamplerTest, RingCapacityBoundsMemory) {
+  TimeSeriesSampler sampler(/*capacity=*/4);
+  counter("ts.busy").inc();
+  for (int i = 0; i < 10; ++i) sampler.sample_now(i * 100.0);
+  const auto points = sampler.series("ts.busy");
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_DOUBLE_EQ(points.front().t_ms, 600.0);  // oldest samples dropped
+}
+
+TEST_F(TimeSeriesSamplerTest, JsonExportRoundTripsShape) {
+  TimeSeriesSampler sampler;
+  counter("ts.a").inc(1.5);
+  sampler.sample_now(0.0);
+  sampler.sample_now(250.0);
+  const std::string json = sampler.to_json();
+  EXPECT_NE(json.find("\"interval_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts.a\""), std::string::npos);
+  EXPECT_NE(json.find("[0, 1.5]"), std::string::npos) << json;
+  EXPECT_NE(json.find("[250, 1.5]"), std::string::npos) << json;
+
+  const std::string path = ::testing::TempDir() + "cwc_timeseries_test.json";
+  ASSERT_TRUE(write_timeseries_file(path, sampler));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  EXPECT_GT(std::ftell(f), 0);
+  std::fclose(f);
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(write_timeseries_file("/nonexistent-dir/x/y.json", sampler));
+}
+
+TEST_F(TimeSeriesSamplerTest, BackgroundThreadStartsAndStops) {
+  TimeSeriesSampler sampler;
+  counter("ts.live").inc();
+  sampler.start(10);
+  EXPECT_TRUE(sampler.running());
+  sampler.start(10);  // second start is a no-op
+  // The first capture happens immediately on start; wait for it.
+  for (int i = 0; i < 100 && sampler.sample_count() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  sampler.stop();
+  EXPECT_FALSE(sampler.running());
+  sampler.stop();  // idempotent
+  EXPECT_GE(sampler.sample_count(), 1u);
+  EXPECT_FALSE(sampler.series("ts.live").empty());
+}
+
+}  // namespace
+}  // namespace cwc::obs

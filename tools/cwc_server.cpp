@@ -12,10 +12,14 @@
 //   # analyze a real log file for disk failures
 //   cwc_server --port=7000 --phones=2 --task="log-scan:disk failure" \
 //              --input=/var/log/syslog
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <thread>
 
 #include "common/fault.h"
 #include "common/flags.h"
@@ -25,9 +29,11 @@
 #include "core/greedy.h"
 #include "core/pod_packing.h"
 #include "core/testbed.h"
+#include "net/obs_http.h"
 #include "net/server.h"
 #include "obs/fault_obs.h"
 #include "obs/snapshot.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
 #include "tasks/generators.h"
@@ -77,6 +83,13 @@ constexpr const char* kUsage = R"(cwc_server: the CWC central server
                        (grammar in src/common/fault.h)
   --fault-seed=N       seed for probabilistic fault rules (default 1)
   --metrics-out=FILE   write a telemetry snapshot (.csv = CSV, else JSON)
+  --metrics-interval-ms=N  rewrite --metrics-out every N ms during the run
+                       (atomic tmp+rename, so pollers never see a torn file)
+  --timeseries-out=FILE  sample every metric into bounded time-series rings
+                       (250 ms cadence) and write them as JSON at exit
+  --obs-port=N         serve live telemetry over HTTP: /metrics (Prometheus
+                       text), /metrics.json, /healthz. Poll it with cwc_top.
+                       Loopback-only unless --bind-all. 0 = kernel-assigned.
   --trace-out=FILE     write the run's event trace as Chrome trace-event JSON
                        (open in https://ui.perfetto.dev, or feed to cwc_trace)
   --verbose            info-level logging
@@ -132,6 +145,7 @@ int main(int argc, char** argv) {
                      "straggler-factor",
                      "spec-fraction", "health-alpha", "health-quarantine",
                      "health-parole-ticks", "fault-spec", "fault-seed", "metrics-out",
+                     "metrics-interval-ms", "timeseries-out", "obs-port",
                      "trace-out", "verbose", "help"});
   if (!unknown.empty() || flags.get_bool("help")) {
     for (const auto& flag : unknown) std::fprintf(stderr, "unknown flag: --%s\n", flag.c_str());
@@ -227,6 +241,40 @@ int main(int argc, char** argv) {
         "prime-count");
   }
 
+  // Live telemetry plane: the HTTP exposition endpoint, the time-series
+  // sampler, and the periodic snapshot rewriter all run on their own
+  // threads reading the process-global registries — none touches the
+  // event loop.
+  std::unique_ptr<net::ObsHttpServer> obs_http;
+  if (flags.has("obs-port")) {
+    obs_http = std::make_unique<net::ObsHttpServer>(
+        static_cast<std::uint16_t>(flags.get_int("obs-port", 0)),
+        /*loopback_only=*/!flags.get_bool("bind-all"));
+    obs_http->start();
+    std::printf("live telemetry on http://127.0.0.1:%u/metrics (try: cwc_top --port=%u)\n",
+                obs_http->port(), obs_http->port());
+    std::fflush(stdout);
+  }
+  obs::TimeSeriesSampler sampler;
+  if (flags.has("timeseries-out")) sampler.start(250);
+  std::thread snapshot_rewriter;
+  std::atomic<bool> rewriter_stop{false};
+  const auto metrics_interval = flags.get_int("metrics-interval-ms", 0);
+  if (metrics_interval > 0 && flags.has("metrics-out")) {
+    snapshot_rewriter = std::thread([&flags, &rewriter_stop, metrics_interval] {
+      const std::string path = flags.get("metrics-out");
+      while (!rewriter_stop.load()) {
+        obs::write_snapshot_file_atomic(path);
+        auto remaining = metrics_interval;
+        while (remaining > 0 && !rewriter_stop.load()) {
+          const auto slice = std::min<long long>(remaining, 20);
+          std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+          remaining -= slice;
+        }
+      }
+    });
+  }
+
   const int phones = static_cast<int>(flags.get_int("phones", 1));
   std::printf("cwc_server listening on port %u; %zu job(s) submitted; waiting for %d phone(s)\n",
               server.port(), submitted.size(), phones);
@@ -234,6 +282,22 @@ int main(int argc, char** argv) {
 
   const bool done = server.run(phones, seconds(static_cast<double>(
                                            flags.get_int("timeout-s", 600))));
+  if (snapshot_rewriter.joinable()) {
+    rewriter_stop.store(true);
+    snapshot_rewriter.join();
+  }
+  if (obs_http) obs_http->stop();
+  sampler.stop();
+  if (flags.has("timeseries-out")) {
+    // SIGINT lands here too — the stop flag exits the run loop cleanly,
+    // exactly like --metrics-out/--trace-out.
+    if (obs::write_timeseries_file(flags.get("timeseries-out"), sampler)) {
+      std::printf("timeseries: %s\n", flags.get("timeseries-out").c_str());
+    } else {
+      std::fprintf(stderr, "cannot write timeseries to %s\n",
+                   flags.get("timeseries-out").c_str());
+    }
+  }
   // Telemetry is most valuable on failed or interrupted runs, so write it
   // before bailing (the stop flag turned a signal into a clean loop exit).
   if (flags.has("metrics-out")) {

@@ -14,6 +14,7 @@
 #include "common/log.h"
 #include "common/rng.h"
 #include "obs/snapshot.h"
+#include "obs/timeseries.h"
 #include "obs/trace_export.h"
 #include "core/failure_aware.h"
 #include "core/greedy.h"
@@ -64,6 +65,8 @@ constexpr const char* kUsage = R"(cwc_sim: CWC testbed simulator
   --seed=N             RNG seed (default 42)
   --svg=FILE           write the execution timeline as SVG
   --metrics-out=FILE   write a telemetry snapshot (.csv = CSV, else JSON)
+  --timeseries-out=FILE  sample every metric at each scheduling instant
+                       (virtual-clock timestamps) and write the series JSON
   --trace-out=FILE     write the run's event trace as Chrome trace-event JSON
                        (open in https://ui.perfetto.dev, or feed to cwc_trace)
   --verbose            info-level logging
@@ -98,7 +101,7 @@ int main(int argc, char** argv) {
                                       "spec-fraction", "health-alpha", "health-quarantine",
                                       "health-parole-ticks", "chunk-kb", "cache-mb", "locality",
                                       "batches", "seed", "svg", "metrics-out",
-                                      "trace-out", "verbose", "help"});
+                                      "timeseries-out", "trace-out", "verbose", "help"});
   if (!unknown.empty() || flags.get_bool("help")) {
     for (const auto& flag : unknown) std::fprintf(stderr, "unknown flag: --%s\n", flag.c_str());
     std::fputs(kUsage, stderr);
@@ -161,6 +164,9 @@ int main(int argc, char** argv) {
   }
 
   const int batches = std::max(1, static_cast<int>(flags.get_int("batches", 1)));
+  // Virtual-clock sampling: the simulator calls sample_now(now) at every
+  // scheduling instant; the background thread is never started here.
+  obs::TimeSeriesSampler sampler;
   sim::FleetChunkState fleet_chunks;
   sim::SimResult result;
   std::size_t job_count = 0;
@@ -168,6 +174,7 @@ int main(int argc, char** argv) {
     sim::TestbedSimulation simulation(
         make_scheduler(flags.get("scheduler", "cwc-greedy"), flags.get("pods")),
         core::paper_prediction(), phones, options, seed);
+    if (flags.has("timeseries-out")) simulation.set_sampler(&sampler);
     simulation.share_chunk_state(&fleet_chunks);
     Rng workload_rng(workload_seed);
     const auto jobs = core::paper_workload(workload_rng, scale);
@@ -216,6 +223,15 @@ int main(int argc, char** argv) {
   if (flags.has("metrics-out")) {
     obs::write_snapshot_file(flags.get("metrics-out"));
     std::printf("metrics:   wrote %s\n", flags.get("metrics-out").c_str());
+  }
+  if (flags.has("timeseries-out")) {
+    if (obs::write_timeseries_file(flags.get("timeseries-out"), sampler)) {
+      std::printf("series:    wrote %s (%zu samples on the virtual clock)\n",
+                  flags.get("timeseries-out").c_str(), sampler.sample_count());
+    } else {
+      std::fprintf(stderr, "cwc_sim: failed to write %s\n",
+                   flags.get("timeseries-out").c_str());
+    }
   }
   if (flags.has("trace-out")) {
     // The simulator enables the recorder itself; trace_begin scopes the

@@ -21,7 +21,7 @@ cd "$(dirname "$0")/.."
 REPO_ROOT="$(pwd)"
 RECORD="${REPO_ROOT}/BENCH_scheduler.json"
 MODE="${1:-check}"
-FILTER='BM_Greedy|BM_SinglePacking|BM_PreparedPacking|BM_PrepareProblem|BM_PodBuild|BM_ShipBytesRepeat'
+FILTER='BM_Greedy|BM_SinglePacking|BM_PreparedPacking|BM_PrepareProblem|BM_PodBuild|BM_ShipBytesRepeat|BM_KeepAliveHist'
 # Older google-benchmark releases reject a unit suffix on min_time.
 MIN_TIME="${CWC_BENCH_MIN_TIME:-0.2}"
 
@@ -168,6 +168,30 @@ if health_off and health_on:
     print(f"health-scoring bound-path overhead:     {overhead:+.2%} "
           f"(gate {HEALTH_THRESHOLD:.0%}) {verdict}")
     if overhead > HEALTH_THRESHOLD:
+        failed = True
+
+# Keep-alive histogram gate: the LatencyHistogram record on the ack hot
+# path is on by default, so its cost must vanish inside the rest of the
+# ack handling (deframe + decode + RTT timestamp + gauge publication).
+# Unlike the gates above, the two arms here come from one benchmark
+# (BM_KeepAliveHistPaired) that alternates them in batches microseconds
+# apart and reports per-arm per-ack floors as counters — comparing the
+# separate BM_KeepAliveHist/0 and /1 runs instead would fold minutes of
+# machine drift into a 2% comparison.
+KEEPALIVE_THRESHOLD = 0.02
+ka_runs = [b for b in raw["benchmarks"]
+           if b["name"].startswith("BM_KeepAliveHistPaired")
+           and b.get("run_type", "iteration") == "iteration"
+           and "ka_off_ns" in b and "ka_on_ns" in b]
+ka_off = min((b["ka_off_ns"] for b in ka_runs), default=None)
+ka_on = min((b["ka_on_ns"] for b in ka_runs), default=None)
+if ka_off and ka_on:
+    overhead = (ka_on - ka_off) / ka_off
+    verdict = "OK" if overhead <= KEEPALIVE_THRESHOLD else "<< REGRESSION"
+    print(f"keep-alive histogram enabled-path overhead: {overhead:+.2%} "
+          f"({ka_off:.0f} -> {ka_on:.0f} ns/ack, gate "
+          f"{KEEPALIVE_THRESHOLD:.0%}) {verdict}")
+    if overhead > KEEPALIVE_THRESHOLD:
         failed = True
 
 # Repeat-shipping gate: BM_ShipBytesRepeat simulates the same batch twice
