@@ -23,6 +23,7 @@
 #include "lp/simplex.h"
 #include "net/framing.h"
 #include "net/protocol.h"
+#include "net/timer_wheel.h"
 #include "obs/latency_hist.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -477,6 +478,42 @@ void BM_KeepAliveHistPaired(benchmark::State& state) {
   state.SetLabel("alternating-batch floors; gate reads the counters");
 }
 BENCHMARK(BM_KeepAliveHistPaired)->Unit(benchmark::kMillisecond);
+
+// Timer wheel churn at fleet scale: N live timers (one keep-alive deadline
+// per phone) while the loop continuously fires, re-arms, and advances.
+// This is the per-iteration cost the event loop pays instead of the old
+// O(fleet) 20 ms scan; it must stay flat-ish as N grows (hashed wheel is
+// O(1) schedule/cancel, O(ready) expiry).
+void BM_TimerWheel(benchmark::State& state) {
+  const auto fleet = static_cast<std::size_t>(state.range(0));
+  net::TimerWheel wheel;
+  Rng rng(20260808);
+  // Steady state: every phone holds a deadline somewhere in the next 5 s.
+  std::vector<net::TimerId> ids(fleet);
+  double now = 0.0;
+  std::uint64_t fired = 0;
+  std::function<void(std::size_t)> rearm = [&](std::size_t slot) {
+    ids[slot] = wheel.schedule(rng.uniform(100.0, 5'000.0), [&, slot] {
+      ++fired;
+      rearm(slot);
+    });
+  };
+  for (std::size_t i = 0; i < fleet; ++i) rearm(i);
+  for (auto _ : state) {
+    now += 10.0;  // one wake-up's worth of virtual time
+    benchmark::DoNotOptimize(wheel.advance(now));
+    // A slice of the fleet cancels and re-arms (assign-retry churn).
+    for (int i = 0; i < 8; ++i) {
+      const auto slot = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(fleet) - 1));
+      if (wheel.cancel(ids[slot])) rearm(slot);
+    }
+  }
+  benchmark::DoNotOptimize(fired);
+  state.counters["pending"] = static_cast<double>(wheel.pending());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TimerWheel)->Arg(100)->Arg(1'000)->Arg(10'000);
 
 void BM_PredictionPredict(benchmark::State& state) {
   const auto instance = make_instance(18, 150);

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/log.h"
+#include "net/event_loop.h"
 #include "common/strings.h"
 #include "obs/latency_hist.h"
 #include "obs/metrics.h"
@@ -183,7 +184,10 @@ ObsHttpServer::ObsHttpServer(std::uint16_t port, bool loopback_only)
   listener_.set_nonblocking(true);
 }
 
-ObsHttpServer::~ObsHttpServer() { stop(); }
+ObsHttpServer::~ObsHttpServer() {
+  stop();
+  detach();
+}
 
 void ObsHttpServer::start() {
   if (thread_.joinable()) return;
@@ -199,9 +203,10 @@ void ObsHttpServer::stop() {
 
 void ObsHttpServer::serve_loop() {
   while (!stop_flag_.load(std::memory_order_relaxed)) {
-    pollfd pfd{listener_.fd(), POLLIN, 0};
-    ::poll(&pfd, 1, 50);
     try {
+      // poll_one retries EINTR and surfaces real errors instead of
+      // silently treating them as "nothing readable".
+      poll_one(listener_.fd(), POLLIN, 50);
       while (auto conn = listener_.accept()) {
         handle_connection(std::move(*conn));
       }
@@ -209,6 +214,83 @@ void ObsHttpServer::serve_loop() {
       // A misbehaving scrape must never take the run down with it.
       log_warn("obs-http") << "request failed: " << e.what();
     }
+  }
+}
+
+void ObsHttpServer::attach(EventLoop& loop) {
+  if (loop_ != nullptr || thread_.joinable()) return;
+  loop_ = &loop;
+  loop_->watch_fd(listener_.fd(), [this] { accept_attached(); });
+  // Scrapes that never finish their request head (a connect scan, a
+  // half-open peer) are swept instead of pinning fds forever.
+  sweep_timer_ = loop_->every(1000.0, [this] {
+    const Millis now = loop_->now_ms();
+    std::vector<int> stale;
+    for (const auto& [fd, scrape] : pending_) {
+      if (now - scrape.accepted_ms > 5000.0) stale.push_back(fd);
+    }
+    for (const int fd : stale) {
+      loop_->unwatch_fd(fd);
+      pending_.erase(fd);
+    }
+  });
+}
+
+void ObsHttpServer::detach() {
+  if (loop_ == nullptr) return;
+  loop_->unwatch_fd(listener_.fd());
+  if (sweep_timer_ != kInvalidTimer) {
+    loop_->cancel(sweep_timer_);
+    sweep_timer_ = kInvalidTimer;
+  }
+  for (const auto& [fd, scrape] : pending_) loop_->unwatch_fd(fd);
+  pending_.clear();
+  loop_ = nullptr;
+}
+
+void ObsHttpServer::accept_attached() {
+  try {
+    while (auto conn = listener_.accept()) {
+      conn->set_nonblocking(true);
+      const int fd = conn->fd();
+      Pending scrape;
+      scrape.conn = std::move(*conn);
+      scrape.accepted_ms = loop_->now_ms();
+      pending_.emplace(fd, std::move(scrape));
+      loop_->watch_fd(fd, [this, fd] { service_attached(fd); });
+    }
+  } catch (const std::exception& e) {
+    log_warn("obs-http") << "accept failed: " << e.what();
+  }
+}
+
+void ObsHttpServer::service_attached(int fd) {
+  const auto it = pending_.find(fd);
+  if (it == pending_.end()) return;
+  Pending& scrape = it->second;
+  bool done = false;
+  bool dead = false;
+  try {
+    while (!done && !dead) {
+      const auto data = scrape.conn.recv_some(4096);
+      if (!data) break;  // would block: head still incomplete
+      if (data->empty()) {
+        dead = true;  // peer closed before finishing the request
+        break;
+      }
+      scrape.request.append(data->begin(), data->end());
+      done = scrape.request.size() >= 8 * 1024 ||
+             scrape.request.find("\r\n\r\n") != std::string::npos ||
+             scrape.request.find("\n\n") != std::string::npos;
+    }
+    if (done) respond(scrape.conn, scrape.request);
+  } catch (const std::exception& e) {
+    log_warn("obs-http") << "request failed: " << e.what();
+    dead = true;
+  }
+  if (done || dead) {
+    loop_->unwatch_fd(fd);
+    pending_.erase(it);
   }
 }
 
@@ -223,6 +305,10 @@ void ObsHttpServer::handle_connection(TcpConnection conn) {
     if (!data || data->empty()) break;
     request.append(data->begin(), data->end());
   }
+  respond(conn, request);
+}
+
+void ObsHttpServer::respond(TcpConnection& conn, const std::string& request) {
   const std::size_t line_end = request.find('\n');
   if (line_end == std::string::npos) return;
   const std::string line = request.substr(0, line_end);

@@ -11,22 +11,30 @@
 //                       "latency" section with per-histogram quantiles.
 //   GET /healthz        "ok\n", 200 — liveness for scripts and cwc_top.
 //
-// Deliberately not a web framework: one accept loop on its own thread,
-// one request per connection (Connection: close), GET only, no TLS, no
-// keep-alive. The fleet-facing wire protocol stays on the main poll loop;
-// this side-channel can afford to be boring and sequential. cwc_top and
-// the CI smoke leg are the intended clients, not the open internet —
-// bind it to loopback (the default) unless you know better.
+// Deliberately not a web framework: one request per connection
+// (Connection: close), GET only, no TLS, no keep-alive. Two serving
+// modes, pick one:
+//   start()        — classic dedicated accept/serve thread.
+//   attach(loop)   — the listener and every in-flight scrape become
+//                    watchers on the caller's EventLoop; scrapes are
+//                    served on the loop thread between fleet events, so
+//                    a process needs no second thread at all.
+// cwc_top and the CI smoke leg are the intended clients, not the open
+// internet — bind it to loopback (the default) unless you know better.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <string>
 #include <thread>
+#include <unordered_map>
 
 #include "net/socket.h"
+#include "net/timer_wheel.h"
 
 namespace cwc::net {
+
+class EventLoop;
 
 /// Renders the global registries (obs::MetricsRegistry + obs::LatencyRegistry)
 /// in Prometheus text exposition format. Metric names are sanitized
@@ -56,18 +64,40 @@ class ObsHttpServer {
   /// calls it too).
   void stop();
 
+  /// Serves scrapes as watchers on `loop` instead of a thread. Must be
+  /// called (and the loop run) from one thread; mutually exclusive with
+  /// start(). The server must outlive the loop's run or detach() first.
+  void attach(EventLoop& loop);
+  /// Unregisters the listener, in-flight scrapes, and the sweep timer
+  /// from the attached loop. No-op when not attached.
+  void detach();
+
   std::uint64_t requests_served() const {
     return requests_served_.load(std::memory_order_relaxed);
   }
 
  private:
+  /// One in-flight attached-mode scrape, keyed by fd while its request
+  /// head trickles in.
+  struct Pending {
+    TcpConnection conn;
+    std::string request;
+    Millis accepted_ms = 0.0;
+  };
+
   void serve_loop();
   void handle_connection(TcpConnection conn);
+  void accept_attached();
+  void service_attached(int fd);
+  void respond(TcpConnection& conn, const std::string& request);
 
   TcpListener listener_;
   std::thread thread_;
   std::atomic<bool> stop_flag_{false};
   std::atomic<std::uint64_t> requests_served_{0};
+  EventLoop* loop_ = nullptr;
+  TimerId sweep_timer_ = kInvalidTimer;
+  std::unordered_map<int, Pending> pending_;
 };
 
 }  // namespace cwc::net

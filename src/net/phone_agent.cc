@@ -78,8 +78,7 @@ std::optional<Blob> PhoneAgent::next_frame(TcpConnection& conn, FrameDecoder& de
       obs::counter("net.agent.rpc_timeouts").inc();
       return std::nullopt;  // RPC deadline expired
     }
-    pollfd pfd{conn.fd(), POLLIN, 0};
-    if (::poll(&pfd, 1, 100) <= 0) continue;  // re-check stop_ every 100 ms
+    if (poll_one(conn.fd(), POLLIN, 100) == 0) continue;  // re-check stop_ every 100 ms
     const auto data = conn.recv_some();
     if (!data) continue;
     if (data->empty()) return std::nullopt;  // server closed the connection
@@ -91,8 +90,7 @@ std::optional<Blob> PhoneAgent::next_frame(TcpConnection& conn, FrameDecoder& de
 
 void PhoneAgent::service_keepalives(TcpConnection& conn, FrameDecoder& decoder) {
   if (offline_.load() && unplugged_.load()) return;  // radio is "gone"
-  pollfd pfd{conn.fd(), POLLIN, 0};
-  while (::poll(&pfd, 1, 0) > 0 && (pfd.revents & POLLIN)) {
+  while (poll_one(conn.fd(), POLLIN, 0) & POLLIN) {
     const auto data = conn.recv_some();
     if (!data || data->empty()) return;  // drained or peer closed
     obs::counter("net.agent.bytes_received").inc(static_cast<double>(data->size()));

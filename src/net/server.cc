@@ -1,7 +1,5 @@
 #include "net/server.h"
 
-#include <poll.h>
-
 #include <algorithm>
 #include <chrono>
 #include <random>
@@ -18,10 +16,6 @@ namespace cwc::net {
 
 namespace {
 using Clock = std::chrono::steady_clock;
-
-double ms_since(Clock::time_point since) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - since).count();
-}
 
 /// First record boundary at or after `pos` (one past the '\n'), or `end`.
 std::size_t snap_forward(const Blob& data, std::size_t pos, std::size_t end) {
@@ -220,8 +214,45 @@ void CwcServer::accept_new_connections() {
     auto connection = std::make_unique<Connection>();
     connection->conn = std::move(*conn);
     connection->connected_ms = now_ms_;
+    // unique_ptr gives the Connection a stable address, so the watcher and
+    // timer closures may capture it raw; teardown_connection unregisters
+    // them all before the reap frees the object.
+    Connection* raw = connection.get();
+    loop_.watch_fd(raw->conn.fd(), [this, raw] {
+      now_ms_ = loop_.now_ms();
+      service_connection(*raw);
+    });
+    arm_registration_deadline(*raw);
     connections_.push_back(std::move(connection));
   }
+}
+
+void CwcServer::teardown_connection(Connection& c) {
+  if (c.conn.valid()) loop_.unwatch_fd(c.conn.fd());
+  cancel_assign_retry(c);
+  if (c.rpc_timer != kInvalidTimer) {
+    loop_.cancel(c.rpc_timer);
+    c.rpc_timer = kInvalidTimer;
+  }
+  if (c.reprobe_timer != kInvalidTimer) {
+    loop_.cancel(c.reprobe_timer);
+    c.reprobe_timer = kInvalidTimer;
+  }
+  c.reprobe_due = false;
+  c.conn.close();
+  request_reap();
+}
+
+void CwcServer::request_reap() {
+  // Erasure is deferred to a posted task so no callback ever frees a
+  // Connection that other code in the same dispatch round still touches.
+  if (reap_pending_) return;
+  reap_pending_ = true;
+  loop_.post([this] {
+    reap_pending_ = false;
+    std::erase_if(connections_,
+                  [](const std::unique_ptr<Connection>& c) { return !c->conn.valid(); });
+  });
 }
 
 void CwcServer::service_connection(Connection& c) {
@@ -306,8 +337,21 @@ void CwcServer::handle_frame(Connection& c, const Blob& frame) {
       }
       c.probing = false;
       c.ready = true;
+      if (c.rpc_timer != kInvalidTimer) {
+        loop_.cancel(c.rpc_timer);  // probe deadline met
+        c.rpc_timer = kInvalidTimer;
+      }
+      if (config_.reprobe_period > 0.0) {
+        Connection* raw = &c;
+        c.reprobe_timer =
+            loop_.schedule(config_.reprobe_period, [this, raw] { on_reprobe_due(*raw); });
+      }
       log_info("cwc-server") << "phone " << c.phone << " ready, measured "
                              << msg.measured_kbps << " KB/s";
+      // A ready-count transition: this phone may complete the expected
+      // fleet (first-schedule gate) and can take work immediately.
+      maybe_schedule();
+      assign_next_piece(c);
       break;
     }
     case MsgType::kPieceComplete:
@@ -360,8 +404,71 @@ void CwcServer::start_probe(Connection& c) {
   }
   c.probing = true;
   c.last_probe_ms = now_ms_;
+  c.reprobe_due = false;
+  if (c.reprobe_timer != kInvalidTimer) {
+    loop_.cancel(c.reprobe_timer);
+    c.reprobe_timer = kInvalidTimer;
+  }
+  // The probe-report deadline replaces any pending registration deadline.
+  if (config_.rpc_timeout > 0.0) {
+    if (c.rpc_timer != kInvalidTimer) loop_.cancel(c.rpc_timer);
+    Connection* raw = &c;
+    c.rpc_timer = loop_.schedule(config_.rpc_timeout, [this, raw] { on_probe_deadline(*raw); });
+  }
   ++probes_sent_;
   obs::counter("net.server.probes_sent").inc();
+}
+
+void CwcServer::arm_registration_deadline(Connection& c) {
+  if (config_.rpc_timeout <= 0.0) return;
+  Connection* raw = &c;
+  c.rpc_timer =
+      loop_.schedule(config_.rpc_timeout, [this, raw] { on_registration_deadline(*raw); });
+}
+
+void CwcServer::on_registration_deadline(Connection& c) {
+  c.rpc_timer = kInvalidTimer;
+  if (!c.conn.valid() || c.registered) return;
+  now_ms_ = loop_.now_ms();
+  obs::counter("net.server.rpc_timeouts").inc();
+  log_warn("cwc-server") << "connection never registered within deadline; closing";
+  drop_connection(c, /*lost=*/false);
+}
+
+void CwcServer::on_probe_deadline(Connection& c) {
+  c.rpc_timer = kInvalidTimer;
+  if (!c.conn.valid() || !c.probing) return;
+  now_ms_ = loop_.now_ms();
+  obs::counter("net.server.rpc_timeouts").inc();
+  if (c.registered) controller_.health().on_deadline_hit(c.phone);
+  log_warn("cwc-server") << "phone " << c.phone << " probe timed out; dropping";
+  drop_connection(c, /*lost=*/true);
+}
+
+void CwcServer::on_reprobe_due(Connection& c) {
+  c.reprobe_timer = kInvalidTimer;
+  if (!c.conn.valid() || !c.registered) return;
+  now_ms_ = loop_.now_ms();
+  if (c.ready && !c.busy && !c.probing) {
+    try {
+      start_probe(c);
+    } catch (const SocketError&) {
+      drop_connection(c, /*lost=*/true);
+    }
+  } else {
+    // Busy at the deadline: probe at the next idle transition instead.
+    c.reprobe_due = true;
+  }
+}
+
+void CwcServer::maybe_reprobe(Connection& c) {
+  if (!c.reprobe_due || !c.conn.valid() || !c.ready || c.busy || c.probing) return;
+  c.reprobe_due = false;
+  try {
+    start_probe(c);
+  } catch (const SocketError&) {
+    drop_connection(c, /*lost=*/true);
+  }
 }
 
 std::vector<std::pair<std::size_t, std::size_t>> CwcServer::carve_slice(JobState& job,
@@ -474,6 +581,9 @@ void CwcServer::assign_next_piece(Connection& c) {
       return;
     }
   }
+  // Armed even when the injected fault swallowed the frame: re-delivery is
+  // exactly how a lost assignment recovers.
+  arm_assign_retry(c);
   // Mark the moment the piece left the server (the phone agent records the
   // actual transfer/execution spans under the same causal IDs).
   if (obs::trace_enabled()) {
@@ -524,6 +634,7 @@ void CwcServer::cancel_attempt(Connection& loser) {
   loser.busy = false;
   loser.speculative = false;
   loser.assign_frame.clear();
+  cancel_assign_retry(loser);
   if (obs::trace_enabled()) {
     obs::TraceEvent event;
     event.type = obs::TraceEventType::kPieceCancelled;
@@ -543,8 +654,10 @@ void CwcServer::cancel_attempt(Connection& loser) {
     // report, if any, is arbitrated away by the resolved identity.
     log_warn("cwc-server") << "cancel send to phone " << loser.phone
                            << " failed: " << e.what();
-    loser.conn.close();
+    teardown_connection(loser);
+    return;
   }
+  maybe_reprobe(loser);
 }
 
 PhoneId CwcServer::resolve_speculation(Connection& winner) {
@@ -708,6 +821,7 @@ void CwcServer::launch_backup(Connection& primary, Connection& backup,
     drop_connection(backup, /*lost=*/true);
     return;
   }
+  arm_assign_retry(backup);
   active_specs_[{primary.piece_identity.piece, primary.piece_identity.attempt}] =
       ActiveSpec{primary.phone, backup.phone, primary.piece_job};
   ++speculative_launches_;
@@ -767,6 +881,7 @@ void CwcServer::on_complete(Connection& c, const PieceCompleteMsg& msg) {
   c.busy = false;
   c.speculative = false;
   c.assign_frame.clear();
+  cancel_assign_retry(c);
   JobState& job = jobs_.at(msg.job);
   job.partials.push_back(msg.partial_result);
   if (job.spec.kind == JobKind::kBreakable) {
@@ -791,6 +906,8 @@ void CwcServer::on_complete(Connection& c, const PieceCompleteMsg& msg) {
   controller_.on_piece_complete(owner, msg.local_exec_ms, /*executed_by=*/c.phone);
   maybe_finish_job(msg.job);
   assign_next_piece(c);
+  maybe_reprobe(c);
+  check_run_complete();
 }
 
 void CwcServer::on_failed(Connection& c, const PieceFailedMsg& msg) {
@@ -809,6 +926,7 @@ void CwcServer::on_failed(Connection& c, const PieceFailedMsg& msg) {
     c.busy = false;
     c.speculative = false;
     c.assign_frame.clear();
+    cancel_assign_retry(c);
     controller_.health().on_online_failure(c.phone);
     controller_.set_plugged(c.phone, false);
     log_info("cwc-server") << "online failure of speculative backup on phone " << c.phone
@@ -821,6 +939,7 @@ void CwcServer::on_failed(Connection& c, const PieceFailedMsg& msg) {
   abort_speculation(c);
   c.busy = false;
   c.assign_frame.clear();
+  cancel_assign_retry(c);
   JobState& job = jobs_.at(msg.job);
 
   Kilobytes processed_kb = 0.0;
@@ -886,6 +1005,8 @@ void CwcServer::on_failed(Connection& c, const PieceFailedMsg& msg) {
   log_info("cwc-server") << "online failure: phone " << c.phone << ", job " << msg.job
                          << ", processed " << processed_kb << " KB";
   maybe_finish_job(msg.job);
+  maybe_reprobe(c);
+  check_run_complete();
 }
 
 bool CwcServer::chunking_enabled(const Connection& c) const {
@@ -1033,7 +1154,10 @@ void CwcServer::on_chunk_request(Connection& c, const ChunkRequestMsg& msg) {
   } catch (const SocketError& e) {
     log_warn("cwc-server") << "chunk re-ship to phone " << c.phone << " failed: " << e.what();
     drop_connection(c, /*lost=*/true);
+    return;
   }
+  // The re-ship restarts the current re-delivery interval.
+  arm_assign_retry(c);
 }
 
 void CwcServer::drop_connection(Connection& c, bool lost) {
@@ -1063,11 +1187,14 @@ void CwcServer::drop_connection(Connection& c, bool lost) {
     controller_.on_phone_lost(c.phone);
     log_warn("cwc-server") << "phone " << c.phone << " declared lost";
   }
-  c.conn.close();
+  teardown_connection(c);
   c.ready = false;
   c.busy = false;
   c.probing = false;
   c.assign_frame.clear();
+  // Dropping the last outstanding phone can flip the controller to
+  // all-done (e.g. a speculative backup dies after the primary reported).
+  check_run_complete();
 }
 
 void CwcServer::send_keepalives(double) {
@@ -1193,52 +1320,99 @@ void CwcServer::publish_fleet_gauges() {
   obs::gauge("fleet.cache_miss_kb").set(miss_kb);
 }
 
-void CwcServer::retry_assignments(double now_ms) {
-  if (config_.assign_retry_period <= 0.0) return;
-  for (auto& connection : connections_) {
-    Connection& c = *connection;
-    if (!c.conn.valid() || !c.busy || c.assign_frame.empty()) continue;
-    // Exponential re-delivery interval: period, 2x, 4x, ...
-    const double interval =
-        config_.assign_retry_period *
-        static_cast<double>(std::uint64_t{1} << std::min(c.assign_retries, 20));
-    if (now_ms - c.assign_sent_ms < interval) continue;
-    if (c.assign_retries >= config_.assign_max_retries) {
-      log_warn("cwc-server") << "phone " << c.phone << " unresponsive after "
-                             << c.assign_retries << " assignment retries; declaring lost";
-      drop_connection(c, /*lost=*/true);
-      continue;
-    }
-    ++c.assign_retries;
-    c.assign_sent_ms = now_ms;
-    obs::counter("net.server.assign_retries").inc();
-    if (c.registered) controller_.health().on_deadline_hit(c.phone);
-    log_info("cwc-server") << "re-delivering assignment to phone " << c.phone << " (retry "
-                           << c.assign_retries << ")";
-    try {
-      send_frame(c.conn, c.assign_frame);
-    } catch (const SocketError&) {
-      drop_connection(c, /*lost=*/true);
-    }
+void CwcServer::cancel_assign_retry(Connection& c) {
+  if (c.retry_timer != kInvalidTimer) {
+    loop_.cancel(c.retry_timer);
+    c.retry_timer = kInvalidTimer;
   }
 }
 
-void CwcServer::enforce_rpc_deadlines(double now_ms) {
-  if (config_.rpc_timeout <= 0.0) return;
+void CwcServer::arm_assign_retry(Connection& c) {
+  if (config_.assign_retry_period <= 0.0) return;
+  cancel_assign_retry(c);
+  // Exponential re-delivery interval: period, 2x, 4x, ...
+  const double interval =
+      config_.assign_retry_period *
+      static_cast<double>(std::uint64_t{1} << std::min(c.assign_retries, 20));
+  Connection* raw = &c;
+  c.retry_timer = loop_.schedule(interval, [this, raw] { on_assign_retry(*raw); });
+}
+
+void CwcServer::on_assign_retry(Connection& c) {
+  c.retry_timer = kInvalidTimer;
+  now_ms_ = loop_.now_ms();
+  if (!c.conn.valid() || !c.busy || c.assign_frame.empty()) return;
+  if (c.assign_retries >= config_.assign_max_retries) {
+    log_warn("cwc-server") << "phone " << c.phone << " unresponsive after "
+                           << c.assign_retries << " assignment retries; declaring lost";
+    drop_connection(c, /*lost=*/true);
+    return;
+  }
+  ++c.assign_retries;
+  c.assign_sent_ms = now_ms_;
+  obs::counter("net.server.assign_retries").inc();
+  if (c.registered) controller_.health().on_deadline_hit(c.phone);
+  log_info("cwc-server") << "re-delivering assignment to phone " << c.phone << " (retry "
+                         << c.assign_retries << ")";
+  try {
+    send_frame(c.conn, c.assign_frame);
+  } catch (const SocketError&) {
+    drop_connection(c, /*lost=*/true);
+    return;
+  }
+  arm_assign_retry(c);  // next interval doubles
+}
+
+void CwcServer::maybe_schedule() {
+  if (!first_schedule_done_) {
+    int ready = 0;
+    for (auto& connection : connections_) {
+      if (connection->conn.valid() && connection->ready) ++ready;
+    }
+    if (ready >= expected_phones_ && controller_.has_pending_work()) {
+      scheduling_instant();
+      first_schedule_done_ = true;
+      last_instant_ms_ = now_ms_;
+    }
+  } else if (controller_.has_pending_work() &&
+             now_ms_ - last_instant_ms_ >= config_.scheduling_period) {
+    scheduling_instant();
+    last_instant_ms_ = now_ms_;
+  }
+}
+
+void CwcServer::on_scheduling_tick() {
+  now_ms_ = loop_.now_ms();
+  maybe_schedule();
+  // Nudge idle ready phones (e.g. after a replugged phone's queue fills).
   for (auto& connection : connections_) {
-    Connection& c = *connection;
-    if (!c.conn.valid()) continue;
-    if (!c.registered && now_ms - c.connected_ms >= config_.rpc_timeout) {
-      obs::counter("net.server.rpc_timeouts").inc();
-      log_warn("cwc-server") << "connection never registered within deadline; closing";
-      drop_connection(c, /*lost=*/false);
-    } else if (c.probing && now_ms - c.last_probe_ms >= config_.rpc_timeout) {
-      obs::counter("net.server.rpc_timeouts").inc();
-      if (c.registered) controller_.health().on_deadline_hit(c.phone);
-      log_warn("cwc-server") << "phone " << c.phone << " probe timed out; dropping";
-      drop_connection(c, /*lost=*/true);
+    if (connection->conn.valid() && connection->ready && !connection->busy) {
+      assign_next_piece(*connection);
+      maybe_reprobe(*connection);
     }
   }
+  // Safety net: completion transitions that bypass the event handlers
+  // (controller state flipped by a scheduler round, say) still finish.
+  check_run_complete();
+}
+
+void CwcServer::check_run_complete() {
+  if (run_complete_ || !first_schedule_done_) return;
+  if (!all_jobs_done() || !controller_.all_done()) return;
+  if (!shutdown_sent_) {
+    for (auto& connection : connections_) {
+      if (connection->conn.valid()) {
+        try {
+          send_frame(connection->conn, encode_shutdown());
+        } catch (const SocketError&) {
+        }
+        teardown_connection(*connection);
+      }
+    }
+    shutdown_sent_ = true;
+  }
+  run_complete_ = true;
+  loop_.stop();
 }
 
 void CwcServer::scheduling_instant() {
@@ -1286,122 +1460,63 @@ const Blob& CwcServer::result(JobId job) const {
 bool CwcServer::job_done(JobId job) const { return jobs_.at(job).done; }
 
 bool CwcServer::run(int expected_phones, Millis timeout) {
-  const auto start = Clock::now();
-  double last_keepalive = 0.0;
-  double last_instant = -1e18;
-  double last_spec_check = 0.0;
-  bool first_schedule_done = false;
+  expected_phones_ = expected_phones;
+  run_complete_ = false;
+  first_schedule_done_ = false;
+  last_instant_ms_ = -1e18;
 
-  // Trace timestamps follow this run's loop clock (ms since run() began).
-  // The lambda captures `start` by value, so it stays valid for as long as
-  // it is installed; the guard restores the default clock on any exit path.
+  // Trace timestamps follow the loop clock (ms since the loop anchored,
+  // i.e. since run() entry); the guard restores the default on any exit.
   if (obs::trace_enabled()) {
-    obs::TraceRecorder::global().set_clock([start] { return ms_since(start); });
+    obs::TraceRecorder::global().set_clock([this] { return loop_.wall_now_ms(); });
   }
   struct ClockGuard {
     ~ClockGuard() { obs::TraceRecorder::global().set_clock(nullptr); }
   } clock_guard;
 
-  while (ms_since(start) < timeout) {
-    if (config_.stop && config_.stop->load(std::memory_order_relaxed)) {
-      log_info("cwc-server") << "stop requested; leaving run loop";
-      break;
-    }
-    // Poll listener + live connections.
-    std::vector<pollfd> fds;
-    fds.push_back({listener_.fd(), POLLIN, 0});
-    for (auto& connection : connections_) {
-      if (connection->conn.valid()) fds.push_back({connection->conn.fd(), POLLIN, 0});
-    }
-    ::poll(fds.data(), fds.size(), 20);
-
-    now_ms_ = ms_since(start);
+  // Readiness: one watcher for the listener; per-connection watchers are
+  // registered on accept. Every deadline below lives on the timer wheel,
+  // so the loop sleeps exactly until the next due event — there is no
+  // fixed tick and no per-iteration fleet scan.
+  loop_.watch_fd(listener_.fd(), [this] {
+    now_ms_ = loop_.now_ms();
     accept_new_connections();
-    for (auto& connection : connections_) {
-      if (connection->conn.valid()) service_connection(*connection);
-    }
-    // Connections closed this iteration (agent resets, corrupt streams,
-    // keep-alive drops) would otherwise accumulate across reconnects.
-    std::erase_if(connections_,
-                  [](const std::unique_ptr<Connection>& c) { return !c->conn.valid(); });
+  });
 
-    const double now = ms_since(start);
-    now_ms_ = now;
-    int ready = 0;
-    for (auto& connection : connections_) {
-      if (connection->conn.valid() && connection->ready) ++ready;
-    }
-
-    if (!first_schedule_done) {
-      if (ready >= expected_phones && controller_.has_pending_work()) {
-        scheduling_instant();
-        first_schedule_done = true;
-        last_instant = now;
-      }
-    } else if (controller_.has_pending_work() && now - last_instant >= config_.scheduling_period) {
-      scheduling_instant();
-      last_instant = now;
-    }
-
-    // Nudge idle ready phones (e.g. after a replugged phone's queue fills).
-    for (auto& connection : connections_) {
-      if (connection->conn.valid() && connection->ready && !connection->busy) {
-        assign_next_piece(*connection);
-      }
-    }
-
-    // Periodic bandwidth re-probing of idle phones: fresh b_i keeps the
-    // scheduler honest when links drift (cellular-grade instability).
-    if (config_.reprobe_period > 0.0) {
-      for (auto& connection : connections_) {
-        Connection& c = *connection;
-        if (c.conn.valid() && c.ready && !c.busy && !c.probing &&
-            now - c.last_probe_ms >= config_.reprobe_period) {
-          c.last_probe_ms = now;
-          try {
-            start_probe(c);
-          } catch (const SocketError&) {
-            drop_connection(c, /*lost=*/true);
-          }
-        }
-      }
-    }
-
-    if (config_.speculation.enabled && first_schedule_done) {
-      const Millis period = config_.speculation_check_period > 0.0
-                                ? config_.speculation_check_period
-                                : config_.scheduling_period;
-      if (now - last_spec_check >= period) {
-        maybe_speculate(now);
-        last_spec_check = now;
-      }
-    }
-
-    retry_assignments(now);
-    enforce_rpc_deadlines(now);
-
-    if (now - last_keepalive >= config_.keepalive_period) {
-      send_keepalives(now);
-      last_keepalive = now;
-    }
-
-    if (first_schedule_done && all_jobs_done() && controller_.all_done()) {
-      if (!shutdown_sent_) {
-        for (auto& connection : connections_) {
-          if (connection->conn.valid()) {
-            try {
-              send_frame(connection->conn, encode_shutdown());
-            } catch (const SocketError&) {
-            }
-            connection->conn.close();
-          }
-        }
-        shutdown_sent_ = true;
-      }
-      return true;
-    }
+  std::vector<TimerId> run_timers;
+  run_timers.push_back(loop_.schedule(timeout, [this] { loop_.stop(); }));
+  run_timers.push_back(loop_.every(config_.keepalive_period, [this] {
+    now_ms_ = loop_.now_ms();
+    send_keepalives(now_ms_);
+  }));
+  run_timers.push_back(
+      loop_.every(config_.scheduling_period, [this] { on_scheduling_tick(); }));
+  if (config_.speculation.enabled) {
+    const Millis period = config_.speculation_check_period > 0.0
+                              ? config_.speculation_check_period
+                              : config_.scheduling_period;
+    run_timers.push_back(loop_.every(period, [this] {
+      if (!first_schedule_done_) return;
+      now_ms_ = loop_.now_ms();
+      maybe_speculate(now_ms_);
+    }));
   }
-  return all_jobs_done();
+  if (config_.stop) {
+    // External stop flags are set from other threads, so they are the one
+    // thing the loop still has to poll for.
+    run_timers.push_back(loop_.every(20.0, [this] {
+      if (config_.stop->load(std::memory_order_relaxed)) {
+        log_info("cwc-server") << "stop requested; leaving run loop";
+        loop_.stop();
+      }
+    }));
+  }
+
+  loop_.run();
+
+  for (const TimerId id : run_timers) loop_.cancel(id);
+  loop_.unwatch_fd(listener_.fd());
+  return run_complete_ || all_jobs_done();
 }
 
 }  // namespace cwc::net

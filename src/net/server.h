@@ -1,10 +1,14 @@
 // The CWC central server over real TCP — the live counterpart of the
 // paper's EC2-hosted prototype.
 //
-// A single poll()-based event loop (the paper used Java NIO; same idea)
-// multiplexes: phone registrations, bandwidth probes, piece assignment,
-// completion/failure reports, periodic application-level keep-alives, and
-// scheduling instants. All policy lives in the embedded CwcController —
+// A single-writer event loop (net/event_loop.h; the paper used Java NIO —
+// same idea, readiness-driven) multiplexes: phone registrations, bandwidth
+// probes, piece assignment, completion/failure reports, application-level
+// keep-alives, and scheduling instants. Every deadline — keep-alive ticks,
+// assignment re-delivery, RPC timeouts, re-probe alarms — lives on the
+// loop's timer wheel, so the server sleeps exactly until the next event
+// and per-iteration work is O(ready), not O(fleet). All policy lives in
+// the embedded CwcController —
 // the identical brain the discrete-event simulator drives — so the wire
 // deployment validates the protocol and the simulator scales the policy.
 //
@@ -32,6 +36,7 @@
 #include "core/controller.h"
 #include "core/locality.h"
 #include "core/speculation.h"
+#include "net/event_loop.h"
 #include "net/framing.h"
 #include "net/journal.h"
 #include "net/protocol.h"
@@ -108,6 +113,11 @@ class CwcServer {
   /// for `expected_phones` registrations before the first scheduling
   /// instant. Returns true when all jobs completed.
   bool run(int expected_phones, Millis timeout);
+
+  /// The server's event loop. Tools may attach additional watchers and
+  /// timers (the obs HTTP endpoint, metrics/timeseries ticks) before
+  /// calling run(); their callbacks then share the single writer thread.
+  EventLoop& loop() { return loop_; }
 
   /// Aggregated final result of a completed job.
   const Blob& result(JobId job) const;
@@ -195,6 +205,15 @@ class CwcServer {
     /// Liveness reset on parole: true while the phone sat quarantined with
     /// keep-alives suppressed, so reinstatement forgives the stale streak.
     bool keepalive_suspended = false;
+    /// Event-loop deadlines owned by this connection: the in-flight
+    /// assignment's re-delivery timer, the registration/probe RPC
+    /// deadline, and the idle re-probe alarm. All cancelled on teardown.
+    TimerId retry_timer = kInvalidTimer;
+    TimerId rpc_timer = kInvalidTimer;
+    TimerId reprobe_timer = kInvalidTimer;
+    /// The re-probe alarm fired while the phone was busy: probe at the
+    /// next idle transition instead.
+    bool reprobe_due = false;
   };
 
   void accept_new_connections();
@@ -248,11 +267,32 @@ class CwcServer {
   void publish_phone_gauges(const Connection& c);
   /// Rolls the per-connection stats blocks up into `fleet.*` gauges.
   void publish_fleet_gauges();
-  /// Re-sends overdue in-flight assignments (see assign_retry_period).
-  void retry_assignments(double now_ms);
-  /// Drops connections whose registration or probe exchange has exceeded
-  /// rpc_timeout.
-  void enforce_rpc_deadlines(double now_ms);
+  /// Unwatches, cancels this connection's timers, closes the socket, and
+  /// posts a reap of invalid connections for after the dispatch round.
+  void teardown_connection(Connection& c);
+  void request_reap();
+  /// Assignment re-delivery timer (see assign_retry_period): armed on
+  /// every (re)send, cancelled when the report lands; each firing doubles
+  /// the interval until assign_max_retries declares the phone lost.
+  void arm_assign_retry(Connection& c);
+  void cancel_assign_retry(Connection& c);
+  void on_assign_retry(Connection& c);
+  /// RPC deadlines as one-shot timers: a connection that never registers,
+  /// or a probe that never reports, within rpc_timeout is dropped.
+  void arm_registration_deadline(Connection& c);
+  void on_registration_deadline(Connection& c);
+  void on_probe_deadline(Connection& c);
+  /// Idle re-probe alarm (see reprobe_period); fires on the timer, or at
+  /// the next idle transition when the phone was busy at the deadline.
+  void on_reprobe_due(Connection& c);
+  void maybe_reprobe(Connection& c);
+  /// First-schedule gate + periodic rescheduling, event-driven: called on
+  /// the scheduling timer and on ready-count transitions (probe reports).
+  void maybe_schedule();
+  void on_scheduling_tick();
+  /// Batch-complete check: when every job has aggregated and the
+  /// controller drained, send shutdowns and stop the loop.
+  void check_run_complete();
   /// Journal write failed: log, count, and disable journaling (the file
   /// tail may be torn; replay recovers the longest valid prefix).
   void on_journal_error(const std::exception& error);
@@ -267,6 +307,9 @@ class CwcServer {
   const tasks::TaskRegistry* registry_;
   ServerConfig config_;
   TcpListener listener_;
+  /// Single-writer event loop: all mutation of controller_, jobs_ and
+  /// journal_ happens in its callbacks on the thread that calls run().
+  EventLoop loop_;
   std::vector<std::unique_ptr<Connection>> connections_;
   std::map<JobId, JobState> jobs_;
   /// Per-phone chunk directory mirrors (only phones that registered a
@@ -297,6 +340,13 @@ class CwcServer {
   std::size_t duplicate_completions_ = 0;
   double now_ms_ = 0.0;  ///< run-clock time of the current loop iteration
   bool shutdown_sent_ = false;
+  /// run() state, event-driven: the first scheduling instant waits for
+  /// `expected_phones_` ready phones; completion stops the loop.
+  int expected_phones_ = 0;
+  bool first_schedule_done_ = false;
+  double last_instant_ms_ = -1e18;
+  bool run_complete_ = false;
+  bool reap_pending_ = false;
 };
 
 }  // namespace cwc::net

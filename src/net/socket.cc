@@ -4,6 +4,7 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -33,6 +34,18 @@ void apply_common_fault(const fault::FaultAction& action, const char* site) {
   }
 }
 }  // namespace
+
+short poll_one(int fd, short events, int timeout_ms) {
+  pollfd pfd{fd, events, 0};
+  while (true) {
+    const int n = ::poll(&pfd, 1, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;  // signal, not a timeout — retry
+      throw SocketError("poll", errno);
+    }
+    return n == 0 ? short{0} : pfd.revents;
+  }
+}
 
 FileDescriptor::~FileDescriptor() { reset(); }
 
@@ -117,13 +130,28 @@ void TcpConnection::send_all(std::span<const std::uint8_t> data) {
 }
 
 void TcpConnection::send_all_raw(std::span<const std::uint8_t> data) {
+  // How long a full socket buffer may stall one send before the peer is
+  // declared wedged. Sends block the single-writer loop, so a bound keeps
+  // one dead-but-connected peer from freezing the whole fleet forever.
+  constexpr int kStallBudgetMs = 30'000;
+  int stalled_ms = 0;
   std::size_t sent = 0;
   while (sent < data.size()) {
     const ssize_t n = ::send(fd_.get(), data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Non-blocking fd with a full send buffer: wait for drain in
+        // bounded slices rather than surfacing a spurious hard error.
+        constexpr int kSliceMs = 100;
+        if (stalled_ms >= kStallBudgetMs) throw SocketError("send (stalled peer)", ETIMEDOUT);
+        poll_one(fd_.get(), POLLOUT, kSliceMs);
+        stalled_ms += kSliceMs;
+        continue;
+      }
       throw SocketError("send", errno);
     }
+    stalled_ms = 0;
     sent += static_cast<std::size_t>(n);
   }
 }
@@ -168,7 +196,10 @@ TcpListener::TcpListener(std::uint16_t port, bool loopback_only) {
   if (::bind(fd_.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
     throw SocketError("bind", errno);
   }
-  if (::listen(fd_.get(), 64) < 0) throw SocketError("listen", errno);
+  // Deep backlog: a 1k–10k agent swarm reconnecting after a restart is a
+  // legitimate connect storm, not an attack. The kernel clamps to
+  // net.core.somaxconn.
+  if (::listen(fd_.get(), 1024) < 0) throw SocketError("listen", errno);
   sockaddr_in bound{};
   socklen_t len = sizeof bound;
   if (::getsockname(fd_.get(), reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
@@ -181,6 +212,10 @@ std::optional<TcpConnection> TcpListener::accept() {
   const int fd = ::accept(fd_.get(), nullptr, nullptr);
   if (fd < 0) {
     if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return std::nullopt;
+    // fd exhaustion is a degraded state, not a reason to tear the whole
+    // server down: existing connections keep progressing, and the queued
+    // connect is retried once something frees a descriptor.
+    if (errno == EMFILE || errno == ENFILE) return std::nullopt;
     throw SocketError("accept", errno);
   }
   TcpConnection conn{FileDescriptor(fd)};

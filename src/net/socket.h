@@ -76,6 +76,11 @@ class TcpConnection {
   FileDescriptor fd_;
 };
 
+/// ::poll on a single fd with honest error handling: retries EINTR,
+/// throws SocketError on real errors, returns the ready revents mask
+/// (0 on timeout). `timeout_ms < 0` waits indefinitely.
+short poll_one(int fd, short events, int timeout_ms);
+
 /// A listening TCP socket on an ephemeral or fixed port.
 class TcpListener {
  public:

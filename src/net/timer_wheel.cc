@@ -1,0 +1,148 @@
+#include "net/timer_wheel.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace cwc::net {
+
+TimerWheel::TimerWheel(Millis tick_ms) : tick_ms_(tick_ms) {
+  if (!(tick_ms > 0.0)) throw std::invalid_argument("TimerWheel tick must be positive");
+}
+
+TimerId TimerWheel::schedule(Millis delay_ms, Callback callback) {
+  std::uint64_t ticks = 1;
+  if (delay_ms > 0.0) {
+    ticks = static_cast<std::uint64_t>(std::ceil(delay_ms / tick_ms_));
+    if (ticks == 0) ticks = 1;
+  }
+  const TimerId id = next_id_++;
+  Timer timer;
+  timer.deadline_tick = now_tick_ + ticks;
+  timer.callback = std::move(callback);
+  place(id, timer);
+  timers_.emplace(id, std::move(timer));
+  return id;
+}
+
+bool TimerWheel::cancel(TimerId id) {
+  const auto it = timers_.find(id);
+  if (it == timers_.end()) return false;
+  // level -1 means the timer sits in the advance() batch currently being
+  // fired; its slot counter was already reset when the batch was taken.
+  if (it->second.level >= 0 && live_[it->second.level][it->second.slot] > 0) {
+    --live_[it->second.level][it->second.slot];
+  }
+  timers_.erase(it);
+  return true;
+}
+
+void TimerWheel::place(TimerId id, Timer& timer) {
+  const std::uint64_t delta =
+      timer.deadline_tick > now_tick_ ? timer.deadline_tick - now_tick_ : 0;
+  int level = 0;
+  while (level < kLevels - 1 && delta >= (1ull << (kSlotBits * (level + 1)))) ++level;
+  timer.level = level;
+  timer.slot = static_cast<std::uint32_t>((timer.deadline_tick >> (kSlotBits * level)) & kSlotMask);
+  slots_[level][timer.slot].push_back(id);
+  ++live_[level][timer.slot];
+}
+
+void TimerWheel::cascade(int level, std::uint32_t slot) {
+  std::vector<TimerId> moved = std::move(slots_[level][slot]);
+  slots_[level][slot].clear();
+  live_[level][slot] = 0;
+  for (const TimerId id : moved) {
+    const auto it = timers_.find(id);
+    if (it == timers_.end()) continue;  // cancelled; entry was stale
+    if (it->second.level != level || it->second.slot != slot) continue;
+    place(id, it->second);
+  }
+}
+
+std::size_t TimerWheel::fire_current_slot() {
+  const auto slot = static_cast<std::uint32_t>(now_tick_ & kSlotMask);
+  if (slots_[0][slot].empty()) return 0;
+  std::vector<TimerId> batch = std::move(slots_[0][slot]);
+  slots_[0][slot].clear();
+  live_[0][slot] = 0;
+  // Mark the whole batch before firing anything, so a callback cancelling
+  // a later timer in the same batch is honored (the second pass re-checks
+  // the map) and a callback re-arming a timer cannot collide with it.
+  for (const TimerId id : batch) {
+    const auto it = timers_.find(id);
+    if (it == timers_.end()) continue;
+    if (it->second.deadline_tick != now_tick_) {
+      // Stale entry for a timer that has since moved levels; leave it to
+      // its live slot.
+      continue;
+    }
+    it->second.level = -1;
+  }
+  std::size_t fired = 0;
+  for (const TimerId id : batch) {
+    const auto it = timers_.find(id);
+    if (it == timers_.end() || it->second.level != -1) continue;
+    Callback callback = std::move(it->second.callback);
+    timers_.erase(it);
+    callback();
+    ++fired;
+  }
+  return fired;
+}
+
+std::size_t TimerWheel::advance(Millis now_ms) {
+  const auto target = static_cast<std::uint64_t>(now_ms / tick_ms_);
+  std::size_t fired = 0;
+  while (now_tick_ < target) {
+    if (timers_.empty()) {
+      // Nothing armed: skip ahead. Stale vector entries (already-fired or
+      // cancelled ids) are skipped lazily whenever their slot next comes up.
+      now_tick_ = target;
+      break;
+    }
+    ++now_tick_;
+    if ((now_tick_ & kSlotMask) == 0) {
+      // A lower wheel wrapped: pull the matching slot of each higher level
+      // down, innermost first, recursing upward only on its own wrap.
+      for (int level = 1; level < kLevels; ++level) {
+        const auto slot =
+            static_cast<std::uint32_t>((now_tick_ >> (kSlotBits * level)) & kSlotMask);
+        cascade(level, slot);
+        if (slot != 0) break;
+      }
+    }
+    fired += fire_current_slot();
+  }
+  return fired;
+}
+
+std::optional<Millis> TimerWheel::next_deadline_ms(Millis now_ms) const {
+  if (timers_.empty()) return std::nullopt;
+  std::uint64_t best_tick = std::numeric_limits<std::uint64_t>::max();
+  // Level 0 holds exact deadlines within the next 256 ticks.
+  for (std::uint64_t t = now_tick_ + 1; t <= now_tick_ + kSlots; ++t) {
+    if (live_[0][t & kSlotMask] > 0) {
+      best_tick = t;
+      break;
+    }
+  }
+  // Higher levels: the earliest cascade boundary of an occupied slot. The
+  // loop wakes there, cascades the slot down, and recomputes.
+  for (int level = 1; level < kLevels; ++level) {
+    const std::uint64_t unit_shift = kSlotBits * level;
+    const std::uint64_t cursor = now_tick_ >> unit_shift;
+    for (std::uint64_t k = 1; k <= kSlots; ++k) {
+      if (live_[level][(cursor + k) & kSlotMask] > 0) {
+        best_tick = std::min(best_tick, (cursor + k) << unit_shift);
+        break;
+      }
+    }
+  }
+  if (best_tick == std::numeric_limits<std::uint64_t>::max()) return Millis{0};
+  const Millis wait = static_cast<Millis>(best_tick) * tick_ms_ - now_ms;
+  return wait > 0.0 ? wait : Millis{0};
+}
+
+}  // namespace cwc::net

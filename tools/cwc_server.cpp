@@ -242,36 +242,29 @@ int main(int argc, char** argv) {
   }
 
   // Live telemetry plane: the HTTP exposition endpoint, the time-series
-  // sampler, and the periodic snapshot rewriter all run on their own
-  // threads reading the process-global registries — none touches the
-  // event loop.
+  // sampler, and the periodic snapshot rewriter all ride the server's
+  // event loop as watchers and wheel timers — the whole process is one
+  // thread, and scrapes interleave with fleet traffic between events.
   std::unique_ptr<net::ObsHttpServer> obs_http;
   if (flags.has("obs-port")) {
     obs_http = std::make_unique<net::ObsHttpServer>(
         static_cast<std::uint16_t>(flags.get_int("obs-port", 0)),
         /*loopback_only=*/!flags.get_bool("bind-all"));
-    obs_http->start();
+    obs_http->attach(server.loop());
     std::printf("live telemetry on http://127.0.0.1:%u/metrics (try: cwc_top --port=%u)\n",
                 obs_http->port(), obs_http->port());
     std::fflush(stdout);
   }
   obs::TimeSeriesSampler sampler;
-  if (flags.has("timeseries-out")) sampler.start(250);
-  std::thread snapshot_rewriter;
-  std::atomic<bool> rewriter_stop{false};
+  if (flags.has("timeseries-out")) {
+    server.loop().every(250.0, [&server, &sampler] {
+      sampler.sample_now(server.loop().now_ms());
+    });
+  }
   const auto metrics_interval = flags.get_int("metrics-interval-ms", 0);
   if (metrics_interval > 0 && flags.has("metrics-out")) {
-    snapshot_rewriter = std::thread([&flags, &rewriter_stop, metrics_interval] {
-      const std::string path = flags.get("metrics-out");
-      while (!rewriter_stop.load()) {
-        obs::write_snapshot_file_atomic(path);
-        auto remaining = metrics_interval;
-        while (remaining > 0 && !rewriter_stop.load()) {
-          const auto slice = std::min<long long>(remaining, 20);
-          std::this_thread::sleep_for(std::chrono::milliseconds(slice));
-          remaining -= slice;
-        }
-      }
+    server.loop().every(static_cast<Millis>(metrics_interval), [&flags] {
+      obs::write_snapshot_file_atomic(flags.get("metrics-out"));
     });
   }
 
@@ -282,12 +275,7 @@ int main(int argc, char** argv) {
 
   const bool done = server.run(phones, seconds(static_cast<double>(
                                            flags.get_int("timeout-s", 600))));
-  if (snapshot_rewriter.joinable()) {
-    rewriter_stop.store(true);
-    snapshot_rewriter.join();
-  }
-  if (obs_http) obs_http->stop();
-  sampler.stop();
+  if (obs_http) obs_http->detach();
   if (flags.has("timeseries-out")) {
     // SIGINT lands here too — the stop flag exits the run loop cleanly,
     // exactly like --metrics-out/--trace-out.

@@ -21,7 +21,7 @@ cd "$(dirname "$0")/.."
 REPO_ROOT="$(pwd)"
 RECORD="${REPO_ROOT}/BENCH_scheduler.json"
 MODE="${1:-check}"
-FILTER='BM_Greedy|BM_SinglePacking|BM_PreparedPacking|BM_PrepareProblem|BM_PodBuild|BM_ShipBytesRepeat|BM_KeepAliveHist'
+FILTER='BM_Greedy|BM_SinglePacking|BM_PreparedPacking|BM_PrepareProblem|BM_PodBuild|BM_ShipBytesRepeat|BM_KeepAliveHist|BM_TimerWheel'
 # Older google-benchmark releases reject a unit suffix on min_time.
 MIN_TIME="${CWC_BENCH_MIN_TIME:-0.2}"
 
@@ -231,3 +231,28 @@ if failed:
     sys.exit(1)
 print("\nrun_benches: all benchmarks within threshold")
 PY
+
+# Swarm p99 gate: a live loopback run of the event-driven server under
+# CWC_SWARM_AGENTS in-process agents, gating steady-state keep-alive ack
+# p99 (measured by the PR 8 latency histograms, asserted by cwc_swarm
+# itself). This is the end-to-end companion to BM_TimerWheel: the wheel
+# microbench proves the data structure, the swarm proves the server built
+# on it. Set CWC_SWARM_AGENTS=0 to skip (e.g. fd-limited sandboxes).
+SWARM_AGENTS="${CWC_SWARM_AGENTS:-1000}"
+SWARM_P99_BUDGET_MS="${CWC_SWARM_P99_BUDGET_MS:-500}"
+if [ "${SWARM_AGENTS}" != "0" ] && [ "${MODE}" != "--update" ]; then
+  cmake --build --preset default --target cwc_swarm -j >/dev/null
+  echo ""
+  echo "swarm gate: ${SWARM_AGENTS} agents, keep-alive p99 budget ${SWARM_P99_BUDGET_MS} ms"
+  if ./build/tools/cwc_swarm --agents="${SWARM_AGENTS}" \
+      --p99-budget-ms="${SWARM_P99_BUDGET_MS}"; then
+    echo "swarm gate: OK"
+  else
+    if [ "${MODE}" = "--report-only" ]; then
+      echo "swarm gate: FAILED, but --report-only always exits 0"
+    else
+      echo "swarm gate: FAILED (rerun directly: build/tools/cwc_swarm --agents=${SWARM_AGENTS} --verbose)"
+      exit 1
+    fi
+  fi
+fi
