@@ -90,12 +90,26 @@ HttpResponse route(const std::string& path) {
 std::string render_prometheus() {
   const obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
   std::string out;
+  // `fault.fired.<point>` counters collate into one labeled family so a
+  // running storm is a single PromQL selector: cwc_fault_fired_total{point}.
+  std::vector<std::pair<std::string, double>> fault_rows;
   for (const std::string& name : reg.counter_names()) {
     const obs::Counter* c = reg.find_counter(name);
     if (!c) continue;
+    if (name.rfind("fault.fired.", 0) == 0) {
+      fault_rows.emplace_back(name.substr(sizeof("fault.fired.") - 1), c->value());
+      continue;
+    }
     const std::string prom = prom_name(name);
     out += "# TYPE " + prom + " counter\n";
     out += prom + " " + shortest_double(c->value()) + "\n";
+  }
+  if (!fault_rows.empty()) {
+    out += "# TYPE cwc_fault_fired_total counter\n";
+    for (const auto& [point, value] : fault_rows) {
+      out += "cwc_fault_fired_total{point=\"" + point + "\"} " + shortest_double(value) +
+             "\n";
+    }
   }
   // Per-phone gauges collate into labeled families; grouping by field
   // keeps each family's TYPE line emitted exactly once.

@@ -191,6 +191,8 @@ bool PhoneAgent::session() {
   } catch (const SocketError&) {
     return true;  // server not reachable yet; retry if budget remains
   }
+  // Our sends flow phone->server: link faults with dir=from apply here.
+  conn.bind_link(config_.id, /*server_side=*/false);
   FrameDecoder decoder;
   stash_.clear();
 

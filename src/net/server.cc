@@ -68,6 +68,8 @@ CwcServer::CwcServer(std::unique_ptr<core::Scheduler> scheduler,
   obs::counter("net.server.duplicate_registrations");
   obs::counter("net.server.rpc_timeouts");
   obs::counter("net.server.journal_errors");
+  obs::counter("net.send_stall_ms");
+  set_send_stall_budget_ms(config_.send_stall_budget_ms);
   // Speculation counters, zero-valued when --speculation is off so the
   // telemetry smoke check can always assert their presence.
   obs::counter("spec.launched");
@@ -313,6 +315,9 @@ void CwcServer::handle_frame(Connection& c, const Blob& frame) {
       controller_.register_phone(spec);
       c.phone = msg.phone;
       c.registered = true;
+      // Server sends flow toward the phone: link faults with dir=to apply
+      // to this connection from registration onward.
+      c.conn.bind_link(msg.phone, /*server_side=*/true);
       if (config_.chunk_bytes > 0 && msg.cache_budget_bytes > 0) {
         // Resync the directory mirror wholesale from the agent's advertised
         // manifest: whatever survived on the phone across the reconnect is
@@ -869,6 +874,15 @@ void CwcServer::on_complete(Connection& c, const PieceCompleteMsg& msg) {
       obs::counter("spec.duplicate_completions").inc();
     }
     obs::counter("net.server.stale_reports").inc();
+    if (config_.bank_stale_reports) {
+      // Planted regression (see ServerConfig::bank_stale_reports): bank the
+      // stale partial anyway, re-creating the double-aggregation bug the
+      // soak harness's exactly-once invariant exists to catch.
+      const auto it = jobs_.find(msg.job);
+      if (it != jobs_.end() && !it->second.done) {
+        it->second.partials.push_back(msg.partial_result);
+      }
+    }
     return;
   }
   // First valid completion wins: if this piece was speculated, cancel the

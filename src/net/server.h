@@ -90,6 +90,16 @@ struct ServerConfig {
   /// handler): run() returns at the next loop iteration when the pointed-to
   /// flag becomes true, so callers can flush metrics and traces cleanly.
   const std::atomic<bool>* stop = nullptr;
+  /// POLLOUT budget applied to every send (see net::set_send_stall_budget_ms;
+  /// process-wide, the ctor installs it). Slow-link soak legs shrink it so
+  /// wedged peers surface in seconds, not half a minute.
+  int send_stall_budget_ms = 30'000;
+  /// TESTING ONLY — re-enables the pre-PR-4 stale-ack bug: completion
+  /// reports that fail the (piece, attempt) in-flight match are banked
+  /// anyway, double-aggregating replayed results. Exists so the soak
+  /// harness can prove its exactly-once invariant catches the regression
+  /// and shrinks the schedule that provokes it. Never enable in service.
+  bool bank_stale_reports = false;
 };
 
 class CwcServer {

@@ -9,16 +9,22 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <thread>
 
 #include "common/fault.h"
+#include "common/link_fault.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cwc::net {
 
 namespace {
+std::atomic<int> g_send_stall_budget_ms{30'000};
+
 /// Applies the non-payload-altering fault kinds shared by every socket
 /// site: kDelay stalls, kReset throws as a peer reset. Payload-shaping
 /// kinds (kDrop, kPartial) are interpreted by each call site.
@@ -34,6 +40,12 @@ void apply_common_fault(const fault::FaultAction& action, const char* site) {
   }
 }
 }  // namespace
+
+void set_send_stall_budget_ms(int budget_ms) {
+  g_send_stall_budget_ms.store(std::max(budget_ms, 100), std::memory_order_relaxed);
+}
+
+int send_stall_budget_ms() { return g_send_stall_budget_ms.load(std::memory_order_relaxed); }
 
 short poll_one(int fd, short events, int timeout_ms) {
   pollfd pfd{fd, events, 0};
@@ -116,6 +128,20 @@ TcpConnection TcpConnection::connect_ipv4(const std::string& address, std::uint1
 }
 
 void TcpConnection::send_all(std::span<const std::uint8_t> data) {
+  // The link fault plane sits "under" the point faults: it models the
+  // network itself. Enforcement is sender-side only — every byte of a
+  // loopback deployment leaves through an instrumented send_all, so
+  // dropping here realizes asymmetric partitions exactly (the reverse
+  // direction consults its own rule set on its own sender).
+  if (fault::link_enabled() && link_peer_ != kInvalidPhone) {
+    const auto decision = fault::LinkFaultPlane::global().on_send(
+        link_peer_, /*toward_phone=*/link_server_side_, data.size());
+    if (decision.delay_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(decision.delay_ms));
+    }
+    if (decision.drop) return;  // the partition eats the whole frame
+  }
   if (const fault::FaultAction action = fault::check(fault::FaultPoint::kSocketWrite)) {
     if (action.kind == fault::FaultAction::Kind::kDrop) return;  // bytes vanish
     if (action.kind == fault::FaultAction::Kind::kPartial) {
@@ -133,8 +159,9 @@ void TcpConnection::send_all_raw(std::span<const std::uint8_t> data) {
   // How long a full socket buffer may stall one send before the peer is
   // declared wedged. Sends block the single-writer loop, so a bound keeps
   // one dead-but-connected peer from freezing the whole fleet forever.
-  constexpr int kStallBudgetMs = 30'000;
+  const int stall_budget_ms = send_stall_budget_ms();
   int stalled_ms = 0;
+  bool stall_traced = false;
   std::size_t sent = 0;
   while (sent < data.size()) {
     const ssize_t n = ::send(fd_.get(), data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
@@ -144,9 +171,19 @@ void TcpConnection::send_all_raw(std::span<const std::uint8_t> data) {
         // Non-blocking fd with a full send buffer: wait for drain in
         // bounded slices rather than surfacing a spurious hard error.
         constexpr int kSliceMs = 100;
-        if (stalled_ms >= kStallBudgetMs) throw SocketError("send (stalled peer)", ETIMEDOUT);
+        if (stalled_ms >= stall_budget_ms) throw SocketError("send (stalled peer)", ETIMEDOUT);
         poll_one(fd_.get(), POLLOUT, kSliceMs);
         stalled_ms += kSliceMs;
+        obs::counter("net.send_stall_ms").inc(kSliceMs);
+        if (!stall_traced && obs::trace_enabled()) {
+          stall_traced = true;  // one event per stalled send, not per slice
+          obs::TraceEvent event;
+          event.type = obs::TraceEventType::kSendStalled;
+          event.t = obs::trace_now();
+          event.phone = link_peer_;
+          event.value = static_cast<double>(stalled_ms);
+          obs::trace_record(event);
+        }
         continue;
       }
       throw SocketError("send", errno);
@@ -215,7 +252,10 @@ std::optional<TcpConnection> TcpListener::accept() {
     // fd exhaustion is a degraded state, not a reason to tear the whole
     // server down: existing connections keep progressing, and the queued
     // connect is retried once something frees a descriptor.
-    if (errno == EMFILE || errno == ENFILE) return std::nullopt;
+    if (errno == EMFILE || errno == ENFILE) {
+      obs::counter("net.accept_shed").inc();
+      return std::nullopt;
+    }
     throw SocketError("accept", errno);
   }
   TcpConnection conn{FileDescriptor(fd)};

@@ -15,7 +15,16 @@
 #include <system_error>
 #include <vector>
 
+#include "common/types.h"
+
 namespace cwc::net {
+
+/// POLLOUT budget for one send_all: how long a send may sit fully blocked
+/// on an unresponsive peer before it throws (default 30 s). Process-wide
+/// because sockets outlive any one config object; cwc_server exposes it as
+/// --send-stall-budget-ms and slow-link soak legs lower it on purpose.
+void set_send_stall_budget_ms(int budget_ms);
+int send_stall_budget_ms();
 
 class SocketError : public std::system_error {
  public:
@@ -68,12 +77,25 @@ class TcpConnection {
   void set_nodelay(bool enabled);
   void close() { fd_.reset(); }
 
+  /// Declares which phone's link this connection carries so the link fault
+  /// plane (common/link_fault.h) can key its schedules. `server_side` is
+  /// true on the server end (sends flow *toward* the phone) and false on
+  /// the agent end (sends flow *from* the phone). Unbound connections are
+  /// never touched by link faults.
+  void bind_link(PhoneId phone, bool server_side) {
+    link_peer_ = phone;
+    link_server_side_ = server_side;
+  }
+  PhoneId link_peer() const { return link_peer_; }
+
  private:
   /// send_all without the fault-injection check (used to emit the prefix
   /// of an injected partial write).
   void send_all_raw(std::span<const std::uint8_t> data);
 
   FileDescriptor fd_;
+  PhoneId link_peer_ = kInvalidPhone;
+  bool link_server_side_ = false;
 };
 
 /// ::poll on a single fd with honest error handling: retries EINTR,

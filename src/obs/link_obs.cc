@@ -1,0 +1,65 @@
+#include "obs/link_obs.h"
+
+#include <string>
+#include <unordered_map>
+
+#include "common/link_fault.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace cwc::obs {
+
+namespace {
+using LinkEvent = fault::LinkFaultPlane::LinkEvent;
+
+/// Per-phone drop tallies behind the `phone.<id>.link_drops` gauges.
+/// Observer invocations are serialized under the plane mutex, so plain
+/// map access is safe; nothing else writes these gauges.
+std::unordered_map<PhoneId, double>& drop_tally() {
+  static auto* tally = new std::unordered_map<PhoneId, double>();
+  return *tally;
+}
+}  // namespace
+
+void arm_link_telemetry() {
+  counter("link.partition_drops");
+  counter("link.burst_drops");
+  counter("link.paced_sends");
+  counter("link.paced_ms");
+  counter("link.partitions");
+  counter("link.heals");
+  fault::LinkFaultPlane::global().set_observer([](LinkEvent event, PhoneId phone,
+                                                  double value) {
+    switch (event) {
+      case LinkEvent::kPartitionDrop:
+      case LinkEvent::kBurstDrop: {
+        counter(event == LinkEvent::kPartitionDrop ? "link.partition_drops"
+                                                   : "link.burst_drops")
+            .inc();
+        const double total = ++drop_tally()[phone];
+        gauge("phone." + std::to_string(phone) + ".link_drops").set(total);
+        return;
+      }
+      case LinkEvent::kPaced:
+        counter("link.paced_sends").inc();
+        counter("link.paced_ms").inc(value);
+        return;
+      case LinkEvent::kPartitionStart:
+      case LinkEvent::kHeal: {
+        counter(event == LinkEvent::kPartitionStart ? "link.partitions" : "link.heals")
+            .inc();
+        if (!trace_enabled()) return;
+        TraceEvent trace;
+        trace.type = event == LinkEvent::kPartitionStart ? TraceEventType::kLinkPartition
+                                                         : TraceEventType::kLinkHeal;
+        trace.t = trace_now();
+        trace.phone = phone;
+        trace.value = value;  // plane time of the edge
+        trace_record(trace);
+        return;
+      }
+    }
+  });
+}
+
+}  // namespace cwc::obs

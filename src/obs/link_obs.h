@@ -1,0 +1,16 @@
+// Telemetry glue between the link fault plane (common/link_fault.h, which
+// cannot depend on obs) and the metrics + trace layers. Arming telemetry
+// installs a LinkFaultPlane observer that publishes drops and pacing as
+// `link.*` counters, per-phone `phone.<id>.link_drops` gauges (so cwc_top
+// can show a fault column), and kLinkPartition / kLinkHeal trace events at
+// the edges of every dark window.
+#pragma once
+
+namespace cwc::obs {
+
+/// Installs the metrics/trace observer on fault::LinkFaultPlane::global()
+/// and pre-registers the `link.*` counters (zero-valued until a hit).
+/// Idempotent; call after configuring rules, before arm().
+void arm_link_telemetry();
+
+}  // namespace cwc::obs

@@ -37,6 +37,9 @@ constexpr const char* kTypeNames[kTraceEventTypeCount] = {
     "pod_rebalance",        // kPodRebalance
     "chunk_cache_hit",      // kChunkCacheHit
     "chunk_refetch",        // kChunkRefetch
+    "link_partition",       // kLinkPartition
+    "link_heal",            // kLinkHeal
+    "send_stalled",         // kSendStalled
 };
 
 Millis default_clock() {

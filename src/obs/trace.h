@@ -74,11 +74,16 @@ enum class TraceEventType : std::uint8_t {
                          ///< (value = KB served from the phone's cache)
   kChunkRefetch,         ///< CRC-mismatched / missing chunks re-fetched
                          ///< (value = KB re-shipped)
+  kLinkPartition,        ///< link fault plane: a link direction went dark
+                         ///< (phone = affected link, t = plane time)
+  kLinkHeal,             ///< link fault plane: a dark link came back
+  kSendStalled,          ///< a send_all slice blocked on POLLOUT
+                         ///< (value = stalled ms so far, phone = peer)
 };
 
 /// Number of distinct TraceEventType values (for tables and validation).
 inline constexpr std::size_t kTraceEventTypeCount =
-    static_cast<std::size_t>(TraceEventType::kChunkRefetch) + 1;
+    static_cast<std::size_t>(TraceEventType::kSendStalled) + 1;
 
 /// Stable machine name of an event type ("piece_scheduled", ...).
 const char* trace_event_name(TraceEventType type);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/link_fault.h"
 #include "common/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -32,6 +33,14 @@ void emit_span(obs::TraceEventType type, PhoneId phone, JobId job,
   event.instant = id.instant;
   if (rescheduled) event.flags = obs::TraceEvent::kRescheduledWork;
   obs::trace_record(event);
+}
+
+/// Ship time for `kb` to `phone` starting at virtual time `now`: the plain
+/// kb * b_i of the paper when the link fault plane is disarmed, otherwise
+/// the plane's integral over its partition/slow/flap/burst windows — the
+/// sim-side mirror of the enforcement socket.cc applies to live sends.
+Millis link_transfer_ms(PhoneId phone, Millis now, Kilobytes kb, MsPerKb b) {
+  return fault::LinkFaultPlane::global().transfer_ms(phone, now, kb, b);
 }
 
 /// Synthetic content address in the live (crc32 << 32) | size format: the
@@ -251,7 +260,8 @@ void TestbedSimulation::start_next_piece(PhoneId phone_id) {
     shipped_kb_total_ += ship_exec_kb + ship_input_kb;
   }
   phone.shipped_kb = ship_input_kb;
-  const Millis transfer = (ship_exec_kb + ship_input_kb) * phone.spec.b;
+  const Millis transfer = link_transfer_ms(phone_id, now, ship_exec_kb + ship_input_kb,
+                                           phone.spec.b);
   // Ground-truth execution time: hidden efficiency plus lognormal noise.
   const double noise =
       options_.exec_noise_sd > 0.0 ? rng_.lognormal(0.0, options_.exec_noise_sd) : 1.0;
@@ -378,7 +388,8 @@ void TestbedSimulation::launch_backup(PhoneId primary_id, PhoneId backup_id,
   }
   backup.claimed = primary.claimed;
   backup.shipped_kb = ship_input_kb;
-  const Millis transfer = (ship_exec_kb + ship_input_kb) * backup.spec.b;
+  const Millis transfer = link_transfer_ms(backup_id, now, ship_exec_kb + ship_input_kb,
+                                           backup.spec.b);
   const double noise =
       options_.exec_noise_sd > 0.0 ? rng_.lognormal(0.0, options_.exec_noise_sd) : 1.0;
   const Millis execute =
@@ -498,6 +509,12 @@ void TestbedSimulation::apply_failure(const FailureEvent& event) {
         log_info("sim") << "phone " << event.phone << " plugged in at " << to_seconds(now)
                         << " s";
       }
+      // Restart the phone's own queue right away. Waiting for the next
+      // scheduling instant is not enough: a replug inside the keep-alive
+      // detection window cancels the loss requeue, so the phone's pieces
+      // are still *assigned* (not pending) — schedule_instant skips its
+      // has_pending_work-gated restart and the queue would sit forever.
+      start_next_piece(event.phone);
       return;
     }
     case FailureKind::kUnplugOnline: {

@@ -1,0 +1,256 @@
+#include "common/link_fault.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace cwc::fault {
+namespace {
+
+TEST(LinkSpecParse, PartitionWithWindowAndDirection) {
+  const auto rules = parse_link_spec("link:phone=3:partition@t=10s,dur=5s,dir=to");
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].phone, 3);
+  EXPECT_EQ(rules[0].kind, LinkFaultKind::kPartition);
+  EXPECT_EQ(rules[0].dir, LinkDirection::kToPhone);
+  EXPECT_DOUBLE_EQ(rules[0].start, 10'000.0);
+  EXPECT_DOUBLE_EQ(rules[0].duration, 5'000.0);
+}
+
+TEST(LinkSpecParse, WildcardSlowLink) {
+  const auto rules = parse_link_spec("link:*:slow@rate=50kbps");
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].phone, kInvalidPhone);
+  EXPECT_EQ(rules[0].kind, LinkFaultKind::kSlow);
+  EXPECT_DOUBLE_EQ(rules[0].rate_kbps, 50.0);
+  EXPECT_EQ(rules[0].dir, LinkDirection::kBoth);
+  EXPECT_DOUBLE_EQ(rules[0].duration, -1.0);  // until disarm
+}
+
+TEST(LinkSpecParse, MultiRuleAndUnits) {
+  const auto rules = parse_link_spec(
+      "link:phone=0:flap@period=500ms,duty=0.25,dur=1min;"
+      "link:phone=1:burst@p=0.8,t=250;"
+      "link:*:slow@rate=2mbps,latency=30ms");
+  ASSERT_EQ(rules.size(), 3u);
+  EXPECT_EQ(rules[0].kind, LinkFaultKind::kFlap);
+  EXPECT_DOUBLE_EQ(rules[0].period, 500.0);
+  EXPECT_DOUBLE_EQ(rules[0].duty, 0.25);
+  EXPECT_DOUBLE_EQ(rules[0].duration, 60'000.0);
+  EXPECT_EQ(rules[1].kind, LinkFaultKind::kBurst);
+  EXPECT_DOUBLE_EQ(rules[1].loss_p, 0.8);
+  EXPECT_DOUBLE_EQ(rules[1].start, 250.0);  // bare number = ms
+  EXPECT_DOUBLE_EQ(rules[2].rate_kbps, 2048.0);
+  EXPECT_DOUBLE_EQ(rules[2].latency_ms, 30.0);
+}
+
+TEST(LinkSpecParse, RejectsMalformedSpecs) {
+  EXPECT_THROW(parse_link_spec("link:phone=3"), std::invalid_argument);
+  EXPECT_THROW(parse_link_spec("link:phone=x:partition"), std::invalid_argument);
+  EXPECT_THROW(parse_link_spec("link:phone=3:melt"), std::invalid_argument);
+  EXPECT_THROW(parse_link_spec("link:phone=3:partition@dir=sideways"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_link_spec("link:*:slow"), std::invalid_argument);
+  EXPECT_THROW(parse_link_spec("link:*:burst@p=1.5"), std::invalid_argument);
+  EXPECT_THROW(parse_link_spec("link:*:partition@t=5parsecs"), std::invalid_argument);
+  EXPECT_THROW(parse_link_spec("socket_write:drop"), std::invalid_argument);
+}
+
+TEST(LinkSpecParse, ToStringRoundTrips) {
+  const std::string spec =
+      "link:phone=3:partition@t=10s,dur=5s,dir=to;"
+      "link:*:slow@rate=50kbps,latency=20ms;"
+      "link:phone=1:flap@dur=30s,period=2s,duty=0.5;"
+      "link:phone=2:burst@t=1s,dur=4s,p=0.3";
+  const auto rules = parse_link_spec(spec);
+  for (const auto& rule : rules) {
+    const auto reparsed = parse_link_spec(to_string(rule));
+    ASSERT_EQ(reparsed.size(), 1u);
+    EXPECT_EQ(reparsed[0].phone, rule.phone);
+    EXPECT_EQ(reparsed[0].kind, rule.kind);
+    EXPECT_EQ(reparsed[0].dir, rule.dir);
+    EXPECT_DOUBLE_EQ(reparsed[0].start, rule.start);
+    EXPECT_DOUBLE_EQ(reparsed[0].duration, rule.duration);
+    EXPECT_DOUBLE_EQ(reparsed[0].rate_kbps, rule.rate_kbps);
+    EXPECT_DOUBLE_EQ(reparsed[0].latency_ms, rule.latency_ms);
+    EXPECT_DOUBLE_EQ(reparsed[0].period, rule.period);
+    EXPECT_DOUBLE_EQ(reparsed[0].duty, rule.duty);
+    EXPECT_DOUBLE_EQ(reparsed[0].loss_p, rule.loss_p);
+  }
+}
+
+TEST(LinkStateAt, PartitionWindowAndDirection) {
+  LinkFaultPlane plane;
+  plane.add_rules("link:phone=3:partition@t=10s,dur=5s,dir=to");
+  // Before, inside, and after the window, server->phone direction.
+  EXPECT_TRUE(plane.state_at(3, true, 9'999.0).up);
+  EXPECT_FALSE(plane.state_at(3, true, 10'000.0).up);
+  EXPECT_FALSE(plane.state_at(3, true, 14'999.0).up);
+  EXPECT_TRUE(plane.state_at(3, true, 15'000.0).up);
+  // The reverse direction and other phones keep flowing: asymmetric.
+  EXPECT_TRUE(plane.state_at(3, false, 12'000.0).up);
+  EXPECT_TRUE(plane.state_at(4, true, 12'000.0).up);
+}
+
+TEST(LinkStateAt, FlapCyclesDeterministically) {
+  LinkFaultPlane plane;
+  plane.add_rules("link:phone=0:flap@period=1s,duty=0.5,dur=10s");
+  EXPECT_TRUE(plane.state_at(0, true, 100.0).up);     // first half: up
+  EXPECT_FALSE(plane.state_at(0, true, 600.0).up);    // second half: down
+  EXPECT_TRUE(plane.state_at(0, true, 1'100.0).up);   // next cycle
+  EXPECT_FALSE(plane.state_at(0, true, 1'600.0).up);
+  EXPECT_TRUE(plane.state_at(0, true, 10'600.0).up);  // window over
+}
+
+TEST(LinkStateAt, SlowAndBurstCompose) {
+  LinkFaultPlane plane;
+  plane.add_rules("link:*:slow@rate=100kbps,latency=25ms;link:phone=1:slow@rate=40kbps");
+  const LinkState wide = plane.state_at(2, true, 0.0);
+  EXPECT_DOUBLE_EQ(wide.rate_kbps, 100.0);
+  EXPECT_DOUBLE_EQ(wide.latency_ms, 25.0);
+  // The tighter per-phone cap wins on phone 1.
+  EXPECT_DOUBLE_EQ(plane.state_at(1, true, 0.0).rate_kbps, 40.0);
+}
+
+TEST(LinkNextChange, ReportsWindowAndFlapEdges) {
+  LinkFaultPlane plane;
+  plane.add_rules("link:phone=5:partition@t=2s,dur=1s");
+  EXPECT_DOUBLE_EQ(plane.next_change(5, true, 0.0), 2'000.0);
+  EXPECT_DOUBLE_EQ(plane.next_change(5, true, 2'500.0), 3'000.0);
+  EXPECT_TRUE(std::isinf(plane.next_change(5, true, 3'500.0)));
+  // Flap edges inside the window.
+  LinkFaultPlane flappy;
+  flappy.add_rules("link:phone=0:flap@period=1s,duty=0.5,dur=10s");
+  EXPECT_DOUBLE_EQ(flappy.next_change(0, true, 100.0), 500.0);
+  EXPECT_DOUBLE_EQ(flappy.next_change(0, true, 600.0), 1'000.0);
+}
+
+TEST(LinkTransfer, HealthyLinkMatchesBaseCost) {
+  LinkFaultPlane plane;
+  plane.add_rules("link:phone=9:partition@t=50s,dur=1s");
+  plane.arm(1);
+  // Phone 1 is untouched by the rule: plain kb * b.
+  EXPECT_DOUBLE_EQ(plane.transfer_ms(1, 0.0, 100.0, 2.0), 200.0);
+  plane.reset();
+}
+
+TEST(LinkTransfer, PartitionPausesTransfer) {
+  LinkFaultPlane plane;
+  plane.add_rules("link:phone=1:partition@t=100ms,dur=400ms");
+  plane.arm(1);
+  // 100 KB at 1 ms/KB starting at t=0: 100 ms of work, but the link dies
+  // at t=100 for 400 ms. Transfer started at t=0 covers exactly 100 KB by
+  // the edge... make it 200 KB: 100 KB by t=100, stall to t=500, the rest
+  // by t=600 => 600 ms total.
+  EXPECT_NEAR(plane.transfer_ms(1, 0.0, 200.0, 1.0), 600.0, 1e-3);
+  plane.reset();
+}
+
+TEST(LinkTransfer, SlowWindowCapsRate) {
+  LinkFaultPlane plane;
+  // 50 KB/s cap = 20 ms/KB, slower than the base 1 ms/KB.
+  plane.add_rules("link:phone=1:slow@rate=50kbps,dur=10s");
+  plane.arm(1);
+  EXPECT_NEAR(plane.transfer_ms(1, 0.0, 100.0, 1.0), 2'000.0, 1e-3);
+  // Starting after the window: base cost again.
+  EXPECT_NEAR(plane.transfer_ms(1, 10'000.0, 100.0, 1.0), 100.0, 1e-3);
+  plane.reset();
+}
+
+TEST(LinkTransfer, PermanentPartitionNeverCompletes) {
+  LinkFaultPlane plane;
+  plane.add_rules("link:phone=1:partition");
+  plane.arm(1);
+  EXPECT_DOUBLE_EQ(plane.transfer_ms(1, 0.0, 10.0, 1.0), LinkFaultPlane::kNeverMs);
+  plane.reset();
+}
+
+TEST(LinkTransfer, DeterministicAcrossIdenticalPlanes) {
+  const std::string spec =
+      "link:phone=1:flap@period=700ms,duty=0.4,dur=20s;"
+      "link:*:slow@rate=80kbps,t=3s,dur=6s;link:phone=1:burst@p=0.5,t=1s,dur=2s";
+  LinkFaultPlane a;
+  LinkFaultPlane b;
+  a.add_rules(spec);
+  b.add_rules(spec);
+  a.arm(42);
+  b.arm(42);
+  for (Millis t = 0.0; t < 25'000.0; t += 137.0) {
+    EXPECT_DOUBLE_EQ(a.transfer_ms(1, t, 64.0, 1.5), b.transfer_ms(1, t, 64.0, 1.5));
+  }
+  a.reset();
+  b.reset();
+}
+
+TEST(LinkOnSend, PartitionDropsAndEdgesFire) {
+  LinkFaultPlane plane;
+  plane.add_rules("link:phone=2:partition@dur=60s,dir=to");
+  int partitions = 0;
+  int drops = 0;
+  plane.set_observer([&](LinkFaultPlane::LinkEvent event, PhoneId phone, double) {
+    EXPECT_EQ(phone, 2);
+    if (event == LinkFaultPlane::LinkEvent::kPartitionStart) ++partitions;
+    if (event == LinkFaultPlane::LinkEvent::kPartitionDrop) ++drops;
+  });
+  plane.arm(7);
+  EXPECT_TRUE(plane.on_send(2, true, 1024).drop);
+  EXPECT_TRUE(plane.on_send(2, true, 1024).drop);
+  // The reverse direction flows.
+  EXPECT_FALSE(plane.on_send(2, false, 1024).drop);
+  EXPECT_EQ(partitions, 1);  // edge-triggered once
+  EXPECT_EQ(drops, 2);
+  EXPECT_EQ(plane.stats().partition_drops, 2u);
+  plane.set_observer(nullptr);
+  plane.reset();
+}
+
+TEST(LinkOnSend, DisarmedPlaneIsFree) {
+  LinkFaultPlane plane;
+  plane.add_rules("link:*:partition");
+  const auto decision = plane.on_send(1, true, 4096);
+  EXPECT_FALSE(decision.drop);
+  EXPECT_DOUBLE_EQ(decision.delay_ms, 0.0);
+}
+
+TEST(LinkOnSend, TokenBucketPacesSustainedTraffic) {
+  LinkFaultPlane plane;
+  plane.add_rules("link:phone=1:slow@rate=100kbps");
+  plane.arm(3);
+  // The bucket starts full (>= 64 KB of credit); a burst passes, then
+  // sustained sends accrue pacing delay.
+  double total_delay = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    const auto decision = plane.on_send(1, true, 8 * 1024);
+    EXPECT_FALSE(decision.drop);
+    total_delay += decision.delay_ms;
+  }
+  // 320 KB at 100 KB/s needs ~3.2 s of wall time; the initial credit
+  // covers at most ~64 KB, so at least ~2.5 s of delay must be handed out.
+  EXPECT_GT(total_delay, 2'000.0);
+  EXPECT_GT(plane.stats().paced_sends, 0u);
+  plane.reset();
+}
+
+TEST(LinkOnSend, BurstLossIsSeededPerLink) {
+  const auto run = [](std::uint64_t seed) {
+    LinkFaultPlane plane;
+    plane.add_rules("link:phone=1:burst@p=0.5,dur=60s");
+    plane.arm(seed);
+    std::vector<bool> pattern;
+    for (int i = 0; i < 64; ++i) pattern.push_back(plane.on_send(1, true, 512).drop);
+    plane.reset();
+    return pattern;
+  };
+  EXPECT_EQ(run(11), run(11));   // same seed, same per-link stream
+  EXPECT_NE(run(11), run(12));   // different seed, different stream
+  const auto pattern = run(11);
+  const auto dropped = std::count(pattern.begin(), pattern.end(), true);
+  EXPECT_GT(dropped, 16);  // p=0.5 over 64 sends: nowhere near all-pass
+  EXPECT_LT(dropped, 48);  // ... nor all-drop
+}
+
+}  // namespace
+}  // namespace cwc::fault

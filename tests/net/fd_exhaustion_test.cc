@@ -1,0 +1,170 @@
+// Degraded-accept regression tests: when the process runs out of file
+// descriptors, TcpListener::accept() must *shed* the accept (EMFILE /
+// ENFILE -> nullopt, counted as net.accept_shed) instead of throwing, the
+// server must stay live for already-connected phones, and the queued
+// connect must complete once descriptors free up — the kernel keeps it in
+// the backlog the whole time.
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/greedy.h"
+#include "core/testbed.h"
+#include "net/phone_agent.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "obs/metrics.h"
+#include "tasks/generators.h"
+#include "tasks/registry.h"
+
+namespace cwc::net {
+namespace {
+
+/// Lowers RLIMIT_NOFILE for the test body (a small ceiling keeps the fd
+/// hoard cheap) and restores the original limit on destruction.
+class ScopedFdLimit {
+ public:
+  explicit ScopedFdLimit(rlim_t soft) {
+    ::getrlimit(RLIMIT_NOFILE, &saved_);
+    rlimit lowered = saved_;
+    lowered.rlim_cur = soft;
+    ::setrlimit(RLIMIT_NOFILE, &lowered);
+  }
+  ~ScopedFdLimit() { ::setrlimit(RLIMIT_NOFILE, &saved_); }
+
+ private:
+  rlimit saved_{};
+};
+
+/// Opens /dev/null until the fd table is full. release(n) frees n slots;
+/// the destructor frees the rest.
+class FdHoard {
+ public:
+  void fill() {
+    while (true) {
+      const int fd = ::open("/dev/null", O_RDONLY);
+      if (fd < 0) break;
+      fds_.push_back(fd);
+    }
+  }
+  void release(std::size_t n) {
+    while (n-- > 0 && !fds_.empty()) {
+      ::close(fds_.back());
+      fds_.pop_back();
+    }
+  }
+  ~FdHoard() {
+    for (int fd : fds_) ::close(fd);
+  }
+  std::size_t size() const { return fds_.size(); }
+
+ private:
+  std::vector<int> fds_;
+};
+
+TEST(FdExhaustion, AcceptShedsUnderEmfileAndRecovers) {
+  ScopedFdLimit limit(128);
+  TcpListener listener(0);
+  listener.set_nonblocking(true);
+
+  // A client connect completes in the kernel (backlog) without accept().
+  TcpConnection client = TcpConnection::connect_local(listener.port());
+
+  const double shed_before = obs::counter("net.accept_shed").value();
+  FdHoard hoard;
+  hoard.fill();
+  ASSERT_GT(hoard.size(), 0u);
+
+  // The backlog holds a pending connection, so this accept call reaches
+  // ::accept and fails with EMFILE — shed, not thrown.
+  auto shed = listener.accept();
+  EXPECT_FALSE(shed.has_value());
+  EXPECT_GT(obs::counter("net.accept_shed").value(), shed_before);
+
+  // Free descriptors: the queued connect is still there and now accepts.
+  hoard.release(4);
+  auto recovered = listener.accept();
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_TRUE(recovered->valid());
+}
+
+TEST(FdExhaustion, ServerStaysLiveAndLateAgentJoinsAfterRecovery) {
+  ScopedFdLimit limit(192);
+  const tasks::TaskRegistry registry = tasks::TaskRegistry::with_builtins();
+
+  std::atomic<bool> stop{false};
+  ServerConfig config;
+  config.port = 0;
+  config.keepalive_period = 150.0;
+  config.keepalive_misses = 3;
+  config.scheduling_period = 100.0;
+  config.probe_chunks = 2;
+  config.probe_chunk_bytes = 8 * 1024;
+  config.assign_retry_period = 400.0;
+  config.assign_max_retries = 8;
+  config.rpc_timeout = 3000.0;
+  config.stop = &stop;
+  CwcServer server(std::make_unique<core::GreedyScheduler>(), core::paper_prediction(),
+                   &registry, config);
+  Rng rng(11);
+  const JobId job = server.submit("prime-count", tasks::make_integer_input(rng, 64.0));
+
+  const auto make_agent = [&](int index) {
+    PhoneAgentConfig pc;
+    pc.id = static_cast<PhoneId>(index + 1);
+    pc.max_reconnects = 200;
+    pc.reconnect_backoff = 50.0;
+    pc.reconnect_backoff_max = 400.0;
+    pc.backoff_seed = 1234u + static_cast<std::uint64_t>(index);
+    pc.rpc_timeout = 2000.0;
+    pc.cpu_mhz = 800.0;
+    pc.emulated_compute_ms_per_kb = 1.0;
+    pc.step_bytes = 8 * 1024;
+    auto agent = std::make_unique<PhoneAgent>(server.port(), pc, &registry);
+    agent->start();
+    return agent;
+  };
+
+  // Agent 1 registers while descriptors are plentiful.
+  auto first = make_agent(0);
+  std::thread loop([&] { server.run(/*phones=*/2, seconds(20.0)); });
+
+  // Exhaust the fd table, leaving exactly one slot for agent 2's socket:
+  // its connect() lands in the listener backlog, and the server-side
+  // accept then fails with EMFILE and must shed without tearing anything.
+  const double shed_before = obs::counter("net.accept_shed").value();
+  FdHoard hoard;
+  hoard.fill();
+  hoard.release(1);
+  auto second = make_agent(1);
+
+  // Give the storm a moment: the server keeps servicing agent 1 (probes,
+  // keep-alives, assignments) the whole time.
+  const auto exhausted_until = std::chrono::steady_clock::now() + std::chrono::milliseconds(400);
+  while (std::chrono::steady_clock::now() < exhausted_until) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  // Recovery: free descriptors; the queued connect (or agent 2's next
+  // reconnect attempt) registers and the batch completes on both phones.
+  hoard.release(16);
+  loop.join();
+
+  EXPECT_GT(obs::counter("net.accept_shed").value(), shed_before);
+  ASSERT_TRUE(server.job_done(job));
+  EXPECT_FALSE(server.result(job).empty());
+
+  second.reset();
+  first.reset();
+}
+
+}  // namespace
+}  // namespace cwc::net

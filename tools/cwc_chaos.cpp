@@ -53,6 +53,7 @@
 #include "obs/snapshot.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
+#include "soak/soak.h"
 #include "tasks/generators.h"
 #include "tasks/registry.h"
 
@@ -93,9 +94,15 @@ constexpr const char* kUsage = R"(cwc_chaos: fault-injection chaos harness for t
   --trace-out=FILE     write the chaos runs' trace as Chrome trace-event JSON
   --verbose            info-level logging
 
-Exit status: 0 = all runs completed with byte-identical results (and, with
-speculation on, at least one backup launched); 1 = a run timed out,
-results diverged, or speculation never engaged; 2 = bad flags.
+Exit status (invariant codes shared with cwc_soak, see src/soak/soak.h):
+  0   all runs completed with byte-identical results (and, with
+      speculation on, at least one backup launched)
+  1   speculation was enabled but never engaged
+  2   bad flags
+  10  a chaos run's results diverged from the fault-free reference
+  11  a run timed out / failed to complete (lost work)
+  12  the journaled restart leg failed to converge
+  130 interrupted by signal
 )";
 
 // A bounded storm: every rule carries a limit (or an explicit hit list) so
@@ -344,27 +351,30 @@ std::vector<JobSpec> parse_jobs(const std::string& spec) {
   return jobs;
 }
 
-bool results_match(const RunResult& reference, const RunResult& candidate, const char* label) {
+/// Checks a leg against the reference; returns the violated invariant
+/// (kNone when the leg matched byte for byte).
+soak::Invariant results_match(const RunResult& reference, const RunResult& candidate,
+                              const char* label) {
   if (!candidate.completed) {
     std::fprintf(stderr, "cwc_chaos: %s did not complete all jobs\n", label);
-    return false;
+    return soak::Invariant::kLostPiece;
   }
   if (candidate.results.size() != reference.results.size()) {
     std::fprintf(stderr, "cwc_chaos: %s produced %zu results, expected %zu\n", label,
                  candidate.results.size(), reference.results.size());
-    return false;
+    return soak::Invariant::kByteMismatch;
   }
-  bool ok = true;
+  soak::Invariant verdict = soak::Invariant::kNone;
   for (std::size_t i = 0; i < reference.results.size(); ++i) {
     if (candidate.results[i] != reference.results[i]) {
       std::fprintf(stderr,
                    "cwc_chaos: %s job %zu result diverged from the fault-free "
                    "reference (%zu vs %zu bytes)\n",
                    label, i, candidate.results[i].size(), reference.results[i].size());
-      ok = false;
+      verdict = soak::Invariant::kByteMismatch;
     }
   }
-  return ok;
+  return verdict;
 }
 
 void print_fires() {
@@ -474,7 +484,7 @@ int main(int argc, char** argv) {
     std::fputs("cwc_chaos: fault-free reference run did not complete — the live "
                "path is broken before any fault was injected\n",
                stderr);
-    return 1;
+    return soak::exit_code(soak::Invariant::kLostPiece);
   }
   std::printf("      complete (%zu results, %.1f s)\n", reference.results.size(),
               reference.wall_s);
@@ -482,7 +492,11 @@ int main(int argc, char** argv) {
   // Runs 1 and 2: the same seeded storm twice. reset() clears rules AND the
   // telemetry observer, so both are re-installed per run; arm(seed) restarts
   // the Bernoulli stream so run 2 replays run 1's schedule.
-  bool ok = true;
+  //
+  // The exit code reports the *first* violated invariant (the later legs
+  // still run, so the console shows everything that broke).
+  soak::Invariant violated = soak::Invariant::kNone;
+  bool speculation_ok = true;
   std::size_t spec_launches = 0;
   std::size_t spec_duplicates = 0;
   RunResult chaos[2];
@@ -509,7 +523,8 @@ int main(int argc, char** argv) {
     spec_launches += chaos[i].spec_launches;
     spec_duplicates += chaos[i].spec_duplicates;
     const std::string label = "chaos run " + std::to_string(i + 1);
-    ok = results_match(reference, chaos[i], label.c_str()) && ok;
+    const soak::Invariant leg = results_match(reference, chaos[i], label.c_str());
+    if (leg != soak::Invariant::kNone && violated == soak::Invariant::kNone) violated = leg;
     if (g_stop.load()) break;
   }
   injector.reset();
@@ -529,7 +544,12 @@ int main(int argc, char** argv) {
     }
     spec_launches += restarted.spec_launches;
     spec_duplicates += restarted.spec_duplicates;
-    ok = results_match(reference, restarted, "restart run") && ok;
+    // Any restart-leg failure is a journal-convergence violation: the
+    // recovered server must finish the batch and byte-match the reference.
+    if (results_match(reference, restarted, "restart run") != soak::Invariant::kNone &&
+        violated == soak::Invariant::kNone) {
+      violated = soak::Invariant::kNonConvergence;
+    }
   }
 
   if (options.speculation && !g_stop.load()) {
@@ -537,7 +557,7 @@ int main(int argc, char** argv) {
       std::fputs("cwc_chaos: speculation was enabled with a 10x-slow phone but no "
                  "backup ever launched\n",
                  stderr);
-      ok = false;
+      speculation_ok = false;
     } else {
       std::printf("speculation engaged: %zu backups launched, %zu duplicate completions "
                   "dropped, zero double-aggregations (results byte-checked)\n",
@@ -557,8 +577,13 @@ int main(int argc, char** argv) {
     std::fputs("cwc_chaos: interrupted by signal\n", stderr);
     return 130;
   }
-  if (!ok) {
-    std::fputs("cwc_chaos: FAIL — see divergence above\n", stderr);
+  if (violated != soak::Invariant::kNone) {
+    std::fprintf(stderr, "cwc_chaos: FAIL — %s (see divergence above)\n",
+                 soak::invariant_name(violated));
+    return soak::exit_code(violated);
+  }
+  if (!speculation_ok) {
+    std::fputs("cwc_chaos: FAIL — speculation never engaged\n", stderr);
     return 1;
   }
   std::printf("cwc_chaos: PASS — all %d runs completed all %zu jobs with results "

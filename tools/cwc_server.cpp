@@ -23,6 +23,7 @@
 
 #include "common/fault.h"
 #include "common/flags.h"
+#include "common/link_fault.h"
 #include "common/log.h"
 #include "common/rng.h"
 #include "common/strings.h"
@@ -32,6 +33,7 @@
 #include "net/obs_http.h"
 #include "net/server.h"
 #include "obs/fault_obs.h"
+#include "obs/link_obs.h"
 #include "obs/snapshot.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
@@ -78,6 +80,16 @@ constexpr const char* kUsage = R"(cwc_server: the CWC central server
                        score reaches X (default 0.8)
   --health-parole-ticks=N  scheduling instants a quarantined phone sits out
                        before parole (default 3)
+  --send-stall-budget-ms=N  max total time a single send may block on a
+                       full socket buffer before the peer is declared
+                       unreachable (default 30000; slow-link drills lower it)
+  --link-spec=SPEC     arm the link fault plane, e.g.
+                       "link:phone=3:partition@t=10s,dur=5s;link:*:slow@rate=1mbps"
+                       (grammar in src/common/link_fault.h; shares --fault-seed).
+                       Enforcement is sender-side and in-process: with real
+                       cwc_phone processes only downlink (dir=to) rules bite
+                       here; uplink rules need the in-process harnesses
+                       (cwc_chaos, cwc_soak, the swarm)
   --fault-spec=SPEC    arm deterministic fault injection, e.g.
                        "socket_write:reset@p=0.02;keepalive_send:drop@every=4"
                        (grammar in src/common/fault.h)
@@ -144,7 +156,8 @@ int main(int argc, char** argv) {
                      "pods", "chunk-kb", "keepalive-ms", "assign-retry-ms", "speculation",
                      "straggler-factor",
                      "spec-fraction", "health-alpha", "health-quarantine",
-                     "health-parole-ticks", "fault-spec", "fault-seed", "metrics-out",
+                     "health-parole-ticks", "fault-spec", "fault-seed", "link-spec",
+                     "send-stall-budget-ms", "metrics-out",
                      "metrics-interval-ms", "timeseries-out", "obs-port",
                      "trace-out", "verbose", "help"});
   if (!unknown.empty() || flags.get_bool("help")) {
@@ -170,6 +183,8 @@ int main(int argc, char** argv) {
   config.health.alpha = flags.get_double("health-alpha", 0.3);
   config.health.quarantine_threshold = flags.get_double("health-quarantine", 0.8);
   config.health.parole_after_ticks = static_cast<int>(flags.get_int("health-parole-ticks", 3));
+  config.send_stall_budget_ms =
+      static_cast<int>(flags.get_int("send-stall-budget-ms", 30'000));
 
   if (flags.has("fault-spec")) {
     try {
@@ -182,6 +197,19 @@ int main(int argc, char** argv) {
       return 2;
     }
     std::printf("fault injection armed: %s (seed %lld)\n", flags.get("fault-spec").c_str(),
+                static_cast<long long>(flags.get_int("fault-seed", 1)));
+  }
+  if (flags.has("link-spec")) {
+    try {
+      fault::LinkFaultPlane& plane = fault::LinkFaultPlane::global();
+      plane.add_rules(flags.get("link-spec"));
+      obs::arm_link_telemetry();
+      plane.arm(static_cast<std::uint64_t>(flags.get_int("fault-seed", 1)));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bad --link-spec: %s\n", e.what());
+      return 2;
+    }
+    std::printf("link fault plane armed: %s (seed %lld)\n", flags.get("link-spec").c_str(),
                 static_cast<long long>(flags.get_int("fault-seed", 1)));
   }
   std::unique_ptr<core::Scheduler> scheduler;

@@ -11,8 +11,10 @@
 #include <memory>
 
 #include "common/flags.h"
+#include "common/link_fault.h"
 #include "common/log.h"
 #include "common/rng.h"
+#include "obs/link_obs.h"
 #include "obs/snapshot.h"
 #include "obs/timeseries.h"
 #include "obs/trace_export.h"
@@ -62,6 +64,9 @@ constexpr const char* kUsage = R"(cwc_sim: CWC testbed simulator
   --batches=N          run the identical batch N times with phone caches
                        persisting in between (repeat-campaign model;
                        default 1). Prints per-batch shipped KB.
+  --link-spec=SPEC     arm the link fault plane on virtual time, e.g.
+                       "link:phone=3:partition@t=10s,dur=5s" (grammar in
+                       src/common/link_fault.h; seeded from --seed)
   --seed=N             RNG seed (default 42)
   --svg=FILE           write the execution timeline as SVG
   --metrics-out=FILE   write a telemetry snapshot (.csv = CSV, else JSON)
@@ -100,7 +105,7 @@ int main(int argc, char** argv) {
                                       "churn", "speculation", "straggler-factor",
                                       "spec-fraction", "health-alpha", "health-quarantine",
                                       "health-parole-ticks", "chunk-kb", "cache-mb", "locality",
-                                      "batches", "seed", "svg", "metrics-out",
+                                      "batches", "seed", "link-spec", "svg", "metrics-out",
                                       "timeseries-out", "trace-out", "verbose", "help"});
   if (!unknown.empty() || flags.get_bool("help")) {
     for (const auto& flag : unknown) std::fprintf(stderr, "unknown flag: --%s\n", flag.c_str());
@@ -111,6 +116,19 @@ int main(int argc, char** argv) {
 
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
   Rng rng(seed);
+  if (flags.has("link-spec")) {
+    try {
+      fault::LinkFaultPlane& plane = fault::LinkFaultPlane::global();
+      plane.add_rules(flags.get("link-spec"));
+      obs::arm_link_telemetry();
+      plane.arm(seed);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bad --link-spec: %s\n", e.what());
+      return 2;
+    }
+    std::printf("link fault plane armed: %s (seed %llu)\n", flags.get("link-spec").c_str(),
+                static_cast<unsigned long long>(seed));
+  }
   const auto fleet = static_cast<std::size_t>(flags.get_int("phones", 18));
   auto phones = sim::scaled_fleet(rng, std::max<std::size_t>(fleet, 1));
 

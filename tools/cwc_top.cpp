@@ -37,10 +37,11 @@ constexpr const char* kUsage = R"(cwc_top: live dashboard for cwc_server --obs-p
   --once            print one plain snapshot and exit (no screen control)
 )";
 
-/// One parsed sample line: metric name, optional phone label, value.
+/// One parsed sample line: metric name, optional phone/point label, value.
 struct Sample {
   std::string name;
   std::string phone;  ///< empty unless the line carried {phone="..."}
+  std::string point;  ///< empty unless the line carried {point="..."}
   double value = 0.0;
 };
 
@@ -48,6 +49,7 @@ struct Sample {
 struct Snapshot {
   std::map<std::string, double> scalars;                     ///< unlabeled series
   std::map<std::string, std::map<std::string, double>> phones;  ///< phone -> field -> value
+  std::map<std::string, double> faults;  ///< fault point -> fires (storms in flight)
   bool ok = false;
 };
 
@@ -79,15 +81,21 @@ bool parse_line(const std::string& line, Sample& out) {
   if (end == line.c_str() + space + 1) return false;
   std::string name = line.substr(0, space);
   out.phone.clear();
+  out.point.clear();
   const auto brace = name.find('{');
   if (brace != std::string::npos) {
     const std::string labels = name.substr(brace);
     name.resize(brace);
-    const auto tag = labels.find("phone=\"");
-    if (tag == std::string::npos) return false;
-    const auto close = labels.find('"', tag + 7);
-    if (close == std::string::npos) return false;
-    out.phone = labels.substr(tag + 7, close - tag - 7);
+    const auto grab = [&labels](const char* key, std::string& into) {
+      const std::string prefix = std::string(key) + "=\"";
+      const auto tag = labels.find(prefix);
+      if (tag == std::string::npos) return false;
+      const auto close = labels.find('"', tag + prefix.size());
+      if (close == std::string::npos) return false;
+      into = labels.substr(tag + prefix.size(), close - tag - prefix.size());
+      return true;
+    };
+    if (!grab("phone", out.phone) && !grab("point", out.point)) return false;
   }
   out.name = std::move(name);
   return true;
@@ -108,7 +116,10 @@ Snapshot poll(const std::string& host, std::uint16_t port) {
     if (eol == std::string::npos) eol = body.size();
     Sample s;
     if (parse_line(body.substr(pos, eol - pos), s)) {
-      if (s.phone.empty()) {
+      if (!s.point.empty()) {
+        // cwc_fault_fired_total{point="<site>"} -> faults[<site>]
+        if (s.name == "cwc_fault_fired_total") snap.faults[s.point] = s.value;
+      } else if (s.phone.empty()) {
         snap.scalars[s.name] = s.value;
       } else {
         // cwc_phone_<field>{phone="<id>"} -> phones[id][<field>]
@@ -168,15 +179,37 @@ void render(const Snapshot& snap, const Snapshot& prev, double dt_s, bool ansi) 
               scalar(snap, "cwc_server_keepalive_rtt_ms_p99"),
               scalar(snap, "cwc_server_keepalive_rtt_ms_count"),
               scalar(snap, "cwc_net_server_scheduling_rounds"));
-  std::printf("%5s %-10s %4s %6s %8s %9s %9s %6s %9s\n", "phone", "health", "chg",
-              "cache%", "in-fl", "hit KB", "miss KB", "replay", "rtt ms");
+  if (!snap.faults.empty() || scalar(snap, "cwc_link_partition_drops") > 0) {
+    // A storm in flight: total point-fault fires plus the busiest sites,
+    // and the link plane's drop/pacing tallies.
+    double total = 0.0;
+    std::vector<std::pair<double, std::string>> top;
+    for (const auto& [point, fires] : snap.faults) {
+      total += fires;
+      if (fires > 0) top.emplace_back(fires, point);
+    }
+    std::sort(top.rbegin(), top.rend());
+    std::string busiest;
+    for (std::size_t i = 0; i < top.size() && i < 3; ++i) {
+      busiest += (i ? ", " : "") + top[i].second + "=" +
+                 std::to_string(static_cast<long long>(top[i].first));
+    }
+    std::printf("faults: %.0f fired%s%s | link drops %.0f (burst %.0f) paced %.0f ms\n",
+                total, busiest.empty() ? "" : " — ", busiest.c_str(),
+                scalar(snap, "cwc_link_partition_drops") +
+                    scalar(snap, "cwc_link_burst_drops"),
+                scalar(snap, "cwc_link_burst_drops"), scalar(snap, "cwc_link_paced_ms"));
+  }
+  std::printf("%5s %-10s %4s %6s %8s %9s %9s %6s %9s %8s\n", "phone", "health", "chg",
+              "cache%", "in-fl", "hit KB", "miss KB", "replay", "rtt ms", "lnk-drop");
   for (const auto& [id, fields] : snap.phones) {
-    std::printf("%5s %-10s %4s %6.1f %8.0f %9.0f %9.0f %6.0f %9.2f\n", id.c_str(),
+    std::printf("%5s %-10s %4s %6.1f %8.0f %9.0f %9.0f %6.0f %9.2f %8.0f\n", id.c_str(),
                 health_name(field(fields, "health_state")),
                 field(fields, "charging") != 0.0 ? "yes" : "no",
                 field(fields, "cache_pct"), field(fields, "in_flight"),
                 field(fields, "cache_hit_kb"), field(fields, "cache_miss_kb"),
-                field(fields, "replay_depth"), field(fields, "keepalive_rtt_ms"));
+                field(fields, "replay_depth"), field(fields, "keepalive_rtt_ms"),
+                field(fields, "link_drops"));
   }
   if (snap.phones.empty()) std::printf("  (no phones registered yet)\n");
   std::fflush(stdout);
